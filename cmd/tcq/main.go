@@ -1,0 +1,63 @@
+// Command tcq is an interactive client for a TelegraphCQ server: a thin
+// REPL over the line protocol. Push rows from SUBSCRIBEd queries are
+// printed as they arrive, interleaved with command replies — the
+// "results stream out while the user interacts" mode of §1.1.
+//
+// Usage:
+//
+//	tcq -addr 127.0.0.1:5433
+//	> CREATE STREAM s (x INT, y FLOAT)
+//	> QUERY SELECT x FROM s WHERE y > 1.5
+//	> SUBSCRIBE 0
+//	> FEED s 7,2.5
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:5433", "server address")
+	flag.Parse()
+
+	conn, err := net.Dial("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tcq: %v\n", err)
+		os.Exit(1)
+	}
+	defer conn.Close()
+	fmt.Printf("connected to %s; type commands (QUIT to exit)\n", *addr)
+
+	// Reader: print everything the server sends.
+	go func() {
+		sc := bufio.NewScanner(conn)
+		sc.Buffer(make([]byte, 64*1024), 1024*1024)
+		for sc.Scan() {
+			fmt.Println(sc.Text())
+		}
+		fmt.Println("(connection closed)")
+		os.Exit(0)
+	}()
+
+	in := bufio.NewScanner(os.Stdin)
+	w := bufio.NewWriter(conn)
+	for {
+		fmt.Print("> ")
+		if !in.Scan() {
+			return
+		}
+		line := in.Text()
+		if line == "" {
+			continue
+		}
+		w.WriteString(line + "\n")
+		w.Flush()
+		if line == "QUIT" || line == "quit" {
+			return
+		}
+	}
+}

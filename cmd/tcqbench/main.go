@@ -1,0 +1,61 @@
+// Command tcqbench runs the experiment harness: one experiment per
+// table/figure/claim indexed in DESIGN.md §4 (E1–E12), printing the
+// paper's qualitative claim next to measured numbers.
+//
+// Usage:
+//
+//	tcqbench              # run everything
+//	tcqbench -exp E2,E5   # run selected experiments
+//	tcqbench -list        # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"telegraphcq/internal/bench"
+)
+
+func main() {
+	expFlag := flag.String("exp", "", "comma-separated experiment ids (default: all)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	all := bench.All()
+	if *list {
+		for _, e := range all {
+			fmt.Printf("%-4s %s\n", e.ID, e.Name)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *expFlag != "" {
+		for _, id := range strings.Split(*expFlag, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	failed := 0
+	for _, e := range all {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running %s (%s)...\n", e.ID, e.Name)
+		start := time.Now()
+		tb, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		tb.Render(os.Stdout)
+		fmt.Fprintf(os.Stderr, "%s done in %s\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

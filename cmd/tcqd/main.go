@@ -1,0 +1,61 @@
+// Command tcqd is the TelegraphCQ server daemon: it starts an engine and
+// a postmaster (Fig. 4–5) and serves the line protocol documented in
+// internal/server. With -demo it also creates the paper's
+// ClosingStockPrices stream and feeds it from the synthetic stock
+// workload, so clients can register queries immediately.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"telegraphcq/internal/core"
+	"telegraphcq/internal/server"
+	"telegraphcq/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:5433", "listen address")
+	eos := flag.Int("eos", 2, "execution objects (scheduler threads)")
+	spool := flag.String("spool", "", "directory for stream spooling (empty = memory only)")
+	demo := flag.Bool("demo", false, "create ClosingStockPrices and feed synthetic quotes")
+	rate := flag.Int("rate", 100, "demo feed rate (tuples/second)")
+	flag.Parse()
+
+	engine := core.NewEngine(core.Options{EOs: *eos, SpoolDir: *spool})
+	defer engine.Stop()
+
+	pm, err := server.Listen(engine, *addr)
+	if err != nil {
+		log.Fatalf("tcqd: %v", err)
+	}
+	defer pm.Close()
+	fmt.Printf("tcqd: listening on %s (EOs=%d spool=%q)\n", pm.Addr(), *eos, *spool)
+
+	if *demo {
+		if err := engine.CreateStream("ClosingStockPrices", workload.StockSchema(), 0); err != nil {
+			log.Fatalf("tcqd: %v", err)
+		}
+		fmt.Println("tcqd: demo stream ClosingStockPrices(timestamp TIME, stockSymbol STRING, closingPrice FLOAT)")
+		go func() {
+			gen := workload.NewStockGenerator(time.Now().UnixNano(), nil)
+			interval := time.Second / time.Duration(*rate)
+			for {
+				if err := engine.Feed("ClosingStockPrices", gen.Next()); err != nil {
+					return
+				}
+				time.Sleep(interval)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("tcqd: shutting down")
+}

@@ -1,0 +1,74 @@
+package telegraphcq_test
+
+import (
+	"fmt"
+
+	"telegraphcq"
+)
+
+// The canonical flow: declare a stream, register a standing query, feed
+// data, and stream results.
+func Example() {
+	db := telegraphcq.Open(telegraphcq.Config{})
+	defer db.Close()
+
+	db.MustCreateStream("quotes", "ts TIME, sym STRING, price FLOAT", "ts")
+	q, err := db.Register(`SELECT price FROM quotes WHERE sym = 'MSFT' AND price > 30`)
+	if err != nil {
+		panic(err)
+	}
+	rows := q.Subscribe(8)
+
+	db.Feed("quotes", 1, "MSFT", 28.10)
+	db.Feed("quotes", 2, "MSFT", 31.75)
+
+	r := <-rows
+	fmt.Printf("%.2f\n", r.Float(0))
+	// Output: 31.75
+}
+
+// Windowed queries use the paper's for-loop construct; every result row
+// carries its window instance in Row.T.
+func ExampleDB_Register_windowed() {
+	db := telegraphcq.Open(telegraphcq.Config{})
+	defer db.Close()
+
+	db.MustCreateStream("quotes", "ts TIME, sym STRING, price FLOAT", "ts")
+	q, err := db.Register(`SELECT AVG(price) FROM quotes
+		for (t = 3; t <= 4; t++) { WindowIs(quotes, t - 2, t); }`)
+	if err != nil {
+		panic(err)
+	}
+	for day := 1; day <= 6; day++ {
+		db.Feed("quotes", day, "MSFT", float64(day))
+	}
+	q.Wait()
+	rows, _ := q.Cursor().Fetch()
+	for _, r := range rows {
+		fmt.Printf("window@%d avg=%.1f\n", r.T, r.Float(0))
+	}
+	// Output:
+	// window@3 avg=2.0
+	// window@4 avg=3.0
+}
+
+// Pull cursors retrieve results on demand — disconnected clients catch up
+// whenever they return (PSoup semantics).
+func ExampleQuery_Cursor() {
+	db := telegraphcq.Open(telegraphcq.Config{})
+	defer db.Close()
+
+	db.MustCreateStream("s", "x INT", "")
+	q, err := db.Register(`SELECT x FROM s
+		for (; t == 0; t = -1) { WindowIs(s, 1, 3); }`)
+	if err != nil {
+		panic(err)
+	}
+	for i := 1; i <= 5; i++ {
+		db.Feed("s", i)
+	}
+	q.Wait()
+	rows, _ := q.Cursor().Fetch()
+	fmt.Println(len(rows))
+	// Output: 3
+}

@@ -1,0 +1,48 @@
+// Quickstart: open an embedded TelegraphCQ engine, declare a stream,
+// register a continuous query, and stream results while data arrives.
+package main
+
+import (
+	"fmt"
+
+	"telegraphcq"
+)
+
+func main() {
+	db := telegraphcq.Open(telegraphcq.Config{})
+	defer db.Close()
+
+	// A stream of stock quotes; "ts" carries the application timestamp.
+	db.MustCreateStream("quotes", "ts TIME, sym STRING, price FLOAT", "ts")
+
+	// A standing continuous query: every arriving tuple is routed
+	// through the adaptive eddy; matches stream out immediately.
+	q, err := db.Register(`SELECT price FROM quotes WHERE sym = 'MSFT' AND price > 30`)
+	if err != nil {
+		panic(err)
+	}
+	rows := q.Subscribe(64)
+
+	quotes := []struct {
+		ts    int
+		sym   string
+		price float64
+	}{
+		{1, "MSFT", 28.10},
+		{1, "IBM", 91.30},
+		{2, "MSFT", 31.75},
+		{3, "MSFT", 33.20},
+		{3, "ORCL", 12.85},
+	}
+	for _, qt := range quotes {
+		if err := db.Feed("quotes", qt.ts, qt.sym, qt.price); err != nil {
+			panic(err)
+		}
+	}
+
+	fmt.Println("MSFT prices above 30:")
+	for i := 0; i < 2; i++ {
+		r := <-rows
+		fmt.Printf("  %.2f\n", r.Float(0))
+	}
+}

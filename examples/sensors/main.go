@@ -1,0 +1,81 @@
+// Sensors: the sensor-proxy control loop of §2.1 — an ingress wrapper
+// that adjusts the sensor network's sample rate based on the standing
+// queries, combined with windowed aggregation over the readings.
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"telegraphcq"
+	"telegraphcq/internal/ingress"
+	"telegraphcq/internal/workload"
+)
+
+func main() {
+	db := telegraphcq.Open(telegraphcq.Config{})
+	defer db.Close()
+	db.MustCreateStream("readings", "ts TIME, sensor INT, temp FLOAT, volt FLOAT", "ts")
+
+	// The proxy wraps a simulated sensor network (4 sensors) idling at 1
+	// sample per tick.
+	proxy := ingress.NewSensorProxy(workload.NewSensorGenerator(7, 4, 1), 1)
+	fmt.Printf("sensor network idle sample rate: %d/tick\n", proxy.Rate())
+
+	// A coarse monitoring query is content with the idle rate; a new
+	// high-resolution query demands more, and the proxy pushes a control
+	// message into the network (the adaptivity control loop).
+	coarse, err := db.Register(`
+		SELECT sensor, AVG(temp)
+		FROM readings
+		GROUP BY sensor
+		for (t = 10; t <= 30; t += 10) { WindowIs(readings, t - 9, t); }`)
+	if err != nil {
+		panic(err)
+	}
+	proxy.Demand(coarse.ID(), 1)
+
+	fine, err := db.Register(`SELECT temp FROM readings WHERE sensor = 2 AND temp > 20`)
+	if err != nil {
+		panic(err)
+	}
+	proxy.Demand(fine.ID(), 8)
+	fmt.Printf("after high-res query registers: %d/tick (control message sent)\n", proxy.Rate())
+
+	// Pump 30 ticks of readings from the proxy into the engine.
+	fed := 0
+	for tick := 0; tick < 30; tick++ {
+		for {
+			r, err := proxy.Next()
+			if err == io.EOF {
+				break
+			}
+			db.Feed("readings", r.Vals[0].AsInt(), r.Vals[1].AsInt(),
+				r.Vals[2].AsFloat(), r.Vals[3].AsFloat())
+			fed++
+			if r.Vals[0].AsInt() >= int64(tick+1) {
+				break
+			}
+		}
+	}
+	coarse.Wait()
+
+	rows, _ := coarse.Cursor().Fetch()
+	fmt.Printf("fed %d readings; per-sensor window averages (%d rows):\n", fed, len(rows))
+	for _, r := range rows[:min(6, len(rows))] {
+		fmt.Printf("  window@%d sensor=%d avg=%.2f\n", r.T, r.Int(0), r.Float(1))
+	}
+	fmt.Printf("high-res matches: %d\n", fine.Results())
+
+	// The fine query leaves; the proxy tunes the network back down.
+	fine.Deregister()
+	proxy.Release(fine.ID())
+	fmt.Printf("after high-res query leaves: %d/tick\n", proxy.Rate())
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,87 @@
+// Stocks: the paper's §4.1 windowed queries, run verbatim over a
+// deterministic ClosingStockPrices stream. Demonstrates snapshot,
+// landmark, sliding, and self-join windows expressed with the for-loop /
+// WindowIs construct, and the output-as-a-sequence-of-sets semantics
+// (each result row is tagged with its window instance).
+package main
+
+import (
+	"fmt"
+
+	"telegraphcq"
+)
+
+func main() {
+	db := telegraphcq.Open(telegraphcq.Config{})
+	defer db.Close()
+	db.MustCreateStream("ClosingStockPrices",
+		"timestamp TIME, stockSymbol STRING, closingPrice FLOAT", "timestamp")
+
+	// Example 2 (landmark): "all days after the 10th trading day on
+	// which MSFT closed above 25; stand for 10 days."
+	landmark, err := db.Register(`
+		SELECT closingPrice, timestamp
+		FROM ClosingStockPrices
+		WHERE stockSymbol = 'MSFT' AND closingPrice > 25.00
+		for (t = 11; t <= 20; t++) { WindowIs(ClosingStockPrices, 11, t); }`)
+	if err != nil {
+		panic(err)
+	}
+
+	// Example 3 (sliding): 5-day moving average of MSFT.
+	sliding, err := db.Register(`
+		SELECT AVG(closingPrice)
+		FROM ClosingStockPrices
+		WHERE stockSymbol = 'MSFT'
+		for (t = 5; t <= 20; t++) { WindowIs(ClosingStockPrices, t - 4, t); }`)
+	if err != nil {
+		panic(err)
+	}
+
+	// Example 4 (self-join): which stocks beat MSFT on the same day,
+	// over a 3-day window?
+	beat, err := db.Register(`
+		SELECT c2.stockSymbol, c2.timestamp
+		FROM ClosingStockPrices AS c1, ClosingStockPrices AS c2
+		WHERE c1.stockSymbol = 'MSFT' AND c2.stockSymbol <> 'MSFT'
+		AND c2.closingPrice > c1.closingPrice AND c2.timestamp = c1.timestamp
+		for (t = 3; t <= 6; t++) { WindowIs(c1, t - 2, t); WindowIs(c2, t - 2, t); }`)
+	if err != nil {
+		panic(err)
+	}
+
+	// Deterministic trading days: MSFT walks 20 + day, IBM flat at 30,
+	// ORCL walks 22 + day/2.
+	for day := 1; day <= 22; day++ {
+		db.Feed("ClosingStockPrices", day, "MSFT", 20+float64(day))
+		db.Feed("ClosingStockPrices", day, "IBM", 30.0)
+		db.Feed("ClosingStockPrices", day, "ORCL", 22+float64(day)/2)
+	}
+
+	landmark.Wait()
+	sliding.Wait()
+	beat.Wait()
+
+	rows, _ := landmark.Cursor().Fetch()
+	fmt.Printf("landmark query produced %d rows; last: price=%.1f day=%d\n",
+		len(rows), rows[len(rows)-1].Float(0), rows[len(rows)-1].Int(1))
+
+	rows, _ = sliding.Cursor().Fetch()
+	fmt.Println("5-day moving average of MSFT:")
+	for _, r := range rows {
+		fmt.Printf("  day %2d: %.2f\n", r.T, r.Float(0))
+	}
+
+	rows, _ = beat.Cursor().Fetch()
+	fmt.Printf("stocks beating MSFT (3-day windows): %d rows\n", len(rows))
+	for _, r := range rows[:min(4, len(rows))] {
+		fmt.Printf("  window@%d: %s on day %d\n", r.T, r.String_(0), r.Int(1))
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

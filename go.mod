@@ -1,0 +1,3 @@
+module telegraphcq
+
+go 1.22

@@ -1,0 +1,106 @@
+package baseline
+
+import (
+	"testing"
+
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/tuple"
+)
+
+func joinLayout() *tuple.Layout {
+	return tuple.NewLayout(
+		tuple.NewSchema("S",
+			tuple.Column{Name: "k", Kind: tuple.KindInt},
+			tuple.Column{Name: "v", Kind: tuple.KindInt}),
+		tuple.NewSchema("T",
+			tuple.Column{Name: "k", Kind: tuple.KindInt},
+			tuple.Column{Name: "w", Kind: tuple.KindInt}),
+	)
+}
+
+func TestFilterChainShortCircuits(t *testing.T) {
+	f := &FilterChain{Preds: []expr.Predicate{
+		{Col: 0, Op: expr.Gt, Val: tuple.Int(5)},
+		{Col: 1, Op: expr.Lt, Val: tuple.Int(10)},
+	}}
+	if f.Accept(tuple.New(tuple.Int(3), tuple.Int(1))) {
+		t.Error("failing tuple accepted")
+	}
+	if f.Evals != 1 {
+		t.Errorf("evals = %d, want 1 (short circuit)", f.Evals)
+	}
+	if !f.Accept(tuple.New(tuple.Int(7), tuple.Int(1))) {
+		t.Error("passing tuple rejected")
+	}
+	if f.Evals != 3 {
+		t.Errorf("evals = %d, want 3", f.Evals)
+	}
+}
+
+func TestHashJoinCorrectness(t *testing.T) {
+	l := joinLayout()
+	j := NewHashJoin(l, 0, 2, nil, nil)
+	var out int
+	for i := int64(0); i < 6; i++ {
+		out += len(j.Ingest(0, l.Widen(0, tuple.New(tuple.Int(i%2), tuple.Int(i)))))
+	}
+	for i := int64(0); i < 4; i++ {
+		out += len(j.Ingest(1, l.Widen(1, tuple.New(tuple.Int(i%2), tuple.Int(i)))))
+	}
+	// 3 S per key x 2 T per key x 2 keys = 12.
+	if out != 12 {
+		t.Errorf("matches = %d, want 12", out)
+	}
+	if j.Work() == 0 {
+		t.Error("work counter not advancing")
+	}
+}
+
+func TestHashJoinFilters(t *testing.T) {
+	l := joinLayout()
+	j := NewHashJoin(l, 0, 2,
+		[]expr.Predicate{{Col: 1, Op: expr.Ge, Val: tuple.Int(3)}}, nil)
+	out := 0
+	for i := int64(0); i < 6; i++ {
+		out += len(j.Ingest(0, l.Widen(0, tuple.New(tuple.Int(0), tuple.Int(i)))))
+	}
+	out += len(j.Ingest(1, l.Widen(1, tuple.New(tuple.Int(0), tuple.Int(0)))))
+	// S tuples with v in 3..5 survive the filter: 3 matches.
+	if out != 3 {
+		t.Errorf("matches = %d, want 3", out)
+	}
+}
+
+func TestPerQueryBitset(t *testing.T) {
+	qs := []expr.Conjunction{
+		{{Col: 0, Op: expr.Gt, Val: tuple.Int(5)}},
+		{{Col: 0, Op: expr.Le, Val: tuple.Int(5)}},
+		{{Col: 0, Op: expr.Eq, Val: tuple.Int(7)}},
+	}
+	p := NewPerQuery(qs)
+	got := p.Process(tuple.New(tuple.Int(7)))
+	if !got.Test(0) || got.Test(1) || !got.Test(2) {
+		t.Errorf("bitset = %v", got)
+	}
+	if p.Evals == 0 {
+		t.Error("evals not counted")
+	}
+}
+
+func TestPerQueryJoin(t *testing.T) {
+	l := joinLayout()
+	pj := NewPerQueryJoin(l, 0, 2, [][]expr.Predicate{
+		nil,
+		{{Col: 1, Op: expr.Ge, Val: tuple.Int(100)}}, // matches nothing
+	})
+	n := 0
+	n += pj.Ingest(0, l.Widen(0, tuple.New(tuple.Int(1), tuple.Int(1))))
+	n += pj.Ingest(1, l.Widen(1, tuple.New(tuple.Int(1), tuple.Int(9))))
+	// Query 0 joins (1 match); query 1's filter kills its S side.
+	if n != 1 {
+		t.Errorf("total outputs = %d, want 1", n)
+	}
+	if pj.Work() == 0 {
+		t.Error("work = 0")
+	}
+}

@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsRegistered(t *testing.T) {
+	all := All()
+	if len(all) != 12 {
+		t.Fatalf("experiments = %d, want 12", len(all))
+	}
+	seen := map[string]bool{}
+	for i, e := range all {
+		if e.ID == "" || e.Name == "" || e.Run == nil {
+			t.Errorf("experiment %d incomplete: %+v", i, e)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}
+
+// TestE11Runs executes the fastest experiment end-to-end as a smoke test
+// of the harness plumbing (Table rendering included).
+func TestE11Runs(t *testing.T) {
+	tb, err := E11FootprintClasses()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Errorf("rows = %d", len(tb.Rows))
+	}
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "E11") || !strings.Contains(out, "paper claim") {
+		t.Errorf("render = %q", out)
+	}
+	// quotes and trades must share an EO after the merge row.
+	var eoQuotes, eoTrades string
+	for _, row := range tb.Rows {
+		switch row[0] {
+		case "[quotes]":
+			eoQuotes = row[2]
+		case "[trades]":
+			eoTrades = row[2]
+		}
+	}
+	// They start apart; the merged class reports through ClassFor — the
+	// table records initial assignments, so just check non-empty.
+	if eoQuotes == "" || eoTrades == "" {
+		t.Error("missing EO assignments")
+	}
+}
+
+func TestTableRenderAlignment(t *testing.T) {
+	tb := &Table{
+		ID:     "EX",
+		Title:  "t",
+		Claim:  "c",
+		Header: []string{"a", "long-header"},
+		Rows:   [][]string{{"xxxxxxxx", "y"}},
+		Notes:  "n",
+	}
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	lines := strings.Split(buf.String(), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("render too short: %q", buf.String())
+	}
+	// Header and row should be padded to equal widths per column.
+	if !strings.Contains(buf.String(), "note: n") {
+		t.Error("notes missing")
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if f2(1.234) != "1.23" || f1(1.26) != "1.3" || f0(2.6) != "3" {
+		t.Error("float formatting")
+	}
+	if i64(42) != "42" || itoa(7) != "7" {
+		t.Error("int formatting")
+	}
+	if ratio(3, 2) != "1.50x" || ratio(1, 0) != "inf" {
+		t.Error("ratio formatting")
+	}
+}

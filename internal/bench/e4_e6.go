@@ -1,0 +1,223 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"telegraphcq/internal/baseline"
+	"telegraphcq/internal/cacq"
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/flux"
+	"telegraphcq/internal/psoup"
+	"telegraphcq/internal/tuple"
+	"telegraphcq/internal/window"
+	"telegraphcq/internal/workload"
+)
+
+// E4PSoup measures the PSoup claims (§3.2, Fig. 3): invocation cost of
+// materialized fetch vs recompute-on-demand, registration of new queries
+// over old data, and steady-state insert cost as standing queries grow.
+func E4PSoup() (*Table, error) {
+	const history = 20000
+	tb := &Table{
+		ID:     "E4",
+		Title:  "PSoup: 20k-tuple history, windowed standing queries",
+		Claim:  "materializing results makes invocation cheap (impose the window, no recompute) and supports disconnection; new queries apply to old data (§3.2)",
+		Header: []string{"standing queries", "insert µs/tuple", "fetch µs", "recompute µs", "fetch speedup", "register-over-history µs"},
+	}
+	for _, nq := range []int{10, 100, 1000} {
+		p := psoup.New(workload.StockSchema(), window.Physical)
+		rng := rand.New(rand.NewSource(5))
+		var qids []int
+		for q := 0; q < nq; q++ {
+			lo := rng.Float64() * 80
+			sq, err := p.Register(expr.Conjunction{
+				{Col: 2, Op: expr.Ge, Val: tuple.Float(lo)},
+				{Col: 2, Op: expr.Le, Val: tuple.Float(lo + 10)},
+			}, int64(100+rng.Intn(900)))
+			if err != nil {
+				return nil, err
+			}
+			qids = append(qids, sq.ID)
+		}
+		start := time.Now()
+		for ts := int64(1); ts <= history; ts++ {
+			t := tuple.New(tuple.Time(ts), tuple.String_("X"), tuple.Float(rng.Float64()*100))
+			t.TS = ts
+			t.Seq = ts
+			p.Insert(t)
+		}
+		insertPer := time.Since(start).Seconds() * 1e6 / history
+
+		// Invocation cost, averaged over the standing queries.
+		start = time.Now()
+		for _, id := range qids {
+			if _, err := p.Fetch(id, history); err != nil {
+				return nil, err
+			}
+		}
+		fetch := time.Since(start).Seconds() * 1e6 / float64(nq)
+		start = time.Now()
+		for _, id := range qids {
+			if _, err := p.FetchAndCompute(id, history); err != nil {
+				return nil, err
+			}
+		}
+		recompute := time.Since(start).Seconds() * 1e6 / float64(nq)
+
+		// New query over old data.
+		start = time.Now()
+		if _, err := p.Register(expr.Conjunction{
+			{Col: 2, Op: expr.Gt, Val: tuple.Float(50)},
+		}, 500); err != nil {
+			return nil, err
+		}
+		reg := time.Since(start).Seconds() * 1e6
+
+		tb.Rows = append(tb.Rows, []string{
+			itoa(nq), f2(insertPer), f1(fetch), f1(recompute),
+			fmt.Sprintf("%.1fx", recompute/fetch), f1(reg),
+		})
+	}
+	return tb, nil
+}
+
+// E5SharedVsPerQuery reproduces the CACQ claim (§3.1): shared execution
+// with grouped filters and lineage "matches or significantly exceeds"
+// per-query processing, with the gap growing in the number of standing
+// queries.
+func E5SharedVsPerQuery() (*Table, error) {
+	const tuples = 20000
+	layout := tuple.NewLayout(tuple.NewSchema("s",
+		tuple.Column{Name: "sym", Kind: tuple.KindInt},
+		tuple.Column{Name: "price", Kind: tuple.KindInt}))
+
+	tb := &Table{
+		ID:     "E5",
+		Title:  "N range-filter CQs over one stream, 20k tuples",
+		Claim:  "shared (CACQ) processing cost grows sublinearly in query count; per-query processing grows linearly (§3.1)",
+		Header: []string{"queries", "shared ms", "per-query ms", "speedup", "shared evals", "per-query evals"},
+	}
+	for _, nq := range []int{1, 10, 100, 1000} {
+		rng := rand.New(rand.NewSource(11))
+		var conjs []expr.Conjunction
+		eng := cacq.New(layout, nil, nil)
+		for q := 0; q < nq; q++ {
+			lo := int64(rng.Intn(90))
+			conj := expr.Conjunction{
+				{Col: 1, Op: expr.Ge, Val: tuple.Int(lo)},
+				{Col: 1, Op: expr.Le, Val: tuple.Int(lo + 10)},
+			}
+			conjs = append(conjs, conj)
+			if _, err := eng.AddQuery(1, []expr.Predicate(conj), nil, nil); err != nil {
+				return nil, err
+			}
+		}
+		ref := baseline.NewPerQuery(conjs)
+
+		input := make([]*tuple.Tuple, tuples)
+		for i := range input {
+			input[i] = tuple.New(tuple.Int(int64(rng.Intn(4))), tuple.Int(int64(rng.Intn(100))))
+		}
+
+		start := time.Now()
+		for _, t := range input {
+			eng.Ingest(0, t)
+		}
+		shared := time.Since(start)
+
+		start = time.Now()
+		for _, t := range input {
+			ref.Process(t)
+		}
+		perQuery := time.Since(start)
+
+		tb.Rows = append(tb.Rows, []string{
+			itoa(nq),
+			f2(shared.Seconds() * 1e3),
+			f2(perQuery.Seconds() * 1e3),
+			fmt.Sprintf("%.1fx", perQuery.Seconds()/shared.Seconds()),
+			i64(eng.Stats().Visits),
+			i64(ref.Evals),
+		})
+	}
+	return tb, nil
+}
+
+// E6Flux measures Flux (§2.4): load imbalance under Zipf skew with and
+// without online repartitioning, and failover with process-pair
+// replication.
+func E6Flux() (*Table, error) {
+	const tuples = 60000
+	run := func(theta float64, rebalance bool) (spreadBefore, spreadAfter int64, moves int) {
+		f := flux.New(flux.Config{Nodes: 4, Buckets: 64, KeyCol: 0}, flux.NewGroupCount(0, 1))
+		defer f.Close()
+		gen := workload.NewPacketGenerator(3, 2000, theta)
+		feed := func(n int) {
+			for i := 0; i < n; i++ {
+				p := gen.Next()
+				f.Route(tuple.New(p.Vals[1], tuple.Int(1)))
+			}
+		}
+		feed(tuples / 2)
+		f.WaitIdle(10 * time.Second)
+		spreadBefore = spread(f.Loads())
+		if rebalance {
+			moves = f.Rebalance(1.25)
+		}
+		feed(tuples / 2)
+		f.WaitIdle(10 * time.Second)
+		spreadAfter = spread(f.Loads())
+		return spreadBefore, spreadAfter, moves
+	}
+
+	tb := &Table{
+		ID:     "E6",
+		Title:  "4-node partitioned aggregate, Zipf-skewed keys, 60k tuples",
+		Claim:  "online repartitioning rebalances skewed load mid-stream; process pairs fail over without losing state (§2.4)",
+		Header: []string{"zipf θ", "rebalance", "load spread before", "after", "buckets moved"},
+	}
+	for _, theta := range []float64{0, 1.0} {
+		for _, reb := range []bool{false, true} {
+			b, a, m := run(theta, reb)
+			tb.Rows = append(tb.Rows, []string{
+				f1(theta), fmt.Sprint(reb), i64(b), i64(a), itoa(m),
+			})
+		}
+	}
+
+	// Failover leg.
+	f := flux.New(flux.Config{Nodes: 3, Buckets: 24, KeyCol: 0, Replicate: true},
+		flux.NewGroupCount(0, 1))
+	defer f.Close()
+	for k := int64(0); k < 50; k++ {
+		for i := 0; i < 20; i++ {
+			f.Route(tuple.New(tuple.Int(k), tuple.Int(1)))
+		}
+	}
+	f.WaitIdle(10 * time.Second)
+	f.Fail(0)
+	for k := int64(0); k < 50; k++ {
+		f.Route(tuple.New(tuple.Int(k), tuple.Int(1)))
+	}
+	ok := f.WaitIdle(10 * time.Second)
+	st := f.Stats()
+	tb.Notes = fmt.Sprintf(
+		"failover: node killed mid-run; %d buckets failed over, %d lost, cluster quiesced=%v (replication knob on)",
+		st.Failovers, st.LostBuckets, ok)
+	return tb, nil
+}
+
+func spread(loads []int64) int64 {
+	mn, mx := loads[0], loads[0]
+	for _, l := range loads {
+		if l < mn {
+			mn = l
+		}
+		if l > mx {
+			mx = l
+		}
+	}
+	return mx - mn
+}

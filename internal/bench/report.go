@@ -1,0 +1,103 @@
+// Package bench implements the experiment harness: one runnable experiment
+// per table/figure/claim in DESIGN.md §4 (E1–E12). Each experiment returns
+// a Table pairing the paper's qualitative claim with measured numbers so
+// EXPERIMENTS.md can record paper-vs-measured. The cmd/tcqbench binary
+// runs them; root-level testing.B benchmarks reuse the same workloads.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's result.
+type Table struct {
+	ID     string
+	Title  string
+	Claim  string // the paper's qualitative claim being reproduced
+	Header []string
+	Rows   [][]string
+	Notes  string
+}
+
+// Render writes the table in aligned plain text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "=== %s: %s\n", t.ID, t.Title)
+	fmt.Fprintf(w, "paper claim: %s\n", t.Claim)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(w, "  note: %s\n", t.Notes)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Experiment is a runnable harness entry.
+type Experiment struct {
+	ID   string
+	Name string
+	Run  func() (*Table, error)
+}
+
+// All returns every experiment in id order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "Fjord pipeline modalities", E1FjordPipeline},
+		{"E2", "Eddy vs static plans under drift", E2EddyVsStatic},
+		{"E3", "Hybrid join with shared SteMs", E3HybridJoin},
+		{"E4", "PSoup materialized results", E4PSoup},
+		{"E5", "CACQ shared vs per-query execution", E5SharedVsPerQuery},
+		{"E6", "Flux load balancing and failover", E6Flux},
+		{"E7", "Paper §4.1 window examples", E7WindowExamples},
+		{"E8", "Adapting adaptivity: batching knob", E8Batching},
+		{"E9", "Grouped filter scaling", E9GroupedFilter},
+		{"E10", "End-to-end server throughput", E10Server},
+		{"E11", "Footprint classes on the executor", E11FootprintClasses},
+		{"E12", "Stream storage manager", E12Storage},
+	}
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }
+func i64(v int64) string  { return fmt.Sprintf("%d", v) }
+func itoa(v int) string   { return fmt.Sprintf("%d", v) }
+func ratio(a, b int64) string {
+	if b == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.2fx", float64(a)/float64(b))
+}

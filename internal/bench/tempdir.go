@@ -1,0 +1,7 @@
+package bench
+
+import "os"
+
+func mkdirTemp() (string, error) {
+	return os.MkdirTemp("", "tcq-bench-*")
+}

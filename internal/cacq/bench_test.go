@@ -1,0 +1,56 @@
+package cacq
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/tuple"
+)
+
+// Ablation (DESIGN.md §5): shared ingest cost as standing-query count
+// grows — the per-tuple cost should grow with bitmap words, not query
+// count.
+func BenchmarkSharedIngest(b *testing.B) {
+	for _, nq := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("queries%d", nq), func(b *testing.B) {
+			l := stockLayout()
+			rng := rand.New(rand.NewSource(1))
+			e := New(l, nil, nil)
+			for q := 0; q < nq; q++ {
+				lo := int64(rng.Intn(90))
+				e.AddQuery(1, []expr.Predicate{
+					{Col: 1, Op: expr.Ge, Val: tuple.Int(lo)},
+					{Col: 1, Op: expr.Le, Val: tuple.Int(lo + 10)},
+				}, nil, nil)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Ingest(0, mk(int64(i%4), int64(i%100)))
+			}
+		})
+	}
+}
+
+// BenchmarkAddRemoveQuery measures dynamic query churn (queries entering
+// and leaving a running shared engine, §1.1's robustness requirement).
+func BenchmarkAddRemoveQuery(b *testing.B) {
+	l := stockLayout()
+	e := New(l, nil, nil)
+	// A resident population the churn happens against.
+	for q := 0; q < 100; q++ {
+		e.AddQuery(1, []expr.Predicate{
+			{Col: 1, Op: expr.Ge, Val: tuple.Int(int64(q))},
+		}, nil, nil)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q, _ := e.AddQuery(1, []expr.Predicate{
+			{Col: 1, Op: expr.Lt, Val: tuple.Int(50)},
+		}, nil, nil)
+		// The filter index rebuild is lazy; charge it to the bench.
+		e.Ingest(0, mk(0, 10))
+		e.RemoveQuery(q.ID)
+	}
+}

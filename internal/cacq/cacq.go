@@ -1,0 +1,230 @@
+// Package cacq implements Continuously Adaptive Continuous Queries
+// ([MSHR02], §3.1): a single eddy executing the disjunctive "super-query"
+// of many standing queries at once. Each tuple carries a lineage bitmap
+// (one bit per query); grouped filters clear the bits of queries whose
+// selection factors fail, shared SteMs compute joins once for every query
+// that needs them, and results are delivered per query when a tuple
+// completes with that query's bit still alive and the query's footprint
+// matched.
+//
+// Scope: all join queries sharing one engine use the shared JoinSpec set
+// (the common-equijoin sharing CACQ evaluates); queries differ in their
+// selections, projections, and footprints, and may be added and removed
+// while the engine runs.
+package cacq
+
+import (
+	"fmt"
+
+	"telegraphcq/internal/eddy"
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/gfilter"
+	"telegraphcq/internal/ops"
+	"telegraphcq/internal/stem"
+	"telegraphcq/internal/tuple"
+	"telegraphcq/internal/window"
+)
+
+// JoinSpec declares one shared equijoin edge between two base streams.
+type JoinSpec struct {
+	StreamA, StreamB int
+	ColA, ColB       int // wide-row join columns
+	TimeKind         window.TimeKind
+}
+
+// Query is one standing continuous query.
+type Query struct {
+	ID         int
+	Footprint  tuple.SourceSet // streams whose join the query wants
+	Selections []expr.Predicate
+	Project    []int // wide-row columns to deliver (nil = all)
+	Output     func(*tuple.Tuple)
+	delivered  int64
+}
+
+// Delivered returns the number of results delivered to the query.
+func (q *Query) Delivered() int64 { return q.delivered }
+
+// Engine is the shared CQ processor.
+type Engine struct {
+	layout  *tuple.Layout
+	ed      *eddy.Eddy
+	filters []*gfilter.GroupedFilter // one per wide column, lazily populated
+	stems   []*ops.SteMModule
+	queries map[int]*Query
+	// byFootprint lists live queries per exact footprint for delivery.
+	byFootprint map[tuple.SourceSet][]*Query
+	// interested[s] caches the lineage template for tuples of stream s.
+	interested []tuple.Bitset
+	nextID     int
+	maxID      int
+	watermarks []int64
+}
+
+// New creates a shared engine over layout with the given shared join edges.
+// policy nil selects a lottery policy.
+func New(layout *tuple.Layout, joins []JoinSpec, policy eddy.Policy) *Engine {
+	if policy == nil {
+		policy = eddy.NewLotteryPolicy(1)
+	}
+	e := &Engine{
+		layout:      layout,
+		queries:     make(map[int]*Query),
+		byFootprint: make(map[tuple.SourceSet][]*Query),
+		interested:  make([]tuple.Bitset, layout.Streams()),
+	}
+
+	var modules []eddy.Module
+	// One grouped filter per wide column, created up front so the module
+	// set is fixed; empty filters report AppliesTo = false and cost
+	// nothing until a query registers a factor.
+	e.filters = make([]*gfilter.GroupedFilter, layout.Width())
+	for col := 0; col < layout.Width(); col++ {
+		g := gfilter.New(col, layout.OwnerSet(col))
+		e.filters[col] = g
+		modules = append(modules, gfilter.NewModule(
+			fmt.Sprintf("GF(%s)", layout.Wide.Columns[col].Name), g))
+	}
+	for _, js := range joins {
+		stA := stem.New(layout.Schemas[js.StreamA].Relation, tuple.SingleSource(js.StreamA),
+			layout, stem.WithIndex(js.ColA), stem.WithWindowEviction(js.TimeKind))
+		stB := stem.New(layout.Schemas[js.StreamB].Relation, tuple.SingleSource(js.StreamB),
+			layout, stem.WithIndex(js.ColB), stem.WithWindowEviction(js.TimeKind))
+		modA := ops.NewSteMModule(stA, layout,
+			[]expr.JoinPredicate{{LeftCol: js.ColB, Op: expr.Eq, RightCol: js.ColA}})
+		modB := ops.NewSteMModule(stB, layout,
+			[]expr.JoinPredicate{{LeftCol: js.ColA, Op: expr.Eq, RightCol: js.ColB}})
+		e.stems = append(e.stems, modA, modB)
+		modules = append(modules, modA, modB)
+	}
+
+	// The eddy's own all-source output path is disabled (all = 0 matches
+	// no tuple); delivery happens in the completion hook per query.
+	e.ed = eddy.New(0, policy, nil, modules...)
+	e.ed.SetCompletionHook(e.deliver)
+	return e
+}
+
+// AddQuery registers a standing query and returns it. Footprint must be a
+// non-empty subset of the layout's streams; selections are wide-row bound.
+func (e *Engine) AddQuery(footprint tuple.SourceSet, selections []expr.Predicate,
+	project []int, out func(*tuple.Tuple)) (*Query, error) {
+	if footprint == 0 {
+		return nil, fmt.Errorf("cacq: empty query footprint")
+	}
+	q := &Query{
+		ID:         e.nextID,
+		Footprint:  footprint,
+		Selections: selections,
+		Project:    project,
+		Output:     out,
+	}
+	e.nextID++
+	if q.ID > e.maxID {
+		e.maxID = q.ID
+	}
+	for _, p := range selections {
+		if p.Col < 0 || p.Col >= len(e.filters) {
+			return nil, fmt.Errorf("cacq: selection column %d out of range", p.Col)
+		}
+		e.filters[p.Col].Add(q.ID, p)
+	}
+	e.queries[q.ID] = q
+	e.byFootprint[footprint] = append(e.byFootprint[footprint], q)
+	e.invalidate()
+	return q, nil
+}
+
+// RemoveQuery unregisters a standing query.
+func (e *Engine) RemoveQuery(id int) error {
+	q, ok := e.queries[id]
+	if !ok {
+		return fmt.Errorf("cacq: query %d not found", id)
+	}
+	for _, p := range q.Selections {
+		e.filters[p.Col].Remove(id)
+	}
+	delete(e.queries, id)
+	fps := e.byFootprint[q.Footprint]
+	for i, qq := range fps {
+		if qq.ID == id {
+			e.byFootprint[q.Footprint] = append(fps[:i], fps[i+1:]...)
+			break
+		}
+	}
+	e.invalidate()
+	return nil
+}
+
+func (e *Engine) invalidate() {
+	e.ed.InvalidateMasks()
+	for s := range e.interested {
+		e.interested[s] = nil
+	}
+}
+
+// lineageFor returns (a clone of) the lineage template for stream s: the
+// bits of every query whose footprint includes s.
+func (e *Engine) lineageFor(s int) tuple.Bitset {
+	if e.interested[s] == nil {
+		bs := tuple.NewBitset(e.maxID + 1)
+		src := tuple.SingleSource(s)
+		for _, q := range e.queries {
+			if q.Footprint.Contains(src) {
+				bs.Set(q.ID)
+			}
+		}
+		e.interested[s] = bs
+	}
+	return e.interested[s].Clone()
+}
+
+// Ingest feeds one base tuple of stream s through the shared super-query.
+func (e *Engine) Ingest(s int, base *tuple.Tuple) {
+	t := e.layout.Widen(s, base)
+	t.Queries = e.lineageFor(s)
+	if !t.Queries.Any() {
+		return // no standing query cares about this stream
+	}
+	e.ed.Ingest(t)
+}
+
+// deliver routes a completed tuple to every query whose footprint exactly
+// matches the tuple's span and whose lineage bit survived.
+func (e *Engine) deliver(t *tuple.Tuple) {
+	for _, q := range e.byFootprint[t.Source] {
+		if !t.Queries.Test(q.ID) || q.Output == nil {
+			q.delivered += boolToInt64(t.Queries.Test(q.ID))
+			continue
+		}
+		q.delivered++
+		out := t
+		if q.Project != nil {
+			out = ops.NewProject(q.Project...).Apply(t)
+		}
+		q.Output(out)
+	}
+}
+
+func boolToInt64(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// EvictWindows drops SteM state older than watermark across all shared
+// SteMs (the engine's window maintenance tick).
+func (e *Engine) EvictWindows(watermark int64) int {
+	n := 0
+	for _, sm := range e.stems {
+		n += sm.Evict(watermark)
+	}
+	return n
+}
+
+// Stats exposes the underlying eddy counters.
+func (e *Engine) Stats() eddy.Stats { return e.ed.Stats() }
+
+// QueryCount returns the number of standing queries.
+func (e *Engine) QueryCount() int { return len(e.queries) }

@@ -1,0 +1,44 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/tuple"
+)
+
+// BenchmarkParallelIngest measures partitioned shared-CQ throughput as the
+// simulated cluster grows (the §4.3 scale-out claim, ablated by node
+// count and replication).
+func BenchmarkParallelIngest(b *testing.B) {
+	for _, nodes := range []int{1, 2, 4} {
+		for _, repl := range []bool{false, true} {
+			name := fmt.Sprintf("nodes%d/replicate=%v", nodes, repl)
+			b.Run(name, func(b *testing.B) {
+				l := selLayout()
+				p, err := New(Config{
+					Nodes: nodes, Buckets: nodes * 16,
+					Layout: l, PartitionCol: 0, Replicate: repl,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer p.Close()
+				for q := 0; q < 50; q++ {
+					p.AddQuery(1, []expr.Predicate{
+						{Col: 1, Op: expr.Ge, Val: tuple.Int(int64(q))},
+						{Col: 1, Op: expr.Le, Val: tuple.Int(int64(q + 10))},
+					}, nil)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					p.Ingest(0, mk(int64(i%1000), int64(i%100)))
+				}
+				b.StopTimer()
+				p.WaitIdle(30 * time.Second)
+			})
+		}
+	}
+}

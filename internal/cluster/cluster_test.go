@@ -1,0 +1,236 @@
+package cluster
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"telegraphcq/internal/baseline"
+	"telegraphcq/internal/cacq"
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/tuple"
+	"telegraphcq/internal/window"
+)
+
+func selLayout() *tuple.Layout {
+	return tuple.NewLayout(tuple.NewSchema("s",
+		tuple.Column{Name: "key", Kind: tuple.KindInt},
+		tuple.Column{Name: "val", Kind: tuple.KindInt}))
+}
+
+func joinLayout() *tuple.Layout {
+	return tuple.NewLayout(
+		tuple.NewSchema("S",
+			tuple.Column{Name: "k", Kind: tuple.KindInt},
+			tuple.Column{Name: "v", Kind: tuple.KindInt}),
+		tuple.NewSchema("T",
+			tuple.Column{Name: "k", Kind: tuple.KindInt},
+			tuple.Column{Name: "w", Kind: tuple.KindInt}),
+	)
+}
+
+func mk(vals ...int64) *tuple.Tuple {
+	vs := make([]tuple.Value, len(vals))
+	for i, v := range vals {
+		vs[i] = tuple.Int(v)
+	}
+	return tuple.New(vs...)
+}
+
+// TestParallelSelectionsMatchSingleNode: the union of partitioned
+// execution equals per-query evaluation.
+func TestParallelSelectionsMatchSingleNode(t *testing.T) {
+	l := selLayout()
+	p, err := New(Config{Nodes: 4, Buckets: 32, Layout: l, PartitionCol: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	rng := rand.New(rand.NewSource(9))
+	var conjs []expr.Conjunction
+	const nq = 20
+	for q := 0; q < nq; q++ {
+		lo := int64(rng.Intn(80))
+		conj := expr.Conjunction{
+			{Col: 1, Op: expr.Ge, Val: tuple.Int(lo)},
+			{Col: 1, Op: expr.Le, Val: tuple.Int(lo + 20)},
+		}
+		conjs = append(conjs, conj)
+		if _, err := p.AddQuery(1, []expr.Predicate(conj), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref := baseline.NewPerQuery(conjs)
+	want := make([]int64, nq)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		tp := mk(int64(rng.Intn(1000)), int64(rng.Intn(100)))
+		ref.Process(tp).ForEach(func(q int) { want[q]++ })
+		if err := p.Ingest(0, tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !p.WaitIdle(10 * time.Second) {
+		t.Fatal("cluster did not drain")
+	}
+	for q := 0; q < nq; q++ {
+		if got := p.Delivered(q); got != want[q] {
+			t.Errorf("query %d: cluster %d, single-node %d", q, got, want[q])
+		}
+	}
+}
+
+// TestCoPartitionedJoin: a shared join runs partition-parallel when the
+// partition column is the join key.
+func TestCoPartitionedJoin(t *testing.T) {
+	l := joinLayout()
+	var mu sync.Mutex
+	results := 0
+	p, err := New(Config{
+		Nodes: 3, Buckets: 24, Layout: l, PartitionCol: 0,
+		Joins: []cacq.JoinSpec{{StreamA: 0, StreamB: 1, ColA: 0, ColB: 2,
+			TimeKind: window.Logical}},
+		Output: func(int, *tuple.Tuple) { mu.Lock(); results++; mu.Unlock() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := p.AddQuery(3, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	const keys, perSide = 10, 6
+	for i := 0; i < keys*perSide; i++ {
+		p.Ingest(0, mk(int64(i%keys), int64(i)))
+		p.Ingest(1, mk(int64(i%keys), int64(-i)))
+	}
+	if !p.WaitIdle(10 * time.Second) {
+		t.Fatal("did not drain")
+	}
+	want := keys * perSide * perSide
+	if got := p.Delivered(0); int(got) != want {
+		t.Errorf("join results = %d, want %d", got, want)
+	}
+	mu.Lock()
+	if results != want {
+		t.Errorf("output callback saw %d", results)
+	}
+	mu.Unlock()
+}
+
+func TestNonCoPartitionedJoinRejected(t *testing.T) {
+	l := joinLayout()
+	_, err := New(Config{
+		Nodes: 2, Layout: l, PartitionCol: 1, // v, not the join key
+		Joins: []cacq.JoinSpec{{StreamA: 0, StreamB: 1, ColA: 0, ColB: 2,
+			TimeKind: window.Logical}},
+	})
+	if err == nil {
+		t.Fatal("non-co-partitioned join accepted")
+	}
+}
+
+func TestDynamicQueryAdditionMidStream(t *testing.T) {
+	l := selLayout()
+	p, err := New(Config{Nodes: 2, Buckets: 8, Layout: l, PartitionCol: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	q1, _ := p.AddQuery(1, []expr.Predicate{{Col: 1, Op: expr.Gt, Val: tuple.Int(50)}}, nil)
+	for i := 0; i < 100; i++ {
+		p.Ingest(0, mk(int64(i), int64(i%100)))
+	}
+	p.WaitIdle(10 * time.Second)
+	q2, _ := p.AddQuery(1, []expr.Predicate{{Col: 1, Op: expr.Le, Val: tuple.Int(50)}}, nil)
+	for i := 0; i < 100; i++ {
+		p.Ingest(0, mk(int64(i), int64(i%100)))
+	}
+	p.WaitIdle(10 * time.Second)
+	if got := p.Delivered(q1); got != 49*2 {
+		t.Errorf("q1 = %d, want 98", got)
+	}
+	// q2 only saw the second batch.
+	if got := p.Delivered(q2); got != 51 {
+		t.Errorf("q2 = %d, want 51", got)
+	}
+}
+
+func TestRebalanceSelectionWorkload(t *testing.T) {
+	l := selLayout()
+	p, err := New(Config{Nodes: 3, Buckets: 24, Layout: l, PartitionCol: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	q, _ := p.AddQuery(1, nil, nil)
+	// Skewed keys: most tuples share key 0 but different buckets exist.
+	for i := 0; i < 3000; i++ {
+		p.Ingest(0, mk(int64(i%5), 1))
+	}
+	p.WaitIdle(10 * time.Second)
+	p.Rebalance(1.2) // stateless consumers: migration is trivially safe
+	for i := 0; i < 3000; i++ {
+		p.Ingest(0, mk(int64(i%5), 1))
+	}
+	p.WaitIdle(10 * time.Second)
+	if got := p.Delivered(q); got != 6000 {
+		t.Errorf("delivered = %d, want 6000 (rebalance lost/duplicated tuples)", got)
+	}
+}
+
+// TestFailoverExactlyOnce: with replication, killing a node neither loses
+// nor duplicates results for stateless queries.
+func TestFailoverExactlyOnce(t *testing.T) {
+	l := selLayout()
+	p, err := New(Config{Nodes: 3, Buckets: 24, Layout: l, PartitionCol: 0, Replicate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	q, _ := p.AddQuery(1, nil, nil)
+	for i := 0; i < 1000; i++ {
+		p.Ingest(0, mk(int64(i), 1))
+	}
+	if !p.WaitIdle(10 * time.Second) {
+		t.Fatal("did not drain")
+	}
+	before := p.Delivered(q)
+	if before != 1000 {
+		t.Fatalf("pre-failure delivered = %d (replicas double-counted?)", before)
+	}
+	p.Fail(0)
+	for i := 0; i < 1000; i++ {
+		p.Ingest(0, mk(int64(i), 1))
+	}
+	if !p.WaitIdle(10 * time.Second) {
+		t.Fatal("did not drain after failover")
+	}
+	got := p.Delivered(q) - before
+	// The failed node's in-flight window was empty (we quiesced), so the
+	// second kilotuple must be delivered exactly once.
+	if got != 1000 {
+		t.Errorf("post-failover delivered = %d, want 1000", got)
+	}
+	if p.Flux().Stats().Failovers == 0 {
+		t.Error("no failovers recorded")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Nodes: 1, PartitionCol: 0}); err == nil {
+		t.Error("nil layout accepted")
+	}
+	if _, err := New(Config{Nodes: 1, Layout: selLayout(), PartitionCol: 9}); err == nil {
+		t.Error("out-of-range partition column accepted")
+	}
+	l := selLayout()
+	p, _ := New(Config{Nodes: 1, Layout: l, PartitionCol: 0})
+	defer p.Close()
+	// Stream 0 exists; partition col must be carried by the stream fed.
+	if err := p.Ingest(5, mk(1, 2)); err == nil {
+		t.Error("bad stream index accepted")
+	}
+}

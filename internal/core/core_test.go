@@ -1,0 +1,1068 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"telegraphcq/internal/ingress"
+	"telegraphcq/internal/tuple"
+	"telegraphcq/internal/workload"
+)
+
+// feedStocks feeds deterministic ClosingStockPrices rows: for each day,
+// MSFT at price day (so the price equals the timestamp) and IBM at price
+// day+100.
+func feedStocks(t *testing.T, e *Engine, fromDay, toDay int64) {
+	t.Helper()
+	for d := fromDay; d <= toDay; d++ {
+		if err := e.Feed("ClosingStockPrices", tuple.New(
+			tuple.Time(d), tuple.String_("MSFT"), tuple.Float(float64(d)))); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Feed("ClosingStockPrices", tuple.New(
+			tuple.Time(d), tuple.String_("IBM"), tuple.Float(float64(d+100)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func newStockEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := NewEngine(Options{EOs: 2})
+	if err := e.CreateStream("ClosingStockPrices", workload.StockSchema(), 0); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestE7PaperWindowExamples reproduces the four §4.1 example queries over
+// a deterministic stock stream (experiment E7).
+func TestE7PaperWindowExamples(t *testing.T) {
+	t.Run("Example1Snapshot", func(t *testing.T) {
+		e := newStockEngine(t)
+		defer e.Stop()
+		feedStocks(t, e, 1, 10)
+		q, err := e.Register(`SELECT closingPrice, timestamp
+			FROM ClosingStockPrices WHERE stockSymbol = 'MSFT'
+			for (; t == 0; t = -1) { WindowIs(ClosingStockPrices, 1, 5); }`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q.Wait()
+		cur := q.Cursor()
+		res, err := q.Fetch(cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 5 {
+			t.Fatalf("snapshot results = %d, want 5 (first five MSFT days)", len(res))
+		}
+		for i, r := range res {
+			if r.Vals[0].AsFloat() != float64(i+1) {
+				t.Errorf("row %d price = %v", i, r.Vals[0])
+			}
+		}
+	})
+
+	t.Run("Example2Landmark", func(t *testing.T) {
+		e := newStockEngine(t)
+		defer e.Stop()
+		// Landmark at day 101; stand for 20 days (scaled down from the
+		// paper's 1000). MSFT price = day, so price > 105 holds from
+		// day 106 on.
+		q, err := e.Register(`SELECT closingPrice, timestamp
+			FROM ClosingStockPrices
+			WHERE stockSymbol = 'MSFT' AND closingPrice > 105.00
+			for (t = 101; t <= 120; t++) { WindowIs(ClosingStockPrices, 101, t); }`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feedStocks(t, e, 1, 125)
+		q.Wait()
+		cur := q.Cursor()
+		res, _ := q.Fetch(cur)
+		// Instance t returns MSFT days in [101, t] with day > 105:
+		// max(0, t-105) rows; summed over t = 101..120: sum_{t=106..120}
+		// (t-105) = 1+2+...+15 = 120.
+		if len(res) != 120 {
+			t.Fatalf("landmark results = %d, want 120", len(res))
+		}
+		if !q.Done() {
+			t.Error("finite landmark query not done")
+		}
+	})
+
+	t.Run("Example3SlidingAvg", func(t *testing.T) {
+		e := newStockEngine(t)
+		defer e.Stop()
+		q, err := e.Register(`SELECT AVG(closingPrice)
+			FROM ClosingStockPrices WHERE stockSymbol = 'MSFT'
+			for (t = 50; t < 70; t++) { WindowIs(ClosingStockPrices, t - 4, t); }`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feedStocks(t, e, 1, 80)
+		q.Wait()
+		cur := q.Cursor()
+		res, _ := q.Fetch(cur)
+		if len(res) != 20 {
+			t.Fatalf("sliding results = %d, want 20", len(res))
+		}
+		// Window [t-4, t] of prices t-4..t averages to t-2; result TS
+		// carries the instance's loop value.
+		for _, r := range res {
+			wantAvg := float64(r.TS - 2)
+			if got := r.Vals[0].AsFloat(); got != wantAvg {
+				t.Errorf("instance %d avg = %v, want %v", r.TS, got, wantAvg)
+			}
+		}
+	})
+
+	t.Run("Example4SelfJoin", func(t *testing.T) {
+		e := newStockEngine(t)
+		defer e.Stop()
+		// "Which stocks beat MSFT on the same day?" IBM always does
+		// (price day+100 vs day).
+		q, err := e.Register(`SELECT c2.stockSymbol
+			FROM ClosingStockPrices AS c1, ClosingStockPrices AS c2
+			WHERE c1.stockSymbol = 'MSFT' AND c2.stockSymbol <> 'MSFT'
+			AND c2.closingPrice > c1.closingPrice AND c2.timestamp = c1.timestamp
+			for (t = 5; t < 8; t++) { WindowIs(c1, t - 1, t); WindowIs(c2, t - 1, t); }`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feedStocks(t, e, 1, 12)
+		q.Wait()
+		cur := q.Cursor()
+		res, _ := q.Fetch(cur)
+		// Each instance's windows hold 2 days x {MSFT, IBM}; matches are
+		// (MSFT d, IBM d) per day in window: 2 per instance, 3 instances.
+		if len(res) != 6 {
+			t.Fatalf("self-join results = %d, want 6", len(res))
+		}
+		for _, r := range res {
+			if r.Vals[0].AsString() != "IBM" {
+				t.Errorf("winner = %v", r.Vals[0])
+			}
+		}
+	})
+}
+
+func TestUnwindowedSelectionCQ(t *testing.T) {
+	e := newStockEngine(t)
+	defer e.Stop()
+	q, err := e.Register(`SELECT closingPrice FROM ClosingStockPrices
+		WHERE stockSymbol = 'MSFT' AND closingPrice > 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ch := q.Subscribe(64)
+	feedStocks(t, e, 1, 10) // MSFT prices 1..10; >5 gives 5 rows
+	waitFor(t, "5 results", func() bool { return q.Results() == 5 })
+	got := 0
+	for i := 0; i < 5; i++ {
+		select {
+		case r := <-ch:
+			if r.Vals[0].AsFloat() <= 5 {
+				t.Errorf("filtered row leaked: %v", r)
+			}
+			got++
+		case <-time.After(5 * time.Second):
+			t.Fatal("push delivery timed out")
+		}
+	}
+	if got != 5 {
+		t.Errorf("pushed = %d", got)
+	}
+}
+
+func TestUnwindowedJoinCQ(t *testing.T) {
+	e := NewEngine(Options{EOs: 1})
+	defer e.Stop()
+	sSchema := tuple.NewSchema("S",
+		tuple.Column{Name: "k", Kind: tuple.KindInt},
+		tuple.Column{Name: "v", Kind: tuple.KindInt})
+	rSchema := tuple.NewSchema("R",
+		tuple.Column{Name: "k", Kind: tuple.KindInt},
+		tuple.Column{Name: "w", Kind: tuple.KindInt})
+	if err := e.CreateStream("S", sSchema, -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CreateStream("R", rSchema, -1); err != nil {
+		t.Fatal(err)
+	}
+	q, err := e.Register(`SELECT S.v, R.w FROM S, R WHERE S.k = R.k`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 10; i++ {
+		e.Feed("S", tuple.New(tuple.Int(i%3), tuple.Int(i)))
+	}
+	for i := int64(0); i < 6; i++ {
+		e.Feed("R", tuple.New(tuple.Int(i%3), tuple.Int(i)))
+	}
+	// Matches per key: S has 4,3,3 per key {0,1,2}; R has 2 each:
+	// 4*2 + 3*2 + 3*2 = 20.
+	waitFor(t, "20 join results", func() bool { return q.Results() == 20 })
+	cur := q.Cursor()
+	res, _ := q.Fetch(cur)
+	for _, r := range res {
+		if len(r.Vals) != 2 {
+			t.Fatalf("projected row = %v", r)
+		}
+	}
+}
+
+func TestUnwindowedRunningMax(t *testing.T) {
+	e := newStockEngine(t)
+	defer e.Stop()
+	q, err := e.Register(`SELECT MAX(closingPrice) FROM ClosingStockPrices`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedStocks(t, e, 1, 5)
+	waitFor(t, "10 running-max updates", func() bool { return q.Results() == 10 })
+	cur := q.Cursor()
+	res, _ := q.Fetch(cur)
+	last := res[len(res)-1]
+	if last.Vals[0].AsFloat() != 105 { // IBM day 5
+		t.Errorf("final max = %v, want 105", last.Vals[0])
+	}
+	// Running max must be non-decreasing.
+	prev := -1.0
+	for _, r := range res {
+		if v := r.Vals[0].AsFloat(); v < prev {
+			t.Errorf("running max decreased: %v after %v", v, prev)
+		} else {
+			prev = v
+		}
+	}
+}
+
+func TestGroupedAggregateWindowed(t *testing.T) {
+	e := newStockEngine(t)
+	defer e.Stop()
+	q, err := e.Register(`SELECT stockSymbol, COUNT(*), MAX(closingPrice)
+		FROM ClosingStockPrices
+		GROUP BY stockSymbol
+		for (t = 3; t <= 4; t++) { WindowIs(ClosingStockPrices, 1, t); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedStocks(t, e, 1, 6)
+	q.Wait()
+	cur := q.Cursor()
+	res, _ := q.Fetch(cur)
+	// 2 instances x 2 groups.
+	if len(res) != 4 {
+		t.Fatalf("grouped results = %d, want 4", len(res))
+	}
+	byKey := map[string]*tuple.Tuple{}
+	for _, r := range res {
+		byKey[fmt.Sprintf("%s@%d", r.Vals[0].AsString(), r.TS)] = r
+	}
+	msft4 := byKey["MSFT@4"]
+	if msft4 == nil || msft4.Vals[1].AsInt() != 4 || msft4.Vals[2].AsFloat() != 4 {
+		t.Errorf("MSFT@4 = %v", msft4)
+	}
+	ibm3 := byKey["IBM@3"]
+	if ibm3 == nil || ibm3.Vals[1].AsInt() != 3 || ibm3.Vals[2].AsFloat() != 103 {
+		t.Errorf("IBM@3 = %v", ibm3)
+	}
+}
+
+func TestGroupedAggregateWithoutWindowRejected(t *testing.T) {
+	e := newStockEngine(t)
+	defer e.Stop()
+	_, err := e.Register(`SELECT stockSymbol, COUNT(*) FROM ClosingStockPrices GROUP BY stockSymbol`)
+	if err == nil {
+		t.Fatal("grouped unwindowed aggregate accepted")
+	}
+}
+
+func TestDeregisterStopsDelivery(t *testing.T) {
+	e := newStockEngine(t)
+	defer e.Stop()
+	q, err := e.Register(`SELECT closingPrice FROM ClosingStockPrices`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedStocks(t, e, 1, 3)
+	waitFor(t, "6 results", func() bool { return q.Results() == 6 })
+	if err := e.Deregister(q.ID); err != nil {
+		t.Fatal(err)
+	}
+	feedStocks(t, e, 4, 6)
+	time.Sleep(20 * time.Millisecond)
+	if q.Results() != 6 {
+		t.Errorf("results after deregister = %d", q.Results())
+	}
+	if err := e.Deregister(q.ID); err == nil {
+		t.Error("double deregister succeeded")
+	}
+	if len(e.Queries()) != 0 {
+		t.Errorf("queries = %v", e.Queries())
+	}
+}
+
+func TestBackwardWindowOverHistory(t *testing.T) {
+	e := newStockEngine(t)
+	defer e.Stop()
+	feedStocks(t, e, 1, 100)
+	// Browse backward from day 100: three 10-day windows stepping back.
+	q, err := e.Register(`SELECT closingPrice FROM ClosingStockPrices
+		WHERE stockSymbol = 'MSFT'
+		for (t = 100; t > 70; t -= 10) { WindowIs(ClosingStockPrices, t - 9, t); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Wait()
+	cur := q.Cursor()
+	res, _ := q.Fetch(cur)
+	if len(res) != 30 {
+		t.Fatalf("backward results = %d, want 30", len(res))
+	}
+	// First instance anchors at t=100.
+	if res[0].TS != 100 {
+		t.Errorf("first instance T = %d", res[0].TS)
+	}
+}
+
+func TestSpooledEngineHistoricalQuery(t *testing.T) {
+	e := NewEngine(Options{EOs: 1, SpoolDir: t.TempDir(), SegmentSize: 16})
+	defer e.Stop()
+	if err := e.CreateStream("ClosingStockPrices", workload.StockSchema(), 0); err != nil {
+		t.Fatal(err)
+	}
+	feedStocks(nil2t(t), e, 1, 50)
+	q, err := e.Register(`SELECT closingPrice FROM ClosingStockPrices
+		WHERE stockSymbol = 'MSFT'
+		for (; t == 0; t = -1) { WindowIs(ClosingStockPrices, 10, 19); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Wait()
+	cur := q.Cursor()
+	res, _ := q.Fetch(cur)
+	if len(res) != 10 {
+		t.Fatalf("spooled snapshot = %d rows, want 10", len(res))
+	}
+}
+
+// nil2t passes t through (readability helper for the spool test).
+func nil2t(t *testing.T) *testing.T { return t }
+
+func TestSlidingForeverKeepsRunning(t *testing.T) {
+	e := newStockEngine(t)
+	defer e.Stop()
+	q, err := e.Register(`SELECT COUNT(*) FROM ClosingStockPrices
+		for (t = 3; ; t++) { WindowIs(ClosingStockPrices, t - 2, t); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedStocks(t, e, 1, 10)
+	// Instances t = 3..9 can fire (instance 10 may fire too once data
+	// for day 10 is all in; allow either).
+	waitFor(t, "at least 7 instances", func() bool { return q.Results() >= 7 })
+	if q.Done() {
+		t.Error("standing query reported done")
+	}
+	feedStocks(t, e, 11, 12)
+	waitFor(t, "more instances", func() bool { return q.Results() >= 9 })
+}
+
+func TestFeedUnknownStream(t *testing.T) {
+	e := NewEngine(Options{})
+	defer e.Stop()
+	if err := e.Feed("nope", tuple.New(tuple.Int(1))); err == nil {
+		t.Error("feed to unknown stream succeeded")
+	}
+}
+
+func TestRegisterBadQuery(t *testing.T) {
+	e := newStockEngine(t)
+	defer e.Stop()
+	if _, err := e.Register(`SELECT nosuch FROM ClosingStockPrices`); err == nil {
+		t.Error("bad query accepted")
+	}
+	if _, err := e.Register(`garbage`); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestPushAndPullAgree(t *testing.T) {
+	e := newStockEngine(t)
+	defer e.Stop()
+	q, err := e.Register(`SELECT closingPrice FROM ClosingStockPrices WHERE stockSymbol = 'IBM'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ch := q.Subscribe(128)
+	feedStocks(t, e, 1, 8)
+	waitFor(t, "8 results", func() bool { return q.Results() == 8 })
+	cur := q.Cursor()
+	pulled, _ := q.Fetch(cur)
+	var pushed []*tuple.Tuple
+	for len(pushed) < 8 {
+		select {
+		case r := <-ch:
+			pushed = append(pushed, r)
+		case <-time.After(5 * time.Second):
+			t.Fatal("push starved")
+		}
+	}
+	if len(pulled) != len(pushed) {
+		t.Fatalf("pull %d vs push %d", len(pulled), len(pushed))
+	}
+	for i := range pulled {
+		if !tuple.Equal(pulled[i].Vals[0], pushed[i].Vals[0]) {
+			t.Errorf("row %d differs", i)
+		}
+	}
+}
+
+func TestStreamTableJoinPreloadsTable(t *testing.T) {
+	e := NewEngine(Options{EOs: 1})
+	defer e.Stop()
+	if err := e.CreateStream("pkts", tuple.NewSchema("pkts",
+		tuple.Column{Name: "src", Kind: tuple.KindInt},
+		tuple.Column{Name: "bytes", Kind: tuple.KindInt}), -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CreateTable("watch", tuple.NewSchema("watch",
+		tuple.Column{Name: "host", Kind: tuple.KindInt},
+		tuple.Column{Name: "why", Kind: tuple.KindString})); err != nil {
+		t.Fatal(err)
+	}
+	// Table contents arrive BEFORE the query registers.
+	e.Feed("watch", tuple.New(tuple.Int(7), tuple.String_("bad")))
+	q, err := e.Register(`SELECT pkts.src, watch.why FROM pkts, watch WHERE pkts.src = watch.host`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Feed("pkts", tuple.New(tuple.Int(7), tuple.Int(100)))
+	e.Feed("pkts", tuple.New(tuple.Int(8), tuple.Int(100)))
+	waitFor(t, "1 alert", func() bool { return q.Results() == 1 })
+	// A watch row added after registration also joins (arrives via the
+	// subscription path, deduplicated against the preload).
+	e.Feed("watch", tuple.New(tuple.Int(8), tuple.String_("new")))
+	e.Feed("pkts", tuple.New(tuple.Int(8), tuple.Int(1)))
+	waitFor(t, "more alerts", func() bool { return q.Results() >= 2 })
+}
+
+func TestTopKPerWindowInstance(t *testing.T) {
+	e := newStockEngine(t)
+	defer e.Stop()
+	// Top-2 closing prices per 4-day window, descending. IBM (day+100)
+	// always beats MSFT (day), so each instance returns the two most
+	// recent IBM rows in its window, newest (highest) first.
+	q, err := e.Register(`SELECT closingPrice FROM ClosingStockPrices
+		ORDER BY closingPrice DESC LIMIT 2
+		for (t = 4; t <= 6; t++) { WindowIs(ClosingStockPrices, t - 3, t); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedStocks(t, e, 1, 8)
+	q.Wait()
+	cur := q.Cursor()
+	res, _ := q.Fetch(cur)
+	if len(res) != 6 { // 3 instances x 2 rows
+		t.Fatalf("top-k rows = %d, want 6", len(res))
+	}
+	for i := 0; i < len(res); i += 2 {
+		instT := res[i].TS
+		want0 := float64(instT + 100) // IBM at the instance's newest day
+		want1 := float64(instT + 99)
+		if res[i].Vals[0].AsFloat() != want0 || res[i+1].Vals[0].AsFloat() != want1 {
+			t.Errorf("instance %d top-2 = %v, %v; want %v, %v",
+				instT, res[i].Vals[0], res[i+1].Vals[0], want0, want1)
+		}
+	}
+}
+
+func TestQoSLoadShedding(t *testing.T) {
+	e := NewEngine(Options{EOs: 1, QueueCap: 4, Shed: true})
+	defer e.Stop()
+	if err := e.CreateStream("s", tuple.NewSchema("s",
+		tuple.Column{Name: "x", Kind: tuple.KindInt}), -1); err != nil {
+		t.Fatal(err)
+	}
+	q, err := e.Register(`SELECT x FROM s`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Freeze the executor so queues cannot drain, then overrun them: the
+	// producer must never block and the overflow must be counted.
+	e.exec.Stop()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			e.Feed("s", tuple.New(tuple.Int(int64(i))))
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("producer blocked despite load shedding")
+	}
+	if drops := q.InputDrops(); drops != 96 { // capacity 4 held, 96 shed
+		t.Errorf("input drops = %d, want 96", drops)
+	}
+}
+
+func TestBackpressureWithoutShedding(t *testing.T) {
+	// Default mode: the producer blocks when a queue fills, so nothing
+	// is ever dropped (verified by count once the executor drains).
+	e := NewEngine(Options{EOs: 1, QueueCap: 4})
+	defer e.Stop()
+	if err := e.CreateStream("s", tuple.NewSchema("s",
+		tuple.Column{Name: "x", Kind: tuple.KindInt}), -1); err != nil {
+		t.Fatal(err)
+	}
+	q, err := e.Register(`SELECT x FROM s`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := e.Feed("s", tuple.New(tuple.Int(int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "all 200 delivered", func() bool { return q.Results() == 200 })
+	if q.InputDrops() != 0 {
+		t.Errorf("drops = %d in backpressure mode", q.InputDrops())
+	}
+}
+
+func TestHoppingWindowSkipsData(t *testing.T) {
+	// Hop (step 4) larger than width (2): days between windows are never
+	// examined (§4.1.2 "some portions of the stream are never involved").
+	e := newStockEngine(t)
+	defer e.Stop()
+	q, err := e.Register(`SELECT closingPrice FROM ClosingStockPrices
+		WHERE stockSymbol = 'MSFT'
+		for (t = 2; t <= 10; t += 4) { WindowIs(ClosingStockPrices, t - 1, t); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedStocks(t, e, 1, 12)
+	q.Wait()
+	cur := q.Cursor()
+	res, _ := q.Fetch(cur)
+	// Instances at t=2,6,10 each cover 2 days: 6 rows; days 3,4,7,8,11+
+	// are skipped.
+	if len(res) != 6 {
+		t.Fatalf("hopping rows = %d, want 6", len(res))
+	}
+	seen := map[float64]bool{}
+	for _, r := range res {
+		seen[r.Vals[0].AsFloat()] = true
+	}
+	for _, skipped := range []float64{3, 4, 7, 8} {
+		if seen[skipped] {
+			t.Errorf("day %v should be skipped by the hop", skipped)
+		}
+	}
+}
+
+func TestSlidingForeverEvictsBuffer(t *testing.T) {
+	// Standing sliding query must not retain the whole stream: the window
+	// buffer is evicted up to the next instance's left edge.
+	e := newStockEngine(t)
+	defer e.Stop()
+	q, err := e.Register(`SELECT COUNT(*) FROM ClosingStockPrices
+		for (t = 3; ; t++) { WindowIs(ClosingStockPrices, t - 2, t); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedStocks(t, e, 1, 200)
+	waitFor(t, "many instances", func() bool { return q.Results() >= 190 })
+	// Quiesce the executor before inspecting runtime internals.
+	e.Stop()
+	rt := q.rt.(*windowRuntime)
+	// Buffer holds at most the live window plus the undrained tail; far
+	// less than the 400 tuples fed.
+	if n := rt.buffers[0].Len(); n > 50 {
+		t.Errorf("window buffer retained %d tuples; eviction broken", n)
+	}
+}
+
+func TestMismatchedTimeKindsRejected(t *testing.T) {
+	e := NewEngine(Options{EOs: 1})
+	defer e.Stop()
+	phys := tuple.NewSchema("p",
+		tuple.Column{Name: "ts", Kind: tuple.KindTime},
+		tuple.Column{Name: "k", Kind: tuple.KindInt})
+	logi := tuple.NewSchema("l",
+		tuple.Column{Name: "k", Kind: tuple.KindInt})
+	if err := e.CreateStream("p", phys, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CreateStream("l", logi, -1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Register(`SELECT p.k FROM p, l WHERE p.k = l.k`); err == nil {
+		t.Error("mixed logical/physical time join accepted")
+	}
+}
+
+func TestDistinctWindowed(t *testing.T) {
+	e := newStockEngine(t)
+	defer e.Stop()
+	// Two rows per day (MSFT, IBM): DISTINCT stockSymbol per 3-day window
+	// yields exactly 2 rows per instance; the seen-set resets between
+	// instances (set semantics per window).
+	q, err := e.Register(`SELECT DISTINCT stockSymbol FROM ClosingStockPrices
+		for (t = 3; t <= 5; t++) { WindowIs(ClosingStockPrices, t - 2, t); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedStocks(t, e, 1, 7)
+	q.Wait()
+	res, _ := q.Fetch(q.Cursor())
+	if len(res) != 6 { // 3 instances x 2 symbols
+		t.Fatalf("distinct rows = %d, want 6", len(res))
+	}
+	perInstance := map[int64]int{}
+	for _, r := range res {
+		perInstance[r.TS]++
+	}
+	for inst, n := range perInstance {
+		if n != 2 {
+			t.Errorf("instance %d distinct count = %d", inst, n)
+		}
+	}
+}
+
+func TestDistinctUnwindowed(t *testing.T) {
+	e := newStockEngine(t)
+	defer e.Stop()
+	q, err := e.Register(`SELECT DISTINCT stockSymbol FROM ClosingStockPrices`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedStocks(t, e, 1, 50) // 100 tuples, 2 symbols
+	waitFor(t, "2 distinct symbols", func() bool { return q.Results() == 2 })
+	time.Sleep(10 * time.Millisecond)
+	if q.Results() != 2 {
+		t.Errorf("distinct emitted %d", q.Results())
+	}
+}
+
+func TestDistinctWithAggregateRejected(t *testing.T) {
+	e := newStockEngine(t)
+	defer e.Stop()
+	if _, err := e.Register(`SELECT DISTINCT MAX(closingPrice) FROM ClosingStockPrices`); err == nil {
+		t.Error("DISTINCT with aggregate accepted")
+	}
+}
+
+func TestThreeWayJoinCQ(t *testing.T) {
+	// A join chain A.k=B.k AND B.j=C.j through three SteMs: the eddy's
+	// applicability rules must avoid Cartesian detours and still find
+	// every match.
+	e := NewEngine(Options{EOs: 1})
+	defer e.Stop()
+	mkStream := func(name string, cols ...string) {
+		cs := make([]tuple.Column, len(cols))
+		for i, c := range cols {
+			cs[i] = tuple.Column{Name: c, Kind: tuple.KindInt}
+		}
+		if err := e.CreateStream(name, tuple.NewSchema(name, cs...), -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mkStream("A", "k", "va")
+	mkStream("B", "k", "j")
+	mkStream("C", "j", "vc")
+	q, err := e.Register(`SELECT A.va, C.vc FROM A, B, C
+		WHERE A.k = B.k AND B.j = C.j`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A: 6 rows k=i%2; B: 4 rows (k=i%2, j=i%2); C: 4 rows j=i%2.
+	for i := int64(0); i < 6; i++ {
+		e.Feed("A", tuple.New(tuple.Int(i%2), tuple.Int(i)))
+	}
+	for i := int64(0); i < 4; i++ {
+		e.Feed("B", tuple.New(tuple.Int(i%2), tuple.Int(i%2)))
+	}
+	for i := int64(0); i < 4; i++ {
+		e.Feed("C", tuple.New(tuple.Int(i%2), tuple.Int(i)))
+	}
+	// Per key x in {0,1}: |A|=3, |B|=2, |C|=2 → 12 per key, 24 total.
+	waitFor(t, "24 three-way results", func() bool { return q.Results() == 24 })
+	time.Sleep(10 * time.Millisecond)
+	if q.Results() != 24 {
+		t.Errorf("three-way join = %d (duplicates?)", q.Results())
+	}
+}
+
+func TestSharedClassServesQualifyingQueries(t *testing.T) {
+	e := newStockEngine(t)
+	defer e.Stop()
+	var q1n, q2n int64
+	q1, err := e.Register(`SELECT closingPrice FROM ClosingStockPrices WHERE stockSymbol = 'MSFT'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := e.Register(`SELECT closingPrice FROM ClosingStockPrices WHERE closingPrice > 103`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.SharedQueryCount("ClosingStockPrices") != 2 {
+		t.Fatalf("shared members = %d", e.SharedQueryCount("ClosingStockPrices"))
+	}
+	feedStocks(t, e, 1, 10)
+	waitFor(t, "shared results", func() bool {
+		q1n, q2n = q1.Results(), q2.Results()
+		return q1n == 10 && q2n == 7 // MSFT 10 rows; IBM 104..110
+	})
+	// The shared eddy ingested each tuple once for both queries.
+	st := e.SharedStats("ClosingStockPrices")
+	if st.Ingested != 20 {
+		t.Errorf("shared ingested = %d, want 20", st.Ingested)
+	}
+	// Deregister one member; the other keeps flowing.
+	if err := e.Deregister(q1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if e.SharedQueryCount("ClosingStockPrices") != 1 {
+		t.Errorf("members after deregister = %d", e.SharedQueryCount("ClosingStockPrices"))
+	}
+	feedStocks(t, e, 11, 12)
+	waitFor(t, "q2 keeps flowing", func() bool { return q2.Results() == 9 })
+	if q1.Results() != 10 {
+		t.Errorf("deregistered query got more results")
+	}
+}
+
+func TestSharedAndPrivateCoexist(t *testing.T) {
+	e := newStockEngine(t)
+	defer e.Stop()
+	// Aggregate query does NOT qualify; runs privately next to a shared one.
+	agg, err := e.Register(`SELECT MAX(closingPrice) FROM ClosingStockPrices`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := e.Register(`SELECT stockSymbol FROM ClosingStockPrices WHERE closingPrice > 100`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.SharedQueryCount("ClosingStockPrices") != 1 {
+		t.Fatalf("shared members = %d", e.SharedQueryCount("ClosingStockPrices"))
+	}
+	feedStocks(t, e, 1, 5)
+	waitFor(t, "both deliver", func() bool {
+		return agg.Results() == 10 && sel.Results() == 5
+	})
+}
+
+func TestLandmarkGroupedAggIncrementalFastPath(t *testing.T) {
+	e := newStockEngine(t)
+	defer e.Stop()
+	q, err := e.Register(`SELECT stockSymbol, COUNT(*), MAX(closingPrice)
+		FROM ClosingStockPrices
+		GROUP BY stockSymbol
+		for (t = 2; t <= 6; t++) { WindowIs(ClosingStockPrices, 1, t); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedStocks(t, e, 1, 8)
+	q.Wait()
+	// Fast path must be active (landmark + aggregate + single stream).
+	if q.rt.(*windowRuntime).incAgg == nil {
+		t.Fatal("landmark fast path not selected")
+	}
+	res, _ := q.Fetch(q.Cursor())
+	if len(res) != 10 { // 5 instances x 2 groups
+		t.Fatalf("rows = %d, want 10", len(res))
+	}
+	for _, r := range res {
+		inst := r.TS
+		sym := r.Vals[0].AsString()
+		if r.Vals[1].AsInt() != inst { // count = days in [1, t]
+			t.Errorf("%s@%d count = %d", sym, inst, r.Vals[1].AsInt())
+		}
+		wantMax := float64(inst)
+		if sym == "IBM" {
+			wantMax += 100
+		}
+		if r.Vals[2].AsFloat() != wantMax {
+			t.Errorf("%s@%d max = %v, want %v", sym, inst, r.Vals[2], wantMax)
+		}
+	}
+	// The buffer must not retain the landmark window (tuples evicted as
+	// they fold in).
+	e.Stop()
+	if n := q.rt.(*windowRuntime).buffers[0].Len(); n > 8 {
+		t.Errorf("landmark buffer retained %d tuples", n)
+	}
+}
+
+// TestIncrementalJoinMatchesBruteForce feeds a randomized two-stream
+// windowed join through the SteM-based incremental fast path and checks
+// every instance's result set against brute force.
+func TestIncrementalJoinMatchesBruteForce(t *testing.T) {
+	e := NewEngine(Options{EOs: 1})
+	defer e.Stop()
+	mkStream := func(name string) {
+		if err := e.CreateStream(name, tuple.NewSchema(name,
+			tuple.Column{Name: "ts", Kind: tuple.KindTime},
+			tuple.Column{Name: "k", Kind: tuple.KindInt},
+			tuple.Column{Name: "v", Kind: tuple.KindInt}), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mkStream("L")
+	mkStream("R")
+	q, err := e.Register(`SELECT L.v, R.v FROM L, R
+		WHERE L.k = R.k AND L.v > 2
+		for (t = 4; t <= 20; t += 3) { WindowIs(L, t - 3, t); WindowIs(R, t - 5, t); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.rt.(*windowRuntime).incJoin == nil {
+		t.Fatal("incremental join path not selected")
+	}
+
+	type rec struct{ ts, k, v int64 }
+	rng := rand.New(rand.NewSource(13))
+	var ls, rs []rec
+	for ts := int64(1); ts <= 25; ts++ {
+		for n := 0; n < 2; n++ {
+			l := rec{ts, int64(rng.Intn(4)), int64(rng.Intn(10))}
+			r := rec{ts, int64(rng.Intn(4)), int64(rng.Intn(10))}
+			ls = append(ls, l)
+			rs = append(rs, r)
+			e.Feed("L", tuple.New(tuple.Time(l.ts), tuple.Int(l.k), tuple.Int(l.v)))
+			e.Feed("R", tuple.New(tuple.Time(r.ts), tuple.Int(r.k), tuple.Int(r.v)))
+		}
+	}
+	q.Wait()
+	res, _ := q.Fetch(q.Cursor())
+
+	// Brute force per instance.
+	want := map[int64]int{}
+	for t0 := int64(4); t0 <= 20; t0 += 3 {
+		for _, l := range ls {
+			if l.ts < t0-3 || l.ts > t0 || l.v <= 2 {
+				continue
+			}
+			for _, r := range rs {
+				if r.ts < t0-5 || r.ts > t0 {
+					continue
+				}
+				if l.k == r.k {
+					want[t0]++
+				}
+			}
+		}
+	}
+	got := map[int64]int{}
+	for _, r := range res {
+		got[r.TS]++
+	}
+	for inst, w := range want {
+		if got[inst] != w {
+			t.Errorf("instance %d: got %d, want %d", inst, got[inst], w)
+		}
+	}
+	for inst := range got {
+		if _, ok := want[inst]; !ok {
+			t.Errorf("unexpected instance %d with %d rows", inst, got[inst])
+		}
+	}
+}
+
+// TestIncrementalJoinBoundedState: a standing sliding join must not
+// accumulate unbounded SteM or match state.
+func TestIncrementalJoinBoundedState(t *testing.T) {
+	e := NewEngine(Options{EOs: 1})
+	defer e.Stop()
+	for _, name := range []string{"A", "B"} {
+		if err := e.CreateStream(name, tuple.NewSchema(name,
+			tuple.Column{Name: "ts", Kind: tuple.KindTime},
+			tuple.Column{Name: "k", Kind: tuple.KindInt}), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q, err := e.Register(`SELECT A.k FROM A, B WHERE A.k = B.k
+		for (t = 5; ; t++) { WindowIs(A, t - 4, t); WindowIs(B, t - 4, t); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ts := int64(1); ts <= 500; ts++ {
+		e.Feed("A", tuple.New(tuple.Time(ts), tuple.Int(ts%3)))
+		e.Feed("B", tuple.New(tuple.Time(ts), tuple.Int(ts%3)))
+	}
+	// Each instance yields ~8 rows; wait until the loop has caught up
+	// with the fed data (t up to ~500) before inspecting state.
+	waitFor(t, "instances caught up", func() bool { return q.Results() > 4000 })
+	e.Stop()
+	ij := q.rt.(*windowRuntime).incJoin
+	if ij == nil {
+		t.Fatal("fast path not selected")
+	}
+	if n := ij.stems[0].Size() + ij.stems[1].Size(); n > 60 {
+		t.Errorf("SteM state = %d tuples after 1000 arrivals (no eviction?)", n)
+	}
+	if n := ij.matches.Len(); n > 200 {
+		t.Errorf("match buffer = %d (no eviction?)", n)
+	}
+}
+
+func TestSpooledStandingSlidingQuery(t *testing.T) {
+	e := NewEngine(Options{EOs: 1, SpoolDir: t.TempDir(), SegmentSize: 8})
+	defer e.Stop()
+	if err := e.CreateStream("ClosingStockPrices", workload.StockSchema(), 0); err != nil {
+		t.Fatal(err)
+	}
+	// History exists before the query registers; the sliding loop starts
+	// in the past, so early instances answer purely from the spool.
+	feedStocks(t, e, 1, 30)
+	q, err := e.Register(`SELECT COUNT(*) FROM ClosingStockPrices
+		for (t = 5; ; t += 5) { WindowIs(ClosingStockPrices, t - 4, t); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "historical instances", func() bool { return q.Results() >= 6 })
+	res, _ := q.Fetch(q.Cursor())
+	for _, r := range res {
+		if r.Vals[0].AsInt() != 10 { // 5 days x 2 symbols
+			t.Errorf("instance %d count = %d, want 10", r.TS, r.Vals[0].AsInt())
+		}
+	}
+	// And it keeps running on fresh data.
+	feedStocks(t, e, 31, 40)
+	waitFor(t, "fresh instances", func() bool { return q.Results() >= 8 })
+}
+
+func TestEngineAccessorsAndSources(t *testing.T) {
+	e := newStockEngine(t)
+	defer e.Stop()
+	if e.Catalog() == nil {
+		t.Fatal("nil catalog")
+	}
+	// AttachSource pumps a pull source to completion.
+	rows := []*tuple.Tuple{
+		tuple.New(tuple.Time(1), tuple.String_("MSFT"), tuple.Float(10)),
+		tuple.New(tuple.Time(2), tuple.String_("MSFT"), tuple.Float(20)),
+	}
+	q, err := e.Register(`SELECT closingPrice FROM ClosingStockPrices`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait, err := e.AttachSource("ClosingStockPrices", ingress.NewSliceSource(rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wait(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "source rows delivered", func() bool { return q.Results() == 2 })
+	if _, err := e.AttachSource("nope", ingress.NewSliceSource(nil)); err == nil {
+		t.Error("attach to unknown stream succeeded")
+	}
+	// FeedMany batch path.
+	if err := e.FeedMany("ClosingStockPrices", rows[:1]); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "batch delivered", func() bool { return q.Results() == 3 })
+	// Unsubscribe closes the push channel.
+	sub, ch := q.Subscribe(4)
+	q.Unsubscribe(sub)
+	if _, open := <-ch; open {
+		t.Error("channel open after unsubscribe")
+	}
+}
+
+func TestEddyStatsAccessors(t *testing.T) {
+	e := newStockEngine(t)
+	defer e.Stop()
+	// Shared-class query (qualifies).
+	shared, err := e.Register(`SELECT closingPrice FROM ClosingStockPrices WHERE closingPrice > 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Private eddy query (aggregate does not qualify).
+	private, err := e.Register(`SELECT MAX(closingPrice) FROM ClosingStockPrices`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Windowed query (no eddy).
+	windowed, err := e.Register(`SELECT closingPrice FROM ClosingStockPrices
+		for (t = 2; t <= 3; t++) { WindowIs(ClosingStockPrices, t - 1, t); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedStocks(t, e, 1, 5)
+	waitFor(t, "deliveries", func() bool {
+		return shared.Results() > 0 && private.Results() > 0
+	})
+	if st, ok := shared.EddyStats(); !ok || st.Ingested == 0 {
+		t.Errorf("shared stats = %+v ok=%v", st, ok)
+	}
+	if st, ok := private.EddyStats(); !ok || st.Ingested == 0 {
+		t.Errorf("private stats = %+v ok=%v", st, ok)
+	}
+	if _, ok := windowed.EddyStats(); ok {
+		t.Error("windowed query reported eddy stats")
+	}
+}
+
+func TestTopKOverIncrementalJoin(t *testing.T) {
+	// ORDER BY/LIMIT must compose with the incremental join fast path.
+	e := NewEngine(Options{EOs: 1})
+	defer e.Stop()
+	for _, name := range []string{"X", "Y"} {
+		if err := e.CreateStream(name, tuple.NewSchema(name,
+			tuple.Column{Name: "ts", Kind: tuple.KindTime},
+			tuple.Column{Name: "k", Kind: tuple.KindInt},
+			tuple.Column{Name: "v", Kind: tuple.KindInt}), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q, err := e.Register(`SELECT X.v FROM X, Y WHERE X.k = Y.k
+		ORDER BY X.v DESC LIMIT 2
+		for (t = 3; t <= 4; t++) { WindowIs(X, t - 2, t); WindowIs(Y, t - 2, t); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.rt.(*windowRuntime).incJoin == nil {
+		t.Fatal("fast path not selected")
+	}
+	for ts := int64(1); ts <= 6; ts++ {
+		e.Feed("X", tuple.New(tuple.Time(ts), tuple.Int(1), tuple.Int(ts*10)))
+		e.Feed("Y", tuple.New(tuple.Time(ts), tuple.Int(1), tuple.Int(0)))
+	}
+	q.Wait()
+	res, _ := q.Fetch(q.Cursor())
+	if len(res) != 4 { // 2 instances x top-2
+		t.Fatalf("rows = %d, want 4", len(res))
+	}
+	// Instance t: X rows in window have v = 10(t-2)..10t; top-2 are 10t,
+	// 10(t-1), each joining 3 Y rows — but LIMIT applies to join rows, so
+	// the top-2 ROWS are both X.v = 10t (paired with different Y rows).
+	for _, r := range res {
+		if r.Vals[0].AsInt() != r.TS*10 {
+			t.Errorf("instance %d top row v = %d, want %d", r.TS, r.Vals[0].AsInt(), r.TS*10)
+		}
+	}
+}

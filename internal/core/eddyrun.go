@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"telegraphcq/internal/catalog"
+	"telegraphcq/internal/eddy"
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/ops"
+	"telegraphcq/internal/stem"
+	"telegraphcq/internal/tuple"
+)
+
+// eddyRuntime executes an unwindowed continuous query adaptively: one eddy
+// routes tuples among per-predicate filters and per-stream SteMs (the
+// Fig. 2 configuration), re-optimizing order continuously. Ungrouped
+// aggregates fold incrementally (an implicit landmark window over the
+// whole stream), emitting the running value after each change.
+type eddyRuntime struct {
+	q      *RunningQuery
+	ed     *eddy.Eddy
+	agg    *ops.LandmarkAgg
+	proj   *ops.Project
+	dedup  *ops.DupElim // DISTINCT over the whole stream
+	closed []bool
+	preSeq []int64 // max preloaded Seq per position (static tables)
+	batch  int
+
+	// mu serializes the stepping DU against stat readers (EddyStats is
+	// callable from client goroutines while the query runs).
+	mu sync.Mutex
+}
+
+func newEddyRuntime(q *RunningQuery) (runtime, error) {
+	plan := q.Plan
+	layout := plan.Layout
+	rt := &eddyRuntime{q: q, batch: 256, closed: make([]bool, len(q.inputs))}
+
+	var modules []eddy.Module
+	for i, p := range plan.Selections {
+		modules = append(modules, ops.NewFilter(fmt.Sprintf("sel%d", i), layout, p))
+	}
+	if len(plan.Joins) > 0 {
+		// One SteM per stream that participates in a join edge.
+		participates := map[int]bool{}
+		for _, j := range plan.Joins {
+			participates[j.StreamA] = true
+			participates[j.StreamB] = true
+		}
+		for s := range layout.Schemas {
+			if !participates[s] {
+				continue
+			}
+			// Collect the predicates whose stored side is stream s.
+			var preds []expr.JoinPredicate
+			keyCol := -1
+			for _, j := range plan.Joins {
+				switch s {
+				case j.StreamA:
+					preds = append(preds, expr.JoinPredicate{
+						LeftCol: j.ColB, Op: j.Op.Flip(), RightCol: j.ColA})
+					if j.Op == expr.Eq && keyCol < 0 {
+						keyCol = j.ColA
+					}
+				case j.StreamB:
+					preds = append(preds, expr.JoinPredicate{
+						LeftCol: j.ColA, Op: j.Op, RightCol: j.ColB})
+					if j.Op == expr.Eq && keyCol < 0 {
+						keyCol = j.ColB
+					}
+				}
+			}
+			var sopts []stem.Option
+			if keyCol >= 0 {
+				sopts = append(sopts, stem.WithIndex(keyCol))
+			}
+			st := stem.New(layout.Schemas[s].Relation, tuple.SingleSource(s), layout, sopts...)
+			modules = append(modules, ops.NewSteMModule(st, layout, preds))
+		}
+	}
+
+	if plan.HasAgg() {
+		rt.agg = ops.NewLandmarkAgg(plan.Aggs...)
+	} else if plan.Project != nil {
+		rt.proj = ops.NewProject(plan.Project...)
+	}
+	if plan.Distinct {
+		// An unwindowed CQ is an ever-growing (landmark) set: the first
+		// occurrence of each output row passes, duplicates are dropped
+		// for the query's lifetime.
+		rt.dedup = ops.NewDupElim()
+	}
+
+	rt.ed = eddy.New(plan.Footprint, eddy.NewLotteryPolicy(int64(q.ID)+1), rt.output, modules...)
+	rt.preSeq = make([]int64, len(plan.Entries))
+
+	// Static tables in the FROM list hold data that arrived before the
+	// query registered; replay it into the eddy now (streams, by CQ
+	// semantics, are consumed from registration onward).
+	for pos, entry := range plan.Entries {
+		if entry.Kind != catalog.Table {
+			continue
+		}
+		rows, err := q.engine.tableContents(entry)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range rows {
+			if t.Seq > rt.preSeq[pos] {
+				rt.preSeq[pos] = t.Seq
+			}
+			rt.ed.Ingest(layout.Widen(pos, t))
+		}
+	}
+	return rt, nil
+}
+
+func (rt *eddyRuntime) output(t *tuple.Tuple) {
+	switch {
+	case rt.agg != nil:
+		rt.agg.Add(t)
+		out := rt.agg.Result()
+		out.TS = t.TS
+		out.Seq = t.Seq
+		rt.q.emit(out)
+	case rt.proj != nil:
+		out := rt.proj.Apply(t)
+		if rt.dedup != nil && !rt.dedup.Accept(out) {
+			return
+		}
+		rt.q.emit(out)
+	default:
+		if rt.dedup != nil && !rt.dedup.Accept(t) {
+			return
+		}
+		rt.q.emit(t)
+	}
+}
+
+func (rt *eddyRuntime) step() (bool, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	progressed := false
+	allDrained := true
+	for pos, conn := range rt.q.inputs {
+		if rt.closed[pos] {
+			continue
+		}
+		for i := 0; i < rt.batch; i++ {
+			t, ok := conn.Recv()
+			if !ok {
+				if conn.Drained() {
+					rt.closed[pos] = true
+				}
+				break
+			}
+			if t.Seq <= rt.preSeq[pos] {
+				continue // replayed from table contents already
+			}
+			progressed = true
+			rt.ed.Ingest(rt.q.Plan.Layout.Widen(pos, t))
+		}
+		if !rt.closed[pos] {
+			allDrained = false
+		}
+	}
+	return progressed, allDrained
+}
+
+// Stats exposes the eddy counters (used by experiments via the engine).
+func (rt *eddyRuntime) Stats() eddy.Stats {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.ed.Stats()
+}

@@ -1,0 +1,304 @@
+// Package core is TelegraphCQ's engine: the paper's primary contribution
+// assembled from the substrates. It owns the catalog, accepts stream
+// definitions and data (locally or via ingress wrappers), parses and
+// registers continuous queries, folds them dynamically into the running
+// executor (§4.2.1 "the listener accepts multiple continuous queries and
+// adds them dynamically to the running executor"), and delivers results
+// through push and pull egress.
+//
+// Execution model: each registered query becomes one Dispatch Unit
+// scheduled on the Execution Object owning its footprint class.
+// Unwindowed continuous queries run through an adaptive eddy (filters +
+// SteMs with lottery routing); windowed queries follow the paper's
+// sequence-of-sets semantics — for every for-loop instance the engine
+// evaluates the query over the declared window of each stream, buffered in
+// memory and optionally spooled through the storage manager.
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"telegraphcq/internal/catalog"
+	"telegraphcq/internal/executor"
+	"telegraphcq/internal/fjord"
+	"telegraphcq/internal/ingress"
+	"telegraphcq/internal/sql"
+	"telegraphcq/internal/storage"
+	"telegraphcq/internal/tuple"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// EOs is the number of Execution Objects (default 2).
+	EOs int
+	// SpoolDir enables disk spooling of streams when non-empty.
+	SpoolDir string
+	// SegmentSize is tuples per spool segment (default 1024).
+	SegmentSize int
+	// PoolSegments bounds the buffer pool (default 64 segments).
+	PoolSegments int
+	// QueueCap is the per-query input queue capacity (default 4096).
+	QueueCap int
+	// Shed enables QoS load shedding (§4.3): when a query's input queue
+	// is full, newly arriving tuples for that query are dropped (and
+	// counted) instead of back-pressuring the producer. The stream's
+	// history/spool still records every tuple.
+	Shed bool
+}
+
+func (o *Options) defaults() {
+	if o.EOs < 1 {
+		o.EOs = 2
+	}
+	if o.SegmentSize < 1 {
+		o.SegmentSize = 1024
+	}
+	if o.PoolSegments < 1 {
+		o.PoolSegments = 64
+	}
+	if o.QueueCap < 1 {
+		o.QueueCap = 4096
+	}
+}
+
+// streamState is the engine-side record of one stream.
+type streamState struct {
+	entry *catalog.Entry
+	store *storage.SegmentStore // nil without spooling
+	mu    sync.Mutex
+	seq   int64
+	// subs is keyed by subscription id: one query may subscribe to the
+	// same stream at several FROM positions (self-joins, paper Ex. 4).
+	subs map[int]*fjord.Conn
+	// history retains all tuples in memory when spooling is off, so
+	// late-registered queries can still see old data (PSoup semantics).
+	history []*tuple.Tuple
+	histCap int
+}
+
+// Engine is the running system.
+type Engine struct {
+	opts Options
+	cat  *catalog.Catalog
+	exec *executor.Executor
+	pool *storage.BufferPool
+
+	mu      sync.Mutex
+	streams map[string]*streamState
+	queries map[int]*RunningQuery
+	shared  map[string]*sharedClass
+	nextQID int
+	nextSub int
+	stopped bool
+}
+
+// NewEngine starts an engine.
+func NewEngine(opts Options) *Engine {
+	opts.defaults()
+	e := &Engine{
+		opts:    opts,
+		cat:     catalog.New(),
+		exec:    executor.New(opts.EOs),
+		streams: make(map[string]*streamState),
+		queries: make(map[int]*RunningQuery),
+		shared:  make(map[string]*sharedClass),
+	}
+	if opts.SpoolDir != "" {
+		e.pool = storage.NewBufferPool(opts.PoolSegments)
+	}
+	return e
+}
+
+// Catalog exposes the engine's catalog.
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// CreateStream registers a stream. timeCol is the schema column carrying
+// the application timestamp (-1 for arrival order).
+func (e *Engine) CreateStream(name string, schema *tuple.Schema, timeCol int) error {
+	entry, err := e.cat.CreateStream(name, schema, timeCol)
+	if err != nil {
+		return err
+	}
+	return e.addStreamState(entry)
+}
+
+// CreateTable registers a static table; its contents arrive via Feed.
+func (e *Engine) CreateTable(name string, schema *tuple.Schema) error {
+	entry, err := e.cat.CreateTable(name, schema)
+	if err != nil {
+		return err
+	}
+	return e.addStreamState(entry)
+}
+
+func (e *Engine) addStreamState(entry *catalog.Entry) error {
+	st := &streamState{
+		entry:   entry,
+		subs:    make(map[int]*fjord.Conn),
+		histCap: 1 << 20,
+	}
+	if e.opts.SpoolDir != "" {
+		store, err := storage.NewSegmentStore(e.opts.SpoolDir, entry.Name, e.opts.SegmentSize, e.pool)
+		if err != nil {
+			return err
+		}
+		st.store = store
+	}
+	e.mu.Lock()
+	e.streams[entry.Name] = st
+	e.mu.Unlock()
+	return nil
+}
+
+func (e *Engine) stream(name string) (*streamState, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, ok := e.streams[name]
+	if !ok {
+		return nil, fmt.Errorf("core: stream %q not found", name)
+	}
+	return st, nil
+}
+
+// Feed delivers one tuple into a stream: it is stamped, recorded in the
+// stream's history (spool or memory), and fanned out to every standing
+// query's input queue.
+func (e *Engine) Feed(stream string, t *tuple.Tuple) error {
+	st, err := e.stream(stream)
+	if err != nil {
+		return err
+	}
+	st.mu.Lock()
+	st.seq++
+	t.Seq = st.seq
+	if tc := st.entry.TimeCol; tc >= 0 && tc < len(t.Vals) {
+		t.TS = t.Vals[tc].AsInt()
+	} else {
+		t.TS = t.Seq
+	}
+	if st.store != nil {
+		if err := st.store.Append(t); err != nil {
+			st.mu.Unlock()
+			return err
+		}
+	} else {
+		if len(st.history) < st.histCap {
+			st.history = append(st.history, t)
+		}
+	}
+	subs := make([]*fjord.Conn, 0, len(st.subs))
+	for _, c := range st.subs {
+		subs = append(subs, c)
+	}
+	st.mu.Unlock()
+
+	for _, c := range subs {
+		if e.opts.Shed {
+			// QoS mode: never stall the producer; the queue counts
+			// the shed tuples (§4.3 "deciding what work to drop when
+			// the system is in danger of falling behind").
+			c.Q.Push(t.Clone())
+			continue
+		}
+		// Default: back-pressure the producer rather than drop,
+		// matching the pull-queue modality on the ingestion side.
+		c.Q.PushWait(t.Clone())
+	}
+	return nil
+}
+
+// FeedMany delivers a batch.
+func (e *Engine) FeedMany(stream string, ts []*tuple.Tuple) error {
+	for _, t := range ts {
+		if err := e.Feed(stream, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AttachSource pumps an ingress source into a stream from a wrapper
+// goroutine until the source ends. It returns a wait function.
+func (e *Engine) AttachSource(stream string, src ingress.Source) (wait func() error, err error) {
+	if _, err := e.stream(stream); err != nil {
+		return nil, err
+	}
+	errc := make(chan error, 1)
+	go func() {
+		defer src.Close()
+		for {
+			t, err := src.Next()
+			if err != nil {
+				if err == io.EOF {
+					errc <- nil
+				} else {
+					errc <- err
+				}
+				return
+			}
+			if err := e.Feed(stream, t); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+	return func() error { return <-errc }, nil
+}
+
+// history returns the retained tuples of a stream in [left, right].
+func (st *streamState) historyRange(left, right int64) ([]*tuple.Tuple, error) {
+	if st.store != nil {
+		return st.store.ScanRange(left, right)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var out []*tuple.Tuple
+	for _, t := range st.history {
+		if t.TS >= left && t.TS <= right {
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}
+
+// Stop shuts the engine down.
+func (e *Engine) Stop() {
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return
+	}
+	e.stopped = true
+	qs := make([]*RunningQuery, 0, len(e.queries))
+	for _, q := range e.queries {
+		qs = append(qs, q)
+	}
+	e.mu.Unlock()
+	for _, q := range qs {
+		e.Deregister(q.ID)
+	}
+	e.exec.Stop()
+}
+
+// Queries returns the ids of standing queries.
+func (e *Engine) Queries() []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]int, 0, len(e.queries))
+	for id := range e.queries {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Register parses, binds, and schedules a continuous query, returning its
+// handle. The query begins consuming data immediately.
+func (e *Engine) Register(text string) (*RunningQuery, error) {
+	plan, err := sql.ParseAndBind(text, e.cat)
+	if err != nil {
+		return nil, err
+	}
+	return e.RegisterPlan(plan)
+}

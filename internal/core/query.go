@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"telegraphcq/internal/catalog"
+	"telegraphcq/internal/eddy"
+	"telegraphcq/internal/egress"
+	"telegraphcq/internal/executor"
+	"telegraphcq/internal/fjord"
+	"telegraphcq/internal/sql"
+	"telegraphcq/internal/tuple"
+)
+
+// Result is one delivered answer: the output tuple plus the window
+// instance it belongs to (T is meaningful only for windowed queries, where
+// output is a sequence of sets, each associated with an instant — §4.1).
+type Result struct {
+	T     int64
+	Tuple *tuple.Tuple
+}
+
+// RunningQuery is the handle of one standing continuous query.
+type RunningQuery struct {
+	ID   int
+	Plan *sql.Plan
+
+	engine *Engine
+	inputs []*fjord.Conn // one per FROM position
+	subIDs []subRef      // subscription handles for detach
+	rt     runtime
+	// shared is non-nil when the query runs inside a stream's shared
+	// CACQ class (§3.1) instead of a private runtime.
+	shared *sharedClass
+
+	push *egress.PushEgress
+	pull *egress.PullEgress
+
+	sinkMu sync.Mutex
+	sinks  []func(*tuple.Tuple)
+
+	results   atomic.Int64
+	doneFlag  atomic.Bool
+	doneCh    chan struct{}
+	closeOnce sync.Once
+}
+
+// runtime is the per-query execution strategy.
+type runtime interface {
+	// step consumes pending input and produces results; progressed
+	// reports whether anything happened, finished whether the query has
+	// produced its final window instance.
+	step() (progressed, finished bool)
+}
+
+// Subscribe attaches a push client to the query's results.
+func (q *RunningQuery) Subscribe(buffer int) (int, <-chan *tuple.Tuple) {
+	return q.push.Subscribe(buffer)
+}
+
+// Unsubscribe detaches a push client.
+func (q *RunningQuery) Unsubscribe(id int) { q.push.Unsubscribe(id) }
+
+// Cursor registers a pull client replaying all retained results.
+func (q *RunningQuery) Cursor() int { return q.pull.RegisterAt(0) }
+
+// Fetch returns results since the pull cursor's last fetch.
+func (q *RunningQuery) Fetch(cursor int) ([]*tuple.Tuple, error) {
+	res, _, err := q.pull.Fetch(cursor)
+	return res, err
+}
+
+// Results returns the lifetime result count.
+func (q *RunningQuery) Results() int64 { return q.results.Load() }
+
+// InputDrops returns the number of tuples shed from this query's input
+// queues under QoS load shedding (always 0 without Options.Shed). For a
+// query running in a shared class the count is the class queue's — sheds
+// there affect every member.
+func (q *RunningQuery) InputDrops() int64 {
+	if q.shared != nil {
+		_, dropped := q.shared.conn.Q.Stats()
+		return dropped
+	}
+	var n int64
+	for _, c := range q.inputs {
+		_, dropped := c.Q.Stats()
+		n += dropped
+	}
+	return n
+}
+
+// Done reports whether a finite query has produced its last instance.
+func (q *RunningQuery) Done() bool { return q.doneFlag.Load() }
+
+// Wait blocks until a finite query completes (standing queries never do).
+func (q *RunningQuery) Wait() { <-q.doneCh }
+
+// AddSink attaches an extra result consumer (e.g. a prioritized egress);
+// sinks must not block.
+func (q *RunningQuery) AddSink(fn func(*tuple.Tuple)) {
+	q.sinkMu.Lock()
+	q.sinks = append(q.sinks, fn)
+	q.sinkMu.Unlock()
+}
+
+// emit delivers one result to both egress paths and any extra sinks.
+func (q *RunningQuery) emit(t *tuple.Tuple) {
+	q.results.Add(1)
+	q.push.Publish(t)
+	q.pull.Publish(t)
+	q.sinkMu.Lock()
+	sinks := q.sinks
+	q.sinkMu.Unlock()
+	for _, fn := range sinks {
+		fn(t)
+	}
+}
+
+func (q *RunningQuery) finish() {
+	q.closeOnce.Do(func() {
+		q.doneFlag.Store(true)
+		close(q.doneCh)
+	})
+}
+
+// RegisterPlan schedules a bound plan as a standing query.
+func (e *Engine) RegisterPlan(plan *sql.Plan) (*RunningQuery, error) {
+	if plan.HasAgg() && plan.Loop == nil && len(plan.GroupBy) > 0 {
+		return nil, fmt.Errorf("core: grouped aggregates require a window (for-loop) clause")
+	}
+	e.mu.Lock()
+	id := e.nextQID
+	e.nextQID++
+	e.mu.Unlock()
+
+	q := &RunningQuery{
+		ID:     id,
+		Plan:   plan,
+		engine: e,
+		push:   egress.NewPushEgress(),
+		pull:   egress.NewPullEgress(1 << 16),
+		doneCh: make(chan struct{}),
+	}
+
+	// Qualifying queries share their stream's CACQ class: one grouped
+	// filter pass per tuple serves every member (§3.1).
+	if qualifiesShared(plan) {
+		sc, err := e.sharedClassFor(plan)
+		if err != nil {
+			return nil, err
+		}
+		if err := sc.add(q, plan); err != nil {
+			return nil, err
+		}
+		q.shared = sc
+		e.mu.Lock()
+		e.queries[id] = q
+		e.mu.Unlock()
+		return q, nil
+	}
+
+	// Wire an input queue per FROM position (a self-join subscribes to
+	// one stream twice) and load history for windowed queries whose
+	// windows may reach into the past.
+	var names []string
+	for _, entry := range plan.Entries {
+		names = append(names, entry.Name)
+		st, err := e.stream(entry.Name)
+		if err != nil {
+			e.detach(q)
+			return nil, err
+		}
+		conn := fjord.NewConn(fjord.Push, e.opts.QueueCap)
+		q.inputs = append(q.inputs, conn)
+		e.mu.Lock()
+		sub := e.nextSub
+		e.nextSub++
+		e.mu.Unlock()
+		st.mu.Lock()
+		st.subs[sub] = conn
+		st.mu.Unlock()
+		q.subIDs = append(q.subIDs, subRef{stream: entry.Name, id: sub})
+	}
+
+	var err error
+	if plan.Loop == nil {
+		q.rt, err = newEddyRuntime(q)
+	} else {
+		q.rt, err = newWindowRuntime(q)
+	}
+	if err != nil {
+		e.detach(q)
+		return nil, err
+	}
+
+	e.mu.Lock()
+	e.queries[id] = q
+	e.mu.Unlock()
+
+	du := &executor.FuncDU{
+		DUName: fmt.Sprintf("q%d", id),
+		Fn: func() (bool, bool) {
+			progressed, finished := q.rt.step()
+			if finished {
+				q.finish()
+				q.engine.detach(q)
+				q.engine.mu.Lock()
+				delete(q.engine.queries, q.ID)
+				q.engine.mu.Unlock()
+			}
+			return progressed, finished
+		},
+	}
+	e.exec.Submit(names, du)
+	return q, nil
+}
+
+// subRef names one stream subscription held by a query.
+type subRef struct {
+	stream string
+	id     int
+}
+
+// detach unsubscribes the query's input queues.
+func (e *Engine) detach(q *RunningQuery) {
+	for _, ref := range q.subIDs {
+		if st, err := e.stream(ref.stream); err == nil {
+			st.mu.Lock()
+			delete(st.subs, ref.id)
+			st.mu.Unlock()
+		}
+	}
+	for _, c := range q.inputs {
+		c.Close()
+	}
+}
+
+// Deregister removes a standing query. Its DU notices the closed inputs
+// and retires.
+func (e *Engine) Deregister(id int) error {
+	e.mu.Lock()
+	q, ok := e.queries[id]
+	if ok {
+		delete(e.queries, id)
+	}
+	e.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: query %d not found", id)
+	}
+	if q.shared != nil {
+		q.shared.remove(q.ID)
+	}
+	e.detach(q)
+	q.finish()
+	return nil
+}
+
+// tableContents returns the full contents of a static table (for FROM
+// entries without WindowIs).
+func (e *Engine) tableContents(entry *catalog.Entry) ([]*tuple.Tuple, error) {
+	st, err := e.stream(entry.Name)
+	if err != nil {
+		return nil, err
+	}
+	return st.historyRange(-1<<62, 1<<62)
+}
+
+// EddyStats returns the adaptive-routing counters behind this query: its
+// private eddy for unwindowed queries, or the stream's shared-class eddy
+// when the query runs inside one. ok is false for windowed queries, whose
+// runtime has no eddy.
+func (q *RunningQuery) EddyStats() (eddy.Stats, bool) {
+	if q.shared != nil {
+		q.shared.mu.Lock()
+		defer q.shared.mu.Unlock()
+		return q.shared.eng.Stats(), true
+	}
+	if rt, ok := q.rt.(*eddyRuntime); ok {
+		return rt.Stats(), true
+	}
+	return eddy.Stats{}, false
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"sync"
+
+	"telegraphcq/internal/cacq"
+	"telegraphcq/internal/catalog"
+	"telegraphcq/internal/eddy"
+	"telegraphcq/internal/executor"
+	"telegraphcq/internal/fjord"
+	"telegraphcq/internal/sql"
+	"telegraphcq/internal/tuple"
+)
+
+// sharedClass implements the paper's shared processing (§1.1, §3.1) inside
+// the SQL engine: every qualifying query over one stream — single-stream,
+// unwindowed, selection/projection only — joins the stream's CACQ engine
+// instead of getting a private eddy. One grouped-filter pass per tuple
+// then serves all of them, and queries enter and leave the running class
+// dynamically.
+type sharedClass struct {
+	stream string
+	layout *tuple.Layout
+	conn   *fjord.Conn
+	subID  int
+
+	// mu guards the cacq engine and membership: the class DU steps the
+	// engine on its EO thread while Register/Deregister mutate it from
+	// client goroutines.
+	mu      sync.Mutex
+	eng     *cacq.Engine
+	members map[int]int // RunningQuery.ID -> cacq query id
+	batch   int
+}
+
+// qualifiesShared reports whether a plan can join a shared class.
+func qualifiesShared(plan *sql.Plan) bool {
+	return len(plan.Entries) == 1 &&
+		plan.Entries[0].Kind == catalog.Stream &&
+		plan.Loop == nil &&
+		!plan.HasAgg() &&
+		len(plan.Joins) == 0 &&
+		!plan.Distinct &&
+		plan.OrderCol < 0 &&
+		plan.Limit < 0
+}
+
+// sharedClassFor returns (creating if needed) the stream's shared class.
+func (e *Engine) sharedClassFor(plan *sql.Plan) (*sharedClass, error) {
+	name := plan.Entries[0].Name
+	e.mu.Lock()
+	if sc, ok := e.shared[name]; ok {
+		e.mu.Unlock()
+		return sc, nil
+	}
+	e.mu.Unlock()
+
+	st, err := e.stream(name)
+	if err != nil {
+		return nil, err
+	}
+	sc := &sharedClass{
+		stream:  name,
+		layout:  plan.Layout,
+		conn:    fjord.NewConn(fjord.Push, e.opts.QueueCap),
+		eng:     cacq.New(plan.Layout, nil, eddy.NewLotteryPolicy(1)),
+		members: make(map[int]int),
+		batch:   256,
+	}
+
+	e.mu.Lock()
+	if existing, raced := e.shared[name]; raced {
+		e.mu.Unlock()
+		sc.conn.Close()
+		return existing, nil
+	}
+	e.shared[name] = sc
+	sub := e.nextSub
+	e.nextSub++
+	e.mu.Unlock()
+
+	sc.subID = sub
+	st.mu.Lock()
+	st.subs[sub] = sc.conn
+	st.mu.Unlock()
+
+	e.exec.Submit([]string{name}, &executor.FuncDU{
+		DUName: "shared:" + name,
+		Fn:     sc.step,
+	})
+	return sc, nil
+}
+
+// step drains pending stream tuples through the shared engine.
+func (sc *sharedClass) step() (progressed, done bool) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	for i := 0; i < sc.batch; i++ {
+		t, ok := sc.conn.Recv()
+		if !ok {
+			break
+		}
+		progressed = true
+		sc.eng.Ingest(0, t)
+	}
+	return progressed, false
+}
+
+// add registers a query with the class, delivering into q's egress.
+func (sc *sharedClass) add(q *RunningQuery, plan *sql.Plan) error {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	cq, err := sc.eng.AddQuery(tuple.SingleSource(0), plan.Selections, plan.Project,
+		func(t *tuple.Tuple) { q.emit(t) })
+	if err != nil {
+		return err
+	}
+	sc.members[q.ID] = cq.ID
+	return nil
+}
+
+// remove drops a query from the class.
+func (sc *sharedClass) remove(queryID int) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if cqID, ok := sc.members[queryID]; ok {
+		sc.eng.RemoveQuery(cqID)
+		delete(sc.members, queryID)
+	}
+}
+
+// SharedStats exposes the shared engine's eddy counters for a stream
+// (zero Stats when no shared class exists — e.g. only non-qualifying
+// queries are registered).
+func (e *Engine) SharedStats(stream string) eddy.Stats {
+	e.mu.Lock()
+	sc, ok := e.shared[stream]
+	e.mu.Unlock()
+	if !ok {
+		return eddy.Stats{}
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.eng.Stats()
+}
+
+// SharedQueryCount reports how many standing queries share a stream's
+// class.
+func (e *Engine) SharedQueryCount(stream string) int {
+	e.mu.Lock()
+	sc, ok := e.shared[stream]
+	e.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return len(sc.members)
+}

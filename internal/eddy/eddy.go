@@ -1,0 +1,260 @@
+// Package eddy implements the Eddy adaptive routing module ([AH00], §2.2):
+// a router that continuously decides, tuple by tuple, the order in which a
+// set of commutative query modules process data, re-optimizing the plan
+// while it runs. Each tuple carries Ready/Done bitmaps recording the
+// modules it has visited; a tuple spanning all of the query's streams whose
+// Done set covers every applicable module is sent to the eddy's output.
+package eddy
+
+import (
+	"fmt"
+	"math/bits"
+
+	"telegraphcq/internal/tuple"
+)
+
+// Module is a query operator attached to an eddy. Modules are invoked
+// synchronously from the routing loop (the non-preemptive Dispatch Unit
+// model of §4.2.2), so implementations need no internal locking.
+type Module interface {
+	// Name identifies the module in stats and diagnostics.
+	Name() string
+	// AppliesTo reports whether tuples spanning src must visit this
+	// module before they can be output.
+	AppliesTo(src tuple.SourceSet) bool
+	// Process handles t. outputs are new tuples the module generated
+	// (e.g. join matches) to be routed onward; pass reports whether t
+	// itself survived (a failed selection returns pass=false).
+	Process(t *tuple.Tuple) (outputs []*tuple.Tuple, pass bool)
+}
+
+// Builder is implemented by modules (SteMs) that must receive a tuple as a
+// build before any other module processes it, preserving the paper's
+// "first sent as a build tuple to SteM_S, then as a probe to SteM_T"
+// discipline, which guarantees no match is missed.
+type Builder interface {
+	Module
+	// BuildsFor reports whether tuples spanning src are build input.
+	BuildsFor(src tuple.SourceSet) bool
+}
+
+// ModuleStats counts per-module activity observed by the eddy.
+type ModuleStats struct {
+	Visits   int64 // tuples routed to the module
+	Passed   int64 // tuples that survived
+	Produced int64 // new tuples generated (join matches)
+}
+
+// Selectivity returns the observed pass fraction (1.0 before any visit).
+func (m ModuleStats) Selectivity() float64 {
+	if m.Visits == 0 {
+		return 1
+	}
+	return float64(m.Passed) / float64(m.Visits)
+}
+
+// Stats aggregates eddy activity for the experiments.
+type Stats struct {
+	Ingested  int64 // tuples entering from sources
+	Emitted   int64 // tuples sent to output
+	Dropped   int64 // tuples eliminated by selections or lineage
+	Decisions int64 // routing decisions made (the adaptivity overhead)
+	Visits    int64 // total module invocations (the work metric)
+	Modules   []ModuleStats
+}
+
+// Eddy routes tuples among up to 64 modules.
+type Eddy struct {
+	modules  []Module
+	policy   Policy
+	output   func(*tuple.Tuple)
+	all      tuple.SourceSet // union of the query's stream bits
+	stats    Stats
+	work     []*tuple.Tuple // LIFO work list: intermediate results drain first
+	appliesC map[tuple.SourceSet]uint64
+	buildsC  map[tuple.SourceSet]uint64
+
+	// complete, when set, observes every tuple that has visited all of
+	// its applicable modules — including partial (sub-join) tuples. CACQ
+	// uses it to deliver results per query footprint rather than per
+	// full-span tuple.
+	complete func(*tuple.Tuple)
+}
+
+// New creates an eddy over the given modules whose output tuples must span
+// allSources. out receives emitted tuples.
+func New(allSources tuple.SourceSet, policy Policy, out func(*tuple.Tuple), modules ...Module) *Eddy {
+	if len(modules) > 64 {
+		panic(fmt.Sprintf("eddy: %d modules exceed the 64-module scope of one eddy", len(modules)))
+	}
+	if policy == nil {
+		policy = NewNaivePolicy()
+	}
+	e := &Eddy{
+		modules:  modules,
+		policy:   policy,
+		output:   out,
+		all:      allSources,
+		appliesC: make(map[tuple.SourceSet]uint64),
+		buildsC:  make(map[tuple.SourceSet]uint64),
+	}
+	e.stats.Modules = make([]ModuleStats, len(modules))
+	policy.Reset(len(modules))
+	return e
+}
+
+// Modules returns the attached modules (read-only use).
+func (e *Eddy) Modules() []Module { return e.modules }
+
+// SetCompletionHook installs fn to observe every tuple (full or partial
+// span) that completes its applicable module set. Shared (CACQ) execution
+// delivers per-query results from this hook.
+func (e *Eddy) SetCompletionHook(fn func(*tuple.Tuple)) { e.complete = fn }
+
+// InvalidateMasks discards the memoized applicability masks. Call after
+// module applicability changes — e.g. when standing queries are added to
+// or removed from shared grouped filters.
+func (e *Eddy) InvalidateMasks() {
+	e.appliesC = make(map[tuple.SourceSet]uint64)
+	e.buildsC = make(map[tuple.SourceSet]uint64)
+}
+
+// Stats returns a snapshot of activity counters.
+func (e *Eddy) Stats() Stats {
+	s := e.stats
+	s.Modules = append([]ModuleStats(nil), e.stats.Modules...)
+	return s
+}
+
+// requiredMask returns the bitmap of modules applicable to tuples spanning
+// src, memoized per source set.
+func (e *Eddy) requiredMask(src tuple.SourceSet) uint64 {
+	if m, ok := e.appliesC[src]; ok {
+		return m
+	}
+	var m uint64
+	for i, mod := range e.modules {
+		if mod.AppliesTo(src) {
+			m |= 1 << uint(i)
+		}
+	}
+	e.appliesC[src] = m
+	return m
+}
+
+// buildMask returns the bitmap of Builder modules that take tuples spanning
+// src as builds.
+func (e *Eddy) buildMask(src tuple.SourceSet) uint64 {
+	if m, ok := e.buildsC[src]; ok {
+		return m
+	}
+	var m uint64
+	for i, mod := range e.modules {
+		if b, ok := mod.(Builder); ok && b.BuildsFor(src) {
+			m |= 1 << uint(i)
+		}
+	}
+	e.buildsC[src] = m
+	return m
+}
+
+// Ingest accepts a tuple from a source (already widened to the query
+// layout) and processes it — and any tuples it spawns — to completion.
+func (e *Eddy) Ingest(t *tuple.Tuple) {
+	e.stats.Ingested++
+	e.push(t)
+	e.drain()
+}
+
+func (e *Eddy) push(t *tuple.Tuple) { e.work = append(e.work, t) }
+
+func (e *Eddy) pop() *tuple.Tuple {
+	n := len(e.work) - 1
+	t := e.work[n]
+	e.work[n] = nil
+	e.work = e.work[:n]
+	return t
+}
+
+func (e *Eddy) drain() {
+	for len(e.work) > 0 {
+		e.step(e.pop())
+	}
+}
+
+// step advances one tuple by one routing decision, re-queuing it and any
+// outputs it produced.
+func (e *Eddy) step(t *tuple.Tuple) {
+	required := e.requiredMask(t.Source)
+	ready := required &^ t.Done
+	if ready == 0 {
+		e.finish(t, required)
+		return
+	}
+
+	// Builds are routed before anything else (no policy choice), so that
+	// the symmetric-join invariant — build precedes probe — always holds.
+	var idx int
+	if builds := e.buildMask(t.Source) & ready; builds != 0 {
+		idx = trailingZeros(builds)
+	} else {
+		idx = e.policy.Choose(t, ready)
+		e.stats.Decisions++
+		if ready&(1<<uint(idx)) == 0 {
+			panic(fmt.Sprintf("eddy: policy chose module %d not in ready set %b", idx, ready))
+		}
+	}
+
+	mod := e.modules[idx]
+	outputs, pass := mod.Process(t)
+	ms := &e.stats.Modules[idx]
+	ms.Visits++
+	e.stats.Visits++
+	if pass {
+		ms.Passed++
+	}
+	ms.Produced += int64(len(outputs))
+	e.policy.Observe(idx, pass, len(outputs))
+
+	bit := uint64(1) << uint(idx)
+	for _, o := range outputs {
+		// Join matches inherit the union of work already done by their
+		// constituents plus the module that produced them.
+		o.Done |= t.Done | bit
+		e.push(o)
+	}
+	if !pass {
+		e.stats.Dropped++
+		return
+	}
+	t.Done |= bit
+	if required&^t.Done == 0 {
+		e.finish(t, required)
+		return
+	}
+	e.push(t)
+}
+
+// finish handles a tuple that has visited every applicable module: tuples
+// spanning the full stream set are emitted; partial tuples are consumed
+// (they live on inside SteMs and in the matches they seeded).
+func (e *Eddy) finish(t *tuple.Tuple, required uint64) {
+	if e.complete != nil {
+		e.complete(t)
+	}
+	if t.Source.Contains(e.all) && e.all.Contains(t.Source) {
+		if t.Queries != nil && !t.Queries.Any() {
+			e.stats.Dropped++
+			return
+		}
+		e.stats.Emitted++
+		if e.output != nil {
+			e.output(t)
+		}
+		return
+	}
+	// Partial tuple: consumed, not dropped — it was built into SteMs.
+	_ = required
+}
+
+func trailingZeros(v uint64) int { return bits.TrailingZeros64(v) }

@@ -1,0 +1,293 @@
+package eddy
+
+import (
+	"math/bits"
+	"math/rand"
+	"sort"
+
+	"telegraphcq/internal/tuple"
+)
+
+// Policy decides which ready module a tuple visits next and learns from the
+// outcome. Policies are the eddy's whole optimizer: ordering of operations
+// is reconsidered on every decision (§2.1).
+type Policy interface {
+	// Reset prepares the policy for n modules.
+	Reset(n int)
+	// Choose returns the index of a module whose bit is set in ready.
+	Choose(t *tuple.Tuple, ready uint64) int
+	// Observe reports the outcome of routing a tuple to module idx.
+	Observe(idx int, pass bool, produced int)
+}
+
+// lowestBit returns the index of the lowest set bit.
+func lowestBit(ready uint64) int { return bits.TrailingZeros64(ready) }
+
+// NaivePolicy always routes to the lowest-numbered ready module: the
+// "static order" degenerate case, useful as a control in experiments.
+type NaivePolicy struct{}
+
+// NewNaivePolicy returns a NaivePolicy.
+func NewNaivePolicy() *NaivePolicy { return &NaivePolicy{} }
+
+// Reset implements Policy.
+func (*NaivePolicy) Reset(int) {}
+
+// Choose implements Policy.
+func (*NaivePolicy) Choose(_ *tuple.Tuple, ready uint64) int { return lowestBit(ready) }
+
+// Observe implements Policy.
+func (*NaivePolicy) Observe(int, bool, int) {}
+
+// FixedPolicy routes every tuple through a fixed module order, emulating a
+// conventional static plan inside the eddy harness (the baseline in E2).
+type FixedPolicy struct {
+	order []int // module index -> rank; lower rank first
+}
+
+// NewFixedPolicy fixes the visit order to the given module indexes;
+// modules not listed are visited last in index order.
+func NewFixedPolicy(order ...int) *FixedPolicy {
+	p := &FixedPolicy{}
+	p.setOrder(order)
+	return p
+}
+
+func (p *FixedPolicy) setOrder(order []int) {
+	p.order = make([]int, 64)
+	for i := range p.order {
+		p.order[i] = 64 + i
+	}
+	for rank, idx := range order {
+		if idx < 64 {
+			p.order[idx] = rank
+		}
+	}
+}
+
+// Reset implements Policy.
+func (p *FixedPolicy) Reset(n int) {
+	if p.order == nil {
+		p.setOrder(nil)
+	}
+}
+
+// Choose implements Policy.
+func (p *FixedPolicy) Choose(_ *tuple.Tuple, ready uint64) int {
+	best, bestRank := -1, int(^uint(0)>>1)
+	for r := ready; r != 0; r &= r - 1 {
+		i := bits.TrailingZeros64(r)
+		if p.order[i] < bestRank {
+			best, bestRank = i, p.order[i]
+		}
+	}
+	return best
+}
+
+// Observe implements Policy.
+func (*FixedPolicy) Observe(int, bool, int) {}
+
+// LotteryPolicy implements the ticket-based routing of [AH00] as extended
+// by CACQ: each module holds tickets; a module gains a ticket when it
+// consumes a tuple (drops it or filters work downstream) and is debited
+// when it produces output. Low-selectivity modules therefore accumulate
+// tickets and are favoured, pushing cheap, selective work early. A small
+// exploration probability keeps stale selectivity estimates refreshable —
+// this is what lets the eddy re-optimize mid-query when data drifts.
+type LotteryPolicy struct {
+	rng     *rand.Rand
+	tickets []int64
+	window  []int64 // decaying window so old observations wash out
+	decayN  int64
+	explore float64 // probability of a uniform random choice
+	seen    int64
+}
+
+// NewLotteryPolicy creates a lottery policy seeded deterministically.
+func NewLotteryPolicy(seed int64) *LotteryPolicy {
+	return &LotteryPolicy{
+		rng:     rand.New(rand.NewSource(seed)),
+		decayN:  512,
+		explore: 0.05,
+	}
+}
+
+// Reset implements Policy.
+func (p *LotteryPolicy) Reset(n int) {
+	p.tickets = make([]int64, n)
+	p.window = make([]int64, n)
+	for i := range p.tickets {
+		p.tickets[i] = 1
+	}
+}
+
+// Choose implements Policy.
+func (p *LotteryPolicy) Choose(_ *tuple.Tuple, ready uint64) int {
+	if bits.OnesCount64(ready) == 1 {
+		return bits.TrailingZeros64(ready)
+	}
+	if p.explore > 0 && p.rng.Float64() < p.explore {
+		k := p.rng.Intn(bits.OnesCount64(ready))
+		for r := ready; ; r &= r - 1 {
+			i := bits.TrailingZeros64(r)
+			if k == 0 {
+				return i
+			}
+			k--
+		}
+	}
+	var total int64
+	for r := ready; r != 0; r &= r - 1 {
+		i := bits.TrailingZeros64(r)
+		total += p.tickets[i]
+	}
+	pick := p.rng.Int63n(total)
+	for r := ready; ; r &= r - 1 {
+		i := bits.TrailingZeros64(r)
+		pick -= p.tickets[i]
+		if pick < 0 {
+			return i
+		}
+	}
+}
+
+// Observe implements Policy.
+func (p *LotteryPolicy) Observe(idx int, pass bool, produced int) {
+	// Consume: +1 ticket. Produce: -1 per output (never below 1 so every
+	// module keeps a chance, which is also what keeps exploration alive).
+	if !pass {
+		p.tickets[idx] += 2 // dropping a tuple is maximally selective
+	} else {
+		p.tickets[idx]++
+	}
+	p.tickets[idx] -= int64(produced)
+	if p.tickets[idx] < 1 {
+		p.tickets[idx] = 1
+	}
+	// Periodic decay halves all tickets so the policy tracks drift.
+	p.seen++
+	if p.seen%p.decayN == 0 {
+		for i := range p.tickets {
+			if p.tickets[i] > 1 {
+				p.tickets[i] = (p.tickets[i] + 1) / 2
+			}
+		}
+	}
+}
+
+// Tickets exposes the current ticket counts (for experiments/diagnostics).
+func (p *LotteryPolicy) Tickets() []int64 {
+	return append([]int64(nil), p.tickets...)
+}
+
+// BatchingPolicy wraps another policy, re-drawing the routing decision only
+// every Batch tuples per (source-set, ready) signature. This is the
+// "batching tuples" knob of §4.3: when change is slow, many tuples ride a
+// cached route and per-tuple decision overhead collapses; when change is
+// fast a small batch keeps the eddy responsive.
+type BatchingPolicy struct {
+	Inner Policy
+	Batch int
+
+	cache map[uint64]batched
+}
+
+type batched struct {
+	choice int
+	left   int
+}
+
+// NewBatchingPolicy wraps inner, re-deciding every batch tuples.
+func NewBatchingPolicy(inner Policy, batch int) *BatchingPolicy {
+	if batch < 1 {
+		batch = 1
+	}
+	return &BatchingPolicy{Inner: inner, Batch: batch, cache: make(map[uint64]batched)}
+}
+
+// Reset implements Policy.
+func (p *BatchingPolicy) Reset(n int) {
+	p.Inner.Reset(n)
+	p.cache = make(map[uint64]batched)
+}
+
+// Choose implements Policy.
+func (p *BatchingPolicy) Choose(t *tuple.Tuple, ready uint64) int {
+	key := uint64(t.Source)<<32 ^ ready
+	if c, ok := p.cache[key]; ok && c.left > 0 && ready&(1<<uint(c.choice)) != 0 {
+		c.left--
+		p.cache[key] = c
+		return c.choice
+	}
+	choice := p.Inner.Choose(t, ready)
+	p.cache[key] = batched{choice: choice, left: p.Batch - 1}
+	return choice
+}
+
+// Observe implements Policy.
+func (p *BatchingPolicy) Observe(idx int, pass bool, produced int) {
+	p.Inner.Observe(idx, pass, produced)
+}
+
+// FixingPolicy implements the second §4.3 knob, "fixing operators": it
+// observes with an inner lottery, but routes through a frozen ticket-ranked
+// module order, re-deriving that order only every Refresh observations.
+// Between refreshes the eddy behaves like a static plan — no per-tuple
+// lottery draws at all — so the knob trades re-optimization frequency
+// against routing overhead at a coarser grain than tuple batching.
+type FixingPolicy struct {
+	inner   *LotteryPolicy
+	refresh int64
+	seen    int64
+	fixed   *FixedPolicy
+}
+
+// NewFixingPolicy wraps a lottery, refreshing the fixed order every
+// refresh observations.
+func NewFixingPolicy(seed int64, refresh int) *FixingPolicy {
+	if refresh < 1 {
+		refresh = 1
+	}
+	return &FixingPolicy{
+		inner:   NewLotteryPolicy(seed),
+		refresh: int64(refresh),
+		fixed:   NewFixedPolicy(),
+	}
+}
+
+// Reset implements Policy.
+func (p *FixingPolicy) Reset(n int) {
+	p.inner.Reset(n)
+	p.fixed.Reset(n)
+	p.seen = 0
+	p.refreshOrder()
+}
+
+// refreshOrder freezes the current ticket ranking into a fixed visit order.
+func (p *FixingPolicy) refreshOrder() {
+	tickets := p.inner.Tickets()
+	order := make([]int, 0, len(tickets))
+	for i := range tickets {
+		order = append(order, i)
+	}
+	// Highest tickets (most selective) first.
+	sort.SliceStable(order, func(a, b int) bool {
+		return tickets[order[a]] > tickets[order[b]]
+	})
+	p.fixed.setOrder(order)
+}
+
+// Choose implements Policy: the frozen order decides.
+func (p *FixingPolicy) Choose(t *tuple.Tuple, ready uint64) int {
+	return p.fixed.Choose(t, ready)
+}
+
+// Observe implements Policy: the lottery keeps learning in the background;
+// every refresh observations its ranking is re-frozen.
+func (p *FixingPolicy) Observe(idx int, pass bool, produced int) {
+	p.inner.Observe(idx, pass, produced)
+	p.seen++
+	if p.seen%p.refresh == 0 {
+		p.refreshOrder()
+	}
+}

@@ -1,0 +1,165 @@
+// Package egress implements result delivery (§4.3 "Egress Modules"):
+// push-based operators stream results to connected clients as they are
+// produced, while pull-based operators log results so intermittently
+// connected clients can retrieve them on demand — the delivery duality
+// TelegraphCQ inherits from CACQ (push) and PSoup (pull).
+package egress
+
+import (
+	"fmt"
+	"sync"
+
+	"telegraphcq/internal/tuple"
+)
+
+// PushEgress fans results out to subscribed clients. Delivery is
+// non-blocking: a client that cannot keep up has tuples dropped (counted),
+// never stalling the executor — the QoS stance of §4.3.
+type PushEgress struct {
+	mu      sync.Mutex
+	nextID  int
+	clients map[int]chan *tuple.Tuple
+	dropped int64
+	sent    int64
+}
+
+// NewPushEgress creates an empty fan-out.
+func NewPushEgress() *PushEgress {
+	return &PushEgress{clients: make(map[int]chan *tuple.Tuple)}
+}
+
+// Subscribe attaches a client with the given buffer; the returned channel
+// closes on Unsubscribe.
+func (e *PushEgress) Subscribe(buffer int) (int, <-chan *tuple.Tuple) {
+	if buffer < 1 {
+		buffer = 64
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	id := e.nextID
+	e.nextID++
+	ch := make(chan *tuple.Tuple, buffer)
+	e.clients[id] = ch
+	return id, ch
+}
+
+// Unsubscribe detaches a client and closes its channel.
+func (e *PushEgress) Unsubscribe(id int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ch, ok := e.clients[id]; ok {
+		close(ch)
+		delete(e.clients, id)
+	}
+}
+
+// Publish delivers t to every subscriber without blocking.
+func (e *PushEgress) Publish(t *tuple.Tuple) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, ch := range e.clients {
+		select {
+		case ch <- t:
+			e.sent++
+		default:
+			e.dropped++
+		}
+	}
+}
+
+// Stats returns delivered and dropped counts.
+func (e *PushEgress) Stats() (sent, dropped int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.sent, e.dropped
+}
+
+// PullEgress logs results in arrival order; disconnected clients fetch
+// everything since their cursor when they return.
+type PullEgress struct {
+	mu      sync.Mutex
+	log     []*tuple.Tuple
+	cap     int
+	base    int64 // absolute index of log[0]
+	cursors map[int]int64
+	nextID  int
+}
+
+// NewPullEgress keeps at most capTuples results (older ones age out).
+func NewPullEgress(capTuples int) *PullEgress {
+	if capTuples < 1 {
+		capTuples = 1 << 16
+	}
+	return &PullEgress{cap: capTuples, cursors: make(map[int]int64)}
+}
+
+// Publish appends a result to the log.
+func (e *PullEgress) Publish(t *tuple.Tuple) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.log = append(e.log, t)
+	if over := len(e.log) - e.cap; over > 0 {
+		e.log = append(e.log[:0], e.log[over:]...)
+		e.base += int64(over)
+	}
+}
+
+// Register creates a client cursor positioned at the current log end
+// (clients see results produced after they register; use RegisterAt(0) to
+// replay history).
+func (e *PullEgress) Register() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	id := e.nextID
+	e.nextID++
+	e.cursors[id] = e.base + int64(len(e.log))
+	return id
+}
+
+// RegisterAt creates a client cursor at absolute position pos (clamped to
+// the retained window).
+func (e *PullEgress) RegisterAt(pos int64) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if pos < e.base {
+		pos = e.base
+	}
+	id := e.nextID
+	e.nextID++
+	e.cursors[id] = pos
+	return id
+}
+
+// Fetch returns everything since the client's cursor and advances it. A
+// client that stayed away so long that results aged out gets the retained
+// suffix plus the number it missed.
+func (e *PullEgress) Fetch(id int) (results []*tuple.Tuple, missed int64, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cur, ok := e.cursors[id]
+	if !ok {
+		return nil, 0, fmt.Errorf("egress: unknown client %d", id)
+	}
+	if cur < e.base {
+		missed = e.base - cur
+		cur = e.base
+	}
+	start := int(cur - e.base)
+	results = append([]*tuple.Tuple(nil), e.log[start:]...)
+	e.cursors[id] = e.base + int64(len(e.log))
+	return results, missed, nil
+}
+
+// Deregister drops a client cursor.
+func (e *PullEgress) Deregister(id int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.cursors, id)
+}
+
+// Len returns the number of retained results.
+func (e *PullEgress) Len() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.log)
+}

@@ -1,0 +1,78 @@
+package egress
+
+import (
+	"sync"
+
+	"telegraphcq/internal/ops"
+	"telegraphcq/internal/tuple"
+)
+
+// PriorityEgress delivers results in user-preference order rather than
+// arrival order, using the Juggle online-reordering operator ([RRH99],
+// §4.3: "mechanisms for pushing user preferences down into the query
+// execution process"). When the buffer overflows, the LEAST interesting
+// pending result is shed — preference-aware load shedding, in contrast to
+// PushEgress's arrival-order drops.
+type PriorityEgress struct {
+	mu      sync.Mutex
+	j       *ops.Juggle
+	shed    int64
+	emitted int64
+}
+
+// NewPriorityEgress buffers at most capacity results, ordered by the
+// user-supplied priority function (higher = delivered sooner).
+func NewPriorityEgress(capacity int, priority func(*tuple.Tuple) float64) *PriorityEgress {
+	if capacity < 1 {
+		capacity = 1024
+	}
+	return &PriorityEgress{j: ops.NewJuggle(capacity, priority)}
+}
+
+// Publish buffers one result; if the buffer is full the lowest-priority
+// pending result (possibly this one) is shed and counted.
+func (e *PriorityEgress) Publish(t *tuple.Tuple) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if evicted := e.j.Push(t); evicted != nil {
+		e.shed++
+	}
+}
+
+// Next returns the highest-priority pending result, or nil when empty.
+func (e *PriorityEgress) Next() *tuple.Tuple {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t := e.j.Pop()
+	if t != nil {
+		e.emitted++
+	}
+	return t
+}
+
+// Drain returns up to max pending results in priority order.
+func (e *PriorityEgress) Drain(max int) []*tuple.Tuple {
+	var out []*tuple.Tuple
+	for max <= 0 || len(out) < max {
+		t := e.Next()
+		if t == nil {
+			break
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Pending returns the buffered result count.
+func (e *PriorityEgress) Pending() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.j.Len()
+}
+
+// Stats returns emitted and shed counts.
+func (e *PriorityEgress) Stats() (emitted, shed int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.emitted, e.shed
+}

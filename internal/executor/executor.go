@@ -1,0 +1,297 @@
+// Package executor implements the TelegraphCQ execution model (§4.2.2):
+// a small set of Execution Objects (EOs) — goroutine-backed threads of
+// control visible to the runtime — each scheduling many non-preemptive
+// Dispatch Units (DUs) that encode queries as cooperative state machines.
+// Queries are partitioned into classes by their footprint (the set of
+// streams and tables they read); queries in one class share one EO and
+// therefore can share physical SteMs and grouped filters, while disjoint
+// classes are isolated for scheduling and resource management.
+package executor
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DispatchUnit is a cooperative unit of work: Step performs a bounded
+// amount of processing and returns. DUs are never preempted mid-Step; an
+// EO interleaves its DUs round-robin (the Fjords discipline gives control
+// back voluntarily, §2.3).
+type DispatchUnit interface {
+	// Name identifies the DU in stats.
+	Name() string
+	// Step runs one bounded slice of work. progressed=false signals the
+	// DU had nothing to do (lets the EO sleep when all DUs are idle);
+	// done=true removes the DU from its EO.
+	Step() (progressed, done bool)
+}
+
+// FuncDU adapts a function to DispatchUnit.
+type FuncDU struct {
+	DUName string
+	Fn     func() (progressed, done bool)
+}
+
+// Name implements DispatchUnit.
+func (f *FuncDU) Name() string { return f.DUName }
+
+// Step implements DispatchUnit.
+func (f *FuncDU) Step() (bool, bool) { return f.Fn() }
+
+// ExecutionObject is one scheduler thread multiplexing DUs.
+type ExecutionObject struct {
+	ID int
+
+	mu   sync.Mutex
+	dus  []DispatchUnit
+	cond *sync.Cond
+
+	quit   chan struct{}
+	done   chan struct{}
+	steps  atomic.Int64
+	idle   atomic.Int64
+	panics atomic.Int64
+}
+
+func newEO(id int) *ExecutionObject {
+	eo := &ExecutionObject{ID: id, quit: make(chan struct{}), done: make(chan struct{})}
+	eo.cond = sync.NewCond(&eo.mu)
+	go eo.run()
+	return eo
+}
+
+// Attach schedules a DU on this EO.
+func (eo *ExecutionObject) Attach(du DispatchUnit) {
+	eo.mu.Lock()
+	eo.dus = append(eo.dus, du)
+	eo.mu.Unlock()
+	eo.cond.Signal()
+}
+
+// DUCount returns the number of scheduled DUs.
+func (eo *ExecutionObject) DUCount() int {
+	eo.mu.Lock()
+	defer eo.mu.Unlock()
+	return len(eo.dus)
+}
+
+// Steps returns the lifetime number of DU steps executed.
+func (eo *ExecutionObject) Steps() int64 { return eo.steps.Load() }
+
+// Panics returns the number of DUs retired after panicking.
+func (eo *ExecutionObject) Panics() int64 { return eo.panics.Load() }
+
+func (eo *ExecutionObject) run() {
+	defer close(eo.done)
+	for {
+		select {
+		case <-eo.quit:
+			return
+		default:
+		}
+		eo.mu.Lock()
+		dus := append([]DispatchUnit(nil), eo.dus...)
+		eo.mu.Unlock()
+		if len(dus) == 0 {
+			eo.waitForWork()
+			continue
+		}
+		anyProgress := false
+		var finished []DispatchUnit
+		for _, du := range dus {
+			progressed, done := eo.safeStep(du)
+			eo.steps.Add(1)
+			if progressed {
+				anyProgress = true
+			}
+			if done {
+				finished = append(finished, du)
+			}
+		}
+		if len(finished) > 0 {
+			eo.mu.Lock()
+			for _, f := range finished {
+				for i, du := range eo.dus {
+					if du == f {
+						eo.dus = append(eo.dus[:i], eo.dus[i+1:]...)
+						break
+					}
+				}
+			}
+			eo.mu.Unlock()
+		}
+		if !anyProgress {
+			eo.idle.Add(1)
+			// All DUs idle: brief sleep rather than a busy spin. DUs
+			// poll their non-blocking Fjord inputs on the next pass.
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+}
+
+// safeStep contains a panicking DU: the faulty query is retired and
+// logged while the EO and its other DUs keep running — per-query fault
+// containment inside one scheduler thread.
+func (eo *ExecutionObject) safeStep(du DispatchUnit) (progressed, done bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			log.Printf("executor: DU %s panicked and was retired: %v", du.Name(), r)
+			eo.panics.Add(1)
+			progressed, done = false, true
+		}
+	}()
+	return du.Step()
+}
+
+func (eo *ExecutionObject) waitForWork() {
+	eo.mu.Lock()
+	defer eo.mu.Unlock()
+	for len(eo.dus) == 0 {
+		select {
+		case <-eo.quit:
+			return
+		default:
+		}
+		// Timed wait so quit is honored promptly.
+		t := time.AfterFunc(time.Millisecond, eo.cond.Signal)
+		eo.cond.Wait()
+		t.Stop()
+	}
+}
+
+func (eo *ExecutionObject) stop() {
+	close(eo.quit)
+	eo.cond.Broadcast()
+	<-eo.done
+}
+
+// Executor owns the EO pool and the footprint→class→EO mapping.
+type Executor struct {
+	eos []*ExecutionObject
+
+	mu      sync.Mutex
+	parent  map[string]string // union-find over stream names
+	classEO map[string]int    // class root -> EO index
+	nextEO  int
+	stopped bool
+}
+
+// New creates an executor with n Execution Objects (n ≥ 1).
+func New(n int) *Executor {
+	if n < 1 {
+		n = 1
+	}
+	x := &Executor{
+		parent:  make(map[string]string),
+		classEO: make(map[string]int),
+	}
+	for i := 0; i < n; i++ {
+		x.eos = append(x.eos, newEO(i))
+	}
+	return x
+}
+
+// EOs exposes the execution objects (stats, tests).
+func (x *Executor) EOs() []*ExecutionObject { return x.eos }
+
+func (x *Executor) find(s string) string {
+	root := s
+	for {
+		p, ok := x.parent[root]
+		if !ok || p == root {
+			break
+		}
+		root = p
+	}
+	// Path compression.
+	for s != root {
+		next := x.parent[s]
+		x.parent[s] = root
+		s = next
+	}
+	if _, ok := x.parent[root]; !ok {
+		x.parent[root] = root
+	}
+	return root
+}
+
+// ClassFor unions the given streams into one query class and returns its
+// canonical key. Queries whose footprints overlap transitively end up in
+// the same class (§4.2.2: "query classes for disjoint sets of
+// footprints").
+func (x *Executor) ClassFor(streams []string) string {
+	if len(streams) == 0 {
+		return ""
+	}
+	sorted := append([]string(nil), streams...)
+	sort.Strings(sorted)
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	root := x.find(sorted[0])
+	for _, s := range sorted[1:] {
+		r := x.find(s)
+		if r != root {
+			// Union: the newly absorbed class keeps the older root so
+			// its EO assignment is stable.
+			if _, assigned := x.classEO[root]; assigned {
+				x.parent[r] = root
+			} else {
+				x.parent[root] = r
+				root = r
+			}
+		}
+	}
+	return root
+}
+
+// EOForClass returns the EO owning a class, assigning one round-robin on
+// first use.
+func (x *Executor) EOForClass(class string) *ExecutionObject {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	root := x.find(class)
+	if i, ok := x.classEO[root]; ok {
+		return x.eos[i]
+	}
+	i := x.nextEO % len(x.eos)
+	x.nextEO++
+	x.classEO[root] = i
+	return x.eos[i]
+}
+
+// Submit schedules a DU under the class that owns the given streams.
+func (x *Executor) Submit(streams []string, du DispatchUnit) *ExecutionObject {
+	class := x.ClassFor(streams)
+	eo := x.EOForClass(class)
+	eo.Attach(du)
+	return eo
+}
+
+// Stop shuts down all EOs, waiting for their loops to exit. Stop is
+// idempotent.
+func (x *Executor) Stop() {
+	x.mu.Lock()
+	if x.stopped {
+		x.mu.Unlock()
+		return
+	}
+	x.stopped = true
+	x.mu.Unlock()
+	for _, eo := range x.eos {
+		eo.stop()
+	}
+}
+
+// String summarizes executor state.
+func (x *Executor) String() string {
+	var b strings.Builder
+	for _, eo := range x.eos {
+		fmt.Fprintf(&b, "EO%d: %d DUs, %d steps; ", eo.ID, eo.DUCount(), eo.Steps())
+	}
+	return strings.TrimSuffix(b.String(), "; ")
+}

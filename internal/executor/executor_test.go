@@ -1,0 +1,181 @@
+package executor
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDURunsAndFinishes(t *testing.T) {
+	x := New(1)
+	defer x.Stop()
+	var n atomic.Int64
+	x.Submit([]string{"s"}, &FuncDU{DUName: "count", Fn: func() (bool, bool) {
+		v := n.Add(1)
+		return true, v >= 10
+	}})
+	deadline := time.After(5 * time.Second)
+	for n.Load() < 10 {
+		select {
+		case <-deadline:
+			t.Fatalf("DU ran %d steps", n.Load())
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// After done=true the DU is removed.
+	time.Sleep(10 * time.Millisecond)
+	if got := n.Load(); got != 10 {
+		t.Errorf("DU stepped %d times after done", got)
+	}
+	if x.EOs()[0].DUCount() != 0 {
+		t.Error("finished DU not removed")
+	}
+}
+
+func TestMultipleDUsInterleave(t *testing.T) {
+	x := New(1)
+	defer x.Stop()
+	var a, b atomic.Int64
+	x.Submit([]string{"s1"}, &FuncDU{DUName: "a", Fn: func() (bool, bool) {
+		a.Add(1)
+		return true, false
+	}})
+	x.Submit([]string{"s1"}, &FuncDU{DUName: "b", Fn: func() (bool, bool) {
+		b.Add(1)
+		return true, false
+	}})
+	time.Sleep(20 * time.Millisecond)
+	av, bv := a.Load(), b.Load()
+	if av == 0 || bv == 0 {
+		t.Fatalf("DUs did not interleave: a=%d b=%d", av, bv)
+	}
+	// Round-robin fairness: counts within a factor of 2.
+	if av > 2*bv+4 || bv > 2*av+4 {
+		t.Errorf("unfair scheduling: a=%d b=%d", av, bv)
+	}
+}
+
+func TestIdleDUsDoNotSpinHot(t *testing.T) {
+	x := New(1)
+	defer x.Stop()
+	var steps atomic.Int64
+	x.Submit([]string{"s"}, &FuncDU{DUName: "idle", Fn: func() (bool, bool) {
+		steps.Add(1)
+		return false, false // never progresses
+	}})
+	time.Sleep(20 * time.Millisecond)
+	// With a 100µs idle sleep, 20ms permits ~200 steps; a hot spin would
+	// show orders of magnitude more.
+	if s := steps.Load(); s > 2000 {
+		t.Errorf("idle DU stepped %d times in 20ms (spinning)", s)
+	}
+	if x.EOs()[0].idle.Load() == 0 {
+		t.Error("idle passes not recorded")
+	}
+}
+
+func TestFootprintClasses(t *testing.T) {
+	x := New(4)
+	defer x.Stop()
+	// Queries over {A}, {B}, {A,B}: all three must collapse into one
+	// class; {C} stays separate.
+	c1 := x.ClassFor([]string{"A"})
+	c2 := x.ClassFor([]string{"B"})
+	if c1 == c2 {
+		t.Fatal("disjoint classes merged prematurely")
+	}
+	c3 := x.ClassFor([]string{"A", "B"})
+	if x.ClassFor([]string{"A"}) != c3 || x.ClassFor([]string{"B"}) != c3 {
+		t.Error("overlapping footprints not merged")
+	}
+	c4 := x.ClassFor([]string{"C"})
+	if c4 == c3 {
+		t.Error("unrelated stream merged")
+	}
+}
+
+func TestClassEOStability(t *testing.T) {
+	x := New(4)
+	defer x.Stop()
+	classA := x.ClassFor([]string{"A"})
+	eoA := x.EOForClass(classA)
+	// Merging B into A's class must keep A's EO.
+	x.ClassFor([]string{"A", "B"})
+	if got := x.EOForClass(x.ClassFor([]string{"B"})); got != eoA {
+		t.Errorf("class EO changed after merge: %d -> %d", eoA.ID, got.ID)
+	}
+}
+
+func TestDisjointClassesSpreadOverEOs(t *testing.T) {
+	x := New(2)
+	defer x.Stop()
+	eo1 := x.Submit([]string{"S1"}, &FuncDU{DUName: "q1", Fn: func() (bool, bool) { return false, false }})
+	eo2 := x.Submit([]string{"S2"}, &FuncDU{DUName: "q2", Fn: func() (bool, bool) { return false, false }})
+	if eo1 == eo2 {
+		t.Error("disjoint classes share an EO despite free capacity")
+	}
+}
+
+func TestSubmitSameClassSameEO(t *testing.T) {
+	x := New(4)
+	defer x.Stop()
+	eo1 := x.Submit([]string{"S"}, &FuncDU{DUName: "q1", Fn: func() (bool, bool) { return false, false }})
+	eo2 := x.Submit([]string{"S"}, &FuncDU{DUName: "q2", Fn: func() (bool, bool) { return false, false }})
+	if eo1 != eo2 {
+		t.Error("same-footprint queries landed on different EOs")
+	}
+	if eo1.DUCount() != 2 {
+		t.Errorf("DU count = %d", eo1.DUCount())
+	}
+}
+
+func TestStopTerminates(t *testing.T) {
+	x := New(3)
+	x.Submit([]string{"s"}, &FuncDU{DUName: "q", Fn: func() (bool, bool) { return true, false }})
+	done := make(chan struct{})
+	go func() {
+		x.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop did not terminate")
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	x := New(2)
+	defer x.Stop()
+	if s := x.String(); s == "" {
+		t.Error("empty summary")
+	}
+}
+
+func TestPanickingDUIsContained(t *testing.T) {
+	x := New(1)
+	defer x.Stop()
+	var healthy atomic.Int64
+	x.Submit([]string{"a"}, &FuncDU{DUName: "bomb", Fn: func() (bool, bool) {
+		panic("boom")
+	}})
+	x.Submit([]string{"a"}, &FuncDU{DUName: "healthy", Fn: func() (bool, bool) {
+		healthy.Add(1)
+		return true, false
+	}})
+	deadline := time.Now().Add(5 * time.Second)
+	for healthy.Load() < 10 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if healthy.Load() < 10 {
+		t.Fatal("healthy DU starved after sibling panic")
+	}
+	eo := x.EOs()[0]
+	if eo.Panics() != 1 {
+		t.Errorf("panics = %d", eo.Panics())
+	}
+	if eo.DUCount() != 1 {
+		t.Errorf("DU count = %d (panicked DU not retired)", eo.DUCount())
+	}
+}

@@ -1,0 +1,115 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"telegraphcq/internal/tuple"
+)
+
+// ColRef names a column before binding, optionally qualified by relation
+// (or relation alias).
+type ColRef struct {
+	Relation string // "" when unqualified
+	Column   string
+}
+
+// String renders the reference in dotted form.
+func (c ColRef) String() string {
+	if c.Relation == "" {
+		return c.Column
+	}
+	return c.Relation + "." + c.Column
+}
+
+// Qualified returns "rel.col" or just "col" when unqualified.
+func (c ColRef) Qualified() string { return c.String() }
+
+// Comparison is an unbound boolean factor produced by the parser. Exactly
+// one of RightCol/RightVal is meaningful: IsJoin selects which.
+type Comparison struct {
+	Left     ColRef
+	Op       Op
+	RightCol ColRef      // when IsJoin
+	RightVal tuple.Value // when !IsJoin
+	IsJoin   bool
+}
+
+// String renders the comparison in SQL syntax.
+func (c Comparison) String() string {
+	if c.IsJoin {
+		return fmt.Sprintf("%s %s %s", c.Left, c.Op, c.RightCol)
+	}
+	right := c.RightVal.String()
+	if c.RightVal.K == tuple.KindString {
+		right = "'" + right + "'"
+	}
+	return fmt.Sprintf("%s %s %s", c.Left, c.Op, right)
+}
+
+// Relations returns the set of relation qualifiers mentioned (may contain
+// "" for unqualified references).
+func (c Comparison) Relations() []string {
+	if c.IsJoin {
+		return []string{c.Left.Relation, c.RightCol.Relation}
+	}
+	return []string{c.Left.Relation}
+}
+
+// Bind resolves a non-join comparison against a schema, producing a
+// Predicate. It reports an error for unknown or ambiguous columns.
+func (c Comparison) Bind(s *tuple.Schema) (Predicate, error) {
+	if c.IsJoin {
+		return Predicate{}, fmt.Errorf("expr: %s is a join factor, not a selection", c)
+	}
+	i := s.ColumnIndex(c.Left.Qualified())
+	if i < 0 {
+		return Predicate{}, fmt.Errorf("expr: column %s not found in schema %s", c.Left, s)
+	}
+	return Predicate{Col: i, Op: c.Op, Val: c.RightVal}, nil
+}
+
+// BindJoin resolves a join comparison so that the Left side binds against
+// probeSchema and the Right side against buildSchema, flipping the operator
+// if the factor was written the other way around.
+func (c Comparison) BindJoin(probeSchema, buildSchema *tuple.Schema) (JoinPredicate, error) {
+	if !c.IsJoin {
+		return JoinPredicate{}, fmt.Errorf("expr: %s is a selection, not a join factor", c)
+	}
+	l := probeSchema.ColumnIndex(c.Left.Qualified())
+	r := buildSchema.ColumnIndex(c.RightCol.Qualified())
+	if l >= 0 && r >= 0 {
+		return JoinPredicate{LeftCol: l, Op: c.Op, RightCol: r}, nil
+	}
+	// Try the flipped orientation.
+	l = probeSchema.ColumnIndex(c.RightCol.Qualified())
+	r = buildSchema.ColumnIndex(c.Left.Qualified())
+	if l >= 0 && r >= 0 {
+		return JoinPredicate{LeftCol: l, Op: c.Op.Flip(), RightCol: r}, nil
+	}
+	return JoinPredicate{}, fmt.Errorf("expr: cannot bind join factor %s between %s and %s",
+		c, probeSchema, buildSchema)
+}
+
+// SplitFactors partitions a conjunctive WHERE clause into single-variable
+// factors (selections) and multi-variable factors (join predicates), the
+// decomposition CACQ performs when a query enters the system.
+func SplitFactors(where []Comparison) (selections, joins []Comparison) {
+	for _, c := range where {
+		if c.IsJoin {
+			joins = append(joins, c)
+		} else {
+			selections = append(selections, c)
+		}
+	}
+	return selections, joins
+}
+
+// FormatWhere renders a conjunction for diagnostics.
+func FormatWhere(where []Comparison) string {
+	parts := make([]string, len(where))
+	for i, c := range where {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " AND ")
+}

@@ -1,0 +1,131 @@
+// Package expr defines the predicate language of the engine: comparison
+// operators, single-variable boolean factors ("grouped-filterable"
+// selections), and multi-variable factors (join predicates). Queries are
+// decomposed into these factors exactly as CACQ does (§3.1): single-variable
+// factors go to grouped filters, multi-variable factors to SteMs.
+package expr
+
+import (
+	"fmt"
+
+	"telegraphcq/internal/tuple"
+)
+
+// Op is a comparison operator.
+type Op uint8
+
+// Comparison operators.
+const (
+	Eq Op = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+// String renders the operator in SQL syntax.
+func (o Op) String() string {
+	switch o {
+	case Eq:
+		return "="
+	case Ne:
+		return "<>"
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Apply interprets a three-way comparison result under the operator.
+func (o Op) Apply(cmp int) bool {
+	switch o {
+	case Eq:
+		return cmp == 0
+	case Ne:
+		return cmp != 0
+	case Lt:
+		return cmp < 0
+	case Le:
+		return cmp <= 0
+	case Gt:
+		return cmp > 0
+	case Ge:
+		return cmp >= 0
+	default:
+		return false
+	}
+}
+
+// Flip returns the operator with sides exchanged: a < b  ==  b > a.
+func (o Op) Flip() Op {
+	switch o {
+	case Lt:
+		return Gt
+	case Le:
+		return Ge
+	case Gt:
+		return Lt
+	case Ge:
+		return Le
+	default:
+		return o // Eq and Ne are symmetric
+	}
+}
+
+// Predicate is a bound single-variable boolean factor: column <op> constant.
+// Col indexes into the tuple the predicate is evaluated against.
+type Predicate struct {
+	Col int
+	Op  Op
+	Val tuple.Value
+}
+
+// Eval evaluates the predicate against a tuple.
+func (p Predicate) Eval(t *tuple.Tuple) bool {
+	return p.Op.Apply(tuple.Compare(t.Vals[p.Col], p.Val))
+}
+
+// String renders the predicate for diagnostics.
+func (p Predicate) String() string {
+	return fmt.Sprintf("$%d %s %s", p.Col, p.Op, p.Val)
+}
+
+// Conjunction is a bound AND of single-variable factors.
+type Conjunction []Predicate
+
+// Eval reports whether every factor holds on t.
+func (c Conjunction) Eval(t *tuple.Tuple) bool {
+	for _, p := range c {
+		if !p.Eval(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// JoinPredicate is a bound multi-variable factor relating a column of a
+// probe tuple to a column of a stored (build) tuple: probe.LeftCol <op>
+// build.RightCol.
+type JoinPredicate struct {
+	LeftCol  int
+	Op       Op
+	RightCol int
+}
+
+// Eval evaluates the join predicate on a (probe, build) tuple pair.
+func (j JoinPredicate) Eval(probe, build *tuple.Tuple) bool {
+	return j.Op.Apply(tuple.Compare(probe.Vals[j.LeftCol], build.Vals[j.RightCol]))
+}
+
+// String renders the join predicate for diagnostics.
+func (j JoinPredicate) String() string {
+	return fmt.Sprintf("$L%d %s $R%d", j.LeftCol, j.Op, j.RightCol)
+}

@@ -1,0 +1,199 @@
+package expr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"telegraphcq/internal/tuple"
+)
+
+func TestOpApply(t *testing.T) {
+	cases := []struct {
+		op   Op
+		cmp  int
+		want bool
+	}{
+		{Eq, 0, true}, {Eq, -1, false},
+		{Ne, 0, false}, {Ne, 1, true},
+		{Lt, -1, true}, {Lt, 0, false},
+		{Le, 0, true}, {Le, 1, false},
+		{Gt, 1, true}, {Gt, 0, false},
+		{Ge, 0, true}, {Ge, -1, false},
+	}
+	for _, c := range cases {
+		if got := c.op.Apply(c.cmp); got != c.want {
+			t.Errorf("%s.Apply(%d) = %v", c.op, c.cmp, got)
+		}
+	}
+}
+
+func TestOpFlipInvolution(t *testing.T) {
+	// Property: a <op> b == b <flip(op)> a for all values.
+	f := func(a, b int16, opRaw uint8) bool {
+		op := Op(opRaw % 6)
+		cmp := tuple.Compare(tuple.Int(int64(a)), tuple.Int(int64(b)))
+		rcmp := tuple.Compare(tuple.Int(int64(b)), tuple.Int(int64(a)))
+		return op.Apply(cmp) == op.Flip().Apply(rcmp)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPredicateEval(t *testing.T) {
+	tup := tuple.New(tuple.Int(5), tuple.String_("MSFT"))
+	cases := []struct {
+		p    Predicate
+		want bool
+	}{
+		{Predicate{Col: 0, Op: Gt, Val: tuple.Int(3)}, true},
+		{Predicate{Col: 0, Op: Gt, Val: tuple.Int(5)}, false},
+		{Predicate{Col: 0, Op: Ge, Val: tuple.Int(5)}, true},
+		{Predicate{Col: 1, Op: Eq, Val: tuple.String_("MSFT")}, true},
+		{Predicate{Col: 1, Op: Ne, Val: tuple.String_("IBM")}, true},
+	}
+	for _, c := range cases {
+		if got := c.p.Eval(tup); got != c.want {
+			t.Errorf("%s on %s = %v", c.p, tup, got)
+		}
+	}
+}
+
+func TestConjunction(t *testing.T) {
+	tup := tuple.New(tuple.Int(5))
+	c := Conjunction{
+		{Col: 0, Op: Gt, Val: tuple.Int(1)},
+		{Col: 0, Op: Lt, Val: tuple.Int(10)},
+	}
+	if !c.Eval(tup) {
+		t.Error("conjunction should hold")
+	}
+	c = append(c, Predicate{Col: 0, Op: Eq, Val: tuple.Int(6)})
+	if c.Eval(tup) {
+		t.Error("conjunction should fail")
+	}
+}
+
+func TestComparisonBind(t *testing.T) {
+	s := tuple.NewSchema("stocks",
+		tuple.Column{Name: "symbol", Kind: tuple.KindString},
+		tuple.Column{Name: "price", Kind: tuple.KindFloat},
+	)
+	c := Comparison{Left: ColRef{Column: "price"}, Op: Gt, RightVal: tuple.Float(50)}
+	p, err := c.Bind(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Col != 1 || p.Op != Gt {
+		t.Errorf("bound = %+v", p)
+	}
+	bad := Comparison{Left: ColRef{Column: "volume"}, Op: Gt, RightVal: tuple.Int(0)}
+	if _, err := bad.Bind(s); err == nil {
+		t.Error("binding unknown column should fail")
+	}
+}
+
+func TestComparisonBindJoinFlips(t *testing.T) {
+	a := tuple.NewSchema("a", tuple.Column{Name: "x", Kind: tuple.KindInt})
+	b := tuple.NewSchema("b", tuple.Column{Name: "y", Kind: tuple.KindInt})
+	// Written as b.y < a.x but bound with probe=a, build=b: must flip.
+	c := Comparison{
+		Left:     ColRef{Relation: "b", Column: "y"},
+		Op:       Lt,
+		RightCol: ColRef{Relation: "a", Column: "x"},
+		IsJoin:   true,
+	}
+	jp, err := c.BindJoin(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jp.Op != Gt {
+		t.Errorf("op = %s, want > after flip", jp.Op)
+	}
+	probe := tuple.New(tuple.Int(5))
+	build := tuple.New(tuple.Int(3))
+	if !jp.Eval(probe, build) { // b.y=3 < a.x=5 should hold
+		t.Error("flipped join predicate evaluates wrong")
+	}
+}
+
+func TestSplitFactors(t *testing.T) {
+	where := []Comparison{
+		{Left: ColRef{Column: "p"}, Op: Gt, RightVal: tuple.Int(1)},
+		{Left: ColRef{Relation: "a", Column: "x"}, Op: Eq,
+			RightCol: ColRef{Relation: "b", Column: "y"}, IsJoin: true},
+	}
+	sel, joins := SplitFactors(where)
+	if len(sel) != 1 || len(joins) != 1 {
+		t.Errorf("split = %d selections, %d joins", len(sel), len(joins))
+	}
+}
+
+func TestFormatWhere(t *testing.T) {
+	where := []Comparison{
+		{Left: ColRef{Column: "price"}, Op: Gt, RightVal: tuple.Float(50)},
+		{Left: ColRef{Column: "symbol"}, Op: Eq, RightVal: tuple.String_("MSFT")},
+	}
+	got := FormatWhere(where)
+	want := "price > 50 AND symbol = 'MSFT'"
+	if got != want {
+		t.Errorf("FormatWhere = %q, want %q", got, want)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	if Op(99).String() == "" {
+		t.Error("unknown op renders empty")
+	}
+	for op, want := range map[Op]string{Eq: "=", Ne: "<>", Lt: "<", Le: "<=", Gt: ">", Ge: ">="} {
+		if op.String() != want {
+			t.Errorf("%d = %q", op, op.String())
+		}
+	}
+	p := Predicate{Col: 2, Op: Gt, Val: tuple.Int(5)}
+	if p.String() != "$2 > 5" {
+		t.Errorf("predicate = %q", p.String())
+	}
+	j := JoinPredicate{LeftCol: 1, Op: Eq, RightCol: 3}
+	if j.String() != "$L1 = $R3" {
+		t.Errorf("join predicate = %q", j.String())
+	}
+	c := Comparison{Left: ColRef{Relation: "a", Column: "x"}, Op: Lt,
+		RightCol: ColRef{Column: "y"}, IsJoin: true}
+	if c.String() != "a.x < y" {
+		t.Errorf("comparison = %q", c.String())
+	}
+	s := Comparison{Left: ColRef{Column: "name"}, Op: Eq, RightVal: tuple.String_("bob")}
+	if s.String() != "name = 'bob'" {
+		t.Errorf("selection = %q", s.String())
+	}
+}
+
+func TestComparisonRelations(t *testing.T) {
+	j := Comparison{Left: ColRef{Relation: "a", Column: "x"}, Op: Eq,
+		RightCol: ColRef{Relation: "b", Column: "y"}, IsJoin: true}
+	rs := j.Relations()
+	if len(rs) != 2 || rs[0] != "a" || rs[1] != "b" {
+		t.Errorf("relations = %v", rs)
+	}
+	s := Comparison{Left: ColRef{Column: "x"}, Op: Eq, RightVal: tuple.Int(1)}
+	if rs := s.Relations(); len(rs) != 1 || rs[0] != "" {
+		t.Errorf("selection relations = %v", rs)
+	}
+}
+
+func TestBindJoinOnSelectionFails(t *testing.T) {
+	a := tuple.NewSchema("a", tuple.Column{Name: "x", Kind: tuple.KindInt})
+	sel := Comparison{Left: ColRef{Column: "x"}, Op: Eq, RightVal: tuple.Int(1)}
+	if _, err := sel.BindJoin(a, a); err == nil {
+		t.Error("BindJoin on selection succeeded")
+	}
+	join := Comparison{Left: ColRef{Column: "nope"}, Op: Eq,
+		RightCol: ColRef{Column: "alsono"}, IsJoin: true}
+	if _, err := join.BindJoin(a, a); err == nil {
+		t.Error("unresolvable join bound")
+	}
+	if _, err := join.Bind(a); err == nil {
+		t.Error("Bind on join factor succeeded")
+	}
+}

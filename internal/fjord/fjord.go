@@ -1,0 +1,89 @@
+package fjord
+
+import (
+	"runtime"
+
+	"telegraphcq/internal/tuple"
+)
+
+// Conn is one directed connection between a producer and a consumer module:
+// a queue plus the modality governing how each side accesses it.
+type Conn struct {
+	Q *Queue
+	M Modality
+}
+
+// NewConn builds a connection with the given modality and capacity.
+func NewConn(m Modality, capacity int) *Conn {
+	return &Conn{Q: NewQueue(capacity), M: m}
+}
+
+// Send delivers a tuple according to the connection's modality. It returns
+// false when the tuple could not be delivered (push connection full, or
+// connection closed).
+func (c *Conn) Send(t *tuple.Tuple) bool {
+	switch c.M {
+	case Push, Exchange:
+		return c.Q.Push(t)
+	default:
+		return c.Q.PushWait(t)
+	}
+}
+
+// Recv obtains the next tuple according to the connection's modality. For
+// push connections ok=false may mean "momentarily empty"; check Drained to
+// detect end-of-stream.
+func (c *Conn) Recv() (*tuple.Tuple, bool) {
+	switch c.M {
+	case Push:
+		return c.Q.Pop()
+	default:
+		return c.Q.PopWait()
+	}
+}
+
+// Close marks end-of-stream on the connection.
+func (c *Conn) Close() { c.Q.Close() }
+
+// Drained reports whether no further tuples will ever arrive.
+func (c *Conn) Drained() bool { return c.Q.Drained() }
+
+// Stage is a dataflow module in a Fjord pipeline: it consumes tuples from
+// in and emits to out. A Stage must emit at-will (possibly zero or many
+// tuples per input) and return when in is drained, closing out.
+type Stage func(in, out *Conn)
+
+// Transform lifts a per-tuple function into a Stage. fn returns the tuples
+// to emit for each input tuple.
+func Transform(fn func(*tuple.Tuple) []*tuple.Tuple) Stage {
+	return func(in, out *Conn) {
+		defer out.Close()
+		for {
+			t, ok := in.Recv()
+			if !ok {
+				if in.Drained() {
+					return
+				}
+				runtime.Gosched() // push connection momentarily empty; yield
+				continue
+			}
+			for _, o := range fn(t) {
+				out.Send(o)
+			}
+		}
+	}
+}
+
+// Pipeline connects stages with queues of the given modality and capacity
+// and runs them concurrently. It returns the final output connection; the
+// caller feeds src and reads the result. Stages run in their own
+// goroutines, mirroring Telegraph's composable module graphs (Fig. 1).
+func Pipeline(src *Conn, m Modality, capacity int, stages ...Stage) *Conn {
+	in := src
+	for _, s := range stages {
+		out := NewConn(m, capacity)
+		go s(in, out)
+		in = out
+	}
+	return in
+}

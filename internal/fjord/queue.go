@@ -1,0 +1,184 @@
+// Package fjord implements the Fjords inter-module communication API
+// (§2.3): bounded queues connecting dataflow modules, supporting both
+// "push" (non-blocking) and "pull" (blocking) modalities so that modules
+// can be written agnostic to whether their inputs and outputs are streamed
+// or static. A pull-queue uses blocking dequeue/enqueue; a push-queue uses
+// non-blocking operations, returning control to the consumer when empty so
+// it can pursue other computation; Exchange semantics combine a blocking
+// dequeue with a non-blocking enqueue.
+package fjord
+
+import (
+	"sync"
+
+	"telegraphcq/internal/tuple"
+)
+
+// Modality selects the blocking behaviour of a connection.
+type Modality uint8
+
+// Connection modalities.
+const (
+	// Pull blocks on both enqueue (when full) and dequeue (when empty),
+	// like an iterator boundary in a traditional engine.
+	Pull Modality = iota
+	// Push never blocks: enqueue fails when full, dequeue fails when
+	// empty, letting the caller yield or do other work.
+	Push
+	// Exchange blocks consumers on empty but never blocks producers,
+	// reproducing Graefe's Exchange semantics [Graf93].
+	Exchange
+)
+
+// String names the modality.
+func (m Modality) String() string {
+	switch m {
+	case Pull:
+		return "pull"
+	case Push:
+		return "push"
+	case Exchange:
+		return "exchange"
+	default:
+		return "unknown"
+	}
+}
+
+// Queue is a bounded MPMC tuple queue. The zero value is not usable; create
+// queues with NewQueue. All methods are safe for concurrent use.
+type Queue struct {
+	mu       sync.Mutex
+	notEmpty sync.Cond
+	notFull  sync.Cond
+	buf      []*tuple.Tuple
+	head     int
+	size     int
+	closed   bool
+
+	// stats
+	enqueued int64
+	dropped  int64
+}
+
+// NewQueue returns a queue with the given capacity (minimum 1).
+func NewQueue(capacity int) *Queue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	q := &Queue{buf: make([]*tuple.Tuple, capacity)}
+	q.notEmpty.L = &q.mu
+	q.notFull.L = &q.mu
+	return q
+}
+
+// Cap returns the queue capacity.
+func (q *Queue) Cap() int { return len(q.buf) }
+
+// Len returns the current number of queued tuples.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}
+
+// Push enqueues without blocking. It returns false when the queue is full
+// or closed; callers may spool, drop, or retry.
+func (q *Queue) Push(t *tuple.Tuple) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || q.size == len(q.buf) {
+		q.dropped++
+		return false
+	}
+	q.put(t)
+	return true
+}
+
+// PushWait enqueues, blocking while the queue is full. It returns false if
+// the queue was closed before the tuple could be enqueued.
+func (q *Queue) PushWait(t *tuple.Tuple) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.size == len(q.buf) && !q.closed {
+		q.notFull.Wait()
+	}
+	if q.closed {
+		return false
+	}
+	q.put(t)
+	return true
+}
+
+func (q *Queue) put(t *tuple.Tuple) {
+	q.buf[(q.head+q.size)%len(q.buf)] = t
+	q.size++
+	q.enqueued++
+	q.notEmpty.Signal()
+}
+
+// Pop dequeues without blocking. ok is false when the queue is momentarily
+// empty (or closed and drained); use Drained to distinguish.
+func (q *Queue) Pop() (t *tuple.Tuple, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.size == 0 {
+		return nil, false
+	}
+	return q.take(), true
+}
+
+// PopWait dequeues, blocking while the queue is empty. ok is false only
+// when the queue has been closed and fully drained.
+func (q *Queue) PopWait() (t *tuple.Tuple, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.size == 0 && !q.closed {
+		q.notEmpty.Wait()
+	}
+	if q.size == 0 {
+		return nil, false
+	}
+	return q.take(), true
+}
+
+func (q *Queue) take() *tuple.Tuple {
+	t := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.size--
+	q.notFull.Signal()
+	return t
+}
+
+// Close marks end-of-stream. Blocked consumers wake and drain; subsequent
+// enqueues fail. Closing twice is harmless.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.notEmpty.Broadcast()
+	q.notFull.Broadcast()
+}
+
+// Closed reports whether Close has been called.
+func (q *Queue) Closed() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed
+}
+
+// Drained reports whether the queue is closed and empty: the consumer will
+// never see another tuple.
+func (q *Queue) Drained() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed && q.size == 0
+}
+
+// Stats returns the lifetime enqueue count and the number of rejected
+// non-blocking pushes.
+func (q *Queue) Stats() (enqueued, dropped int64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.enqueued, q.dropped
+}

@@ -1,0 +1,129 @@
+package flux
+
+import (
+	"sync/atomic"
+	"time"
+
+	"telegraphcq/internal/tuple"
+)
+
+// msgKind discriminates node inbox messages.
+type msgKind uint8
+
+const (
+	msgData    msgKind = iota // primary data tuple: process, emit outputs
+	msgReplica                // standby copy: apply to state, suppress outputs
+	msgExtract                // state movement: extract bucket, reply on ch
+	msgInstall                // state movement: install bucket state, ack
+)
+
+// message is one unit of node work.
+type message struct {
+	kind   msgKind
+	bucket int
+	t      *tuple.Tuple
+	state  []*tuple.Tuple
+	reply  chan []*tuple.Tuple // msgExtract
+	ack    chan struct{}       // msgInstall
+}
+
+// Node is one simulated shared-nothing machine: a goroutine draining an
+// inbox into a Consumer instance. Delay models heterogeneous or saturated
+// capacity (a busy-wait per data message).
+type Node struct {
+	ID    int
+	cons  Consumer
+	inbox chan message
+	// Delay is artificial per-data-message processing cost.
+	Delay time.Duration
+
+	alive     atomic.Bool
+	processed atomic.Int64
+	dropped   atomic.Int64
+	done      chan struct{}
+	out       func(*tuple.Tuple)
+	pending   atomic.Int64 // cluster-wide outstanding counter, shared
+}
+
+func newNode(id int, cons Consumer, inboxCap int, out func(*tuple.Tuple), outstanding *atomic.Int64) *Node {
+	n := &Node{
+		ID:    id,
+		cons:  cons,
+		inbox: make(chan message, inboxCap),
+		done:  make(chan struct{}),
+		out:   out,
+	}
+	n.alive.Store(true)
+	go n.run(outstanding)
+	return n
+}
+
+func (n *Node) run(outstanding *atomic.Int64) {
+	defer close(n.done)
+	for msg := range n.inbox {
+		n.handle(msg)
+		outstanding.Add(-1)
+	}
+}
+
+func (n *Node) handle(msg message) {
+	if !n.alive.Load() {
+		// A failed machine: everything in its inbox is lost. Replies
+		// still unblock callers so the controller never deadlocks.
+		n.dropped.Add(1)
+		switch msg.kind {
+		case msgExtract:
+			msg.reply <- nil
+		case msgInstall:
+			msg.ack <- struct{}{}
+		}
+		return
+	}
+	switch msg.kind {
+	case msgData:
+		if n.Delay > 0 {
+			spinWait(n.Delay)
+		}
+		outs := n.cons.Apply(msg.bucket, msg.t)
+		if n.out != nil {
+			for _, o := range outs {
+				n.out(o)
+			}
+		}
+		n.processed.Add(1)
+	case msgReplica:
+		// Replicas apply state changes but suppress output, the
+		// loosely coupled process-pair of §2.4.
+		if ra, ok := n.cons.(ReplicaAware); ok {
+			ra.ApplyReplica(msg.bucket, msg.t)
+		} else {
+			n.cons.Apply(msg.bucket, msg.t)
+		}
+		n.processed.Add(1)
+	case msgExtract:
+		msg.reply <- n.cons.ExtractState(msg.bucket)
+	case msgInstall:
+		n.cons.InstallState(msg.bucket, msg.state)
+		msg.ack <- struct{}{}
+	}
+}
+
+// Processed returns the number of data/replica messages handled.
+func (n *Node) Processed() int64 { return n.processed.Load() }
+
+// Dropped returns the number of messages lost to failure.
+func (n *Node) Dropped() int64 { return n.dropped.Load() }
+
+// Alive reports whether the node is up.
+func (n *Node) Alive() bool { return n.alive.Load() }
+
+// Consumer exposes the node's operator instance (read it only when the
+// cluster is idle).
+func (n *Node) Consumer() Consumer { return n.cons }
+
+// spinWait busy-waits to model CPU cost without descheduling noise.
+func spinWait(d time.Duration) {
+	end := time.Now().Add(d)
+	for time.Now().Before(end) {
+	}
+}

@@ -1,0 +1,192 @@
+// Package flux implements the Flux module ([SHCF03], §2.4): a
+// fault-tolerant, load-balancing exchange interposed between producer and
+// consumer operators in a partitioned, pipelined dataflow. Input tuples are
+// hash-partitioned into buckets; buckets map to nodes of a simulated
+// shared-nothing cluster (each node is a goroutine-confined partition with
+// its own operator state and inbox — the substitution documented in
+// DESIGN.md). Flux provides:
+//
+//   - online repartitioning: buckets migrate between nodes mid-stream, the
+//     state movement protocol buffering and replaying in-flight tuples so
+//     processing continues smoothly (§2.4 "load balancing");
+//   - process-pair replication: every bucket may have a standby replica on
+//     another node receiving the same inputs; on node failure the standby
+//     is promoted and processing continues without human intervention
+//     (§2.4 "fault tolerance"). Replication is per-bucket and optional —
+//     the paper's reliability/performance "knob".
+package flux
+
+import (
+	"sync"
+
+	"telegraphcq/internal/tuple"
+)
+
+// Consumer is the partitioned operator a Flux feeds: one instance lives on
+// each node, holding the state of the buckets currently assigned there.
+// Implementations need no locking: each node applies messages serially.
+type Consumer interface {
+	// Apply processes tuple t under bucket b, returning output tuples.
+	Apply(b int, t *tuple.Tuple) []*tuple.Tuple
+	// ExtractState removes and returns bucket b's state for migration.
+	ExtractState(b int) []*tuple.Tuple
+	// InstallState installs bucket b's state received from another node.
+	InstallState(b int, state []*tuple.Tuple)
+	// BucketSize reports the number of state tuples held for bucket b.
+	BucketSize(b int) int
+}
+
+// ConsumerFactory builds one Consumer instance per node.
+type ConsumerFactory func() Consumer
+
+// ReplicaAware is an optional extension: consumers that must distinguish
+// standby (process-pair) applications from primary ones implement it —
+// e.g. to apply replicas to shadow state and suppress their output. Plain
+// consumers receive replica tuples through Apply with outputs discarded.
+type ReplicaAware interface {
+	Consumer
+	// ApplyReplica processes a standby copy of t under bucket b.
+	ApplyReplica(b int, t *tuple.Tuple)
+}
+
+// GroupCount is a partitioned grouped COUNT/SUM operator: per key it
+// counts tuples and sums a value column. It is the consumer used by the
+// load-balancing experiment (a windowless streaming aggregate).
+type GroupCount struct {
+	KeyCol int
+	SumCol int // -1 to disable the sum
+	groups map[int]map[uint64]*groupState
+}
+
+type groupState struct {
+	key   tuple.Value
+	count int64
+	sum   float64
+}
+
+// NewGroupCount builds the factory for a grouped count/sum consumer.
+func NewGroupCount(keyCol, sumCol int) ConsumerFactory {
+	return func() Consumer {
+		return &GroupCount{KeyCol: keyCol, SumCol: sumCol,
+			groups: make(map[int]map[uint64]*groupState)}
+	}
+}
+
+func (g *GroupCount) bucket(b int) map[uint64]*groupState {
+	m, ok := g.groups[b]
+	if !ok {
+		m = make(map[uint64]*groupState)
+		g.groups[b] = m
+	}
+	return m
+}
+
+// Apply implements Consumer.
+func (g *GroupCount) Apply(b int, t *tuple.Tuple) []*tuple.Tuple {
+	key := t.Vals[g.KeyCol]
+	m := g.bucket(b)
+	gs, ok := m[key.Hash()]
+	if !ok {
+		gs = &groupState{key: key}
+		m[key.Hash()] = gs
+	}
+	gs.count++
+	if g.SumCol >= 0 {
+		gs.sum += t.Vals[g.SumCol].AsFloat()
+	}
+	return nil
+}
+
+// ExtractState implements Consumer: state serializes as (key, count, sum)
+// tuples.
+func (g *GroupCount) ExtractState(b int) []*tuple.Tuple {
+	m := g.groups[b]
+	delete(g.groups, b)
+	out := make([]*tuple.Tuple, 0, len(m))
+	for _, gs := range m {
+		out = append(out, tuple.New(gs.key, tuple.Int(gs.count), tuple.Float(gs.sum)))
+	}
+	return out
+}
+
+// InstallState implements Consumer.
+func (g *GroupCount) InstallState(b int, state []*tuple.Tuple) {
+	m := g.bucket(b)
+	for _, t := range state {
+		key := t.Vals[0]
+		gs, ok := m[key.Hash()]
+		if !ok {
+			gs = &groupState{key: key}
+			m[key.Hash()] = gs
+		}
+		gs.count += t.Vals[1].AsInt()
+		gs.sum += t.Vals[2].AsFloat()
+	}
+}
+
+// BucketSize implements Consumer.
+func (g *GroupCount) BucketSize(b int) int { return len(g.groups[b]) }
+
+// Counts folds the consumer's state into a key→count map (test/apply-side
+// accessor; call only when the cluster is idle).
+func (g *GroupCount) Counts() map[string]int64 {
+	out := make(map[string]int64)
+	for _, m := range g.groups {
+		for _, gs := range m {
+			out[gs.key.String()] += gs.count
+		}
+	}
+	return out
+}
+
+// JoinHalf is a partitioned half-join consumer: it stores build tuples per
+// bucket and probes them with probe tuples (distinguished by Source bit 1).
+// Used to show Flux carrying operators with large, ever-changing internal
+// state (§2.4).
+type JoinHalf struct {
+	KeyCol  int
+	buckets map[int][]*tuple.Tuple
+
+	mu      sync.Mutex
+	Matches int64
+}
+
+// NewJoinHalf builds the factory for the half-join consumer.
+func NewJoinHalf(keyCol int) ConsumerFactory {
+	return func() Consumer {
+		return &JoinHalf{KeyCol: keyCol, buckets: make(map[int][]*tuple.Tuple)}
+	}
+}
+
+// Apply implements Consumer: tuples with Source bit 0 build; bit 1 probes.
+func (j *JoinHalf) Apply(b int, t *tuple.Tuple) []*tuple.Tuple {
+	if t.Source.Contains(tuple.SingleSource(1)) {
+		var out []*tuple.Tuple
+		for _, cand := range j.buckets[b] {
+			if tuple.Equal(cand.Vals[j.KeyCol], t.Vals[j.KeyCol]) {
+				out = append(out, cand.Concat(t))
+			}
+		}
+		j.mu.Lock()
+		j.Matches += int64(len(out))
+		j.mu.Unlock()
+		return out
+	}
+	j.buckets[b] = append(j.buckets[b], t)
+	return nil
+}
+
+// ExtractState implements Consumer.
+func (j *JoinHalf) ExtractState(b int) []*tuple.Tuple {
+	st := j.buckets[b]
+	delete(j.buckets, b)
+	return st
+}
+
+// InstallState implements Consumer.
+func (j *JoinHalf) InstallState(b int, state []*tuple.Tuple) {
+	j.buckets[b] = append(j.buckets[b], state...)
+}
+
+// BucketSize implements Consumer.
+func (j *JoinHalf) BucketSize(b int) int { return len(j.buckets[b]) }

@@ -1,0 +1,364 @@
+package flux
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"telegraphcq/internal/tuple"
+)
+
+// Config parameterizes a Flux instance.
+type Config struct {
+	// Nodes is the simulated cluster size.
+	Nodes int
+	// Buckets is the number of hash buckets (≥ Nodes; more buckets give
+	// finer-grained rebalancing).
+	Buckets int
+	// KeyCol is the tuple column partitioned on.
+	KeyCol int
+	// Replicate enables process-pair standby replicas per bucket — the
+	// reliability knob of §2.4. Costs one extra copy per input.
+	Replicate bool
+	// InboxCap bounds each node's inbox (back-pressure).
+	InboxCap int
+	// Output receives consumer outputs (may be nil). It must be
+	// goroutine-safe: nodes call it concurrently.
+	Output func(*tuple.Tuple)
+}
+
+// Flux is the partitioning exchange plus its controller.
+type Flux struct {
+	cfg   Config
+	nodes []*Node
+
+	mu         sync.RWMutex
+	primary    []int // bucket -> node
+	standby    []int // bucket -> node (-1 when unreplicated)
+	held       map[int][]message
+	bucketLoad []int64 // recent per-bucket message counts (atomic)
+
+	outstanding atomic.Int64
+	routed      atomic.Int64
+	migrations  atomic.Int64
+	failovers   atomic.Int64
+	lost        atomic.Int64
+}
+
+// New builds the cluster and starts its nodes.
+func New(cfg Config, factory ConsumerFactory) *Flux {
+	if cfg.Nodes < 1 {
+		cfg.Nodes = 1
+	}
+	if cfg.Buckets < cfg.Nodes {
+		cfg.Buckets = cfg.Nodes * 8
+	}
+	if cfg.InboxCap < 1 {
+		cfg.InboxCap = 1024
+	}
+	f := &Flux{
+		cfg:        cfg,
+		primary:    make([]int, cfg.Buckets),
+		standby:    make([]int, cfg.Buckets),
+		held:       make(map[int][]message),
+		bucketLoad: make([]int64, cfg.Buckets),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		f.nodes = append(f.nodes, newNode(i, factory(), cfg.InboxCap, cfg.Output, &f.outstanding))
+	}
+	for b := 0; b < cfg.Buckets; b++ {
+		f.primary[b] = b % cfg.Nodes
+		if cfg.Replicate && cfg.Nodes > 1 {
+			f.standby[b] = (b + 1) % cfg.Nodes
+		} else {
+			f.standby[b] = -1
+		}
+	}
+	return f
+}
+
+// Nodes returns the cluster's nodes.
+func (f *Flux) Nodes() []*Node { return f.nodes }
+
+// Bucket returns the bucket a tuple routes to.
+func (f *Flux) Bucket(t *tuple.Tuple) int {
+	return int(t.Vals[f.cfg.KeyCol].Hash() % uint64(f.cfg.Buckets))
+}
+
+func (f *Flux) send(node int, msg message) {
+	f.outstanding.Add(1)
+	f.nodes[node].inbox <- msg
+}
+
+// Route partitions one tuple to its bucket's primary (and standby replica
+// when replication is on). During a bucket migration, tuples are buffered
+// and replayed to the new owner in order — the smooth repartitioning of
+// §2.4.
+func (f *Flux) Route(t *tuple.Tuple) {
+	b := f.Bucket(t)
+	f.routed.Add(1)
+	atomic.AddInt64(&f.bucketLoad[b], 1)
+
+	for {
+		f.mu.RLock()
+		if _, migrating := f.held[b]; !migrating {
+			// The send must happen under the lock: once Migrate takes
+			// the write lock and pauses the bucket, the Extract it
+			// enqueues is guaranteed to follow every already-sent data
+			// message in the old owner's FIFO inbox.
+			p, s := f.primary[b], f.standby[b]
+			f.send(p, message{kind: msgData, bucket: b, t: t})
+			if s >= 0 {
+				f.send(s, message{kind: msgReplica, bucket: b, t: t})
+			}
+			f.mu.RUnlock()
+			return
+		}
+		f.mu.RUnlock()
+
+		f.mu.Lock()
+		if _, still := f.held[b]; still {
+			f.held[b] = append(f.held[b], message{kind: msgData, bucket: b, t: t})
+			s := f.standby[b]
+			f.mu.Unlock()
+			if s >= 0 {
+				f.send(s, message{kind: msgReplica, bucket: b, t: t})
+			}
+			return
+		}
+		f.mu.Unlock()
+		// Migration completed between the checks; retry the fast path.
+	}
+}
+
+// Migrate moves bucket b from its current primary to node to, using the
+// state movement protocol: pause the bucket (buffering arrivals), drain
+// the old owner FIFO, extract state, install it at the target, then replay
+// the buffered tuples and resume.
+func (f *Flux) Migrate(b, to int) error {
+	f.mu.Lock()
+	from := f.primary[b]
+	if from == to {
+		f.mu.Unlock()
+		return nil
+	}
+	if !f.nodes[to].Alive() {
+		f.mu.Unlock()
+		return fmt.Errorf("flux: migration target node %d is down", to)
+	}
+	if _, already := f.held[b]; already {
+		f.mu.Unlock()
+		return fmt.Errorf("flux: bucket %d is already migrating", b)
+	}
+	f.held[b] = []message{}
+	f.mu.Unlock()
+
+	// Extract rides the same FIFO inbox as data, so every tuple routed
+	// before the pause is folded into the state before it moves.
+	reply := make(chan []*tuple.Tuple, 1)
+	f.send(from, message{kind: msgExtract, bucket: b, reply: reply})
+	state := <-reply
+
+	ack := make(chan struct{}, 1)
+	f.send(to, message{kind: msgInstall, bucket: b, state: state, ack: ack})
+	<-ack
+
+	f.mu.Lock()
+	f.primary[b] = to
+	buffered := f.held[b]
+	delete(f.held, b)
+	f.mu.Unlock()
+
+	for _, msg := range buffered {
+		f.send(to, msg)
+	}
+	f.migrations.Add(1)
+	return nil
+}
+
+// Loads returns the recent per-node load (sum of owned buckets' counters
+// since the last Rebalance).
+func (f *Flux) Loads() []int64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	loads := make([]int64, len(f.nodes))
+	for b, p := range f.primary {
+		loads[p] += atomic.LoadInt64(&f.bucketLoad[b])
+	}
+	return loads
+}
+
+// Rebalance performs online repartitioning: it greedily moves the hottest
+// buckets from the most- to the least-loaded alive node until loads are
+// within factor (e.g. 1.5) of each other, then resets the load window.
+func (f *Flux) Rebalance(factor float64) int {
+	if factor < 1 {
+		factor = 1
+	}
+	moves := 0
+	for iter := 0; iter < f.cfg.Buckets; iter++ {
+		loads := f.Loads()
+		maxN, minN := -1, -1
+		for i, n := range f.nodes {
+			if !n.Alive() {
+				continue
+			}
+			if maxN < 0 || loads[i] > loads[maxN] {
+				maxN = i
+			}
+			if minN < 0 || loads[i] < loads[minN] {
+				minN = i
+			}
+		}
+		if maxN < 0 || minN < 0 || maxN == minN {
+			break
+		}
+		if float64(loads[maxN]) <= factor*float64(loads[minN])+1 {
+			break
+		}
+		// Move the hottest bucket owned by maxN whose load fits the gap.
+		f.mu.RLock()
+		best, bestLoad := -1, int64(-1)
+		gap := (loads[maxN] - loads[minN]) / 2
+		for b, p := range f.primary {
+			if p != maxN {
+				continue
+			}
+			l := atomic.LoadInt64(&f.bucketLoad[b])
+			if l > bestLoad && l <= gap {
+				best, bestLoad = b, l
+			}
+		}
+		if best < 0 { // no bucket fits half the gap; take the coolest non-idle one
+			for b, p := range f.primary {
+				if p != maxN {
+					continue
+				}
+				l := atomic.LoadInt64(&f.bucketLoad[b])
+				if l > 0 && (best < 0 || l < bestLoad) {
+					best, bestLoad = b, l
+				}
+			}
+		}
+		f.mu.RUnlock()
+		if best < 0 || bestLoad == 0 {
+			// Every movable bucket is idle: the imbalance comes from a
+			// single hot bucket (one dominant key) that hashing cannot
+			// split further. Moving cold buckets would churn state for
+			// no balance gain.
+			break
+		}
+		if err := f.Migrate(best, minN); err != nil {
+			break
+		}
+		moves++
+	}
+	if moves > 0 {
+		for b := range f.bucketLoad {
+			atomic.StoreInt64(&f.bucketLoad[b], 0)
+		}
+	}
+	return moves
+}
+
+// Fail kills a node. Buckets whose primary died fail over to their standby
+// replicas (state and in-flight copies already there); unreplicated buckets
+// are reassigned empty — their state is lost, which is exactly the
+// degraded mode the per-bucket replication knob trades away.
+func (f *Flux) Fail(id int) {
+	f.nodes[id].alive.Store(false)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	alive := f.aliveLocked()
+	if len(alive) == 0 {
+		return
+	}
+	k := 0
+	for b := range f.primary {
+		if f.primary[b] != id {
+			if f.standby[b] == id {
+				f.standby[b] = -1 // lost redundancy only
+			}
+			continue
+		}
+		if s := f.standby[b]; s >= 0 && f.nodes[s].Alive() {
+			f.primary[b] = s
+			f.standby[b] = -1
+			f.failovers.Add(1)
+		} else {
+			f.primary[b] = alive[k%len(alive)]
+			k++
+			f.standby[b] = -1
+			f.lost.Add(1)
+		}
+	}
+}
+
+func (f *Flux) aliveLocked() []int {
+	var out []int
+	for i, n := range f.nodes {
+		if n.Alive() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// WaitIdle blocks until every routed message has been processed (or
+// dropped by a dead node), or the timeout elapses. It returns whether the
+// cluster quiesced.
+func (f *Flux) WaitIdle(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		f.mu.RLock()
+		holding := len(f.held)
+		f.mu.RUnlock()
+		if f.outstanding.Load() == 0 && holding == 0 {
+			return true
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	return false
+}
+
+// Close shuts down the cluster's nodes after quiescing.
+func (f *Flux) Close() {
+	f.WaitIdle(5 * time.Second)
+	for _, n := range f.nodes {
+		close(n.inbox)
+	}
+	for _, n := range f.nodes {
+		<-n.done
+	}
+}
+
+// Stats summarizes Flux activity.
+type Stats struct {
+	Routed        int64
+	Migrations    int64
+	Failovers     int64
+	LostBuckets   int64
+	NodeProcessed []int64
+}
+
+// Stats returns a snapshot.
+func (f *Flux) Stats() Stats {
+	s := Stats{
+		Routed:      f.routed.Load(),
+		Migrations:  f.migrations.Load(),
+		Failovers:   f.failovers.Load(),
+		LostBuckets: f.lost.Load(),
+	}
+	for _, n := range f.nodes {
+		s.NodeProcessed = append(s.NodeProcessed, n.Processed())
+	}
+	return s
+}
+
+// Assignment returns a copy of the bucket→primary map (diagnostics).
+func (f *Flux) Assignment() []int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return append([]int(nil), f.primary...)
+}

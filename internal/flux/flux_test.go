@@ -1,0 +1,284 @@
+package flux
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"telegraphcq/internal/tuple"
+	"telegraphcq/internal/workload"
+)
+
+func mkKeyed(key int64) *tuple.Tuple {
+	return tuple.New(tuple.Int(key), tuple.Int(1))
+}
+
+// totalCounts folds every node's GroupCount state.
+func totalCounts(f *Flux) map[string]int64 {
+	out := make(map[string]int64)
+	for _, n := range f.Nodes() {
+		if !n.Alive() {
+			continue
+		}
+		for k, v := range n.Consumer().(*GroupCount).Counts() {
+			out[k] += v
+		}
+	}
+	return out
+}
+
+func TestPartitionedCountCorrectness(t *testing.T) {
+	f := New(Config{Nodes: 4, Buckets: 32, KeyCol: 0}, NewGroupCount(0, 1))
+	defer f.Close()
+	const keys, per = 50, 20
+	for k := int64(0); k < keys; k++ {
+		for i := 0; i < per; i++ {
+			f.Route(mkKeyed(k))
+		}
+	}
+	if !f.WaitIdle(5 * time.Second) {
+		t.Fatal("cluster did not quiesce")
+	}
+	counts := totalCounts(f)
+	if len(counts) != keys {
+		t.Fatalf("distinct keys = %d, want %d", len(counts), keys)
+	}
+	for k, c := range counts {
+		if c != per {
+			t.Errorf("key %s count = %d, want %d", k, c, per)
+		}
+	}
+}
+
+func TestMigrationPreservesState(t *testing.T) {
+	f := New(Config{Nodes: 2, Buckets: 4, KeyCol: 0}, NewGroupCount(0, 1))
+	defer f.Close()
+	for i := 0; i < 1000; i++ {
+		f.Route(mkKeyed(int64(i % 10)))
+	}
+	// Migrate every bucket to node 1 mid-stream-ish.
+	for b := 0; b < 4; b++ {
+		if err := f.Migrate(b, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		f.Route(mkKeyed(int64(i % 10)))
+	}
+	if !f.WaitIdle(5 * time.Second) {
+		t.Fatal("did not quiesce")
+	}
+	counts := totalCounts(f)
+	for k, c := range counts {
+		if c != 200 {
+			t.Errorf("key %s count = %d, want 200", k, c)
+		}
+	}
+	// All state must now live on node 1.
+	n0 := f.Nodes()[0].Consumer().(*GroupCount)
+	if len(n0.Counts()) != 0 {
+		t.Errorf("node 0 still holds state after migration: %v", n0.Counts())
+	}
+	for _, p := range f.Assignment() {
+		if p != 1 {
+			t.Errorf("assignment = %v", f.Assignment())
+			break
+		}
+	}
+}
+
+func TestConcurrentRoutingDuringMigration(t *testing.T) {
+	f := New(Config{Nodes: 3, Buckets: 24, KeyCol: 0}, NewGroupCount(0, 1))
+	defer f.Close()
+	const total = 30000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; i++ {
+			f.Route(mkKeyed(int64(i % 100)))
+		}
+	}()
+	// Fire migrations while the router is running.
+	for m := 0; m < 20; m++ {
+		b := m % 24
+		to := (m + 1) % 3
+		_ = f.Migrate(b, to) // "already migrating" errors are fine
+		time.Sleep(time.Millisecond)
+	}
+	wg.Wait()
+	if !f.WaitIdle(10 * time.Second) {
+		t.Fatal("did not quiesce")
+	}
+	var sum int64
+	for _, c := range totalCounts(f) {
+		sum += c
+	}
+	if sum != total {
+		t.Fatalf("total count = %d, want %d (tuples lost or duplicated in migration)", sum, total)
+	}
+}
+
+func TestRebalanceUnderSkew(t *testing.T) {
+	f := New(Config{Nodes: 4, Buckets: 64, KeyCol: 0}, NewGroupCount(0, 1))
+	defer f.Close()
+	gen := workload.NewPacketGenerator(7, 1000, 1.0) // Zipf-skewed hosts
+	for i := 0; i < 20000; i++ {
+		p := gen.Next()
+		f.Route(tuple.New(p.Vals[1], tuple.Int(1))) // key = src host
+	}
+	f.WaitIdle(5 * time.Second)
+	before := f.Loads()
+	maxB, minB := before[0], before[0]
+	for _, l := range before {
+		if l > maxB {
+			maxB = l
+		}
+		if l < minB {
+			minB = l
+		}
+	}
+	moves := f.Rebalance(1.3)
+	if moves == 0 {
+		t.Fatalf("no rebalancing occurred for skewed load %v", before)
+	}
+	// Route the same skewed traffic again; the new assignment must be
+	// more even than the old one.
+	gen2 := workload.NewPacketGenerator(7, 1000, 1.0)
+	for i := 0; i < 20000; i++ {
+		p := gen2.Next()
+		f.Route(tuple.New(p.Vals[1], tuple.Int(1)))
+	}
+	f.WaitIdle(5 * time.Second)
+	after := f.Loads()
+	maxA, minA := after[0], after[0]
+	for _, l := range after {
+		if l > maxA {
+			maxA = l
+		}
+		if l < minA {
+			minA = l
+		}
+	}
+	if maxA-minA >= maxB-minB {
+		t.Errorf("imbalance did not improve: before spread %d, after %d (moves=%d)",
+			maxB-minB, maxA-minA, moves)
+	}
+}
+
+func TestFailoverWithReplication(t *testing.T) {
+	f := New(Config{Nodes: 3, Buckets: 12, KeyCol: 0, Replicate: true}, NewGroupCount(0, 1))
+	defer f.Close()
+	const keys, per = 30, 10
+	for k := int64(0); k < keys; k++ {
+		for i := 0; i < per; i++ {
+			f.Route(mkKeyed(k))
+		}
+	}
+	f.WaitIdle(5 * time.Second)
+	f.Fail(0)
+	// Continue processing after the failure.
+	for k := int64(0); k < keys; k++ {
+		for i := 0; i < per; i++ {
+			f.Route(mkKeyed(k))
+		}
+	}
+	if !f.WaitIdle(5 * time.Second) {
+		t.Fatal("did not quiesce after failover")
+	}
+	st := f.Stats()
+	if st.Failovers == 0 {
+		t.Fatal("no failovers recorded")
+	}
+	if st.LostBuckets != 0 {
+		t.Fatalf("%d buckets lost despite replication", st.LostBuckets)
+	}
+	counts := totalCounts(f)
+	// Replication double-counts: each key was applied at primary and
+	// standby. After failover the surviving replica holds at least the
+	// full count; we check no key fell below 2*per (primary+standby for
+	// both rounds) minus the replica halves lost with node 0.
+	for k, c := range counts {
+		if c < 2*per {
+			t.Errorf("key %s count = %d after failover, want >= %d (state lost)",
+				k, c, 2*per)
+		}
+	}
+}
+
+func TestFailoverWithoutReplicationLosesState(t *testing.T) {
+	f := New(Config{Nodes: 2, Buckets: 8, KeyCol: 0, Replicate: false}, NewGroupCount(0, 1))
+	defer f.Close()
+	for k := int64(0); k < 16; k++ {
+		f.Route(mkKeyed(k))
+	}
+	f.WaitIdle(5 * time.Second)
+	f.Fail(0)
+	st := f.Stats()
+	if st.LostBuckets == 0 {
+		t.Error("expected lost buckets without replication")
+	}
+	// Cluster still routes (degraded, not halted).
+	f.Route(mkKeyed(99))
+	if !f.WaitIdle(5 * time.Second) {
+		t.Fatal("cluster wedged after unreplicated failure")
+	}
+}
+
+func TestJoinHalfConsumer(t *testing.T) {
+	f := New(Config{Nodes: 2, Buckets: 8, KeyCol: 0}, NewJoinHalf(0))
+	var mu sync.Mutex
+	var outs []*tuple.Tuple
+	f.cfg.Output = nil // outputs checked via Matches
+	for i := int64(0); i < 10; i++ {
+		b := tuple.New(tuple.Int(i % 3))
+		b.Source = tuple.SingleSource(0) // build
+		f.Route(b)
+	}
+	f.WaitIdle(5 * time.Second)
+	probe := tuple.New(tuple.Int(1))
+	probe.Source = tuple.SingleSource(1)
+	f.Route(probe)
+	if !f.WaitIdle(5 * time.Second) {
+		t.Fatal("did not quiesce")
+	}
+	var matches int64
+	for _, n := range f.Nodes() {
+		matches += n.Consumer().(*JoinHalf).Matches
+	}
+	if matches != 3 { // keys 1, 4, 7
+		t.Errorf("join matches = %d, want 3", matches)
+	}
+	mu.Lock()
+	_ = outs
+	mu.Unlock()
+}
+
+func TestMigrateErrors(t *testing.T) {
+	f := New(Config{Nodes: 2, Buckets: 4, KeyCol: 0}, NewGroupCount(0, 1))
+	defer f.Close()
+	if err := f.Migrate(0, f.Assignment()[0]); err != nil {
+		t.Errorf("no-op migrate errored: %v", err)
+	}
+	f.Fail(1)
+	// After Fail(1) buckets were reassigned to node 0; migrating to the
+	// dead node must fail.
+	if err := f.Migrate(0, 1); err == nil {
+		t.Error("migration to dead node succeeded")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	f := New(Config{Nodes: 2, Buckets: 4, KeyCol: 0}, NewGroupCount(0, 1))
+	defer f.Close()
+	f.Route(mkKeyed(1))
+	f.WaitIdle(time.Second)
+	st := f.Stats()
+	if st.Routed != 1 {
+		t.Errorf("routed = %d", st.Routed)
+	}
+	if s := fmt.Sprintf("%+v", st); s == "" {
+		t.Error("empty stats")
+	}
+}

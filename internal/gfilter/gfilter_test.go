@@ -1,0 +1,175 @@
+package gfilter
+
+import (
+	"math/rand"
+	"testing"
+
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/tuple"
+)
+
+func TestSingleFactorClasses(t *testing.T) {
+	g := New(0, tuple.SingleSource(0))
+	g.Add(0, expr.Predicate{Col: 0, Op: expr.Gt, Val: tuple.Int(10)})
+	g.Add(1, expr.Predicate{Col: 0, Op: expr.Ge, Val: tuple.Int(10)})
+	g.Add(2, expr.Predicate{Col: 0, Op: expr.Lt, Val: tuple.Int(10)})
+	g.Add(3, expr.Predicate{Col: 0, Op: expr.Le, Val: tuple.Int(10)})
+	g.Add(4, expr.Predicate{Col: 0, Op: expr.Eq, Val: tuple.Int(10)})
+	g.Add(5, expr.Predicate{Col: 0, Op: expr.Ne, Val: tuple.Int(10)})
+
+	check := func(v int64, wantPass ...int) {
+		t.Helper()
+		failing := g.Failing(tuple.Int(v))
+		pass := map[int]bool{}
+		for _, q := range wantPass {
+			pass[q] = true
+		}
+		for q := 0; q <= 5; q++ {
+			if failing.Test(q) == pass[q] {
+				t.Errorf("v=%d query %d: failing=%v, want pass=%v",
+					v, q, failing.Test(q), pass[q])
+			}
+		}
+	}
+	check(9, 2, 3, 5)  // > and >= fail; <, <=, <> pass; = fails
+	check(10, 1, 3, 4) // >= , <=, = pass
+	check(11, 0, 1, 5) // >, >=, <> pass
+}
+
+func TestMultiFactorRangeQuery(t *testing.T) {
+	// Query 0: 5 < x < 15 — two factors on the same attribute; both must
+	// hold, and a failure of either clears the bit.
+	g := New(0, tuple.SingleSource(0))
+	g.Add(0, expr.Predicate{Col: 0, Op: expr.Gt, Val: tuple.Int(5)})
+	g.Add(0, expr.Predicate{Col: 0, Op: expr.Lt, Val: tuple.Int(15)})
+	for v, pass := range map[int64]bool{4: false, 5: false, 6: true, 14: true, 15: false} {
+		if got := !g.Failing(tuple.Int(v)).Test(0); got != pass {
+			t.Errorf("v=%d pass=%v, want %v", v, got, pass)
+		}
+	}
+}
+
+func TestApplyClearsLineage(t *testing.T) {
+	g := New(0, tuple.SingleSource(0))
+	g.Add(0, expr.Predicate{Col: 0, Op: expr.Gt, Val: tuple.Int(50)})
+	g.Add(1, expr.Predicate{Col: 0, Op: expr.Le, Val: tuple.Int(50)})
+	tp := tuple.New(tuple.Int(60))
+	tp.Queries = tuple.NewBitset(2)
+	tp.Queries.SetAll(2)
+	if !g.Apply(tp) {
+		t.Fatal("no query survived")
+	}
+	if !tp.Queries.Test(0) || tp.Queries.Test(1) {
+		t.Errorf("lineage = %v", tp.Queries)
+	}
+}
+
+func TestRemoveQuery(t *testing.T) {
+	g := New(0, tuple.SingleSource(0))
+	g.Add(0, expr.Predicate{Col: 0, Op: expr.Gt, Val: tuple.Int(10)})
+	g.Add(1, expr.Predicate{Col: 0, Op: expr.Eq, Val: tuple.Int(3)})
+	g.Remove(0)
+	if g.Registered().Test(0) {
+		t.Error("query 0 still registered")
+	}
+	if g.Len() != 1 {
+		t.Errorf("len = %d", g.Len())
+	}
+	// Query 0's factor must no longer fail anything.
+	if g.Failing(tuple.Int(5)).Test(0) {
+		t.Error("removed query still fails tuples")
+	}
+}
+
+func TestStringFactors(t *testing.T) {
+	g := New(0, tuple.SingleSource(0))
+	g.Add(0, expr.Predicate{Col: 0, Op: expr.Eq, Val: tuple.String_("MSFT")})
+	g.Add(1, expr.Predicate{Col: 0, Op: expr.Ne, Val: tuple.String_("MSFT")})
+	g.Add(2, expr.Predicate{Col: 0, Op: expr.Lt, Val: tuple.String_("N")})
+	f := g.Failing(tuple.String_("MSFT"))
+	if f.Test(0) || !f.Test(1) || f.Test(2) {
+		t.Errorf("failing for MSFT = %v", f)
+	}
+	f = g.Failing(tuple.String_("ORCL"))
+	if !f.Test(0) || f.Test(1) || !f.Test(2) {
+		t.Errorf("failing for ORCL = %v", f)
+	}
+}
+
+// TestEquivalenceWithNaive is the load-bearing property test: for random
+// factor sets and random values, the grouped filter must agree exactly with
+// per-query naive evaluation.
+func TestEquivalenceWithNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	ops := []expr.Op{expr.Eq, expr.Ne, expr.Lt, expr.Le, expr.Gt, expr.Ge}
+	for trial := 0; trial < 50; trial++ {
+		g := New(0, tuple.SingleSource(0))
+		const nq = 40
+		preds := make([][]expr.Predicate, nq)
+		for q := 0; q < nq; q++ {
+			nf := 1 + rng.Intn(3)
+			for f := 0; f < nf; f++ {
+				p := expr.Predicate{
+					Col: 0,
+					Op:  ops[rng.Intn(len(ops))],
+					Val: tuple.Int(int64(rng.Intn(20))),
+				}
+				preds[q] = append(preds[q], p)
+				g.Add(q, p)
+			}
+		}
+		for v := int64(-1); v <= 21; v++ {
+			tp := tuple.New(tuple.Int(v))
+			failing := g.Failing(tuple.Int(v))
+			for q := 0; q < nq; q++ {
+				naive := true
+				for _, p := range preds[q] {
+					if !p.Eval(tp) {
+						naive = false
+						break
+					}
+				}
+				if got := !failing.Test(q); got != naive {
+					t.Fatalf("trial %d v=%d q=%d (%v): grouped=%v naive=%v",
+						trial, v, q, preds[q], got, naive)
+				}
+			}
+		}
+	}
+}
+
+func TestModuleInterface(t *testing.T) {
+	l := tuple.NewLayout(tuple.NewSchema("S",
+		tuple.Column{Name: "x", Kind: tuple.KindInt}))
+	g := New(0, tuple.SingleSource(0))
+	g.Add(0, expr.Predicate{Col: 0, Op: expr.Gt, Val: tuple.Int(5)})
+	m := NewModule("gf", g)
+	if m.Name() != "gf" {
+		t.Error("name")
+	}
+	if !m.AppliesTo(tuple.SingleSource(0)) || m.AppliesTo(tuple.SingleSource(1)) {
+		t.Error("AppliesTo")
+	}
+	tp := l.Widen(0, tuple.New(tuple.Int(3)))
+	tp.Queries = tuple.NewBitset(1)
+	tp.Queries.Set(0)
+	if _, pass := m.Process(tp); pass {
+		t.Error("tuple failing all queries passed")
+	}
+}
+
+func TestMixedAddRemoveRebuild(t *testing.T) {
+	g := New(0, tuple.SingleSource(0))
+	g.Add(0, expr.Predicate{Col: 0, Op: expr.Gt, Val: tuple.Int(5)})
+	_ = g.Failing(tuple.Int(6)) // force rebuild
+	g.Add(1, expr.Predicate{Col: 0, Op: expr.Gt, Val: tuple.Int(7)})
+	f := g.Failing(tuple.Int(6))
+	if f.Test(0) || !f.Test(1) {
+		t.Errorf("failing after incremental add = %v", f)
+	}
+	g.Remove(1)
+	f = g.Failing(tuple.Int(6))
+	if f.Test(1) {
+		t.Error("failing set contains removed query")
+	}
+}

@@ -1,0 +1,108 @@
+package ingress
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"telegraphcq/internal/tuple"
+)
+
+// PushServer is a push-server source (§4.2.3): external producers connect
+// to a well-known port served by the Wrapper process and write CSV lines;
+// the wrapper's goroutines perform the network I/O so the executor never
+// blocks on the network.
+type PushServer struct {
+	schema *tuple.Schema
+	ln     net.Listener
+	out    chan *tuple.Tuple
+	quit   chan struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+	conns  atomic.Int64
+}
+
+// NewPushServer listens on addr (e.g. "127.0.0.1:0") for CSV producers.
+func NewPushServer(schema *tuple.Schema, addr string, buffer int) (*PushServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ingress: push server: %w", err)
+	}
+	if buffer < 1 {
+		buffer = 1024
+	}
+	ps := &PushServer{
+		schema: schema,
+		ln:     ln,
+		out:    make(chan *tuple.Tuple, buffer),
+		quit:   make(chan struct{}),
+	}
+	ps.wg.Add(1)
+	go ps.accept()
+	return ps, nil
+}
+
+// Addr returns the bound listen address.
+func (ps *PushServer) Addr() string { return ps.ln.Addr().String() }
+
+func (ps *PushServer) accept() {
+	defer ps.wg.Done()
+	for {
+		conn, err := ps.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		ps.conns.Add(1)
+		ps.wg.Add(1)
+		go ps.serve(conn)
+	}
+}
+
+func (ps *PushServer) serve(conn net.Conn) {
+	defer ps.wg.Done()
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		t, err := ParseCSV(ps.schema, line)
+		if err != nil {
+			fmt.Fprintf(conn, "ERR %v\n", err)
+			continue
+		}
+		select {
+		case ps.out <- t:
+		case <-ps.quit:
+			return
+		}
+	}
+}
+
+// Next implements Source: io.EOF after Close.
+func (ps *PushServer) Next() (*tuple.Tuple, error) {
+	t, ok := <-ps.out
+	if !ok {
+		return nil, io.EOF
+	}
+	return t, nil
+}
+
+// Connections returns the number of producer connections accepted.
+func (ps *PushServer) Connections() int64 { return ps.conns.Load() }
+
+// Close stops the listener, unblocks producers, and ends the source.
+func (ps *PushServer) Close() error {
+	if ps.closed.Swap(true) {
+		return nil
+	}
+	close(ps.quit)
+	err := ps.ln.Close()
+	ps.wg.Wait()
+	close(ps.out)
+	return err
+}

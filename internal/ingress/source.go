@@ -1,0 +1,196 @@
+// Package ingress implements the Wrapper side of TelegraphCQ (§4.2.3): the
+// operators that move external data into the engine. Wrappers run apart
+// from query processing (here: their own goroutines) so no ingress
+// operation can block the executor. Two source modalities are supported,
+// as in the paper: pull sources, which the wrapper drives (with simulated
+// network latency), and push sources, where data arrives on its own —
+// either over a local channel (push-client) or a TCP port served by the
+// wrapper (push-server). A streamer stamps arrival sequence numbers,
+// optionally spools tuples to the storage manager, and hands them to the
+// executor over a Fjords connection.
+package ingress
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"telegraphcq/internal/tuple"
+)
+
+// Source produces tuples from somewhere outside the engine.
+type Source interface {
+	// Next returns the next tuple, blocking as the medium requires.
+	// io.EOF signals a cleanly exhausted source.
+	Next() (*tuple.Tuple, error)
+	// Close releases the source.
+	Close() error
+}
+
+// FuncSource adapts a generator function (e.g. a workload generator) into
+// a pull source with optional simulated per-fetch latency — the remote
+// web-source model used by the hybrid-join experiment (E3).
+type FuncSource struct {
+	fn      func() (*tuple.Tuple, error)
+	latency time.Duration
+	closed  atomic.Bool
+}
+
+// NewFuncSource wraps fn; latency is added to every Next call.
+func NewFuncSource(fn func() (*tuple.Tuple, error), latency time.Duration) *FuncSource {
+	return &FuncSource{fn: fn, latency: latency}
+}
+
+// Next implements Source.
+func (s *FuncSource) Next() (*tuple.Tuple, error) {
+	if s.closed.Load() {
+		return nil, io.EOF
+	}
+	if s.latency > 0 {
+		time.Sleep(s.latency)
+	}
+	return s.fn()
+}
+
+// Close implements Source.
+func (s *FuncSource) Close() error {
+	s.closed.Store(true)
+	return nil
+}
+
+// SliceSource replays a fixed tuple slice (tables, tests, recorded traces).
+type SliceSource struct {
+	tuples []*tuple.Tuple
+	i      int
+}
+
+// NewSliceSource wraps the given tuples.
+func NewSliceSource(tuples []*tuple.Tuple) *SliceSource {
+	return &SliceSource{tuples: tuples}
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (*tuple.Tuple, error) {
+	if s.i >= len(s.tuples) {
+		return nil, io.EOF
+	}
+	t := s.tuples[s.i]
+	s.i++
+	return t, nil
+}
+
+// Close implements Source.
+func (s *SliceSource) Close() error { return nil }
+
+// CSVSource parses comma-separated lines from r into tuples matching
+// schema. It is the local file reader wrapper of Fig. 1; blank lines and
+// lines starting with '#' are skipped.
+type CSVSource struct {
+	schema *tuple.Schema
+	sc     *bufio.Scanner
+	closer io.Closer
+	line   int
+}
+
+// NewCSVSource reads schema-shaped CSV from r.
+func NewCSVSource(schema *tuple.Schema, r io.Reader) *CSVSource {
+	cs := &CSVSource{schema: schema, sc: bufio.NewScanner(r)}
+	if c, ok := r.(io.Closer); ok {
+		cs.closer = c
+	}
+	return cs
+}
+
+// Next implements Source.
+func (s *CSVSource) Next() (*tuple.Tuple, error) {
+	for s.sc.Scan() {
+		s.line++
+		line := strings.TrimSpace(s.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := ParseCSV(s.schema, line)
+		if err != nil {
+			return nil, fmt.Errorf("ingress: line %d: %w", s.line, err)
+		}
+		return t, nil
+	}
+	if err := s.sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, io.EOF
+}
+
+// Close implements Source.
+func (s *CSVSource) Close() error {
+	if s.closer != nil {
+		return s.closer.Close()
+	}
+	return nil
+}
+
+// ParseCSV converts one comma-separated line into a tuple under schema.
+func ParseCSV(schema *tuple.Schema, line string) (*tuple.Tuple, error) {
+	fields := strings.Split(line, ",")
+	if len(fields) != schema.Arity() {
+		return nil, fmt.Errorf("want %d fields, got %d", schema.Arity(), len(fields))
+	}
+	vals := make([]tuple.Value, len(fields))
+	for i, f := range fields {
+		f = strings.TrimSpace(f)
+		col := schema.Columns[i]
+		switch col.Kind {
+		case tuple.KindInt, tuple.KindTime:
+			v, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("field %s: %w", col.Name, err)
+			}
+			vals[i] = tuple.Value{K: col.Kind, I: v}
+		case tuple.KindFloat:
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("field %s: %w", col.Name, err)
+			}
+			vals[i] = tuple.Float(v)
+		case tuple.KindBool:
+			v, err := strconv.ParseBool(f)
+			if err != nil {
+				return nil, fmt.Errorf("field %s: %w", col.Name, err)
+			}
+			vals[i] = tuple.Bool(v)
+		default:
+			vals[i] = tuple.String_(f)
+		}
+	}
+	return tuple.New(vals...), nil
+}
+
+// FormatCSV renders a tuple as a comma-separated line (inverse of
+// ParseCSV; used by egress and the TCP wire protocol).
+func FormatCSV(t *tuple.Tuple) string {
+	parts := make([]string, len(t.Vals))
+	for i, v := range t.Vals {
+		if v.K == tuple.KindTime {
+			parts[i] = strconv.FormatInt(v.I, 10)
+		} else {
+			parts[i] = v.String()
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// OpenCSVFile opens a CSV file as a pull source — the "local file reader"
+// wrapper of Fig. 1. The file is closed by Close (or at EOF via the
+// streamer's Close call).
+func OpenCSVFile(schema *tuple.Schema, path string) (*CSVSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("ingress: %w", err)
+	}
+	return NewCSVSource(schema, f), nil
+}

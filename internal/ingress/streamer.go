@@ -1,0 +1,92 @@
+package ingress
+
+import (
+	"io"
+	"sync/atomic"
+
+	"telegraphcq/internal/fjord"
+	"telegraphcq/internal/storage"
+	"telegraphcq/internal/tuple"
+)
+
+// Streamer produces tuples for one stream (§4.2.3): it drains a Source,
+// stamps arrival sequence numbers (the logical notion of time), fills in
+// the physical timestamp from a schema column when configured, optionally
+// spools every tuple to the storage manager, and delivers to the executor
+// over a Fjords connection.
+type Streamer struct {
+	source  Source
+	out     *fjord.Conn
+	store   *storage.SegmentStore // optional spool
+	timeCol int                   // schema column carrying TS, or -1
+	seq     atomic.Int64
+	count   atomic.Int64
+	errv    atomic.Value // error
+	done    chan struct{}
+}
+
+// NewStreamer builds a streamer delivering to out. timeCol names the
+// column whose value becomes the tuple's TS (-1 leaves TS = Seq). store
+// may be nil to skip spooling.
+func NewStreamer(source Source, out *fjord.Conn, timeCol int, store *storage.SegmentStore) *Streamer {
+	return &Streamer{
+		source:  source,
+		out:     out,
+		store:   store,
+		timeCol: timeCol,
+		done:    make(chan struct{}),
+	}
+}
+
+// Start begins pumping in a goroutine; the output connection is closed
+// when the source ends.
+func (s *Streamer) Start() {
+	go func() {
+		defer close(s.done)
+		defer s.out.Close()
+		for {
+			t, err := s.source.Next()
+			if err != nil {
+				if err != io.EOF {
+					s.errv.Store(err)
+				}
+				return
+			}
+			s.Stamp(t)
+			if s.store != nil {
+				if err := s.store.Append(t); err != nil {
+					s.errv.Store(err)
+					return
+				}
+			}
+			if !s.out.Send(t) {
+				// Push connection full: the non-blocking contract says
+				// drop here; the spool retains the tuple for history.
+				continue
+			}
+			s.count.Add(1)
+		}
+	}()
+}
+
+// Stamp assigns the arrival sequence number and physical timestamp.
+func (s *Streamer) Stamp(t *tuple.Tuple) {
+	t.Seq = s.seq.Add(1)
+	if s.timeCol >= 0 && s.timeCol < len(t.Vals) {
+		t.TS = t.Vals[s.timeCol].AsInt()
+	} else {
+		t.TS = t.Seq
+	}
+}
+
+// Wait blocks until the streamer finishes and returns its error, if any.
+func (s *Streamer) Wait() error {
+	<-s.done
+	if e := s.errv.Load(); e != nil {
+		return e.(error)
+	}
+	return nil
+}
+
+// Delivered returns the number of tuples sent downstream.
+func (s *Streamer) Delivered() int64 { return s.count.Load() }

@@ -1,0 +1,138 @@
+// Package metrics provides the lightweight counters and latency recorders
+// the benchmark harness uses to report experiment results. Everything is
+// allocation-free on the hot path.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is an atomic event counter.
+type Counter struct{ v int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { atomic.AddInt64(&c.v, 1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { atomic.AddInt64(&c.v, n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return atomic.LoadInt64(&c.v) }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { atomic.StoreInt64(&c.v, 0) }
+
+// Histogram records durations for quantile reporting. It keeps raw samples
+// up to a cap, then reservoir-samples; good enough for benchmark summaries.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	count   int64
+	sum     time.Duration
+	max     time.Duration
+	cap     int
+}
+
+// NewHistogram returns a histogram keeping at most capSamples samples.
+func NewHistogram(capSamples int) *Histogram {
+	if capSamples <= 0 {
+		capSamples = 4096
+	}
+	return &Histogram{cap: capSamples}
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+	if len(h.samples) < h.cap {
+		h.samples = append(h.samples, d)
+		return
+	}
+	// Deterministic reservoir: overwrite pseudo-randomly by count.
+	i := int(h.count * 2654435761 % int64(h.cap))
+	if i < 0 {
+		i = -i
+	}
+	h.samples[i] = d
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the mean duration (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Max returns the maximum observation.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the retained samples.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), h.samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := int(math.Ceil(q*float64(len(s)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}
+
+// String summarizes the distribution.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		h.Count(), h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Max())
+}
+
+// Throughput measures events per second over a wall-clock interval.
+type Throughput struct {
+	start  time.Time
+	events Counter
+}
+
+// Start begins (or restarts) the measurement window.
+func (t *Throughput) Start() { t.start = time.Now(); t.events.Reset() }
+
+// Add records n events.
+func (t *Throughput) Add(n int64) { t.events.Add(n) }
+
+// Rate returns events/second since Start.
+func (t *Throughput) Rate() float64 {
+	el := time.Since(t.start).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(t.events.Value()) / el
+}

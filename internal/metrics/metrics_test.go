@@ -1,0 +1,96 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("value = %d", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("value = %d", c.Value())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(100)
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Max() != 100*time.Millisecond {
+		t.Errorf("max = %v", h.Max())
+	}
+	mean := h.Mean()
+	if mean < 50*time.Millisecond || mean > 51*time.Millisecond {
+		t.Errorf("mean = %v", mean)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 45*time.Millisecond || p50 > 55*time.Millisecond {
+		t.Errorf("p50 = %v", p50)
+	}
+	if q := h.Quantile(1.0); q != 100*time.Millisecond {
+		t.Errorf("p100 = %v", q)
+	}
+	if h.String() == "" {
+		t.Error("empty summary")
+	}
+}
+
+func TestHistogramReservoir(t *testing.T) {
+	h := NewHistogram(16)
+	for i := 0; i < 10000; i++ {
+		h.Record(time.Millisecond)
+	}
+	if h.Count() != 10000 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Quantile(0.5) != time.Millisecond {
+		t.Errorf("p50 = %v", h.Quantile(0.5))
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(4)
+	if h.Mean() != 0 || h.Quantile(0.9) != 0 || h.Max() != 0 {
+		t.Error("empty histogram nonzero")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	var tp Throughput
+	tp.Start()
+	tp.Add(1000)
+	time.Sleep(10 * time.Millisecond)
+	r := tp.Rate()
+	if r <= 0 || r > 1e6 {
+		t.Errorf("rate = %f", r)
+	}
+}

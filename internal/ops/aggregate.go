@@ -1,0 +1,268 @@
+package ops
+
+import (
+	"fmt"
+
+	"telegraphcq/internal/tuple"
+)
+
+// AggFunc enumerates the supported aggregate functions.
+type AggFunc uint8
+
+// Aggregate functions.
+const (
+	Count AggFunc = iota
+	Sum
+	Avg
+	Min
+	Max
+)
+
+// String names the aggregate in SQL syntax.
+func (f AggFunc) String() string {
+	switch f {
+	case Count:
+		return "COUNT"
+	case Sum:
+		return "SUM"
+	case Avg:
+		return "AVG"
+	case Min:
+		return "MIN"
+	case Max:
+		return "MAX"
+	default:
+		return fmt.Sprintf("AggFunc(%d)", uint8(f))
+	}
+}
+
+// AggSpec is one aggregate expression: Fn over wide-row column Col (Col is
+// ignored for COUNT(*), pass -1).
+type AggSpec struct {
+	Fn  AggFunc
+	Col int
+}
+
+// String renders "SUM($3)".
+func (s AggSpec) String() string {
+	if s.Col < 0 {
+		return s.Fn.String() + "(*)"
+	}
+	return fmt.Sprintf("%s($%d)", s.Fn, s.Col)
+}
+
+// accum is the running state of one aggregate over one group.
+type accum struct {
+	count int64
+	sum   float64
+	min   tuple.Value
+	max   tuple.Value
+	seen  bool
+}
+
+func (a *accum) add(v tuple.Value) {
+	a.count++
+	a.sum += v.AsFloat()
+	if !a.seen {
+		a.min, a.max, a.seen = v, v, true
+		return
+	}
+	if tuple.Compare(v, a.min) < 0 {
+		a.min = v
+	}
+	if tuple.Compare(v, a.max) > 0 {
+		a.max = v
+	}
+}
+
+func (a *accum) result(fn AggFunc) tuple.Value {
+	switch fn {
+	case Count:
+		return tuple.Int(a.count)
+	case Sum:
+		return tuple.Float(a.sum)
+	case Avg:
+		if a.count == 0 {
+			return tuple.Null
+		}
+		return tuple.Float(a.sum / float64(a.count))
+	case Min:
+		if !a.seen {
+			return tuple.Null
+		}
+		return a.min
+	case Max:
+		if !a.seen {
+			return tuple.Null
+		}
+		return a.max
+	default:
+		return tuple.Null
+	}
+}
+
+// Aggregator computes grouped aggregates over the tuple set of one window
+// instance. Output tuples carry the group key values followed by one value
+// per AggSpec. For landmark windows prefer LandmarkAgg, which is
+// incremental (§4.1.2 notes a landmark MAX needs no window retention while
+// a sliding MAX requires the whole window — reproduced in tests).
+type Aggregator struct {
+	GroupCols []int
+	Specs     []AggSpec
+}
+
+// NewAggregator builds a grouped aggregator.
+func NewAggregator(groupCols []int, specs ...AggSpec) *Aggregator {
+	return &Aggregator{GroupCols: groupCols, Specs: specs}
+}
+
+// Compute evaluates the aggregates over the given window instance,
+// returning one output tuple per group in first-seen order.
+func (a *Aggregator) Compute(tuples []*tuple.Tuple) []*tuple.Tuple {
+	type group struct {
+		key  []tuple.Value
+		accs []accum
+	}
+	var order []uint64
+	groups := make(map[uint64]*group)
+	for _, t := range tuples {
+		h := uint64(1469598103934665603)
+		for _, c := range a.GroupCols {
+			h = h*1099511628211 ^ t.Vals[c].Hash()
+		}
+		g, ok := groups[h]
+		if !ok {
+			key := make([]tuple.Value, len(a.GroupCols))
+			for i, c := range a.GroupCols {
+				key[i] = t.Vals[c]
+			}
+			g = &group{key: key, accs: make([]accum, len(a.Specs))}
+			groups[h] = g
+			order = append(order, h)
+		}
+		for i, s := range a.Specs {
+			if s.Col < 0 {
+				g.accs[i].count++
+				continue
+			}
+			g.accs[i].add(t.Vals[s.Col])
+		}
+	}
+	out := make([]*tuple.Tuple, 0, len(order))
+	for _, h := range order {
+		g := groups[h]
+		vals := make([]tuple.Value, 0, len(g.key)+len(a.Specs))
+		vals = append(vals, g.key...)
+		for i, s := range a.Specs {
+			vals = append(vals, g.accs[i].result(s.Fn))
+		}
+		out = append(out, tuple.New(vals...))
+	}
+	return out
+}
+
+// LandmarkAgg maintains aggregates incrementally for a landmark window:
+// the window only ever grows, so each arrival folds into running state and
+// no tuples are retained.
+type LandmarkAgg struct {
+	Specs []AggSpec
+	accs  []accum
+}
+
+// NewLandmarkAgg builds an incremental (ungrouped) landmark aggregator.
+func NewLandmarkAgg(specs ...AggSpec) *LandmarkAgg {
+	return &LandmarkAgg{Specs: specs, accs: make([]accum, len(specs))}
+}
+
+// Add folds one tuple into the running aggregates.
+func (l *LandmarkAgg) Add(t *tuple.Tuple) {
+	for i, s := range l.Specs {
+		if s.Col < 0 {
+			l.accs[i].count++
+			continue
+		}
+		l.accs[i].add(t.Vals[s.Col])
+	}
+}
+
+// Result returns the current aggregate values.
+func (l *LandmarkAgg) Result() *tuple.Tuple {
+	vals := make([]tuple.Value, len(l.Specs))
+	for i, s := range l.Specs {
+		vals[i] = l.accs[i].result(s.Fn)
+	}
+	return tuple.New(vals...)
+}
+
+// Reset clears the running state (used when a landmark query restarts).
+func (l *LandmarkAgg) Reset() { l.accs = make([]accum, len(l.Specs)) }
+
+// IncrementalAggregator maintains grouped aggregates under append-only
+// input: each Add folds one tuple in, and Snapshot materializes the
+// current per-group rows. It is the landmark-window fast path of §4.1.2 —
+// "for a landmark window, it is possible to compute the answer
+// iteratively ... as the window expands" — in contrast to sliding
+// windows, which must retain and rescan their contents.
+type IncrementalAggregator struct {
+	GroupCols []int
+	Specs     []AggSpec
+	order     []uint64
+	groups    map[uint64]*incGroup
+}
+
+type incGroup struct {
+	key  []tuple.Value
+	accs []accum
+}
+
+// NewIncrementalAggregator builds an incremental grouped aggregator.
+func NewIncrementalAggregator(groupCols []int, specs ...AggSpec) *IncrementalAggregator {
+	return &IncrementalAggregator{
+		GroupCols: groupCols,
+		Specs:     specs,
+		groups:    make(map[uint64]*incGroup),
+	}
+}
+
+// Add folds one tuple into the running state.
+func (a *IncrementalAggregator) Add(t *tuple.Tuple) {
+	h := uint64(1469598103934665603)
+	for _, c := range a.GroupCols {
+		h = h*1099511628211 ^ t.Vals[c].Hash()
+	}
+	g, ok := a.groups[h]
+	if !ok {
+		key := make([]tuple.Value, len(a.GroupCols))
+		for i, c := range a.GroupCols {
+			key[i] = t.Vals[c]
+		}
+		g = &incGroup{key: key, accs: make([]accum, len(a.Specs))}
+		a.groups[h] = g
+		a.order = append(a.order, h)
+	}
+	for i, s := range a.Specs {
+		if s.Col < 0 {
+			g.accs[i].count++
+			continue
+		}
+		g.accs[i].add(t.Vals[s.Col])
+	}
+}
+
+// Snapshot returns the current aggregate rows in first-seen group order.
+func (a *IncrementalAggregator) Snapshot() []*tuple.Tuple {
+	out := make([]*tuple.Tuple, 0, len(a.order))
+	for _, h := range a.order {
+		g := a.groups[h]
+		vals := make([]tuple.Value, 0, len(g.key)+len(a.Specs))
+		vals = append(vals, g.key...)
+		for i, s := range a.Specs {
+			vals = append(vals, g.accs[i].result(s.Fn))
+		}
+		out = append(out, tuple.New(vals...))
+	}
+	return out
+}
+
+// Groups returns the number of groups seen.
+func (a *IncrementalAggregator) Groups() int { return len(a.groups) }

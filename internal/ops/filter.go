@@ -1,0 +1,73 @@
+// Package ops provides the pipelined, non-blocking query modules of
+// Telegraph (§2.1): selections, SteM-based joins, projections, grouped
+// windowed aggregation, duplicate elimination, sorting, and the Juggle
+// online-reordering operator. Modules that attach to an eddy implement
+// eddy.Module; the rest operate on window instances downstream of the eddy
+// output.
+package ops
+
+import (
+	"fmt"
+
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/tuple"
+)
+
+// Filter is a single-predicate selection module. It applies to any tuple
+// spanning the stream owning the predicate's column.
+type Filter struct {
+	name string
+	pred expr.Predicate
+	owns tuple.SourceSet
+}
+
+// NewFilter builds a filter over the layout for the given wide-row
+// predicate.
+func NewFilter(name string, layout *tuple.Layout, pred expr.Predicate) *Filter {
+	return &Filter{name: name, pred: pred, owns: layout.OwnerSet(pred.Col)}
+}
+
+// Name implements eddy.Module.
+func (f *Filter) Name() string { return f.name }
+
+// Predicate returns the filter's predicate.
+func (f *Filter) Predicate() expr.Predicate { return f.pred }
+
+// AppliesTo implements eddy.Module: the filter must see every tuple
+// carrying the column it tests.
+func (f *Filter) AppliesTo(src tuple.SourceSet) bool { return src.Contains(f.owns) }
+
+// Process implements eddy.Module.
+func (f *Filter) Process(t *tuple.Tuple) ([]*tuple.Tuple, bool) {
+	return nil, f.pred.Eval(t)
+}
+
+// String describes the filter.
+func (f *Filter) String() string { return fmt.Sprintf("Filter[%s %s]", f.name, f.pred) }
+
+// CostedFilter wraps a Filter with an artificial per-tuple cost, used by
+// experiments to model expensive predicates (e.g. remote lookups) whose
+// optimal ordering the eddy must discover.
+type CostedFilter struct {
+	*Filter
+	// Spin is the number of busy-work iterations per tuple.
+	Spin int
+}
+
+// NewCostedFilter builds a filter burning spin iterations per evaluation.
+func NewCostedFilter(name string, layout *tuple.Layout, pred expr.Predicate, spin int) *CostedFilter {
+	return &CostedFilter{Filter: NewFilter(name, layout, pred), Spin: spin}
+}
+
+// Process implements eddy.Module.
+func (f *CostedFilter) Process(t *tuple.Tuple) ([]*tuple.Tuple, bool) {
+	sink := 0
+	for i := 0; i < f.Spin; i++ {
+		sink += i
+	}
+	costSink = sink
+	return f.Filter.Process(t)
+}
+
+// costSink defeats dead-code elimination of the busy loop.
+var costSink int

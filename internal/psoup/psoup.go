@@ -1,0 +1,259 @@
+// Package psoup implements PSoup ([CF02], §3.2, Fig. 3): query processing
+// as a symmetric join between a stream of data and a stream of queries.
+// Registered queries live in a Query SteM (indexed by grouped filters, of
+// which the paper calls the Query SteM a generalization); arrived tuples
+// live in a Data SteM. A new query probes the Data SteM so "new queries
+// apply to old data"; a new tuple probes the Query SteM so "new data
+// applies to old queries". Matches are materialized per query in a Results
+// Structure, so intermittently connected clients retrieve the current
+// window of answers whenever they return, paying none of the computation
+// cost at invocation time.
+package psoup
+
+import (
+	"fmt"
+
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/gfilter"
+	"telegraphcq/internal/tuple"
+	"telegraphcq/internal/window"
+)
+
+// StandingQuery is one registered query: a conjunction of selections plus
+// a time-based window width imposed at invocation (§3.2: "Queries in PSoup
+// contain a time-based window specification").
+type StandingQuery struct {
+	ID    int
+	Preds expr.Conjunction
+	// Width is the window width in the engine's time unit: an invocation
+	// at time now returns matches with time in (now-Width, now].
+	Width int64
+
+	results *window.Buffer
+	matched int64
+}
+
+// Matched returns the lifetime number of tuples materialized for the query.
+func (q *StandingQuery) Matched() int64 { return q.matched }
+
+// PSoup is the engine. It is not safe for concurrent use; the executor
+// runs each PSoup instance inside one Dispatch Unit.
+type PSoup struct {
+	schema   *tuple.Schema
+	timeKind window.TimeKind
+
+	data       *window.Buffer                 // the Data SteM
+	filters    map[int]*gfilter.GroupedFilter // the Query SteM's index
+	queries    map[int]*StandingQuery
+	registered tuple.Bitset // bits of live query ids
+	scratch    tuple.Bitset // reused per Insert
+	nextID     int
+	maxID      int
+
+	inserted int64
+	probed   int64
+}
+
+// New creates a PSoup engine for one stream schema.
+func New(schema *tuple.Schema, timeKind window.TimeKind) *PSoup {
+	return &PSoup{
+		schema:   schema,
+		timeKind: timeKind,
+		data:     window.NewBuffer(timeKind),
+		filters:  make(map[int]*gfilter.GroupedFilter),
+		queries:  make(map[int]*StandingQuery),
+	}
+}
+
+func (p *PSoup) key(t *tuple.Tuple) int64 {
+	if p.timeKind == window.Logical {
+		return t.Seq
+	}
+	return t.TS
+}
+
+// Register adds a standing query; its SELECT-FROM-WHERE is immediately
+// applied to previously arrived data (the "new query, old data" half of
+// the symmetric join).
+func (p *PSoup) Register(preds expr.Conjunction, width int64) (*StandingQuery, error) {
+	for _, pr := range preds {
+		if pr.Col < 0 || pr.Col >= p.schema.Arity() {
+			return nil, fmt.Errorf("psoup: predicate column %d out of range", pr.Col)
+		}
+	}
+	q := &StandingQuery{
+		ID:      p.nextID,
+		Preds:   preds,
+		Width:   width,
+		results: window.NewBuffer(p.timeKind),
+	}
+	p.nextID++
+	if q.ID > p.maxID {
+		p.maxID = q.ID
+	}
+	for _, pr := range preds {
+		g, ok := p.filters[pr.Col]
+		if !ok {
+			g = gfilter.New(pr.Col, 0)
+			p.filters[pr.Col] = g
+		}
+		g.Add(q.ID, pr)
+	}
+	p.queries[q.ID] = q
+	p.registered.Set(q.ID)
+
+	// Probe the Data SteM with the new query: historical matches
+	// materialize right away.
+	for _, t := range p.data.Range(-1<<62, 1<<62) {
+		if preds.Eval(t) {
+			q.results.Add(t)
+			q.matched++
+		}
+	}
+	return q, nil
+}
+
+// Unregister removes a standing query and its materialized results.
+func (p *PSoup) Unregister(id int) error {
+	q, ok := p.queries[id]
+	if !ok {
+		return fmt.Errorf("psoup: query %d not found", id)
+	}
+	for _, pr := range q.Preds {
+		p.filters[pr.Col].Remove(id)
+	}
+	delete(p.queries, id)
+	p.registered.Clear(id)
+	return nil
+}
+
+// Insert adds a newly arrived tuple: it is stored in the Data SteM and
+// probed against the Query SteM; every satisfied query materializes the
+// tuple in its Results Structure (the "new data, old queries" half).
+func (p *PSoup) Insert(t *tuple.Tuple) {
+	p.inserted++
+	p.data.Add(t)
+
+	// Probe the Query SteM: start from all registered queries and let
+	// each column's grouped filter clear the failures. Queries with no
+	// factor on a column are untouched by that column's filter.
+	words := p.maxID/64 + 1
+	if len(p.scratch) < words {
+		p.scratch = make(tuple.Bitset, words)
+	}
+	live := p.scratch[:words]
+	for i := range live {
+		live[i] = 0
+	}
+	live.Or(p.registered)
+	for col, g := range p.filters {
+		p.probed++
+		failing := g.Failing(t.Vals[col])
+		for i := range failing {
+			if i < len(live) {
+				live[i] &^= failing[i]
+			}
+		}
+		if !live.Any() {
+			return
+		}
+	}
+	live.ForEach(func(id int) {
+		q, ok := p.queries[id]
+		if !ok {
+			return
+		}
+		q.results.Add(t)
+		q.matched++
+	})
+}
+
+// Fetch returns the materialized results of query id whose time lies in
+// the window (now-Width, now]. Clients call this whenever they reconnect;
+// no query computation happens here — only the window is imposed on the
+// Results Structure.
+func (p *PSoup) Fetch(id int, now int64) ([]*tuple.Tuple, error) {
+	q, ok := p.queries[id]
+	if !ok {
+		return nil, fmt.Errorf("psoup: query %d not found", id)
+	}
+	res := q.results.Range(now-q.Width+1, now)
+	out := make([]*tuple.Tuple, len(res))
+	copy(out, res)
+	return out, nil
+}
+
+// FetchAndCompute is the non-materializing comparator used by experiment
+// E4: it ignores the Results Structure and recomputes the query over the
+// Data SteM at invocation time.
+func (p *PSoup) FetchAndCompute(id int, now int64) ([]*tuple.Tuple, error) {
+	q, ok := p.queries[id]
+	if !ok {
+		return nil, fmt.Errorf("psoup: query %d not found", id)
+	}
+	var out []*tuple.Tuple
+	for _, t := range p.data.Range(now-q.Width+1, now) {
+		if q.Preds.Eval(t) {
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}
+
+// Evict drops data and materialized results older than watermark. Callers
+// compute the watermark as now minus the largest registered window width.
+func (p *PSoup) Evict(watermark int64) int {
+	n := p.data.Evict(watermark)
+	for _, q := range p.queries {
+		q.results.Evict(watermark)
+	}
+	return n
+}
+
+// MaxWidth returns the largest registered window width (0 when no queries).
+func (p *PSoup) MaxWidth() int64 {
+	var w int64
+	for _, q := range p.queries {
+		if q.Width > w {
+			w = q.Width
+		}
+	}
+	return w
+}
+
+// Stats reports engine activity.
+type Stats struct {
+	Queries  int
+	DataSize int
+	Inserted int64
+	Probed   int64
+}
+
+// Stats returns a snapshot.
+func (p *PSoup) Stats() Stats {
+	return Stats{
+		Queries:  len(p.queries),
+		DataSize: p.data.Len(),
+		Inserted: p.inserted,
+		Probed:   p.probed,
+	}
+}
+
+// Materialize backfills tuples into a query's Results Structure (used by
+// the spilling engine when a new query's historical matches come from
+// disk rather than the in-memory Data SteM).
+func (p *PSoup) Materialize(id int, ts []*tuple.Tuple) error {
+	q, ok := p.queries[id]
+	if !ok {
+		return fmt.Errorf("psoup: query %d not found", id)
+	}
+	for _, t := range ts {
+		q.results.Add(t)
+		q.matched++
+	}
+	return nil
+}
+
+// MinDataTime returns the oldest time retained in the in-memory Data SteM
+// (ok=false when empty).
+func (p *PSoup) MinDataTime() (int64, bool) { return p.data.MinTime() }

@@ -1,0 +1,190 @@
+package psoup
+
+import (
+	"math/rand"
+	"testing"
+
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/tuple"
+	"telegraphcq/internal/window"
+	"telegraphcq/internal/workload"
+)
+
+func mkStock(ts int64, sym string, price float64) *tuple.Tuple {
+	t := tuple.New(tuple.Time(ts), tuple.String_(sym), tuple.Float(price))
+	t.TS = ts
+	t.Seq = ts
+	return t
+}
+
+func newStockPSoup() *PSoup {
+	return New(workload.StockSchema(), window.Physical)
+}
+
+func TestNewDataOldQueries(t *testing.T) {
+	p := newStockPSoup()
+	q, err := p.Register(expr.Conjunction{
+		{Col: 1, Op: expr.Eq, Val: tuple.String_("MSFT")},
+		{Col: 2, Op: expr.Gt, Val: tuple.Float(50)},
+	}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Insert(mkStock(1, "MSFT", 60)) // match
+	p.Insert(mkStock(2, "MSFT", 40)) // price too low
+	p.Insert(mkStock(3, "IBM", 80))  // wrong symbol
+	p.Insert(mkStock(4, "MSFT", 55)) // match
+	got, err := p.Fetch(q.ID, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("results = %d, want 2", len(got))
+	}
+	if got[0].TS != 1 || got[1].TS != 4 {
+		t.Errorf("result timestamps = %d, %d", got[0].TS, got[1].TS)
+	}
+}
+
+func TestNewQueryOldData(t *testing.T) {
+	p := newStockPSoup()
+	for ts := int64(1); ts <= 10; ts++ {
+		p.Insert(mkStock(ts, "MSFT", float64(ts*10)))
+	}
+	// Register after data arrived: historical matches materialize.
+	q, err := p.Register(expr.Conjunction{
+		{Col: 2, Op: expr.Gt, Val: tuple.Float(50)},
+	}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := p.Fetch(q.ID, 10)
+	if len(got) != 5 { // prices 60..100
+		t.Errorf("historical results = %d, want 5", len(got))
+	}
+}
+
+func TestWindowImposedAtInvocation(t *testing.T) {
+	p := newStockPSoup()
+	q, _ := p.Register(nil, 3) // match-all, window of width 3
+	for ts := int64(1); ts <= 10; ts++ {
+		p.Insert(mkStock(ts, "MSFT", 1))
+	}
+	// Invocation at now=10: window (7,10] = ts 8,9,10.
+	got, _ := p.Fetch(q.ID, 10)
+	if len(got) != 3 {
+		t.Fatalf("window results = %d, want 3", len(got))
+	}
+	// Disconnected client returns later at now=5: window (2,5].
+	got, _ = p.Fetch(q.ID, 5)
+	if len(got) != 3 || got[0].TS != 3 {
+		t.Errorf("earlier invocation = %v", got)
+	}
+}
+
+func TestMaterializedMatchesRecompute(t *testing.T) {
+	p := newStockPSoup()
+	rng := rand.New(rand.NewSource(9))
+	var qs []*StandingQuery
+	for i := 0; i < 20; i++ {
+		lo := rng.Float64() * 80
+		q, err := p.Register(expr.Conjunction{
+			{Col: 2, Op: expr.Ge, Val: tuple.Float(lo)},
+			{Col: 2, Op: expr.Le, Val: tuple.Float(lo + 20)},
+		}, int64(1+rng.Intn(50)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs = append(qs, q)
+	}
+	for ts := int64(1); ts <= 300; ts++ {
+		p.Insert(mkStock(ts, "X", rng.Float64()*100))
+	}
+	for _, q := range qs {
+		mat, _ := p.Fetch(q.ID, 300)
+		rec, _ := p.FetchAndCompute(q.ID, 300)
+		if len(mat) != len(rec) {
+			t.Fatalf("query %d: materialized %d != recomputed %d",
+				q.ID, len(mat), len(rec))
+		}
+		for i := range mat {
+			if mat[i] != rec[i] {
+				t.Fatalf("query %d result %d differs", q.ID, i)
+			}
+		}
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	p := newStockPSoup()
+	q, _ := p.Register(nil, 10)
+	if err := p.Unregister(q.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Fetch(q.ID, 5); err == nil {
+		t.Error("fetch after unregister succeeded")
+	}
+	if err := p.Unregister(q.ID); err == nil {
+		t.Error("double unregister succeeded")
+	}
+	p.Insert(mkStock(1, "MSFT", 10)) // must not panic on stale filter bits
+}
+
+func TestEvict(t *testing.T) {
+	p := newStockPSoup()
+	q, _ := p.Register(nil, 5)
+	for ts := int64(1); ts <= 20; ts++ {
+		p.Insert(mkStock(ts, "M", 1))
+	}
+	if n := p.Evict(20 - p.MaxWidth() + 1); n != 15 {
+		t.Errorf("evicted %d, want 15", n)
+	}
+	got, _ := p.Fetch(q.ID, 20)
+	if len(got) != 5 {
+		t.Errorf("post-evict window = %d", len(got))
+	}
+	if st := p.Stats(); st.DataSize != 5 {
+		t.Errorf("data size = %d", st.DataSize)
+	}
+}
+
+func TestRegisterBadColumn(t *testing.T) {
+	p := newStockPSoup()
+	if _, err := p.Register(expr.Conjunction{{Col: 9, Op: expr.Eq, Val: tuple.Int(1)}}, 5); err == nil {
+		t.Error("out-of-range column accepted")
+	}
+}
+
+func TestFetchUnknownQuery(t *testing.T) {
+	p := newStockPSoup()
+	if _, err := p.Fetch(42, 1); err == nil {
+		t.Error("unknown query fetch succeeded")
+	}
+	if _, err := p.FetchAndCompute(42, 1); err == nil {
+		t.Error("unknown query recompute succeeded")
+	}
+}
+
+func TestLogicalTimePSoup(t *testing.T) {
+	p := New(workload.StockSchema(), window.Logical)
+	q, _ := p.Register(nil, 2)
+	for seq := int64(1); seq <= 5; seq++ {
+		tp := mkStock(100, "M", 1) // same TS; logical time must be used
+		tp.Seq = seq
+		p.Insert(tp)
+	}
+	got, _ := p.Fetch(q.ID, 5)
+	if len(got) != 2 {
+		t.Errorf("logical window = %d, want 2", len(got))
+	}
+}
+
+func TestStats(t *testing.T) {
+	p := newStockPSoup()
+	p.Register(expr.Conjunction{{Col: 2, Op: expr.Gt, Val: tuple.Float(1)}}, 5)
+	p.Insert(mkStock(1, "M", 2))
+	st := p.Stats()
+	if st.Queries != 1 || st.DataSize != 1 || st.Inserted != 1 || st.Probed == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}

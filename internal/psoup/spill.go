@@ -1,0 +1,139 @@
+package psoup
+
+import (
+	"fmt"
+
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/storage"
+	"telegraphcq/internal/tuple"
+	"telegraphcq/internal/window"
+)
+
+// Spilling bounds a PSoup engine's memory to a time horizon, flushing the
+// full Data SteM to the storage manager (§4.3: "the Query SteMs (in
+// addition to Data SteMs) may need to be flushed to disk"). Within the
+// horizon everything behaves like plain PSoup; beyond it:
+//
+//   - Register still applies new queries to old data — the historical
+//     probe reads the spooled segments through the buffer pool;
+//   - FetchHistorical answers windows wider than the horizon by
+//     recomputing over the spool (the materialized Results Structure only
+//     retains the horizon).
+type Spilling struct {
+	inner   *PSoup
+	store   *storage.SegmentStore
+	horizon int64
+	kind    window.TimeKind
+	maxSeen int64
+}
+
+// NewSpilling wraps a fresh PSoup over schema, spooling to store and
+// keeping only the last horizon time units in memory.
+func NewSpilling(schema *tuple.Schema, kind window.TimeKind, store *storage.SegmentStore, horizon int64) (*Spilling, error) {
+	if store == nil {
+		return nil, fmt.Errorf("psoup: spilling engine needs a segment store")
+	}
+	if horizon < 1 {
+		return nil, fmt.Errorf("psoup: non-positive horizon %d", horizon)
+	}
+	return &Spilling{
+		inner:   New(schema, kind),
+		store:   store,
+		horizon: horizon,
+		kind:    kind,
+		maxSeen: -1 << 62,
+	}, nil
+}
+
+// Inner exposes the wrapped engine (stats, plain fetch).
+func (s *Spilling) Inner() *PSoup { return s.inner }
+
+func (s *Spilling) key(t *tuple.Tuple) int64 {
+	if s.kind == window.Logical {
+		return t.Seq
+	}
+	return t.TS
+}
+
+// Insert spools the tuple and feeds the in-memory engine, evicting memory
+// (but never disk) behind the horizon.
+func (s *Spilling) Insert(t *tuple.Tuple) error {
+	// The spool orders by TS; mirror logical time into TS for storage.
+	st := t
+	if s.kind == window.Logical && t.TS != t.Seq {
+		st = t.Clone()
+		st.TS = t.Seq
+	}
+	if err := s.store.Append(st); err != nil {
+		return err
+	}
+	s.inner.Insert(t)
+	if k := s.key(t); k > s.maxSeen {
+		s.maxSeen = k
+	}
+	s.inner.Evict(s.maxSeen - s.horizon + 1)
+	return nil
+}
+
+// Register adds a standing query, applying it to the FULL history: the
+// in-memory portion via the inner engine and the spooled portion via a
+// segment scan. Results older than the horizon are materialized too, so
+// an immediate wide Fetch sees them (they age out with later evictions).
+func (s *Spilling) Register(preds expr.Conjunction, width int64) (*StandingQuery, error) {
+	q, err := s.inner.Register(preds, width)
+	if err != nil {
+		return nil, err
+	}
+	memMin, ok := s.inner.MinDataTime()
+	if !ok {
+		memMin = s.maxSeen + 1
+	}
+	old, err := s.store.ScanRange(-1<<62, memMin-1)
+	if err != nil {
+		return nil, err
+	}
+	var matches []*tuple.Tuple
+	for _, t := range old {
+		if preds.Eval(t) {
+			matches = append(matches, t)
+		}
+	}
+	if err := s.inner.Materialize(q.ID, matches); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// Fetch returns the materialized window (valid for widths within the
+// horizon; wider windows use FetchHistorical).
+func (s *Spilling) Fetch(id int, now int64) ([]*tuple.Tuple, error) {
+	return s.inner.Fetch(id, now)
+}
+
+// FetchHistorical answers a query over an arbitrary past interval
+// [from, to] by recomputing against the spool — the disk-resident
+// counterpart of PSoup's Data SteM probe.
+func (s *Spilling) FetchHistorical(id int, from, to int64) ([]*tuple.Tuple, error) {
+	q, ok := s.inner.queries[id]
+	if !ok {
+		return nil, fmt.Errorf("psoup: query %d not found", id)
+	}
+	spooled, err := s.store.ScanRange(from, to)
+	if err != nil {
+		return nil, err
+	}
+	var out []*tuple.Tuple
+	for _, t := range spooled {
+		if q.Preds.Eval(t) {
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}
+
+// Flush forces the spool's head segment to disk (call before scans in
+// batch workloads; Insert-driven flushes happen per segment).
+func (s *Spilling) Flush() error { return s.store.Flush() }
+
+// MemorySize returns the in-memory Data SteM occupancy.
+func (s *Spilling) MemorySize() int { return s.inner.Stats().DataSize }

@@ -1,0 +1,147 @@
+package psoup
+
+import (
+	"testing"
+
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/storage"
+	"telegraphcq/internal/tuple"
+	"telegraphcq/internal/window"
+	"telegraphcq/internal/workload"
+)
+
+func newSpilling(t *testing.T, horizon int64) *Spilling {
+	t.Helper()
+	store, err := storage.NewSegmentStore(t.TempDir(), "s", 32, storage.NewBufferPool(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSpilling(workload.StockSchema(), window.Physical, store, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSpillingBoundsMemory(t *testing.T) {
+	s := newSpilling(t, 50)
+	for ts := int64(1); ts <= 1000; ts++ {
+		if err := s.Insert(mkStock(ts, "M", float64(ts))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m := s.MemorySize(); m > 50 {
+		t.Errorf("memory size = %d, horizon 50", m)
+	}
+	// Recent windows answer from the materialized structure.
+	q, err := s.Register(expr.Conjunction{
+		{Col: 2, Op: expr.Gt, Val: tuple.Float(990)},
+	}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Fetch(q.ID, 1000)
+	if len(got) != 10 { // prices 991..1000
+		t.Errorf("recent fetch = %d, want 10", len(got))
+	}
+}
+
+func TestSpillingRegisterSeesDiskHistory(t *testing.T) {
+	s := newSpilling(t, 50)
+	for ts := int64(1); ts <= 500; ts++ {
+		s.Insert(mkStock(ts, "M", float64(ts)))
+	}
+	// Memory holds only ts >= ~451; the query's matches (ts 100..109)
+	// live exclusively on disk.
+	q, err := s.Register(expr.Conjunction{
+		{Col: 2, Op: expr.Ge, Val: tuple.Float(100)},
+		{Col: 2, Op: expr.Lt, Val: tuple.Float(110)},
+	}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Matched() != 10 {
+		t.Errorf("historical matches = %d, want 10", q.Matched())
+	}
+	got, _ := s.Fetch(q.ID, 500)
+	if len(got) != 10 {
+		t.Errorf("fetch after register = %d, want 10", len(got))
+	}
+}
+
+func TestSpillingFetchHistorical(t *testing.T) {
+	s := newSpilling(t, 20)
+	for ts := int64(1); ts <= 300; ts++ {
+		s.Insert(mkStock(ts, "M", float64(ts%2)))
+	}
+	q, _ := s.Register(expr.Conjunction{
+		{Col: 2, Op: expr.Eq, Val: tuple.Float(1)},
+	}, 10)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// A window far in the past, wider than the horizon.
+	got, err := s.FetchHistorical(q.ID, 100, 199)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 50 { // odd ts in [100,199]
+		t.Errorf("historical window = %d, want 50", len(got))
+	}
+	if _, err := s.FetchHistorical(999, 0, 1); err == nil {
+		t.Error("unknown query accepted")
+	}
+}
+
+func TestSpillingAgreesWithPlainPSoup(t *testing.T) {
+	// Within the horizon, spilling and plain engines agree exactly.
+	s := newSpilling(t, 1000)
+	p := New(workload.StockSchema(), window.Physical)
+	preds := expr.Conjunction{{Col: 2, Op: expr.Gt, Val: tuple.Float(50)}}
+	sq, _ := s.Register(preds, 30)
+	pq, _ := p.Register(preds, 30)
+	for ts := int64(1); ts <= 200; ts++ {
+		tp := mkStock(ts, "M", float64(ts%100))
+		s.Insert(tp)
+		p.Insert(mkStock(ts, "M", float64(ts%100)))
+	}
+	a, _ := s.Fetch(sq.ID, 200)
+	b, _ := p.Fetch(pq.ID, 200)
+	if len(a) != len(b) {
+		t.Errorf("spilling %d != plain %d", len(a), len(b))
+	}
+}
+
+func TestSpillingValidation(t *testing.T) {
+	if _, err := NewSpilling(workload.StockSchema(), window.Physical, nil, 10); err == nil {
+		t.Error("nil store accepted")
+	}
+	store, _ := storage.NewSegmentStore(t.TempDir(), "s", 32, nil)
+	if _, err := NewSpilling(workload.StockSchema(), window.Physical, store, 0); err == nil {
+		t.Error("zero horizon accepted")
+	}
+}
+
+func TestSpillingLogicalTime(t *testing.T) {
+	store, _ := storage.NewSegmentStore(t.TempDir(), "s", 16, nil)
+	s, err := NewSpilling(workload.StockSchema(), window.Logical, store, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 100; i++ {
+		tp := mkStock(7, "M", float64(i)) // constant TS; logical time rules
+		tp.Seq = i
+		if err := s.Insert(tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m := s.MemorySize(); m > 10 {
+		t.Errorf("memory = %d with logical horizon 10", m)
+	}
+	q, _ := s.Register(expr.Conjunction{
+		{Col: 2, Op: expr.Le, Val: tuple.Float(5)},
+	}, 1000)
+	if q.Matched() != 5 { // seq 1..5, all on disk
+		t.Errorf("logical historical matches = %d, want 5", q.Matched())
+	}
+}

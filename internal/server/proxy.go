@@ -1,0 +1,197 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Proxy is the cursor-multiplexing service of Fig. 5: many lightweight
+// clients share one upstream connection to the postmaster. Each
+// connection may hold multiple open cursors; the proxy forwards commands
+// serially and routes asynchronous push rows ("ROW q<id> ...") back to
+// whichever downstream client subscribed to that query id. If a
+// deployment outgrows the per-connection cursor limit, it runs several
+// proxies (§4.2.1).
+type Proxy struct {
+	upstream *Client
+	ln       net.Listener
+	wg       sync.WaitGroup
+	closed   atomic.Bool
+
+	mu     sync.Mutex
+	owners map[int]*proxyClient // qid -> subscribing downstream
+	active map[*proxyClient]bool
+}
+
+// NewProxy connects to serverAddr and listens for clients on listenAddr.
+func NewProxy(serverAddr, listenAddr string) (*Proxy, error) {
+	up, err := Dial(serverAddr)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		up.Close()
+		return nil, fmt.Errorf("proxy: %w", err)
+	}
+	p := &Proxy{
+		upstream: up,
+		ln:       ln,
+		owners:   make(map[int]*proxyClient),
+		active:   make(map[*proxyClient]bool),
+	}
+	p.wg.Add(1)
+	go p.accept()
+	return p, nil
+}
+
+// Addr returns the proxy's client-facing address.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+func (p *Proxy) accept() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		pc := &proxyClient{proxy: p, conn: conn, w: bufio.NewWriter(conn)}
+		p.mu.Lock()
+		p.active[pc] = true
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			pc.serve()
+		}()
+	}
+}
+
+// Close shuts the proxy down, disconnecting downstream clients.
+func (p *Proxy) Close() error {
+	if p.closed.Swap(true) {
+		return nil
+	}
+	err := p.ln.Close()
+	p.mu.Lock()
+	for pc := range p.active {
+		pc.conn.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	p.upstream.Close()
+	return err
+}
+
+type proxyClient struct {
+	proxy *Proxy
+	conn  net.Conn
+	wmu   sync.Mutex
+	w     *bufio.Writer
+	subs  []int
+}
+
+func (pc *proxyClient) send(line string) {
+	pc.wmu.Lock()
+	defer pc.wmu.Unlock()
+	pc.w.WriteString(line)
+	pc.w.WriteByte('\n')
+	pc.w.Flush()
+}
+
+func (pc *proxyClient) serve() {
+	defer pc.conn.Close()
+	defer pc.release()
+	sc := bufio.NewScanner(pc.conn)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.EqualFold(line, "QUIT") {
+			pc.send("OK bye")
+			return
+		}
+		pc.forward(line)
+	}
+}
+
+func (pc *proxyClient) release() {
+	pc.proxy.mu.Lock()
+	defer pc.proxy.mu.Unlock()
+	for _, qid := range pc.subs {
+		delete(pc.proxy.owners, qid)
+	}
+	delete(pc.proxy.active, pc)
+}
+
+// forward relays one command upstream, translating the client API calls
+// back into raw replies for the downstream connection.
+func (pc *proxyClient) forward(line string) {
+	up := pc.proxy.upstream
+	cmd := strings.ToUpper(firstWord(line))
+	switch cmd {
+	case "FETCH", "LIST":
+		rows, err := up.cmdRows(line)
+		if err != nil {
+			pc.send("ERR " + trimServerErr(err))
+			return
+		}
+		for _, r := range rows {
+			pc.send("ROW . " + r)
+		}
+		pc.send("END")
+	case "SUBSCRIBE":
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			pc.send("ERR bad query id")
+			return
+		}
+		qid, err := strconv.Atoi(fields[1])
+		if err != nil {
+			pc.send("ERR bad query id")
+			return
+		}
+		ch, err := up.Subscribe(qid, 1024)
+		if err != nil {
+			pc.send("ERR " + trimServerErr(err))
+			return
+		}
+		pc.proxy.mu.Lock()
+		pc.proxy.owners[qid] = pc
+		pc.proxy.mu.Unlock()
+		pc.subs = append(pc.subs, qid)
+		go func() {
+			for csv := range ch {
+				pc.proxy.mu.Lock()
+				owner := pc.proxy.owners[qid]
+				pc.proxy.mu.Unlock()
+				if owner != nil {
+					owner.send(fmt.Sprintf("ROW q%d %s", qid, csv))
+				}
+			}
+		}()
+		pc.send(fmt.Sprintf("OK subscribed %d", qid))
+	default:
+		reply, err := up.cmd(line)
+		if err != nil {
+			pc.send("ERR " + trimServerErr(err))
+			return
+		}
+		if reply == "" {
+			pc.send("OK")
+		} else {
+			pc.send("OK " + reply)
+		}
+	}
+}
+
+func trimServerErr(err error) string {
+	return strings.TrimPrefix(err.Error(), "server: ")
+}

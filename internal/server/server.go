@@ -1,0 +1,413 @@
+// Package server implements the TelegraphCQ process architecture of
+// Figs. 4–5: a Postmaster listens on a well-known port and starts a
+// FrontEnd per connection (here: goroutines standing in for forked
+// processes). The FrontEnd parses client commands, registers continuous
+// queries with the shared engine — adding them dynamically to the running
+// executor — and ships results back, either streamed (push cursors) or on
+// demand (pull cursors). A Proxy (proxy.go) multiplexes many client
+// cursors over one server connection, as in Fig. 5.
+//
+// The wire protocol is line-oriented:
+//
+//	CREATE STREAM <name> (<col> <TYPE>, ...) [TIMECOL <col>]
+//	FEED <stream> <csv>
+//	QUERY <sql on one line>
+//	EXPLAIN <sql on one line>  -- bound plan description, no registration
+//	SUBSCRIBE <qid>            -- push delivery: ROW q<qid> <csv> lines
+//	FETCH <qid>                -- pull delivery: ROW lines then END
+//	DEREGISTER <qid>
+//	STATS <qid>                -- results + adaptive-routing counters
+//	LIST
+//	PING
+//	QUIT
+//
+// Replies are "OK ...", "ERR <msg>", "ROW ...", "END".
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"telegraphcq/internal/core"
+	"telegraphcq/internal/ingress"
+	"telegraphcq/internal/sql"
+	"telegraphcq/internal/tuple"
+)
+
+// Postmaster accepts connections for an engine.
+type Postmaster struct {
+	engine *core.Engine
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed atomic.Bool
+	conns  atomic.Int64
+}
+
+// Listen starts a postmaster on addr ("127.0.0.1:0" picks a free port).
+func Listen(engine *core.Engine, addr string) (*Postmaster, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	pm := &Postmaster{engine: engine, ln: ln}
+	pm.wg.Add(1)
+	go pm.accept()
+	return pm, nil
+}
+
+// Addr returns the bound address.
+func (pm *Postmaster) Addr() string { return pm.ln.Addr().String() }
+
+// Connections returns the number of accepted connections.
+func (pm *Postmaster) Connections() int64 { return pm.conns.Load() }
+
+func (pm *Postmaster) accept() {
+	defer pm.wg.Done()
+	for {
+		conn, err := pm.ln.Accept()
+		if err != nil {
+			return
+		}
+		pm.conns.Add(1)
+		pm.wg.Add(1)
+		// "The Postmaster forks a FrontEnd process for each fresh
+		// connection it receives" (§4.2.1).
+		go func() {
+			defer pm.wg.Done()
+			newFrontEnd(pm.engine, conn).serve()
+		}()
+	}
+}
+
+// Close stops accepting and waits for FrontEnds to finish.
+func (pm *Postmaster) Close() error {
+	if pm.closed.Swap(true) {
+		return nil
+	}
+	err := pm.ln.Close()
+	pm.wg.Wait()
+	return err
+}
+
+// frontEnd serves one client connection.
+type frontEnd struct {
+	engine *core.Engine
+	conn   net.Conn
+	wmu    sync.Mutex // serializes writes: pushers and replies interleave
+	w      *bufio.Writer
+
+	mu      sync.Mutex
+	queries map[int]*core.RunningQuery
+	cursors map[int]int    // qid -> pull cursor
+	pushers map[int]func() // qid -> unsubscribe
+}
+
+func newFrontEnd(engine *core.Engine, conn net.Conn) *frontEnd {
+	return &frontEnd{
+		engine:  engine,
+		conn:    conn,
+		w:       bufio.NewWriter(conn),
+		queries: make(map[int]*core.RunningQuery),
+		cursors: make(map[int]int),
+		pushers: make(map[int]func()),
+	}
+}
+
+func (fe *frontEnd) send(line string) {
+	fe.wmu.Lock()
+	defer fe.wmu.Unlock()
+	fe.w.WriteString(line)
+	fe.w.WriteByte('\n')
+	fe.w.Flush()
+}
+
+func (fe *frontEnd) serve() {
+	defer fe.conn.Close()
+	defer fe.stopPushers()
+	sc := bufio.NewScanner(fe.conn)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.EqualFold(line, "QUIT") {
+			fe.send("OK bye")
+			return
+		}
+		fe.dispatch(line)
+	}
+}
+
+func (fe *frontEnd) stopPushers() {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	for _, stop := range fe.pushers {
+		stop()
+	}
+	fe.pushers = map[int]func(){}
+}
+
+func (fe *frontEnd) dispatch(line string) {
+	cmd := strings.ToUpper(firstWord(line))
+	rest := strings.TrimSpace(line[len(firstWord(line)):])
+	var err error
+	switch cmd {
+	case "PING":
+		fe.send("OK pong")
+	case "CREATE":
+		err = fe.handleCreate(rest)
+	case "FEED":
+		err = fe.handleFeed(rest)
+	case "QUERY", "SELECT":
+		text := rest
+		if cmd == "SELECT" {
+			text = line // the SELECT itself is the query
+		}
+		err = fe.handleQuery(text)
+	case "EXPLAIN":
+		err = fe.handleExplain(rest)
+	case "SUBSCRIBE":
+		err = fe.handleSubscribe(rest)
+	case "FETCH":
+		err = fe.handleFetch(rest)
+	case "DEREGISTER":
+		err = fe.handleDeregister(rest)
+	case "STATS":
+		err = fe.handleStats(rest)
+	case "LIST":
+		fe.handleList()
+	default:
+		err = fmt.Errorf("unknown command %q", cmd)
+	}
+	if err != nil {
+		fe.send("ERR " + err.Error())
+	}
+}
+
+func firstWord(s string) string {
+	if i := strings.IndexAny(s, " \t"); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// handleCreate parses "STREAM name (col TYPE, ...) [TIMECOL col]".
+func (fe *frontEnd) handleCreate(rest string) error {
+	if !strings.HasPrefix(strings.ToUpper(rest), "STREAM ") {
+		return fmt.Errorf("expected CREATE STREAM")
+	}
+	rest = strings.TrimSpace(rest[len("STREAM "):])
+	open := strings.IndexByte(rest, '(')
+	closeP := strings.LastIndexByte(rest, ')')
+	if open < 0 || closeP < open {
+		return fmt.Errorf("expected column list in parentheses")
+	}
+	name := strings.TrimSpace(rest[:open])
+	colsSpec := rest[open+1 : closeP]
+	tail := strings.Fields(strings.TrimSpace(rest[closeP+1:]))
+
+	var cols []tuple.Column
+	for _, part := range strings.Split(colsSpec, ",") {
+		fs := strings.Fields(strings.TrimSpace(part))
+		if len(fs) != 2 {
+			return fmt.Errorf("bad column spec %q", part)
+		}
+		kind, err := parseKind(fs[1])
+		if err != nil {
+			return err
+		}
+		cols = append(cols, tuple.Column{Name: fs[0], Kind: kind})
+	}
+	schema := tuple.NewSchema(name, cols...)
+	timeCol := -1
+	if len(tail) == 2 && strings.EqualFold(tail[0], "TIMECOL") {
+		timeCol = schema.ColumnIndex(tail[1])
+		if timeCol < 0 {
+			return fmt.Errorf("TIMECOL %q not in schema", tail[1])
+		}
+	}
+	if err := fe.engine.CreateStream(name, schema, timeCol); err != nil {
+		return err
+	}
+	fe.send("OK stream " + name)
+	return nil
+}
+
+func parseKind(s string) (tuple.Kind, error) {
+	switch strings.ToUpper(s) {
+	case "INT", "BIGINT", "LONG":
+		return tuple.KindInt, nil
+	case "FLOAT", "DOUBLE", "REAL":
+		return tuple.KindFloat, nil
+	case "STRING", "TEXT", "CHAR", "VARCHAR":
+		return tuple.KindString, nil
+	case "BOOL", "BOOLEAN":
+		return tuple.KindBool, nil
+	case "TIME", "TIMESTAMP":
+		return tuple.KindTime, nil
+	default:
+		return 0, fmt.Errorf("unknown type %q", s)
+	}
+}
+
+func (fe *frontEnd) handleFeed(rest string) error {
+	i := strings.IndexAny(rest, " \t")
+	if i < 0 {
+		return fmt.Errorf("FEED needs a stream and a CSV row")
+	}
+	stream := rest[:i]
+	entry, err := fe.engine.Catalog().Lookup(stream)
+	if err != nil {
+		return err
+	}
+	t, err := ingress.ParseCSV(entry.Schema, strings.TrimSpace(rest[i:]))
+	if err != nil {
+		return err
+	}
+	if err := fe.engine.Feed(stream, t); err != nil {
+		return err
+	}
+	fe.send("OK fed")
+	return nil
+}
+
+// handleExplain binds the query without registering it and returns the
+// plan description.
+func (fe *frontEnd) handleExplain(text string) error {
+	plan, err := sql.ParseAndBind(text, fe.engine.Catalog())
+	if err != nil {
+		return err
+	}
+	for _, line := range plan.Describe() {
+		fe.send("ROW . " + line)
+	}
+	fe.send("END")
+	return nil
+}
+
+func (fe *frontEnd) handleQuery(text string) error {
+	q, err := fe.engine.Register(text)
+	if err != nil {
+		return err
+	}
+	fe.mu.Lock()
+	fe.queries[q.ID] = q
+	fe.cursors[q.ID] = q.Cursor()
+	fe.mu.Unlock()
+	fe.send(fmt.Sprintf("OK QUERYID %d", q.ID))
+	return nil
+}
+
+func (fe *frontEnd) query(rest string) (*core.RunningQuery, int, error) {
+	id, err := strconv.Atoi(strings.TrimSpace(rest))
+	if err != nil {
+		return nil, 0, fmt.Errorf("bad query id %q", rest)
+	}
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	q, ok := fe.queries[id]
+	if !ok {
+		return nil, 0, fmt.Errorf("query %d not registered on this connection", id)
+	}
+	return q, id, nil
+}
+
+func (fe *frontEnd) handleSubscribe(rest string) error {
+	q, id, err := fe.query(rest)
+	if err != nil {
+		return err
+	}
+	sub, ch := q.Subscribe(1024)
+	stopped := make(chan struct{})
+	fe.mu.Lock()
+	if _, dup := fe.pushers[id]; dup {
+		fe.mu.Unlock()
+		q.Unsubscribe(sub)
+		return fmt.Errorf("query %d already subscribed", id)
+	}
+	fe.pushers[id] = func() { q.Unsubscribe(sub); <-stopped }
+	fe.mu.Unlock()
+	go func() {
+		defer close(stopped)
+		for t := range ch {
+			fe.send(fmt.Sprintf("ROW q%d %s", id, ingress.FormatCSV(t)))
+		}
+	}()
+	fe.send(fmt.Sprintf("OK subscribed %d", id))
+	return nil
+}
+
+func (fe *frontEnd) handleFetch(rest string) error {
+	q, id, err := fe.query(rest)
+	if err != nil {
+		return err
+	}
+	fe.mu.Lock()
+	cur := fe.cursors[id]
+	fe.mu.Unlock()
+	rows, err := q.Fetch(cur)
+	if err != nil {
+		return err
+	}
+	// Pull rows carry the "." tag so clients can tell them apart from
+	// asynchronous push rows ("ROW q<id> ...") on the same connection.
+	for _, t := range rows {
+		fe.send("ROW . " + ingress.FormatCSV(t))
+	}
+	fe.send("END")
+	return nil
+}
+
+// handleStats reports a query's adaptive-routing counters.
+func (fe *frontEnd) handleStats(rest string) error {
+	q, _, err := fe.query(rest)
+	if err != nil {
+		return err
+	}
+	fe.send(fmt.Sprintf("ROW . results=%d inputDrops=%d done=%v",
+		q.Results(), q.InputDrops(), q.Done()))
+	if st, ok := q.EddyStats(); ok {
+		fe.send(fmt.Sprintf("ROW . eddy: ingested=%d emitted=%d dropped=%d decisions=%d visits=%d",
+			st.Ingested, st.Emitted, st.Dropped, st.Decisions, st.Visits))
+		for i, m := range st.Modules {
+			fe.send(fmt.Sprintf("ROW . module %d: visits=%d selectivity=%.3f produced=%d",
+				i, m.Visits, m.Selectivity(), m.Produced))
+		}
+	}
+	fe.send("END")
+	return nil
+}
+
+func (fe *frontEnd) handleDeregister(rest string) error {
+	_, id, err := fe.query(rest)
+	if err != nil {
+		return err
+	}
+	fe.mu.Lock()
+	stop := fe.pushers[id]
+	delete(fe.pushers, id)
+	delete(fe.queries, id)
+	delete(fe.cursors, id)
+	fe.mu.Unlock()
+	if stop != nil {
+		stop()
+	}
+	if err := fe.engine.Deregister(id); err != nil {
+		return err
+	}
+	fe.send(fmt.Sprintf("OK deregistered %d", id))
+	return nil
+}
+
+func (fe *frontEnd) handleList() {
+	for _, e := range fe.engine.Catalog().List() {
+		fe.send(fmt.Sprintf("ROW . %s %s %s", e.Kind, e.Name, e.Schema))
+	}
+	fe.send("END")
+}

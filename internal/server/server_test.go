@@ -1,0 +1,323 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"telegraphcq/internal/core"
+)
+
+func startServer(t *testing.T) (*core.Engine, *Postmaster) {
+	t.Helper()
+	e := core.NewEngine(core.Options{EOs: 2})
+	pm, err := Listen(e, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		pm.Close()
+		e.Stop()
+	})
+	return e, pm
+}
+
+func dial(t *testing.T, addr string) *Client {
+	t.Helper()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestPingAndList(t *testing.T) {
+	_, pm := startServer(t)
+	c := dial(t, pm.Addr())
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateStream("s", "ts TIME, sym STRING, price FLOAT", "ts"); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := c.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || !strings.Contains(rows[0], "STREAM s") {
+		t.Errorf("list = %v", rows)
+	}
+}
+
+func TestCreateErrors(t *testing.T) {
+	_, pm := startServer(t)
+	c := dial(t, pm.Addr())
+	if err := c.CreateStream("s", "x BADTYPE", ""); err == nil {
+		t.Error("bad type accepted")
+	}
+	if err := c.CreateStream("s", "x INT", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateStream("s", "x INT", ""); err == nil {
+		t.Error("duplicate stream accepted")
+	}
+}
+
+// TestE10EndToEnd is experiment E10: the Fig. 4–5 architecture exercised
+// over TCP — create streams, register queries dynamically against a
+// running executor, feed data through the wrapper path, and receive
+// results over both push and pull cursors.
+func TestE10EndToEnd(t *testing.T) {
+	_, pm := startServer(t)
+	c := dial(t, pm.Addr())
+	if err := c.CreateStream("stocks", "ts TIME, sym STRING, price FLOAT", "ts"); err != nil {
+		t.Fatal(err)
+	}
+
+	q1, err := c.Query(`SELECT price FROM stocks WHERE sym = 'MSFT'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := c.Subscribe(q1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for day := 1; day <= 5; day++ {
+		if err := c.Feed("stocks", csvRow(day, "MSFT", float64(day*10))); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Feed("stocks", csvRow(day, "IBM", 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Push path: five MSFT rows.
+	var pushed []string
+	timeout := time.After(10 * time.Second)
+	for len(pushed) < 5 {
+		select {
+		case row := <-ch:
+			pushed = append(pushed, row)
+		case <-timeout:
+			t.Fatalf("push timed out after %d rows", len(pushed))
+		}
+	}
+
+	// A second query registered dynamically while the first runs.
+	q2, err := c.Query(`SELECT price FROM stocks WHERE sym = 'IBM'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Feed("stocks", csvRow(6, "IBM", 42)); err != nil {
+		t.Fatal(err)
+	}
+	waitRows(t, c, q2, 1)
+
+	// Pull path for q1 sees all five + none of IBM.
+	rows, err := c.Fetch(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Errorf("pull rows = %d, want 5", len(rows))
+	}
+
+	if err := c.Deregister(q1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Fetch(q1); err == nil {
+		t.Error("fetch after deregister succeeded")
+	}
+}
+
+func csvRow(ts int, sym string, price float64) string {
+	return fmt.Sprintf("%d,%s,%g", ts, sym, price)
+}
+
+func waitRows(t *testing.T, c *Client, qid, want int) []string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	var all []string
+	for time.Now().Before(deadline) {
+		rows, err := c.Fetch(qid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, rows...)
+		if len(all) >= want {
+			return all
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("got %d rows, want %d", len(all), want)
+	return nil
+}
+
+func TestWindowedQueryOverWire(t *testing.T) {
+	_, pm := startServer(t)
+	c := dial(t, pm.Addr())
+	if err := c.CreateStream("stocks", "ts TIME, sym STRING, price FLOAT", "ts"); err != nil {
+		t.Fatal(err)
+	}
+	for day := 1; day <= 9; day++ {
+		if err := c.Feed("stocks", csvRow(day, "MSFT", float64(day))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	qid, err := c.Query(`SELECT price FROM stocks
+		for (; t == 0; t = -1) { WindowIs(stocks, 2, 4); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := waitRows(t, c, qid, 3)
+	if len(rows) != 3 {
+		t.Errorf("window rows = %v", rows)
+	}
+}
+
+func TestProxyMultiplexesCursors(t *testing.T) {
+	_, pm := startServer(t)
+	proxy, err := NewProxy(pm.Addr(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	admin := dial(t, proxy.Addr())
+	if err := admin.CreateStream("s", "x INT", ""); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two downstream clients, each with its own query, one upstream conn.
+	c1 := dial(t, proxy.Addr())
+	c2 := dial(t, proxy.Addr())
+	q1, err := c1.Query(`SELECT x FROM s WHERE x > 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := c2.Query(`SELECT x FROM s WHERE x <= 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch1, err := c1.Subscribe(q1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch2, err := c2.Subscribe(q2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		if err := admin.Feed("s", fmt.Sprintf("%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := func(ch <-chan string, want int) int {
+		got := 0
+		timeout := time.After(10 * time.Second)
+		for got < want {
+			select {
+			case <-ch:
+				got++
+			case <-timeout:
+				return got
+			}
+		}
+		return got
+	}
+	if got := count(ch1, 5); got != 5 {
+		t.Errorf("c1 rows = %d", got)
+	}
+	if got := count(ch2, 5); got != 5 {
+		t.Errorf("c2 rows = %d", got)
+	}
+	// Upstream used exactly one server connection for all of this.
+	if pm.Connections() != 1 {
+		t.Errorf("server connections = %d, want 1 (proxy multiplexing)", pm.Connections())
+	}
+}
+
+func TestServerBadCommands(t *testing.T) {
+	_, pm := startServer(t)
+	c := dial(t, pm.Addr())
+	if _, err := c.cmd("BOGUS"); err == nil {
+		t.Error("bogus command accepted")
+	}
+	if _, err := c.cmd("FETCH 99"); err == nil {
+		t.Error("fetch of unknown query accepted")
+	}
+	if _, err := c.cmd("FEED nosuch 1,2"); err == nil {
+		t.Error("feed to unknown stream accepted")
+	}
+	if _, err := c.Query("garbage"); err == nil {
+		t.Error("garbage query accepted")
+	}
+}
+
+func TestExplain(t *testing.T) {
+	_, pm := startServer(t)
+	c := dial(t, pm.Addr())
+	if err := c.CreateStream("stocks", "ts TIME, sym STRING, price FLOAT", "ts"); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := c.Explain(`SELECT price FROM stocks WHERE sym = 'MSFT'
+		ORDER BY price DESC LIMIT 3
+		for (t = 5; t < 9; t++) { WindowIs(stocks, t - 4, t); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(rows, "\n")
+	for _, want := range []string{"windowed instances (sliding)", "filter: stocks.sym = MSFT",
+		"order by: stocks.price desc", "limit: 3"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("explain missing %q in:\n%s", want, joined)
+		}
+	}
+	// EXPLAIN must not register anything.
+	if _, err := c.cmd("FETCH 0"); err == nil {
+		t.Error("EXPLAIN registered a query")
+	}
+	// Unwindowed query reports the eddy runtime.
+	rows, err = c.Explain(`SELECT price FROM stocks WHERE price > 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.Join(rows, "\n"), "adaptive eddy") {
+		t.Errorf("explain = %v", rows)
+	}
+	if _, err := c.Explain("garbage"); err == nil {
+		t.Error("EXPLAIN of garbage succeeded")
+	}
+}
+
+func TestStatsCommand(t *testing.T) {
+	_, pm := startServer(t)
+	c := dial(t, pm.Addr())
+	if err := c.CreateStream("s", "x INT", ""); err != nil {
+		t.Fatal(err)
+	}
+	qid, err := c.Query(`SELECT x FROM s WHERE x > 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		c.Feed("s", fmt.Sprintf("%d", i))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		rows, err := c.Stats(qid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		joined := strings.Join(rows, "\n")
+		if strings.Contains(joined, "results=4") &&
+			strings.Contains(joined, "eddy:") {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("stats never showed 4 results with eddy counters")
+}

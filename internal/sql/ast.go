@@ -1,0 +1,114 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/ops"
+	"telegraphcq/internal/window"
+)
+
+// SelectItem is one SELECT-list entry: a plain column or an aggregate over
+// a column (Col.Column == "*" for COUNT(*)).
+type SelectItem struct {
+	HasAgg bool
+	Agg    ops.AggFunc
+	Col    expr.ColRef
+}
+
+// String renders the item in SQL syntax.
+func (s SelectItem) String() string {
+	if s.HasAgg {
+		return s.Agg.String() + "(" + s.Col.String() + ")"
+	}
+	return s.Col.String()
+}
+
+// TableRef is one FROM-list entry.
+type TableRef struct {
+	Name  string
+	Alias string // "" when none
+}
+
+// Ref returns the name queries use to qualify columns.
+func (t TableRef) Ref() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// Query is the parsed AST of one continuous query.
+type Query struct {
+	Star     bool
+	Distinct bool
+	Select   []SelectItem
+	From     []TableRef
+	Where    []expr.Comparison
+	GroupBy  []expr.ColRef
+	// OrderBy sorts each window instance's result set; HasOrder guards
+	// the zero value. Desc selects descending order.
+	OrderBy  expr.ColRef
+	HasOrder bool
+	Desc     bool
+	// Limit truncates each instance's result set (top-k); -1 means none.
+	Limit int64
+	// Loop is the window clause; nil means unwindowed (a pure CQ over
+	// the arriving stream, or a one-shot query over a table).
+	Loop *window.Loop
+}
+
+// String reassembles an approximation of the query text.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if q.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	if q.Star {
+		b.WriteString("*")
+	} else {
+		for i, s := range q.Select {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(s.String())
+		}
+	}
+	b.WriteString(" FROM ")
+	for i, t := range q.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.Name)
+		if t.Alias != "" {
+			b.WriteString(" " + t.Alias)
+		}
+	}
+	if len(q.Where) > 0 {
+		b.WriteString(" WHERE " + expr.FormatWhere(q.Where))
+	}
+	if len(q.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range q.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(g.String())
+		}
+	}
+	if q.HasOrder {
+		b.WriteString(" ORDER BY " + q.OrderBy.String())
+		if q.Desc {
+			b.WriteString(" DESC")
+		}
+	}
+	if q.Limit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", q.Limit)
+	}
+	if q.Loop != nil {
+		b.WriteString(" " + q.Loop.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,112 @@
+// Package sql implements TelegraphCQ's query language front end: a lexer
+// and recursive-descent parser for a basic SQL (SELECT-FROM-WHERE with
+// aggregates and GROUP BY) extended with the paper's for-loop window
+// construct (§4.1):
+//
+//	SELECT closingPrice, timestamp
+//	FROM ClosingStockPrices
+//	WHERE stockSymbol = 'MSFT'
+//	for (t = 101; t <= 1100; t++) {
+//	    WindowIs(ClosingStockPrices, 101, t);
+//	}
+//
+// The parser produces an AST; the planner (plan.go) binds it against the
+// catalog into an executable adaptive plan.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// symbols that may pair up into two-character operators.
+var twoCharSymbols = map[string]bool{
+	"<=": true, ">=": true, "<>": true, "==": true,
+	"++": true, "--": true, "+=": true, "-=": true, "!=": true,
+}
+
+// lex tokenizes input. It returns an error for unterminated strings or
+// illegal characters.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-' &&
+			(i+2 >= n || input[i+2] == ' ' || input[i+2] == '\t' || input[i+2] == '\n'):
+			// SQL comment: "-- " (whitespace required so the loop
+			// decrement "t--" still tokenizes as an operator).
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(c) || c == '_':
+			start := i
+			for i < n && (isIdentChar(rune(input[i]))) {
+				i++
+			}
+			toks = append(toks, token{tokIdent, input[start:i], start})
+		case unicode.IsDigit(c) || (c == '.' && i+1 < n && unicode.IsDigit(rune(input[i+1]))):
+			start := i
+			for i < n && (unicode.IsDigit(rune(input[i])) || input[i] == '.') {
+				i++
+			}
+			toks = append(toks, token{tokNumber, input[start:i], start})
+		case c == '\'':
+			start := i
+			i++
+			for i < n && input[i] != '\'' {
+				i++
+			}
+			if i >= n {
+				return nil, fmt.Errorf("sql: unterminated string at offset %d", start)
+			}
+			toks = append(toks, token{tokString, input[start+1 : i], start})
+			i++
+		case strings.ContainsRune("(){},;*=<>+-.!", c):
+			if i+1 < n && twoCharSymbols[input[i:i+2]] {
+				toks = append(toks, token{tokSymbol, input[i : i+2], i})
+				i += 2
+				break
+			}
+			toks = append(toks, token{tokSymbol, string(c), i})
+			i++
+		default:
+			return nil, fmt.Errorf("sql: illegal character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+func isIdentChar(c rune) bool {
+	return unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_'
+}

@@ -1,0 +1,302 @@
+package sql
+
+import (
+	"fmt"
+
+	"telegraphcq/internal/catalog"
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/ops"
+	"telegraphcq/internal/tuple"
+	"telegraphcq/internal/window"
+)
+
+// JoinEdge is one bound multi-variable factor: wide columns on two
+// distinct streams. Equality edges are SteM-indexable; other operators
+// verify by scan.
+type JoinEdge struct {
+	StreamA, StreamB int // base stream indexes, ColA on A and ColB on B
+	ColA, ColB       int // wide-row columns
+	Op               expr.Op
+}
+
+// Plan is a bound, executable query: the output of the front end handed to
+// the executor (the "adaptive plan" placed on the query plan queue,
+// §4.2.1).
+type Plan struct {
+	Query      *Query
+	Entries    []*catalog.Entry // per FROM position
+	Layout     *tuple.Layout
+	Selections []expr.Predicate
+	Joins      []JoinEdge
+	Project    []int // wide columns; nil means all
+	GroupBy    []int
+	Aggs       []ops.AggSpec
+	// OrderCol sorts each window instance's rows by this wide column
+	// (-1 = unsorted); OrderDesc selects descending. Limit truncates
+	// each instance to the first k rows after sorting (-1 = no limit).
+	OrderCol  int
+	OrderDesc bool
+	Limit     int64
+	// Distinct removes duplicate output rows: per window instance for
+	// windowed queries, across the whole stream for unwindowed CQs.
+	Distinct  bool
+	Loop      *window.Loop
+	Footprint tuple.SourceSet
+	TimeKind  window.TimeKind
+	// StreamFor maps FROM position -> WindowIs presence: a relation with
+	// no WindowIs under a for-loop is treated as a static table.
+	Windowed []bool
+}
+
+// HasAgg reports whether the plan computes aggregates.
+func (p *Plan) HasAgg() bool { return len(p.Aggs) > 0 }
+
+// BindPlan resolves the AST against the catalog.
+func BindPlan(q *Query, cat *catalog.Catalog) (*Plan, error) {
+	if len(q.From) == 0 {
+		return nil, fmt.Errorf("sql: query has no FROM relations")
+	}
+	p := &Plan{Query: q, OrderCol: -1, Limit: q.Limit}
+
+	// Resolve relations; alias each schema so self-joins (paper Example
+	// 4: "ClosingStockPrices c1, ClosingStockPrices c2") get distinct
+	// wide blocks.
+	seen := map[string]bool{}
+	var schemas []*tuple.Schema
+	for _, ref := range q.From {
+		e, err := cat.Lookup(ref.Name)
+		if err != nil {
+			return nil, err
+		}
+		name := ref.Ref()
+		if seen[name] {
+			return nil, fmt.Errorf("sql: duplicate relation name %q (alias needed)", name)
+		}
+		seen[name] = true
+		p.Entries = append(p.Entries, e)
+		schemas = append(schemas, tuple.NewSchema(name, e.Schema.Columns...))
+	}
+	p.Layout = tuple.NewLayout(schemas...)
+	p.Footprint = 0
+	for s := range schemas {
+		p.Footprint |= tuple.SingleSource(s)
+	}
+
+	// Time kind: all streams must agree; tables don't vote.
+	kind, kindSet := window.Logical, false
+	for _, e := range p.Entries {
+		if e.Kind != catalog.Stream {
+			continue
+		}
+		if !kindSet {
+			kind, kindSet = e.TimeKind, true
+			continue
+		}
+		if e.TimeKind != kind {
+			return nil, fmt.Errorf("sql: streams mix logical and physical time")
+		}
+	}
+	p.TimeKind = kind
+
+	// WHERE factors.
+	sels, joins := expr.SplitFactors(q.Where)
+	for _, c := range sels {
+		pr, err := c.Bind(p.Layout.Wide)
+		if err != nil {
+			return nil, err
+		}
+		p.Selections = append(p.Selections, pr)
+	}
+	for _, c := range joins {
+		colL := p.Layout.Col(c.Left.Qualified())
+		colR := p.Layout.Col(c.RightCol.Qualified())
+		if colL < 0 || colR < 0 {
+			return nil, fmt.Errorf("sql: cannot resolve join factor %s", c)
+		}
+		sA, sB := p.Layout.Owner(colL), p.Layout.Owner(colR)
+		if sA == sB {
+			// Same-stream comparison (e.g. Example 4's
+			// "c2.timestamp = c1.timestamp" is cross-stream, but
+			// "a.x < a.y" is not): treat as a two-column selection —
+			// unsupported in grouped filters, so reject for clarity.
+			return nil, fmt.Errorf("sql: comparison %s relates two columns of one relation; not supported", c)
+		}
+		p.Joins = append(p.Joins, JoinEdge{
+			StreamA: sA, StreamB: sB, ColA: colL, ColB: colR, Op: c.Op,
+		})
+	}
+
+	// SELECT list: either pure columns (projection) or aggregates with
+	// GROUP BY columns.
+	for _, g := range q.GroupBy {
+		col := p.Layout.Col(g.Qualified())
+		if col < 0 {
+			return nil, fmt.Errorf("sql: GROUP BY column %s not found", g)
+		}
+		p.GroupBy = append(p.GroupBy, col)
+	}
+	var projection []int
+	for _, item := range q.Select {
+		if item.HasAgg {
+			spec := ops.AggSpec{Fn: item.Agg, Col: -1}
+			if item.Col.Column != "*" {
+				col := p.Layout.Col(item.Col.Qualified())
+				if col < 0 {
+					return nil, fmt.Errorf("sql: aggregate column %s not found", item.Col)
+				}
+				spec.Col = col
+			}
+			p.Aggs = append(p.Aggs, spec)
+			continue
+		}
+		col := p.Layout.Col(item.Col.Qualified())
+		if col < 0 {
+			return nil, fmt.Errorf("sql: column %s not found (or ambiguous)", item.Col)
+		}
+		projection = append(projection, col)
+	}
+	if len(p.Aggs) > 0 {
+		// Plain columns alongside aggregates must be grouping columns.
+		for _, col := range projection {
+			ok := false
+			for _, g := range p.GroupBy {
+				if g == col {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return nil, fmt.Errorf("sql: non-aggregated column $%d must appear in GROUP BY", col)
+			}
+		}
+	} else if !q.Star {
+		p.Project = projection
+	}
+
+	// ORDER BY / LIMIT shape each window instance's result set, so they
+	// require a window; ORDER BY with aggregates would need output-side
+	// resolution and is not supported.
+	p.Distinct = q.Distinct
+	if q.Distinct && len(p.Aggs) > 0 {
+		return nil, fmt.Errorf("sql: SELECT DISTINCT with aggregates is not supported")
+	}
+	if q.HasOrder {
+		if len(p.Aggs) > 0 {
+			return nil, fmt.Errorf("sql: ORDER BY with aggregates is not supported")
+		}
+		col := p.Layout.Col(q.OrderBy.Qualified())
+		if col < 0 {
+			return nil, fmt.Errorf("sql: ORDER BY column %s not found", q.OrderBy)
+		}
+		p.OrderCol = col
+		p.OrderDesc = q.Desc
+	}
+	if (q.HasOrder || q.Limit >= 0) && q.Loop == nil {
+		return nil, fmt.Errorf("sql: ORDER BY/LIMIT need a window (for-loop) clause: an unwindowed stream has no finite result set to sort or truncate")
+	}
+
+	// Window loop: WindowIs stream names must match FROM refs.
+	if q.Loop != nil {
+		p.Loop = q.Loop
+		p.Loop.Time = p.TimeKind
+		p.Windowed = make([]bool, len(q.From))
+		for _, w := range q.Loop.Windows {
+			found := false
+			for i, ref := range q.From {
+				if ref.Ref() == w.Stream || ref.Name == w.Stream {
+					p.Windowed[i] = true
+					found = true
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("sql: WindowIs names unknown relation %q", w.Stream)
+			}
+		}
+	}
+	return p, nil
+}
+
+// ParseAndBind is the front-end entry point: text to executable plan.
+func ParseAndBind(text string, cat *catalog.Catalog) (*Plan, error) {
+	q, err := Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return BindPlan(q, cat)
+}
+
+// Describe renders the bound plan as human-readable lines — the EXPLAIN
+// output surfaced by the server. It names the runtime strategy the engine
+// will pick (adaptive eddy for unwindowed queries, per-instance window
+// evaluation otherwise) and every bound operator.
+func (p *Plan) Describe() []string {
+	var out []string
+	if p.Loop == nil {
+		out = append(out, "runtime: adaptive eddy (continuous, unwindowed)")
+	} else {
+		out = append(out, fmt.Sprintf("runtime: windowed instances (%s) %s",
+			p.Loop.Classify(), p.Loop))
+	}
+	for pos, e := range p.Entries {
+		role := "stream"
+		if e.Kind == catalog.Table {
+			role = "table"
+		} else if p.Loop != nil && (p.Windowed == nil || !p.Windowed[pos]) {
+			role = "stream (treated as table: no WindowIs)"
+		}
+		out = append(out, fmt.Sprintf("source %d: %s %s %s", pos, role, e.Name, e.Schema))
+	}
+	for _, s := range p.Selections {
+		col := p.Layout.Wide.Columns[s.Col].Name
+		out = append(out, fmt.Sprintf("filter: %s %s %s", col, s.Op, s.Val))
+	}
+	for _, j := range p.Joins {
+		out = append(out, fmt.Sprintf("join: %s %s %s (SteM pair, %s)",
+			p.Layout.Wide.Columns[j.ColA].Name, j.Op,
+			p.Layout.Wide.Columns[j.ColB].Name,
+			indexNote(j.Op)))
+	}
+	if len(p.Aggs) > 0 {
+		s := "aggregate:"
+		for _, a := range p.Aggs {
+			name := "*"
+			if a.Col >= 0 {
+				name = p.Layout.Wide.Columns[a.Col].Name
+			}
+			s += fmt.Sprintf(" %s(%s)", a.Fn, name)
+		}
+		if len(p.GroupBy) > 0 {
+			s += " group by"
+			for _, g := range p.GroupBy {
+				s += " " + p.Layout.Wide.Columns[g].Name
+			}
+		}
+		out = append(out, s)
+	} else if p.Project != nil {
+		s := "project:"
+		for _, c := range p.Project {
+			s += " " + p.Layout.Wide.Columns[c].Name
+		}
+		out = append(out, s)
+	}
+	if p.OrderCol >= 0 {
+		dir := "asc"
+		if p.OrderDesc {
+			dir = "desc"
+		}
+		out = append(out, fmt.Sprintf("order by: %s %s",
+			p.Layout.Wide.Columns[p.OrderCol].Name, dir))
+	}
+	if p.Limit >= 0 {
+		out = append(out, fmt.Sprintf("limit: %d per instance", p.Limit))
+	}
+	out = append(out, fmt.Sprintf("footprint: %b, time: %s", p.Footprint, p.TimeKind))
+	return out
+}
+
+func indexNote(op expr.Op) string {
+	if op == expr.Eq {
+		return "hash-indexed"
+	}
+	return "verified scan"
+}

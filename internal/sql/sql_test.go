@@ -1,0 +1,423 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"telegraphcq/internal/catalog"
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/ops"
+	"telegraphcq/internal/window"
+	"telegraphcq/internal/workload"
+)
+
+// paperQ1..Q4 are the four §4.1 example queries, verbatim modulo the ST
+// symbolic constant (substituted with 50).
+const (
+	paperQ1 = `SELECT closingPrice, timestamp
+FROM ClosingStockPrices
+WHERE stockSymbol = 'MSFT'
+for (; t == 0; t = -1) { WindowIs(ClosingStockPrices, 1, 5); }`
+
+	paperQ2 = `SELECT closingPrice, timestamp
+FROM ClosingStockPrices
+WHERE stockSymbol = 'MSFT' AND closingPrice > 50.00
+for (t = 101; t <= 1100; t++) { WindowIs(ClosingStockPrices, 101, t); }`
+
+	paperQ3 = `SELECT AVG(closingPrice)
+FROM ClosingStockPrices
+WHERE stockSymbol = 'MSFT'
+for (t = 50; t < 70; t++) { WindowIs(ClosingStockPrices, t - 4, t); }`
+
+	paperQ4 = `SELECT c2.stockSymbol
+FROM ClosingStockPrices AS c1, ClosingStockPrices AS c2
+WHERE c1.stockSymbol = 'MSFT' AND c2.stockSymbol <> 'MSFT'
+AND c2.closingPrice > c1.closingPrice AND c2.timestamp = c1.timestamp
+for (t = 50; t < 70; t++) {
+    WindowIs(c1, t - 4, t);
+    WindowIs(c2, t - 4, t);
+}`
+)
+
+func stockCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	if _, err := cat.CreateStream("ClosingStockPrices", workload.StockSchema(), 0); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func TestParsePaperExample1(t *testing.T) {
+	q, err := Parse(paperQ1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Select) != 2 || q.Select[0].Col.Column != "closingPrice" {
+		t.Errorf("select = %v", q.Select)
+	}
+	if len(q.Where) != 1 || q.Where[0].Op != expr.Eq {
+		t.Errorf("where = %v", q.Where)
+	}
+	if q.Loop == nil {
+		t.Fatal("no loop")
+	}
+	if got := q.Loop.Classify(); got != window.ShapeSnapshot {
+		t.Errorf("shape = %s", got)
+	}
+	w := q.Loop.Windows[0]
+	if w.Left.At(0) != 1 || w.Right.At(0) != 5 {
+		t.Errorf("window = [%d,%d]", w.Left.At(0), w.Right.At(0))
+	}
+}
+
+func TestParsePaperExample2(t *testing.T) {
+	q, err := Parse(paperQ2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Loop.Classify(); got != window.ShapeLandmark {
+		t.Errorf("shape = %s", got)
+	}
+	if q.Loop.Init != 101 || q.Loop.Step != 1 {
+		t.Errorf("loop = %+v", q.Loop)
+	}
+	if len(q.Where) != 2 {
+		t.Errorf("where = %v", q.Where)
+	}
+}
+
+func TestParsePaperExample3(t *testing.T) {
+	q, err := Parse(paperQ3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Select[0].HasAgg || q.Select[0].Agg != ops.Avg {
+		t.Errorf("select = %v", q.Select)
+	}
+	if got := q.Loop.Classify(); got != window.ShapeSliding {
+		t.Errorf("shape = %s", got)
+	}
+}
+
+func TestParsePaperExample4SelfJoin(t *testing.T) {
+	q, err := Parse(paperQ4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.From) != 2 || q.From[0].Alias != "c1" || q.From[1].Alias != "c2" {
+		t.Errorf("from = %v", q.From)
+	}
+	joins := 0
+	for _, c := range q.Where {
+		if c.IsJoin {
+			joins++
+		}
+	}
+	if joins != 2 {
+		t.Errorf("join factors = %d, want 2", joins)
+	}
+	if len(q.Loop.Windows) != 2 {
+		t.Errorf("windows = %d", len(q.Loop.Windows))
+	}
+}
+
+func TestBindPaperExample1(t *testing.T) {
+	cat := stockCatalog(t)
+	p, err := ParseAndBind(paperQ1, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Selections) != 1 || p.Selections[0].Col != 1 {
+		t.Errorf("selections = %v", p.Selections)
+	}
+	if len(p.Project) != 2 || p.Project[0] != 2 || p.Project[1] != 0 {
+		t.Errorf("projection = %v", p.Project)
+	}
+	if p.TimeKind != window.Physical {
+		t.Errorf("time kind = %s", p.TimeKind)
+	}
+}
+
+func TestBindPaperExample4(t *testing.T) {
+	cat := stockCatalog(t)
+	p, err := ParseAndBind(paperQ4, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Layout.Streams() != 2 || p.Layout.Width() != 6 {
+		t.Fatalf("layout = %v", p.Layout.Wide)
+	}
+	if len(p.Joins) != 2 {
+		t.Fatalf("joins = %v", p.Joins)
+	}
+	// c2.timestamp = c1.timestamp relates stream 1 col to stream 0 col.
+	var eqEdge *JoinEdge
+	for i := range p.Joins {
+		if p.Joins[i].Op == expr.Eq {
+			eqEdge = &p.Joins[i]
+		}
+	}
+	if eqEdge == nil {
+		t.Fatal("no equality join edge")
+	}
+	if p.Layout.Owner(eqEdge.ColA) == p.Layout.Owner(eqEdge.ColB) {
+		t.Error("join edge within one stream")
+	}
+	if !p.Windowed[0] || !p.Windowed[1] {
+		t.Errorf("windowed = %v", p.Windowed)
+	}
+}
+
+func TestBindAggregatesRequireGrouping(t *testing.T) {
+	cat := stockCatalog(t)
+	_, err := ParseAndBind(
+		`SELECT stockSymbol, MAX(closingPrice) FROM ClosingStockPrices GROUP BY stockSymbol`, cat)
+	if err != nil {
+		t.Fatalf("grouped agg rejected: %v", err)
+	}
+	_, err = ParseAndBind(
+		`SELECT timestamp, MAX(closingPrice) FROM ClosingStockPrices GROUP BY stockSymbol`, cat)
+	if err == nil {
+		t.Error("non-grouped plain column accepted alongside aggregate")
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	cat := stockCatalog(t)
+	cases := []string{
+		`SELECT x FROM Nowhere`,
+		`SELECT nosuch FROM ClosingStockPrices`,
+		`SELECT closingPrice FROM ClosingStockPrices WHERE nosuch > 5`,
+		`SELECT closingPrice FROM ClosingStockPrices, ClosingStockPrices`, // dup w/o alias
+		`SELECT closingPrice FROM ClosingStockPrices
+		 for (t = 0; t < 5; t++) { WindowIs(Other, t, t); }`,
+	}
+	for _, c := range cases {
+		if _, err := ParseAndBind(c, cat); err == nil {
+			t.Errorf("accepted: %s", c)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`SELECT`,
+		`SELECT * FROM`,
+		`SELECT * FROM s WHERE`,
+		`SELECT * FROM s WHERE a >`,
+		`SELECT * FROM s for (x = 0; x < 5; x++) { }`, // loop var must be t
+		`SELECT * FROM s for (t = 0; t < 5; t++) { WindowIs(s, t) }`,
+		`SELECT * FROM s alias extra`, // alias consumed; trailing junk
+		`SELECT * FROM s WHERE a = 'unterminated`,
+	}
+	for _, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("accepted: %q", c)
+		}
+	}
+}
+
+func TestParseCountStar(t *testing.T) {
+	q, err := Parse(`SELECT COUNT(*) FROM s`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Select[0].HasAgg || q.Select[0].Agg != ops.Count || q.Select[0].Col.Column != "*" {
+		t.Errorf("select = %+v", q.Select[0])
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	q, err := Parse("SELECT * FROM s -- trailing comment\nWHERE a > 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Where) != 1 {
+		t.Errorf("where = %v", q.Where)
+	}
+}
+
+func TestParseForever(t *testing.T) {
+	q, err := Parse(`SELECT * FROM s for (t = 0; ; t++) { WindowIs(s, t - 9, t); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Loop.Cond.Always {
+		t.Error("condition should be Forever")
+	}
+}
+
+func TestQueryStringRoundTrips(t *testing.T) {
+	for _, text := range []string{paperQ1, paperQ2, paperQ3, paperQ4} {
+		q, err := Parse(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := q.String()
+		q2, err := Parse(s)
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", s, err)
+		}
+		if len(q2.Where) != len(q.Where) || len(q2.From) != len(q.From) {
+			t.Errorf("round trip changed query: %q", s)
+		}
+	}
+}
+
+func TestNegativeNumbers(t *testing.T) {
+	q, err := Parse(`SELECT * FROM s WHERE a > -5 AND b < -1.5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Where[0].RightVal.AsInt() != -5 || q.Where[1].RightVal.AsFloat() != -1.5 {
+		t.Errorf("where = %v", q.Where)
+	}
+}
+
+func TestLexIllegalChar(t *testing.T) {
+	if _, err := Parse(`SELECT * FROM s WHERE a > 5 @`); err == nil ||
+		!strings.Contains(err.Error(), "illegal") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestParseOrderByLimit(t *testing.T) {
+	q, err := Parse(`SELECT closingPrice FROM s ORDER BY closingPrice DESC LIMIT 3
+		for (t = 5; t < 9; t++) { WindowIs(s, t - 4, t); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.HasOrder || !q.Desc || q.OrderBy.Column != "closingPrice" || q.Limit != 3 {
+		t.Errorf("query = %+v", q)
+	}
+	// Round trip.
+	if _, err := Parse(q.String()); err != nil {
+		t.Errorf("reparse %q: %v", q.String(), err)
+	}
+}
+
+func TestBindOrderByRules(t *testing.T) {
+	cat := stockCatalog(t)
+	// Valid: top-k per window.
+	p, err := ParseAndBind(`SELECT closingPrice FROM ClosingStockPrices
+		ORDER BY closingPrice DESC LIMIT 2
+		for (t = 5; t < 9; t++) { WindowIs(ClosingStockPrices, t - 4, t); }`, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.OrderCol < 0 || !p.OrderDesc || p.Limit != 2 {
+		t.Errorf("plan = %+v", p)
+	}
+	// Invalid: no window.
+	if _, err := ParseAndBind(`SELECT closingPrice FROM ClosingStockPrices LIMIT 5`, cat); err == nil {
+		t.Error("LIMIT without window accepted")
+	}
+	if _, err := ParseAndBind(`SELECT closingPrice FROM ClosingStockPrices ORDER BY closingPrice`, cat); err == nil {
+		t.Error("ORDER BY without window accepted")
+	}
+	// Invalid: with aggregates.
+	if _, err := ParseAndBind(`SELECT MAX(closingPrice) FROM ClosingStockPrices
+		ORDER BY closingPrice
+		for (t = 5; t < 9; t++) { WindowIs(ClosingStockPrices, t - 4, t); }`, cat); err == nil {
+		t.Error("ORDER BY with aggregate accepted")
+	}
+	// Invalid: unknown column.
+	if _, err := ParseAndBind(`SELECT closingPrice FROM ClosingStockPrices
+		ORDER BY nosuch
+		for (t = 5; t < 9; t++) { WindowIs(ClosingStockPrices, t - 4, t); }`, cat); err == nil {
+		t.Error("ORDER BY unknown column accepted")
+	}
+	// Invalid: negative limit.
+	if _, err := Parse(`SELECT x FROM s LIMIT -1`); err == nil {
+		t.Error("negative LIMIT accepted")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	cat := stockCatalog(t)
+	p, err := ParseAndBind(`SELECT closingPrice FROM ClosingStockPrices
+		WHERE stockSymbol = 'MSFT' AND closingPrice > 10
+		ORDER BY closingPrice DESC LIMIT 3
+		for (t = 5; t < 9; t++) { WindowIs(ClosingStockPrices, t - 4, t); }`, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc := strings.Join(p.Describe(), "\n")
+	for _, want := range []string{
+		"windowed instances (sliding)", "source 0: stream ClosingStockPrices",
+		"filter:", "order by:", "limit: 3", "footprint:",
+	} {
+		if !strings.Contains(desc, want) {
+			t.Errorf("describe missing %q:\n%s", want, desc)
+		}
+	}
+	// Join + aggregate description paths.
+	p2, err := ParseAndBind(paperQ4, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc2 := strings.Join(p2.Describe(), "\n")
+	if !strings.Contains(desc2, "join:") || !strings.Contains(desc2, "hash-indexed") {
+		t.Errorf("join describe:\n%s", desc2)
+	}
+	p3, err := ParseAndBind(`SELECT stockSymbol, MAX(closingPrice)
+		FROM ClosingStockPrices GROUP BY stockSymbol
+		for (t = 2; t < 4; t++) { WindowIs(ClosingStockPrices, 1, t); }`, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc3 := strings.Join(p3.Describe(), "\n")
+	if !strings.Contains(desc3, "aggregate: MAX") || !strings.Contains(desc3, "group by") {
+		t.Errorf("agg describe:\n%s", desc3)
+	}
+	if p3.HasAgg() != true {
+		t.Error("HasAgg")
+	}
+	// Unwindowed: eddy runtime named.
+	p4, _ := ParseAndBind(`SELECT * FROM ClosingStockPrices`, cat)
+	if !strings.Contains(strings.Join(p4.Describe(), "\n"), "adaptive eddy") {
+		t.Error("eddy runtime not described")
+	}
+}
+
+func TestParseDistinct(t *testing.T) {
+	q, err := Parse(`SELECT DISTINCT stockSymbol FROM s`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Distinct {
+		t.Error("distinct not parsed")
+	}
+	if !strings.HasPrefix(q.String(), "SELECT DISTINCT") {
+		t.Errorf("string = %q", q.String())
+	}
+}
+
+func TestParseForLoopVariants(t *testing.T) {
+	// t-- and t -= k steps.
+	q, err := Parse(`SELECT * FROM s for (t = 10; t > 0; t--) { WindowIs(s, t, t); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Loop.Step != -1 {
+		t.Errorf("step = %d", q.Loop.Step)
+	}
+	q, err = Parse(`SELECT * FROM s for (t = 10; t > 0; t -= 3) { WindowIs(s, t - 1, t); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Loop.Step != -3 {
+		t.Errorf("step = %d", q.Loop.Step)
+	}
+	// Affine with explicit plus.
+	q, err = Parse(`SELECT * FROM s for (t = 0; t < 5; t += 2) { WindowIs(s, t, t + 3); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := q.Loop.Windows[0]
+	if w.Right.At(1) != 4 {
+		t.Errorf("right(1) = %d", w.Right.At(1))
+	}
+}

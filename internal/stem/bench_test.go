@@ -1,0 +1,65 @@
+package stem
+
+import (
+	"fmt"
+	"testing"
+
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/tuple"
+	"telegraphcq/internal/window"
+)
+
+// Ablation (DESIGN.md §5): hash-indexed probes vs verified scans as the
+// stored set grows.
+func BenchmarkProbe(b *testing.B) {
+	for _, size := range []int{100, 10000} {
+		for _, indexed := range []bool{true, false} {
+			name := fmt.Sprintf("size%d/indexed=%v", size, indexed)
+			b.Run(name, func(b *testing.B) {
+				l := twoStreamLayout()
+				var st *SteM
+				if indexed {
+					st = New("S", tuple.SingleSource(0), l, WithIndex(0))
+				} else {
+					st = New("S", tuple.SingleSource(0), l)
+				}
+				for i := 0; i < size; i++ {
+					st.Build(widen(l, 0, int64(i),
+						tuple.Int(int64(i%256)), tuple.Int(int64(i))))
+				}
+				preds := []expr.JoinPredicate{{LeftCol: 2, Op: expr.Eq, RightCol: 0}}
+				probe := widen(l, 1, 0, tuple.Int(7), tuple.Int(0))
+				pk := -1
+				if indexed {
+					pk = 2
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					st.Probe(probe, pk, preds)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	l := twoStreamLayout()
+	st := New("S", tuple.SingleSource(0), l, WithIndex(0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Build(widen(l, 0, int64(i), tuple.Int(int64(i%1024)), tuple.Int(int64(i))))
+	}
+}
+
+func BenchmarkBuildWindowed(b *testing.B) {
+	l := twoStreamLayout()
+	st := New("S", tuple.SingleSource(0), l,
+		WithIndex(0), WithWindowEviction(window.Physical))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Build(widen(l, 0, int64(i), tuple.Int(int64(i%1024)), tuple.Int(int64(i))))
+		if i%8192 == 8191 {
+			st.Evict(int64(i) - 4096)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+// Package stem implements State Modules (SteMs, §2.2 and [RDH02]): temporary
+// repositories of homogeneous tuples — essentially half of a traditional
+// join operator — supporting insert (build), search (probe) and delete
+// (eviction). A SteM stores wide-row tuples spanning a fixed set of base
+// streams; probing with a tuple spanning a disjoint stream set returns
+// concatenated matches satisfying every join predicate evaluable across the
+// pair. Hash indexes on the join attribute accelerate equality probes;
+// non-equality predicates fall back to verified scans.
+package stem
+
+import (
+	"fmt"
+
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/tuple"
+	"telegraphcq/internal/window"
+)
+
+// SteM is a state module. It is not safe for concurrent use: within an
+// eddy, SteMs are invoked synchronously from the routing loop (the paper's
+// non-preemptive Dispatch Unit model); Flux partitions SteMs across
+// goroutine-confined nodes.
+type SteM struct {
+	name   string
+	spans  tuple.SourceSet // stream set of stored tuples
+	layout *tuple.Layout
+
+	// keyCol is the wide-row slot the hash index is built on (the join
+	// attribute); -1 disables indexing and probes scan.
+	keyCol int
+	index  map[uint64][]*tuple.Tuple
+	all    *window.Buffer // time-ordered for window eviction
+	inseq  []*tuple.Tuple // insertion order when no window eviction is used
+
+	timeKind window.TimeKind
+	windowed bool
+
+	builds, probes, matches, evicted int64
+}
+
+// Option configures a SteM.
+type Option func(*SteM)
+
+// WithIndex builds a hash index on the given wide-row column.
+func WithIndex(keyCol int) Option {
+	return func(s *SteM) { s.keyCol = keyCol }
+}
+
+// WithWindowEviction orders stored tuples by the given notion of time and
+// enables Evict(watermark).
+func WithWindowEviction(kind window.TimeKind) Option {
+	return func(s *SteM) {
+		s.windowed = true
+		s.timeKind = kind
+	}
+}
+
+// New creates a SteM named name holding tuples that span the stream set
+// spans under the given layout.
+func New(name string, spans tuple.SourceSet, layout *tuple.Layout, opts ...Option) *SteM {
+	s := &SteM{
+		name:   name,
+		spans:  spans,
+		layout: layout,
+		keyCol: -1,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.keyCol >= 0 {
+		s.index = make(map[uint64][]*tuple.Tuple)
+	}
+	if s.windowed {
+		s.all = window.NewBuffer(s.timeKind)
+	}
+	return s
+}
+
+// Name returns the SteM's name.
+func (s *SteM) Name() string { return s.name }
+
+// Spans returns the stream set of stored tuples.
+func (s *SteM) Spans() tuple.SourceSet { return s.spans }
+
+// Size returns the number of stored tuples.
+func (s *SteM) Size() int {
+	if s.windowed {
+		return s.all.Len()
+	}
+	return len(s.inseq)
+}
+
+// Accepts reports whether t is a build tuple for this SteM (spans exactly
+// the stored stream set).
+func (s *SteM) Accepts(t *tuple.Tuple) bool { return t.Source == s.spans }
+
+// CanProbe reports whether t may probe this SteM (spans a disjoint set).
+func (s *SteM) CanProbe(t *tuple.Tuple) bool { return !t.Source.Overlaps(s.spans) }
+
+// Build inserts a tuple. It returns an error if the tuple does not span the
+// SteM's stream set — that indicates an eddy routing bug.
+func (s *SteM) Build(t *tuple.Tuple) error {
+	if !s.Accepts(t) {
+		return fmt.Errorf("stem %s: build tuple spans %b, want %b", s.name, t.Source, s.spans)
+	}
+	s.builds++
+	if s.keyCol >= 0 {
+		h := t.Vals[s.keyCol].Hash()
+		s.index[h] = append(s.index[h], t)
+	}
+	if s.windowed {
+		s.all.Add(t)
+	} else {
+		s.inseq = append(s.inseq, t)
+	}
+	return nil
+}
+
+// Probe looks up matches for probe tuple p. probeKey is the wide-row slot
+// of p holding the value hashed against the index (ignored when the SteM is
+// unindexed). preds are the join predicates to verify on each candidate,
+// evaluated as preds[i].Eval(p, candidate). Matches are returned as merged
+// wide rows ({p} ⋈ SteM).
+func (s *SteM) Probe(p *tuple.Tuple, probeKey int, preds []expr.JoinPredicate) []*tuple.Tuple {
+	s.probes++
+	var out []*tuple.Tuple
+	emit := func(cand *tuple.Tuple) {
+		for _, jp := range preds {
+			if !jp.Eval(p, cand) {
+				return
+			}
+		}
+		out = append(out, s.layout.Merge(p, cand))
+	}
+	if s.keyCol >= 0 && probeKey >= 0 {
+		for _, cand := range s.index[p.Vals[probeKey].Hash()] {
+			emit(cand)
+		}
+	} else {
+		s.scan(emit)
+	}
+	s.matches += int64(len(out))
+	return out
+}
+
+// ProbeRange returns merged matches whose time falls within [left, right];
+// only valid for window-evicting SteMs. Join predicates still verify.
+func (s *SteM) ProbeRange(p *tuple.Tuple, left, right int64, preds []expr.JoinPredicate) []*tuple.Tuple {
+	if !s.windowed {
+		panic("stem: ProbeRange on non-windowed SteM")
+	}
+	s.probes++
+	var out []*tuple.Tuple
+	for _, cand := range s.all.Range(left, right) {
+		ok := true
+		for _, jp := range preds {
+			if !jp.Eval(p, cand) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, s.layout.Merge(p, cand))
+		}
+	}
+	s.matches += int64(len(out))
+	return out
+}
+
+func (s *SteM) scan(emit func(*tuple.Tuple)) {
+	if s.windowed {
+		for _, t := range s.all.Range(-1<<62, 1<<62) {
+			emit(t)
+		}
+		return
+	}
+	for _, t := range s.inseq {
+		emit(t)
+	}
+}
+
+// Evict removes stored tuples older than watermark (window time). It
+// rebuilds the hash index; amortize by evicting in batches.
+func (s *SteM) Evict(watermark int64) int {
+	if !s.windowed {
+		return 0
+	}
+	n := s.all.Evict(watermark)
+	if n > 0 {
+		s.evicted += int64(n)
+		if s.keyCol >= 0 {
+			s.index = make(map[uint64][]*tuple.Tuple, s.all.Len())
+			for _, t := range s.all.Range(-1<<62, 1<<62) {
+				h := t.Vals[s.keyCol].Hash()
+				s.index[h] = append(s.index[h], t)
+			}
+		}
+	}
+	return n
+}
+
+// Stats describes SteM activity.
+type Stats struct {
+	Builds, Probes, Matches, Evicted int64
+	Size                             int
+}
+
+// Stats returns activity counters.
+func (s *SteM) Stats() Stats {
+	return Stats{Builds: s.builds, Probes: s.probes, Matches: s.matches,
+		Evicted: s.evicted, Size: s.Size()}
+}
+
+// Drain returns all stored tuples in time/insertion order (used by Flux
+// state movement when repartitioning a SteM across nodes).
+func (s *SteM) Drain() []*tuple.Tuple {
+	var out []*tuple.Tuple
+	s.scan(func(t *tuple.Tuple) { out = append(out, t) })
+	return out
+}
+
+// Reset clears all state.
+func (s *SteM) Reset() {
+	if s.keyCol >= 0 {
+		s.index = make(map[uint64][]*tuple.Tuple)
+	}
+	if s.windowed {
+		s.all = window.NewBuffer(s.timeKind)
+	}
+	s.inseq = nil
+}

@@ -1,0 +1,241 @@
+package stem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/tuple"
+	"telegraphcq/internal/window"
+)
+
+// twoStreamLayout builds S(k, v) and T(k, w).
+func twoStreamLayout() *tuple.Layout {
+	s := tuple.NewSchema("S",
+		tuple.Column{Name: "k", Kind: tuple.KindInt},
+		tuple.Column{Name: "v", Kind: tuple.KindInt})
+	tt := tuple.NewSchema("T",
+		tuple.Column{Name: "k", Kind: tuple.KindInt},
+		tuple.Column{Name: "w", Kind: tuple.KindInt})
+	return tuple.NewLayout(s, tt)
+}
+
+func widen(l *tuple.Layout, stream int, ts int64, vals ...tuple.Value) *tuple.Tuple {
+	base := tuple.New(vals...)
+	base.TS = ts
+	base.Seq = ts
+	return l.Widen(stream, base)
+}
+
+func TestBuildProbeIndexed(t *testing.T) {
+	l := twoStreamLayout()
+	st := New("S", tuple.SingleSource(0), l, WithIndex(0)) // index S.k (wide col 0)
+	for i := int64(0); i < 10; i++ {
+		if err := st.Build(widen(l, 0, i, tuple.Int(i%3), tuple.Int(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Probe with a T tuple, k=1: T.k is wide col 2.
+	probe := widen(l, 1, 100, tuple.Int(1), tuple.Int(7))
+	preds := []expr.JoinPredicate{{LeftCol: 2, Op: expr.Eq, RightCol: 0}}
+	matches := st.Probe(probe, 2, preds)
+	if len(matches) != 3 { // S rows with k=1: i = 1, 4, 7
+		t.Fatalf("matches = %d, want 3", len(matches))
+	}
+	for _, m := range matches {
+		if m.Source != 3 {
+			t.Errorf("match source = %b", m.Source)
+		}
+		if !tuple.Equal(m.Vals[0], tuple.Int(1)) || !tuple.Equal(m.Vals[2], tuple.Int(1)) {
+			t.Errorf("match vals = %v", m.Vals)
+		}
+	}
+}
+
+func TestProbeUnindexedScan(t *testing.T) {
+	l := twoStreamLayout()
+	st := New("S", tuple.SingleSource(0), l) // no index
+	for i := int64(0); i < 10; i++ {
+		st.Build(widen(l, 0, i, tuple.Int(i), tuple.Int(i)))
+	}
+	// Non-equality predicate: T.k > S.k.
+	probe := widen(l, 1, 100, tuple.Int(4), tuple.Int(0))
+	preds := []expr.JoinPredicate{{LeftCol: 2, Op: expr.Gt, RightCol: 0}}
+	matches := st.Probe(probe, -1, preds)
+	if len(matches) != 4 { // S.k in {0,1,2,3}
+		t.Fatalf("matches = %d, want 4", len(matches))
+	}
+}
+
+func TestBuildRejectsWrongSpan(t *testing.T) {
+	l := twoStreamLayout()
+	st := New("S", tuple.SingleSource(0), l)
+	if err := st.Build(widen(l, 1, 0, tuple.Int(1), tuple.Int(2))); err == nil {
+		t.Error("building a T tuple into SteM_S should fail")
+	}
+}
+
+func TestAcceptsCanProbe(t *testing.T) {
+	l := twoStreamLayout()
+	st := New("S", tuple.SingleSource(0), l)
+	sTup := widen(l, 0, 0, tuple.Int(1), tuple.Int(2))
+	tTup := widen(l, 1, 0, tuple.Int(1), tuple.Int(2))
+	if !st.Accepts(sTup) || st.Accepts(tTup) {
+		t.Error("Accepts misbehaves")
+	}
+	if st.CanProbe(sTup) || !st.CanProbe(tTup) {
+		t.Error("CanProbe misbehaves")
+	}
+}
+
+func TestWindowEviction(t *testing.T) {
+	l := twoStreamLayout()
+	st := New("S", tuple.SingleSource(0), l,
+		WithIndex(0), WithWindowEviction(window.Physical))
+	for i := int64(0); i < 20; i++ {
+		st.Build(widen(l, 0, i, tuple.Int(i), tuple.Int(i)))
+	}
+	if n := st.Evict(10); n != 10 {
+		t.Fatalf("evicted %d, want 10", n)
+	}
+	if st.Size() != 10 {
+		t.Errorf("size = %d", st.Size())
+	}
+	// Index must be rebuilt: probing for an evicted key finds nothing.
+	probe := widen(l, 1, 100, tuple.Int(5), tuple.Int(0))
+	preds := []expr.JoinPredicate{{LeftCol: 2, Op: expr.Eq, RightCol: 0}}
+	if m := st.Probe(probe, 2, preds); len(m) != 0 {
+		t.Errorf("probe for evicted key found %d matches", len(m))
+	}
+	// Surviving keys still probe fine.
+	probe = widen(l, 1, 100, tuple.Int(15), tuple.Int(0))
+	if m := st.Probe(probe, 2, preds); len(m) != 1 {
+		t.Errorf("probe for live key found %d matches", len(m))
+	}
+}
+
+func TestProbeRange(t *testing.T) {
+	l := twoStreamLayout()
+	st := New("S", tuple.SingleSource(0), l, WithWindowEviction(window.Physical))
+	for i := int64(0); i < 10; i++ {
+		st.Build(widen(l, 0, i, tuple.Int(1), tuple.Int(i)))
+	}
+	probe := widen(l, 1, 100, tuple.Int(1), tuple.Int(0))
+	preds := []expr.JoinPredicate{{LeftCol: 2, Op: expr.Eq, RightCol: 0}}
+	if m := st.ProbeRange(probe, 3, 6, preds); len(m) != 4 {
+		t.Errorf("ProbeRange = %d matches, want 4", len(m))
+	}
+}
+
+func TestDrainAndReset(t *testing.T) {
+	l := twoStreamLayout()
+	st := New("S", tuple.SingleSource(0), l, WithIndex(0))
+	for i := int64(0); i < 5; i++ {
+		st.Build(widen(l, 0, i, tuple.Int(i), tuple.Int(i)))
+	}
+	if got := st.Drain(); len(got) != 5 {
+		t.Errorf("drain = %d", len(got))
+	}
+	st.Reset()
+	if st.Size() != 0 {
+		t.Errorf("size after reset = %d", st.Size())
+	}
+	probe := widen(l, 1, 0, tuple.Int(1), tuple.Int(0))
+	if m := st.Probe(probe, 2, []expr.JoinPredicate{{LeftCol: 2, Op: expr.Eq, RightCol: 0}}); len(m) != 0 {
+		t.Errorf("probe after reset = %d", len(m))
+	}
+}
+
+func TestStats(t *testing.T) {
+	l := twoStreamLayout()
+	st := New("S", tuple.SingleSource(0), l, WithIndex(0))
+	st.Build(widen(l, 0, 0, tuple.Int(1), tuple.Int(2)))
+	probe := widen(l, 1, 0, tuple.Int(1), tuple.Int(0))
+	st.Probe(probe, 2, []expr.JoinPredicate{{LeftCol: 2, Op: expr.Eq, RightCol: 0}})
+	s := st.Stats()
+	if s.Builds != 1 || s.Probes != 1 || s.Matches != 1 || s.Size != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestMatchLineageIntersection(t *testing.T) {
+	l := twoStreamLayout()
+	st := New("S", tuple.SingleSource(0), l, WithIndex(0))
+	b := widen(l, 0, 0, tuple.Int(1), tuple.Int(2))
+	b.Queries = tuple.NewBitset(3)
+	b.Queries.Set(0)
+	b.Queries.Set(1)
+	st.Build(b)
+	p := widen(l, 1, 0, tuple.Int(1), tuple.Int(9))
+	p.Queries = tuple.NewBitset(3)
+	p.Queries.Set(1)
+	p.Queries.Set(2)
+	m := st.Probe(p, 2, []expr.JoinPredicate{{LeftCol: 2, Op: expr.Eq, RightCol: 0}})
+	if len(m) != 1 {
+		t.Fatalf("matches = %d", len(m))
+	}
+	if !m[0].Queries.Test(1) || m[0].Queries.Test(0) || m[0].Queries.Test(2) {
+		t.Errorf("match lineage = %v", m[0].Queries)
+	}
+}
+
+// TestProbeCompletenessQuick is the SteM's load-bearing property: for any
+// build set and probe, Probe returns exactly the brute-force equijoin
+// matches — whether it uses the hash index or a verified scan.
+func TestProbeCompletenessQuick(t *testing.T) {
+	f := func(buildKeys []uint8, probeKey uint8, indexed bool) bool {
+		l := twoStreamLayout()
+		var st *SteM
+		if indexed {
+			st = New("S", tuple.SingleSource(0), l, WithIndex(0))
+		} else {
+			st = New("S", tuple.SingleSource(0), l)
+		}
+		want := 0
+		for i, k := range buildKeys {
+			key := int64(k % 16)
+			if err := st.Build(widen(l, 0, int64(i), tuple.Int(key), tuple.Int(int64(i)))); err != nil {
+				return false
+			}
+			if key == int64(probeKey%16) {
+				want++
+			}
+		}
+		probe := widen(l, 1, 1000, tuple.Int(int64(probeKey%16)), tuple.Int(0))
+		preds := []expr.JoinPredicate{{LeftCol: 2, Op: expr.Eq, RightCol: 0}}
+		pk := -1
+		if indexed {
+			pk = 2
+		}
+		return len(st.Probe(probe, pk, preds)) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEvictionWatermarkQuick: after Evict(w), exactly the tuples with
+// time >= w remain probeable.
+func TestEvictionWatermarkQuick(t *testing.T) {
+	f := func(times []uint8, wRaw uint8) bool {
+		w := int64(wRaw % 32)
+		l := twoStreamLayout()
+		st := New("S", tuple.SingleSource(0), l,
+			WithIndex(0), WithWindowEviction(window.Physical))
+		want := 0
+		for _, tm := range times {
+			ts := int64(tm % 32)
+			st.Build(widen(l, 0, ts, tuple.Int(1), tuple.Int(ts)))
+			if ts >= w {
+				want++
+			}
+		}
+		st.Evict(w)
+		probe := widen(l, 1, 100, tuple.Int(1), tuple.Int(0))
+		preds := []expr.JoinPredicate{{LeftCol: 2, Op: expr.Eq, RightCol: 0}}
+		return len(st.Probe(probe, 2, preds)) == want && st.Size() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,110 @@
+package storage
+
+import (
+	"container/list"
+	"sync"
+
+	"telegraphcq/internal/tuple"
+)
+
+// BufferPool caches decoded segments with LRU replacement, mediating every
+// disk read the way PostgreSQL's buffer pool does (Fig. 4). The pool must
+// absorb bursty new segments while still serving windowed re-reads of
+// historical ones — the tension §4.3 calls out for streaming storage.
+type BufferPool struct {
+	mu    sync.Mutex
+	cap   int // max resident segments
+	lru   *list.List
+	pages map[string]*list.Element
+
+	hits   int64
+	misses int64
+}
+
+type poolEntry struct {
+	key    string
+	tuples []*tuple.Tuple
+}
+
+// NewBufferPool creates a pool holding at most capSegments segments.
+func NewBufferPool(capSegments int) *BufferPool {
+	if capSegments < 1 {
+		capSegments = 1
+	}
+	return &BufferPool{
+		cap:   capSegments,
+		lru:   list.New(),
+		pages: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the decoded tuples of the segment at key, reading from disk
+// on a miss. count hints the expected tuple count.
+func (p *BufferPool) Get(key string, count int) ([]*tuple.Tuple, error) {
+	p.mu.Lock()
+	if el, ok := p.pages[key]; ok {
+		p.lru.MoveToFront(el)
+		p.hits++
+		out := el.Value.(*poolEntry).tuples
+		p.mu.Unlock()
+		return out, nil
+	}
+	p.misses++
+	p.mu.Unlock()
+
+	// Read outside the lock: disk I/O must not serialize the whole pool.
+	tuples, err := readSegmentFile(key, count)
+	if err != nil {
+		return nil, err
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if el, ok := p.pages[key]; ok { // raced with another reader
+		p.lru.MoveToFront(el)
+		return el.Value.(*poolEntry).tuples, nil
+	}
+	el := p.lru.PushFront(&poolEntry{key: key, tuples: tuples})
+	p.pages[key] = el
+	for p.lru.Len() > p.cap {
+		victim := p.lru.Back()
+		p.lru.Remove(victim)
+		delete(p.pages, victim.Value.(*poolEntry).key)
+	}
+	return tuples, nil
+}
+
+// Invalidate drops a cached segment (after eviction deletes its file).
+func (p *BufferPool) Invalidate(key string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if el, ok := p.pages[key]; ok {
+		p.lru.Remove(el)
+		delete(p.pages, key)
+	}
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any access.
+func (p *BufferPool) HitRate() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := p.hits + p.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(p.hits) / float64(total)
+}
+
+// Counters returns raw hit/miss counts.
+func (p *BufferPool) Counters() (hits, misses int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.misses
+}
+
+// Resident returns the number of cached segments.
+func (p *BufferPool) Resident() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lru.Len()
+}

@@ -1,0 +1,253 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"telegraphcq/internal/tuple"
+	"telegraphcq/internal/workload"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	in := tuple.New(
+		tuple.Int(-42),
+		tuple.Float(3.14159),
+		tuple.String_("MSFT"),
+		tuple.Bool(true),
+		tuple.Time(99),
+		tuple.Null,
+	)
+	in.TS = 123
+	in.Seq = 456
+	buf := appendTuple(nil, in)
+	out, n, err := readTuple(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Errorf("consumed %d of %d bytes", n, len(buf))
+	}
+	if out.TS != 123 || out.Seq != 456 || len(out.Vals) != 6 {
+		t.Fatalf("decoded = %+v", out)
+	}
+	for i := range in.Vals {
+		if !tuple.Equal(in.Vals[i], out.Vals[i]) || in.Vals[i].K != out.Vals[i].K {
+			t.Errorf("val %d: %v != %v", i, in.Vals[i], out.Vals[i])
+		}
+	}
+}
+
+func TestCodecQuick(t *testing.T) {
+	f := func(i int64, fl float64, s string, b bool, ts int64) bool {
+		in := tuple.New(tuple.Int(i), tuple.Float(fl), tuple.String_(s), tuple.Bool(b))
+		in.TS = ts
+		buf := appendTuple(nil, in)
+		out, _, err := readTuple(buf)
+		if err != nil {
+			return false
+		}
+		if out.TS != ts {
+			return false
+		}
+		for j := range in.Vals {
+			if in.Vals[j].K != out.Vals[j].K {
+				return false
+			}
+			// NaN != NaN under Compare; compare bit patterns for floats.
+			if in.Vals[j].K == tuple.KindFloat {
+				if floatBits(in.Vals[j].F) != floatBits(out.Vals[j].F) {
+					return false
+				}
+				continue
+			}
+			if !tuple.Equal(in.Vals[j], out.Vals[j]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCodecCorruption(t *testing.T) {
+	in := tuple.New(tuple.String_("hello"))
+	buf := appendTuple(nil, in)
+	for cut := 1; cut < len(buf); cut++ {
+		if _, _, err := readTuple(buf[:cut]); err == nil {
+			t.Errorf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func mkTS(ts int64) *tuple.Tuple {
+	t := tuple.New(tuple.Int(ts), tuple.String_("x"))
+	t.TS = ts
+	t.Seq = ts
+	return t
+}
+
+func TestStoreSpoolAndScan(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewSegmentStore(dir, "s", 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ts := int64(0); ts < 55; ts++ {
+		if err := st.Append(mkTS(ts)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := st.Stats()
+	if stats.Segments != 5 || stats.HeadTuples != 5 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// Scan spans disk segments and the in-memory head.
+	got, err := st.ScanRange(7, 52)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 46 {
+		t.Fatalf("scan = %d tuples, want 46", len(got))
+	}
+	for i, tp := range got {
+		if tp.TS != int64(7+i) {
+			t.Fatalf("scan order broken at %d: ts=%d", i, tp.TS)
+		}
+	}
+}
+
+func TestStoreScanAfterFlushAll(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := NewSegmentStore(dir, "s", 10, nil)
+	for ts := int64(0); ts < 20; ts++ {
+		st.Append(mkTS(ts))
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.ScanRange(0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 20 {
+		t.Errorf("scan = %d", len(got))
+	}
+}
+
+func TestStoreEvict(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := NewSegmentStore(dir, "s", 10, nil)
+	for ts := int64(0); ts < 50; ts++ {
+		st.Append(mkTS(ts))
+	}
+	n, err := st.EvictBefore(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 20 { // segments [0,9], [10,19] fully below 25; [20,29] kept
+		t.Errorf("evicted %d, want 20", n)
+	}
+	got, _ := st.ScanRange(0, 100)
+	if len(got) != 30 {
+		t.Errorf("post-evict scan = %d, want 30", len(got))
+	}
+}
+
+func TestStoreOutOfOrderWithinSegment(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := NewSegmentStore(dir, "s", 5, nil)
+	for _, ts := range []int64{3, 1, 4, 0, 2} {
+		st.Append(mkTS(ts))
+	}
+	got, _ := st.ScanRange(0, 10)
+	for i, tp := range got {
+		if tp.TS != int64(i) {
+			t.Fatalf("order = %v at %d", tp.TS, i)
+		}
+	}
+}
+
+func TestBufferPoolHitsAndEviction(t *testing.T) {
+	dir := t.TempDir()
+	pool := NewBufferPool(2)
+	st, _ := NewSegmentStore(dir, "s", 10, pool)
+	for ts := int64(0); ts < 40; ts++ {
+		st.Append(mkTS(ts))
+	}
+	// 4 segments; pool holds 2.
+	if _, err := st.ScanRange(0, 39); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := pool.Counters()
+	if misses != 4 || hits != 0 {
+		t.Errorf("first scan: hits=%d misses=%d", hits, misses)
+	}
+	// Rescan only the two newest segments: both resident → all hits.
+	if _, err := st.ScanRange(20, 39); err != nil {
+		t.Fatal(err)
+	}
+	hits, _ = pool.Counters()
+	if hits != 2 {
+		t.Errorf("second scan hits = %d, want 2", hits)
+	}
+	if pool.Resident() != 2 {
+		t.Errorf("resident = %d", pool.Resident())
+	}
+	if pool.HitRate() <= 0 {
+		t.Error("hit rate not positive")
+	}
+}
+
+func TestPoolInvalidateOnEvict(t *testing.T) {
+	dir := t.TempDir()
+	pool := NewBufferPool(8)
+	st, _ := NewSegmentStore(dir, "s", 10, pool)
+	for ts := int64(0); ts < 30; ts++ {
+		st.Append(mkTS(ts))
+	}
+	st.ScanRange(0, 29)
+	before := pool.Resident()
+	if _, err := st.EvictBefore(15); err != nil {
+		t.Fatal(err)
+	}
+	if pool.Resident() >= before {
+		t.Errorf("pool did not invalidate evicted segments: %d -> %d",
+			before, pool.Resident())
+	}
+}
+
+func TestStoreStockWorkloadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := NewSegmentStore(dir, "stocks", 64, NewBufferPool(4))
+	gen := workload.NewStockGenerator(1, nil)
+	in := gen.Take(500)
+	for _, tp := range in {
+		st.Append(tp)
+	}
+	st.Flush()
+	out, err := st.ScanRange(-1<<62, 1<<62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 500 {
+		t.Fatalf("round trip = %d tuples", len(out))
+	}
+	// Spot-check value fidelity on a few random tuples.
+	rng := rand.New(rand.NewSource(2))
+	bySeq := make(map[int64]*tuple.Tuple)
+	for _, tp := range in {
+		bySeq[tp.Seq] = tp
+	}
+	for i := 0; i < 50; i++ {
+		tp := out[rng.Intn(len(out))]
+		want := bySeq[tp.Seq]
+		for j := range want.Vals {
+			if !tuple.Equal(want.Vals[j], tp.Vals[j]) {
+				t.Fatalf("seq %d val %d: %v != %v", tp.Seq, j, tp.Vals[j], want.Vals[j])
+			}
+		}
+	}
+}

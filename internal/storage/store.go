@@ -1,0 +1,208 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"telegraphcq/internal/tuple"
+)
+
+// segMeta describes one on-disk segment: a contiguous, time-ordered run of
+// tuples flushed together. Segments are immutable once written.
+type segMeta struct {
+	id     int64
+	minT   int64
+	maxT   int64
+	count  int
+	closed bool
+}
+
+// SegmentStore spools one stream to disk as a log of segments. Writes are
+// strictly sequential (append to the head segment, flush when full);
+// reads fetch whole segments through the buffer pool.
+type SegmentStore struct {
+	mu      sync.Mutex
+	dir     string
+	name    string
+	segSize int // tuples per segment
+	pool    *BufferPool
+
+	head   []*tuple.Tuple // open head segment, newest data, in memory
+	segs   []*segMeta     // closed segments, ascending id
+	nextID int64
+
+	appended int64
+	flushed  int64
+}
+
+// NewSegmentStore creates a store for stream name under dir, flushing
+// segments of segSize tuples through pool.
+func NewSegmentStore(dir, name string, segSize int, pool *BufferPool) (*SegmentStore, error) {
+	if segSize < 1 {
+		segSize = 1024
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	return &SegmentStore{dir: dir, name: name, segSize: segSize, pool: pool}, nil
+}
+
+func (s *SegmentStore) segPath(id int64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s.%06d.seg", s.name, id))
+}
+
+// Append spools one tuple (keyed by TS; callers feeding logical time set
+// TS = Seq upstream). Out-of-order arrivals are tolerated within the open
+// head segment.
+func (s *SegmentStore) Append(t *tuple.Tuple) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.head = append(s.head, t)
+	s.appended++
+	if len(s.head) >= s.segSize {
+		return s.flushLocked()
+	}
+	return nil
+}
+
+// Flush forces the open head segment to disk.
+func (s *SegmentStore) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushLocked()
+}
+
+func (s *SegmentStore) flushLocked() error {
+	if len(s.head) == 0 {
+		return nil
+	}
+	sort.SliceStable(s.head, func(i, j int) bool { return s.head[i].TS < s.head[j].TS })
+	meta := &segMeta{
+		id:     s.nextID,
+		minT:   s.head[0].TS,
+		maxT:   s.head[len(s.head)-1].TS,
+		count:  len(s.head),
+		closed: true,
+	}
+	var buf []byte
+	for _, t := range s.head {
+		buf = appendTuple(buf, t)
+	}
+	path := s.segPath(meta.id)
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return fmt.Errorf("storage: flush segment: %w", err)
+	}
+	s.nextID++
+	s.segs = append(s.segs, meta)
+	s.flushed += int64(meta.count)
+	s.head = nil
+	return nil
+}
+
+// readSegment loads a segment's tuples, via the buffer pool when present.
+func (s *SegmentStore) readSegment(m *segMeta) ([]*tuple.Tuple, error) {
+	key := s.segPath(m.id)
+	if s.pool != nil {
+		return s.pool.Get(key, m.count)
+	}
+	return readSegmentFile(key, m.count)
+}
+
+func readSegmentFile(path string, count int) ([]*tuple.Tuple, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: read segment: %w", err)
+	}
+	out := make([]*tuple.Tuple, 0, count)
+	off := 0
+	for off < len(buf) {
+		t, n, err := readTuple(buf[off:])
+		if err != nil {
+			return nil, fmt.Errorf("storage: segment %s at %d: %w", path, off, err)
+		}
+		out = append(out, t)
+		off += n
+	}
+	return out, nil
+}
+
+// ScanRange returns all spooled tuples with TS in [left, right], oldest
+// first — the "scanner" operator driven by window descriptors (§4.2.3).
+func (s *SegmentStore) ScanRange(left, right int64) ([]*tuple.Tuple, error) {
+	s.mu.Lock()
+	segs := append([]*segMeta(nil), s.segs...)
+	head := append([]*tuple.Tuple(nil), s.head...)
+	s.mu.Unlock()
+
+	var out []*tuple.Tuple
+	for _, m := range segs {
+		if m.maxT < left || m.minT > right {
+			continue
+		}
+		ts, err := s.readSegment(m)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range ts {
+			if t.TS >= left && t.TS <= right {
+				out = append(out, t)
+			}
+		}
+	}
+	for _, t := range head {
+		if t.TS >= left && t.TS <= right {
+			out = append(out, t)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TS < out[j].TS })
+	return out, nil
+}
+
+// EvictBefore drops whole segments whose newest tuple is older than
+// watermark, deleting their files. Partial segments are retained (windows
+// may still need part of them). It returns the number of tuples dropped.
+func (s *SegmentStore) EvictBefore(watermark int64) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dropped := 0
+	keep := s.segs[:0]
+	for _, m := range s.segs {
+		if m.maxT < watermark {
+			path := s.segPath(m.id)
+			if err := os.Remove(path); err != nil {
+				return dropped, fmt.Errorf("storage: evict: %w", err)
+			}
+			if s.pool != nil {
+				s.pool.Invalidate(path)
+			}
+			dropped += m.count
+			continue
+		}
+		keep = append(keep, m)
+	}
+	s.segs = keep
+	return dropped, nil
+}
+
+// Stats describes store occupancy.
+type Stats struct {
+	Appended   int64
+	Flushed    int64
+	Segments   int
+	HeadTuples int
+}
+
+// Stats returns a snapshot.
+func (s *SegmentStore) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Appended:   s.appended,
+		Flushed:    s.flushed,
+		Segments:   len(s.segs),
+		HeadTuples: len(s.head),
+	}
+}

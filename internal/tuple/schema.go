@@ -1,0 +1,118 @@
+package tuple
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a schema.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Schema describes the shape of tuples on a stream, table, or join
+// intermediate. Schemas are immutable once built; Concat produces new ones.
+type Schema struct {
+	// Relation is the stream/table name ("" for intermediates).
+	Relation string
+	Columns  []Column
+	// byName maps qualified ("rel.col") and bare column names to indexes.
+	// Bare names that are ambiguous across a concatenated schema map to -1.
+	byName map[string]int
+}
+
+// NewSchema builds a schema for a named relation.
+func NewSchema(relation string, cols ...Column) *Schema {
+	s := &Schema{Relation: relation, Columns: cols}
+	s.index()
+	return s
+}
+
+func (s *Schema) index() {
+	s.byName = make(map[string]int, 2*len(s.Columns))
+	for i, c := range s.Columns {
+		name := c.Name
+		if j, dup := s.byName[bare(name)]; dup && j != i {
+			s.byName[bare(name)] = -1
+		} else {
+			s.byName[bare(name)] = i
+		}
+		if s.Relation != "" && !strings.Contains(name, ".") {
+			s.byName[s.Relation+"."+name] = i
+		} else {
+			s.byName[name] = i
+		}
+	}
+}
+
+func bare(name string) string {
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}
+
+// Arity returns the number of columns.
+func (s *Schema) Arity() int { return len(s.Columns) }
+
+// ColumnIndex resolves a (possibly qualified) column name to its index.
+// It returns -1 when the name is unknown or ambiguous.
+func (s *Schema) ColumnIndex(name string) int {
+	if i, ok := s.byName[name]; ok {
+		return i
+	}
+	if i, ok := s.byName[bare(name)]; ok {
+		return i
+	}
+	return -1
+}
+
+// MustColumnIndex resolves name or panics; used when plans have been
+// validated against the catalog.
+func (s *Schema) MustColumnIndex(name string) int {
+	i := s.ColumnIndex(name)
+	if i < 0 {
+		panic(fmt.Sprintf("tuple: schema %q has no column %q", s.Relation, name))
+	}
+	return i
+}
+
+// Concat returns the schema of tuples formed by concatenating tuples of s
+// and t (as a SteM does when producing join matches). Column names are
+// qualified by their source relation to stay unambiguous.
+func (s *Schema) Concat(t *Schema) *Schema {
+	cols := make([]Column, 0, len(s.Columns)+len(t.Columns))
+	cols = append(cols, qualify(s)...)
+	cols = append(cols, qualify(t)...)
+	out := &Schema{Relation: "", Columns: cols}
+	out.index()
+	return out
+}
+
+func qualify(s *Schema) []Column {
+	cols := make([]Column, len(s.Columns))
+	for i, c := range s.Columns {
+		name := c.Name
+		if s.Relation != "" && !strings.Contains(name, ".") {
+			name = s.Relation + "." + name
+		}
+		cols[i] = Column{Name: name, Kind: c.Kind}
+	}
+	return cols
+}
+
+// String renders the schema like "stocks(timestamp TIME, symbol STRING)".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteString(s.Relation)
+	b.WriteByte('(')
+	for i, c := range s.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", c.Name, c.Kind)
+	}
+	b.WriteByte(')')
+	return b.String()
+}

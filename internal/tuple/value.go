@@ -1,0 +1,219 @@
+// Package tuple defines the record representation flowing through
+// TelegraphCQ dataflows: typed values, schemas, tuples, and the lineage
+// state an Eddy attaches to each tuple to route it adaptively.
+//
+// Tuples are deliberately compact: a Value is a small struct rather than an
+// interface so that hot routing loops do not box. Intermediate tuples formed
+// by joins concatenate the values of their constituent base tuples and carry
+// a SourceSet recording which base streams they span, mirroring the
+// "enhanced surrogate object format" of the paper (§4.2.2).
+package tuple
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Kind enumerates the value types supported by the engine.
+type Kind uint8
+
+// Supported value kinds.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+	KindTime // timestamp in engine time units (logical sequence or unix nanos)
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "STRING"
+	case KindBool:
+		return "BOOL"
+	case KindTime:
+		return "TIME"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single typed column value. The zero Value is NULL.
+type Value struct {
+	K Kind
+	I int64   // KindInt, KindBool (0/1), KindTime
+	F float64 // KindFloat
+	S string  // KindString
+}
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{K: KindInt, I: v} }
+
+// Float returns a floating-point value.
+func Float(v float64) Value { return Value{K: KindFloat, F: v} }
+
+// String_ returns a string value. (Named with a trailing underscore to avoid
+// colliding with the fmt.Stringer method on Value.)
+func String_(v string) Value { return Value{K: KindString, S: v} }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{K: KindBool, I: i}
+}
+
+// Time returns a timestamp value in engine time units.
+func Time(v int64) Value { return Value{K: KindTime, I: v} }
+
+// Null is the NULL value.
+var Null = Value{}
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.K == KindNull }
+
+// AsInt returns the value as an int64, coercing floats and times.
+func (v Value) AsInt() int64 {
+	switch v.K {
+	case KindInt, KindBool, KindTime:
+		return v.I
+	case KindFloat:
+		return int64(v.F)
+	default:
+		return 0
+	}
+}
+
+// AsFloat returns the value as a float64, coercing ints and times.
+func (v Value) AsFloat() float64 {
+	switch v.K {
+	case KindInt, KindBool, KindTime:
+		return float64(v.I)
+	case KindFloat:
+		return v.F
+	default:
+		return 0
+	}
+}
+
+// AsBool returns the value as a boolean.
+func (v Value) AsBool() bool { return v.I != 0 && v.K == KindBool }
+
+// AsString returns the value as a string (only meaningful for KindString).
+func (v Value) AsString() string { return v.S }
+
+// Numeric reports whether the value participates in numeric comparison.
+func (v Value) Numeric() bool {
+	return v.K == KindInt || v.K == KindFloat || v.K == KindTime || v.K == KindBool
+}
+
+// Compare orders two values. NULLs sort first; numeric kinds compare by
+// value regardless of exact kind; strings compare lexicographically.
+// Comparing a string against a numeric value orders the numeric first.
+func Compare(a, b Value) int {
+	an, bn := a.Numeric(), b.Numeric()
+	switch {
+	case a.K == KindNull && b.K == KindNull:
+		return 0
+	case a.K == KindNull:
+		return -1
+	case b.K == KindNull:
+		return 1
+	case an && bn:
+		af, bf := a.AsFloat(), b.AsFloat()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	case an:
+		return -1
+	case bn:
+		return 1
+	default:
+		switch {
+		case a.S < b.S:
+			return -1
+		case a.S > b.S:
+			return 1
+		default:
+			return 0
+		}
+	}
+}
+
+// Equal reports whether two values compare equal.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// Hash returns a 64-bit hash of the value, suitable for SteM hash indexes
+// and Flux partitioning. Values that compare Equal hash identically.
+func (v Value) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) { h = (h ^ uint64(b)) * prime64 }
+	switch {
+	case v.K == KindNull:
+		mix(0)
+	case v.Numeric():
+		// Hash the float64 bit pattern so Int(3) and Float(3.0) collide,
+		// matching Compare/Equal semantics.
+		f := v.AsFloat()
+		u := floatBits(f)
+		for i := 0; i < 8; i++ {
+			mix(byte(u >> (8 * i)))
+		}
+	default:
+		for i := 0; i < len(v.S); i++ {
+			mix(v.S[i])
+		}
+	}
+	return h
+}
+
+func floatBits(f float64) uint64 {
+	if f == 0 {
+		return 0 // collapse +0 and -0
+	}
+	return math.Float64bits(f)
+}
+
+// String renders the value for display and CSV egress.
+func (v Value) String() string {
+	switch v.K {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return v.S
+	case KindBool:
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	case KindTime:
+		return "@" + strconv.FormatInt(v.I, 10)
+	default:
+		return "?"
+	}
+}

@@ -1,0 +1,96 @@
+package window
+
+import (
+	"sort"
+
+	"telegraphcq/internal/tuple"
+)
+
+// Buffer holds tuples of one stream ordered by window time, supporting
+// range retrieval for window instances and eviction of tuples that no
+// future window can reference. It is the in-memory face of the stream
+// spool: the storage manager (internal/storage) provides the on-disk
+// continuation.
+//
+// Buffer is not safe for concurrent use; each Dispatch Unit owns its
+// buffers (§4.2.2's non-preemptive execution model).
+type Buffer struct {
+	kind   TimeKind
+	tuples []*tuple.Tuple // ordered by key()
+}
+
+// NewBuffer returns a buffer ordering tuples by the given notion of time.
+func NewBuffer(kind TimeKind) *Buffer { return &Buffer{kind: kind} }
+
+func (b *Buffer) key(t *tuple.Tuple) int64 {
+	if b.kind == Logical {
+		return t.Seq
+	}
+	return t.TS
+}
+
+// Len returns the number of buffered tuples.
+func (b *Buffer) Len() int { return len(b.tuples) }
+
+// Add inserts a tuple, keeping time order even under modest out-of-order
+// arrival (common with loosely synchronized distributed sources, §4.1.1).
+func (b *Buffer) Add(t *tuple.Tuple) {
+	k := b.key(t)
+	n := len(b.tuples)
+	if n == 0 || b.key(b.tuples[n-1]) <= k {
+		b.tuples = append(b.tuples, t)
+		return
+	}
+	i := sort.Search(n, func(i int) bool { return b.key(b.tuples[i]) > k })
+	b.tuples = append(b.tuples, nil)
+	copy(b.tuples[i+1:], b.tuples[i:])
+	b.tuples[i] = t
+}
+
+// Range returns the tuples whose time falls in the inclusive interval
+// [left, right]. The returned slice aliases the buffer; callers must not
+// retain it across Add/Evict.
+func (b *Buffer) Range(left, right int64) []*tuple.Tuple {
+	lo := sort.Search(len(b.tuples), func(i int) bool { return b.key(b.tuples[i]) >= left })
+	hi := sort.Search(len(b.tuples), func(i int) bool { return b.key(b.tuples[i]) > right })
+	return b.tuples[lo:hi]
+}
+
+// Instance returns the tuples in the given interval (matching by stream is
+// the caller's concern).
+func (b *Buffer) Instance(iv Interval) []*tuple.Tuple {
+	return b.Range(iv.Left, iv.Right)
+}
+
+// Evict drops every tuple with time strictly below watermark, returning how
+// many were dropped. Callers compute the watermark as the minimum left edge
+// any live window can still need.
+func (b *Buffer) Evict(watermark int64) int {
+	i := sort.Search(len(b.tuples), func(i int) bool { return b.key(b.tuples[i]) >= watermark })
+	if i == 0 {
+		return 0
+	}
+	// Shift rather than re-slice so evicted tuples become collectable.
+	n := copy(b.tuples, b.tuples[i:])
+	for j := n; j < len(b.tuples); j++ {
+		b.tuples[j] = nil
+	}
+	b.tuples = b.tuples[:n]
+	return i
+}
+
+// MaxTime returns the largest time present, or ok=false when empty.
+func (b *Buffer) MaxTime() (int64, bool) {
+	if len(b.tuples) == 0 {
+		return 0, false
+	}
+	return b.key(b.tuples[len(b.tuples)-1]), true
+}
+
+// MinTime returns the smallest time present, or ok=false when empty.
+func (b *Buffer) MinTime() (int64, bool) {
+	if len(b.tuples) == 0 {
+		return 0, false
+	}
+	return b.key(b.tuples[0]), true
+}

@@ -1,0 +1,60 @@
+package window
+
+import "telegraphcq/internal/expr"
+
+// Snapshot builds a one-shot loop over the fixed window [left, right] on
+// the given streams, matching the paper's Example 1:
+//
+//	for (; t==0; t = -1) { WindowIs(S, 1, 5); }
+func Snapshot(left, right int64, streams ...string) *Loop {
+	l := &Loop{Init: 0, Cond: While(expr.Eq, 0), Step: -1}
+	for _, s := range streams {
+		l.Windows = append(l.Windows, WindowIs{Stream: s, Left: Const(left), Right: Const(right)})
+	}
+	return l
+}
+
+// Landmark builds a loop with a fixed left end and a right end that tracks
+// t, running while t <= until (paper Example 2):
+//
+//	for (t = start; t <= until; t++) { WindowIs(S, landmark, t); }
+func Landmark(landmark, start, until int64, streams ...string) *Loop {
+	l := &Loop{Init: start, Cond: While(expr.Le, until), Step: 1}
+	for _, s := range streams {
+		l.Windows = append(l.Windows, WindowIs{Stream: s, Left: Const(landmark), Right: T(0)})
+	}
+	return l
+}
+
+// Sliding builds a loop whose window is the trailing width values ending at
+// t, advancing by slide, running while t <= until (paper Examples 3–4 use
+// width 5, slide 1):
+//
+//	for (t = start; t <= until; t += slide) { WindowIs(S, t-width+1, t); }
+func Sliding(width, slide, start, until int64, streams ...string) *Loop {
+	l := &Loop{Init: start, Cond: While(expr.Le, until), Step: slide}
+	for _, s := range streams {
+		l.Windows = append(l.Windows, WindowIs{Stream: s, Left: T(-(width - 1)), Right: T(0)})
+	}
+	return l
+}
+
+// SlidingForever is Sliding with no termination: a standing continuous query.
+func SlidingForever(width, slide, start int64, streams ...string) *Loop {
+	l := &Loop{Init: start, Cond: Forever, Step: slide}
+	for _, s := range streams {
+		l.Windows = append(l.Windows, WindowIs{Stream: s, Left: T(-(width - 1)), Right: T(0)})
+	}
+	return l
+}
+
+// Backward builds a loop whose windows move backward from the present, for
+// browsing historical portions of a stream (§4.1.1): starting at now, each
+// iteration steps earlier by hop, with width-sized windows, for count steps.
+func Backward(now, width, hop, count int64, streams ...string) *Loop {
+	l := &Loop{Init: now, Cond: While(expr.Gt, now-hop*count), Step: -hop}
+	for _, s := range streams {
+		l.Windows = append(l.Windows, WindowIs{Stream: s, Left: T(-(width - 1)), Right: T(0)})
+	}
+	return l
+}

@@ -1,0 +1,319 @@
+// Package window implements TelegraphCQ's windowed query semantics (§4.1):
+// a low-level for-loop construct declaring, for each instant of a loop
+// variable t, an inclusive [left, right] window per stream. The construct
+// subsumes snapshot, landmark, sliding, hopping and backward-moving windows
+// over either logical (sequence-number) or physical (wall-clock) time.
+package window
+
+import (
+	"fmt"
+
+	"telegraphcq/internal/expr"
+)
+
+// TimeKind selects the notion of time windows are defined over (§4.1.1).
+type TimeKind uint8
+
+// Notions of time.
+const (
+	// Logical time counts tuple sequence numbers; window memory
+	// requirements are then known a priori.
+	Logical TimeKind = iota
+	// Physical time uses the tuple timestamp column; memory depends on
+	// arrival-rate fluctuations.
+	Physical
+)
+
+// String names the time kind.
+func (k TimeKind) String() string {
+	if k == Logical {
+		return "logical"
+	}
+	return "physical"
+}
+
+// Affine is a linear expression of the loop variable: Coeff*t + Off. Window
+// endpoints in the paper's for-loop are affine in t (e.g. "t - 4", "t",
+// constants like "1" or "5").
+type Affine struct {
+	Coeff int64
+	Off   int64
+}
+
+// Const returns the constant expression v.
+func Const(v int64) Affine { return Affine{Coeff: 0, Off: v} }
+
+// T returns the expression t + off.
+func T(off int64) Affine { return Affine{Coeff: 1, Off: off} }
+
+// At evaluates the expression at loop value t.
+func (a Affine) At(t int64) int64 { return a.Coeff*t + a.Off }
+
+// String renders the expression ("t-4", "5", "t").
+func (a Affine) String() string {
+	switch {
+	case a.Coeff == 0:
+		return fmt.Sprintf("%d", a.Off)
+	case a.Coeff == 1 && a.Off == 0:
+		return "t"
+	case a.Coeff == 1 && a.Off > 0:
+		return fmt.Sprintf("t+%d", a.Off)
+	case a.Coeff == 1:
+		return fmt.Sprintf("t%d", a.Off)
+	default:
+		return fmt.Sprintf("%d*t%+d", a.Coeff, a.Off)
+	}
+}
+
+// Cond is the loop continuation condition. When Always is set the loop is
+// unbounded (a standing continuous query); otherwise it continues while
+// "t <Op> Bound" holds.
+type Cond struct {
+	Always bool
+	Op     expr.Op
+	Bound  int64
+}
+
+// Forever is the unbounded continuation condition.
+var Forever = Cond{Always: true}
+
+// While returns the condition "t <op> bound".
+func While(op expr.Op, bound int64) Cond { return Cond{Op: op, Bound: bound} }
+
+// Holds reports whether the loop continues at value t.
+func (c Cond) Holds(t int64) bool {
+	if c.Always {
+		return true
+	}
+	switch c.Op {
+	case expr.Lt:
+		return t < c.Bound
+	case expr.Le:
+		return t <= c.Bound
+	case expr.Gt:
+		return t > c.Bound
+	case expr.Ge:
+		return t >= c.Bound
+	case expr.Eq:
+		return t == c.Bound
+	case expr.Ne:
+		return t != c.Bound
+	default:
+		return false
+	}
+}
+
+// WindowIs declares the window for one stream as a function of t: the
+// inclusive interval [Left(t), Right(t)].
+type WindowIs struct {
+	Stream string
+	Left   Affine
+	Right  Affine
+}
+
+// Loop is the full for-loop construct:
+//
+//	for (t = Init; Cond(t); t += Step) { WindowIs(...); ... }
+//
+// One Loop governs every stream in a query group that shares the same
+// window transition behaviour (§4.1.1). A stream with no WindowIs entry is
+// treated as a static table by the planner.
+type Loop struct {
+	Init    int64
+	Cond    Cond
+	Step    int64
+	Windows []WindowIs
+	Time    TimeKind
+}
+
+// Instance is one evaluation of the loop: the loop value and the concrete
+// window per stream.
+type Instance struct {
+	T       int64
+	Windows []Interval
+}
+
+// Interval is a concrete inclusive window on one stream.
+type Interval struct {
+	Stream      string
+	Left, Right int64
+}
+
+// Contains reports whether a time value falls in the interval.
+func (iv Interval) Contains(ts int64) bool { return ts >= iv.Left && ts <= iv.Right }
+
+// WindowFor returns the WindowIs declaration for a stream, if any.
+func (l *Loop) WindowFor(stream string) (WindowIs, bool) {
+	for _, w := range l.Windows {
+		if w.Stream == stream {
+			return w, true
+		}
+	}
+	return WindowIs{}, false
+}
+
+// At materializes the window instance for loop value t.
+func (l *Loop) At(t int64) Instance {
+	inst := Instance{T: t, Windows: make([]Interval, len(l.Windows))}
+	for i, w := range l.Windows {
+		inst.Windows[i] = Interval{Stream: w.Stream, Left: w.Left.At(t), Right: w.Right.At(t)}
+	}
+	return inst
+}
+
+// Instances iterates the loop, calling yield for each instance until the
+// condition fails, yield returns false, or max instances have been produced
+// (a safety bound for unbounded loops; pass max <= 0 for no bound on finite
+// loops). It returns the number of instances produced.
+func (l *Loop) Instances(max int, yield func(Instance) bool) int {
+	step := l.Step
+	n := 0
+	for t := l.Init; l.Cond.Holds(t); t += step {
+		if max > 0 && n >= max {
+			break
+		}
+		if !yield(l.At(t)) {
+			n++
+			break
+		}
+		n++
+		if step == 0 {
+			// A zero step only makes sense for one-shot (snapshot)
+			// queries whose condition is t == Init; guard against
+			// non-terminating loops from malformed specs.
+			break
+		}
+	}
+	return n
+}
+
+// Next returns the first loop value >= t (for forward loops) at which an
+// instance fires, along with whether the loop is still live there. It lets
+// the runtime advance the loop lazily as stream time passes.
+func (l *Loop) Next(t int64) (int64, bool) {
+	if l.Step <= 0 {
+		// Backward or one-shot loops fire from Init downward/once.
+		if l.Cond.Holds(l.Init) {
+			return l.Init, true
+		}
+		return 0, false
+	}
+	v := l.Init
+	if t > v {
+		k := (t - l.Init + l.Step - 1) / l.Step
+		v = l.Init + k*l.Step
+	}
+	if !l.Cond.Holds(v) {
+		return 0, false
+	}
+	return v, true
+}
+
+// Shape classifies the loop for diagnostics and planner decisions.
+type Shape uint8
+
+// Window shapes (§4.1.1–4.1.2).
+const (
+	ShapeSnapshot Shape = iota // executes once over one fixed window
+	ShapeLandmark              // fixed left end, advancing right end
+	ShapeSliding               // both ends advance in unison
+	ShapeHopping               // sliding with hop size exceeding width is possible
+	ShapeBackward              // loop variable moves backward in time
+	ShapeMixed                 // streams disagree; treat conservatively
+)
+
+// String names the shape.
+func (s Shape) String() string {
+	switch s {
+	case ShapeSnapshot:
+		return "snapshot"
+	case ShapeLandmark:
+		return "landmark"
+	case ShapeSliding:
+		return "sliding"
+	case ShapeHopping:
+		return "hopping"
+	case ShapeBackward:
+		return "backward"
+	default:
+		return "mixed"
+	}
+}
+
+// Classify determines the window shape of the loop.
+func (l *Loop) Classify() Shape {
+	if !l.Cond.Always && l.Cond.Op == expr.Eq {
+		// A loop that runs only while t equals a constant executes once.
+		return ShapeSnapshot
+	}
+	if l.Step < 0 {
+		return ShapeBackward
+	}
+	if l.Step == 0 {
+		return ShapeSnapshot
+	}
+	shape := ShapeSnapshot
+	for i, w := range l.Windows {
+		var s Shape
+		switch {
+		case w.Left.Coeff == 0 && w.Right.Coeff != 0:
+			s = ShapeLandmark
+		case w.Left.Coeff != 0 && w.Right.Coeff != 0:
+			width := w.Right.Off - w.Left.Off
+			if l.Step > width+1 {
+				s = ShapeHopping
+			} else {
+				s = ShapeSliding
+			}
+		default:
+			s = ShapeSnapshot
+		}
+		if i == 0 {
+			shape = s
+		} else if shape != s {
+			return ShapeMixed
+		}
+	}
+	return shape
+}
+
+// String renders the loop in the paper's syntax.
+func (l *Loop) String() string {
+	cond := ""
+	if !l.Cond.Always {
+		cond = fmt.Sprintf("t %s %d", l.Cond.Op, l.Cond.Bound)
+	}
+	s := fmt.Sprintf("for (t = %d; %s; t += %d) {", l.Init, cond, l.Step)
+	for _, w := range l.Windows {
+		s += fmt.Sprintf(" WindowIs(%s, %s, %s);", w.Stream, w.Left, w.Right)
+	}
+	return s + " }"
+}
+
+// MemoryBound returns the a-priori per-instance memory bound (in tuples)
+// the loop implies, and whether one exists. §4.1.2: with logical
+// (sequence-number) windows "the memory requirements of a window can be
+// known a priori, while [for physical time] memory requirements will
+// depend on fluctuations in the data arrival rate". Landmark windows are
+// unbounded in both notions of time.
+func (l *Loop) MemoryBound() (tuples int64, known bool) {
+	if l.Time != Logical {
+		return 0, false
+	}
+	var worst int64
+	for _, w := range l.Windows {
+		if w.Left.Coeff != w.Right.Coeff {
+			// Ends move at different speeds (landmark): unbounded.
+			return 0, false
+		}
+		// Equal coefficients: the span is constant in t.
+		width := w.Right.Off - w.Left.Off + 1
+		if width < 0 {
+			width = 0
+		}
+		if width > worst {
+			worst = width
+		}
+	}
+	return worst, true
+}

@@ -1,0 +1,351 @@
+package window
+
+import (
+	"testing"
+	"testing/quick"
+
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/tuple"
+)
+
+// TestPaperExample1Snapshot reproduces §4.1 Example 1: "closing prices for
+// MSFT on the first five days": for (; t==0; t=-1) { WindowIs(S, 1, 5) }.
+func TestPaperExample1Snapshot(t *testing.T) {
+	l := Snapshot(1, 5, "ClosingStockPrices")
+	if got := l.Classify(); got != ShapeSnapshot {
+		t.Errorf("shape = %s", got)
+	}
+	var insts []Instance
+	n := l.Instances(10, func(i Instance) bool {
+		insts = append(insts, i)
+		return true
+	})
+	if n != 1 || len(insts) != 1 {
+		t.Fatalf("snapshot produced %d instances", n)
+	}
+	w := insts[0].Windows[0]
+	if w.Left != 1 || w.Right != 5 {
+		t.Errorf("window = [%d,%d], want [1,5]", w.Left, w.Right)
+	}
+}
+
+// TestPaperExample2Landmark reproduces Example 2: landmark at day 100,
+// standing for 1000 trading days: for (t=101; t<1101; t++) {
+// WindowIs(S, 101, t) } (paper uses fixed left end after day 100).
+func TestPaperExample2Landmark(t *testing.T) {
+	l := Landmark(101, 101, 1100, "ClosingStockPrices")
+	if got := l.Classify(); got != ShapeLandmark {
+		t.Errorf("shape = %s", got)
+	}
+	var first, last Instance
+	count := 0
+	l.Instances(0, func(i Instance) bool {
+		if count == 0 {
+			first = i
+		}
+		last = i
+		count++
+		return true
+	})
+	if count != 1000 {
+		t.Fatalf("landmark produced %d instances, want 1000", count)
+	}
+	if w := first.Windows[0]; w.Left != 101 || w.Right != 101 {
+		t.Errorf("first window = [%d,%d]", w.Left, w.Right)
+	}
+	if w := last.Windows[0]; w.Left != 101 || w.Right != 1100 {
+		t.Errorf("last window = [%d,%d]", w.Left, w.Right)
+	}
+}
+
+// TestPaperExample3Sliding reproduces Example 3: five-day sliding windows
+// for twenty days starting at ST: for (t=ST; t<ST+20; t++) {
+// WindowIs(c, t-4, t) }.
+func TestPaperExample3Sliding(t *testing.T) {
+	const st = 50
+	l := Sliding(5, 1, st, st+19, "c1")
+	if got := l.Classify(); got != ShapeSliding {
+		t.Errorf("shape = %s", got)
+	}
+	var widths []int64
+	count := 0
+	l.Instances(0, func(i Instance) bool {
+		w := i.Windows[0]
+		widths = append(widths, w.Right-w.Left+1)
+		count++
+		return true
+	})
+	if count != 20 {
+		t.Fatalf("sliding produced %d instances, want 20", count)
+	}
+	for _, w := range widths {
+		if w != 5 {
+			t.Errorf("window width %d, want 5", w)
+		}
+	}
+}
+
+func TestBackwardWindows(t *testing.T) {
+	l := Backward(100, 10, 10, 3, "s")
+	if got := l.Classify(); got != ShapeBackward {
+		t.Errorf("shape = %s", got)
+	}
+	var lefts []int64
+	l.Instances(0, func(i Instance) bool {
+		lefts = append(lefts, i.Windows[0].Left)
+		return true
+	})
+	want := []int64{91, 81, 71}
+	if len(lefts) != len(want) {
+		t.Fatalf("lefts = %v", lefts)
+	}
+	for i := range want {
+		if lefts[i] != want[i] {
+			t.Errorf("lefts = %v, want %v", lefts, want)
+		}
+	}
+}
+
+func TestHoppingClassification(t *testing.T) {
+	// Width 5, hop 10: some stream portions are never examined (§4.1.2).
+	l := Sliding(5, 10, 0, 100, "s")
+	if got := l.Classify(); got != ShapeHopping {
+		t.Errorf("shape = %s, want hopping", got)
+	}
+}
+
+func TestLoopNext(t *testing.T) {
+	l := Sliding(5, 10, 0, 100, "s")
+	cases := []struct {
+		at   int64
+		want int64
+		ok   bool
+	}{
+		{0, 0, true},
+		{1, 10, true},
+		{10, 10, true},
+		{95, 100, true},
+		{101, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := l.Next(c.at)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("Next(%d) = %d,%v want %d,%v", c.at, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestForeverLoopBounded(t *testing.T) {
+	l := SlidingForever(5, 1, 0, "s")
+	n := l.Instances(7, func(Instance) bool { return true })
+	if n != 7 {
+		t.Errorf("bounded iteration produced %d", n)
+	}
+}
+
+func TestZeroStepLoopTerminates(t *testing.T) {
+	l := &Loop{Init: 0, Cond: Forever, Step: 0,
+		Windows: []WindowIs{{Stream: "s", Left: Const(0), Right: Const(1)}}}
+	n := l.Instances(0, func(Instance) bool { return true })
+	if n != 1 {
+		t.Errorf("zero-step loop produced %d instances", n)
+	}
+}
+
+func mkTuple(ts int64, seq int64) *tuple.Tuple {
+	tp := tuple.New(tuple.Int(ts))
+	tp.TS = ts
+	tp.Seq = seq
+	return tp
+}
+
+func TestBufferRange(t *testing.T) {
+	b := NewBuffer(Physical)
+	for _, ts := range []int64{5, 1, 9, 3, 7} {
+		b.Add(mkTuple(ts, 0))
+	}
+	got := b.Range(3, 7)
+	if len(got) != 3 {
+		t.Fatalf("range [3,7] = %d tuples", len(got))
+	}
+	for i, want := range []int64{3, 5, 7} {
+		if got[i].TS != want {
+			t.Errorf("range[%d].TS = %d, want %d", i, got[i].TS, want)
+		}
+	}
+}
+
+func TestBufferLogicalTime(t *testing.T) {
+	b := NewBuffer(Logical)
+	for i := int64(1); i <= 5; i++ {
+		b.Add(mkTuple(100-i, i)) // TS descending, Seq ascending
+	}
+	got := b.Range(2, 4)
+	if len(got) != 3 || got[0].Seq != 2 {
+		t.Errorf("logical range = %v", got)
+	}
+}
+
+func TestBufferEvict(t *testing.T) {
+	b := NewBuffer(Physical)
+	for ts := int64(0); ts < 10; ts++ {
+		b.Add(mkTuple(ts, ts))
+	}
+	if n := b.Evict(4); n != 4 {
+		t.Errorf("evicted %d, want 4", n)
+	}
+	if b.Len() != 6 {
+		t.Errorf("len = %d", b.Len())
+	}
+	if mn, _ := b.MinTime(); mn != 4 {
+		t.Errorf("min after evict = %d", mn)
+	}
+	if n := b.Evict(4); n != 0 {
+		t.Errorf("second evict removed %d", n)
+	}
+}
+
+func TestBufferOutOfOrderQuick(t *testing.T) {
+	// Property: however tuples arrive, Range(lo,hi) returns exactly the
+	// tuples with lo <= TS <= hi, in order.
+	f := func(raw []uint8, loRaw, hiRaw uint8) bool {
+		lo, hi := int64(loRaw%32), int64(hiRaw%32)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		b := NewBuffer(Physical)
+		want := 0
+		for _, r := range raw {
+			ts := int64(r % 32)
+			b.Add(mkTuple(ts, 0))
+			if ts >= lo && ts <= hi {
+				want++
+			}
+		}
+		got := b.Range(lo, hi)
+		if len(got) != want {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i-1].TS > got[i].TS {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntervalContains(t *testing.T) {
+	iv := Interval{Stream: "s", Left: 2, Right: 5}
+	for ts, want := range map[int64]bool{1: false, 2: true, 5: true, 6: false} {
+		if iv.Contains(ts) != want {
+			t.Errorf("Contains(%d) != %v", ts, want)
+		}
+	}
+}
+
+func TestLoopString(t *testing.T) {
+	l := Sliding(5, 1, 10, 29, "c1")
+	s := l.String()
+	if s == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestMemoryBound(t *testing.T) {
+	sliding := Sliding(5, 1, 0, 100, "s")
+	sliding.Time = Logical
+	if b, ok := sliding.MemoryBound(); !ok || b != 5 {
+		t.Errorf("sliding bound = %d, %v", b, ok)
+	}
+	snapshot := Snapshot(1, 10, "s")
+	snapshot.Time = Logical
+	if b, ok := snapshot.MemoryBound(); !ok || b != 10 {
+		t.Errorf("snapshot bound = %d, %v", b, ok)
+	}
+	landmark := Landmark(1, 1, 100, "s")
+	landmark.Time = Logical
+	if _, ok := landmark.MemoryBound(); ok {
+		t.Error("landmark window reported a bound")
+	}
+	phys := Sliding(5, 1, 0, 100, "s")
+	phys.Time = Physical
+	if _, ok := phys.MemoryBound(); ok {
+		t.Error("physical-time window reported an a-priori bound")
+	}
+}
+
+func TestWindowMiscAccessors(t *testing.T) {
+	if Logical.String() != "logical" || Physical.String() != "physical" {
+		t.Error("TimeKind strings")
+	}
+	for a, want := range map[Affine]string{
+		Const(5): "5", T(0): "t", T(3): "t+3", T(-4): "t-4",
+		{Coeff: 2, Off: 1}: "2*t+1",
+	} {
+		if a.String() != want {
+			t.Errorf("%+v = %q, want %q", a, a.String(), want)
+		}
+	}
+	l := Sliding(5, 1, 0, 10, "s")
+	if _, ok := l.WindowFor("s"); !ok {
+		t.Error("WindowFor miss")
+	}
+	if _, ok := l.WindowFor("zzz"); ok {
+		t.Error("WindowFor false hit")
+	}
+	for _, s := range []Shape{ShapeSnapshot, ShapeLandmark, ShapeSliding,
+		ShapeHopping, ShapeBackward, ShapeMixed} {
+		if s.String() == "" {
+			t.Errorf("shape %d renders empty", s)
+		}
+	}
+	// Cond.Holds full operator coverage.
+	for op, cases := range map[expr.Op][3]bool{
+		expr.Lt: {true, false, false},
+		expr.Le: {true, true, false},
+		expr.Gt: {false, false, true},
+		expr.Ge: {false, true, true},
+		expr.Eq: {false, true, false},
+		expr.Ne: {true, false, true},
+	} {
+		c := While(op, 5)
+		got := [3]bool{c.Holds(4), c.Holds(5), c.Holds(6)}
+		if got != cases {
+			t.Errorf("Holds %s = %v, want %v", op, got, cases)
+		}
+	}
+}
+
+func TestBufferInstanceAndMax(t *testing.T) {
+	b := NewBuffer(Physical)
+	if _, ok := b.MaxTime(); ok {
+		t.Error("empty buffer has max")
+	}
+	if _, ok := b.MinTime(); ok {
+		t.Error("empty buffer has min")
+	}
+	for ts := int64(1); ts <= 5; ts++ {
+		b.Add(mkTuple(ts, ts))
+	}
+	if mx, _ := b.MaxTime(); mx != 5 {
+		t.Errorf("max = %d", mx)
+	}
+	got := b.Instance(Interval{Stream: "s", Left: 2, Right: 3})
+	if len(got) != 2 {
+		t.Errorf("instance rows = %d", len(got))
+	}
+}
+
+func TestMixedShapeClassification(t *testing.T) {
+	l := &Loop{Init: 0, Cond: Forever, Step: 1, Windows: []WindowIs{
+		{Stream: "a", Left: T(-4), Right: T(0)},    // sliding
+		{Stream: "b", Left: Const(0), Right: T(0)}, // landmark
+	}}
+	if got := l.Classify(); got != ShapeMixed {
+		t.Errorf("shape = %s, want mixed", got)
+	}
+}

@@ -1,0 +1,287 @@
+// Package workload generates the synthetic streams driving the examples
+// and experiments: the paper's ClosingStockPrices schema (§4.1), network
+// packet traces for the monitoring scenario the introduction motivates,
+// sensor readings, and adversarial drift/burst streams that exercise the
+// adaptive machinery. All generators are deterministic given a seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"telegraphcq/internal/tuple"
+)
+
+// Symbols is the default stock universe.
+var Symbols = []string{"MSFT", "IBM", "ORCL", "SUNW", "INTC", "CSCO", "AAPL", "DELL"}
+
+// StockSchema is ClosingStockPrices(timestamp, stockSymbol, closingPrice),
+// the schema of every §4.1 example query.
+func StockSchema() *tuple.Schema {
+	return tuple.NewSchema("ClosingStockPrices",
+		tuple.Column{Name: "timestamp", Kind: tuple.KindTime},
+		tuple.Column{Name: "stockSymbol", Kind: tuple.KindString},
+		tuple.Column{Name: "closingPrice", Kind: tuple.KindFloat},
+	)
+}
+
+// StockGenerator produces one tuple per (trading day, symbol), prices
+// following independent random walks. The stream starts at logical
+// timestamp 1 like the paper's examples.
+type StockGenerator struct {
+	rng     *rand.Rand
+	symbols []string
+	prices  []float64
+	day     int64
+	idx     int
+	seq     int64
+}
+
+// NewStockGenerator creates a generator over the given symbols (nil means
+// the default universe), seeded deterministically.
+func NewStockGenerator(seed int64, symbols []string) *StockGenerator {
+	if symbols == nil {
+		symbols = Symbols
+	}
+	g := &StockGenerator{
+		rng:     rand.New(rand.NewSource(seed)),
+		symbols: symbols,
+		prices:  make([]float64, len(symbols)),
+		day:     1,
+	}
+	for i := range g.prices {
+		g.prices[i] = 20 + g.rng.Float64()*80
+	}
+	return g
+}
+
+// Next returns the next tuple: days advance after all symbols emit.
+func (g *StockGenerator) Next() *tuple.Tuple {
+	i := g.idx
+	g.prices[i] += g.rng.NormFloat64() * 1.5
+	if g.prices[i] < 1 {
+		g.prices[i] = 1
+	}
+	t := tuple.New(
+		tuple.Time(g.day),
+		tuple.String_(g.symbols[i]),
+		tuple.Float(g.prices[i]),
+	)
+	t.TS = g.day
+	g.seq++
+	t.Seq = g.seq
+	g.idx++
+	if g.idx == len(g.symbols) {
+		g.idx = 0
+		g.day++
+	}
+	return t
+}
+
+// Take returns the next n tuples.
+func (g *StockGenerator) Take(n int) []*tuple.Tuple {
+	out := make([]*tuple.Tuple, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// PacketSchema is packets(ts, src, dst, port, bytes) for the network
+// monitoring scenario.
+func PacketSchema() *tuple.Schema {
+	return tuple.NewSchema("packets",
+		tuple.Column{Name: "ts", Kind: tuple.KindTime},
+		tuple.Column{Name: "src", Kind: tuple.KindInt},
+		tuple.Column{Name: "dst", Kind: tuple.KindInt},
+		tuple.Column{Name: "port", Kind: tuple.KindInt},
+		tuple.Column{Name: "bytes", Kind: tuple.KindInt},
+	)
+}
+
+// PacketGenerator produces packet tuples with Zipf-skewed hosts, the skew
+// that drives Flux's load-balancing experiment (E6).
+type PacketGenerator struct {
+	rng   *rand.Rand
+	zipf  *rand.Zipf
+	hosts int64
+	ts    int64
+	seq   int64
+}
+
+// NewPacketGenerator creates a generator over hosts hosts with Zipf
+// parameter theta (theta 0 requests uniform traffic).
+func NewPacketGenerator(seed int64, hosts int, theta float64) *PacketGenerator {
+	rng := rand.New(rand.NewSource(seed))
+	g := &PacketGenerator{rng: rng, hosts: int64(hosts)}
+	if theta > 0 {
+		// rand.Zipf requires s > 1; map theta in (0,1] onto (1, 2].
+		g.zipf = rand.NewZipf(rng, 1+theta, 1, uint64(hosts-1))
+	}
+	return g
+}
+
+func (g *PacketGenerator) host() int64 {
+	if g.zipf != nil {
+		return int64(g.zipf.Uint64())
+	}
+	return g.rng.Int63n(g.hosts)
+}
+
+// Next returns the next packet tuple.
+func (g *PacketGenerator) Next() *tuple.Tuple {
+	g.ts++
+	g.seq++
+	t := tuple.New(
+		tuple.Time(g.ts),
+		tuple.Int(g.host()),
+		tuple.Int(g.host()),
+		tuple.Int(int64(g.rng.Intn(1024))),
+		tuple.Int(int64(64+g.rng.Intn(1436))),
+	)
+	t.TS = g.ts
+	t.Seq = g.seq
+	return t
+}
+
+// Take returns the next n tuples.
+func (g *PacketGenerator) Take(n int) []*tuple.Tuple {
+	out := make([]*tuple.Tuple, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// SensorSchema is readings(ts, sensor, temp, volt).
+func SensorSchema() *tuple.Schema {
+	return tuple.NewSchema("readings",
+		tuple.Column{Name: "ts", Kind: tuple.KindTime},
+		tuple.Column{Name: "sensor", Kind: tuple.KindInt},
+		tuple.Column{Name: "temp", Kind: tuple.KindFloat},
+		tuple.Column{Name: "volt", Kind: tuple.KindFloat},
+	)
+}
+
+// SensorGenerator produces periodic sensor readings whose SampleRate can be
+// adjusted mid-stream — the control loop a sensor proxy exercises when
+// queries change ([MF02], §2.1).
+type SensorGenerator struct {
+	rng *rand.Rand
+	// SampleRate is readings per time unit per sensor (adjustable).
+	SampleRate int
+	sensors    int
+	ts         int64
+	seq        int64
+	temps      []float64
+}
+
+// NewSensorGenerator creates a generator for the given sensor count.
+func NewSensorGenerator(seed int64, sensors, sampleRate int) *SensorGenerator {
+	g := &SensorGenerator{
+		rng:        rand.New(rand.NewSource(seed)),
+		SampleRate: sampleRate,
+		sensors:    sensors,
+		temps:      make([]float64, sensors),
+	}
+	for i := range g.temps {
+		g.temps[i] = 15 + g.rng.Float64()*15
+	}
+	return g
+}
+
+// Tick advances one time unit and returns the readings it produced
+// (sensors × SampleRate tuples).
+func (g *SensorGenerator) Tick() []*tuple.Tuple {
+	g.ts++
+	var out []*tuple.Tuple
+	for s := 0; s < g.sensors; s++ {
+		g.temps[s] += g.rng.NormFloat64() * 0.2
+		for r := 0; r < g.SampleRate; r++ {
+			g.seq++
+			t := tuple.New(
+				tuple.Time(g.ts),
+				tuple.Int(int64(s)),
+				tuple.Float(g.temps[s]),
+				tuple.Float(2.5+g.rng.Float64()),
+			)
+			t.TS = g.ts
+			t.Seq = g.seq
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// DriftSchema is drift(x, y): two integer attributes whose selectivities
+// against fixed predicates trade places every Period tuples, the adversary
+// for which eddies exist (E2).
+func DriftSchema() *tuple.Schema {
+	return tuple.NewSchema("drift",
+		tuple.Column{Name: "x", Kind: tuple.KindInt},
+		tuple.Column{Name: "y", Kind: tuple.KindInt},
+	)
+}
+
+// DriftGenerator emits tuples where, in even phases, x is uniform in
+// [0,100) and y in [0,10); phases flip every Period tuples. A predicate
+// "col < 10" is therefore 10% selective on one attribute and 100% on the
+// other, alternating.
+type DriftGenerator struct {
+	Period int64
+	n      int64
+	rng    *rand.Rand
+}
+
+// NewDriftGenerator creates a drift generator with the given phase length.
+func NewDriftGenerator(seed, period int64) *DriftGenerator {
+	return &DriftGenerator{Period: period, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next emits the next tuple.
+func (g *DriftGenerator) Next() *tuple.Tuple {
+	phase := (g.n / g.Period) % 2
+	var x, y int64
+	if phase == 0 {
+		x, y = g.rng.Int63n(100), g.rng.Int63n(10)
+	} else {
+		x, y = g.rng.Int63n(10), g.rng.Int63n(100)
+	}
+	t := tuple.New(tuple.Int(x), tuple.Int(y))
+	t.TS = g.n
+	t.Seq = g.n
+	g.n++
+	return t
+}
+
+// Arrival models an arrival process: for each tick it returns how many
+// tuples arrive. Bursty arrivals are the storage/QoS stressor (§4.3).
+type Arrival interface {
+	// N returns the number of arrivals at tick i.
+	N(i int64) int
+}
+
+// Steady is a constant-rate arrival process.
+type Steady int
+
+// N implements Arrival.
+func (s Steady) N(int64) int { return int(s) }
+
+// Bursty alternates Base arrivals with Base*Factor arrivals every Period
+// ticks.
+type Bursty struct {
+	Base   int
+	Factor int
+	Period int64
+}
+
+// N implements Arrival.
+func (b Bursty) N(i int64) int {
+	if b.Period > 0 && (i/b.Period)%2 == 1 {
+		return b.Base * b.Factor
+	}
+	return b.Base
+}
+
+// Describe renders a one-line summary of a schema for harness output.
+func Describe(s *tuple.Schema) string { return fmt.Sprint(s) }

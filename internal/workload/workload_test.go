@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"testing"
+
+	"telegraphcq/internal/tuple"
+)
+
+func TestStockGeneratorDeterministic(t *testing.T) {
+	a := NewStockGenerator(1, nil).Take(100)
+	b := NewStockGenerator(1, nil).Take(100)
+	for i := range a {
+		for j := range a[i].Vals {
+			if !tuple.Equal(a[i].Vals[j], b[i].Vals[j]) {
+				t.Fatalf("tuple %d differs", i)
+			}
+		}
+	}
+}
+
+func TestStockGeneratorShape(t *testing.T) {
+	g := NewStockGenerator(1, []string{"A", "B"})
+	ts := g.Take(6)
+	// Two symbols: days advance every 2 tuples, seq every tuple.
+	if ts[0].TS != 1 || ts[1].TS != 1 || ts[2].TS != 2 {
+		t.Errorf("days = %d %d %d", ts[0].TS, ts[1].TS, ts[2].TS)
+	}
+	for i, tp := range ts {
+		if tp.Seq != int64(i+1) {
+			t.Errorf("seq[%d] = %d", i, tp.Seq)
+		}
+		if tp.Vals[2].AsFloat() < 1 {
+			t.Errorf("price floor violated: %v", tp.Vals[2])
+		}
+	}
+	if ts[0].Vals[1].AsString() != "A" || ts[1].Vals[1].AsString() != "B" {
+		t.Errorf("symbols = %v %v", ts[0].Vals[1], ts[1].Vals[1])
+	}
+}
+
+func TestPacketGeneratorSkew(t *testing.T) {
+	uniform := NewPacketGenerator(1, 100, 0)
+	skewed := NewPacketGenerator(1, 100, 1.0)
+	count := func(g *PacketGenerator) map[int64]int {
+		m := map[int64]int{}
+		for i := 0; i < 5000; i++ {
+			m[g.Next().Vals[1].AsInt()]++
+		}
+		return m
+	}
+	u, s := count(uniform), count(skewed)
+	maxOf := func(m map[int64]int) int {
+		mx := 0
+		for _, v := range m {
+			if v > mx {
+				mx = v
+			}
+		}
+		return mx
+	}
+	if maxOf(s) <= 2*maxOf(u) {
+		t.Errorf("zipf skew not visible: uniform max %d, skewed max %d", maxOf(u), maxOf(s))
+	}
+}
+
+func TestPacketGeneratorFields(t *testing.T) {
+	g := NewPacketGenerator(1, 10, 0)
+	p := g.Next()
+	if len(p.Vals) != 5 || p.TS != 1 || p.Seq != 1 {
+		t.Errorf("packet = %+v", p)
+	}
+	if b := p.Vals[4].AsInt(); b < 64 || b > 1500 {
+		t.Errorf("bytes = %d", b)
+	}
+}
+
+func TestSensorGeneratorRateChange(t *testing.T) {
+	g := NewSensorGenerator(1, 3, 2)
+	if got := len(g.Tick()); got != 6 {
+		t.Errorf("tick produced %d, want 6", got)
+	}
+	g.SampleRate = 5
+	if got := len(g.Tick()); got != 15 {
+		t.Errorf("tick produced %d, want 15", got)
+	}
+}
+
+func TestDriftGeneratorPhases(t *testing.T) {
+	g := NewDriftGenerator(1, 100)
+	// Phase 0: x in [0,100), y in [0,10).
+	for i := 0; i < 100; i++ {
+		tp := g.Next()
+		if y := tp.Vals[1].AsInt(); y >= 10 {
+			t.Fatalf("phase 0 y = %d", y)
+		}
+	}
+	// Phase 1: x in [0,10).
+	for i := 0; i < 100; i++ {
+		tp := g.Next()
+		if x := tp.Vals[0].AsInt(); x >= 10 {
+			t.Fatalf("phase 1 x = %d", x)
+		}
+	}
+}
+
+func TestArrivalProcesses(t *testing.T) {
+	if Steady(5).N(99) != 5 {
+		t.Error("steady")
+	}
+	b := Bursty{Base: 2, Factor: 10, Period: 3}
+	if b.N(0) != 2 || b.N(3) != 20 || b.N(6) != 2 {
+		t.Errorf("bursty = %d %d %d", b.N(0), b.N(3), b.N(6))
+	}
+}
+
+func TestSchemas(t *testing.T) {
+	if StockSchema().Arity() != 3 || PacketSchema().Arity() != 5 ||
+		SensorSchema().Arity() != 4 || DriftSchema().Arity() != 2 {
+		t.Error("schema arity mismatch")
+	}
+	if Describe(StockSchema()) == "" {
+		t.Error("empty describe")
+	}
+}

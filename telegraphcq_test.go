@@ -1,0 +1,222 @@
+package telegraphcq
+
+import (
+	"testing"
+	"time"
+)
+
+func openDB(t *testing.T) *DB {
+	t.Helper()
+	db := Open(Config{})
+	t.Cleanup(db.Close)
+	return db
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	db := openDB(t)
+	db.MustCreateStream("quotes", "ts TIME, sym STRING, price FLOAT", "ts")
+	q, err := db.Register(`SELECT price FROM quotes WHERE sym = 'MSFT'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := q.Subscribe(16)
+	if err := db.Feed("quotes", 1, "MSFT", 57.25); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Feed("quotes", 1, "IBM", 99.0); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-rows:
+		if r.Float(0) != 57.25 {
+			t.Errorf("price = %v", r.Float(0))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no result")
+	}
+}
+
+func TestCursorFetch(t *testing.T) {
+	db := openDB(t)
+	db.MustCreateStream("s", "x INT", "")
+	q, err := db.Register(`SELECT x FROM s WHERE x > 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := q.Cursor()
+	for i := 1; i <= 5; i++ {
+		if err := db.Feed("s", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	var got []Row
+	for len(got) < 3 && time.Now().Before(deadline) {
+		rows, err := cur.Fetch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, rows...)
+		time.Sleep(time.Millisecond)
+	}
+	if len(got) != 3 {
+		t.Fatalf("rows = %d", len(got))
+	}
+	if got[0].Int(0) != 3 {
+		t.Errorf("first = %d", got[0].Int(0))
+	}
+}
+
+func TestWindowedAggregateAPI(t *testing.T) {
+	db := openDB(t)
+	db.MustCreateStream("quotes", "ts TIME, sym STRING, price FLOAT", "ts")
+	q, err := db.Register(`SELECT AVG(price) FROM quotes
+		for (t = 3; t <= 5; t++) { WindowIs(quotes, t - 2, t); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for day := 1; day <= 7; day++ {
+		db.Feed("quotes", day, "MSFT", float64(day))
+	}
+	q.Wait()
+	rows, err := q.Cursor().Fetch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("instances = %d", len(rows))
+	}
+	// Window [t-2, t] over prices equal to day: avg = t-1; rows tagged
+	// with the instance value.
+	for _, r := range rows {
+		if r.Float(0) != float64(r.T-1) {
+			t.Errorf("instance %d avg = %v", r.T, r.Float(0))
+		}
+	}
+}
+
+func TestFeedValidation(t *testing.T) {
+	db := openDB(t)
+	db.MustCreateStream("s", "x INT, name STRING", "")
+	if err := db.Feed("s", 1); err == nil {
+		t.Error("short row accepted")
+	}
+	if err := db.Feed("s", "no", "way"); err == nil {
+		t.Error("string for INT accepted")
+	}
+	if err := db.Feed("s", 1, 2); err == nil {
+		t.Error("int for STRING accepted")
+	}
+	if err := db.Feed("nope", 1); err == nil {
+		t.Error("unknown stream accepted")
+	}
+	if err := db.FeedCSV("s", "1,alice"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCreateStreamValidation(t *testing.T) {
+	db := openDB(t)
+	if err := db.CreateStream("s", "x WAT", ""); err == nil {
+		t.Error("bad type accepted")
+	}
+	if err := db.CreateStream("s", "x INT", "nope"); err == nil {
+		t.Error("bad time column accepted")
+	}
+	if err := db.CreateTable("t", "x INT"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestServeAndDial(t *testing.T) {
+	db := openDB(t)
+	srv, err := db.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := DialClient(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateStream("s", "x INT", ""); err != nil {
+		t.Fatal(err)
+	}
+	qid, err := c.Query(`SELECT x FROM s`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Feed("s", "7"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		rows, err := c.Fetch(qid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) == 1 && rows[0] == "7" {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("row never arrived over the wire")
+}
+
+func TestRowString(t *testing.T) {
+	db := openDB(t)
+	db.MustCreateStream("s", "x INT, name STRING", "")
+	q, _ := db.Register(`SELECT x, name FROM s`)
+	cur := q.Cursor()
+	db.Feed("s", 7, "alice")
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		rows, _ := cur.Fetch()
+		if len(rows) == 1 {
+			if rows[0].String() != "7,alice" {
+				t.Errorf("row = %q", rows[0].String())
+			}
+			if rows[0].Len() != 2 || rows[0].String_(1) != "alice" {
+				t.Errorf("accessors wrong: %v", rows[0])
+			}
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("timed out")
+}
+
+func TestSubscribePriority(t *testing.T) {
+	db := openDB(t)
+	db.MustCreateStream("s", "x INT, urgency FLOAT", "")
+	q, err := db.Register(`SELECT x, urgency FROM s`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq := q.SubscribePriority(16, func(r Row) float64 { return r.Float(1) })
+	for i, u := range []float64{0.1, 0.9, 0.5, 0.7, 0.3} {
+		db.Feed("s", i, u)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for q.Results() < 5 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	rows := pq.Drain(0)
+	if len(rows) != 5 {
+		t.Fatalf("drained %d", len(rows))
+	}
+	// Most urgent first.
+	want := []float64{0.9, 0.7, 0.5, 0.3, 0.1}
+	for i := range want {
+		if rows[i].Float(1) != want[i] {
+			t.Fatalf("priority order = %v", rows)
+		}
+	}
+	if emitted, _ := pq.Stats(); emitted != 5 {
+		t.Errorf("emitted = %d", emitted)
+	}
+}
