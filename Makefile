@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: check build test race vet bench
+
+check: ## vet + build + race-detector test suite
+	./scripts/check.sh
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench: ## run the experiment harness, JSON report included
+	$(GO) run ./cmd/tcqbench -json bench-report.json

@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	tcqbench              # run everything
-//	tcqbench -exp E2,E5   # run selected experiments
-//	tcqbench -list        # list experiments
+//	tcqbench                    # run everything
+//	tcqbench -exp E2,E5         # run selected experiments
+//	tcqbench -json report.json  # also write tables (with metric snapshots) as JSON ("-" = stdout)
+//	tcqbench -list              # list experiments
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 
 func main() {
 	expFlag := flag.String("exp", "", "comma-separated experiment ids (default: all)")
+	jsonPath := flag.String("json", "", "write results (incl. metric registry snapshots) as JSON to this path (\"-\" = stdout)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -40,6 +42,7 @@ func main() {
 	}
 
 	failed := 0
+	var tables []*bench.Table
 	for _, e := range all {
 		if len(want) > 0 && !want[e.ID] {
 			continue
@@ -53,7 +56,24 @@ func main() {
 			continue
 		}
 		tb.Render(os.Stdout)
+		tables = append(tables, tb)
 		fmt.Fprintf(os.Stderr, "%s done in %s\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if *jsonPath != "" {
+		out := os.Stdout
+		if *jsonPath != "-" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tcqbench: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := bench.WriteJSON(out, tables); err != nil {
+			fmt.Fprintf(os.Stderr, "tcqbench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	if failed > 0 {
 		os.Exit(1)

@@ -9,25 +9,30 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"telegraphcq/internal/core"
+	"telegraphcq/internal/metrics"
 	"telegraphcq/internal/server"
 	"telegraphcq/internal/workload"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:5433", "listen address")
+	httpAddr := flag.String("http", "127.0.0.1:8088", "observability HTTP address serving /metrics (Prometheus text) and /debug/pprof (empty disables)")
 	eos := flag.Int("eos", 2, "execution objects (scheduler threads)")
 	spool := flag.String("spool", "", "directory for stream spooling (empty = memory only)")
+	traceRate := flag.Float64("trace", 0, "tuple-lineage trace sample rate in [0,1] (0 disables; traces served via the TRACE command)")
 	demo := flag.Bool("demo", false, "create ClosingStockPrices and feed synthetic quotes")
 	rate := flag.Int("rate", 100, "demo feed rate (tuples/second)")
 	flag.Parse()
 
-	engine := core.NewEngine(core.Options{EOs: *eos, SpoolDir: *spool})
+	engine := core.NewEngine(core.Options{EOs: *eos, SpoolDir: *spool, TraceSampleRate: *traceRate})
 	defer engine.Stop()
 
 	pm, err := server.Listen(engine, *addr)
@@ -35,7 +40,21 @@ func main() {
 		log.Fatalf("tcqd: %v", err)
 	}
 	defer pm.Close()
-	fmt.Printf("tcqd: listening on %s (EOs=%d spool=%q)\n", pm.Addr(), *eos, *spool)
+	fmt.Printf("tcqd: listening on %s (EOs=%d spool=%q trace=%g)\n", pm.Addr(), *eos, *spool, *traceRate)
+
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Fatalf("tcqd: http: %v", err)
+		}
+		defer ln.Close()
+		go func() {
+			if err := http.Serve(ln, metrics.Handler(engine.Metrics())); err != nil {
+				log.Printf("tcqd: http: %v", err)
+			}
+		}()
+		fmt.Printf("tcqd: metrics on http://%s/metrics (pprof on /debug/pprof/)\n", ln.Addr())
+	}
 
 	if *demo {
 		if err := engine.CreateStream("ClosingStockPrices", workload.StockSchema(), 0); err != nil {

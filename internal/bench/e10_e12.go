@@ -88,6 +88,9 @@ func E10Server() (*Table, error) {
 		wg.Wait()
 		feeder.Close()
 		pm.Close()
+		// Snapshot the engine's own counters before Stop deregisters the
+		// queries (the last row's fleet wins when configs share names).
+		tb.AttachMetrics(eng.Metrics(), "tcq_server_", "tcq_ingress_", "tcq_engine_")
 		eng.Stop()
 
 		tb.Rows = append(tb.Rows, []string{

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"telegraphcq/internal/eddy"
 	"telegraphcq/internal/expr"
 	"telegraphcq/internal/fjord"
+	"telegraphcq/internal/metrics"
 	"telegraphcq/internal/ops"
 	"telegraphcq/internal/stem"
 	"telegraphcq/internal/tuple"
@@ -130,6 +132,7 @@ func E2EddyVsStatic() (*Table, error) {
 	}
 	// Oracle work: always run the selective filter first — n * (1 + 0.1).
 	oracle := n * 11 / 10
+	reg := metrics.NewRegistry()
 	for _, c := range []cfg{
 		{"static A-first", eddy.NewFixedPolicy(0, 1)},
 		{"static B-first", eddy.NewFixedPolicy(1, 0)},
@@ -137,9 +140,11 @@ func E2EddyVsStatic() (*Table, error) {
 		{"eddy (batched 64)", eddy.NewBatchingPolicy(eddy.NewLotteryPolicy(7), 64)},
 	} {
 		visits, el := runDriftEddy(c.policy, n, n/2)
+		reg.Counter(fmt.Sprintf(`tcq_eddy_visits_total{plan=%q}`, c.name)).Add(visits)
 		tb.Rows = append(tb.Rows, []string{c.name, i64(visits), ratio(visits, int64(oracle)), el.Round(time.Millisecond).String()})
 	}
 	tb.Rows = append(tb.Rows, []string{"oracle (lower bound)", i64(int64(oracle)), "1.00x", "-"})
+	tb.AttachMetrics(reg)
 	return tb, nil
 }
 

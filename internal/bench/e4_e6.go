@@ -9,6 +9,7 @@ import (
 	"telegraphcq/internal/cacq"
 	"telegraphcq/internal/expr"
 	"telegraphcq/internal/flux"
+	"telegraphcq/internal/metrics"
 	"telegraphcq/internal/psoup"
 	"telegraphcq/internal/tuple"
 	"telegraphcq/internal/window"
@@ -191,6 +192,8 @@ func E6Flux() (*Table, error) {
 	f := flux.New(flux.Config{Nodes: 3, Buckets: 24, KeyCol: 0, Replicate: true},
 		flux.NewGroupCount(0, 1))
 	defer f.Close()
+	reg := metrics.NewRegistry()
+	defer f.RegisterMetrics(reg, "e6-failover")()
 	for k := int64(0); k < 50; k++ {
 		for i := 0; i < 20; i++ {
 			f.Route(tuple.New(tuple.Int(k), tuple.Int(1)))
@@ -206,6 +209,8 @@ func E6Flux() (*Table, error) {
 	tb.Notes = fmt.Sprintf(
 		"failover: node killed mid-run; %d buckets failed over, %d lost, cluster quiesced=%v (replication knob on)",
 		st.Failovers, st.LostBuckets, ok)
+	tb.AttachMetrics(reg, "tcq_flux_routed_total", "tcq_flux_failovers_total",
+		"tcq_flux_lost_buckets_total", "tcq_flux_migrations_total")
 	return tb, nil
 }
 

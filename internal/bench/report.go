@@ -6,9 +6,12 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
+
+	"telegraphcq/internal/metrics"
 )
 
 // Table is one experiment's result.
@@ -19,6 +22,40 @@ type Table struct {
 	Header []string
 	Rows   [][]string
 	Notes  string
+	// Metrics is an optional registry snapshot captured at the end of the
+	// run, keyed by full series name. It rides along into JSON reports so
+	// a result row can be cross-checked against the engine's own counters.
+	Metrics map[string]float64
+}
+
+// AttachMetrics copies a registry snapshot into the table. When prefixes
+// are given, only series whose name starts with one of them are kept.
+func (t *Table) AttachMetrics(reg *metrics.Registry, prefixes ...string) {
+	if t.Metrics == nil {
+		t.Metrics = make(map[string]float64)
+	}
+	for _, s := range reg.Snapshot() {
+		if len(prefixes) > 0 {
+			keep := false
+			for _, p := range prefixes {
+				if strings.HasPrefix(s.Name, p) {
+					keep = true
+					break
+				}
+			}
+			if !keep {
+				continue
+			}
+		}
+		t.Metrics[s.Name] = s.Value
+	}
+}
+
+// WriteJSON renders a set of tables as one indented JSON document.
+func WriteJSON(w io.Writer, tables []*Table) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tables)
 }
 
 // Render writes the table in aligned plain text.

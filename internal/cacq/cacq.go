@@ -19,6 +19,7 @@ import (
 	"telegraphcq/internal/eddy"
 	"telegraphcq/internal/expr"
 	"telegraphcq/internal/gfilter"
+	"telegraphcq/internal/metrics"
 	"telegraphcq/internal/ops"
 	"telegraphcq/internal/stem"
 	"telegraphcq/internal/tuple"
@@ -228,3 +229,16 @@ func (e *Engine) Stats() eddy.Stats { return e.ed.Stats() }
 
 // QueryCount returns the number of standing queries.
 func (e *Engine) QueryCount() int { return len(e.queries) }
+
+// Delivered sums results delivered to the currently standing queries.
+func (e *Engine) Delivered() int64 {
+	var n int64
+	for _, q := range e.queries {
+		n += q.delivered
+	}
+	return n
+}
+
+// SetTracer attaches a sampled lineage tracer to the shared eddy; tag
+// identifies the class in recorded traces (e.g. "shared:quotes").
+func (e *Engine) SetTracer(tr *metrics.Tracer, tag string) { e.ed.SetTracer(tr, tag) }

@@ -20,6 +20,7 @@ import (
 type eddyRuntime struct {
 	q      *RunningQuery
 	ed     *eddy.Eddy
+	stems  []*ops.SteMModule // join state modules, for stat export
 	agg    *ops.LandmarkAgg
 	proj   *ops.Project
 	dedup  *ops.DupElim // DISTINCT over the whole stream
@@ -76,7 +77,9 @@ func newEddyRuntime(q *RunningQuery) (runtime, error) {
 				sopts = append(sopts, stem.WithIndex(keyCol))
 			}
 			st := stem.New(layout.Schemas[s].Relation, tuple.SingleSource(s), layout, sopts...)
-			modules = append(modules, ops.NewSteMModule(st, layout, preds))
+			sm := ops.NewSteMModule(st, layout, preds)
+			rt.stems = append(rt.stems, sm)
+			modules = append(modules, sm)
 		}
 	}
 
@@ -93,6 +96,9 @@ func newEddyRuntime(q *RunningQuery) (runtime, error) {
 	}
 
 	rt.ed = eddy.New(plan.Footprint, eddy.NewLotteryPolicy(int64(q.ID)+1), rt.output, modules...)
+	if q.engine.tracer != nil {
+		rt.ed.SetTracer(q.engine.tracer, fmt.Sprintf("q%d", q.ID))
+	}
 	rt.preSeq = make([]int64, len(plan.Entries))
 
 	// Static tables in the FROM list hold data that arrived before the
@@ -173,4 +179,14 @@ func (rt *eddyRuntime) Stats() eddy.Stats {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	return rt.ed.Stats()
+}
+
+// stemStats aliases stem.Stats for metric export.
+type stemStats = stem.Stats
+
+// stemStats snapshots one SteM's counters under the runtime lock.
+func (rt *eddyRuntime) stemStats(i int) stemStats {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.stems[i].SteM().Stats()
 }

@@ -24,6 +24,7 @@ import (
 	"telegraphcq/internal/executor"
 	"telegraphcq/internal/fjord"
 	"telegraphcq/internal/ingress"
+	"telegraphcq/internal/metrics"
 	"telegraphcq/internal/sql"
 	"telegraphcq/internal/storage"
 	"telegraphcq/internal/tuple"
@@ -46,6 +47,13 @@ type Options struct {
 	// counted) instead of back-pressuring the producer. The stream's
 	// history/spool still records every tuple.
 	Shed bool
+	// TraceSampleRate enables tuple-lineage tracing: each tuple entering
+	// an eddy is sampled with this probability (0 disables, 1 traces
+	// everything) and its module-visit path recorded with per-hop
+	// latency, retrievable via Engine.Traces / the TRACE wire command.
+	TraceSampleRate float64
+	// TraceKeep bounds retained traces per query (default 32).
+	TraceKeep int
 }
 
 func (o *Options) defaults() {
@@ -76,14 +84,18 @@ type streamState struct {
 	// late-registered queries can still see old data (PSoup semantics).
 	history []*tuple.Tuple
 	histCap int
+	// fed counts tuples delivered into this stream (ingress feed rate).
+	fed *metrics.Counter
 }
 
 // Engine is the running system.
 type Engine struct {
-	opts Options
-	cat  *catalog.Catalog
-	exec *executor.Executor
-	pool *storage.BufferPool
+	opts   Options
+	cat    *catalog.Catalog
+	exec   *executor.Executor
+	pool   *storage.BufferPool
+	reg    *metrics.Registry
+	tracer *metrics.Tracer // nil unless TraceSampleRate > 0
 
 	mu      sync.Mutex
 	streams map[string]*streamState
@@ -101,6 +113,7 @@ func NewEngine(opts Options) *Engine {
 		opts:    opts,
 		cat:     catalog.New(),
 		exec:    executor.New(opts.EOs),
+		reg:     metrics.NewRegistry(),
 		streams: make(map[string]*streamState),
 		queries: make(map[int]*RunningQuery),
 		shared:  make(map[string]*sharedClass),
@@ -108,11 +121,42 @@ func NewEngine(opts Options) *Engine {
 	if opts.SpoolDir != "" {
 		e.pool = storage.NewBufferPool(opts.PoolSegments)
 	}
+	if opts.TraceSampleRate > 0 {
+		e.tracer = metrics.NewTracer(opts.TraceSampleRate, 1, opts.TraceKeep)
+	}
+	e.reg.RegisterFunc("tcq_engine_streams", metrics.KindGauge, func() float64 {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		return float64(len(e.streams))
+	})
+	e.reg.RegisterFunc("tcq_engine_queries", metrics.KindGauge, func() float64 {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		return float64(len(e.queries))
+	})
 	return e
 }
 
 // Catalog exposes the engine's catalog.
 func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// Metrics exposes the engine's metric registry.
+func (e *Engine) Metrics() *metrics.Registry { return e.reg }
+
+// Traces returns the recorded lineage traces for a standing query (its
+// private eddy's, or its stream's shared class when it runs inside one).
+func (e *Engine) Traces(qid int) ([]*metrics.Trace, error) {
+	if e.tracer == nil {
+		return nil, fmt.Errorf("core: tracing disabled (set TraceSampleRate)")
+	}
+	e.mu.Lock()
+	q, ok := e.queries[qid]
+	e.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("core: query %d not found", qid)
+	}
+	return e.tracer.Recent(q.traceTag()), nil
+}
 
 // CreateStream registers a stream. timeCol is the schema column carrying
 // the application timestamp (-1 for arrival order).
@@ -146,6 +190,29 @@ func (e *Engine) addStreamState(entry *catalog.Entry) error {
 		}
 		st.store = store
 	}
+	lbl := fmt.Sprintf(`{stream=%q}`, entry.Name)
+	st.fed = e.reg.Counter("tcq_ingress_tuples_total" + lbl)
+	// Queue depth and shed counts aggregate across every subscriber of the
+	// stream; computed at scrape time so Feed pays nothing for them.
+	e.reg.RegisterFunc("tcq_ingress_queue_depth"+lbl, metrics.KindGauge, func() float64 {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		depth := 0
+		for _, c := range st.subs {
+			depth += c.Q.Len()
+		}
+		return float64(depth)
+	})
+	e.reg.RegisterFunc("tcq_ingress_shed_total"+lbl, metrics.KindCounter, func() float64 {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		var shed int64
+		for _, c := range st.subs {
+			_, dropped := c.Q.Stats()
+			shed += dropped
+		}
+		return float64(shed)
+	})
 	e.mu.Lock()
 	e.streams[entry.Name] = st
 	e.mu.Unlock()
@@ -193,6 +260,7 @@ func (e *Engine) Feed(stream string, t *tuple.Tuple) error {
 		subs = append(subs, c)
 	}
 	st.mu.Unlock()
+	st.fed.Inc()
 
 	for _, c := range subs {
 		if e.opts.Shed {

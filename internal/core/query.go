@@ -10,6 +10,7 @@ import (
 	"telegraphcq/internal/egress"
 	"telegraphcq/internal/executor"
 	"telegraphcq/internal/fjord"
+	"telegraphcq/internal/metrics"
 	"telegraphcq/internal/sql"
 	"telegraphcq/internal/tuple"
 )
@@ -126,6 +127,108 @@ func (q *RunningQuery) finish() {
 	})
 }
 
+// traceTag names the trace stream this query's tuples are recorded under:
+// its private eddy, or the stream's shared class when it runs inside one.
+func (q *RunningQuery) traceTag() string {
+	if q.shared != nil {
+		return "shared:" + q.shared.stream
+	}
+	return fmt.Sprintf("q%d", q.ID)
+}
+
+// registerMetrics exports the query's observability series into the
+// engine registry. Everything is computed at scrape time from counters the
+// runtime already keeps, so registration adds no hot-path cost. All series
+// carry a query="<id>" label; unregisterMetrics removes them by that label.
+func (q *RunningQuery) registerMetrics() {
+	reg := q.engine.reg
+	lbl := fmt.Sprintf(`{query="%d"}`, q.ID)
+	reg.RegisterFunc("tcq_query_results_total"+lbl, metrics.KindCounter, func() float64 {
+		return float64(q.Results())
+	})
+	reg.RegisterFunc("tcq_egress_push_sent_total"+lbl, metrics.KindCounter, func() float64 {
+		sent, _ := q.push.Stats()
+		return float64(sent)
+	})
+	reg.RegisterFunc("tcq_egress_push_dropped_total"+lbl, metrics.KindCounter, func() float64 {
+		_, dropped := q.push.Stats()
+		return float64(dropped)
+	})
+	reg.RegisterFunc("tcq_egress_pull_retained"+lbl, metrics.KindGauge, func() float64 {
+		return float64(q.pull.Len())
+	})
+	for pos, conn := range q.inputs {
+		conn := conn
+		plbl := fmt.Sprintf(`{query="%d",pos="%d"}`, q.ID, pos)
+		reg.RegisterFunc("tcq_query_queue_depth"+plbl, metrics.KindGauge, func() float64 {
+			return float64(conn.Q.Len())
+		})
+		reg.RegisterFunc("tcq_query_shed_total"+plbl, metrics.KindCounter, func() float64 {
+			_, dropped := conn.Q.Stats()
+			return float64(dropped)
+		})
+	}
+	rt, ok := q.rt.(*eddyRuntime)
+	if !ok {
+		return
+	}
+	for name, get := range map[string]func(eddy.Stats) int64{
+		"tcq_eddy_ingested_total":  func(s eddy.Stats) int64 { return s.Ingested },
+		"tcq_eddy_emitted_total":   func(s eddy.Stats) int64 { return s.Emitted },
+		"tcq_eddy_dropped_total":   func(s eddy.Stats) int64 { return s.Dropped },
+		"tcq_eddy_decisions_total": func(s eddy.Stats) int64 { return s.Decisions },
+		"tcq_eddy_visits_total":    func(s eddy.Stats) int64 { return s.Visits },
+	} {
+		get := get
+		reg.RegisterFunc(name+lbl, metrics.KindCounter, func() float64 {
+			return float64(get(rt.Stats()))
+		})
+	}
+	for i, mod := range rt.ed.Modules() {
+		i := i
+		mlbl := fmt.Sprintf(`{query="%d",module=%q}`, q.ID, mod.Name())
+		reg.RegisterFunc("tcq_eddy_module_visits_total"+mlbl, metrics.KindCounter, func() float64 {
+			return float64(rt.Stats().Modules[i].Visits)
+		})
+		reg.RegisterFunc("tcq_eddy_module_produced_total"+mlbl, metrics.KindCounter, func() float64 {
+			return float64(rt.Stats().Modules[i].Produced)
+		})
+		reg.RegisterFunc("tcq_eddy_module_selectivity"+mlbl, metrics.KindGauge, func() float64 {
+			return rt.Stats().Modules[i].Selectivity()
+		})
+		reg.RegisterFunc("tcq_eddy_module_tickets"+mlbl, metrics.KindGauge, func() float64 {
+			s := rt.Stats()
+			if i >= len(s.Tickets) {
+				return 0
+			}
+			return float64(s.Tickets[i])
+		})
+	}
+	for i, sm := range rt.stems {
+		i := i
+		slbl := fmt.Sprintf(`{query="%d",stem=%q}`, q.ID, sm.SteM().Name())
+		for name, get := range map[string]func(st stemStats) int64{
+			"tcq_stem_builds_total":  func(st stemStats) int64 { return st.Builds },
+			"tcq_stem_probes_total":  func(st stemStats) int64 { return st.Probes },
+			"tcq_stem_matches_total": func(st stemStats) int64 { return st.Matches },
+			"tcq_stem_evicted_total": func(st stemStats) int64 { return st.Evicted },
+		} {
+			get := get
+			reg.RegisterFunc(name+slbl, metrics.KindCounter, func() float64 {
+				return float64(get(rt.stemStats(i)))
+			})
+		}
+		reg.RegisterFunc("tcq_stem_size"+slbl, metrics.KindGauge, func() float64 {
+			return float64(rt.stemStats(i).Size)
+		})
+	}
+}
+
+// unregisterMetrics drops every series carrying this query's label.
+func (q *RunningQuery) unregisterMetrics() {
+	q.engine.reg.UnregisterMatching(fmt.Sprintf(`query="%d"`, q.ID))
+}
+
 // RegisterPlan schedules a bound plan as a standing query.
 func (e *Engine) RegisterPlan(plan *sql.Plan) (*RunningQuery, error) {
 	if plan.HasAgg() && plan.Loop == nil && len(plan.GroupBy) > 0 {
@@ -159,6 +262,7 @@ func (e *Engine) RegisterPlan(plan *sql.Plan) (*RunningQuery, error) {
 		e.mu.Lock()
 		e.queries[id] = q
 		e.mu.Unlock()
+		q.registerMetrics()
 		return q, nil
 	}
 
@@ -199,6 +303,7 @@ func (e *Engine) RegisterPlan(plan *sql.Plan) (*RunningQuery, error) {
 	e.mu.Lock()
 	e.queries[id] = q
 	e.mu.Unlock()
+	q.registerMetrics()
 
 	du := &executor.FuncDU{
 		DUName: fmt.Sprintf("q%d", id),
@@ -207,6 +312,7 @@ func (e *Engine) RegisterPlan(plan *sql.Plan) (*RunningQuery, error) {
 			if finished {
 				q.finish()
 				q.engine.detach(q)
+				q.unregisterMetrics()
 				q.engine.mu.Lock()
 				delete(q.engine.queries, q.ID)
 				q.engine.mu.Unlock()
@@ -254,6 +360,7 @@ func (e *Engine) Deregister(id int) error {
 		q.shared.remove(q.ID)
 	}
 	e.detach(q)
+	q.unregisterMetrics()
 	q.finish()
 	return nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 
 	"telegraphcq/internal/cacq"
@@ -8,6 +9,7 @@ import (
 	"telegraphcq/internal/eddy"
 	"telegraphcq/internal/executor"
 	"telegraphcq/internal/fjord"
+	"telegraphcq/internal/metrics"
 	"telegraphcq/internal/sql"
 	"telegraphcq/internal/tuple"
 )
@@ -83,6 +85,26 @@ func (e *Engine) sharedClassFor(plan *sql.Plan) (*sharedClass, error) {
 	st.mu.Lock()
 	st.subs[sub] = sc.conn
 	st.mu.Unlock()
+
+	if e.tracer != nil {
+		sc.eng.SetTracer(e.tracer, "shared:"+name)
+	}
+	lbl := fmt.Sprintf(`{stream=%q}`, name)
+	classStat := func(get func() float64) func() float64 {
+		return func() float64 {
+			sc.mu.Lock()
+			defer sc.mu.Unlock()
+			return get()
+		}
+	}
+	e.reg.RegisterFunc("tcq_cacq_members"+lbl, metrics.KindGauge,
+		classStat(func() float64 { return float64(len(sc.members)) }))
+	e.reg.RegisterFunc("tcq_cacq_delivered_total"+lbl, metrics.KindCounter,
+		classStat(func() float64 { return float64(sc.eng.Delivered()) }))
+	// Tuples whose lineage bitmap died entirely (every member's grouped
+	// filter rejected them) count as eddy drops in the shared super-query.
+	e.reg.RegisterFunc("tcq_cacq_lineage_dropped_total"+lbl, metrics.KindCounter,
+		classStat(func() float64 { return float64(sc.eng.Stats().Dropped) }))
 
 	e.exec.Submit([]string{name}, &executor.FuncDU{
 		DUName: "shared:" + name,

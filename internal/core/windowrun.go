@@ -1,7 +1,11 @@
 package core
 
 import (
+	"fmt"
+	"time"
+
 	"telegraphcq/internal/expr"
+	"telegraphcq/internal/metrics"
 	"telegraphcq/internal/ops"
 	"telegraphcq/internal/tuple"
 	"telegraphcq/internal/window"
@@ -44,6 +48,10 @@ type windowRuntime struct {
 	// per instance.
 	incJoin *incJoinState
 
+	// fireLat samples the wall time to evaluate and emit one window
+	// instance (the query's emission latency).
+	fireLat *metrics.Histogram
+
 	nextT    int64
 	finished bool
 	batch    int
@@ -64,6 +72,8 @@ func newWindowRuntime(q *RunningQuery) (runtime, error) {
 		closed:  make([]bool, len(plan.Entries)),
 		batch:   512,
 	}
+	rt.fireLat = q.engine.reg.Histogram(
+		fmt.Sprintf(`tcq_window_fire_seconds{query="%d"}`, q.ID), 256)
 
 	// Map WindowIs declarations to FROM positions.
 	for pos := range plan.Entries {
@@ -321,6 +331,8 @@ func (rt *windowRuntime) rowsFor(pos int, inst window.Instance) ([]*tuple.Tuple,
 // tuples carry the instance's loop value in TS so clients can regroup the
 // output sequence of sets.
 func (rt *windowRuntime) fire(inst window.Instance) {
+	start := time.Now()
+	defer func() { rt.fireLat.Record(time.Since(start)) }()
 	if rt.incAgg != nil && rt.winFor[0] >= 0 {
 		rt.fireLandmark(inst)
 		return

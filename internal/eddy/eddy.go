@@ -9,7 +9,9 @@ package eddy
 import (
 	"fmt"
 	"math/bits"
+	"time"
 
+	"telegraphcq/internal/metrics"
 	"telegraphcq/internal/tuple"
 )
 
@@ -61,6 +63,15 @@ type Stats struct {
 	Decisions int64 // routing decisions made (the adaptivity overhead)
 	Visits    int64 // total module invocations (the work metric)
 	Modules   []ModuleStats
+	// Tickets is the routing policy's per-module lottery ticket counts
+	// (nil for policies without tickets), exposing the adaptation state
+	// itself — not just its outcome — over STATS.
+	Tickets []int64
+}
+
+// ticketHolder is implemented by policies exposing lottery ticket counts.
+type ticketHolder interface {
+	Tickets() []int64
 }
 
 // Eddy routes tuples among up to 64 modules.
@@ -79,6 +90,11 @@ type Eddy struct {
 	// uses it to deliver results per query footprint rather than per
 	// full-span tuple.
 	complete func(*tuple.Tuple)
+
+	// tracer, when set, samples ingested tuples and records their
+	// module-visit path with per-hop latency under traceTag.
+	tracer   *metrics.Tracer
+	traceTag string
 }
 
 // New creates an eddy over the given modules whose output tuples must span
@@ -111,6 +127,13 @@ func (e *Eddy) Modules() []Module { return e.modules }
 // delivers per-query results from this hook.
 func (e *Eddy) SetCompletionHook(fn func(*tuple.Tuple)) { e.complete = fn }
 
+// SetTracer attaches a sampled lineage tracer; tag identifies this eddy in
+// recorded traces (e.g. "q3" or "shared:quotes").
+func (e *Eddy) SetTracer(tr *metrics.Tracer, tag string) {
+	e.tracer = tr
+	e.traceTag = tag
+}
+
 // InvalidateMasks discards the memoized applicability masks. Call after
 // module applicability changes — e.g. when standing queries are added to
 // or removed from shared grouped filters.
@@ -123,6 +146,9 @@ func (e *Eddy) InvalidateMasks() {
 func (e *Eddy) Stats() Stats {
 	s := e.stats
 	s.Modules = append([]ModuleStats(nil), e.stats.Modules...)
+	if th, ok := e.policy.(ticketHolder); ok {
+		s.Tickets = th.Tickets()
+	}
 	return s
 }
 
@@ -162,6 +188,9 @@ func (e *Eddy) buildMask(src tuple.SourceSet) uint64 {
 // layout) and processes it — and any tuples it spawns — to completion.
 func (e *Eddy) Ingest(t *tuple.Tuple) {
 	e.stats.Ingested++
+	if e.tracer != nil {
+		e.tracer.Sample(t, e.traceTag, t.Seq)
+	}
 	e.push(t)
 	e.drain()
 }
@@ -206,7 +235,20 @@ func (e *Eddy) step(t *tuple.Tuple) {
 	}
 
 	mod := e.modules[idx]
+	// Per-hop timing only for sampled tuples: the clock reads stay off
+	// the untraced fast path.
+	traced := e.tracer != nil && e.tracer.Live(t)
+	var hopStart time.Time
+	if traced {
+		hopStart = time.Now()
+	}
 	outputs, pass := mod.Process(t)
+	if traced {
+		e.tracer.Hop(t, mod.Name(), time.Since(hopStart), pass, len(outputs))
+		for _, o := range outputs {
+			e.tracer.Fork(t, o)
+		}
+	}
 	ms := &e.stats.Modules[idx]
 	ms.Visits++
 	e.stats.Visits++
@@ -225,6 +267,9 @@ func (e *Eddy) step(t *tuple.Tuple) {
 	}
 	if !pass {
 		e.stats.Dropped++
+		if traced {
+			e.tracer.Finish(t, false)
+		}
 		return
 	}
 	t.Done |= bit
@@ -245,16 +290,27 @@ func (e *Eddy) finish(t *tuple.Tuple, required uint64) {
 	if t.Source.Contains(e.all) && e.all.Contains(t.Source) {
 		if t.Queries != nil && !t.Queries.Any() {
 			e.stats.Dropped++
+			e.traceFinish(t, false)
 			return
 		}
 		e.stats.Emitted++
+		e.traceFinish(t, true)
 		if e.output != nil {
 			e.output(t)
 		}
 		return
 	}
-	// Partial tuple: consumed, not dropped — it was built into SteMs.
+	// Partial tuple: consumed, not dropped — it was built into SteMs. In
+	// shared execution (all == 0) completion with live lineage is
+	// delivery, so the trace records it as emitted.
+	e.traceFinish(t, e.all == 0 && t.Queries != nil && t.Queries.Any())
 	_ = required
+}
+
+func (e *Eddy) traceFinish(t *tuple.Tuple, emitted bool) {
+	if e.tracer != nil {
+		e.tracer.Finish(t, emitted)
+	}
 }
 
 func trailingZeros(v uint64) int { return bits.TrailingZeros64(v) }

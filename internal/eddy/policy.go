@@ -229,6 +229,14 @@ func (p *BatchingPolicy) Observe(idx int, pass bool, produced int) {
 	p.Inner.Observe(idx, pass, produced)
 }
 
+// Tickets exposes the inner policy's ticket counts when it has any.
+func (p *BatchingPolicy) Tickets() []int64 {
+	if th, ok := p.Inner.(interface{ Tickets() []int64 }); ok {
+		return th.Tickets()
+	}
+	return nil
+}
+
 // FixingPolicy implements the second §4.3 knob, "fixing operators": it
 // observes with an inner lottery, but routes through a frozen ticket-ranked
 // module order, re-deriving that order only every Refresh observations.
@@ -291,3 +299,6 @@ func (p *FixingPolicy) Observe(idx int, pass bool, produced int) {
 		p.refreshOrder()
 	}
 }
+
+// Tickets exposes the learning lottery's ticket counts.
+func (p *FixingPolicy) Tickets() []int64 { return p.inner.Tickets() }

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"telegraphcq/internal/metrics"
 	"telegraphcq/internal/tuple"
 )
 
@@ -354,6 +355,42 @@ func (f *Flux) Stats() Stats {
 		s.NodeProcessed = append(s.NodeProcessed, n.Processed())
 	}
 	return s
+}
+
+// RegisterMetrics exports the cluster's counters into reg, labelled
+// cluster="<name>". All series read the existing atomics at scrape time.
+// The returned function unregisters them (call it when the cluster closes).
+func (f *Flux) RegisterMetrics(reg *metrics.Registry, cluster string) func() {
+	lbl := fmt.Sprintf(`{cluster=%q}`, cluster)
+	for name, src := range map[string]*atomic.Int64{
+		"tcq_flux_routed_total":       &f.routed,
+		"tcq_flux_migrations_total":   &f.migrations,
+		"tcq_flux_failovers_total":    &f.failovers,
+		"tcq_flux_lost_buckets_total": &f.lost,
+	} {
+		src := src
+		reg.RegisterFunc(name+lbl, metrics.KindCounter, func() float64 {
+			return float64(src.Load())
+		})
+	}
+	reg.RegisterFunc("tcq_flux_outstanding"+lbl, metrics.KindGauge, func() float64 {
+		return float64(f.outstanding.Load())
+	})
+	for i, n := range f.nodes {
+		n := n
+		nlbl := fmt.Sprintf(`{cluster=%q,node="%d"}`, cluster, i)
+		reg.RegisterFunc("tcq_flux_node_processed_total"+nlbl, metrics.KindCounter, func() float64 {
+			return float64(n.Processed())
+		})
+		reg.RegisterFunc("tcq_flux_node_alive"+nlbl, metrics.KindGauge, func() float64 {
+			if n.Alive() {
+				return 1
+			}
+			return 0
+		})
+	}
+	match := fmt.Sprintf(`cluster=%q`, cluster)
+	return func() { reg.UnregisterMatching(match) }
 }
 
 // Assignment returns a copy of the bucket→primary map (diagnostics).

@@ -1,11 +1,14 @@
-// Package metrics provides the lightweight counters and latency recorders
-// the benchmark harness uses to report experiment results. Everything is
-// allocation-free on the hot path.
+// Package metrics provides the engine's observability substrate: atomic
+// counters and gauges, reservoir-sampled latency histograms, a named
+// concurrent-safe Registry with Prometheus text export (registry.go), and
+// a sampled tuple-lineage Tracer (trace.go). Everything is allocation-free
+// on the hot path; exports pay their costs at scrape time.
 package metrics
 
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -27,10 +30,33 @@ func (c *Counter) Value() int64 { return atomic.LoadInt64(&c.v) }
 // Reset zeroes the counter.
 func (c *Counter) Reset() { atomic.StoreInt64(&c.v, 0) }
 
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ bits uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { atomic.StoreUint64(&g.bits, math.Float64bits(v)) }
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := atomic.LoadUint64(&g.bits)
+		v := math.Float64frombits(old) + d
+		if atomic.CompareAndSwapUint64(&g.bits, old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(atomic.LoadUint64(&g.bits)) }
+
 // Histogram records durations for quantile reporting. It keeps raw samples
-// up to a cap, then reservoir-samples; good enough for benchmark summaries.
+// up to a cap, then reservoir-samples (Algorithm R) with a deterministic
+// seeded RNG injected at construction, so distributions past the cap are
+// unbiased and reproducible.
 type Histogram struct {
 	mu      sync.Mutex
+	rng     *rand.Rand
 	samples []time.Duration
 	count   int64
 	sum     time.Duration
@@ -38,12 +64,19 @@ type Histogram struct {
 	cap     int
 }
 
-// NewHistogram returns a histogram keeping at most capSamples samples.
+// NewHistogram returns a histogram keeping at most capSamples samples,
+// seeded deterministically (seed 1).
 func NewHistogram(capSamples int) *Histogram {
+	return NewHistogramSeeded(capSamples, 1)
+}
+
+// NewHistogramSeeded returns a histogram whose reservoir RNG is seeded with
+// seed, making the retained sample set reproducible for a given input.
+func NewHistogramSeeded(capSamples int, seed int64) *Histogram {
 	if capSamples <= 0 {
 		capSamples = 4096
 	}
-	return &Histogram{cap: capSamples}
+	return &Histogram{cap: capSamples, rng: rand.New(rand.NewSource(seed))}
 }
 
 // Record adds one observation.
@@ -59,12 +92,58 @@ func (h *Histogram) Record(d time.Duration) {
 		h.samples = append(h.samples, d)
 		return
 	}
-	// Deterministic reservoir: overwrite pseudo-randomly by count.
-	i := int(h.count * 2654435761 % int64(h.cap))
-	if i < 0 {
-		i = -i
+	// Algorithm R: keep the new observation with probability cap/count,
+	// replacing a uniformly chosen retained sample.
+	if i := h.rng.Int63n(h.count); i < int64(h.cap) {
+		h.samples[i] = d
 	}
-	h.samples[i] = d
+}
+
+// HistogramSnapshot is an immutable copy of a histogram's state. Readers
+// work on the snapshot without further locking.
+type HistogramSnapshot struct {
+	Count   int64
+	Sum     time.Duration
+	Max     time.Duration
+	Samples []time.Duration // sorted ascending
+}
+
+// Snapshot copies the histogram's state under its lock; the returned value
+// needs no locking to read.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	s := HistogramSnapshot{
+		Count:   h.count,
+		Sum:     h.sum,
+		Max:     h.max,
+		Samples: append([]time.Duration(nil), h.samples...),
+	}
+	h.mu.Unlock()
+	sort.Slice(s.Samples, func(i, j int) bool { return s.Samples[i] < s.Samples[j] })
+	return s
+}
+
+// Mean returns the snapshot's mean duration (0 when empty).
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the retained samples.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(s.Samples)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s.Samples) {
+		i = len(s.Samples) - 1
+	}
+	return s.Samples[i]
 }
 
 // Count returns the number of observations.
@@ -93,21 +172,7 @@ func (h *Histogram) Max() time.Duration {
 
 // Quantile returns the q-quantile (0 <= q <= 1) of the retained samples.
 func (h *Histogram) Quantile(q float64) time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
-		return 0
-	}
-	s := append([]time.Duration(nil), h.samples...)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	i := int(math.Ceil(q*float64(len(s)))) - 1
-	if i < 0 {
-		i = 0
-	}
-	if i >= len(s) {
-		i = len(s) - 1
-	}
-	return s[i]
+	return h.Snapshot().Quantile(q)
 }
 
 // String summarizes the distribution.

@@ -1,0 +1,282 @@
+package metrics
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("tcq_test_total")
+	c.Inc()
+	if r.Counter("tcq_test_total") != c {
+		t.Error("counter not memoized")
+	}
+	g := r.Gauge("tcq_depth")
+	g.Set(3.5)
+	if r.Gauge("tcq_depth").Value() != 3.5 {
+		t.Error("gauge not memoized")
+	}
+	h := r.Histogram("tcq_lat_seconds", 64)
+	h.Record(time.Millisecond)
+	if r.Histogram("tcq_lat_seconds", 64) != h {
+		t.Error("histogram not memoized")
+	}
+}
+
+func TestRegistryConcurrentWriters(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				r.Counter("tcq_shared_total").Inc()
+				r.Counter(fmt.Sprintf(`tcq_per{worker="%d"}`, i)).Inc()
+				r.Gauge("tcq_g").Set(float64(j))
+				r.Histogram("tcq_h_seconds", 32).Record(time.Duration(j))
+				if j%100 == 0 {
+					r.Snapshot()
+				}
+			}
+		}(i)
+	}
+	// Concurrent scraping while writers run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := 0; k < 50; k++ {
+			var buf bytes.Buffer
+			r.WritePrometheus(&buf)
+		}
+	}()
+	wg.Wait()
+	if got := r.Counter("tcq_shared_total").Value(); got != 8*500 {
+		t.Errorf("shared counter = %d, want %d", got, 8*500)
+	}
+}
+
+func TestRegistryFuncMetricsAndUnregister(t *testing.T) {
+	r := NewRegistry()
+	v := int64(41)
+	r.RegisterFunc(`tcq_fn{query="7"}`, KindCounter, func() float64 { v++; return float64(v) })
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].Name != `tcq_fn{query="7"}` || snap[0].Value != 42 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	r.Counter(`tcq_c{query="7"}`).Inc()
+	r.Counter(`tcq_c{query="8"}`).Inc()
+	if n := r.UnregisterMatching(`query="7"`); n != 2 {
+		t.Errorf("removed %d, want 2", n)
+	}
+	snap = r.Snapshot()
+	if len(snap) != 1 || snap[0].Name != `tcq_c{query="8"}` {
+		t.Errorf("after unregister: %+v", snap)
+	}
+	r.Unregister(`tcq_c{query="8"}`)
+	if len(r.Snapshot()) != 0 {
+		t.Error("unregister by name failed")
+	}
+}
+
+func TestPrometheusEncoding(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`tcq_eddy_visits_total{query="1"}`).Add(5)
+	r.Counter(`tcq_eddy_visits_total{query="2"}`).Add(7)
+	r.Gauge("tcq_queue_depth").Set(3)
+	r.Histogram("tcq_fire_seconds", 16).Record(10 * time.Millisecond)
+	r.RegisterFunc("tcq_streams", KindGauge, func() float64 { return 2 })
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+
+	for _, want := range []string{
+		"# TYPE tcq_eddy_visits_total counter\n",
+		`tcq_eddy_visits_total{query="1"} 5` + "\n",
+		`tcq_eddy_visits_total{query="2"} 7` + "\n",
+		"# TYPE tcq_queue_depth gauge\n",
+		"tcq_queue_depth 3\n",
+		"# TYPE tcq_fire_seconds summary\n",
+		`tcq_fire_seconds{quantile="0.5"} 0.01` + "\n",
+		"tcq_fire_seconds_sum 0.01\n",
+		"tcq_fire_seconds_count 1\n",
+		"# TYPE tcq_streams gauge\n",
+		"tcq_streams 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// One TYPE line per family, even with several series.
+	if strings.Count(out, "# TYPE tcq_eddy_visits_total ") != 1 {
+		t.Error("duplicate TYPE lines for one family")
+	}
+	// Families must be sorted.
+	i1 := strings.Index(out, "# TYPE tcq_eddy_visits_total")
+	i2 := strings.Index(out, "# TYPE tcq_queue_depth")
+	if i1 < 0 || i2 < 0 || i1 > i2 {
+		t.Error("families not sorted")
+	}
+}
+
+func TestHistogramSeededReservoirDeterministic(t *testing.T) {
+	run := func() []time.Duration {
+		h := NewHistogramSeeded(8, 42)
+		for i := 0; i < 10000; i++ {
+			h.Record(time.Duration(i))
+		}
+		return h.Snapshot().Samples
+	}
+	a, b := run(), run()
+	if len(a) != 8 || len(b) != 8 {
+		t.Fatalf("reservoir sizes %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-reproducible reservoir: %v vs %v", a, b)
+		}
+	}
+	// A different seed should (overwhelmingly) retain a different set.
+	h := NewHistogramSeeded(8, 7)
+	for i := 0; i < 10000; i++ {
+		h.Record(time.Duration(i))
+	}
+	c := h.Snapshot().Samples
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds retained identical reservoirs")
+	}
+}
+
+func TestHistogramSnapshotLockFree(t *testing.T) {
+	h := NewHistogram(100)
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 || s.Max != 100*time.Millisecond {
+		t.Errorf("count=%d max=%v", s.Count, s.Max)
+	}
+	if m := s.Mean(); m < 50*time.Millisecond || m > 51*time.Millisecond {
+		t.Errorf("mean = %v", m)
+	}
+	if q := s.Quantile(0.5); q < 45*time.Millisecond || q > 55*time.Millisecond {
+		t.Errorf("p50 = %v", q)
+	}
+	// Snapshot is a copy: further records must not affect it.
+	h.Record(time.Hour)
+	if s.Max == time.Hour || s.Count != 100 {
+		t.Error("snapshot aliases live histogram state")
+	}
+	// Samples are sorted for quantile reads.
+	for i := 1; i < len(s.Samples); i++ {
+		if s.Samples[i-1] > s.Samples[i] {
+			t.Fatal("snapshot samples not sorted")
+		}
+	}
+}
+
+func TestTracer(t *testing.T) {
+	tr := NewTracer(1.0, 1, 2)
+	k1, k2, k3, k4 := new(int), new(int), new(int), new(int)
+	if !tr.Sample(k1, "q1", 10) {
+		t.Fatal("rate-1 tracer refused a sample")
+	}
+	if !tr.Live(k1) || tr.Live(k2) {
+		t.Error("liveness wrong")
+	}
+	tr.Hop(k1, "sel0", time.Microsecond, true, 0)
+	tr.Hop(k1, "SteM(s)", 2*time.Microsecond, true, 1)
+	tr.Fork(k1, k2)
+	tr.Finish(k1, true)
+	tr.Hop(k2, "sel1", time.Microsecond, false, 0)
+	tr.Finish(k2, false)
+
+	got := tr.Recent("q1")
+	if len(got) != 2 {
+		t.Fatalf("recent = %d traces", len(got))
+	}
+	if len(got[0].Hops) != 2 || !got[0].Emitted {
+		t.Errorf("first trace: %+v", got[0])
+	}
+	// Fork inherited the parent's two hops, then added its own.
+	if len(got[1].Hops) != 3 || got[1].Emitted {
+		t.Errorf("forked trace: %+v", got[1])
+	}
+	if !strings.Contains(got[0].String(), "SteM(s)") {
+		t.Errorf("trace string = %q", got[0].String())
+	}
+
+	// Ring keeps only the newest two per tag.
+	tr.Sample(k3, "q1", 11)
+	tr.Finish(k3, false)
+	tr.Sample(k4, "q1", 12)
+	tr.Finish(k4, true)
+	got = tr.Recent("q1")
+	if len(got) != 2 || got[0].Seq != 11 || got[1].Seq != 12 {
+		t.Errorf("ring = %+v", got)
+	}
+	if tr.Recent("q9") != nil {
+		t.Error("unknown tag returned traces")
+	}
+}
+
+func TestTracerDisabledAndSampling(t *testing.T) {
+	var nilTr *Tracer
+	if nilTr.Sample(new(int), "q", 1) || nilTr.Live(new(int)) || nilTr.Recent("q") != nil {
+		t.Error("nil tracer must be inert")
+	}
+	off := NewTracer(0, 1, 4)
+	if off.Sample(new(int), "q", 1) {
+		t.Error("rate-0 tracer sampled")
+	}
+	// Rate 0.5 samples roughly half deterministically for a fixed seed.
+	half := NewTracer(0.5, 99, 4096)
+	n := 0
+	for i := 0; i < 1000; i++ {
+		k := new(int)
+		if half.Sample(k, "q", int64(i)) {
+			n++
+			half.Finish(k, false)
+		}
+	}
+	if n < 400 || n > 600 {
+		t.Errorf("sampled %d/1000 at rate 0.5", n)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(1.0, 1, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tag := fmt.Sprintf("q%d", w)
+			for i := 0; i < 200; i++ {
+				k := new(int)
+				tr.Sample(k, tag, int64(i))
+				tr.Hop(k, "m", time.Nanosecond, true, 0)
+				tr.Finish(k, i%2 == 0)
+				tr.Recent(tag)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < 8; w++ {
+		if got := len(tr.Recent(fmt.Sprintf("q%d", w))); got != 8 {
+			t.Errorf("tag q%d ring = %d", w, got)
+		}
+	}
+}

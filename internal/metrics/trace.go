@@ -1,0 +1,156 @@
+package metrics
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Hop is one module visit on a traced tuple's path through an eddy.
+type Hop struct {
+	Module   string
+	Latency  time.Duration
+	Pass     bool
+	Produced int
+}
+
+// Trace is the recorded lineage of one sampled tuple: the module-visit
+// path the eddy's routing policy chose for it, with per-hop latency.
+// Join outputs forked from a traced tuple inherit its hops so far.
+type Trace struct {
+	Tag     string // owning eddy ("q<id>" or "shared:<stream>")
+	Seq     int64  // arrival sequence number of the sampled tuple
+	Hops    []Hop
+	Emitted bool // reached the query's output (vs dropped/absorbed)
+}
+
+// String renders the trace as a single diagnostic line.
+func (t *Trace) String() string {
+	parts := make([]string, len(t.Hops))
+	for i, h := range t.Hops {
+		outcome := "drop"
+		if h.Pass {
+			outcome = "pass"
+		}
+		parts[i] = fmt.Sprintf("%s:%v:%s+%d", h.Module, h.Latency, outcome, h.Produced)
+	}
+	path := strings.Join(parts, " -> ")
+	if path == "" {
+		path = "(no visits)"
+	}
+	return fmt.Sprintf("seq=%d emitted=%v hops=%d path=%s", t.Seq, t.Emitted, len(t.Hops), path)
+}
+
+// Tracer samples tuples entering an eddy and records their routing path.
+// Keys are opaque tuple identities (pointers); live entries move to a
+// bounded per-tag ring when the tuple finishes, so memory stays constant
+// regardless of stream volume. All methods are concurrent-safe.
+type Tracer struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	rate   float64
+	keep   int
+	live   map[any]*Trace
+	recent map[string][]*Trace
+}
+
+// NewTracer samples at the given probability (clamped to [0,1]) with a
+// deterministic seed, keeping the last keep finished traces per tag.
+func NewTracer(rate float64, seed int64, keep int) *Tracer {
+	if rate > 1 {
+		rate = 1
+	}
+	if keep <= 0 {
+		keep = 32
+	}
+	return &Tracer{
+		rng:    rand.New(rand.NewSource(seed)),
+		rate:   rate,
+		keep:   keep,
+		live:   make(map[any]*Trace),
+		recent: make(map[string][]*Trace),
+	}
+}
+
+// Rate returns the configured sample probability.
+func (tr *Tracer) Rate() float64 { return tr.rate }
+
+// Sample decides whether to trace the tuple identified by key, tagged with
+// the owning eddy and the tuple's sequence number. It reports whether the
+// tuple is now live-traced.
+func (tr *Tracer) Sample(key any, tag string, seq int64) bool {
+	if tr == nil || tr.rate <= 0 {
+		return false
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.rate < 1 && tr.rng.Float64() >= tr.rate {
+		return false
+	}
+	tr.live[key] = &Trace{Tag: tag, Seq: seq}
+	return true
+}
+
+// Live reports whether key is being traced.
+func (tr *Tracer) Live(key any) bool {
+	if tr == nil {
+		return false
+	}
+	tr.mu.Lock()
+	_, ok := tr.live[key]
+	tr.mu.Unlock()
+	return ok
+}
+
+// Hop records one module visit for a live-traced tuple (no-op otherwise).
+func (tr *Tracer) Hop(key any, module string, d time.Duration, pass bool, produced int) {
+	tr.mu.Lock()
+	if t, ok := tr.live[key]; ok {
+		t.Hops = append(t.Hops, Hop{Module: module, Latency: d, Pass: pass, Produced: produced})
+	}
+	tr.mu.Unlock()
+}
+
+// Fork starts tracing child (a join output) with a copy of parent's path
+// so far, so the output's trace shows its full derivation.
+func (tr *Tracer) Fork(parent, child any) {
+	tr.mu.Lock()
+	if p, ok := tr.live[parent]; ok {
+		tr.live[child] = &Trace{
+			Tag:  p.Tag,
+			Seq:  p.Seq,
+			Hops: append([]Hop(nil), p.Hops...),
+		}
+	}
+	tr.mu.Unlock()
+}
+
+// Finish retires a live trace into the recent ring. emitted records
+// whether the tuple reached the query's output.
+func (tr *Tracer) Finish(key any, emitted bool) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	t, ok := tr.live[key]
+	if !ok {
+		return
+	}
+	delete(tr.live, key)
+	t.Emitted = emitted
+	ring := append(tr.recent[t.Tag], t)
+	if over := len(ring) - tr.keep; over > 0 {
+		ring = append(ring[:0], ring[over:]...)
+	}
+	tr.recent[t.Tag] = ring
+}
+
+// Recent returns the finished traces for a tag, oldest first.
+func (tr *Tracer) Recent(tag string) []*Trace {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return append([]*Trace(nil), tr.recent[tag]...)
+}

@@ -234,3 +234,15 @@ func (c *Client) Explain(sqlText string) ([]string, error) {
 func (c *Client) Stats(qid int) ([]string, error) {
 	return c.cmdRows(fmt.Sprintf("STATS %d", qid))
 }
+
+// Metrics returns the engine's metric registry snapshot, one
+// "<series> <value>" row per metric.
+func (c *Client) Metrics() ([]string, error) {
+	return c.cmdRows("METRICS")
+}
+
+// Trace returns the sampled tuple-lineage traces recorded for a query
+// (requires the server engine to run with tracing enabled).
+func (c *Client) Trace(qid int) ([]string, error) {
+	return c.cmdRows(fmt.Sprintf("TRACE %d", qid))
+}

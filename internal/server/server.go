@@ -17,6 +17,8 @@
 //	FETCH <qid>                -- pull delivery: ROW lines then END
 //	DEREGISTER <qid>
 //	STATS <qid>                -- results + adaptive-routing counters
+//	METRICS                    -- engine metric registry snapshot
+//	TRACE <qid>                -- sampled tuple-lineage traces
 //	LIST
 //	PING
 //	QUIT
@@ -74,6 +76,7 @@ func (pm *Postmaster) accept() {
 			return
 		}
 		pm.conns.Add(1)
+		pm.engine.Metrics().Counter("tcq_server_connections_total").Inc()
 		pm.wg.Add(1)
 		// "The Postmaster forks a FrontEnd process for each fresh
 		// connection it receives" (§4.2.1).
@@ -156,6 +159,7 @@ func (fe *frontEnd) stopPushers() {
 func (fe *frontEnd) dispatch(line string) {
 	cmd := strings.ToUpper(firstWord(line))
 	rest := strings.TrimSpace(line[len(firstWord(line)):])
+	fe.engine.Metrics().Counter(fmt.Sprintf(`tcq_server_commands_total{cmd=%q}`, cmd)).Inc()
 	var err error
 	switch cmd {
 	case "PING":
@@ -180,6 +184,10 @@ func (fe *frontEnd) dispatch(line string) {
 		err = fe.handleDeregister(rest)
 	case "STATS":
 		err = fe.handleStats(rest)
+	case "METRICS":
+		fe.handleMetrics()
+	case "TRACE":
+		err = fe.handleTrace(rest)
 	case "LIST":
 		fe.handleList()
 	default:
@@ -376,9 +384,40 @@ func (fe *frontEnd) handleStats(rest string) error {
 		fe.send(fmt.Sprintf("ROW . eddy: ingested=%d emitted=%d dropped=%d decisions=%d visits=%d",
 			st.Ingested, st.Emitted, st.Dropped, st.Decisions, st.Visits))
 		for i, m := range st.Modules {
-			fe.send(fmt.Sprintf("ROW . module %d: visits=%d selectivity=%.3f produced=%d",
-				i, m.Visits, m.Selectivity(), m.Produced))
+			line := fmt.Sprintf("ROW . module %d: visits=%d selectivity=%.3f produced=%d",
+				i, m.Visits, m.Selectivity(), m.Produced)
+			// Lottery-based policies also expose their adaptation state:
+			// the module's current ticket count.
+			if i < len(st.Tickets) {
+				line += fmt.Sprintf(" tickets=%d", st.Tickets[i])
+			}
+			fe.send(line)
 		}
+	}
+	fe.send("END")
+	return nil
+}
+
+// handleMetrics dumps the engine registry snapshot, one series per row.
+func (fe *frontEnd) handleMetrics() {
+	for _, s := range fe.engine.Metrics().Snapshot() {
+		fe.send(fmt.Sprintf("ROW . %s %g", s.Name, s.Value))
+	}
+	fe.send("END")
+}
+
+// handleTrace reports the sampled lineage traces recorded for a query.
+func (fe *frontEnd) handleTrace(rest string) error {
+	q, _, err := fe.query(rest)
+	if err != nil {
+		return err
+	}
+	traces, err := fe.engine.Traces(q.ID)
+	if err != nil {
+		return err
+	}
+	for _, tr := range traces {
+		fe.send("ROW . " + tr.String())
 	}
 	fe.send("END")
 	return nil

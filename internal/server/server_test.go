@@ -321,3 +321,181 @@ func TestStatsCommand(t *testing.T) {
 	}
 	t.Fatal("stats never showed 4 results with eddy counters")
 }
+
+// TestStatsTickets checks the routing-policy ticket counts appear in STATS
+// module rows (satellite: expose the adaptation state, not just outcomes).
+func TestStatsTickets(t *testing.T) {
+	_, pm := startServer(t)
+	c := dial(t, pm.Addr())
+	if err := c.CreateStream("s", "x INT", ""); err != nil {
+		t.Fatal(err)
+	}
+	qid, err := c.Query(`SELECT x FROM s WHERE x > 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		c.Feed("s", fmt.Sprintf("%d", i))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		rows, err := c.Stats(qid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		joined := strings.Join(rows, "\n")
+		if strings.Contains(joined, "module 0:") && strings.Contains(joined, "tickets=") {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("STATS never showed module ticket counts")
+}
+
+func TestMetricsCommand(t *testing.T) {
+	_, pm := startServer(t)
+	c := dial(t, pm.Addr())
+	if err := c.CreateStream("s", "x INT", ""); err != nil {
+		t.Fatal(err)
+	}
+	qid, err := c.Query(`SELECT x FROM s WHERE x > 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := c.Feed("s", fmt.Sprintf("%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitRows(t, c, qid, 4)
+
+	rows, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(rows, "\n")
+	for _, want := range []string{
+		`tcq_ingress_tuples_total{stream="s"} 8`,
+		fmt.Sprintf(`tcq_query_results_total{query="%d"} 4`, qid),
+		`tcq_server_commands_total{cmd="FEED"} 8`,
+		"tcq_engine_streams 1",
+		"tcq_server_connections_total 1",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("METRICS missing %q in:\n%s", want, joined)
+		}
+	}
+
+	// Deregistration removes the query's series from the registry.
+	if err := c.Deregister(qid); err != nil {
+		t.Fatal(err)
+	}
+	rows, err = c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(strings.Join(rows, "\n"), fmt.Sprintf(`query="%d"`, qid)) {
+		t.Error("deregistered query still exported metrics")
+	}
+}
+
+func TestTraceCommand(t *testing.T) {
+	e := core.NewEngine(core.Options{EOs: 2, TraceSampleRate: 1.0})
+	pm, err := Listen(e, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		pm.Close()
+		e.Stop()
+	})
+	c := dial(t, pm.Addr())
+	if err := c.CreateStream("s", "x INT", ""); err != nil {
+		t.Fatal(err)
+	}
+	qid, err := c.Query(`SELECT x FROM s WHERE x > 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := c.Feed("s", fmt.Sprintf("%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitRows(t, c, qid, 4)
+
+	rows, err := c.Trace(qid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("TRACE returned no traces at sample rate 1.0")
+	}
+	joined := strings.Join(rows, "\n")
+	for _, want := range []string{"emitted=true", "emitted=false", "GF(s.x)"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("TRACE missing %q in:\n%s", want, joined)
+		}
+	}
+	if _, err := c.Trace(99); err == nil {
+		t.Error("TRACE of unknown query succeeded")
+	}
+}
+
+func TestTraceDisabled(t *testing.T) {
+	_, pm := startServer(t) // default engine: tracing off
+	c := dial(t, pm.Addr())
+	if err := c.CreateStream("s", "x INT", ""); err != nil {
+		t.Fatal(err)
+	}
+	qid, err := c.Query(`SELECT x FROM s WHERE x > 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Trace(qid); err == nil || !strings.Contains(err.Error(), "tracing disabled") {
+		t.Errorf("TRACE without tracing = %v, want 'tracing disabled' error", err)
+	}
+}
+
+// TestPrometheusFamiliesEndToEnd drives a join query plus wire commands
+// through a live server, then checks the registry's Prometheus exposition
+// carries the eddy, stem, ingress, and server metric families.
+func TestPrometheusFamiliesEndToEnd(t *testing.T) {
+	e, pm := startServer(t)
+	c := dial(t, pm.Addr())
+	if err := c.CreateStream("a", "x INT", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateStream("b", "y INT", ""); err != nil {
+		t.Fatal(err)
+	}
+	qid, err := c.Query(`SELECT a.x FROM a, b WHERE a.x = b.y`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := c.Feed("a", fmt.Sprintf("%d", i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Feed("b", fmt.Sprintf("%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitRows(t, c, qid, 5)
+
+	var buf strings.Builder
+	e.Metrics().WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE tcq_eddy_visits_total counter",
+		"# TYPE tcq_stem_builds_total counter",
+		"# TYPE tcq_ingress_tuples_total counter",
+		"# TYPE tcq_server_commands_total counter",
+		`tcq_eddy_module_visits_total{query="0",module="SteM(a)"}`,
+		`tcq_stem_size{query="0",stem="a"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q", want)
+		}
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"telegraphcq/internal/core"
 	"telegraphcq/internal/egress"
 	"telegraphcq/internal/ingress"
+	"telegraphcq/internal/metrics"
 	"telegraphcq/internal/server"
 	"telegraphcq/internal/tuple"
 )
@@ -46,6 +47,11 @@ type Config struct {
 	SegmentSize int
 	// PoolSegments bounds the buffer pool (default 64).
 	PoolSegments int
+	// TraceSampleRate enables tuple-lineage tracing: each tuple entering
+	// an eddy is sampled with this probability (0 disables, 1 traces all)
+	// and its module-visit path recorded with per-hop latency. Retrieve
+	// traces with Query.Traces or the TRACE wire command.
+	TraceSampleRate float64
 }
 
 // DB is an embedded TelegraphCQ engine.
@@ -56,15 +62,21 @@ type DB struct {
 // Open starts an engine.
 func Open(cfg Config) *DB {
 	return &DB{engine: core.NewEngine(core.Options{
-		EOs:          cfg.ExecutionObjects,
-		SpoolDir:     cfg.SpoolDir,
-		SegmentSize:  cfg.SegmentSize,
-		PoolSegments: cfg.PoolSegments,
+		EOs:             cfg.ExecutionObjects,
+		SpoolDir:        cfg.SpoolDir,
+		SegmentSize:     cfg.SegmentSize,
+		PoolSegments:    cfg.PoolSegments,
+		TraceSampleRate: cfg.TraceSampleRate,
 	})}
 }
 
 // Close shuts the engine down.
 func (db *DB) Close() { db.engine.Stop() }
+
+// Metrics exposes the engine's metric registry: counters, gauges, and
+// latency histograms for every subsystem, exportable in Prometheus text
+// format via its WritePrometheus method (or served with metrics.Handler).
+func (db *DB) Metrics() *metrics.Registry { return db.engine.Metrics() }
 
 // CreateStream declares a stream from a column spec like
 // "ts TIME, sym STRING, price FLOAT". timeCol names the column carrying
@@ -309,6 +321,13 @@ func (q *Query) Wait() { q.inner.Wait() }
 
 // Deregister removes the standing query.
 func (q *Query) Deregister() error { return q.db.engine.Deregister(q.inner.ID) }
+
+// Traces returns the query's recorded tuple-lineage traces (requires
+// Config.TraceSampleRate > 0): each trace lists the modules a sampled
+// tuple visited, with per-hop latency and the routing outcome.
+func (q *Query) Traces() ([]*metrics.Trace, error) {
+	return q.db.engine.Traces(q.inner.ID)
+}
 
 // Server is a TCP postmaster serving this engine.
 type Server struct {
