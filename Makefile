@@ -1,9 +1,19 @@
 GO ?= go
 
-.PHONY: check build test race vet bench
+.PHONY: check build test race vet bench chaos fuzz soak
 
-check: ## vet + build + race-detector test suite
+check: ## vet + build + race tests + chaos campaign + fuzz smoke
 	./scripts/check.sh
+
+chaos: ## full 200-trial chaos campaign (CHAOS_SEED/CHAOS_TRIALS honoured)
+	$(GO) test -count=1 -run 'TestChaos' ./internal/chaos/
+
+fuzz: ## longer fuzz pass over the SQL and window-spec parsers
+	$(GO) test -fuzz=FuzzParse -fuzztime=60s -run '^$$' ./internal/sql/
+	$(GO) test -fuzz=FuzzParseLoop -fuzztime=60s -run '^$$' ./internal/window/
+
+soak: ## 10k-tuple full-pipeline soak under a fixed chaos seed
+	$(GO) test -count=1 -run 'TestChaosSoakFullPipeline' ./internal/chaos/
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,406 @@
+package chaos_test
+
+// Seeded chaos campaigns over the engine's fault-tolerance substrates.
+// Every trial derives its faults from one root seed, so any failure is
+// reproducible with a single command:
+//
+//	CHAOS_SEED=<seed> CHAOS_TRIALS=1 go test ./internal/chaos/ -run <TestName>
+//
+// CHAOS_TRIALS overrides the campaign length (the -race check.sh stage
+// runs a reduced campaign this way).
+
+import (
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"telegraphcq/internal/chaos"
+	"telegraphcq/internal/fjord"
+	"telegraphcq/internal/flux"
+	"telegraphcq/internal/ingress"
+	"telegraphcq/internal/tuple"
+)
+
+// campaignTrials returns the trial count: CHAOS_TRIALS env, else def.
+func campaignTrials(t *testing.T, def int) int {
+	t.Helper()
+	if v := os.Getenv("CHAOS_TRIALS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("bad CHAOS_TRIALS=%q", v)
+		}
+		return n
+	}
+	return def
+}
+
+// campaignSeed returns the root seed: CHAOS_SEED env, else def. Trial i of
+// a campaign uses seed base+i, so a failure report names the exact seed to
+// replay.
+func campaignSeed(t *testing.T, def int64) int64 {
+	t.Helper()
+	if v := os.Getenv("CHAOS_SEED"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			t.Fatalf("bad CHAOS_SEED=%q", v)
+		}
+		return n
+	}
+	return def
+}
+
+// runFluxTrial runs one seeded failover trial: a replicated 4-node cluster
+// with injected crashes and stalls, audited for exactly-once application.
+// It returns whether any node crashed.
+func runFluxTrial(t *testing.T, seed int64) bool {
+	t.Helper()
+	inj := chaos.New(chaos.Config{
+		Seed:     seed,
+		Crash:    0.002,
+		Stall:    0.01,
+		MaxDelay: 50 * time.Microsecond,
+	}, nil)
+	led := flux.NewLedger()
+	f := flux.New(flux.Config{
+		Nodes:     4,
+		Buckets:   32,
+		KeyCol:    0,
+		Replicate: true,
+		Chaos:     inj,
+		Ledger:    led,
+	}, flux.NewGroupCount(0, 1))
+	const tuples = 400
+	for i := 0; i < tuples; i++ {
+		f.Route(tuple.New(tuple.Int(int64(i%37)), tuple.Int(1)))
+	}
+	if !f.WaitIdle(10 * time.Second) {
+		t.Fatalf("seed %d: cluster failed to quiesce under injection\ntrace:\n%s",
+			seed, inj.TraceString())
+	}
+	f.Close()
+
+	st := f.Stats()
+	crashed := false
+	for _, n := range f.Nodes() {
+		if !n.Alive() {
+			crashed = true
+		}
+	}
+	if int64(tuples) != led.Stamped() {
+		t.Fatalf("seed %d: ledger stamped %d of %d routed", seed, led.Stamped(), tuples)
+	}
+	if st.LostBuckets > 0 {
+		// A crash hit a bucket whose standby had already been spent by an
+		// earlier failure: loss is the documented degraded mode, not an
+		// exactly-once violation. The audit only applies to clean failover.
+		return crashed
+	}
+	lost, dup := led.Audit(func(n int) bool { return f.Nodes()[n].Alive() })
+	if lost != 0 || dup != 0 {
+		t.Fatalf("seed %d: exactly-once violated: lost=%d dup=%d (failovers=%d)\ntrace:\n%s",
+			seed, lost, dup, st.Failovers, inj.TraceString())
+	}
+	return crashed
+}
+
+// TestChaosCampaignFluxFailover is the headline campaign: N seeded trials
+// crash replicated primaries mid-stream and assert that no stamped tuple
+// is lost or double-applied (§2.4's process-pair claim). A failing trial
+// reports its seed for one-command reproduction.
+func TestChaosCampaignFluxFailover(t *testing.T) {
+	trials := campaignTrials(t, 200)
+	base := campaignSeed(t, 3100)
+	crashes := 0
+	for i := 0; i < trials; i++ {
+		seed := base + int64(i)
+		if runFluxTrial(t, seed) {
+			crashes++
+		}
+		if t.Failed() {
+			t.Logf("repro: CHAOS_SEED=%d CHAOS_TRIALS=1 go test ./internal/chaos/ -run TestChaosCampaignFluxFailover", seed)
+			return
+		}
+	}
+	// The campaign must actually exercise failover, not just pass vacuously.
+	if trials >= 20 && crashes < trials/10 {
+		t.Errorf("only %d/%d trials crashed a node; campaign is not exercising failover", crashes, trials)
+	}
+}
+
+// TestChaosFluxExplicitMidStreamFailover deterministically kills a primary
+// halfway through the stream (no probabilistic faults) and audits the
+// ledger — the minimal reproduction of the campaign's invariant.
+func TestChaosFluxExplicitMidStreamFailover(t *testing.T) {
+	led := flux.NewLedger()
+	f := flux.New(flux.Config{
+		Nodes:     3,
+		Buckets:   12,
+		KeyCol:    0,
+		Replicate: true,
+		Ledger:    led,
+	}, flux.NewGroupCount(0, 1))
+	const tuples = 600
+	for i := 0; i < tuples; i++ {
+		if i == tuples/2 {
+			f.Fail(0)
+		}
+		f.Route(tuple.New(tuple.Int(int64(i%23)), tuple.Int(1)))
+	}
+	if !f.WaitIdle(10 * time.Second) {
+		t.Fatal("did not quiesce after explicit failover")
+	}
+	f.Close()
+	if st := f.Stats(); st.Failovers == 0 || st.LostBuckets != 0 {
+		t.Fatalf("stats = %+v, want failovers > 0 and no lost buckets", st)
+	}
+	lost, dup := led.Audit(func(n int) bool { return f.Nodes()[n].Alive() })
+	if lost != 0 || dup != 0 {
+		t.Fatalf("exactly-once violated across explicit failover: lost=%d dup=%d", lost, dup)
+	}
+}
+
+// TestChaosSeedReproduction drives the same seeded tuple-fault stream
+// through a Fjord connection twice and asserts identical traces — the
+// property that makes every campaign failure replayable — and that a
+// different seed perturbs differently.
+func TestChaosSeedReproduction(t *testing.T) {
+	run := func(seed int64) string {
+		inj := chaos.New(chaos.Config{
+			Seed: seed, Drop: 0.05, Delay: 0.05, Dup: 0.05, Reorder: 0.1,
+			MaxDelay: time.Microsecond,
+		}, nil)
+		c := fjord.NewConn(fjord.Push, 4096)
+		c.Chaos = inj.Site("fjord/repro")
+		for i := 0; i < 500; i++ {
+			c.Send(tuple.New(tuple.Int(int64(i))))
+		}
+		c.Close()
+		return inj.TraceString()
+	}
+	a, b := run(77), run(77)
+	if a != b {
+		t.Fatalf("same seed produced different traces:\n--- run 1:\n%s\n--- run 2:\n%s", a, b)
+	}
+	if a == "" {
+		t.Fatal("no faults recorded at 25% aggregate probability over 500 sends")
+	}
+	if c := run(78); c == a {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// TestChaosFjordExactlyOnceUnderReorderDelay pushes a stream through a
+// Pull (blocking, back-pressured) pipeline with content-preserving faults
+// only, asserting every tuple comes out exactly once and nothing
+// deadlocks despite the tiny queue capacities.
+func TestChaosFjordExactlyOnceUnderReorderDelay(t *testing.T) {
+	inj := chaos.New(chaos.Config{
+		Seed: 41, Delay: 0.05, Reorder: 0.15,
+		MaxDelay: 20 * time.Microsecond,
+	}, nil)
+	src := fjord.NewConn(fjord.Pull, 2)
+	src.Chaos = inj.Site("fjord/src")
+	ident := fjord.Transform(func(tp *tuple.Tuple) []*tuple.Tuple { return []*tuple.Tuple{tp} })
+	out := fjord.Pipeline(src, fjord.Pull, 2, ident, ident)
+
+	const total = 3000
+	go func() {
+		for i := 0; i < total; i++ {
+			src.Send(tuple.New(tuple.Int(int64(i))))
+		}
+		src.Close()
+	}()
+
+	seen := make(map[int64]int)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			tp, ok := out.Recv()
+			if !ok {
+				if out.Drained() {
+					return
+				}
+				runtime.Gosched()
+				continue
+			}
+			seen[tp.Vals[0].AsInt()]++
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("backpressure deadlock: pipeline did not drain (seed %d)\ntrace:\n%s",
+			inj.Seed(), inj.TraceString())
+	}
+	if len(seen) != total {
+		t.Fatalf("distinct tuples out = %d, want %d", len(seen), total)
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Fatalf("tuple %d delivered %d times under reorder+delay (seed %d)", k, n, inj.Seed())
+		}
+	}
+}
+
+// TestChaosFjordDropDupAccounting injects lossy faults on a push boundary
+// and reconciles the consumer's count against the injector's own trace:
+// delivered == sent - drops + dups.
+func TestChaosFjordDropDupAccounting(t *testing.T) {
+	inj := chaos.New(chaos.Config{Seed: 99, Drop: 0.08, Dup: 0.08}, nil)
+	c := fjord.NewConn(fjord.Push, 1<<14)
+	c.Chaos = inj.Site("fjord/lossy")
+	const total = 2000
+	for i := 0; i < total; i++ {
+		if !c.Send(tuple.New(tuple.Int(int64(i)))) {
+			t.Fatalf("send %d reported failure on an unbounded-enough queue", i)
+		}
+	}
+	c.Close()
+	var delivered int
+	for {
+		_, ok := c.Recv()
+		if !ok {
+			break
+		}
+		delivered++
+	}
+	var drops, dups int
+	for _, ev := range inj.Trace() {
+		switch ev.Fault {
+		case chaos.Drop:
+			drops++
+		case chaos.Dup:
+			dups++
+		}
+	}
+	if drops == 0 || dups == 0 {
+		t.Fatalf("trace recorded drops=%d dups=%d; faults not exercised", drops, dups)
+	}
+	if want := total - drops + dups; delivered != want {
+		t.Fatalf("delivered = %d, want %d (= %d sent - %d drops + %d dups)",
+			delivered, want, total, drops, dups)
+	}
+}
+
+// TestChaosIngressSheddingAccounting produces a burst far larger than the
+// push connection and checks the §4.3 shedding contract: every produced
+// tuple is either delivered or counted as shed, and the producer is never
+// blocked.
+func TestChaosIngressSheddingAccounting(t *testing.T) {
+	const produce, qcap = 2000, 64
+	i := 0
+	src := ingress.NewFuncSource(func() (*tuple.Tuple, error) {
+		if i >= produce {
+			return nil, io.EOF
+		}
+		i++
+		return tuple.New(tuple.Int(int64(i))), nil
+	}, 0)
+	out := fjord.NewConn(fjord.Push, qcap)
+	st := ingress.NewStreamer(src, out, -1, nil)
+	// No consumer while producing: the connection fills and stays full, so
+	// shedding is deterministic — exactly cap delivered, the rest shed.
+	st.Start()
+	if err := st.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Delivered() != qcap {
+		t.Errorf("delivered = %d, want %d (queue capacity)", st.Delivered(), qcap)
+	}
+	if st.Delivered()+st.Drops() != produce {
+		t.Fatalf("delivered %d + shed %d != produced %d", st.Delivered(), st.Drops(), produce)
+	}
+	var drained int64
+	for {
+		_, ok := out.Recv()
+		if !ok {
+			break
+		}
+		drained++
+	}
+	if drained != st.Delivered() {
+		t.Fatalf("drained %d tuples, delivered counter says %d", drained, st.Delivered())
+	}
+}
+
+// TestChaosIngressBurstSource runs a simulated-latency source on an
+// auto-advancing virtual clock with injected arrival bursts: burst fetches
+// skip the latency sleep, so the virtual time consumed must fall short of
+// the no-burst baseline by exactly the burst-suppressed sleeps.
+func TestChaosIngressBurstSource(t *testing.T) {
+	clk := chaos.NewVirtual(time.Unix(0, 0))
+	clk.SetAutoAdvance(true)
+	inj := chaos.New(chaos.Config{Seed: 5, Burst: 0.05, MaxBurst: 8}, clk)
+	const produce = 500
+	latency := time.Millisecond
+	i := 0
+	src := ingress.NewFuncSourceChaos(func() (*tuple.Tuple, error) {
+		if i >= produce {
+			return nil, io.EOF
+		}
+		i++
+		return tuple.New(tuple.Int(int64(i))), nil
+	}, latency, clk, inj.Site("ingress/burst"))
+	out := fjord.NewConn(fjord.Push, produce+1)
+	st := ingress.NewStreamer(src, out, -1, nil)
+	start := clk.Now()
+	st.Start()
+	if err := st.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := clk.Since(start)
+	var bursts int
+	for _, ev := range inj.Trace() {
+		if ev.Fault == chaos.Burst {
+			bursts++
+		}
+	}
+	if bursts == 0 {
+		t.Fatal("no bursts fired at 5% over 500 fetches")
+	}
+	baseline := time.Duration(produce+1) * latency // +1: the EOF fetch sleeps too
+	if elapsed >= baseline {
+		t.Fatalf("virtual elapsed %v not reduced below baseline %v despite %d bursts",
+			elapsed, baseline, bursts)
+	}
+	if st.Delivered() != produce {
+		t.Fatalf("delivered = %d, want %d", st.Delivered(), produce)
+	}
+}
+
+// TestChaosFluxStallsDoNotLose exercises the slow-consumer knob end to
+// end in Flux: injected stalls on a virtual auto-advancing clock must be
+// counted and must not change the processed totals.
+func TestChaosFluxStallsDoNotLose(t *testing.T) {
+	clk := chaos.NewVirtual(time.Unix(0, 0))
+	clk.SetAutoAdvance(true)
+	inj := chaos.New(chaos.Config{Seed: 12, Stall: 0.2, MaxDelay: time.Millisecond}, clk)
+	led := flux.NewLedger()
+	f := flux.New(flux.Config{
+		Nodes: 2, Buckets: 8, KeyCol: 0,
+		Clock: clk, Chaos: inj, Ledger: led,
+	}, flux.NewGroupCount(0, 1))
+	const tuples = 500
+	for i := 0; i < tuples; i++ {
+		f.Route(tuple.New(tuple.Int(int64(i%11)), tuple.Int(1)))
+	}
+	if !f.WaitIdle(time.Hour) { // virtual time: auto-advance makes this cheap
+		t.Fatal("did not quiesce")
+	}
+	f.Close()
+	var stalls int64
+	for _, n := range f.Nodes() {
+		stalls += n.Stalls()
+	}
+	if stalls == 0 {
+		t.Fatal("no stalls fired at 20% probability")
+	}
+	lost, dup := led.Audit(func(int) bool { return true })
+	if lost != 0 || dup != 0 {
+		t.Fatalf("stalls changed delivery: lost=%d dup=%d", lost, dup)
+	}
+}

@@ -1,0 +1,240 @@
+// Package chaos provides the deterministic fault-injection substrate the
+// engine's "uncertain world" machinery is tested with: an injectable Clock
+// (real and virtual implementations) and a seeded Injector that perturbs
+// hot paths — tuple drop/delay/duplicate/reorder at Fjord queue
+// boundaries, node crashes and slow-consumer stalls in Flux, queue-full
+// bursts in ingress, and connection resets in the server proxy. Every
+// decision an Injector makes is drawn from a per-site RNG stream derived
+// from one seed, so a whole chaos run is reproducible: a failing trial
+// prints its seed and rerunning with that seed replays the identical
+// event trace.
+package chaos
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts the time operations the engine's hot paths need, so
+// tests can substitute a virtual clock and make timing deterministic.
+// Production code in internal/flux, internal/fjord and internal/ingress
+// must reach time only through a Clock (the grep-clean invariant checked
+// by TestNoDirectTimeInProductionCode).
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Since returns the elapsed time since t.
+	Since(t time.Time) time.Duration
+	// Sleep pauses the calling goroutine for d.
+	Sleep(d time.Duration)
+	// After returns a channel that delivers the then-current time once d
+	// has elapsed.
+	After(d time.Duration) <-chan time.Time
+	// AfterFunc runs f in its own goroutine once d has elapsed.
+	AfterFunc(d time.Duration, f func()) Timer
+}
+
+// Timer is the stoppable handle returned by AfterFunc.
+type Timer interface {
+	// Stop prevents the timer from firing, reporting whether it did.
+	Stop() bool
+}
+
+// realClock implements Clock with the time package. This is the one place
+// in the repo allowed to call time.Now/time.Sleep/time.After on behalf of
+// flux, fjord and ingress production code.
+type realClock struct{}
+
+// Real returns the wall-clock implementation of Clock.
+func Real() Clock { return realClock{} }
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) Since(t time.Time) time.Duration        { return time.Since(t) }
+func (realClock) Sleep(d time.Duration)                  { time.Sleep(d) }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+func (realClock) AfterFunc(d time.Duration, f func()) Timer {
+	return realTimer{time.AfterFunc(d, f)}
+}
+
+type realTimer struct{ t *time.Timer }
+
+func (r realTimer) Stop() bool { return r.t.Stop() }
+
+// VirtualClock is a deterministic simulated clock: time advances only via
+// Advance (or, in auto-advance mode, when a goroutine sleeps). Timers fire
+// in deadline order as the clock passes them, so a run's timing behaviour
+// is a pure function of the sequence of Advance calls — no wall-clock
+// dependence and no timing flakiness.
+type VirtualClock struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	now    time.Time
+	timers []*vtimer
+	auto   bool
+	seq    uint64 // tie-break so equal deadlines fire in creation order
+}
+
+type vtimer struct {
+	deadline time.Time
+	seq      uint64
+	ch       chan time.Time // nil for func timers
+	fn       func()
+	stopped  bool
+}
+
+// NewVirtual returns a virtual clock starting at start. The zero time is a
+// fine start for tests that only care about durations.
+func NewVirtual(start time.Time) *VirtualClock {
+	v := &VirtualClock{now: start}
+	v.cond = sync.NewCond(&v.mu)
+	return v
+}
+
+// SetAutoAdvance controls auto-advance mode: when on, a goroutine calling
+// Sleep advances the clock to its own deadline instead of blocking until
+// an external Advance. Polling loops (WaitIdle-style) then terminate
+// promptly and deterministically without any goroutine driving the clock.
+func (v *VirtualClock) SetAutoAdvance(on bool) {
+	v.mu.Lock()
+	v.auto = on
+	v.mu.Unlock()
+}
+
+// Now implements Clock.
+func (v *VirtualClock) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Since implements Clock.
+func (v *VirtualClock) Since(t time.Time) time.Duration { return v.Now().Sub(t) }
+
+// Advance moves the clock forward by d, firing every timer whose deadline
+// is passed, in deadline order.
+func (v *VirtualClock) Advance(d time.Duration) {
+	v.mu.Lock()
+	v.advanceToLocked(v.now.Add(d))
+	v.mu.Unlock()
+}
+
+// advanceToLocked moves time to target, firing due timers in (deadline,
+// creation) order. Fired func timers run without the lock held.
+func (v *VirtualClock) advanceToLocked(target time.Time) {
+	if target.Before(v.now) {
+		return
+	}
+	for {
+		var next *vtimer
+		idx := -1
+		for i, t := range v.timers {
+			if t.stopped || t.deadline.After(target) {
+				continue
+			}
+			if next == nil || t.deadline.Before(next.deadline) ||
+				(t.deadline.Equal(next.deadline) && t.seq < next.seq) {
+				next, idx = t, i
+			}
+		}
+		if next == nil {
+			break
+		}
+		v.timers = append(v.timers[:idx], v.timers[idx+1:]...)
+		if v.now.Before(next.deadline) {
+			v.now = next.deadline
+		}
+		if next.ch != nil {
+			next.ch <- v.now
+		}
+		if next.fn != nil {
+			fn := next.fn
+			v.mu.Unlock()
+			fn()
+			v.mu.Lock()
+		}
+	}
+	v.now = target
+	v.cond.Broadcast()
+}
+
+// Sleep implements Clock. In auto-advance mode the sleeper drives the
+// clock to its own deadline; otherwise it blocks until Advance passes it.
+func (v *VirtualClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	v.mu.Lock()
+	deadline := v.now.Add(d)
+	if v.auto {
+		v.advanceToLocked(deadline)
+		v.mu.Unlock()
+		return
+	}
+	for v.now.Before(deadline) {
+		v.cond.Wait()
+	}
+	v.mu.Unlock()
+}
+
+// After implements Clock. The channel fires when Advance passes the
+// deadline (buffered so the advancer never blocks).
+func (v *VirtualClock) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	v.mu.Lock()
+	v.seq++
+	v.timers = append(v.timers, &vtimer{deadline: v.now.Add(d), seq: v.seq, ch: ch})
+	v.mu.Unlock()
+	return ch
+}
+
+// AfterFunc implements Clock.
+func (v *VirtualClock) AfterFunc(d time.Duration, f func()) Timer {
+	v.mu.Lock()
+	v.seq++
+	t := &vtimer{deadline: v.now.Add(d), seq: v.seq, fn: f}
+	v.timers = append(v.timers, t)
+	v.mu.Unlock()
+	return &virtualTimer{clk: v, t: t}
+}
+
+type virtualTimer struct {
+	clk *VirtualClock
+	t   *vtimer
+}
+
+// Stop implements Timer.
+func (vt *virtualTimer) Stop() bool {
+	vt.clk.mu.Lock()
+	defer vt.clk.mu.Unlock()
+	if vt.t.stopped {
+		return false
+	}
+	vt.t.stopped = true
+	for i, t := range vt.clk.timers {
+		if t == vt.t {
+			vt.clk.timers = append(vt.clk.timers[:i], vt.clk.timers[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Poll re-evaluates cond every interval until it returns true or timeout
+// elapses, reporting whether the condition held. It is the repo's
+// replacement for ad-hoc sleep-based test waits: the wait is bounded,
+// condition-driven, and clock-injectable.
+func Poll(clk Clock, timeout, interval time.Duration, cond func() bool) bool {
+	if clk == nil {
+		clk = Real()
+	}
+	deadline := clk.Now().Add(timeout)
+	for {
+		if cond() {
+			return true
+		}
+		if !clk.Now().Before(deadline) {
+			return false
+		}
+		clk.Sleep(interval)
+	}
+}

@@ -1,0 +1,202 @@
+package chaos_test
+
+// Opt-in soak: the full pipeline — ingress stamping, eddy routing with
+// SteM joins, windowed sequence-of-sets evaluation, pull egress — driven
+// by a seeded chaos-perturbed arrival order, 10k tuples. The golden
+// filter/join answers are computed by reference implementations over the
+// recorded arrival order; the windowed query is checked by running two
+// independent engines over the same arrival order and demanding identical
+// output (watermark firing is data-driven, so any nondeterminism in the
+// engine shows up as a diff). Skipped under -short.
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"telegraphcq/internal/chaos"
+	"telegraphcq/internal/core"
+	"telegraphcq/internal/tuple"
+	"telegraphcq/internal/workload"
+)
+
+const (
+	soakDays    = 5000 // 2 rows/day => 10k tuples
+	soakCutoff  = 4800.0
+	soakWinFrom = 100
+	soakWinTo   = 400
+	soakWinLen  = 50
+)
+
+// soakArrival builds the deterministic chaos-perturbed arrival order:
+// MSFT (price=day) and IBM (price=day+100) rows pushed through a seeded
+// reorder/delay site. Content-preserving faults only, so the tuple
+// multiset is exact and only the order is perturbed.
+func soakArrival(t *testing.T, seed int64) []*tuple.Tuple {
+	t.Helper()
+	inj := chaos.New(chaos.Config{
+		Seed: seed, Delay: 0.01, Reorder: 0.25,
+		MaxDelay: time.Microsecond,
+	}, nil)
+	site := inj.Site("soak/ingress")
+	var arrival []*tuple.Tuple
+	record := func(tp *tuple.Tuple) bool {
+		arrival = append(arrival, tp)
+		return true
+	}
+	for d := int64(1); d <= soakDays; d++ {
+		site.PerturbSend(tuple.New(
+			tuple.Time(d), tuple.String_("MSFT"), tuple.Float(float64(d))), record)
+		site.PerturbSend(tuple.New(
+			tuple.Time(d), tuple.String_("IBM"), tuple.Float(float64(d+100))), record)
+	}
+	site.Flush(record)
+	if len(arrival) != 2*soakDays {
+		t.Fatalf("perturbed arrival = %d tuples, want %d (reorder/delay must preserve content)",
+			len(arrival), 2*soakDays)
+	}
+	reordered := false
+	for i, tp := range arrival {
+		if tp.Vals[0].AsInt() != int64(i/2)+1 {
+			reordered = true
+			break
+		}
+	}
+	if !reordered {
+		t.Fatal("chaos site produced the unperturbed order; soak is not exercising reorder")
+	}
+	return arrival
+}
+
+// soakRun feeds the arrival order into a fresh engine running the three
+// query shapes and returns each query's results rendered as sorted lines.
+func soakRun(t *testing.T, arrival []*tuple.Tuple) (filter, join, windowed []string) {
+	t.Helper()
+	e := core.NewEngine(core.Options{EOs: 2})
+	defer e.Stop()
+	if err := e.CreateStream("ClosingStockPrices", workload.StockSchema(), 0); err != nil {
+		t.Fatal(err)
+	}
+	watchSchema := tuple.NewSchema("Watch",
+		tuple.Column{Name: "ts", Kind: tuple.KindTime},
+		tuple.Column{Name: "sym", Kind: tuple.KindString},
+		tuple.Column{Name: "note", Kind: tuple.KindString})
+	if err := e.CreateStream("Watch", watchSchema, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	qFilter, err := e.Register(fmt.Sprintf(
+		`SELECT timestamp, closingPrice FROM ClosingStockPrices
+		 WHERE stockSymbol = 'MSFT' AND closingPrice > %f`, soakCutoff))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qJoin, err := e.Register(
+		`SELECT ClosingStockPrices.timestamp, Watch.note
+		 FROM ClosingStockPrices, Watch
+		 WHERE ClosingStockPrices.stockSymbol = Watch.sym
+		 AND ClosingStockPrices.closingPrice > 4900`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qWin, err := e.Register(fmt.Sprintf(
+		`SELECT AVG(closingPrice) FROM ClosingStockPrices
+		 WHERE stockSymbol = 'IBM'
+		 for (t = %d; t <= %d; t++) { WindowIs(ClosingStockPrices, t - %d, t); }`,
+		soakWinFrom, soakWinTo, soakWinLen-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := e.Feed("Watch", tuple.New(
+		tuple.Time(0), tuple.String_("IBM"), tuple.String_("blue"))); err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range arrival {
+		if err := e.Feed("ClosingStockPrices", tuple.New(tp.Vals...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	qWin.Wait()
+	// The unwindowed queries have no completion signal; poll their result
+	// counters to the known reference totals on the real clock.
+	wantFilter := soakDays - int(soakCutoff)           // MSFT days cutoff+1..soakDays
+	wantJoin := soakDays - 4800                        // IBM days with price day+100 > 4900
+	if !chaos.Poll(nil, 30*time.Second, time.Millisecond, func() bool {
+		return qFilter.Results() >= int64(wantFilter) && qJoin.Results() >= int64(wantJoin)
+	}) {
+		t.Fatalf("soak queries did not converge: filter=%d/%d join=%d/%d",
+			qFilter.Results(), wantFilter, qJoin.Results(), wantJoin)
+	}
+
+	fetch := func(q *core.RunningQuery) []string {
+		res, err := q.Fetch(q.Cursor())
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := make([]string, 0, len(res))
+		for _, r := range res {
+			lines = append(lines, fmt.Sprintf("%v", r.Vals))
+		}
+		sort.Strings(lines)
+		return lines
+	}
+	return fetch(qFilter), fetch(qJoin), fetch(qWin)
+}
+
+func TestChaosSoakFullPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak: skipped with -short")
+	}
+	seed := campaignSeed(t, 9001)
+	arrival := soakArrival(t, seed)
+
+	filter, join, windowed := soakRun(t, arrival)
+
+	// Golden reference for the eddy queries, computed from the recorded
+	// arrival order (content-based, order-independent result sets).
+	var wantFilter, wantJoin []string
+	for _, tp := range arrival {
+		sym := tp.Vals[1].AsString()
+		price := tp.Vals[2].AsFloat()
+		if sym == "MSFT" && price > soakCutoff {
+			wantFilter = append(wantFilter,
+				fmt.Sprintf("%v", []tuple.Value{tp.Vals[0], tp.Vals[2]}))
+		}
+		if sym == "IBM" && price > 4900 {
+			wantJoin = append(wantJoin,
+				fmt.Sprintf("%v", []tuple.Value{tp.Vals[0], tuple.String_("blue")}))
+		}
+	}
+	sort.Strings(wantFilter)
+	sort.Strings(wantJoin)
+	diffLines(t, "filter", filter, wantFilter)
+	diffLines(t, "join", join, wantJoin)
+	if want := soakWinTo - soakWinFrom + 1; len(windowed) != want {
+		t.Errorf("windowed instances = %d, want %d", len(windowed), want)
+	}
+
+	// Determinism golden: a second engine over the same arrival order must
+	// produce byte-identical results for all three query shapes, including
+	// the watermark-fired windowed sets.
+	filter2, join2, windowed2 := soakRun(t, arrival)
+	diffLines(t, "filter determinism", filter2, filter)
+	diffLines(t, "join determinism", join2, join)
+	diffLines(t, "windowed determinism", windowed2, windowed)
+}
+
+func diffLines(t *testing.T, what string, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Errorf("%s: %d rows, want %d", what, len(got), len(want))
+		return
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("%s: row %d = %q, want %q", what, i, got[i], want[i])
+			return
+		}
+	}
+}

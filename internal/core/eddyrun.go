@@ -96,6 +96,7 @@ func newEddyRuntime(q *RunningQuery) (runtime, error) {
 	}
 
 	rt.ed = eddy.New(plan.Footprint, eddy.NewLotteryPolicy(int64(q.ID)+1), rt.output, modules...)
+	rt.ed.SetClock(q.engine.opts.Clock)
 	if q.engine.tracer != nil {
 		rt.ed.SetTracer(q.engine.tracer, fmt.Sprintf("q%d", q.ID))
 	}

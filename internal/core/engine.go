@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"telegraphcq/internal/catalog"
+	"telegraphcq/internal/chaos"
 	"telegraphcq/internal/executor"
 	"telegraphcq/internal/fjord"
 	"telegraphcq/internal/ingress"
@@ -54,11 +55,18 @@ type Options struct {
 	TraceSampleRate float64
 	// TraceKeep bounds retained traces per query (default 32).
 	TraceKeep int
+	// Clock supplies engine-internal timing (trace hop latency, window
+	// fire latency). nil defaults to the real clock; tests inject a
+	// virtual clock for deterministic runs.
+	Clock chaos.Clock
 }
 
 func (o *Options) defaults() {
 	if o.EOs < 1 {
 		o.EOs = 2
+	}
+	if o.Clock == nil {
+		o.Clock = chaos.Real()
 	}
 	if o.SegmentSize < 1 {
 		o.SegmentSize = 1024
@@ -369,4 +377,15 @@ func (e *Engine) Register(text string) (*RunningQuery, error) {
 		return nil, err
 	}
 	return e.RegisterPlan(plan)
+}
+
+// Query returns the running query with the given id, if registered.
+// Queries are engine entities, not session state: any connection may
+// attach a cursor to one (the proxy relies on this to resume after a
+// reconnect).
+func (e *Engine) Query(id int) (*RunningQuery, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	q, ok := e.queries[id]
+	return q, ok
 }

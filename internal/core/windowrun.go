@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"time"
 
 	"telegraphcq/internal/expr"
 	"telegraphcq/internal/metrics"
@@ -331,8 +330,9 @@ func (rt *windowRuntime) rowsFor(pos int, inst window.Instance) ([]*tuple.Tuple,
 // tuples carry the instance's loop value in TS so clients can regroup the
 // output sequence of sets.
 func (rt *windowRuntime) fire(inst window.Instance) {
-	start := time.Now()
-	defer func() { rt.fireLat.Record(time.Since(start)) }()
+	clk := rt.q.engine.opts.Clock
+	start := clk.Now()
+	defer func() { rt.fireLat.Record(clk.Since(start)) }()
 	if rt.incAgg != nil && rt.winFor[0] >= 0 {
 		rt.fireLandmark(inst)
 		return

@@ -11,6 +11,7 @@ import (
 	"math/bits"
 	"time"
 
+	"telegraphcq/internal/chaos"
 	"telegraphcq/internal/metrics"
 	"telegraphcq/internal/tuple"
 )
@@ -95,6 +96,10 @@ type Eddy struct {
 	// module-visit path with per-hop latency under traceTag.
 	tracer   *metrics.Tracer
 	traceTag string
+
+	// clk times sampled hops; injectable so traced runs can execute on a
+	// virtual clock in deterministic tests.
+	clk chaos.Clock
 }
 
 // New creates an eddy over the given modules whose output tuples must span
@@ -113,6 +118,7 @@ func New(allSources tuple.SourceSet, policy Policy, out func(*tuple.Tuple), modu
 		all:      allSources,
 		appliesC: make(map[tuple.SourceSet]uint64),
 		buildsC:  make(map[tuple.SourceSet]uint64),
+		clk:      chaos.Real(),
 	}
 	e.stats.Modules = make([]ModuleStats, len(modules))
 	policy.Reset(len(modules))
@@ -132,6 +138,15 @@ func (e *Eddy) SetCompletionHook(fn func(*tuple.Tuple)) { e.complete = fn }
 func (e *Eddy) SetTracer(tr *metrics.Tracer, tag string) {
 	e.tracer = tr
 	e.traceTag = tag
+}
+
+// SetClock replaces the clock used for per-hop trace timing (nil restores
+// the real clock). Call before Ingest.
+func (e *Eddy) SetClock(clk chaos.Clock) {
+	if clk == nil {
+		clk = chaos.Real()
+	}
+	e.clk = clk
 }
 
 // InvalidateMasks discards the memoized applicability masks. Call after
@@ -240,11 +255,11 @@ func (e *Eddy) step(t *tuple.Tuple) {
 	traced := e.tracer != nil && e.tracer.Live(t)
 	var hopStart time.Time
 	if traced {
-		hopStart = time.Now()
+		hopStart = e.clk.Now()
 	}
 	outputs, pass := mod.Process(t)
 	if traced {
-		e.tracer.Hop(t, mod.Name(), time.Since(hopStart), pass, len(outputs))
+		e.tracer.Hop(t, mod.Name(), e.clk.Since(hopStart), pass, len(outputs))
 		for _, o := range outputs {
 			e.tracer.Fork(t, o)
 		}

@@ -3,6 +3,7 @@ package fjord
 import (
 	"runtime"
 
+	"telegraphcq/internal/chaos"
 	"telegraphcq/internal/tuple"
 )
 
@@ -11,6 +12,10 @@ import (
 type Conn struct {
 	Q *Queue
 	M Modality
+	// Chaos, when set, perturbs the producer side of the queue boundary
+	// with seeded drop/delay/duplicate/reorder faults. Close flushes any
+	// held (reordered) tuple so injection never loses one at end-of-stream.
+	Chaos *chaos.Site
 }
 
 // NewConn builds a connection with the given modality and capacity.
@@ -22,6 +27,14 @@ func NewConn(m Modality, capacity int) *Conn {
 // false when the tuple could not be delivered (push connection full, or
 // connection closed).
 func (c *Conn) Send(t *tuple.Tuple) bool {
+	if c.Chaos != nil {
+		return c.Chaos.PerturbSend(t, c.enqueue)
+	}
+	return c.enqueue(t)
+}
+
+// enqueue is the unperturbed modality dispatch.
+func (c *Conn) enqueue(t *tuple.Tuple) bool {
 	switch c.M {
 	case Push, Exchange:
 		return c.Q.Push(t)
@@ -42,8 +55,14 @@ func (c *Conn) Recv() (*tuple.Tuple, bool) {
 	}
 }
 
-// Close marks end-of-stream on the connection.
-func (c *Conn) Close() { c.Q.Close() }
+// Close marks end-of-stream on the connection, first flushing any tuple
+// the chaos site still holds in its reorder slot.
+func (c *Conn) Close() {
+	if c.Chaos != nil {
+		c.Chaos.Flush(c.enqueue)
+	}
+	c.Q.Close()
+}
 
 // Drained reports whether no further tuples will ever arrive.
 func (c *Conn) Drained() bool { return c.Q.Drained() }

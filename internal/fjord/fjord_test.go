@@ -1,6 +1,7 @@
 package fjord
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -49,7 +50,9 @@ func TestQueueWraparound(t *testing.T) {
 func TestQueueBlockingHandoff(t *testing.T) {
 	q := NewQueue(1)
 	done := make(chan int64)
+	ready := make(chan struct{})
 	go func() {
+		close(ready)
 		v, ok := q.PopWait()
 		if !ok {
 			done <- -1
@@ -57,7 +60,10 @@ func TestQueueBlockingHandoff(t *testing.T) {
 		}
 		done <- v.Vals[0].AsInt()
 	}()
-	time.Sleep(5 * time.Millisecond)
+	// Bias toward the consumer blocking first without wall-clock sleeps;
+	// the handoff is correct in either interleaving.
+	<-ready
+	runtime.Gosched()
 	q.PushWait(tuple.New(tuple.Int(42)))
 	if got := <-done; got != 42 {
 		t.Errorf("handoff got %d", got)
@@ -67,16 +73,23 @@ func TestQueueBlockingHandoff(t *testing.T) {
 func TestQueueCloseWakesConsumers(t *testing.T) {
 	q := NewQueue(1)
 	var wg sync.WaitGroup
+	ready := make(chan struct{}, 3)
 	for i := 0; i < 3; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			ready <- struct{}{}
 			if _, ok := q.PopWait(); ok {
 				t.Error("PopWait returned a tuple from an empty closed queue")
 			}
 		}()
 	}
-	time.Sleep(5 * time.Millisecond)
+	// PopWait on a closed empty queue returns immediately, so Close is
+	// correct whether or not the consumers have blocked yet.
+	for i := 0; i < 3; i++ {
+		<-ready
+	}
+	runtime.Gosched()
 	q.Close()
 	wg.Wait()
 	if !q.Drained() {

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"telegraphcq/internal/chaos"
 	"telegraphcq/internal/tuple"
 )
 
@@ -21,6 +22,7 @@ const (
 type message struct {
 	kind   msgKind
 	bucket int
+	seq    int64 // ledger stamp (0 when no ledger is installed)
 	t      *tuple.Tuple
 	state  []*tuple.Tuple
 	reply  chan []*tuple.Tuple // msgExtract
@@ -29,7 +31,7 @@ type message struct {
 
 // Node is one simulated shared-nothing machine: a goroutine draining an
 // inbox into a Consumer instance. Delay models heterogeneous or saturated
-// capacity (a busy-wait per data message).
+// capacity.
 type Node struct {
 	ID    int
 	cons  Consumer
@@ -37,12 +39,17 @@ type Node struct {
 	// Delay is artificial per-data-message processing cost.
 	Delay time.Duration
 
+	clk     chaos.Clock
+	site    *chaos.Site  // nil without injection
+	onCrash func(id int) // controller failover hook (nil without injection)
+	ledger  *Ledger
+
 	alive     atomic.Bool
 	processed atomic.Int64
 	dropped   atomic.Int64
+	stalls    atomic.Int64
 	done      chan struct{}
 	out       func(*tuple.Tuple)
-	pending   atomic.Int64 // cluster-wide outstanding counter, shared
 }
 
 func newNode(id int, cons Consumer, inboxCap int, out func(*tuple.Tuple), outstanding *atomic.Int64) *Node {
@@ -52,6 +59,7 @@ func newNode(id int, cons Consumer, inboxCap int, out func(*tuple.Tuple), outsta
 		inbox: make(chan message, inboxCap),
 		done:  make(chan struct{}),
 		out:   out,
+		clk:   chaos.Real(),
 	}
 	n.alive.Store(true)
 	go n.run(outstanding)
@@ -60,6 +68,9 @@ func newNode(id int, cons Consumer, inboxCap int, out func(*tuple.Tuple), outsta
 
 func (n *Node) run(outstanding *atomic.Int64) {
 	defer close(n.done)
+	// The first receive waits for the controller to finish wiring the
+	// node (clock, chaos site, ledger) before any message is handled:
+	// Flux.New assigns those fields before the first Route can send.
 	for msg := range n.inbox {
 		n.handle(msg)
 		outstanding.Add(-1)
@@ -71,6 +82,9 @@ func (n *Node) handle(msg message) {
 		// A failed machine: everything in its inbox is lost. Replies
 		// still unblock callers so the controller never deadlocks.
 		n.dropped.Add(1)
+		if msg.seq != 0 && n.ledger != nil {
+			n.ledger.droppedDead(msg.seq, n.ID)
+		}
 		switch msg.kind {
 		case msgExtract:
 			msg.reply <- nil
@@ -81,10 +95,31 @@ func (n *Node) handle(msg message) {
 	}
 	switch msg.kind {
 	case msgData:
+		// Injected perturbations fire before the apply, so a crash loses
+		// this tuple on the primary exactly like a real mid-processing
+		// failure would (its replica, if any, still lands elsewhere).
+		switch n.site.Next() {
+		case chaos.Crash:
+			n.alive.Store(false)
+			n.dropped.Add(1)
+			if msg.seq != 0 && n.ledger != nil {
+				n.ledger.droppedDead(msg.seq, n.ID)
+			}
+			if n.onCrash != nil {
+				n.onCrash(n.ID)
+			}
+			return
+		case chaos.Stall:
+			n.stalls.Add(1)
+			n.clk.Sleep(n.site.DelayFor())
+		}
 		if n.Delay > 0 {
-			spinWait(n.Delay)
+			n.clk.Sleep(n.Delay)
 		}
 		outs := n.cons.Apply(msg.bucket, msg.t)
+		if msg.seq != 0 && n.ledger != nil {
+			n.ledger.applied(msg.seq, n.ID)
+		}
 		if n.out != nil {
 			for _, o := range outs {
 				n.out(o)
@@ -98,6 +133,9 @@ func (n *Node) handle(msg message) {
 			ra.ApplyReplica(msg.bucket, msg.t)
 		} else {
 			n.cons.Apply(msg.bucket, msg.t)
+		}
+		if msg.seq != 0 && n.ledger != nil {
+			n.ledger.applied(msg.seq, n.ID)
 		}
 		n.processed.Add(1)
 	case msgExtract:
@@ -114,16 +152,12 @@ func (n *Node) Processed() int64 { return n.processed.Load() }
 // Dropped returns the number of messages lost to failure.
 func (n *Node) Dropped() int64 { return n.dropped.Load() }
 
+// Stalls returns the number of injected slow-consumer pauses taken.
+func (n *Node) Stalls() int64 { return n.stalls.Load() }
+
 // Alive reports whether the node is up.
 func (n *Node) Alive() bool { return n.alive.Load() }
 
 // Consumer exposes the node's operator instance (read it only when the
 // cluster is idle).
 func (n *Node) Consumer() Consumer { return n.cons }
-
-// spinWait busy-waits to model CPU cost without descheduling noise.
-func spinWait(d time.Duration) {
-	end := time.Now().Add(d)
-	for time.Now().Before(end) {
-	}
-}

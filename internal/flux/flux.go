@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"telegraphcq/internal/chaos"
 	"telegraphcq/internal/metrics"
 	"telegraphcq/internal/tuple"
 )
@@ -27,6 +28,17 @@ type Config struct {
 	// Output receives consumer outputs (may be nil). It must be
 	// goroutine-safe: nodes call it concurrently.
 	Output func(*tuple.Tuple)
+	// Clock supplies all timing (WaitIdle polling, simulated node delay,
+	// injected stalls). Nil defaults to the real clock; chaos tests pass
+	// a virtual clock for determinism.
+	Clock chaos.Clock
+	// Chaos, when set, perturbs each node's hot path with seeded faults:
+	// Crash kills the node mid-stream (the controller fails it over) and
+	// Stall pauses it like a slow consumer. Site names are "flux/node<i>".
+	Chaos *chaos.Injector
+	// Ledger, when set, stamps every routed tuple and records each
+	// application so chaos runs can audit exactly-once delivery.
+	Ledger *Ledger
 }
 
 // Flux is the partitioning exchange plus its controller.
@@ -58,6 +70,9 @@ func New(cfg Config, factory ConsumerFactory) *Flux {
 	if cfg.InboxCap < 1 {
 		cfg.InboxCap = 1024
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = chaos.Real()
+	}
 	f := &Flux{
 		cfg:        cfg,
 		primary:    make([]int, cfg.Buckets),
@@ -66,7 +81,14 @@ func New(cfg Config, factory ConsumerFactory) *Flux {
 		bucketLoad: make([]int64, cfg.Buckets),
 	}
 	for i := 0; i < cfg.Nodes; i++ {
-		f.nodes = append(f.nodes, newNode(i, factory(), cfg.InboxCap, cfg.Output, &f.outstanding))
+		n := newNode(i, factory(), cfg.InboxCap, cfg.Output, &f.outstanding)
+		n.clk = cfg.Clock
+		n.ledger = cfg.Ledger
+		if cfg.Chaos != nil {
+			n.site = cfg.Chaos.Site(fmt.Sprintf("flux/node%d", i))
+			n.onCrash = f.Fail
+		}
+		f.nodes = append(f.nodes, n)
 	}
 	for b := 0; b < cfg.Buckets; b++ {
 		f.primary[b] = b % cfg.Nodes
@@ -100,6 +122,12 @@ func (f *Flux) Route(t *tuple.Tuple) {
 	b := f.Bucket(t)
 	f.routed.Add(1)
 	atomic.AddInt64(&f.bucketLoad[b], 1)
+	var seq int64
+	if f.cfg.Ledger != nil {
+		// The primary and its replica share one stamp: either
+		// application keeps the tuple alive in the ledger's audit.
+		seq = f.cfg.Ledger.stamp()
+	}
 
 	for {
 		f.mu.RLock()
@@ -109,9 +137,9 @@ func (f *Flux) Route(t *tuple.Tuple) {
 			// enqueues is guaranteed to follow every already-sent data
 			// message in the old owner's FIFO inbox.
 			p, s := f.primary[b], f.standby[b]
-			f.send(p, message{kind: msgData, bucket: b, t: t})
+			f.send(p, message{kind: msgData, bucket: b, seq: seq, t: t})
 			if s >= 0 {
-				f.send(s, message{kind: msgReplica, bucket: b, t: t})
+				f.send(s, message{kind: msgReplica, bucket: b, seq: seq, t: t})
 			}
 			f.mu.RUnlock()
 			return
@@ -120,11 +148,11 @@ func (f *Flux) Route(t *tuple.Tuple) {
 
 		f.mu.Lock()
 		if _, still := f.held[b]; still {
-			f.held[b] = append(f.held[b], message{kind: msgData, bucket: b, t: t})
+			f.held[b] = append(f.held[b], message{kind: msgData, bucket: b, seq: seq, t: t})
 			s := f.standby[b]
 			f.mu.Unlock()
 			if s >= 0 {
-				f.send(s, message{kind: msgReplica, bucket: b, t: t})
+				f.send(s, message{kind: msgReplica, bucket: b, seq: seq, t: t})
 			}
 			return
 		}
@@ -310,15 +338,16 @@ func (f *Flux) aliveLocked() []int {
 // dropped by a dead node), or the timeout elapses. It returns whether the
 // cluster quiesced.
 func (f *Flux) WaitIdle(timeout time.Duration) bool {
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
+	clk := f.cfg.Clock
+	deadline := clk.Now().Add(timeout)
+	for clk.Now().Before(deadline) {
 		f.mu.RLock()
 		holding := len(f.held)
 		f.mu.RUnlock()
 		if f.outstanding.Load() == 0 && holding == 0 {
 			return true
 		}
-		time.Sleep(200 * time.Microsecond)
+		clk.Sleep(200 * time.Microsecond)
 	}
 	return false
 }

@@ -2,6 +2,7 @@ package flux
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -100,12 +101,14 @@ func TestConcurrentRoutingDuringMigration(t *testing.T) {
 			f.Route(mkKeyed(int64(i % 100)))
 		}
 	}()
-	// Fire migrations while the router is running.
+	// Fire migrations while the router is running. Each Migrate already
+	// round-trips through node inboxes, so the router makes progress
+	// between iterations without wall-clock sleeps.
 	for m := 0; m < 20; m++ {
 		b := m % 24
 		to := (m + 1) % 3
 		_ = f.Migrate(b, to) // "already migrating" errors are fine
-		time.Sleep(time.Millisecond)
+		runtime.Gosched()
 	}
 	wg.Wait()
 	if !f.WaitIdle(10 * time.Second) {

@@ -1,0 +1,109 @@
+package flux
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Ledger is the lost-tuple audit trail for chaos runs: when installed via
+// Config.Ledger, every routed data tuple is stamped with a ledger sequence
+// number, and every application (primary or replica) is recorded per node.
+// After a run quiesces, Audit proves the §2.4 reliability claim: with
+// Replicate on, crashing a primary mid-stream loses nothing — every stamped
+// tuple was applied on some still-alive node, exactly once per node.
+type Ledger struct {
+	next atomic.Int64
+
+	mu   sync.Mutex
+	recs map[int64]*ledgerRec
+}
+
+// ledgerRec tracks one tuple's fate across the cluster.
+type ledgerRec struct {
+	applied     []int8 // node ids that applied it (primary or replica)
+	droppedDead int8   // count of dead-node drops (diagnostics)
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{recs: make(map[int64]*ledgerRec)}
+}
+
+// stamp allocates the next ledger sequence number.
+func (l *Ledger) stamp() int64 { return l.next.Add(1) }
+
+// applied records that node applied the stamped tuple (as primary or
+// replica — both keep the tuple's state alive).
+func (l *Ledger) applied(seq int64, node int) {
+	l.mu.Lock()
+	r := l.rec(seq)
+	r.applied = append(r.applied, int8(node))
+	l.mu.Unlock()
+}
+
+// droppedDead records that a dead node discarded the stamped tuple.
+func (l *Ledger) droppedDead(seq int64, node int) {
+	l.mu.Lock()
+	l.rec(seq).droppedDead++
+	l.mu.Unlock()
+}
+
+func (l *Ledger) rec(seq int64) *ledgerRec {
+	r, ok := l.recs[seq]
+	if !ok {
+		r = &ledgerRec{}
+		l.recs[seq] = r
+	}
+	return r
+}
+
+// Stamped returns how many tuples the ledger has stamped.
+func (l *Ledger) Stamped() int64 { return l.next.Load() }
+
+// DeadDrops returns how many stamped deliveries dead nodes discarded.
+func (l *Ledger) DeadDrops() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var n int64
+	for _, r := range l.recs {
+		n += int64(r.droppedDead)
+	}
+	return n
+}
+
+// Audit checks every stamped tuple against the given liveness predicate:
+// lost counts tuples no alive node ever applied (state gone), dup counts
+// tuples some single node applied more than once (state double-counted).
+// Both must be zero for a replicated cluster that failed over cleanly.
+func (l *Ledger) Audit(alive func(node int) bool) (lost, dup int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for seq := int64(1); seq <= l.next.Load(); seq++ {
+		r, ok := l.recs[seq]
+		if !ok {
+			lost++
+			continue
+		}
+		liveApplies := 0
+		var perNode [64]int8
+		dupped := false
+		for _, n := range r.applied {
+			if int(n) < len(perNode) {
+				perNode[n]++
+				if perNode[n] > 1 {
+					dupped = true
+				}
+			}
+			if alive(int(n)) {
+				liveApplies++
+			}
+		}
+		if liveApplies == 0 {
+			lost++
+		}
+		if dupped {
+			dup++
+		}
+	}
+	return lost, dup
+}

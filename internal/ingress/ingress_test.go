@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"telegraphcq/internal/chaos"
 	"telegraphcq/internal/fjord"
 	"telegraphcq/internal/storage"
 	"telegraphcq/internal/tuple"
@@ -253,13 +254,17 @@ func TestSensorProxyControlLoop(t *testing.T) {
 }
 
 func TestFuncSourceLatency(t *testing.T) {
-	src := NewFuncSource(func() (*tuple.Tuple, error) {
+	// The simulated fetch latency runs on a virtual clock, so the test
+	// asserts the exact delay without spending wall time on it.
+	clk := chaos.NewVirtual(time.Unix(0, 0))
+	clk.SetAutoAdvance(true)
+	src := NewFuncSourceClock(func() (*tuple.Tuple, error) {
 		return tuple.New(tuple.Int(1)), nil
-	}, 2*time.Millisecond)
-	start := time.Now()
+	}, 2*time.Millisecond, clk)
+	start := clk.Now()
 	src.Next()
-	if time.Since(start) < 2*time.Millisecond {
-		t.Error("latency not applied")
+	if got := clk.Since(start); got != 2*time.Millisecond {
+		t.Errorf("virtual latency = %v, want 2ms", got)
 	}
 	src.Close()
 	if _, err := src.Next(); err != io.EOF {

@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"telegraphcq/internal/chaos"
 	"telegraphcq/internal/tuple"
 )
 
@@ -38,21 +39,51 @@ type Source interface {
 type FuncSource struct {
 	fn      func() (*tuple.Tuple, error)
 	latency time.Duration
+	clk     chaos.Clock
+	site    *chaos.Site // nil without injection
+	burst   int         // latency-free fetches left in an injected burst
 	closed  atomic.Bool
 }
 
-// NewFuncSource wraps fn; latency is added to every Next call.
+// NewFuncSource wraps fn; latency is added to every Next call on the real
+// clock. Use NewFuncSourceClock to simulate the latency on a virtual clock.
 func NewFuncSource(fn func() (*tuple.Tuple, error), latency time.Duration) *FuncSource {
-	return &FuncSource{fn: fn, latency: latency}
+	return NewFuncSourceClock(fn, latency, nil)
 }
 
-// Next implements Source.
+// NewFuncSourceClock is NewFuncSource with an injectable clock (nil
+// defaults to the real clock), so simulated fetch latency can run on
+// virtual time in deterministic tests.
+func NewFuncSourceClock(fn func() (*tuple.Tuple, error), latency time.Duration, clk chaos.Clock) *FuncSource {
+	if clk == nil {
+		clk = chaos.Real()
+	}
+	return &FuncSource{fn: fn, latency: latency, clk: clk}
+}
+
+// NewFuncSourceChaos is NewFuncSourceClock with a fault-decision site: a
+// Burst decision suspends the simulated fetch latency for a seeded number
+// of fetches, modelling a source that delivers an arrival burst at full
+// rate — the overload case downstream queues must shed against (§4.3).
+func NewFuncSourceChaos(fn func() (*tuple.Tuple, error), latency time.Duration, clk chaos.Clock, site *chaos.Site) *FuncSource {
+	s := NewFuncSourceClock(fn, latency, clk)
+	s.site = site
+	return s
+}
+
+// Next implements Source. It is called from a single streamer goroutine,
+// so the burst countdown needs no locking.
 func (s *FuncSource) Next() (*tuple.Tuple, error) {
 	if s.closed.Load() {
 		return nil, io.EOF
 	}
-	if s.latency > 0 {
-		time.Sleep(s.latency)
+	if s.site != nil && s.burst == 0 && s.site.Next() == chaos.Burst {
+		s.burst = s.site.BurstSize()
+	}
+	if s.burst > 0 {
+		s.burst--
+	} else if s.latency > 0 {
+		s.clk.Sleep(s.latency)
 	}
 	return s.fn()
 }

@@ -21,6 +21,7 @@ type Streamer struct {
 	timeCol int                   // schema column carrying TS, or -1
 	seq     atomic.Int64
 	count   atomic.Int64
+	drops   atomic.Int64
 	errv    atomic.Value // error
 	done    chan struct{}
 }
@@ -61,7 +62,10 @@ func (s *Streamer) Start() {
 			}
 			if !s.out.Send(t) {
 				// Push connection full: the non-blocking contract says
-				// drop here; the spool retains the tuple for history.
+				// shed here (§4.3); the spool retains the tuple for
+				// history and the drop is counted so overload runs can
+				// audit delivered + shed == produced.
+				s.drops.Add(1)
 				continue
 			}
 			s.count.Add(1)
@@ -90,3 +94,6 @@ func (s *Streamer) Wait() error {
 
 // Delivered returns the number of tuples sent downstream.
 func (s *Streamer) Delivered() int64 { return s.count.Load() }
+
+// Drops returns the number of tuples shed at a full push connection.
+func (s *Streamer) Drops() int64 { return s.drops.Load() }

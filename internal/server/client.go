@@ -66,6 +66,14 @@ func (c *Client) readLoop() {
 	}
 	c.readErr = sc.Err()
 	close(c.replyCh)
+	// Close subscription channels so push consumers (e.g. proxy pump
+	// goroutines) observe the dead connection instead of blocking forever.
+	c.subMu.Lock()
+	for qid, ch := range c.subs {
+		close(ch)
+		delete(c.subs, qid)
+	}
+	c.subMu.Unlock()
 }
 
 // parsePushRow recognizes "ROW q<id> <csv>".

@@ -8,6 +8,9 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"telegraphcq/internal/chaos"
 )
 
 // Proxy is the cursor-multiplexing service of Fig. 5: many lightweight
@@ -17,19 +20,59 @@ import (
 // whichever downstream client subscribed to that query id. If a
 // deployment outgrows the per-connection cursor limit, it runs several
 // proxies (§4.2.1).
+//
+// The upstream hop is the one network link downstream clients cannot see,
+// so the proxy owns its fault handling: a command that fails with a
+// connection error (anything other than a server-reported "ERR") is
+// retried after redialing the postmaster with exponential backoff, and
+// push subscriptions are re-established on the fresh connection.
 type Proxy struct {
+	opts       ProxyOptions
+	serverAddr string
+	ln         net.Listener
+	wg         sync.WaitGroup
+	closed     atomic.Bool
+	retried    atomic.Int64
+
+	upMu     sync.Mutex
 	upstream *Client
-	ln       net.Listener
-	wg       sync.WaitGroup
-	closed   atomic.Bool
 
 	mu     sync.Mutex
 	owners map[int]*proxyClient // qid -> subscribing downstream
 	active map[*proxyClient]bool
 }
 
-// NewProxy connects to serverAddr and listens for clients on listenAddr.
+// ProxyOptions tunes the proxy's upstream fault handling.
+type ProxyOptions struct {
+	// Clock times the reconnect backoff; nil defaults to the real clock.
+	Clock chaos.Clock
+	// Retries is how many redial-and-retry rounds follow a failed command
+	// before the error is surfaced downstream (default 3).
+	Retries int
+	// Backoff is the first retry's delay; it doubles per round (default 10ms).
+	Backoff time.Duration
+	// Chaos, when set, injects Reset faults that sever the upstream
+	// connection just before a command, exercising the retry path.
+	Chaos *chaos.Site
+}
+
+// NewProxy connects to serverAddr and listens for clients on listenAddr
+// with default fault handling.
 func NewProxy(serverAddr, listenAddr string) (*Proxy, error) {
+	return NewProxyOpts(serverAddr, listenAddr, ProxyOptions{})
+}
+
+// NewProxyOpts is NewProxy with explicit retry/backoff/injection options.
+func NewProxyOpts(serverAddr, listenAddr string, opts ProxyOptions) (*Proxy, error) {
+	if opts.Clock == nil {
+		opts.Clock = chaos.Real()
+	}
+	if opts.Retries == 0 {
+		opts.Retries = 3
+	}
+	if opts.Backoff == 0 {
+		opts.Backoff = 10 * time.Millisecond
+	}
 	up, err := Dial(serverAddr)
 	if err != nil {
 		return nil, err
@@ -40,10 +83,12 @@ func NewProxy(serverAddr, listenAddr string) (*Proxy, error) {
 		return nil, fmt.Errorf("proxy: %w", err)
 	}
 	p := &Proxy{
-		upstream: up,
-		ln:       ln,
-		owners:   make(map[int]*proxyClient),
-		active:   make(map[*proxyClient]bool),
+		opts:       opts,
+		serverAddr: serverAddr,
+		upstream:   up,
+		ln:         ln,
+		owners:     make(map[int]*proxyClient),
+		active:     make(map[*proxyClient]bool),
 	}
 	p.wg.Add(1)
 	go p.accept()
@@ -52,6 +97,9 @@ func NewProxy(serverAddr, listenAddr string) (*Proxy, error) {
 
 // Addr returns the proxy's client-facing address.
 func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Retries returns how many upstream redial-and-retry rounds have run.
+func (p *Proxy) Retries() int64 { return p.retried.Load() }
 
 func (p *Proxy) accept() {
 	defer p.wg.Done()
@@ -84,8 +132,120 @@ func (p *Proxy) Close() error {
 	}
 	p.mu.Unlock()
 	p.wg.Wait()
-	p.upstream.Close()
+	p.upMu.Lock()
+	if p.upstream != nil {
+		p.upstream.Close()
+	}
+	p.upMu.Unlock()
 	return err
+}
+
+// client returns the current upstream connection (nil after a failed redial).
+func (p *Proxy) client() *Client {
+	p.upMu.Lock()
+	defer p.upMu.Unlock()
+	return p.upstream
+}
+
+// isServerErr reports whether the server itself answered (with ERR): such
+// errors are definitive and must not be retried, unlike transport failures.
+func isServerErr(err error) bool {
+	return err != nil && strings.HasPrefix(err.Error(), "server:")
+}
+
+// withRetry runs fn against the upstream client, redialing with
+// exponential backoff when the connection — not the server — fails.
+func (p *Proxy) withRetry(fn func(up *Client) error) error {
+	backoff := p.opts.Backoff
+	var err error
+	for attempt := 0; ; attempt++ {
+		up := p.client()
+		if up == nil {
+			err = fmt.Errorf("proxy: upstream not connected")
+		} else {
+			if p.opts.Chaos != nil && p.opts.Chaos.Next() == chaos.Reset {
+				// Injected reset: sever the socket so this attempt fails
+				// exactly like a mid-command network fault.
+				up.conn.Close()
+			}
+			err = fn(up)
+			if err == nil || isServerErr(err) {
+				return err
+			}
+		}
+		if attempt >= p.opts.Retries || p.closed.Load() {
+			return err
+		}
+		p.retried.Add(1)
+		p.opts.Clock.Sleep(backoff)
+		backoff *= 2
+		p.redial(up)
+	}
+}
+
+// redial replaces a stale upstream connection and restores push delivery
+// for every subscription the old connection carried: the server keeps the
+// query state, only the transport died.
+func (p *Proxy) redial(stale *Client) {
+	p.upMu.Lock()
+	defer p.upMu.Unlock()
+	if p.upstream != stale || p.closed.Load() {
+		return // a concurrent command already reconnected
+	}
+	if stale != nil {
+		stale.Close()
+	}
+	up, err := Dial(p.serverAddr)
+	if err != nil {
+		p.upstream = nil
+		return
+	}
+	p.mu.Lock()
+	qids := make([]int, 0, len(p.owners))
+	for qid := range p.owners {
+		qids = append(qids, qid)
+	}
+	p.mu.Unlock()
+	for _, qid := range qids {
+		if ch, serr := up.Subscribe(qid, 1024); serr == nil {
+			go p.pump(qid, ch)
+		}
+	}
+	p.upstream = up
+}
+
+// pump relays push rows from an upstream subscription channel to whichever
+// downstream client currently owns the query id. It exits when the channel
+// closes (the upstream connection died or the proxy shut down).
+func (p *Proxy) pump(qid int, ch <-chan string) {
+	for csv := range ch {
+		p.mu.Lock()
+		owner := p.owners[qid]
+		p.mu.Unlock()
+		if owner != nil {
+			owner.send(fmt.Sprintf("ROW q%d %s", qid, csv))
+		}
+	}
+}
+
+func (p *Proxy) retryCmd(line string) (string, error) {
+	var reply string
+	err := p.withRetry(func(up *Client) error {
+		var e error
+		reply, e = up.cmd(line)
+		return e
+	})
+	return reply, err
+}
+
+func (p *Proxy) retryRows(line string) ([]string, error) {
+	var rows []string
+	err := p.withRetry(func(up *Client) error {
+		var e error
+		rows, e = up.cmdRows(line)
+		return e
+	})
+	return rows, err
 }
 
 type proxyClient struct {
@@ -134,11 +294,10 @@ func (pc *proxyClient) release() {
 // forward relays one command upstream, translating the client API calls
 // back into raw replies for the downstream connection.
 func (pc *proxyClient) forward(line string) {
-	up := pc.proxy.upstream
 	cmd := strings.ToUpper(firstWord(line))
 	switch cmd {
 	case "FETCH", "LIST":
-		rows, err := up.cmdRows(line)
+		rows, err := pc.proxy.retryRows(line)
 		if err != nil {
 			pc.send("ERR " + trimServerErr(err))
 			return
@@ -158,7 +317,14 @@ func (pc *proxyClient) forward(line string) {
 			pc.send("ERR bad query id")
 			return
 		}
-		ch, err := up.Subscribe(qid, 1024)
+		var ch <-chan string
+		err = pc.proxy.withRetry(func(up *Client) error {
+			c, e := up.Subscribe(qid, 1024)
+			if e == nil {
+				ch = c
+			}
+			return e
+		})
 		if err != nil {
 			pc.send("ERR " + trimServerErr(err))
 			return
@@ -167,19 +333,10 @@ func (pc *proxyClient) forward(line string) {
 		pc.proxy.owners[qid] = pc
 		pc.proxy.mu.Unlock()
 		pc.subs = append(pc.subs, qid)
-		go func() {
-			for csv := range ch {
-				pc.proxy.mu.Lock()
-				owner := pc.proxy.owners[qid]
-				pc.proxy.mu.Unlock()
-				if owner != nil {
-					owner.send(fmt.Sprintf("ROW q%d %s", qid, csv))
-				}
-			}
-		}()
+		go pc.proxy.pump(qid, ch)
 		pc.send(fmt.Sprintf("OK subscribed %d", qid))
 	default:
-		reply, err := up.cmd(line)
+		reply, err := pc.proxy.retryCmd(line)
 		if err != nil {
 			pc.send("ERR " + trimServerErr(err))
 			return

@@ -321,7 +321,16 @@ func (fe *frontEnd) query(rest string) (*core.RunningQuery, int, error) {
 	defer fe.mu.Unlock()
 	q, ok := fe.queries[id]
 	if !ok {
-		return nil, 0, fmt.Errorf("query %d not registered on this connection", id)
+		// Queries belong to the engine, not the connection: adopt the
+		// running query with a fresh cursor, so a client that reconnects
+		// (e.g. the proxy redialing around a connection fault) can keep
+		// subscribing and fetching by id.
+		q, ok = fe.engine.Query(id)
+		if !ok {
+			return nil, 0, fmt.Errorf("query %d not registered", id)
+		}
+		fe.queries[id] = q
+		fe.cursors[id] = q.Cursor()
 	}
 	return q, id, nil
 }

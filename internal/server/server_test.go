@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"telegraphcq/internal/chaos"
 	"telegraphcq/internal/core"
 )
 
@@ -139,21 +140,18 @@ func csvRow(ts int, sym string, price float64) string {
 
 func waitRows(t *testing.T, c *Client, qid, want int) []string {
 	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
 	var all []string
-	for time.Now().Before(deadline) {
+	if !chaos.Poll(nil, 10*time.Second, time.Millisecond, func() bool {
 		rows, err := c.Fetch(qid)
 		if err != nil {
 			t.Fatal(err)
 		}
 		all = append(all, rows...)
-		if len(all) >= want {
-			return all
-		}
-		time.Sleep(5 * time.Millisecond)
+		return len(all) >= want
+	}) {
+		t.Fatalf("got %d rows, want %d", len(all), want)
 	}
-	t.Fatalf("got %d rows, want %d", len(all), want)
-	return nil
+	return all
 }
 
 func TestWindowedQueryOverWire(t *testing.T) {
@@ -306,20 +304,17 @@ func TestStatsCommand(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		c.Feed("s", fmt.Sprintf("%d", i))
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
+	if !chaos.Poll(nil, 5*time.Second, time.Millisecond, func() bool {
 		rows, err := c.Stats(qid)
 		if err != nil {
 			t.Fatal(err)
 		}
 		joined := strings.Join(rows, "\n")
-		if strings.Contains(joined, "results=4") &&
-			strings.Contains(joined, "eddy:") {
-			return
-		}
-		time.Sleep(time.Millisecond)
+		return strings.Contains(joined, "results=4") &&
+			strings.Contains(joined, "eddy:")
+	}) {
+		t.Fatal("stats never showed 4 results with eddy counters")
 	}
-	t.Fatal("stats never showed 4 results with eddy counters")
 }
 
 // TestStatsTickets checks the routing-policy ticket counts appear in STATS
@@ -337,19 +332,16 @@ func TestStatsTickets(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		c.Feed("s", fmt.Sprintf("%d", i))
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
+	if !chaos.Poll(nil, 5*time.Second, time.Millisecond, func() bool {
 		rows, err := c.Stats(qid)
 		if err != nil {
 			t.Fatal(err)
 		}
 		joined := strings.Join(rows, "\n")
-		if strings.Contains(joined, "module 0:") && strings.Contains(joined, "tickets=") {
-			return
-		}
-		time.Sleep(time.Millisecond)
+		return strings.Contains(joined, "module 0:") && strings.Contains(joined, "tickets=")
+	}) {
+		t.Fatal("STATS never showed module ticket counts")
 	}
-	t.Fatal("STATS never showed module ticket counts")
 }
 
 func TestMetricsCommand(t *testing.T) {

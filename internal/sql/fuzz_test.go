@@ -1,0 +1,36 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the lexer and recursive-descent parser with arbitrary
+// input. The contract: Parse never panics, and the errors it returns are
+// package-tagged (prefixed "sql:") so callers can distinguish syntax
+// errors from engine faults.
+func FuzzParse(f *testing.F) {
+	f.Add("SELECT * FROM S")
+	f.Add("SELECT closingPrice, timestamp FROM ClosingStockPrices WHERE stockSymbol = 'MSFT'")
+	f.Add("SELECT AVG(closingPrice) FROM ClosingStockPrices WHERE stockSymbol = 'IBM' " +
+		"for (t = 101; t <= 1100; t++) { WindowIs(ClosingStockPrices, t - 4, t); }")
+	f.Add("SELECT a.x, b.y FROM A AS a, B b WHERE a.x = b.y AND a.z > 3.5 GROUP BY a.x")
+	f.Add("SELECT DISTINCT x FROM S ORDER BY x DESC LIMIT 10;")
+	f.Add("SELECT COUNT(*) FROM S GROUP BY k")
+	f.Add("SELECT x FROM S WHERE x <> -7 -- trailing comment")
+	f.Add("SELECT x FROM S for (;;) { WindowIs(S, 1, t); }")
+	f.Add("SELECT x FROM S WHERE s = 'unterminated")
+	f.Add("SELECT \x00")
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			if !strings.HasPrefix(err.Error(), "sql:") {
+				t.Fatalf("untagged error for %q: %v", input, err)
+			}
+			return
+		}
+		if q == nil {
+			t.Fatalf("nil query without error for %q", input)
+		}
+	})
+}

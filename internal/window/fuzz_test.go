@@ -1,0 +1,32 @@
+package window
+
+import "testing"
+
+// FuzzParseLoop checks two properties of the for-loop parser: it never
+// panics, and any loop it accepts round-trips — re-parsing l.String()
+// succeeds and renders identically.
+func FuzzParseLoop(f *testing.F) {
+	f.Add("for (t = 101; t <= 1100; t++) { WindowIs(ClosingStockPrices, t - 4, t); }")
+	f.Add("for (;;) {}")
+	f.Add("for (t = 5; t > 0; t = -1) { WindowIs(S, 1, 10); }")
+	f.Add("for (t = 1; ; t += 10) { WindowIs(A, t, t + 9); WindowIs(B, 0, t) }")
+	f.Add("for (t = 10; t >= 0; t--) { WindowIs(S, t, t + 5); }")
+	f.Add("for (t = -3; t <> 7; t += 2) { WindowIs(A, 0, t); }")
+	f.Add("for (t = 0; t == 0; t++) { WindowIs(S, 0, 0); }")
+	f.Add("for (t")
+	f.Add("for (t = 99999999999999999999;;) {}")
+	f.Fuzz(func(t *testing.T, input string) {
+		l, err := ParseLoop(input)
+		if err != nil {
+			return
+		}
+		rendered := l.String()
+		back, err := ParseLoop(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but re-parse of %q failed: %v", input, rendered, err)
+		}
+		if got := back.String(); got != rendered {
+			t.Fatalf("round trip of %q: %q != %q", input, got, rendered)
+		}
+	})
+}

@@ -1,0 +1,339 @@
+package window
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"telegraphcq/internal/expr"
+)
+
+// ParseLoop parses the paper's for-loop window construct (§4.1) in
+// isolation, without the surrounding SELECT. The grammar mirrors the SQL
+// front end's:
+//
+//	for '(' [t = INT] ';' [cond] ';' [change] ')' '{' windowIs* '}'
+//	cond     := t OP INT          (omitted means run forever)
+//	change   := t++ | t-- | t += INT | t -= INT | t = INT
+//	windowIs := WindowIs '(' stream ',' affine ',' affine ')' [';']
+//	affine   := t [±INT] | INT
+//
+// A successful parse round-trips: ParseLoop(l.String()) yields an
+// identical loop. This is the contract the FuzzParseLoop target checks.
+func ParseLoop(input string) (*Loop, error) {
+	toks, err := lexLoop(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &loopParser{toks: toks}
+	l, err := p.parseFor()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind != ltokEOF {
+		return nil, fmt.Errorf("window: unexpected %s after loop", t)
+	}
+	return l, nil
+}
+
+type ltokKind uint8
+
+const (
+	ltokEOF ltokKind = iota
+	ltokIdent
+	ltokNumber
+	ltokSymbol
+)
+
+type ltok struct {
+	kind ltokKind
+	text string
+	pos  int
+}
+
+func (t ltok) String() string {
+	if t.kind == ltokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+var loopTwoChar = map[string]bool{
+	"<=": true, ">=": true, "<>": true, "==": true,
+	"++": true, "--": true, "+=": true, "-=": true, "!=": true,
+}
+
+func lexLoop(input string) ([]ltok, error) {
+	var toks []ltok
+	i, n := 0, len(input)
+	for i < n {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case unicode.IsLetter(c) || c == '_':
+			start := i
+			for i < n && (unicode.IsLetter(rune(input[i])) || unicode.IsDigit(rune(input[i])) || input[i] == '_') {
+				i++
+			}
+			toks = append(toks, ltok{ltokIdent, input[start:i], start})
+		case unicode.IsDigit(c):
+			start := i
+			for i < n && unicode.IsDigit(rune(input[i])) {
+				i++
+			}
+			toks = append(toks, ltok{ltokNumber, input[start:i], start})
+		case strings.ContainsRune("(){};,=<>+-", c):
+			if i+1 < n && loopTwoChar[input[i:i+2]] {
+				toks = append(toks, ltok{ltokSymbol, input[i : i+2], i})
+				i += 2
+				break
+			}
+			toks = append(toks, ltok{ltokSymbol, string(c), i})
+			i++
+		default:
+			return nil, fmt.Errorf("window: illegal character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, ltok{ltokEOF, "", n})
+	return toks, nil
+}
+
+type loopParser struct {
+	toks []ltok
+	i    int
+}
+
+func (p *loopParser) peek() ltok { return p.toks[p.i] }
+
+func (p *loopParser) accept(sym string) bool {
+	t := p.peek()
+	if t.kind == ltokSymbol && t.text == sym {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *loopParser) expect(sym string) error {
+	if !p.accept(sym) {
+		return fmt.Errorf("window: expected %q, found %s", sym, p.peek())
+	}
+	return nil
+}
+
+func (p *loopParser) keyword(kw string) bool {
+	t := p.peek()
+	if t.kind == ltokIdent && strings.EqualFold(t.text, kw) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *loopParser) loopVar() error {
+	t := p.peek()
+	if t.kind != ltokIdent {
+		return fmt.Errorf("window: expected loop variable, found %s", t)
+	}
+	if !strings.EqualFold(t.text, "t") {
+		return fmt.Errorf("window: loop variable must be 't', found %q", t.text)
+	}
+	p.i++
+	return nil
+}
+
+func (p *loopParser) parseInt() (int64, error) {
+	neg := p.accept("-")
+	t := p.peek()
+	if t.kind != ltokNumber {
+		return 0, fmt.Errorf("window: expected integer, found %s", t)
+	}
+	p.i++
+	v, err := strconv.ParseInt(t.text, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("window: bad integer %q: %w", t.text, err)
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+var loopOps = map[string]expr.Op{
+	"=": expr.Eq, "==": expr.Eq,
+	"<>": expr.Ne, "!=": expr.Ne,
+	"<": expr.Lt, "<=": expr.Le,
+	">": expr.Gt, ">=": expr.Ge,
+}
+
+func (p *loopParser) parseOp() (expr.Op, error) {
+	t := p.peek()
+	if t.kind == ltokSymbol {
+		if op, ok := loopOps[t.text]; ok {
+			p.i++
+			return op, nil
+		}
+	}
+	return 0, fmt.Errorf("window: expected comparison operator, found %s", t)
+}
+
+func (p *loopParser) parseFor() (*Loop, error) {
+	if !p.keyword("for") {
+		return nil, fmt.Errorf("window: expected 'for', found %s", p.peek())
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	loop := &Loop{Cond: Forever, Step: 1}
+
+	// init
+	if !p.accept(";") {
+		if err := p.loopVar(); err != nil {
+			return nil, err
+		}
+		if !p.accept("=") {
+			return nil, fmt.Errorf("window: expected '=' in loop init, found %s", p.peek())
+		}
+		v, err := p.parseInt()
+		if err != nil {
+			return nil, err
+		}
+		loop.Init = v
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+	}
+
+	// condition
+	if !p.accept(";") {
+		if err := p.loopVar(); err != nil {
+			return nil, err
+		}
+		op, err := p.parseOp()
+		if err != nil {
+			return nil, err
+		}
+		bound, err := p.parseInt()
+		if err != nil {
+			return nil, err
+		}
+		loop.Cond = While(op, bound)
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+	}
+
+	// change
+	if !p.accept(")") {
+		if err := p.loopVar(); err != nil {
+			return nil, err
+		}
+		switch {
+		case p.accept("++"):
+			loop.Step = 1
+		case p.accept("--"):
+			loop.Step = -1
+		case p.accept("+="):
+			v, err := p.parseInt()
+			if err != nil {
+				return nil, err
+			}
+			loop.Step = v
+		case p.accept("-="):
+			v, err := p.parseInt()
+			if err != nil {
+				return nil, err
+			}
+			loop.Step = -v
+		case p.accept("="):
+			// Absolute reassignment (paper Example 1: "t = -1"): one
+			// iteration then out of the condition; equivalent additive step.
+			v, err := p.parseInt()
+			if err != nil {
+				return nil, err
+			}
+			step := v - loop.Init
+			// Reject steps that wrap or that render as -2^63 (whose
+			// absolute value is unparseable), preserving the String
+			// round-trip contract.
+			if (v >= loop.Init) != (step >= 0) || step == math.MinInt64 {
+				return nil, fmt.Errorf("window: loop reassignment t = %d overflows the step", v)
+			}
+			loop.Step = step
+		default:
+			return nil, fmt.Errorf("window: expected loop change, found %s", p.peek())
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	for !p.accept("}") {
+		if !p.keyword("windowis") {
+			return nil, fmt.Errorf("window: expected WindowIs, found %s", p.peek())
+		}
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		st := p.peek()
+		if st.kind != ltokIdent {
+			return nil, fmt.Errorf("window: expected stream name, found %s", st)
+		}
+		p.i++
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+		left, err := p.parseAffine()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+		right, err := p.parseAffine()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		p.accept(";")
+		loop.Windows = append(loop.Windows, WindowIs{Stream: st.text, Left: left, Right: right})
+	}
+	return loop, nil
+}
+
+// parseAffine parses "t", "t+K", "t-K", or "K".
+func (p *loopParser) parseAffine() (Affine, error) {
+	t := p.peek()
+	if t.kind == ltokIdent && strings.EqualFold(t.text, "t") {
+		p.i++
+		switch {
+		case p.accept("+"):
+			v, err := p.parseInt()
+			if err != nil {
+				return Affine{}, err
+			}
+			return T(v), nil
+		case p.accept("-"):
+			v, err := p.parseInt()
+			if err != nil {
+				return Affine{}, err
+			}
+			return T(-v), nil
+		default:
+			return T(0), nil
+		}
+	}
+	v, err := p.parseInt()
+	if err != nil {
+		return Affine{}, err
+	}
+	return Const(v), nil
+}

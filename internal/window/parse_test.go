@@ -1,0 +1,123 @@
+package window
+
+import (
+	"strings"
+	"testing"
+
+	"telegraphcq/internal/expr"
+)
+
+func TestParseLoopSliding(t *testing.T) {
+	l, err := ParseLoop("for (t = 101; t <= 1100; t++) { WindowIs(S, t - 4, t); }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Init != 101 || l.Step != 1 {
+		t.Errorf("init=%d step=%d", l.Init, l.Step)
+	}
+	if l.Cond.Always || l.Cond.Op != expr.Le || l.Cond.Bound != 1100 {
+		t.Errorf("cond = %+v", l.Cond)
+	}
+	if len(l.Windows) != 1 {
+		t.Fatalf("windows = %d", len(l.Windows))
+	}
+	w := l.Windows[0]
+	if w.Stream != "S" || w.Left != T(-4) || w.Right != T(0) {
+		t.Errorf("window = %+v", w)
+	}
+	if l.Classify() != ShapeSliding {
+		t.Errorf("shape = %v", l.Classify())
+	}
+}
+
+func TestParseLoopDefaults(t *testing.T) {
+	// Empty init, condition and change: run forever from 0 with step 1.
+	l, err := ParseLoop("for (;;) { WindowIs(S, 1, t); }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Init != 0 || l.Step != 1 || !l.Cond.Always {
+		t.Errorf("loop = %+v", l)
+	}
+	if l.Classify() != ShapeLandmark {
+		t.Errorf("shape = %v", l.Classify())
+	}
+}
+
+func TestParseLoopReassignment(t *testing.T) {
+	// Paper Example 1: "t = -1" leaves the condition after one iteration.
+	l, err := ParseLoop("for (t = 5; t > 0; t = -1) { WindowIs(S, 1, 10); }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Step != -6 {
+		t.Errorf("step = %d, want -6", l.Step)
+	}
+	n := l.Instances(100, func(Instance) bool { return true })
+	if n != 1 {
+		t.Errorf("instances = %d, want 1", n)
+	}
+}
+
+func TestParseLoopMultiStream(t *testing.T) {
+	l, err := ParseLoop(
+		"for (t = 1; ; t += 10) { WindowIs(A, t, t + 9); WindowIs(B, 0, t); }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Windows) != 2 {
+		t.Fatalf("windows = %d", len(l.Windows))
+	}
+	if _, ok := l.WindowFor("B"); !ok {
+		t.Error("stream B missing")
+	}
+}
+
+func TestParseLoopErrors(t *testing.T) {
+	bad := map[string]string{
+		"(t = 1;;) {}":                          "expected 'for'",
+		"for t = 1;;) {}":                       `expected "("`,
+		"for (x = 1;;) {}":                      "loop variable must be 't'",
+		"for (t 1;;) {}":                        "expected '='",
+		"for (t = 1; t ! 2;) {}":                "illegal character",
+		"for (t = 1;; t**) {}":                  "illegal character",
+		"for (t = 1;;) { WindowIs(S, t, t) ":    `expected WindowIs, found end of input`,
+		"for (t = 1;;) { Window(S, t, t); }":    "expected WindowIs",
+		"for (t = 1;;) { WindowIs(, t, t); }":   "expected stream name",
+		"for (t = 1;;) { WindowIs(S, t); }":     `expected ","`,
+		"for (t = 1;;) {} trailing":             "unexpected",
+		"for (t = 99999999999999999999;;) {}":   "bad integer",
+		"for (t = 1; t < 2; t = -9223372036854775807) {}": "overflows",
+	}
+	for in, want := range bad {
+		_, err := ParseLoop(in)
+		if err == nil {
+			t.Errorf("%q: parse succeeded", in)
+			continue
+		}
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("%q: error %q does not mention %q", in, err, want)
+		}
+	}
+}
+
+func TestParseLoopRoundTrip(t *testing.T) {
+	for _, in := range []string{
+		"for (t = 101; t <= 1100; t++) { WindowIs(S, t - 4, t); }",
+		"for (;;) {}",
+		"for (t = -3; t <> 7; t += 2) { WindowIs(A, 0, t); WindowIs(B, t, t + 1); }",
+		"for (t = 10; t >= 0; t--) { WindowIs(S, t, t + 5); }",
+	} {
+		l, err := ParseLoop(in)
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		back, err := ParseLoop(l.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q: %v", l.String(), err)
+		}
+		if back.String() != l.String() {
+			t.Errorf("round trip: %q != %q", back.String(), l.String())
+		}
+	}
+}

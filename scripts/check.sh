@@ -1,6 +1,7 @@
 #!/bin/sh
-# check.sh — the repo's one-command verification gate: vet, build, and
-# the full test suite under the race detector.
+# check.sh — the repo's one-command verification gate: vet, build, the
+# full test suite under the race detector, a reduced-trial chaos campaign
+# under race, and a short fuzz smoke pass over the parsers.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -12,5 +13,16 @@ go build ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+# The in-suite campaigns already ran above at their default trial counts;
+# this stage re-runs them race-instrumented with fewer trials and a fresh
+# cache so failover interleavings are exercised under the race detector on
+# every invocation.
+echo "==> chaos campaign under race (CHAOS_TRIALS=25)"
+CHAOS_TRIALS=25 go test -race -count=1 -run 'TestChaosCampaign' ./internal/chaos/
+
+echo "==> fuzz smoke (5s per target)"
+go test -fuzz=FuzzParse -fuzztime=5s -run '^$' ./internal/sql/
+go test -fuzz=FuzzParseLoop -fuzztime=5s -run '^$' ./internal/window/
 
 echo "check: OK"
