@@ -30,9 +30,17 @@ func main() {
 	traceRate := flag.Float64("trace", 0, "tuple-lineage trace sample rate in [0,1] (0 disables; traces served via the TRACE command)")
 	demo := flag.Bool("demo", false, "create ClosingStockPrices and feed synthetic quotes")
 	rate := flag.Int("rate", 100, "demo feed rate (tuples/second)")
+	workers := flag.Int("workers", 1, "parallel worker shards per eligible query (1 = sequential)")
+	batch := flag.Int("batch", 64, "tuples per shard handoff batch in parallel execution")
 	flag.Parse()
 
-	engine := core.NewEngine(core.Options{EOs: *eos, SpoolDir: *spool, TraceSampleRate: *traceRate})
+	engine := core.NewEngine(core.Options{
+		EOs:             *eos,
+		SpoolDir:        *spool,
+		TraceSampleRate: *traceRate,
+		Workers:         *workers,
+		BatchSize:       *batch,
+	})
 	defer engine.Stop()
 
 	pm, err := server.Listen(engine, *addr)
@@ -40,7 +48,8 @@ func main() {
 		log.Fatalf("tcqd: %v", err)
 	}
 	defer pm.Close()
-	fmt.Printf("tcqd: listening on %s (EOs=%d spool=%q trace=%g)\n", pm.Addr(), *eos, *spool, *traceRate)
+	fmt.Printf("tcqd: listening on %s (EOs=%d workers=%d batch=%d spool=%q trace=%g)\n",
+		pm.Addr(), *eos, *workers, *batch, *spool, *traceRate)
 
 	if *httpAddr != "" {
 		ln, err := net.Listen("tcp", *httpAddr)

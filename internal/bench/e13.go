@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"telegraphcq/internal/core"
+	"telegraphcq/internal/tuple"
+)
+
+// E13ParallelScaling measures the partitioned-eddy execution layer: the
+// same unwindowed equijoin runs at worker counts 1/2/4/8 and the table
+// reports end-to-end throughput plus the parallel layer's own counters
+// (handoff batches, merge-buffer high-water mark). With GOMAXPROCS=1 the
+// worker shards time-slice one core, so the interesting numbers are the
+// overhead ones: Workers=1 is the sequential baseline and the parallel
+// rows show what the partition/merge machinery costs when it cannot win.
+func E13ParallelScaling() (*Table, error) {
+	const (
+		sRows = 20000
+		rRows = 64 // one R row per key: sRows join results
+		keys  = 64
+	)
+	tb := &Table{
+		ID:     "E13",
+		Title:  fmt.Sprintf("partitioned parallel equijoin, %d+%d rows, GOMAXPROCS=%d", sRows, rRows, runtime.GOMAXPROCS(0)),
+		Claim:  "a single dataflow can be partitioned across workers Flux-style, each shard owning its slice of SteM state, with a merge stage restoring a single output stream (§2 parallelism theme, Flux)",
+		Header: []string{"workers", "tuples/s", "results", "handoff batches", "avg batch", "merge held max"},
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		eng := core.NewEngine(core.Options{EOs: 2, Workers: workers, BatchSize: 256})
+		mk := func(name, vcol string) error {
+			return eng.CreateStream(name, tuple.NewSchema(name,
+				tuple.Column{Name: "k", Kind: tuple.KindInt},
+				tuple.Column{Name: vcol, Kind: tuple.KindInt}), -1)
+		}
+		if err := mk("S", "v"); err != nil {
+			return nil, err
+		}
+		if err := mk("R", "w"); err != nil {
+			return nil, err
+		}
+		q, err := eng.Register(`SELECT S.v, R.w FROM S, R WHERE S.k = R.k`)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for i := int64(0); i < rRows; i++ {
+			if err := eng.Feed("R", tuple.New(tuple.Int(i%keys), tuple.Int(i))); err != nil {
+				return nil, err
+			}
+		}
+		for i := int64(0); i < sRows; i++ {
+			if err := eng.Feed("S", tuple.New(tuple.Int(i%keys), tuple.Int(i))); err != nil {
+				return nil, err
+			}
+		}
+		deadline := time.Now().Add(60 * time.Second)
+		for q.Results() < sRows && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		elapsed := time.Since(start)
+		if q.Results() != sRows {
+			eng.Stop()
+			return nil, fmt.Errorf("workers=%d: results = %d, want %d", workers, q.Results(), sRows)
+		}
+
+		batches, held, avg := "-", "-", "-"
+		if ps, ok := q.ParallelStats(); ok {
+			batches = i64(ps.Batches)
+			held = i64(ps.MaxHeld)
+			if ps.Batches > 0 {
+				avg = f1(float64(ps.BatchTuples) / float64(ps.Batches))
+			}
+		}
+		tb.AttachMetrics(eng.Metrics(), "tcq_parallel_", "tcq_tuple_pool_", "tcq_engine_workers")
+		tb.Rows = append(tb.Rows, []string{
+			itoa(workers),
+			f0(float64(sRows+rRows) / elapsed.Seconds()),
+			i64(q.Results()),
+			batches, avg, held,
+		})
+		eng.Stop()
+	}
+	tb.Notes = "single-core containers cannot show speedup; see EXPERIMENTS.md for the honest reading of these rows"
+	return tb, nil
+}

@@ -190,6 +190,26 @@ func (e *Engine) Ingest(s int, base *tuple.Tuple) {
 	e.ed.Ingest(t)
 }
 
+// IngestWide feeds a tuple already widened to the engine's layout and
+// already carrying its lineage bitmap. The parallel layer widens and
+// stamps lineage once on the driver, then routes the wide tuple to a
+// shard engine through this entry point.
+func (e *Engine) IngestWide(t *tuple.Tuple) { e.ed.Ingest(t) }
+
+// SetDeliverySink diverts completed tuples away from this engine's
+// per-query delivery: fn receives every completion whose lineage is still
+// live and whose span matches at least one standing footprint. A shard
+// engine inside a Parallel uses it to forward results — lineage bitmap
+// intact — to the merge stage, where the front engine delivers them.
+func (e *Engine) SetDeliverySink(fn func(*tuple.Tuple)) {
+	e.ed.SetCompletionHook(func(t *tuple.Tuple) {
+		if t.Queries == nil || !t.Queries.Any() || len(e.byFootprint[t.Source]) == 0 {
+			return
+		}
+		fn(t)
+	})
+}
+
 // deliver routes a completed tuple to every query whose footprint exactly
 // matches the tuple's span and whose lineage bit survived.
 func (e *Engine) deliver(t *tuple.Tuple) {

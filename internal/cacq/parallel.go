@@ -1,0 +1,299 @@
+package cacq
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"telegraphcq/internal/eddy"
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/tuple"
+)
+
+// ParallelOptions parameterizes a parallel shared engine.
+type ParallelOptions struct {
+	// Workers is the shard count (default GOMAXPROCS).
+	Workers int
+	// BatchSize amortizes each driver-to-shard handoff (default 64).
+	BatchSize int
+	// QueueCap bounds each shard's input queue (default 8*BatchSize).
+	QueueCap int
+	// Policy builds each shard's routing policy (shards adapt
+	// independently; default lottery). Called once per shard plus once for
+	// the front engine.
+	Policy func() eddy.Policy
+	// Ordered enables the order-preserving merge: inputs must arrive with
+	// non-decreasing Seq, and delivery happens in exactly the sequential
+	// engine's order. Leave false for workloads without a global arrival
+	// order (independently sequenced streams).
+	Ordered bool
+}
+
+// Parallel executes one shared CACQ super-query across hash-partitioned
+// worker shards. A "front" Engine owns the standing queries and performs
+// delivery on the single-threaded merge stage; each worker owns a full
+// shard Engine (grouped filters + SteM partitions) processing only its
+// slice of the key space. Lineage bitmaps are stamped once at ingress,
+// mutated shard-locally, and read at merge — no cross-shard lineage
+// traffic. Tuples partition on their stream's column in the shared
+// equijoin equivalence class (see PartitionColumns), so every pair of
+// tuples that could join meets in the same shard's SteMs.
+type Parallel struct {
+	front   *Engine
+	pe      *eddy.ParallelEddy
+	layout  *tuple.Layout
+	keyCols []int
+
+	// deliverMu guards the front engine's delivery state (byFootprint,
+	// per-query delivered counters) between the merge goroutine and
+	// control-plane calls. Never held across a Barrier — the merge stage
+	// must stay free to drain while a barrier waits for the queues.
+	deliverMu sync.Mutex
+
+	// ctlMu serializes the driver hot path (Ingest/Flush, read-locked)
+	// against control-plane mutation (write-locked), covering the front
+	// engine's lineage templates, which Ingest reads before entering the
+	// parallel layer's own lock.
+	ctlMu sync.RWMutex
+}
+
+// parShard adapts a shard Engine to the eddy.Shard interface: parallel
+// inputs arrive pre-widened with lineage stamped.
+type parShard struct{ *Engine }
+
+func (p parShard) Ingest(t *tuple.Tuple) { p.Engine.IngestWide(t) }
+
+// NewParallelEngine builds a parallel shared engine over layout with the
+// given shared join edges. It fails when the join set is not partitionable
+// (more than one column-equivalence class — see PartitionColumns); callers
+// fall back to a sequential Engine.
+func NewParallelEngine(layout *tuple.Layout, joins []JoinSpec, opt ParallelOptions) (*Parallel, error) {
+	keyCols, ok := PartitionColumns(layout, joins)
+	if !ok {
+		return nil, fmt.Errorf("cacq: join set spans multiple key equivalence classes; not partitionable")
+	}
+	pol := opt.Policy
+	if pol == nil {
+		pol = func() eddy.Policy { return eddy.NewLotteryPolicy(1) }
+	}
+	p := &Parallel{
+		front:   New(layout, joins, pol()),
+		layout:  layout,
+		keyCols: keyCols,
+	}
+	var orderBy func(*tuple.Tuple) int64
+	if opt.Ordered {
+		orderBy = func(t *tuple.Tuple) int64 { return t.Seq }
+	}
+	p.pe = eddy.NewParallel(eddy.ParallelConfig{
+		Workers:   opt.Workers,
+		BatchSize: opt.BatchSize,
+		QueueCap:  opt.QueueCap,
+		Partition: func(t *tuple.Tuple) int {
+			s := bits.TrailingZeros64(uint64(t.Source))
+			return int(t.Vals[keyCols[s]].Hash())
+		},
+		NewShard: func(shard int, emit func(*tuple.Tuple)) eddy.Shard {
+			sh := New(layout, joins, pol())
+			sh.SetDeliverySink(emit)
+			return parShard{sh}
+		},
+		Merge: func(t *tuple.Tuple) {
+			p.deliverMu.Lock()
+			p.front.deliver(t)
+			p.deliverMu.Unlock()
+		},
+		OrderBy: orderBy,
+	})
+	return p, nil
+}
+
+// Workers returns the shard count.
+func (p *Parallel) Workers() int { return p.pe.Workers() }
+
+// Ingest widens one base tuple of stream s, stamps its lineage from the
+// front engine's standing-query set, and routes it to its key's shard.
+// Single ingest goroutine, like Engine.Ingest.
+func (p *Parallel) Ingest(s int, base *tuple.Tuple) {
+	p.ctlMu.RLock()
+	defer p.ctlMu.RUnlock()
+	t := p.layout.Widen(s, base)
+	t.Queries = p.front.lineageFor(s)
+	if !t.Queries.Any() {
+		return
+	}
+	p.pe.Ingest(t)
+}
+
+// Flush pushes partial driver batches to the shards; call at the end of an
+// input step so trickle traffic is not held back by batch boundaries.
+func (p *Parallel) Flush() {
+	p.ctlMu.RLock()
+	defer p.ctlMu.RUnlock()
+	p.pe.Flush()
+}
+
+// AddQuery registers a standing query on the front engine and every shard
+// in lockstep — all engines allocate IDs sequentially, so the same
+// mutation order yields the same ID everywhere, which is what lets a
+// lineage bit set on a shard mean the same query at the merge. The change
+// happens under a shard barrier (atomic with respect to in-flight tuples);
+// the front registers first, so a tuple completing concurrently simply
+// finds the new bit absent from its lineage and skips the query. Shards
+// register footprint and selections only: projection and output belong to
+// the front's delivery stage.
+func (p *Parallel) AddQuery(footprint tuple.SourceSet, selections []expr.Predicate,
+	project []int, out func(*tuple.Tuple)) (*Query, error) {
+	p.ctlMu.Lock()
+	defer p.ctlMu.Unlock()
+	var q *Query
+	var err error
+	p.pe.Barrier(func(shard int, s eddy.Shard) {
+		if err != nil {
+			return
+		}
+		if q == nil {
+			p.deliverMu.Lock()
+			q, err = p.front.AddQuery(footprint, selections, project, out)
+			p.deliverMu.Unlock()
+			if err != nil {
+				return
+			}
+		}
+		sq, serr := s.(parShard).Engine.AddQuery(footprint, selections, nil, nil)
+		if serr != nil {
+			err = serr
+			return
+		}
+		if sq.ID != q.ID {
+			err = fmt.Errorf("cacq: shard %d allocated query id %d, front %d: engines out of lockstep", shard, sq.ID, q.ID)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// RemoveQuery unregisters a standing query from the front and every shard.
+func (p *Parallel) RemoveQuery(id int) error {
+	p.ctlMu.Lock()
+	defer p.ctlMu.Unlock()
+	var err error
+	p.pe.Barrier(func(shard int, s eddy.Shard) {
+		if serr := s.(parShard).Engine.RemoveQuery(id); serr != nil && err == nil {
+			err = serr
+		}
+	})
+	p.deliverMu.Lock()
+	if ferr := p.front.RemoveQuery(id); ferr != nil && err == nil {
+		err = ferr
+	}
+	p.deliverMu.Unlock()
+	return err
+}
+
+// EvictWindows drops SteM state older than watermark on every shard.
+func (p *Parallel) EvictWindows(watermark int64) int {
+	p.ctlMu.Lock()
+	defer p.ctlMu.Unlock()
+	n := 0
+	p.pe.Barrier(func(_ int, s eddy.Shard) {
+		n += s.(parShard).Engine.EvictWindows(watermark)
+	})
+	return n
+}
+
+// Stats sums the shard eddies' counters (a barrier snapshot).
+func (p *Parallel) Stats() eddy.Stats {
+	p.ctlMu.Lock()
+	defer p.ctlMu.Unlock()
+	var agg eddy.Stats
+	p.pe.Barrier(func(_ int, s eddy.Shard) {
+		st := s.(parShard).Engine.Stats()
+		agg.Ingested += st.Ingested
+		agg.Emitted += st.Emitted
+		agg.Dropped += st.Dropped
+		agg.Decisions += st.Decisions
+		agg.Visits += st.Visits
+		if agg.Modules == nil {
+			agg.Modules = make([]eddy.ModuleStats, len(st.Modules))
+		}
+		for i := range st.Modules {
+			agg.Modules[i].Visits += st.Modules[i].Visits
+			agg.Modules[i].Passed += st.Modules[i].Passed
+			agg.Modules[i].Produced += st.Modules[i].Produced
+		}
+	})
+	return agg
+}
+
+// ParStats exposes the underlying parallel layer's counters (batches,
+// merge buffer, per-shard queue depths).
+func (p *Parallel) ParStats() eddy.ParallelStats { return p.pe.Stats() }
+
+// QueryCount returns the number of standing queries.
+func (p *Parallel) QueryCount() int {
+	p.deliverMu.Lock()
+	defer p.deliverMu.Unlock()
+	return p.front.QueryCount()
+}
+
+// Delivered sums results delivered to the standing queries.
+func (p *Parallel) Delivered() int64 {
+	p.deliverMu.Lock()
+	defer p.deliverMu.Unlock()
+	return p.front.Delivered()
+}
+
+// Close flushes, stops the workers, and drains the merge stage.
+func (p *Parallel) Close() {
+	p.ctlMu.Lock()
+	defer p.ctlMu.Unlock()
+	p.pe.Close()
+}
+
+// PartitionColumns reports, per stream, the wide-row column tuples of that
+// stream hash-partition on. Partitioned parallel execution of the shared
+// join set is sound only when all equijoin edges connect columns in ONE
+// equivalence class (union-find over the edges): then equal join keys hash
+// identically on every stream and all matching tuples co-locate. Streams
+// outside the join set partition on their first column (any deterministic
+// choice is sound — their tuples touch no cross-tuple state). ok=false
+// means the join set spans multiple classes (e.g. A.x=B.x AND B.y=C.y) and
+// the caller must stay sequential.
+func PartitionColumns(layout *tuple.Layout, joins []JoinSpec) ([]int, bool) {
+	cols := make([]int, layout.Streams())
+	for s := range cols {
+		cols[s] = layout.Offsets[s]
+	}
+	if len(joins) == 0 {
+		return cols, true
+	}
+	parent := make([]int, layout.Width())
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, j := range joins {
+		parent[find(j.ColA)] = find(j.ColB)
+	}
+	root := find(joins[0].ColA)
+	for _, j := range joins {
+		if find(j.ColA) != root || find(j.ColB) != root {
+			return nil, false
+		}
+	}
+	for _, j := range joins {
+		cols[j.StreamA] = j.ColA
+		cols[j.StreamB] = j.ColB
+	}
+	return cols, true
+}

@@ -8,6 +8,7 @@ import (
 	"telegraphcq/internal/eddy"
 	"telegraphcq/internal/expr"
 	"telegraphcq/internal/ops"
+	"telegraphcq/internal/sql"
 	"telegraphcq/internal/stem"
 	"telegraphcq/internal/tuple"
 )
@@ -33,12 +34,12 @@ type eddyRuntime struct {
 	mu sync.Mutex
 }
 
-func newEddyRuntime(q *RunningQuery) (runtime, error) {
-	plan := q.Plan
+// buildQueryModules constructs a fresh module set for a plan: one filter
+// per selection and one SteM per join-participating stream. Each call
+// returns independent state, so parallel shards build their partitions of
+// the same logical plan by calling it once per shard.
+func buildQueryModules(plan *sql.Plan) (modules []eddy.Module, stems []*ops.SteMModule) {
 	layout := plan.Layout
-	rt := &eddyRuntime{q: q, batch: 256, closed: make([]bool, len(q.inputs))}
-
-	var modules []eddy.Module
 	for i, p := range plan.Selections {
 		modules = append(modules, ops.NewFilter(fmt.Sprintf("sel%d", i), layout, p))
 	}
@@ -78,10 +79,20 @@ func newEddyRuntime(q *RunningQuery) (runtime, error) {
 			}
 			st := stem.New(layout.Schemas[s].Relation, tuple.SingleSource(s), layout, sopts...)
 			sm := ops.NewSteMModule(st, layout, preds)
-			rt.stems = append(rt.stems, sm)
+			stems = append(stems, sm)
 			modules = append(modules, sm)
 		}
 	}
+	return modules, stems
+}
+
+func newEddyRuntime(q *RunningQuery) (runtime, error) {
+	plan := q.Plan
+	layout := plan.Layout
+	rt := &eddyRuntime{q: q, batch: 256, closed: make([]bool, len(q.inputs))}
+
+	modules, stems := buildQueryModules(plan)
+	rt.stems = stems
 
 	if plan.HasAgg() {
 		rt.agg = ops.NewLandmarkAgg(plan.Aggs...)

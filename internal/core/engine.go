@@ -59,6 +59,16 @@ type Options struct {
 	// fire latency). nil defaults to the real clock; tests inject a
 	// virtual clock for deterministic runs.
 	Clock chaos.Clock
+	// Workers selects intra-process parallel execution: eligible query
+	// classes (shared CACQ classes, private unwindowed eddies whose join
+	// edges form one equijoin key class) run as Workers hash-partitioned
+	// shards with a merge stage. 1 (the default) keeps every query on the
+	// sequential path, bit-identical to previous behavior; ineligible
+	// plans fall back to sequential regardless of this setting.
+	Workers int
+	// BatchSize is the tuple count amortizing each shard handoff in
+	// parallel execution (default 64; ignored when Workers is 1).
+	BatchSize int
 }
 
 func (o *Options) defaults() {
@@ -76,6 +86,12 @@ func (o *Options) defaults() {
 	}
 	if o.QueueCap < 1 {
 		o.QueueCap = 4096
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
+	if o.BatchSize < 1 {
+		o.BatchSize = 64
 	}
 }
 
@@ -104,6 +120,11 @@ type Engine struct {
 	pool   *storage.BufferPool
 	reg    *metrics.Registry
 	tracer *metrics.Tracer // nil unless TraceSampleRate > 0
+	// recycler reclaims hot-path tuple allocations. Active only with
+	// Workers > 1 so the sequential configuration carries zero new risk;
+	// ingress draws subscriber clones from it, drivers return spent
+	// narrow tuples, shard eddies return provably-dead drops.
+	recycler *tuple.Pool
 
 	mu      sync.Mutex
 	streams map[string]*streamState
@@ -132,6 +153,24 @@ func NewEngine(opts Options) *Engine {
 	if opts.TraceSampleRate > 0 {
 		e.tracer = metrics.NewTracer(opts.TraceSampleRate, 1, opts.TraceKeep)
 	}
+	if opts.Workers > 1 {
+		e.recycler = tuple.NewPool()
+		e.reg.RegisterFunc("tcq_tuple_pool_gets_total", metrics.KindCounter, func() float64 {
+			return float64(e.recycler.Stats().Gets)
+		})
+		e.reg.RegisterFunc("tcq_tuple_pool_hits_total", metrics.KindCounter, func() float64 {
+			return float64(e.recycler.Stats().Hits)
+		})
+		e.reg.RegisterFunc("tcq_tuple_pool_puts_total", metrics.KindCounter, func() float64 {
+			return float64(e.recycler.Stats().Puts)
+		})
+	}
+	e.reg.RegisterFunc("tcq_engine_workers", metrics.KindGauge, func() float64 {
+		return float64(opts.Workers)
+	})
+	e.reg.RegisterFunc("tcq_engine_batch_size", metrics.KindGauge, func() float64 {
+		return float64(opts.BatchSize)
+	})
 	e.reg.RegisterFunc("tcq_engine_streams", metrics.KindGauge, func() float64 {
 		e.mu.Lock()
 		defer e.mu.Unlock()
@@ -147,6 +186,9 @@ func NewEngine(opts Options) *Engine {
 
 // Catalog exposes the engine's catalog.
 func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// Options returns the engine's effective (defaulted) configuration.
+func (e *Engine) Options() Options { return e.opts }
 
 // Metrics exposes the engine's metric registry.
 func (e *Engine) Metrics() *metrics.Registry { return e.reg }
@@ -275,12 +317,14 @@ func (e *Engine) Feed(stream string, t *tuple.Tuple) error {
 			// QoS mode: never stall the producer; the queue counts
 			// the shed tuples (§4.3 "deciding what work to drop when
 			// the system is in danger of falling behind").
-			c.Q.Push(t.Clone())
+			if clone := t.CloneUsing(e.recycler); !c.Q.Push(clone) && e.recycler != nil {
+				e.recycler.Put(clone)
+			}
 			continue
 		}
 		// Default: back-pressure the producer rather than drop,
 		// matching the pull-queue modality on the ingestion side.
-		c.Q.PushWait(t.Clone())
+		c.Q.PushWait(t.CloneUsing(e.recycler))
 	}
 	return nil
 }
@@ -351,9 +395,16 @@ func (e *Engine) Stop() {
 	for _, q := range e.queries {
 		qs = append(qs, q)
 	}
+	scs := make([]*sharedClass, 0, len(e.shared))
+	for _, sc := range e.shared {
+		scs = append(scs, sc)
+	}
 	e.mu.Unlock()
 	for _, q := range qs {
 		e.Deregister(q.ID)
+	}
+	for _, sc := range scs {
+		sc.close()
 	}
 	e.exec.Stop()
 }

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"telegraphcq/internal/tuple"
+	"telegraphcq/internal/workload"
+)
+
+func newParStockEngine(t *testing.T, workers int) *Engine {
+	t.Helper()
+	e := NewEngine(Options{EOs: 2, Workers: workers, BatchSize: 8})
+	if err := e.CreateStream("ClosingStockPrices", workload.StockSchema(), 0); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestParallelRuntimeSelection: Workers=1 keeps every plan on the
+// sequential private eddy; Workers>1 moves partitionable plans to the
+// parallel runtime and leaves non-partitionable ones (join edges spanning
+// two key classes) sequential.
+func TestParallelRuntimeSelection(t *testing.T) {
+	seq := newParStockEngine(t, 1)
+	defer seq.Stop()
+	q, err := seq.Register(`SELECT MAX(closingPrice) FROM ClosingStockPrices`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := q.rt.(*eddyRuntime); !ok {
+		t.Fatalf("Workers=1 runtime = %T, want *eddyRuntime", q.rt)
+	}
+
+	par := newParStockEngine(t, 2)
+	defer par.Stop()
+	q2, err := par.Register(`SELECT MAX(closingPrice) FROM ClosingStockPrices`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := q2.rt.(*parEddyRuntime); !ok {
+		t.Fatalf("Workers=2 runtime = %T, want *parEddyRuntime", q2.rt)
+	}
+
+	// Two equivalence classes (A.k=B.k, B.j=C.j) cannot partition; the
+	// engine must fall back to the sequential eddy even with Workers>1.
+	mkStream := func(e *Engine, name string, cols ...string) {
+		cs := make([]tuple.Column, len(cols))
+		for i, c := range cols {
+			cs[i] = tuple.Column{Name: c, Kind: tuple.KindInt}
+		}
+		if err := e.CreateStream(name, tuple.NewSchema(name, cs...), -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mkStream(par, "A", "k", "va")
+	mkStream(par, "B", "k", "j")
+	mkStream(par, "C", "j", "vc")
+	q3, err := par.Register(`SELECT A.va, C.vc FROM A, B, C WHERE A.k = B.k AND B.j = C.j`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := q3.rt.(*eddyRuntime); !ok {
+		t.Fatalf("two-class join runtime = %T, want sequential fallback", q3.rt)
+	}
+}
+
+// TestParallelRunningMaxMatchesSequential runs the same unwindowed
+// aggregate on a sequential and a parallel engine and requires the exact
+// same sequence of running values: the ordered merge must reproduce the
+// sequential emission order for single-stream plans at any worker count.
+func TestParallelRunningMaxMatchesSequential(t *testing.T) {
+	const days = 40
+	run := func(workers int) []float64 {
+		e := newParStockEngine(t, workers)
+		defer e.Stop()
+		q, err := e.Register(`SELECT MAX(closingPrice) FROM ClosingStockPrices`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feedStocks(t, e, 1, days)
+		waitFor(t, "all running-max updates", func() bool {
+			return q.Results() == 2*days
+		})
+		res, _ := q.Fetch(q.Cursor())
+		out := make([]float64, len(res))
+		for i, r := range res {
+			out[i] = r.Vals[0].AsFloat()
+		}
+		return out
+	}
+	want := run(1)
+	for _, workers := range []int{2, 4} {
+		got := run(workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d produced %d values, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d value %d = %v, want %v (order not preserved)",
+					workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestParallelUnwindowedJoin runs the equijoin workload from
+// TestUnwindowedJoinCQ on a parallel engine: hash partitioning must
+// co-locate matching keys so no result is lost or duplicated.
+func TestParallelUnwindowedJoin(t *testing.T) {
+	e := NewEngine(Options{EOs: 1, Workers: 4, BatchSize: 4})
+	defer e.Stop()
+	sSchema := tuple.NewSchema("S",
+		tuple.Column{Name: "k", Kind: tuple.KindInt},
+		tuple.Column{Name: "v", Kind: tuple.KindInt})
+	rSchema := tuple.NewSchema("R",
+		tuple.Column{Name: "k", Kind: tuple.KindInt},
+		tuple.Column{Name: "w", Kind: tuple.KindInt})
+	if err := e.CreateStream("S", sSchema, -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CreateStream("R", rSchema, -1); err != nil {
+		t.Fatal(err)
+	}
+	q, err := e.Register(`SELECT S.v, R.w FROM S, R WHERE S.k = R.k`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := q.rt.(*parEddyRuntime); !ok {
+		t.Fatalf("runtime = %T, want *parEddyRuntime", q.rt)
+	}
+	for i := int64(0); i < 30; i++ {
+		e.Feed("S", tuple.New(tuple.Int(i%5), tuple.Int(i)))
+	}
+	for i := int64(0); i < 20; i++ {
+		e.Feed("R", tuple.New(tuple.Int(i%5), tuple.Int(i)))
+	}
+	// Per key: |S|=6, |R|=4 → 24 matches per key, 5 keys → 120.
+	waitFor(t, "120 join results", func() bool { return q.Results() == 120 })
+	time.Sleep(20 * time.Millisecond)
+	if q.Results() != 120 {
+		t.Errorf("join results = %d (duplicates?)", q.Results())
+	}
+	// Every result must be a genuine key match.
+	res, _ := q.Fetch(q.Cursor())
+	for _, r := range res {
+		if r.Vals[0].AsInt()%5 != r.Vals[1].AsInt()%5 {
+			t.Errorf("mismatched join row: %v", r)
+		}
+	}
+	if st, ok := q.EddyStats(); !ok || st.Ingested != 50 {
+		t.Errorf("aggregate shard stats = %+v ok=%v, want Ingested=50", st, ok)
+	}
+}
+
+// TestParallelDistinctUnwindowed: DISTINCT runs on the merge goroutine;
+// the set semantics must hold regardless of shard interleaving.
+func TestParallelDistinctUnwindowed(t *testing.T) {
+	e := newParStockEngine(t, 3)
+	defer e.Stop()
+	q, err := e.Register(`SELECT DISTINCT stockSymbol FROM ClosingStockPrices`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := q.rt.(*parEddyRuntime); !ok {
+		t.Fatalf("runtime = %T, want *parEddyRuntime", q.rt)
+	}
+	feedStocks(t, e, 1, 50)
+	waitFor(t, "2 distinct symbols", func() bool { return q.Results() == 2 })
+	time.Sleep(10 * time.Millisecond)
+	if q.Results() != 2 {
+		t.Errorf("distinct emitted %d", q.Results())
+	}
+}
+
+// TestParallelSharedClassDelivery: with Workers>1 the shared CACQ class
+// runs on the partitioned engine with the ordered merge — members see the
+// exact per-stream delivery order, and dynamic membership keeps working.
+func TestParallelSharedClassDelivery(t *testing.T) {
+	e := newParStockEngine(t, 2)
+	defer e.Stop()
+	q1, err := e.Register(`SELECT closingPrice FROM ClosingStockPrices WHERE stockSymbol = 'MSFT'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := e.Register(`SELECT closingPrice FROM ClosingStockPrices WHERE closingPrice > 103`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.SharedQueryCount("ClosingStockPrices") != 2 {
+		t.Fatalf("shared members = %d", e.SharedQueryCount("ClosingStockPrices"))
+	}
+	feedStocks(t, e, 1, 10)
+	waitFor(t, "shared deliveries", func() bool {
+		return q1.Results() == 10 && q2.Results() == 7
+	})
+	// Ordered merge: q1's MSFT prices arrive in feed order 1..10.
+	res, _ := q1.Fetch(q1.Cursor())
+	for i, r := range res {
+		if r.Vals[0].AsFloat() != float64(i+1) {
+			t.Fatalf("q1 row %d = %v, want %d (order broken)", i, r.Vals[0], i+1)
+		}
+	}
+	if err := e.Deregister(q1.ID); err != nil {
+		t.Fatal(err)
+	}
+	feedStocks(t, e, 11, 12)
+	waitFor(t, "q2 keeps flowing", func() bool { return q2.Results() == 9 })
+	if q1.Results() != 10 {
+		t.Error("deregistered member kept receiving")
+	}
+}
+
+// TestParallelDeregisterReleasesRuntime: deregistering a parallel query
+// must stop its workers even if its DU never steps again.
+func TestParallelDeregisterReleasesRuntime(t *testing.T) {
+	e := newParStockEngine(t, 2)
+	defer e.Stop()
+	q, err := e.Register(`SELECT MAX(closingPrice) FROM ClosingStockPrices`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedStocks(t, e, 1, 5)
+	waitFor(t, "updates", func() bool { return q.Results() == 10 })
+	if err := e.Deregister(q.ID); err != nil {
+		t.Fatal(err)
+	}
+	rt := q.rt.(*parEddyRuntime)
+	waitFor(t, "runtime stopped", func() bool {
+		rt.mu.Lock()
+		defer rt.mu.Unlock()
+		return rt.stopped
+	})
+	// A second close is a no-op, and feeding after deregister changes nothing.
+	rt.close()
+	feedStocks(t, e, 6, 8)
+	time.Sleep(10 * time.Millisecond)
+	if q.Results() != 10 {
+		t.Errorf("results after deregister = %d", q.Results())
+	}
+}
+
+// TestParallelMetricsExported: a parallel query exports both the aggregate
+// eddy counters (query label) and the shard-layer series (par label), and
+// deregistration removes them all.
+func TestParallelMetricsExported(t *testing.T) {
+	e := newParStockEngine(t, 2)
+	defer e.Stop()
+	q, err := e.Register(`SELECT MAX(closingPrice) FROM ClosingStockPrices`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedStocks(t, e, 1, 5)
+	waitFor(t, "updates", func() bool { return q.Results() == 10 })
+	byName := func() map[string]float64 {
+		out := map[string]float64{}
+		for _, s := range e.Metrics().Snapshot() {
+			out[s.Name] = s.Value
+		}
+		return out
+	}
+	snap := byName()
+	for _, name := range []string{
+		fmt.Sprintf(`tcq_eddy_ingested_total{query="%d"}`, q.ID),
+		fmt.Sprintf(`tcq_parallel_workers{par="q%d"}`, q.ID),
+		fmt.Sprintf(`tcq_parallel_shard_queue_depth{par="q%d",shard="0"}`, q.ID),
+		"tcq_tuple_pool_gets_total",
+		"tcq_engine_workers",
+	} {
+		if _, ok := snap[name]; !ok {
+			t.Errorf("series %s not exported", name)
+		}
+	}
+	if got := snap[fmt.Sprintf(`tcq_eddy_ingested_total{query="%d"}`, q.ID)]; got != 10 {
+		t.Errorf("aggregate ingested = %v, want 10", got)
+	}
+	if err := e.Deregister(q.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := byName()[fmt.Sprintf(`tcq_parallel_workers{par="q%d"}`, q.ID)]; ok {
+		t.Errorf("par series survived deregistration")
+	}
+}

@@ -1,0 +1,299 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"telegraphcq/internal/catalog"
+	"telegraphcq/internal/eddy"
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/metrics"
+	"telegraphcq/internal/ops"
+	"telegraphcq/internal/sql"
+	"telegraphcq/internal/tuple"
+)
+
+// parEddyRuntime executes an unwindowed continuous query as Workers
+// hash-partitioned eddy shards behind an ordered (single stream) or
+// arrival-order (multi-stream join) merge. Each shard owns a complete
+// private module set — filters plus its key range's SteM partitions — so
+// shards share no state; the post-eddy pipeline (aggregate, projection,
+// DISTINCT) runs on the single-threaded merge goroutine, exactly like the
+// sequential runtime's output path.
+type parEddyRuntime struct {
+	q  *RunningQuery
+	pe *eddy.ParallelEddy
+
+	// Post-merge pipeline: touched only by the merge goroutine.
+	agg   *ops.LandmarkAgg
+	proj  *ops.Project
+	dedup *ops.DupElim
+
+	// Driver state: touched only by the stepping DU under mu.
+	closed  []bool
+	preSeq  []int64
+	batch   int
+	stopped bool
+
+	pool *tuple.Pool
+
+	// mu serializes the stepping DU against Deregister-time close.
+	mu sync.Mutex
+
+	unregPar func() // parallel-layer metric unregistration
+}
+
+// parallelKeyColumns decides whether a plan's join set is partitionable
+// and on which wide-row column each stream hashes: every join edge must be
+// an equijoin and all join columns must fall into one equivalence class
+// (union-find over the edges) — then tuples that could ever join share a
+// hash key and meet in the same shard. Streams outside the join set hash
+// on their first column. ok=false (multi-class join sets, non-equi joins)
+// keeps the plan on the sequential runtime.
+func parallelKeyColumns(plan *sql.Plan) (cols []int, ok bool) {
+	layout := plan.Layout
+	cols = make([]int, layout.Streams())
+	for s := range cols {
+		cols[s] = layout.Offsets[s]
+	}
+	if len(plan.Joins) == 0 {
+		return cols, true
+	}
+	parent := make([]int, layout.Width())
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, j := range plan.Joins {
+		if j.Op != expr.Eq {
+			return nil, false
+		}
+		parent[find(j.ColA)] = find(j.ColB)
+	}
+	root := find(plan.Joins[0].ColA)
+	for _, j := range plan.Joins {
+		if find(j.ColA) != root || find(j.ColB) != root {
+			return nil, false
+		}
+	}
+	for _, j := range plan.Joins {
+		cols[j.StreamA] = j.ColA
+		cols[j.StreamB] = j.ColB
+	}
+	return cols, true
+}
+
+func newParEddyRuntime(q *RunningQuery, keyCols []int) (runtime, error) {
+	plan := q.Plan
+	e := q.engine
+	rt := &parEddyRuntime{
+		q:      q,
+		batch:  256,
+		closed: make([]bool, len(q.inputs)),
+		preSeq: make([]int64, len(plan.Entries)),
+		pool:   e.recycler,
+	}
+	if plan.HasAgg() {
+		rt.agg = ops.NewLandmarkAgg(plan.Aggs...)
+	} else if plan.Project != nil {
+		rt.proj = ops.NewProject(plan.Project...)
+	}
+	if plan.Distinct {
+		rt.dedup = ops.NewDupElim()
+	}
+
+	// Ordered merge requires a globally monotone key across all inputs;
+	// Seq counters are per-stream, so only single-entry plans qualify.
+	// Multi-stream joins have no defined cross-stream arrival order — the
+	// arrival-order merge is their sequential-equivalent semantics.
+	var orderBy func(*tuple.Tuple) int64
+	if len(plan.Entries) == 1 {
+		orderBy = func(t *tuple.Tuple) int64 { return t.Seq }
+	}
+
+	rt.pe = eddy.NewParallel(eddy.ParallelConfig{
+		Workers:   e.opts.Workers,
+		BatchSize: e.opts.BatchSize,
+		Partition: func(t *tuple.Tuple) int {
+			s := bits.TrailingZeros64(uint64(t.Source))
+			return int(t.Vals[keyCols[s]].Hash())
+		},
+		NewShard: func(shard int, emit func(*tuple.Tuple)) eddy.Shard {
+			modules, _ := buildQueryModules(plan)
+			ed := eddy.New(plan.Footprint, eddy.NewLotteryPolicy(int64(q.ID)*64+int64(shard)+1), emit, modules...)
+			ed.SetClock(e.opts.Clock)
+			if rt.pool != nil {
+				ed.SetRecycler(rt.pool)
+			}
+			return ed
+		},
+		Merge:   rt.output,
+		OrderBy: orderBy,
+	})
+
+	// Replay static tables through the partitioner so each shard builds
+	// the slice of table state its key range owns.
+	for pos, entry := range plan.Entries {
+		if entry.Kind != catalog.Table {
+			continue
+		}
+		rows, err := e.tableContents(entry)
+		if err != nil {
+			rt.pe.Close()
+			return nil, err
+		}
+		for _, t := range rows {
+			if t.Seq > rt.preSeq[pos] {
+				rt.preSeq[pos] = t.Seq
+			}
+			rt.pe.Ingest(plan.Layout.Widen(pos, t))
+		}
+	}
+	rt.pe.Flush()
+	return rt, nil
+}
+
+// output is the merge stage: identical post-eddy pipeline to
+// eddyRuntime.output, single-threaded on the merge goroutine.
+func (rt *parEddyRuntime) output(t *tuple.Tuple) {
+	switch {
+	case rt.agg != nil:
+		rt.agg.Add(t)
+		out := rt.agg.Result()
+		out.TS = t.TS
+		out.Seq = t.Seq
+		rt.q.emit(out)
+	case rt.proj != nil:
+		out := rt.proj.Apply(t)
+		if rt.dedup != nil && !rt.dedup.Accept(out) {
+			return
+		}
+		rt.q.emit(out)
+	default:
+		if rt.dedup != nil && !rt.dedup.Accept(t) {
+			return
+		}
+		rt.q.emit(t)
+	}
+}
+
+func (rt *parEddyRuntime) step() (bool, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.stopped {
+		return false, true
+	}
+	progressed := false
+	allDrained := true
+	for pos, conn := range rt.q.inputs {
+		if rt.closed[pos] {
+			continue
+		}
+		for i := 0; i < rt.batch; i++ {
+			t, ok := conn.Recv()
+			if !ok {
+				if conn.Drained() {
+					rt.closed[pos] = true
+				}
+				break
+			}
+			if t.Seq <= rt.preSeq[pos] {
+				if rt.pool != nil {
+					rt.pool.Put(t)
+				}
+				continue // replayed from table contents already
+			}
+			progressed = true
+			wide := rt.q.Plan.Layout.WidenUsing(rt.pool, pos, t)
+			rt.pe.Ingest(wide)
+			if rt.pool != nil {
+				// The subscriber clone is spent: Widen copied it into the
+				// wide row and nothing else references it.
+				rt.pool.Put(t)
+			}
+		}
+		if !rt.closed[pos] {
+			allDrained = false
+		}
+	}
+	if progressed {
+		rt.pe.Flush()
+	}
+	if allDrained {
+		// Inputs are gone for good: flush the shards and drain the merge
+		// so the final results are emitted before the DU retires.
+		rt.shutdown()
+		return progressed, true
+	}
+	return progressed, false
+}
+
+// shutdown (mu held) drains and stops the parallel layer. Idempotent.
+func (rt *parEddyRuntime) shutdown() {
+	if rt.stopped {
+		return
+	}
+	rt.stopped = true
+	rt.pe.Close()
+	if rt.unregPar != nil {
+		rt.unregPar()
+	}
+}
+
+// close stops the workers and merge stage without waiting for the DU to
+// observe drained inputs — engine shutdown and Deregister call it so no
+// goroutines outlive the query.
+func (rt *parEddyRuntime) close() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.shutdown()
+}
+
+// Stats sums the shard eddies' counters (barrier snapshot).
+func (rt *parEddyRuntime) Stats() eddy.Stats {
+	var agg eddy.Stats
+	rt.pe.Barrier(func(_ int, s eddy.Shard) {
+		st := s.(*eddy.Eddy).Stats()
+		agg.Ingested += st.Ingested
+		agg.Emitted += st.Emitted
+		agg.Dropped += st.Dropped
+		agg.Decisions += st.Decisions
+		agg.Visits += st.Visits
+		if agg.Modules == nil {
+			agg.Modules = make([]eddy.ModuleStats, len(st.Modules))
+		}
+		for i := range st.Modules {
+			agg.Modules[i].Visits += st.Modules[i].Visits
+			agg.Modules[i].Passed += st.Modules[i].Passed
+			agg.Modules[i].Produced += st.Modules[i].Produced
+		}
+	})
+	return agg
+}
+
+// registerParMetrics exports the shard-layer series (queue depths, batch
+// sizes, merge buffer) plus the aggregate eddy counters for this query.
+func (rt *parEddyRuntime) registerParMetrics(reg *metrics.Registry) {
+	lbl := fmt.Sprintf(`{query="%d"}`, rt.q.ID)
+	for name, get := range map[string]func(eddy.Stats) int64{
+		"tcq_eddy_ingested_total":  func(s eddy.Stats) int64 { return s.Ingested },
+		"tcq_eddy_emitted_total":   func(s eddy.Stats) int64 { return s.Emitted },
+		"tcq_eddy_dropped_total":   func(s eddy.Stats) int64 { return s.Dropped },
+		"tcq_eddy_decisions_total": func(s eddy.Stats) int64 { return s.Decisions },
+		"tcq_eddy_visits_total":    func(s eddy.Stats) int64 { return s.Visits },
+	} {
+		get := get
+		reg.RegisterFunc(name+lbl, metrics.KindCounter, func() float64 {
+			return float64(get(rt.Stats()))
+		})
+	}
+	rt.unregPar = rt.pe.RegisterMetrics(reg, fmt.Sprintf("q%d", rt.q.ID))
+}

@@ -168,6 +168,10 @@ func (q *RunningQuery) registerMetrics() {
 			return float64(dropped)
 		})
 	}
+	if prt, ok := q.rt.(*parEddyRuntime); ok {
+		prt.registerParMetrics(reg)
+		return
+	}
 	rt, ok := q.rt.(*eddyRuntime)
 	if !ok {
 		return
@@ -291,7 +295,14 @@ func (e *Engine) RegisterPlan(plan *sql.Plan) (*RunningQuery, error) {
 
 	var err error
 	if plan.Loop == nil {
-		q.rt, err = newEddyRuntime(q)
+		// With Workers > 1, partitionable plans (join edges forming one
+		// equijoin key class, or no joins at all) run as parallel shards;
+		// anything else keeps the sequential private eddy.
+		if cols, ok := parallelKeyColumns(plan); ok && e.opts.Workers > 1 {
+			q.rt, err = newParEddyRuntime(q, cols)
+		} else {
+			q.rt, err = newEddyRuntime(q)
+		}
 	} else {
 		q.rt, err = newWindowRuntime(q)
 	}
@@ -360,6 +371,12 @@ func (e *Engine) Deregister(id int) error {
 		q.shared.remove(q.ID)
 	}
 	e.detach(q)
+	// A parallel runtime owns worker goroutines; stop them now instead of
+	// waiting for its DU to observe the closed inputs (the executor may
+	// already be shutting down and never step it again).
+	if cl, ok := q.rt.(interface{ close() }); ok {
+		cl.close()
+	}
 	q.unregisterMetrics()
 	q.finish()
 	return nil
@@ -388,5 +405,18 @@ func (q *RunningQuery) EddyStats() (eddy.Stats, bool) {
 	if rt, ok := q.rt.(*eddyRuntime); ok {
 		return rt.Stats(), true
 	}
+	if rt, ok := q.rt.(*parEddyRuntime); ok {
+		return rt.Stats(), true
+	}
 	return eddy.Stats{}, false
+}
+
+// ParallelStats returns the shard-layer counters (handoff batches, queue
+// depths, merge buffer high-water mark) for a query running on the
+// parallel runtime; ok is false on the sequential or windowed paths.
+func (q *RunningQuery) ParallelStats() (eddy.ParallelStats, bool) {
+	if rt, ok := q.rt.(*parEddyRuntime); ok {
+		return rt.pe.Stats(), true
+	}
+	return eddy.ParallelStats{}, false
 }

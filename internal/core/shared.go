@@ -8,6 +8,7 @@ import (
 	"telegraphcq/internal/catalog"
 	"telegraphcq/internal/eddy"
 	"telegraphcq/internal/executor"
+	"telegraphcq/internal/expr"
 	"telegraphcq/internal/fjord"
 	"telegraphcq/internal/metrics"
 	"telegraphcq/internal/sql"
@@ -30,9 +31,26 @@ type sharedClass struct {
 	// engine on its EO thread while Register/Deregister mutate it from
 	// client goroutines.
 	mu      sync.Mutex
-	eng     *cacq.Engine
+	eng     sharedEngine
 	members map[int]int // RunningQuery.ID -> cacq query id
 	batch   int
+	// recycler, when non-nil, reclaims the spent subscriber clone after
+	// the engine has widened it (parallel configurations only).
+	recycler *tuple.Pool
+}
+
+// sharedEngine abstracts the execution strategy behind a shared class:
+// the sequential cacq.Engine, or — when the engine runs with Workers > 1 —
+// a cacq.Parallel partitioning the same super-query across worker shards.
+// The class is single-stream, so Seq is monotone and the parallel variant
+// runs its ordered merge: members observe the exact sequential delivery
+// order either way.
+type sharedEngine interface {
+	Ingest(s int, base *tuple.Tuple)
+	AddQuery(fp tuple.SourceSet, sels []expr.Predicate, project []int, out func(*tuple.Tuple)) (*cacq.Query, error)
+	RemoveQuery(id int) error
+	Stats() eddy.Stats
+	Delivered() int64
 }
 
 // qualifiesShared reports whether a plan can join a shared class.
@@ -65,9 +83,22 @@ func (e *Engine) sharedClassFor(plan *sql.Plan) (*sharedClass, error) {
 		stream:  name,
 		layout:  plan.Layout,
 		conn:    fjord.NewConn(fjord.Push, e.opts.QueueCap),
-		eng:     cacq.New(plan.Layout, nil, eddy.NewLotteryPolicy(1)),
 		members: make(map[int]int),
 		batch:   256,
+	}
+	if e.opts.Workers > 1 {
+		par, err := cacq.NewParallelEngine(plan.Layout, nil, cacq.ParallelOptions{
+			Workers:   e.opts.Workers,
+			BatchSize: e.opts.BatchSize,
+			Ordered:   true, // single stream: Seq is monotone
+		})
+		if err != nil {
+			return nil, err
+		}
+		sc.eng = par
+		sc.recycler = e.recycler
+	} else {
+		sc.eng = cacq.New(plan.Layout, nil, eddy.NewLotteryPolicy(1))
 	}
 
 	e.mu.Lock()
@@ -87,7 +118,11 @@ func (e *Engine) sharedClassFor(plan *sql.Plan) (*sharedClass, error) {
 	st.mu.Unlock()
 
 	if e.tracer != nil {
-		sc.eng.SetTracer(e.tracer, "shared:"+name)
+		// Tracing follows individual tuples through one eddy's hops; only
+		// the sequential engine offers it (shards would interleave hops).
+		if seq, ok := sc.eng.(*cacq.Engine); ok {
+			seq.SetTracer(e.tracer, "shared:"+name)
+		}
 	}
 	lbl := fmt.Sprintf(`{stream=%q}`, name)
 	classStat := func(get func() float64) func() float64 {
@@ -113,7 +148,10 @@ func (e *Engine) sharedClassFor(plan *sql.Plan) (*sharedClass, error) {
 	return sc, nil
 }
 
-// step drains pending stream tuples through the shared engine.
+// step drains pending stream tuples through the shared engine. In the
+// parallel configuration it flushes partial shard batches at the end of
+// the step (so trickle traffic is not held back by batch boundaries) and
+// recycles each subscriber clone once the engine has widened it.
 func (sc *sharedClass) step() (progressed, done bool) {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
@@ -124,8 +162,28 @@ func (sc *sharedClass) step() (progressed, done bool) {
 		}
 		progressed = true
 		sc.eng.Ingest(0, t)
+		if sc.recycler != nil {
+			// Ingest widened t into a fresh wide row; the narrow clone is
+			// dead now (history retains the original, not this clone).
+			sc.recycler.Put(t)
+		}
+	}
+	if progressed {
+		if fl, ok := sc.eng.(interface{ Flush() }); ok {
+			fl.Flush()
+		}
 	}
 	return progressed, false
+}
+
+// close stops a parallel engine's workers and merge stage (no-op for the
+// sequential engine, which has no goroutines).
+func (sc *sharedClass) close() {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if cl, ok := sc.eng.(interface{ Close() }); ok {
+		cl.Close()
+	}
 }
 
 // add registers a query with the class, delivering into q's egress.

@@ -100,6 +100,12 @@ type Eddy struct {
 	// clk times sampled hops; injectable so traced runs can execute on a
 	// virtual clock in deterministic tests.
 	clk chaos.Clock
+
+	// recycler, when set, receives tuples the eddy can prove dead: dropped
+	// by a module, never retained as a SteM build, and not sampled by the
+	// tracer. Everything else (emitted, delivered, or built into state)
+	// stays with the garbage collector.
+	recycler *tuple.Pool
 }
 
 // New creates an eddy over the given modules whose output tuples must span
@@ -139,6 +145,12 @@ func (e *Eddy) SetTracer(tr *metrics.Tracer, tag string) {
 	e.tracer = tr
 	e.traceTag = tag
 }
+
+// SetRecycler installs a tuple pool that reclaims provably-dead tuples on
+// the drop path. Only tuples that no SteM retains (their source set builds
+// into no module) and that the tracer is not following are recycled; the
+// conservative gate means correctness never depends on the pool.
+func (e *Eddy) SetRecycler(p *tuple.Pool) { e.recycler = p }
 
 // SetClock replaces the clock used for per-hop trace timing (nil restores
 // the real clock). Call before Ingest.
@@ -284,6 +296,11 @@ func (e *Eddy) step(t *tuple.Tuple) {
 		e.stats.Dropped++
 		if traced {
 			e.tracer.Finish(t, false)
+		} else if e.recycler != nil && e.buildMask(t.Source) == 0 {
+			// Dead for sure: dropped here, never retained as a build, and
+			// invisible to the tracer. Outputs (if any) are independent
+			// copies, so handing t's memory back is safe.
+			e.recycler.Put(t)
 		}
 		return
 	}

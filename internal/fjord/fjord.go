@@ -55,6 +55,49 @@ func (c *Conn) Recv() (*tuple.Tuple, bool) {
 	}
 }
 
+// SendBatch delivers a slice of tuples according to the connection's
+// modality, amortizing the queue lock over the whole batch. It returns the
+// number delivered: short for push connections when the queue fills (the
+// remainder are shed, as with Send), and for pull connections only when
+// the queue closes mid-batch. Chaos perturbation, when configured, is
+// applied per tuple — an injected drop or reorder affects individual
+// tuples, never the batch as a unit — at the cost of the batched lock
+// amortization on that (deliberately perturbed) path.
+func (c *Conn) SendBatch(ts []*tuple.Tuple) int {
+	if c.Chaos != nil {
+		n := 0
+		for _, t := range ts {
+			if c.Chaos.PerturbSend(t, c.enqueue) {
+				n++
+			}
+		}
+		return n
+	}
+	switch c.M {
+	case Push, Exchange:
+		return c.Q.PushMany(ts)
+	default:
+		return c.Q.PushWaitMany(ts)
+	}
+}
+
+// RecvBatch obtains up to len(dst) tuples in one queue operation according
+// to the connection's modality: push connections never block (0 means
+// momentarily empty; check Drained), pull and exchange connections block
+// until at least one tuple arrives or the connection is drained. It
+// returns the number written to dst.
+func (c *Conn) RecvBatch(dst []*tuple.Tuple) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	switch c.M {
+	case Push:
+		return c.Q.PopMany(dst)
+	default:
+		return c.Q.PopWaitMany(dst)
+	}
+}
+
 // Close marks end-of-stream on the connection, first flushing any tuple
 // the chaos site still holds in its reorder slot.
 func (c *Conn) Close() {

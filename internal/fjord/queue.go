@@ -150,6 +150,76 @@ func (q *Queue) take() *tuple.Tuple {
 	return t
 }
 
+// PushMany enqueues tuples under one lock acquisition without blocking,
+// stopping at the first tuple that does not fit (queue full) or when the
+// queue is closed. It returns the number enqueued; the remainder count as
+// dropped, mirroring Push's shed-at-boundary contract.
+func (q *Queue) PushMany(ts []*tuple.Tuple) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for _, t := range ts {
+		if q.closed || q.size == len(q.buf) {
+			q.dropped += int64(len(ts) - n)
+			return n
+		}
+		q.put(t)
+		n++
+	}
+	return n
+}
+
+// PushWaitMany enqueues every tuple, blocking while the queue is full. It
+// returns the number enqueued, which is short only when the queue is
+// closed mid-batch.
+func (q *Queue) PushWaitMany(ts []*tuple.Tuple) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for _, t := range ts {
+		for q.size == len(q.buf) && !q.closed {
+			q.notFull.Wait()
+		}
+		if q.closed {
+			return n
+		}
+		q.put(t)
+		n++
+	}
+	return n
+}
+
+// PopMany dequeues up to len(dst) tuples under one lock acquisition
+// without blocking, returning the number written to dst (0 when the queue
+// is momentarily empty or drained).
+func (q *Queue) PopMany(dst []*tuple.Tuple) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for n < len(dst) && q.size > 0 {
+		dst[n] = q.take()
+		n++
+	}
+	return n
+}
+
+// PopWaitMany blocks until at least one tuple is available (or the queue
+// is closed), then dequeues up to len(dst) tuples in one go. It returns 0
+// only when the queue has been closed and fully drained.
+func (q *Queue) PopWaitMany(dst []*tuple.Tuple) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.size == 0 && !q.closed {
+		q.notEmpty.Wait()
+	}
+	n := 0
+	for n < len(dst) && q.size > 0 {
+		dst[n] = q.take()
+		n++
+	}
+	return n
+}
+
 // Close marks end-of-stream. Blocked consumers wake and drain; subsequent
 // enqueues fail. Closing twice is harmless.
 func (q *Queue) Close() {

@@ -109,6 +109,18 @@ func (f *Flux) Bucket(t *tuple.Tuple) int {
 	return int(t.Vals[f.cfg.KeyCol].Hash() % uint64(f.cfg.Buckets))
 }
 
+// KeyPartitioner returns Flux's content-sensitive partitioning function as
+// a standalone closure: tuples hash on keyCol into buckets. The in-process
+// parallel eddies reuse it so that a machine-local worker shard and a Flux
+// cluster node agree on where a key lives — equal values hash equally
+// across numeric kinds (see tuple.Value.Hash), which is what makes
+// partitioned symmetric joins sound.
+func KeyPartitioner(keyCol, buckets int) func(*tuple.Tuple) int {
+	return func(t *tuple.Tuple) int {
+		return int(t.Vals[keyCol].Hash() % uint64(buckets))
+	}
+}
+
 func (f *Flux) send(node int, msg message) {
 	f.outstanding.Add(1)
 	f.nodes[node].inbox <- msg

@@ -254,3 +254,9 @@ func (c *Client) Metrics() ([]string, error) {
 func (c *Client) Trace(qid int) ([]string, error) {
 	return c.cmdRows(fmt.Sprintf("TRACE %d", qid))
 }
+
+// Info returns the engine's effective execution configuration (worker
+// count, batch size, EOs, queue capacity, shedding/spooling flags).
+func (c *Client) Info() ([]string, error) {
+	return c.cmdRows("INFO")
+}

@@ -190,6 +190,8 @@ func (fe *frontEnd) dispatch(line string) {
 		err = fe.handleTrace(rest)
 	case "LIST":
 		fe.handleList()
+	case "INFO":
+		fe.handleInfo()
 	default:
 		err = fmt.Errorf("unknown command %q", cmd)
 	}
@@ -451,6 +453,16 @@ func (fe *frontEnd) handleDeregister(rest string) error {
 	}
 	fe.send(fmt.Sprintf("OK deregistered %d", id))
 	return nil
+}
+
+// handleInfo reports the engine's effective execution configuration —
+// notably the parallel settings, so a client can tell whether eligible
+// queries run partitioned and at what batch granularity.
+func (fe *frontEnd) handleInfo() {
+	opts := fe.engine.Options()
+	fe.send(fmt.Sprintf("ROW . workers=%d batchSize=%d eos=%d queueCap=%d shed=%v spool=%v",
+		opts.Workers, opts.BatchSize, opts.EOs, opts.QueueCap, opts.Shed, opts.SpoolDir != ""))
+	fe.send("END")
 }
 
 func (fe *frontEnd) handleList() {

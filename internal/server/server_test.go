@@ -491,3 +491,43 @@ func TestPrometheusFamiliesEndToEnd(t *testing.T) {
 		}
 	}
 }
+
+// TestInfoCommand checks INFO reports the engine's execution
+// configuration, and that a parallel-configured server answers queries
+// end-to-end over the wire.
+func TestInfoCommand(t *testing.T) {
+	e := core.NewEngine(core.Options{EOs: 2, Workers: 2, BatchSize: 16})
+	pm, err := Listen(e, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		pm.Close()
+		e.Stop()
+	})
+	c := dial(t, pm.Addr())
+	rows, err := c.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || !strings.Contains(rows[0], "workers=2") ||
+		!strings.Contains(rows[0], "batchSize=16") {
+		t.Fatalf("info = %v", rows)
+	}
+	// An aggregate CQ on this server runs through the parallel runtime;
+	// results must still arrive correctly over the wire.
+	if err := c.CreateStream("s", "x INT", ""); err != nil {
+		t.Fatal(err)
+	}
+	qid, err := c.Query(`SELECT MAX(x) FROM s`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		c.Feed("s", fmt.Sprintf("%d", i))
+	}
+	rows = waitRows(t, c, qid, 10)
+	if len(rows) != 10 || !strings.Contains(rows[9], "9") {
+		t.Fatalf("running-max rows = %v", rows)
+	}
+}

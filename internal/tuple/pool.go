@@ -1,0 +1,114 @@
+package tuple
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a sync.Pool-backed tuple recycler amortizing the dominant
+// allocation of the hot path: one Tuple header plus one Vals slice per
+// tuple per hop. Ingress draws subscriber clones and widened rows from a
+// pool; the eddy returns tuples to it at the points where a tuple is
+// provably dead (dropped by a selection with no SteM retaining it).
+//
+// Ownership discipline: Put hands the tuple's memory back to the pool —
+// the caller must hold the only live reference. Tuples that may still be
+// referenced elsewhere (stream history, SteM state, egress logs, sampled
+// traces) must never be recycled; the wiring in internal/eddy and
+// internal/core gates every Put on those conditions. Value contents are
+// plain structs (string headers share immutable data), so reusing a Vals
+// slice never mutates values previously copied out of it.
+type Pool struct {
+	p     sync.Pool
+	gets  atomic.Int64
+	hits  atomic.Int64
+	puts  atomic.Int64
+	drops atomic.Int64 // Put calls rejected (nil or oversized)
+}
+
+// maxPooledWidth bounds the Vals capacity kept in the pool so one huge
+// wide row cannot pin memory for the lifetime of the pool.
+const maxPooledWidth = 256
+
+// NewPool creates an empty recycler.
+func NewPool() *Pool {
+	return &Pool{p: sync.Pool{New: func() any { return new(Tuple) }}}
+}
+
+// Get returns a zeroed tuple with Vals of length width. The tuple may
+// reuse memory from a previous Put; every field is reset before return.
+func (p *Pool) Get(width int) *Tuple {
+	t := p.p.Get().(*Tuple)
+	p.gets.Add(1)
+	if cap(t.Vals) >= width {
+		p.hits.Add(1)
+		t.Vals = t.Vals[:width]
+		for i := range t.Vals {
+			t.Vals[i] = Value{}
+		}
+	} else {
+		t.Vals = make([]Value, width)
+	}
+	t.TS, t.Seq, t.Source, t.Ready, t.Done, t.Queries = 0, 0, 0, 0, 0, nil
+	return t
+}
+
+// Put returns a dead tuple to the pool. Oversized tuples are dropped so
+// the pool retains only hot-path-sized rows; the lineage bitmap is
+// released to the garbage collector rather than pooled (its size varies
+// with the standing-query population).
+func (p *Pool) Put(t *Tuple) {
+	if t == nil || cap(t.Vals) > maxPooledWidth {
+		p.drops.Add(1)
+		return
+	}
+	t.Queries = nil
+	p.puts.Add(1)
+	p.p.Put(t)
+}
+
+// PoolStats counts pool traffic: Gets and the subset that reused pooled
+// Vals memory (Hits), Puts accepted, and Puts rejected (Drops).
+type PoolStats struct {
+	Gets, Hits, Puts, Drops int64
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Gets:  p.gets.Load(),
+		Hits:  p.hits.Load(),
+		Puts:  p.puts.Load(),
+		Drops: p.drops.Load(),
+	}
+}
+
+// CloneUsing deep-copies the tuple like Clone, drawing the copy's memory
+// from pool when non-nil.
+func (t *Tuple) CloneUsing(pool *Pool) *Tuple {
+	if pool == nil {
+		return t.Clone()
+	}
+	out := pool.Get(len(t.Vals))
+	copy(out.Vals, t.Vals)
+	out.TS, out.Seq, out.Source = t.TS, t.Seq, t.Source
+	out.Ready, out.Done = t.Ready, t.Done
+	if t.Queries != nil {
+		out.Queries = t.Queries.Clone()
+	}
+	return out
+}
+
+// WidenUsing is Widen drawing the wide row from pool when non-nil.
+func (l *Layout) WidenUsing(pool *Pool, s int, base *Tuple) *Tuple {
+	if pool == nil {
+		return l.Widen(s, base)
+	}
+	out := pool.Get(l.Width())
+	out.TS, out.Seq, out.Source = base.TS, base.Seq, SingleSource(s)
+	copy(out.Vals[l.Offsets[s]:], base.Vals)
+	if base.Queries != nil {
+		out.Queries = base.Queries.Clone()
+	}
+	return out
+}

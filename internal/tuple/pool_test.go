@@ -1,0 +1,135 @@
+package tuple
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPoolGetZeroesRecycledMemory(t *testing.T) {
+	p := NewPool()
+	a := p.Get(3)
+	a.Vals[0] = Int(7)
+	a.Vals[2] = String_("x")
+	a.TS, a.Seq, a.Source, a.Done = 9, 9, 3, 0xff
+	a.Queries = NewBitset(4)
+	a.Queries.Set(1)
+	p.Put(a)
+	b := p.Get(3)
+	for i, v := range b.Vals {
+		if !v.IsNull() {
+			t.Errorf("recycled Vals[%d] = %v, want NULL", i, v)
+		}
+	}
+	if b.TS != 0 || b.Seq != 0 || b.Source != 0 || b.Done != 0 || b.Queries != nil {
+		t.Errorf("recycled tuple not zeroed: %+v", b)
+	}
+}
+
+func TestPoolWidthChanges(t *testing.T) {
+	p := NewPool()
+	p.Put(p.Get(8))
+	small := p.Get(2)
+	if len(small.Vals) != 2 {
+		t.Fatalf("len = %d, want 2", len(small.Vals))
+	}
+	p.Put(small)
+	big := p.Get(16)
+	if len(big.Vals) != 16 {
+		t.Fatalf("len = %d, want 16", len(big.Vals))
+	}
+	for i, v := range big.Vals {
+		if !v.IsNull() {
+			t.Errorf("grown Vals[%d] = %v, want NULL", i, v)
+		}
+	}
+}
+
+func TestPoolRejectsOversized(t *testing.T) {
+	p := NewPool()
+	huge := &Tuple{Vals: make([]Value, maxPooledWidth+1)}
+	p.Put(huge)
+	if st := p.Stats(); st.Drops != 1 || st.Puts != 0 {
+		t.Errorf("stats = %+v, want 1 drop, 0 puts", st)
+	}
+	p.Put(nil)
+	if st := p.Stats(); st.Drops != 2 {
+		t.Errorf("nil Put not counted as drop: %+v", p.Stats())
+	}
+}
+
+func TestCloneUsingMatchesClone(t *testing.T) {
+	p := NewPool()
+	src := New(Int(1), String_("a"), Float(2.5))
+	src.TS, src.Seq, src.Source, src.Ready, src.Done = 10, 11, 2, 4, 8
+	src.Queries = NewBitset(3)
+	src.Queries.Set(2)
+	for _, c := range []*Tuple{src.Clone(), src.CloneUsing(p), src.CloneUsing(nil)} {
+		if c.TS != 10 || c.Seq != 11 || c.Source != 2 || c.Ready != 4 || c.Done != 8 {
+			t.Errorf("clone header = %+v", c)
+		}
+		for i := range src.Vals {
+			if !Equal(c.Vals[i], src.Vals[i]) {
+				t.Errorf("clone val %d = %v", i, c.Vals[i])
+			}
+		}
+		if c.Queries == nil || !c.Queries.Test(2) {
+			t.Error("clone lost lineage")
+		}
+		// Deep copy: mutating the clone must not touch the source.
+		c.Vals[0] = Int(99)
+		c.Queries.Set(0)
+		if src.Vals[0].AsInt() != 1 || src.Queries.Test(0) {
+			t.Error("clone aliases source")
+		}
+	}
+}
+
+func TestWidenUsingMatchesWiden(t *testing.T) {
+	s0 := NewSchema("a", Column{Name: "x", Kind: KindInt})
+	s1 := NewSchema("b", Column{Name: "y", Kind: KindInt}, Column{Name: "z", Kind: KindString})
+	l := NewLayout(s0, s1)
+	base := New(Int(5), String_("q"))
+	base.TS, base.Seq = 3, 4
+	p := NewPool()
+	// Seed the pool with a dirty tuple of the wide width to prove widening
+	// clears foreign slots.
+	dirty := p.Get(l.Width())
+	for i := range dirty.Vals {
+		dirty.Vals[i] = Int(-1)
+	}
+	p.Put(dirty)
+
+	want := l.Widen(1, base)
+	got := l.WidenUsing(p, 1, base)
+	if got.TS != want.TS || got.Seq != want.Seq || got.Source != want.Source {
+		t.Errorf("header got %+v want %+v", got, want)
+	}
+	for i := range want.Vals {
+		if !Equal(got.Vals[i], want.Vals[i]) {
+			t.Errorf("wide val %d = %v, want %v", i, got.Vals[i], want.Vals[i])
+		}
+	}
+	if !got.Vals[0].IsNull() {
+		t.Error("foreign stream slot not cleared on recycled widen")
+	}
+}
+
+func TestPoolConcurrent(t *testing.T) {
+	p := NewPool()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				tp := p.Get(4)
+				tp.Vals[0] = Int(int64(i))
+				p.Put(tp)
+			}
+		}()
+	}
+	wg.Wait()
+	if st := p.Stats(); st.Gets != 16000 || st.Puts != 16000 {
+		t.Errorf("stats = %+v", st)
+	}
+}

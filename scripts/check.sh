@@ -1,9 +1,32 @@
 #!/bin/sh
 # check.sh — the repo's one-command verification gate: vet, build, the
 # full test suite under the race detector, a reduced-trial chaos campaign
-# under race, and a short fuzz smoke pass over the parsers.
+# under race, the E13 parallel workload under race, a godoc-coverage
+# check, and a short fuzz smoke pass over the parsers.
 set -eu
 cd "$(dirname "$0")/.."
+
+echo "==> godoc coverage (every package documents itself)"
+missing=0
+for dir in internal/*/; do
+    pkg=$(basename "$dir")
+    if ! grep -qE "^// Package $pkg " "$dir"*.go 2>/dev/null; then
+        echo "no '// Package $pkg ...' comment in $dir" >&2
+        missing=1
+    fi
+done
+grep -qE "^// Package telegraphcq " ./*.go || {
+    echo "no '// Package telegraphcq ...' comment in the root package" >&2
+    missing=1
+}
+for dir in cmd/*/; do
+    c=$(basename "$dir")
+    if ! grep -qE "^// Command $c " "$dir"*.go 2>/dev/null; then
+        echo "no '// Command $c ...' comment in $dir" >&2
+        missing=1
+    fi
+done
+[ "$missing" -eq 0 ] || exit 1
 
 echo "==> go vet ./..."
 go vet ./...
@@ -20,6 +43,12 @@ go test -race ./...
 # every invocation.
 echo "==> chaos campaign under race (CHAOS_TRIALS=25)"
 CHAOS_TRIALS=25 go test -race -count=1 -run 'TestChaosCampaign' ./internal/chaos/
+
+# The parallel partitioned-eddy layer is all goroutine handoff (driver ->
+# shard queues -> workers -> merge), so run its bench workload — worker
+# counts up to 8 — race-instrumented end to end.
+echo "==> parallel partitioned-eddy workload under race (E13)"
+go run -race ./cmd/tcqbench -exp E13 > /dev/null
 
 echo "==> fuzz smoke (5s per target)"
 go test -fuzz=FuzzParse -fuzztime=5s -run '^$' ./internal/sql/
