@@ -165,7 +165,10 @@ func BenchmarkE5SharedVsPerQuery(b *testing.B) {
 	const nq = 100
 	rng := rand.New(rand.NewSource(11))
 	var conjs []expr.Conjunction
-	shared := cacq.New(layout, nil, nil)
+	shared, err := cacq.New(layout, nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
 	for q := 0; q < nq; q++ {
 		lo := int64(rng.Intn(90))
 		conj := expr.Conjunction{

@@ -26,7 +26,10 @@ func main() {
 		tuple.Column{Name: "price", Kind: tuple.KindInt}))
 
 	rng := rand.New(rand.NewSource(2))
-	shared := cacq.New(layout, nil, nil)
+	shared, err := cacq.New(layout, nil, nil)
+	if err != nil {
+		panic(err)
+	}
 	var conjs []expr.Conjunction
 	delivered := make([]int64, queries)
 	for q := 0; q < queries; q++ {

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"telegraphcq/internal/core"
+	"telegraphcq/internal/tuple"
+)
+
+// E14BatchSweep measures the batch-native execution core: the E13 equijoin
+// workload runs single-worker at BatchSize 1/8/32/128, so the only thing
+// that changes between rows is how many tuples move per drain/route/probe
+// step. BatchSize=1 is the per-tuple baseline the equivalence tests pin;
+// the larger rows show what amortizing dispatch, lottery draws, and index
+// lookups buys, and the allocs/tuple column shows the recycler's share.
+func E14BatchSweep() (*Table, error) {
+	const (
+		sRows = 20000
+		rRows = 64 // one R row per key: sRows join results
+		keys  = 64
+	)
+	tb := &Table{
+		ID:     "E14",
+		Title:  fmt.Sprintf("batch-size sweep, equijoin %d+%d rows, Workers=1, GOMAXPROCS=%d", sRows, rRows, runtime.GOMAXPROCS(0)),
+		Claim:  "batching the flow of tuples between modules trades result latency for throughput as a single tuning knob (§4.3); BatchSize=1 degenerates to per-tuple routing with identical output",
+		Header: []string{"batch", "tuples/s", "results", "allocs/tuple", "pool hit rate"},
+	}
+	for _, bs := range []int{1, 8, 32, 128} {
+		eng := core.NewEngine(core.Options{EOs: 2, Workers: 1, BatchSize: bs})
+		mk := func(name, vcol string) error {
+			return eng.CreateStream(name, tuple.NewSchema(name,
+				tuple.Column{Name: "k", Kind: tuple.KindInt},
+				tuple.Column{Name: vcol, Kind: tuple.KindInt}), -1)
+		}
+		if err := mk("S", "v"); err != nil {
+			return nil, err
+		}
+		if err := mk("R", "w"); err != nil {
+			return nil, err
+		}
+		q, err := eng.Register(`SELECT S.v, R.w FROM S, R WHERE S.k = R.k`)
+		if err != nil {
+			return nil, err
+		}
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := int64(0); i < rRows; i++ {
+			if err := eng.Feed("R", tuple.New(tuple.Int(i%keys), tuple.Int(i))); err != nil {
+				return nil, err
+			}
+		}
+		for i := int64(0); i < sRows; i++ {
+			if err := eng.Feed("S", tuple.New(tuple.Int(i%keys), tuple.Int(i))); err != nil {
+				return nil, err
+			}
+		}
+		deadline := time.Now().Add(60 * time.Second)
+		for q.Results() < sRows && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if q.Results() != sRows {
+			eng.Stop()
+			return nil, fmt.Errorf("batch=%d: results = %d, want %d", bs, q.Results(), sRows)
+		}
+
+		hitRate := "-"
+		if gets, hits := poolCounters(eng); gets > 0 {
+			hitRate = f2(float64(hits) / float64(gets))
+		}
+		tb.AttachMetrics(eng.Metrics(), "tcq_tuple_pool_", "tcq_engine_batch")
+		tb.Rows = append(tb.Rows, []string{
+			itoa(bs),
+			f0(float64(sRows+rRows) / elapsed.Seconds()),
+			i64(q.Results()),
+			f1(float64(after.Mallocs-before.Mallocs) / float64(sRows+rRows)),
+			hitRate,
+		})
+		eng.Stop()
+	}
+	tb.Notes = "allocs/tuple includes the harness's own feed-side allocations; compare rows against each other, not as absolute costs"
+	return tb, nil
+}
+
+// poolCounters reads the engine's tuple-pool gauges.
+func poolCounters(eng *core.Engine) (gets, hits float64) {
+	reg := eng.Metrics()
+	if reg == nil {
+		return 0, 0
+	}
+	for _, m := range reg.Snapshot() {
+		switch m.Name {
+		case "tcq_tuple_pool_gets_total":
+			gets = m.Value
+		case "tcq_tuple_pool_hits_total":
+			hits = m.Value
+		}
+	}
+	return gets, hits
+}

@@ -103,7 +103,10 @@ func E5SharedVsPerQuery() (*Table, error) {
 	for _, nq := range []int{1, 10, 100, 1000} {
 		rng := rand.New(rand.NewSource(11))
 		var conjs []expr.Conjunction
-		eng := cacq.New(layout, nil, nil)
+		eng, err := cacq.New(layout, nil, nil)
+		if err != nil {
+			return nil, err
+		}
 		for q := 0; q < nq; q++ {
 			lo := int64(rng.Intn(90))
 			conj := expr.Conjunction{

@@ -17,7 +17,7 @@ func BenchmarkSharedIngest(b *testing.B) {
 		b.Run(fmt.Sprintf("queries%d", nq), func(b *testing.B) {
 			l := stockLayout()
 			rng := rand.New(rand.NewSource(1))
-			e := New(l, nil, nil)
+			e, _ := New(l, nil, nil)
 			for q := 0; q < nq; q++ {
 				lo := int64(rng.Intn(90))
 				e.AddQuery(1, []expr.Predicate{
@@ -37,7 +37,7 @@ func BenchmarkSharedIngest(b *testing.B) {
 // and leaving a running shared engine, §1.1's robustness requirement).
 func BenchmarkAddRemoveQuery(b *testing.B) {
 	l := stockLayout()
-	e := New(l, nil, nil)
+	e, _ := New(l, nil, nil)
 	// A resident population the churn happens against.
 	for q := 0; q < 100; q++ {
 		e.AddQuery(1, []expr.Predicate{

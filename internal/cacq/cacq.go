@@ -60,11 +60,24 @@ type Engine struct {
 	nextID     int
 	maxID      int
 	watermarks []int64
+	// wide is the reusable ingest batch (single ingest goroutine).
+	wide tuple.Batch
+}
+
+// ModuleCount returns how many eddy modules a shared engine over layout
+// with the given join edges needs: one grouped filter per wide column plus
+// two SteMs per join.
+func ModuleCount(layout *tuple.Layout, joins []JoinSpec) int {
+	return layout.Width() + 2*len(joins)
 }
 
 // New creates a shared engine over layout with the given shared join edges.
-// policy nil selects a lottery policy.
-func New(layout *tuple.Layout, joins []JoinSpec, policy eddy.Policy) *Engine {
+// policy nil selects a lottery policy. It fails when the super-query needs
+// more modules than one eddy's 64-bit lineage bitmaps can route.
+func New(layout *tuple.Layout, joins []JoinSpec, policy eddy.Policy) (*Engine, error) {
+	if err := eddy.CheckModuleCount(ModuleCount(layout, joins)); err != nil {
+		return nil, err
+	}
 	if policy == nil {
 		policy = eddy.NewLotteryPolicy(1)
 	}
@@ -103,7 +116,7 @@ func New(layout *tuple.Layout, joins []JoinSpec, policy eddy.Policy) *Engine {
 	// no tuple); delivery happens in the completion hook per query.
 	e.ed = eddy.New(0, policy, nil, modules...)
 	e.ed.SetCompletionHook(e.deliver)
-	return e
+	return e, nil
 }
 
 // AddQuery registers a standing query and returns it. Footprint must be a
@@ -188,6 +201,36 @@ func (e *Engine) Ingest(s int, base *tuple.Tuple) {
 		return // no standing query cares about this stream
 	}
 	e.ed.Ingest(t)
+}
+
+// IngestBatch widens and lineage-stamps a batch of base tuples of stream s,
+// then routes them through the shared eddy in one batch — the lineage
+// template is computed once for the whole batch instead of per tuple. The
+// caller keeps ownership of the base tuples (Widen copies); batches of no
+// interest to any standing query are skipped entirely.
+func (e *Engine) IngestBatch(s int, base []*tuple.Tuple) {
+	if len(base) == 0 {
+		return
+	}
+	tmpl := e.interestedFor(s)
+	if !tmpl.Any() {
+		return
+	}
+	e.wide.Reset()
+	for _, bt := range base {
+		t := e.layout.Widen(s, bt)
+		t.Queries = tmpl.Clone()
+		e.wide.Append(t)
+	}
+	e.ed.IngestBatch(&e.wide)
+	e.wide.Reset()
+}
+
+// interestedFor returns the shared (do-not-mutate) lineage template for
+// stream s.
+func (e *Engine) interestedFor(s int) tuple.Bitset {
+	e.lineageFor(s) // populate the cache
+	return e.interested[s]
 }
 
 // IngestWide feeds a tuple already widened to the engine's layout and

@@ -1,7 +1,9 @@
 package cacq
 
 import (
+	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"telegraphcq/internal/baseline"
@@ -45,7 +47,7 @@ func TestSelectionEquivalenceWithPerQuery(t *testing.T) {
 	const nq, nt = 60, 400
 
 	var conjs []expr.Conjunction
-	e := New(l, nil, nil)
+	e, _ := New(l, nil, nil)
 	counts := make([]int64, nq)
 	for q := 0; q < nq; q++ {
 		lo := int64(rng.Intn(50))
@@ -82,7 +84,7 @@ func TestSelectionEquivalenceWithPerQuery(t *testing.T) {
 func TestSharedJoinDelivery(t *testing.T) {
 	l := joinLayout()
 	spec := []JoinSpec{{StreamA: 0, StreamB: 1, ColA: 0, ColB: 2, TimeKind: window.Logical}}
-	e := New(l, spec, nil)
+	e, _ := New(l, spec, nil)
 
 	// Query A: full join, no selections.
 	// Query B: join where S.v >= 5.
@@ -130,7 +132,7 @@ func TestSharedJoinDelivery(t *testing.T) {
 
 func TestDynamicAddRemove(t *testing.T) {
 	l := stockLayout()
-	e := New(l, nil, nil)
+	e, _ := New(l, nil, nil)
 	var n1, n2 int
 	q1, err := e.AddQuery(1, []expr.Predicate{{Col: 1, Op: expr.Gt, Val: tuple.Int(50)}},
 		nil, func(*tuple.Tuple) { n1++ })
@@ -172,7 +174,7 @@ func TestDynamicAddRemove(t *testing.T) {
 
 func TestProjection(t *testing.T) {
 	l := stockLayout()
-	e := New(l, nil, nil)
+	e, _ := New(l, nil, nil)
 	var got *tuple.Tuple
 	if _, err := e.AddQuery(1, nil, []int{1}, func(tp *tuple.Tuple) { got = tp }); err != nil {
 		t.Fatal(err)
@@ -185,7 +187,7 @@ func TestProjection(t *testing.T) {
 
 func TestNoQueriesNoWork(t *testing.T) {
 	l := stockLayout()
-	e := New(l, nil, nil)
+	e, _ := New(l, nil, nil)
 	e.Ingest(0, mk(1, 2))
 	if st := e.Stats(); st.Ingested != 0 {
 		t.Errorf("tuple entered eddy with no standing queries: %+v", st)
@@ -193,7 +195,7 @@ func TestNoQueriesNoWork(t *testing.T) {
 }
 
 func TestEmptyFootprintRejected(t *testing.T) {
-	e := New(stockLayout(), nil, nil)
+	e, _ := New(stockLayout(), nil, nil)
 	if _, err := e.AddQuery(0, nil, nil, nil); err == nil {
 		t.Error("empty footprint accepted")
 	}
@@ -206,7 +208,7 @@ func TestSharedWorkBeatsPerQuery(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	const nq, nt = 200, 500
 	var conjs []expr.Conjunction
-	e := New(l, nil, nil)
+	e, _ := New(l, nil, nil)
 	for q := 0; q < nq; q++ {
 		lo := int64(rng.Intn(90))
 		conj := expr.Conjunction{
@@ -236,7 +238,7 @@ func TestSharedWorkBeatsPerQuery(t *testing.T) {
 func TestWindowEviction(t *testing.T) {
 	l := joinLayout()
 	spec := []JoinSpec{{StreamA: 0, StreamB: 1, ColA: 0, ColB: 2, TimeKind: window.Logical}}
-	e := New(l, spec, nil)
+	e, _ := New(l, spec, nil)
 	var got int
 	if _, err := e.AddQuery(3, nil, nil, func(*tuple.Tuple) { got++ }); err != nil {
 		t.Fatal(err)
@@ -254,5 +256,26 @@ func TestWindowEviction(t *testing.T) {
 	e.Ingest(1, tp)
 	if got != 3 { // only S tuples with Seq >= 3 remain
 		t.Errorf("matches after eviction = %d, want 3", got)
+	}
+}
+
+// TestNewRejectsOversizedLayout: a shared super-query whose grouped
+// filters plus SteMs exceed 64 modules must fail construction with a
+// descriptive error instead of panicking in eddy.New.
+func TestNewRejectsOversizedLayout(t *testing.T) {
+	cols := make([]tuple.Column, 65)
+	for i := range cols {
+		cols[i] = tuple.Column{Name: fmt.Sprintf("c%d", i), Kind: tuple.KindInt}
+	}
+	layout := tuple.NewLayout(tuple.NewSchema("wide", cols...))
+	e, err := New(layout, nil, nil)
+	if err == nil {
+		t.Fatal("65-module layout accepted")
+	}
+	if e != nil {
+		t.Fatal("non-nil engine alongside error")
+	}
+	if !strings.Contains(err.Error(), "64") {
+		t.Fatalf("error %q does not mention the 64-module cap", err)
 	}
 }

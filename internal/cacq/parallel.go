@@ -72,12 +72,20 @@ func NewParallelEngine(layout *tuple.Layout, joins []JoinSpec, opt ParallelOptio
 	if !ok {
 		return nil, fmt.Errorf("cacq: join set spans multiple key equivalence classes; not partitionable")
 	}
+	// Checked up front so the NewShard closures below cannot fail.
+	if err := eddy.CheckModuleCount(ModuleCount(layout, joins)); err != nil {
+		return nil, err
+	}
 	pol := opt.Policy
 	if pol == nil {
 		pol = func() eddy.Policy { return eddy.NewLotteryPolicy(1) }
 	}
+	front, err := New(layout, joins, pol())
+	if err != nil {
+		return nil, err
+	}
 	p := &Parallel{
-		front:   New(layout, joins, pol()),
+		front:   front,
 		layout:  layout,
 		keyCols: keyCols,
 	}
@@ -94,7 +102,11 @@ func NewParallelEngine(layout *tuple.Layout, joins []JoinSpec, opt ParallelOptio
 			return int(t.Vals[keyCols[s]].Hash())
 		},
 		NewShard: func(shard int, emit func(*tuple.Tuple)) eddy.Shard {
-			sh := New(layout, joins, pol())
+			sh, err := New(layout, joins, pol())
+			if err != nil {
+				// Unreachable: the module count was validated above.
+				panic(err)
+			}
 			sh.SetDeliverySink(emit)
 			return parShard{sh}
 		},
@@ -123,6 +135,26 @@ func (p *Parallel) Ingest(s int, base *tuple.Tuple) {
 		return
 	}
 	p.pe.Ingest(t)
+}
+
+// IngestBatch widens and lineage-stamps a batch of base tuples of stream s
+// under one control-plane lock acquisition and routes each to its key's
+// shard. The caller keeps ownership of the base tuples (Widen copies).
+func (p *Parallel) IngestBatch(s int, base []*tuple.Tuple) {
+	if len(base) == 0 {
+		return
+	}
+	p.ctlMu.RLock()
+	defer p.ctlMu.RUnlock()
+	tmpl := p.front.interestedFor(s)
+	if !tmpl.Any() {
+		return
+	}
+	for _, bt := range base {
+		t := p.layout.Widen(s, bt)
+		t.Queries = tmpl.Clone()
+		p.pe.Ingest(t)
+	}
 }
 
 // Flush pushes partial driver batches to the shards; call at the end of an

@@ -49,7 +49,7 @@ func TestParallelSelectionMatchesSequential(t *testing.T) {
 		return order
 	}
 
-	seq := New(l, nil, nil)
+	seq, _ := New(l, nil, nil)
 	want := run(func(tp *tuple.Tuple) { seq.Ingest(0, tp.Clone()) },
 		func(q int, sels []expr.Predicate, out func(*tuple.Tuple)) {
 			if _, err := seq.AddQuery(tuple.SingleSource(0), sels, nil, out); err != nil {
@@ -116,7 +116,7 @@ func TestParallelSharedJoinMatchesSequential(t *testing.T) {
 		}
 	}
 
-	seq := New(l, joins, nil)
+	seq, _ := New(l, joins, nil)
 	wantJoin := map[string]int{}
 	wantSel := map[string]int{}
 	if _, err := seq.AddQuery(both, nil, nil, count(wantJoin)); err != nil {

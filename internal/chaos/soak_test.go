@@ -122,8 +122,8 @@ func soakRun(t *testing.T, arrival []*tuple.Tuple) (filter, join, windowed []str
 	qWin.Wait()
 	// The unwindowed queries have no completion signal; poll their result
 	// counters to the known reference totals on the real clock.
-	wantFilter := soakDays - int(soakCutoff)           // MSFT days cutoff+1..soakDays
-	wantJoin := soakDays - 4800                        // IBM days with price day+100 > 4900
+	wantFilter := soakDays - int(soakCutoff) // MSFT days cutoff+1..soakDays
+	wantJoin := soakDays - 4800              // IBM days with price day+100 > 4900
 	if !chaos.Poll(nil, 30*time.Second, time.Millisecond, func() bool {
 		return qFilter.Results() >= int64(wantFilter) && qJoin.Results() >= int64(wantJoin)
 	}) {

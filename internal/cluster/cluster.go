@@ -102,6 +102,9 @@ func New(cfg Config) (*ParallelCQ, error) {
 				j.ColA, j.ColB, cfg.PartitionCol)
 		}
 	}
+	if err := eddy.CheckModuleCount(cacq.ModuleCount(cfg.Layout, cfg.Joins)); err != nil {
+		return nil, err
+	}
 	p := &ParallelCQ{cfg: cfg}
 	p.keyFor = make([]int, cfg.Layout.Streams())
 	for s := range p.keyFor {
@@ -125,9 +128,17 @@ func New(cfg Config) (*ParallelCQ, error) {
 		KeyCol:    0, // routed tuples are rewrapped with the key first
 		Replicate: cfg.Replicate,
 	}, func() flux.Consumer {
-		n := &cqNode{p: p, eng: cacq.New(cfg.Layout, cfg.Joins, eddy.NewLotteryPolicy(1))}
+		eng, err := cacq.New(cfg.Layout, cfg.Joins, eddy.NewLotteryPolicy(1))
+		if err != nil {
+			panic(err) // unreachable: validated before flux.New below
+		}
+		n := &cqNode{p: p, eng: eng}
 		if cfg.Replicate {
-			n.shadow = cacq.New(cfg.Layout, cfg.Joins, eddy.NewLotteryPolicy(2))
+			shadow, err := cacq.New(cfg.Layout, cfg.Joins, eddy.NewLotteryPolicy(2))
+			if err != nil {
+				panic(err)
+			}
+			n.shadow = shadow
 		}
 		return n
 	})

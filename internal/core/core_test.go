@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 	"time"
 
@@ -1065,4 +1066,47 @@ func TestTopKOverIncrementalJoin(t *testing.T) {
 			t.Errorf("instance %d top row v = %d, want %d", r.TS, r.Vals[0].AsInt(), r.TS*10)
 		}
 	}
+}
+
+// TestRegisterRejectsOversizedPlan: a plan needing more than 64 eddy
+// modules (one per predicate) must be refused with a descriptive error at
+// registration, not a panic inside the routing core.
+func TestRegisterRejectsOversizedPlan(t *testing.T) {
+	e := NewEngine(Options{EOs: 1})
+	defer e.Stop()
+	sSchema := tuple.NewSchema("S",
+		tuple.Column{Name: "k", Kind: tuple.KindInt},
+		tuple.Column{Name: "v", Kind: tuple.KindInt})
+	rSchema := tuple.NewSchema("R",
+		tuple.Column{Name: "k", Kind: tuple.KindInt},
+		tuple.Column{Name: "w", Kind: tuple.KindInt})
+	if err := e.CreateStream("S", sSchema, -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CreateStream("R", rSchema, -1); err != nil {
+		t.Fatal(err)
+	}
+	// 63 selections + 2 SteMs = 65 modules, one past the lineage-bitmap cap.
+	var sb strings.Builder
+	sb.WriteString("SELECT S.v, R.w FROM S, R WHERE S.k = R.k")
+	for i := 0; i < 63; i++ {
+		fmt.Fprintf(&sb, " AND S.v > %d", -1-i)
+	}
+	_, err := e.Register(sb.String())
+	if err == nil {
+		t.Fatal("65-module plan accepted")
+	}
+	if !strings.Contains(err.Error(), "64") {
+		t.Fatalf("error %q does not mention the 64-module cap", err)
+	}
+	// The engine must remain usable after the rejection.
+	q, err := e.Register(`SELECT S.v, R.w FROM S, R WHERE S.k = R.k`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 4; i++ {
+		e.Feed("S", tuple.New(tuple.Int(i), tuple.Int(i)))
+		e.Feed("R", tuple.New(tuple.Int(i), tuple.Int(i*10)))
+	}
+	waitFor(t, "join results after rejected plan", func() bool { return q.Results() >= 4 })
 }

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"telegraphcq/internal/fjord"
+	"telegraphcq/internal/ops"
+	"telegraphcq/internal/sql"
+	"telegraphcq/internal/tuple"
+)
+
+// batchDrain is the shared ingress stage of every query runtime: it moves
+// pending tuples from the query's input connections into the runtime in
+// batches, filtering out tuples already replayed from history/table
+// contents (Seq <= preSeq) and recycling those dead subscriber clones.
+// One drain call visits every open position, pulling at most budget tuples
+// per position so a bursty stream cannot starve its siblings.
+type batchDrain struct {
+	conns  []*fjord.Conn
+	closed []bool
+	preSeq []int64
+	buf    []*tuple.Tuple
+	pool   *tuple.Pool
+	budget int
+}
+
+// newBatchDrain wires a drain stage over conns. preSeq is aliased, not
+// copied: runtimes fill it during history preload before the first drain.
+// batch bounds the tuples handed to sink per call (the engine's BatchSize
+// knob); budget bounds tuples per position per drain.
+func newBatchDrain(conns []*fjord.Conn, preSeq []int64, pool *tuple.Pool, batch, budget int) *batchDrain {
+	if batch < 1 {
+		batch = 1
+	}
+	if budget < batch {
+		budget = batch
+	}
+	return &batchDrain{
+		conns:  conns,
+		closed: make([]bool, len(conns)),
+		preSeq: preSeq,
+		buf:    make([]*tuple.Tuple, batch),
+		pool:   pool,
+		budget: budget,
+	}
+}
+
+// drain pulls pending input and hands each non-empty batch to sink as
+// (position, tuples). The tuples slice is only valid during the call; sink
+// must copy any pointers it retains (the backing buffer is reused).
+func (d *batchDrain) drain(sink func(pos int, ts []*tuple.Tuple)) (progressed, allDrained bool) {
+	allDrained = true
+	for pos, conn := range d.conns {
+		if d.closed[pos] {
+			continue
+		}
+		for taken := 0; taken < d.budget; {
+			n := conn.RecvBatch(d.buf)
+			if n == 0 {
+				if conn.Drained() {
+					d.closed[pos] = true
+				}
+				break
+			}
+			taken += n
+			ts := d.buf[:n]
+			w := 0
+			for _, t := range ts {
+				if t.Seq <= d.preSeq[pos] {
+					// Already replayed from history; the subscriber clone
+					// is dead.
+					if d.pool != nil {
+						d.pool.Put(t)
+					}
+					continue
+				}
+				ts[w] = t
+				w++
+			}
+			if w == 0 {
+				continue
+			}
+			progressed = true
+			sink(pos, ts[:w])
+		}
+		if !d.closed[pos] {
+			allDrained = false
+		}
+	}
+	return progressed, allDrained
+}
+
+// outPipe is the post-eddy result pipeline shared by the sequential and
+// parallel unwindowed runtimes: ungrouped aggregates fold incrementally
+// (implicit landmark window), then projection, then lifetime DISTINCT.
+type outPipe struct {
+	agg   *ops.LandmarkAgg
+	proj  *ops.Project
+	dedup *ops.DupElim
+}
+
+func newOutPipe(plan *sql.Plan) outPipe {
+	var p outPipe
+	if plan.HasAgg() {
+		p.agg = ops.NewLandmarkAgg(plan.Aggs...)
+	} else if plan.Project != nil {
+		p.proj = ops.NewProject(plan.Project...)
+	}
+	if plan.Distinct {
+		// An unwindowed CQ is an ever-growing (landmark) set: the first
+		// occurrence of each output row passes, duplicates are dropped
+		// for the query's lifetime.
+		p.dedup = ops.NewDupElim()
+	}
+	return p
+}
+
+// route maps one completed eddy tuple to the query's result row, or nil
+// when DISTINCT drops it. Not safe for concurrent use: each runtime calls
+// it from a single goroutine (the stepping DU or the merge stage).
+func (p *outPipe) route(t *tuple.Tuple) *tuple.Tuple {
+	switch {
+	case p.agg != nil:
+		p.agg.Add(t)
+		out := p.agg.Result()
+		out.TS = t.TS
+		out.Seq = t.Seq
+		return out
+	case p.proj != nil:
+		out := p.proj.Apply(t)
+		if p.dedup != nil && !p.dedup.Accept(out) {
+			return nil
+		}
+		return out
+	default:
+		if p.dedup != nil && !p.dedup.Accept(t) {
+			return nil
+		}
+		return t
+	}
+}

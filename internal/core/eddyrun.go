@@ -14,20 +14,19 @@ import (
 )
 
 // eddyRuntime executes an unwindowed continuous query adaptively: one eddy
-// routes tuples among per-predicate filters and per-stream SteMs (the
-// Fig. 2 configuration), re-optimizing order continuously. Ungrouped
+// routes tuple batches among per-predicate filters and per-stream SteMs
+// (the Fig. 2 configuration), re-optimizing order continuously. Ungrouped
 // aggregates fold incrementally (an implicit landmark window over the
 // whole stream), emitting the running value after each change.
 type eddyRuntime struct {
-	q      *RunningQuery
-	ed     *eddy.Eddy
-	stems  []*ops.SteMModule // join state modules, for stat export
-	agg    *ops.LandmarkAgg
-	proj   *ops.Project
-	dedup  *ops.DupElim // DISTINCT over the whole stream
-	closed []bool
-	preSeq []int64 // max preloaded Seq per position (static tables)
-	batch  int
+	q       *RunningQuery
+	ed      *eddy.Eddy
+	stems   []*ops.SteMModule // join state modules, for stat export
+	out     outPipe
+	drainer *batchDrain
+	pool    *tuple.Pool
+	wide    tuple.Batch
+	outBuf  []*tuple.Tuple
 
 	// mu serializes the stepping DU against stat readers (EddyStats is
 	// callable from client goroutines while the query runs).
@@ -89,33 +88,32 @@ func buildQueryModules(plan *sql.Plan) (modules []eddy.Module, stems []*ops.SteM
 func newEddyRuntime(q *RunningQuery) (runtime, error) {
 	plan := q.Plan
 	layout := plan.Layout
-	rt := &eddyRuntime{q: q, batch: 256, closed: make([]bool, len(q.inputs))}
+	// Emissions from this runtime are always fresh sole-reference tuples
+	// (Merge / Project.Apply / LandmarkAgg.Result allocate; a completed
+	// single-stream tuple is an unretained Widen result), so the pull
+	// egress may recycle them once they age out. Set before any emission
+	// (table replay below) or stat registration can observe it.
+	q.recyclable = true
+	rt := &eddyRuntime{q: q, out: newOutPipe(plan), pool: q.engine.recycler}
 
 	modules, stems := buildQueryModules(plan)
+	if err := eddy.CheckModuleCount(len(modules)); err != nil {
+		return nil, err
+	}
 	rt.stems = stems
-
-	if plan.HasAgg() {
-		rt.agg = ops.NewLandmarkAgg(plan.Aggs...)
-	} else if plan.Project != nil {
-		rt.proj = ops.NewProject(plan.Project...)
-	}
-	if plan.Distinct {
-		// An unwindowed CQ is an ever-growing (landmark) set: the first
-		// occurrence of each output row passes, duplicates are dropped
-		// for the query's lifetime.
-		rt.dedup = ops.NewDupElim()
-	}
 
 	rt.ed = eddy.New(plan.Footprint, eddy.NewLotteryPolicy(int64(q.ID)+1), rt.output, modules...)
 	rt.ed.SetClock(q.engine.opts.Clock)
+	rt.ed.SetRecycler(rt.pool)
 	if q.engine.tracer != nil {
 		rt.ed.SetTracer(q.engine.tracer, fmt.Sprintf("q%d", q.ID))
 	}
-	rt.preSeq = make([]int64, len(plan.Entries))
+	preSeq := make([]int64, len(plan.Entries))
 
 	// Static tables in the FROM list hold data that arrived before the
 	// query registered; replay it into the eddy now (streams, by CQ
-	// semantics, are consumed from registration onward).
+	// semantics, are consumed from registration onward). Table rows stay
+	// retained in the stream history: plain Widen, never recycled.
 	for pos, entry := range plan.Entries {
 		if entry.Kind != catalog.Table {
 			continue
@@ -125,64 +123,58 @@ func newEddyRuntime(q *RunningQuery) (runtime, error) {
 			return nil, err
 		}
 		for _, t := range rows {
-			if t.Seq > rt.preSeq[pos] {
-				rt.preSeq[pos] = t.Seq
+			if t.Seq > preSeq[pos] {
+				preSeq[pos] = t.Seq
 			}
 			rt.ed.Ingest(layout.Widen(pos, t))
 		}
 	}
+	rt.flushOut()
+
+	rt.drainer = newBatchDrain(q.inputs, preSeq, rt.pool, q.engine.opts.BatchSize, 256)
 	return rt, nil
 }
 
+// output collects completed eddy tuples through the post-eddy pipeline
+// into outBuf; step flushes the buffer to egress once per drain.
 func (rt *eddyRuntime) output(t *tuple.Tuple) {
-	switch {
-	case rt.agg != nil:
-		rt.agg.Add(t)
-		out := rt.agg.Result()
-		out.TS = t.TS
-		out.Seq = t.Seq
-		rt.q.emit(out)
-	case rt.proj != nil:
-		out := rt.proj.Apply(t)
-		if rt.dedup != nil && !rt.dedup.Accept(out) {
-			return
-		}
-		rt.q.emit(out)
-	default:
-		if rt.dedup != nil && !rt.dedup.Accept(t) {
-			return
-		}
-		rt.q.emit(t)
+	if out := rt.out.route(t); out != nil {
+		rt.outBuf = append(rt.outBuf, out)
 	}
+}
+
+func (rt *eddyRuntime) flushOut() {
+	if len(rt.outBuf) == 0 {
+		return
+	}
+	rt.q.emitBatch(rt.outBuf)
+	for i := range rt.outBuf {
+		rt.outBuf[i] = nil
+	}
+	rt.outBuf = rt.outBuf[:0]
+}
+
+// ingest widens one drained batch into the shared wide-batch scratch and
+// routes it through the eddy. The narrow subscriber clones are spent once
+// widened (stream history retains the originals, not these clones).
+func (rt *eddyRuntime) ingest(pos int, ts []*tuple.Tuple) {
+	layout := rt.q.Plan.Layout
+	rt.wide.Reset()
+	for _, t := range ts {
+		rt.wide.Append(layout.WidenUsing(rt.pool, pos, t))
+		if rt.pool != nil {
+			rt.pool.Put(t)
+		}
+	}
+	rt.ed.IngestBatch(&rt.wide)
+	rt.wide.Reset()
 }
 
 func (rt *eddyRuntime) step() (bool, bool) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	progressed := false
-	allDrained := true
-	for pos, conn := range rt.q.inputs {
-		if rt.closed[pos] {
-			continue
-		}
-		for i := 0; i < rt.batch; i++ {
-			t, ok := conn.Recv()
-			if !ok {
-				if conn.Drained() {
-					rt.closed[pos] = true
-				}
-				break
-			}
-			if t.Seq <= rt.preSeq[pos] {
-				continue // replayed from table contents already
-			}
-			progressed = true
-			rt.ed.Ingest(rt.q.Plan.Layout.Widen(pos, t))
-		}
-		if !rt.closed[pos] {
-			allDrained = false
-		}
-	}
+	progressed, allDrained := rt.drainer.drain(rt.ingest)
+	rt.flushOut()
 	return progressed, allDrained
 }
 

@@ -66,8 +66,11 @@ type Options struct {
 	// sequential path, bit-identical to previous behavior; ineligible
 	// plans fall back to sequential regardless of this setting.
 	Workers int
-	// BatchSize is the tuple count amortizing each shard handoff in
-	// parallel execution (default 64; ignored when Workers is 1).
+	// BatchSize is the tuple-batch granularity of the whole dataflow:
+	// ingress fan-out, each runtime's input drain, eddy entry, and shard
+	// handoff in parallel execution all move up to BatchSize tuples per
+	// operation (default 64). BatchSize 1 degenerates to per-tuple
+	// processing with identical output sequences.
 	BatchSize int
 }
 
@@ -120,10 +123,11 @@ type Engine struct {
 	pool   *storage.BufferPool
 	reg    *metrics.Registry
 	tracer *metrics.Tracer // nil unless TraceSampleRate > 0
-	// recycler reclaims hot-path tuple allocations. Active only with
-	// Workers > 1 so the sequential configuration carries zero new risk;
-	// ingress draws subscriber clones from it, drivers return spent
-	// narrow tuples, shard eddies return provably-dead drops.
+	// recycler reclaims hot-path tuple allocations across the whole
+	// dataflow: ingress draws subscriber clones from it, drivers return
+	// spent narrow tuples after widening, eddies return provably-dead
+	// drops, and the pull egress returns sole-reference results that age
+	// out of retention.
 	recycler *tuple.Pool
 
 	mu      sync.Mutex
@@ -153,18 +157,19 @@ func NewEngine(opts Options) *Engine {
 	if opts.TraceSampleRate > 0 {
 		e.tracer = metrics.NewTracer(opts.TraceSampleRate, 1, opts.TraceKeep)
 	}
-	if opts.Workers > 1 {
-		e.recycler = tuple.NewPool()
-		e.reg.RegisterFunc("tcq_tuple_pool_gets_total", metrics.KindCounter, func() float64 {
-			return float64(e.recycler.Stats().Gets)
-		})
-		e.reg.RegisterFunc("tcq_tuple_pool_hits_total", metrics.KindCounter, func() float64 {
-			return float64(e.recycler.Stats().Hits)
-		})
-		e.reg.RegisterFunc("tcq_tuple_pool_puts_total", metrics.KindCounter, func() float64 {
-			return float64(e.recycler.Stats().Puts)
-		})
-	}
+	e.recycler = tuple.NewPool()
+	e.reg.RegisterFunc("tcq_tuple_pool_gets_total", metrics.KindCounter, func() float64 {
+		return float64(e.recycler.Stats().Gets)
+	})
+	e.reg.RegisterFunc("tcq_tuple_pool_hits_total", metrics.KindCounter, func() float64 {
+		return float64(e.recycler.Stats().Hits)
+	})
+	e.reg.RegisterFunc("tcq_tuple_pool_puts_total", metrics.KindCounter, func() float64 {
+		return float64(e.recycler.Stats().Puts)
+	})
+	e.reg.RegisterFunc("tcq_tuple_pool_drops_total", metrics.KindCounter, func() float64 {
+		return float64(e.recycler.Stats().Drops)
+	})
 	e.reg.RegisterFunc("tcq_engine_workers", metrics.KindGauge, func() float64 {
 		return float64(opts.Workers)
 	})
@@ -283,25 +288,37 @@ func (e *Engine) stream(name string) (*streamState, error) {
 // stream's history (spool or memory), and fanned out to every standing
 // query's input queue.
 func (e *Engine) Feed(stream string, t *tuple.Tuple) error {
+	one := [1]*tuple.Tuple{t}
+	return e.FeedMany(stream, one[:])
+}
+
+// FeedMany delivers a batch: the tuples are stamped and recorded under one
+// history lock acquisition and fanned out to each subscriber queue in one
+// batched push, preserving order.
+func (e *Engine) FeedMany(stream string, ts []*tuple.Tuple) error {
+	if len(ts) == 0 {
+		return nil
+	}
 	st, err := e.stream(stream)
 	if err != nil {
 		return err
 	}
 	st.mu.Lock()
-	st.seq++
-	t.Seq = st.seq
-	if tc := st.entry.TimeCol; tc >= 0 && tc < len(t.Vals) {
-		t.TS = t.Vals[tc].AsInt()
-	} else {
-		t.TS = t.Seq
-	}
-	if st.store != nil {
-		if err := st.store.Append(t); err != nil {
-			st.mu.Unlock()
-			return err
+	tc := st.entry.TimeCol
+	for _, t := range ts {
+		st.seq++
+		t.Seq = st.seq
+		if tc >= 0 && tc < len(t.Vals) {
+			t.TS = t.Vals[tc].AsInt()
+		} else {
+			t.TS = t.Seq
 		}
-	} else {
-		if len(st.history) < st.histCap {
+		if st.store != nil {
+			if err := st.store.Append(t); err != nil {
+				st.mu.Unlock()
+				return err
+			}
+		} else if len(st.history) < st.histCap {
 			st.history = append(st.history, t)
 		}
 	}
@@ -310,59 +327,100 @@ func (e *Engine) Feed(stream string, t *tuple.Tuple) error {
 		subs = append(subs, c)
 	}
 	st.mu.Unlock()
-	st.fed.Inc()
+	st.fed.Add(int64(len(ts)))
 
 	for _, c := range subs {
 		if e.opts.Shed {
 			// QoS mode: never stall the producer; the queue counts
 			// the shed tuples (§4.3 "deciding what work to drop when
 			// the system is in danger of falling behind").
-			if clone := t.CloneUsing(e.recycler); !c.Q.Push(clone) && e.recycler != nil {
-				e.recycler.Put(clone)
+			for _, t := range ts {
+				if clone := t.CloneUsing(e.recycler); !c.Q.Push(clone) && e.recycler != nil {
+					e.recycler.Put(clone)
+				}
 			}
 			continue
 		}
 		// Default: back-pressure the producer rather than drop,
 		// matching the pull-queue modality on the ingestion side.
-		c.Q.PushWait(t.CloneUsing(e.recycler))
-	}
-	return nil
-}
-
-// FeedMany delivers a batch.
-func (e *Engine) FeedMany(stream string, ts []*tuple.Tuple) error {
-	for _, t := range ts {
-		if err := e.Feed(stream, t); err != nil {
-			return err
+		if len(ts) == 1 {
+			c.Q.PushWait(ts[0].CloneUsing(e.recycler))
+			continue
+		}
+		clones := make([]*tuple.Tuple, len(ts))
+		for i, t := range ts {
+			clones[i] = t.CloneUsing(e.recycler)
+		}
+		n := c.Q.PushWaitMany(clones)
+		if e.recycler != nil {
+			// Short only when the queue closed mid-batch; reclaim the rest.
+			for _, cl := range clones[n:] {
+				e.recycler.Put(cl)
+			}
 		}
 	}
 	return nil
 }
 
-// AttachSource pumps an ingress source into a stream from a wrapper
-// goroutine until the source ends. It returns a wait function.
+// AttachSource pumps an ingress source into a stream until the source
+// ends. A reader goroutine pulls tuples one at a time (Source.Next is
+// inherently per-tuple and may block); a feeder goroutine takes one tuple,
+// then greedily drains whatever else is already pending — up to BatchSize
+// — into a single FeedMany call. Trickling sources keep per-tuple latency;
+// saturated sources amortize the stamp/fan-out locks across the batch. It
+// returns a wait function.
 func (e *Engine) AttachSource(stream string, src ingress.Source) (wait func() error, err error) {
 	if _, err := e.stream(stream); err != nil {
 		return nil, err
 	}
 	errc := make(chan error, 1)
+	readErr := make(chan error, 1)
+	tc := make(chan *tuple.Tuple, e.opts.BatchSize)
+	done := make(chan struct{})
 	go func() {
 		defer src.Close()
+		defer close(tc)
 		for {
 			t, err := src.Next()
 			if err != nil {
 				if err == io.EOF {
-					errc <- nil
+					readErr <- nil
 				} else {
-					errc <- err
+					readErr <- err
 				}
 				return
 			}
-			if err := e.Feed(stream, t); err != nil {
+			select {
+			case tc <- t:
+			case <-done:
+				readErr <- nil
+				return
+			}
+		}
+	}()
+	go func() {
+		buf := make([]*tuple.Tuple, 0, e.opts.BatchSize)
+		for t := range tc {
+			buf = append(buf[:0], t)
+		fill:
+			for len(buf) < cap(buf) {
+				select {
+				case t2, ok := <-tc:
+					if !ok {
+						break fill
+					}
+					buf = append(buf, t2)
+				default:
+					break fill
+				}
+			}
+			if err := e.FeedMany(stream, buf); err != nil {
+				close(done)
 				errc <- err
 				return
 			}
 		}
+		errc <- <-readErr
 	}()
 	return func() error { return <-errc }, nil
 }

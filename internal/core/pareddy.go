@@ -9,7 +9,6 @@ import (
 	"telegraphcq/internal/eddy"
 	"telegraphcq/internal/expr"
 	"telegraphcq/internal/metrics"
-	"telegraphcq/internal/ops"
 	"telegraphcq/internal/sql"
 	"telegraphcq/internal/tuple"
 )
@@ -26,14 +25,10 @@ type parEddyRuntime struct {
 	pe *eddy.ParallelEddy
 
 	// Post-merge pipeline: touched only by the merge goroutine.
-	agg   *ops.LandmarkAgg
-	proj  *ops.Project
-	dedup *ops.DupElim
+	out outPipe
 
 	// Driver state: touched only by the stepping DU under mu.
-	closed  []bool
-	preSeq  []int64
-	batch   int
+	drainer *batchDrain
 	stopped bool
 
 	pool *tuple.Pool
@@ -94,20 +89,18 @@ func parallelKeyColumns(plan *sql.Plan) (cols []int, ok bool) {
 func newParEddyRuntime(q *RunningQuery, keyCols []int) (runtime, error) {
 	plan := q.Plan
 	e := q.engine
+	// Merge-stage emissions are fresh sole-reference tuples (same argument
+	// as the sequential runtime); set before NewParallel spawns the merge
+	// goroutine so the flag is visible to it.
+	q.recyclable = true
 	rt := &parEddyRuntime{
-		q:      q,
-		batch:  256,
-		closed: make([]bool, len(q.inputs)),
-		preSeq: make([]int64, len(plan.Entries)),
-		pool:   e.recycler,
+		q:    q,
+		out:  newOutPipe(plan),
+		pool: e.recycler,
 	}
-	if plan.HasAgg() {
-		rt.agg = ops.NewLandmarkAgg(plan.Aggs...)
-	} else if plan.Project != nil {
-		rt.proj = ops.NewProject(plan.Project...)
-	}
-	if plan.Distinct {
-		rt.dedup = ops.NewDupElim()
+	modules, _ := buildQueryModules(plan)
+	if err := eddy.CheckModuleCount(len(modules)); err != nil {
+		return nil, err
 	}
 
 	// Ordered merge requires a globally monotone key across all inputs;
@@ -141,6 +134,7 @@ func newParEddyRuntime(q *RunningQuery, keyCols []int) (runtime, error) {
 
 	// Replay static tables through the partitioner so each shard builds
 	// the slice of table state its key range owns.
+	preSeq := make([]int64, len(plan.Entries))
 	for pos, entry := range plan.Entries {
 		if entry.Kind != catalog.Table {
 			continue
@@ -151,37 +145,34 @@ func newParEddyRuntime(q *RunningQuery, keyCols []int) (runtime, error) {
 			return nil, err
 		}
 		for _, t := range rows {
-			if t.Seq > rt.preSeq[pos] {
-				rt.preSeq[pos] = t.Seq
+			if t.Seq > preSeq[pos] {
+				preSeq[pos] = t.Seq
 			}
 			rt.pe.Ingest(plan.Layout.Widen(pos, t))
 		}
 	}
 	rt.pe.Flush()
+	rt.drainer = newBatchDrain(q.inputs, preSeq, rt.pool, e.opts.BatchSize, 256)
 	return rt, nil
 }
 
-// output is the merge stage: identical post-eddy pipeline to
-// eddyRuntime.output, single-threaded on the merge goroutine.
+// output is the merge stage: the same post-eddy pipeline the sequential
+// runtime uses, single-threaded on the merge goroutine.
 func (rt *parEddyRuntime) output(t *tuple.Tuple) {
-	switch {
-	case rt.agg != nil:
-		rt.agg.Add(t)
-		out := rt.agg.Result()
-		out.TS = t.TS
-		out.Seq = t.Seq
+	if out := rt.out.route(t); out != nil {
 		rt.q.emit(out)
-	case rt.proj != nil:
-		out := rt.proj.Apply(t)
-		if rt.dedup != nil && !rt.dedup.Accept(out) {
-			return
+	}
+}
+
+// ingest widens one drained batch and hands it to the partitioner. The
+// narrow subscriber clones are spent once widened.
+func (rt *parEddyRuntime) ingest(pos int, ts []*tuple.Tuple) {
+	layout := rt.q.Plan.Layout
+	for _, t := range ts {
+		rt.pe.Ingest(layout.WidenUsing(rt.pool, pos, t))
+		if rt.pool != nil {
+			rt.pool.Put(t)
 		}
-		rt.q.emit(out)
-	default:
-		if rt.dedup != nil && !rt.dedup.Accept(t) {
-			return
-		}
-		rt.q.emit(t)
 	}
 }
 
@@ -191,39 +182,7 @@ func (rt *parEddyRuntime) step() (bool, bool) {
 	if rt.stopped {
 		return false, true
 	}
-	progressed := false
-	allDrained := true
-	for pos, conn := range rt.q.inputs {
-		if rt.closed[pos] {
-			continue
-		}
-		for i := 0; i < rt.batch; i++ {
-			t, ok := conn.Recv()
-			if !ok {
-				if conn.Drained() {
-					rt.closed[pos] = true
-				}
-				break
-			}
-			if t.Seq <= rt.preSeq[pos] {
-				if rt.pool != nil {
-					rt.pool.Put(t)
-				}
-				continue // replayed from table contents already
-			}
-			progressed = true
-			wide := rt.q.Plan.Layout.WidenUsing(rt.pool, pos, t)
-			rt.pe.Ingest(wide)
-			if rt.pool != nil {
-				// The subscriber clone is spent: Widen copied it into the
-				// wide row and nothing else references it.
-				rt.pool.Put(t)
-			}
-		}
-		if !rt.closed[pos] {
-			allDrained = false
-		}
-	}
+	progressed, allDrained := rt.drainer.drain(rt.ingest)
 	if progressed {
 		rt.pe.Flush()
 	}

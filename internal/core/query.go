@@ -39,6 +39,15 @@ type RunningQuery struct {
 	push *egress.PushEgress
 	pull *egress.PullEgress
 
+	// recyclable marks runtimes whose emissions are fresh sole-reference
+	// tuples: with no push clients and no sinks attached at publish time,
+	// the pull egress owns the tuple's memory and may recycle it when it
+	// ages out of retention. Set (before any emission or goroutine spawn)
+	// only by the unwindowed runtimes; windowed queries re-emit buffered
+	// pointers and shared classes may deliver one pointer to many queries,
+	// so both stay unowned.
+	recyclable bool
+
 	sinkMu sync.Mutex
 	sinks  []func(*tuple.Tuple)
 
@@ -110,13 +119,33 @@ func (q *RunningQuery) AddSink(fn func(*tuple.Tuple)) {
 // emit delivers one result to both egress paths and any extra sinks.
 func (q *RunningQuery) emit(t *tuple.Tuple) {
 	q.results.Add(1)
-	q.push.Publish(t)
-	q.pull.Publish(t)
+	nPush := q.push.Publish(t)
 	q.sinkMu.Lock()
 	sinks := q.sinks
 	q.sinkMu.Unlock()
+	// The pull log owns the tuple's memory only when no one else could
+	// still hold the pointer.
+	q.pull.PublishOwned(t, q.recyclable && nPush == 0 && len(sinks) == 0)
 	for _, fn := range sinks {
 		fn(t)
+	}
+}
+
+// emitBatch delivers a result batch under one lock acquisition per egress.
+func (q *RunningQuery) emitBatch(ts []*tuple.Tuple) {
+	if len(ts) == 0 {
+		return
+	}
+	q.results.Add(int64(len(ts)))
+	nPush := q.push.PublishBatch(ts)
+	q.sinkMu.Lock()
+	sinks := q.sinks
+	q.sinkMu.Unlock()
+	q.pull.PublishBatch(ts, q.recyclable && nPush == 0 && len(sinks) == 0)
+	for _, fn := range sinks {
+		for _, t := range ts {
+			fn(t)
+		}
 	}
 }
 
@@ -251,6 +280,7 @@ func (e *Engine) RegisterPlan(plan *sql.Plan) (*RunningQuery, error) {
 		pull:   egress.NewPullEgress(1 << 16),
 		doneCh: make(chan struct{}),
 	}
+	q.pull.SetRecycler(e.recycler)
 
 	// Qualifying queries share their stream's CACQ class: one grouped
 	// filter pass per tuple serves every member (§3.1).

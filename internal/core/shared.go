@@ -34,8 +34,9 @@ type sharedClass struct {
 	eng     sharedEngine
 	members map[int]int // RunningQuery.ID -> cacq query id
 	batch   int
-	// recycler, when non-nil, reclaims the spent subscriber clone after
-	// the engine has widened it (parallel configurations only).
+	buf     []*tuple.Tuple
+	// recycler reclaims each spent subscriber clone after the engine has
+	// widened it into the super-query's wide row.
 	recycler *tuple.Pool
 }
 
@@ -46,7 +47,7 @@ type sharedClass struct {
 // runs its ordered merge: members observe the exact sequential delivery
 // order either way.
 type sharedEngine interface {
-	Ingest(s int, base *tuple.Tuple)
+	IngestBatch(s int, base []*tuple.Tuple)
 	AddQuery(fp tuple.SourceSet, sels []expr.Predicate, project []int, out func(*tuple.Tuple)) (*cacq.Query, error)
 	RemoveQuery(id int) error
 	Stats() eddy.Stats
@@ -80,11 +81,13 @@ func (e *Engine) sharedClassFor(plan *sql.Plan) (*sharedClass, error) {
 		return nil, err
 	}
 	sc := &sharedClass{
-		stream:  name,
-		layout:  plan.Layout,
-		conn:    fjord.NewConn(fjord.Push, e.opts.QueueCap),
-		members: make(map[int]int),
-		batch:   256,
+		stream:   name,
+		layout:   plan.Layout,
+		conn:     fjord.NewConn(fjord.Push, e.opts.QueueCap),
+		members:  make(map[int]int),
+		batch:    256,
+		buf:      make([]*tuple.Tuple, e.opts.BatchSize),
+		recycler: e.recycler,
 	}
 	if e.opts.Workers > 1 {
 		par, err := cacq.NewParallelEngine(plan.Layout, nil, cacq.ParallelOptions{
@@ -96,9 +99,12 @@ func (e *Engine) sharedClassFor(plan *sql.Plan) (*sharedClass, error) {
 			return nil, err
 		}
 		sc.eng = par
-		sc.recycler = e.recycler
 	} else {
-		sc.eng = cacq.New(plan.Layout, nil, eddy.NewLotteryPolicy(1))
+		seq, err := cacq.New(plan.Layout, nil, eddy.NewLotteryPolicy(1))
+		if err != nil {
+			return nil, err
+		}
+		sc.eng = seq
 	}
 
 	e.mu.Lock()
@@ -148,24 +154,30 @@ func (e *Engine) sharedClassFor(plan *sql.Plan) (*sharedClass, error) {
 	return sc, nil
 }
 
-// step drains pending stream tuples through the shared engine. In the
-// parallel configuration it flushes partial shard batches at the end of
-// the step (so trickle traffic is not held back by batch boundaries) and
-// recycles each subscriber clone once the engine has widened it.
+// step drains pending stream tuples through the shared engine in batches:
+// one lineage-template lookup and one eddy entry per batch instead of per
+// tuple. In the parallel configuration it flushes partial shard batches at
+// the end of the step (so trickle traffic is not held back by batch
+// boundaries). Each subscriber clone is recycled once the engine has
+// widened it — history retains the original, not the clone.
 func (sc *sharedClass) step() (progressed, done bool) {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
-	for i := 0; i < sc.batch; i++ {
-		t, ok := sc.conn.Recv()
-		if !ok {
+	for taken := 0; taken < sc.batch; {
+		n := sc.conn.RecvBatch(sc.buf)
+		if n == 0 {
 			break
 		}
+		taken += n
 		progressed = true
-		sc.eng.Ingest(0, t)
+		sc.eng.IngestBatch(0, sc.buf[:n])
 		if sc.recycler != nil {
-			// Ingest widened t into a fresh wide row; the narrow clone is
-			// dead now (history retains the original, not this clone).
-			sc.recycler.Put(t)
+			for i := 0; i < n; i++ {
+				sc.recycler.Put(sc.buf[i])
+			}
+		}
+		for i := 0; i < n; i++ {
+			sc.buf[i] = nil
 		}
 	}
 	if progressed {

@@ -27,7 +27,8 @@ type windowRuntime struct {
 	buffers []*window.Buffer // per windowed position
 	preSeq  []int64          // max preloaded Seq per position (dedup)
 	maxTime []int64          // newest window-time seen per position
-	closed  []bool
+	drainer *batchDrain
+	pool    *tuple.Pool
 
 	selsFor [][]expr.Predicate // per-position single-stream selections
 	agg     *ops.Aggregator
@@ -53,7 +54,6 @@ type windowRuntime struct {
 
 	nextT    int64
 	finished bool
-	batch    int
 }
 
 const maxLoopInstances = 100000
@@ -68,8 +68,7 @@ func newWindowRuntime(q *RunningQuery) (runtime, error) {
 		buffers: make([]*window.Buffer, len(plan.Entries)),
 		preSeq:  make([]int64, len(plan.Entries)),
 		maxTime: make([]int64, len(plan.Entries)),
-		closed:  make([]bool, len(plan.Entries)),
-		batch:   512,
+		pool:    q.engine.recycler,
 	}
 	rt.fireLat = q.engine.reg.Histogram(
 		fmt.Sprintf(`tcq_window_fire_seconds{query="%d"}`, q.ID), 256)
@@ -136,6 +135,7 @@ func newWindowRuntime(q *RunningQuery) (runtime, error) {
 	}
 
 	rt.nextT = plan.Loop.Init
+	rt.drainer = newBatchDrain(q.inputs, rt.preSeq, rt.pool, q.engine.opts.BatchSize, 512)
 	return rt, nil
 }
 
@@ -158,34 +158,41 @@ func (rt *windowRuntime) key(t *tuple.Tuple) int64 {
 	return t.TS
 }
 
-// drain moves pending input into the window buffers.
-func (rt *windowRuntime) drain() bool {
-	progressed := false
-	for pos, conn := range rt.q.inputs {
-		if rt.closed[pos] {
-			continue
-		}
-		for i := 0; i < rt.batch; i++ {
-			t, ok := conn.Recv()
-			if !ok {
-				if conn.Drained() {
-					rt.closed[pos] = true
-				}
-				break
-			}
-			if t.Seq <= rt.preSeq[pos] {
-				continue // already preloaded from history
-			}
-			progressed = true
-			if rt.winFor[pos] >= 0 {
-				rt.absorb(pos, t)
-			}
-			if k := rt.key(t); k > rt.maxTime[pos] {
-				rt.maxTime[pos] = k
-			}
+// intake is the drain sink: it advances the position's time high-water
+// mark and routes windowed tuples into the runtime's state. Arriving
+// subscriber clones that nothing retains — static-table positions, and
+// the incremental join (which widens into its own rows) — return to the
+// tuple pool; clones absorbed into a window buffer are retained and must
+// not be recycled.
+func (rt *windowRuntime) intake(pos int, ts []*tuple.Tuple) {
+	for _, t := range ts {
+		if k := rt.key(t); k > rt.maxTime[pos] {
+			rt.maxTime[pos] = k
 		}
 	}
-	return progressed
+	if rt.winFor[pos] < 0 {
+		rt.recycle(ts)
+		return
+	}
+	if rt.incJoin != nil {
+		for _, t := range ts {
+			rt.incJoin.ingest(pos, t)
+		}
+		rt.recycle(ts)
+		return
+	}
+	if rt.buffers[pos] != nil {
+		rt.buffers[pos].AddBatch(ts)
+	}
+}
+
+func (rt *windowRuntime) recycle(ts []*tuple.Tuple) {
+	if rt.pool == nil {
+		return
+	}
+	for _, t := range ts {
+		rt.pool.Put(t)
+	}
 }
 
 // canFire reports whether instance inst's windows are fully covered by the
@@ -196,7 +203,7 @@ func (rt *windowRuntime) canFire(inst window.Instance) bool {
 		if wi < 0 {
 			continue
 		}
-		if rt.closed[pos] {
+		if rt.drainer.closed[pos] {
 			continue
 		}
 		if rt.maxTime[pos] < inst.Windows[wi].Right {
@@ -208,7 +215,7 @@ func (rt *windowRuntime) canFire(inst window.Instance) bool {
 
 func (rt *windowRuntime) allClosed() bool {
 	for pos, wi := range rt.winFor {
-		if wi >= 0 && !rt.closed[pos] {
+		if wi >= 0 && !rt.drainer.closed[pos] {
 			return false
 		}
 	}
@@ -219,7 +226,7 @@ func (rt *windowRuntime) step() (bool, bool) {
 	if rt.finished {
 		return false, true
 	}
-	progressed := rt.drain()
+	progressed, _ := rt.drainer.drain(rt.intake)
 
 	if rt.loop.Step > 0 {
 		// Forward loop: fire instances whose windows have filled.
@@ -261,7 +268,7 @@ func (rt *windowRuntime) step() (bool, bool) {
 	if !ready {
 		ready = true
 		for pos, wi := range rt.winFor {
-			if wi >= 0 && !rt.closed[pos] && rt.maxTime[pos] < need {
+			if wi >= 0 && !rt.drainer.closed[pos] && rt.maxTime[pos] < need {
 				ready = false
 			}
 		}

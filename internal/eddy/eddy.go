@@ -31,6 +31,19 @@ type Module interface {
 	Process(t *tuple.Tuple) (outputs []*tuple.Tuple, pass bool)
 }
 
+// BatchModule is implemented by modules that can evaluate a whole batch in
+// one call, amortizing per-tuple dispatch, lock acquisition, and index
+// lookup. The eddy routes a batch here instead of looping Process when the
+// tracer is off (per-hop trace timing needs per-tuple granularity).
+type BatchModule interface {
+	Module
+	// ProcessBatch handles every tuple of b — all sharing one routing
+	// lineage — and partitions b.Tuples in place: survivors keep their
+	// relative order in b.Tuples[:passed]; dropped tuples land after.
+	// outputs collects the new tuples generated across the whole batch.
+	ProcessBatch(b *tuple.Batch) (outputs []*tuple.Tuple, passed int)
+}
+
 // Builder is implemented by modules (SteMs) that must receive a tuple as a
 // build before any other module processes it, preserving the paper's
 // "first sent as a build tuple to SteM_S, then as a probe to SteM_T"
@@ -75,14 +88,16 @@ type ticketHolder interface {
 	Tickets() []int64
 }
 
-// Eddy routes tuples among up to 64 modules.
+// Eddy routes batches of tuples among up to 64 modules.
 type Eddy struct {
 	modules  []Module
 	policy   Policy
 	output   func(*tuple.Tuple)
 	all      tuple.SourceSet // union of the query's stream bits
 	stats    Stats
-	work     []*tuple.Tuple // LIFO work list: intermediate results drain first
+	work     []*tuple.Batch // LIFO work list: intermediate results drain first
+	free     []*tuple.Batch // recycled batch headers
+	dropped  []*tuple.Tuple // scratch for the per-tuple partition adapter
 	appliesC map[tuple.SourceSet]uint64
 	buildsC  map[tuple.SourceSet]uint64
 
@@ -108,11 +123,22 @@ type Eddy struct {
 	recycler *tuple.Pool
 }
 
+// CheckModuleCount reports whether n modules fit one eddy's 64-bit
+// Ready/Done lineage bitmaps, with a descriptive error when they do not.
+// Planners call it before construction so the limit surfaces as a plan
+// error instead of a panic.
+func CheckModuleCount(n int) error {
+	if n > 64 {
+		return fmt.Errorf("eddy: plan needs %d modules but one eddy routes at most 64 (Ready/Done lineage bitmaps are 64-bit); split the query across multiple eddies or reduce its predicates/joins", n)
+	}
+	return nil
+}
+
 // New creates an eddy over the given modules whose output tuples must span
 // allSources. out receives emitted tuples.
 func New(allSources tuple.SourceSet, policy Policy, out func(*tuple.Tuple), modules ...Module) *Eddy {
-	if len(modules) > 64 {
-		panic(fmt.Sprintf("eddy: %d modules exceed the 64-module scope of one eddy", len(modules)))
+	if err := CheckModuleCount(len(modules)); err != nil {
+		panic(err.Error())
 	}
 	if policy == nil {
 		policy = NewNaivePolicy()
@@ -218,18 +244,76 @@ func (e *Eddy) Ingest(t *tuple.Tuple) {
 	if e.tracer != nil {
 		e.tracer.Sample(t, e.traceTag, t.Seq)
 	}
-	e.push(t)
+	b := e.getBatch()
+	b.Tuples = append(b.Tuples, t)
+	e.push(b)
 	e.drain()
 }
 
-func (e *Eddy) push(t *tuple.Tuple) { e.work = append(e.work, t) }
+// IngestBatch accepts a batch of source tuples (already widened to the
+// query layout) and processes them — and any tuples they spawn — to
+// completion. Tuples are regrouped into runs of identical (Source, Done)
+// lineage, so a mixed batch is split exactly where routing would diverge.
+// The caller keeps ownership of b's header and may reuse it on return;
+// the tuples themselves now belong to the dataflow.
+func (e *Eddy) IngestBatch(b *tuple.Batch) {
+	ts := b.Tuples
+	if len(ts) == 0 {
+		return
+	}
+	e.stats.Ingested += int64(len(ts))
+	if e.tracer != nil {
+		for _, t := range ts {
+			e.tracer.Sample(t, e.traceTag, t.Seq)
+		}
+	}
+	e.enqueueRuns(ts)
+	e.drain()
+}
 
-func (e *Eddy) pop() *tuple.Tuple {
+// getBatch returns an empty batch, reusing a previously retired header.
+func (e *Eddy) getBatch() *tuple.Batch {
+	if n := len(e.free); n > 0 {
+		b := e.free[n-1]
+		e.free = e.free[:n-1]
+		return b
+	}
+	return tuple.NewBatch(16)
+}
+
+func (e *Eddy) putBatch(b *tuple.Batch) {
+	b.Reset()
+	e.free = append(e.free, b)
+}
+
+// enqueueRuns copies ts into internal work batches, splitting on lineage
+// divergence: each run of equal (Source, Done) becomes one batch. Runs are
+// pushed in reverse so the LIFO work list drains them in arrival order.
+func (e *Eddy) enqueueRuns(ts []*tuple.Tuple) {
+	var runs []*tuple.Batch
+	for i := 0; i < len(ts); {
+		j := i + 1
+		for j < len(ts) && ts[j].Source == ts[i].Source && ts[j].Done == ts[i].Done {
+			j++
+		}
+		nb := e.getBatch()
+		nb.Tuples = append(nb.Tuples, ts[i:j]...)
+		runs = append(runs, nb)
+		i = j
+	}
+	for i := len(runs) - 1; i >= 0; i-- {
+		e.push(runs[i])
+	}
+}
+
+func (e *Eddy) push(b *tuple.Batch) { e.work = append(e.work, b) }
+
+func (e *Eddy) pop() *tuple.Batch {
 	n := len(e.work) - 1
-	t := e.work[n]
+	b := e.work[n]
 	e.work[n] = nil
 	e.work = e.work[:n]
-	return t
+	return b
 }
 
 func (e *Eddy) drain() {
@@ -238,23 +322,25 @@ func (e *Eddy) drain() {
 	}
 }
 
-// step advances one tuple by one routing decision, re-queuing it and any
-// outputs it produced.
-func (e *Eddy) step(t *tuple.Tuple) {
-	required := e.requiredMask(t.Source)
-	ready := required &^ t.Done
+// step advances one lineage-homogeneous batch by one routing decision —
+// the amortization at the heart of batch execution: one policy draw covers
+// every tuple in the batch — re-queuing survivors and any outputs.
+func (e *Eddy) step(b *tuple.Batch) {
+	t0 := b.Tuples[0]
+	required := e.requiredMask(t0.Source)
+	ready := required &^ t0.Done
 	if ready == 0 {
-		e.finish(t, required)
+		e.finishBatch(b, required)
 		return
 	}
 
 	// Builds are routed before anything else (no policy choice), so that
 	// the symmetric-join invariant — build precedes probe — always holds.
 	var idx int
-	if builds := e.buildMask(t.Source) & ready; builds != 0 {
+	if builds := e.buildMask(t0.Source) & ready; builds != 0 {
 		idx = trailingZeros(builds)
 	} else {
-		idx = e.policy.Choose(t, ready)
+		idx = e.policy.Choose(t0, ready)
 		e.stats.Decisions++
 		if ready&(1<<uint(idx)) == 0 {
 			panic(fmt.Sprintf("eddy: policy chose module %d not in ready set %b", idx, ready))
@@ -262,39 +348,38 @@ func (e *Eddy) step(t *tuple.Tuple) {
 	}
 
 	mod := e.modules[idx]
-	// Per-hop timing only for sampled tuples: the clock reads stay off
-	// the untraced fast path.
-	traced := e.tracer != nil && e.tracer.Live(t)
-	var hopStart time.Time
-	if traced {
-		hopStart = e.clk.Now()
+	doneBefore := t0.Done
+	var outputs []*tuple.Tuple
+	var passed int
+	if bm, ok := mod.(BatchModule); ok && e.tracer == nil {
+		outputs, passed = bm.ProcessBatch(b)
+	} else {
+		// Per-tuple adapter: modules without a batch entry point, and any
+		// batch when tracing is on (per-hop timing needs tuple granularity).
+		outputs, passed = e.processSeq(mod, b)
 	}
-	outputs, pass := mod.Process(t)
-	if traced {
-		e.tracer.Hop(t, mod.Name(), e.clk.Since(hopStart), pass, len(outputs))
-		for _, o := range outputs {
-			e.tracer.Fork(t, o)
-		}
-	}
+	n := len(b.Tuples)
 	ms := &e.stats.Modules[idx]
-	ms.Visits++
-	e.stats.Visits++
-	if pass {
-		ms.Passed++
-	}
+	ms.Visits += int64(n)
+	e.stats.Visits += int64(n)
+	ms.Passed += int64(passed)
 	ms.Produced += int64(len(outputs))
-	e.policy.Observe(idx, pass, len(outputs))
+	// Observe once per tuple so lottery ticket totals and the decay
+	// cadence match per-tuple execution; the batch's produced count is
+	// attributed to the first observation (at batch size 1 this is
+	// exactly the historical Observe call).
+	for i := 0; i < n; i++ {
+		prod := 0
+		if i == 0 {
+			prod = len(outputs)
+		}
+		e.policy.Observe(idx, i < passed, prod)
+	}
 
 	bit := uint64(1) << uint(idx)
-	for _, o := range outputs {
-		// Join matches inherit the union of work already done by their
-		// constituents plus the module that produced them.
-		o.Done |= t.Done | bit
-		e.push(o)
-	}
-	if !pass {
+	for _, t := range b.Tuples[passed:] {
 		e.stats.Dropped++
-		if traced {
+		if e.tracer != nil && e.tracer.Live(t) {
 			e.tracer.Finish(t, false)
 		} else if e.recycler != nil && e.buildMask(t.Source) == 0 {
 			// Dead for sure: dropped here, never retained as a build, and
@@ -302,14 +387,74 @@ func (e *Eddy) step(t *tuple.Tuple) {
 			// copies, so handing t's memory back is safe.
 			e.recycler.Put(t)
 		}
+	}
+	b.Tuples = b.Tuples[:passed]
+
+	if len(outputs) > 0 {
+		// Join matches inherit the union of work already done by their
+		// constituents plus the module that produced them. Reversed so the
+		// LIFO drain visits them in the per-tuple engine's order.
+		for i, j := 0, len(outputs)-1; i < j; i, j = i+1, j-1 {
+			outputs[i], outputs[j] = outputs[j], outputs[i]
+		}
+		for _, o := range outputs {
+			o.Done |= doneBefore | bit
+		}
+		e.enqueueRuns(outputs)
+	}
+	if passed == 0 {
+		e.putBatch(b)
 		return
 	}
-	t.Done |= bit
-	if required&^t.Done == 0 {
+	for _, t := range b.Tuples {
+		t.Done |= bit
+	}
+	if required&^(doneBefore|bit) == 0 {
+		e.finishBatch(b, required)
+		return
+	}
+	e.push(b)
+}
+
+// processSeq routes a batch through mod one tuple at a time, partitioning
+// survivors to the front of b.Tuples in stable order.
+func (e *Eddy) processSeq(mod Module, b *tuple.Batch) (outputs []*tuple.Tuple, passed int) {
+	ts := b.Tuples
+	e.dropped = e.dropped[:0]
+	for _, t := range ts {
+		// Per-hop timing only for sampled tuples: the clock reads stay off
+		// the untraced fast path.
+		traced := e.tracer != nil && e.tracer.Live(t)
+		var hopStart time.Time
+		if traced {
+			hopStart = e.clk.Now()
+		}
+		outs, pass := mod.Process(t)
+		if traced {
+			e.tracer.Hop(t, mod.Name(), e.clk.Since(hopStart), pass, len(outs))
+			for _, o := range outs {
+				e.tracer.Fork(t, o)
+			}
+		}
+		outputs = append(outputs, outs...)
+		if pass {
+			ts[passed] = t
+			passed++
+		} else {
+			e.dropped = append(e.dropped, t)
+		}
+	}
+	copy(ts[passed:], e.dropped)
+	return outputs, passed
+}
+
+// finishBatch retires a batch whose tuples have visited every applicable
+// module, then recycles the batch header.
+func (e *Eddy) finishBatch(b *tuple.Batch, required uint64) {
+	for _, t := range b.Tuples {
 		e.finish(t, required)
-		return
 	}
-	e.push(t)
+	e.putBatch(b)
 }
 
 // finish handles a tuple that has visited every applicable module: tuples

@@ -2,6 +2,7 @@ package eddy
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -357,4 +358,40 @@ func TestFixingPolicyCorrectAndAdaptive(t *testing.T) {
 		t.Errorf("fixing visits %d not better than static (%d, %d)",
 			fixing, staticA, staticB)
 	}
+}
+
+// TestModuleCapRejected pins the 64-module ceiling: Ready/Done lineage
+// bitmaps are uint64s, so a 65th module has no bit to claim. The check
+// must fail with a descriptive error, and New must refuse (not corrupt
+// routing state) when handed an oversized module set.
+func TestModuleCapRejected(t *testing.T) {
+	if err := CheckModuleCount(64); err != nil {
+		t.Fatalf("64 modules must fit: %v", err)
+	}
+	err := CheckModuleCount(65)
+	if err == nil {
+		t.Fatal("65 modules accepted")
+	}
+	for _, want := range []string{"65", "64", "eddy"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+
+	l := twoStreamLayout()
+	mods := make([]Module, 65)
+	for i := range mods {
+		mods[i] = ops.NewFilter(fmt.Sprintf("f%d", i), l,
+			expr.Predicate{Col: 1, Op: expr.Ge, Val: tuple.Int(0)})
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("New accepted 65 modules")
+		}
+		if msg := fmt.Sprint(r); !strings.Contains(msg, "64") {
+			t.Errorf("panic %q does not mention the 64-module cap", msg)
+		}
+	}()
+	New(3, nil, func(*tuple.Tuple) {}, mods...)
 }

@@ -53,8 +53,10 @@ func (e *PushEgress) Unsubscribe(id int) {
 	}
 }
 
-// Publish delivers t to every subscriber without blocking.
-func (e *PushEgress) Publish(t *tuple.Tuple) {
+// Publish delivers t to every subscriber without blocking. It returns the
+// number of subscribed clients — callers use a zero return as proof that no
+// push client holds a reference to t.
+func (e *PushEgress) Publish(t *tuple.Tuple) int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	for _, ch := range e.clients {
@@ -65,6 +67,25 @@ func (e *PushEgress) Publish(t *tuple.Tuple) {
 			e.dropped++
 		}
 	}
+	return len(e.clients)
+}
+
+// PublishBatch delivers every tuple of ts (in order, per client) under one
+// lock acquisition, returning the number of subscribed clients.
+func (e *PushEgress) PublishBatch(ts []*tuple.Tuple) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, ch := range e.clients {
+		for _, t := range ts {
+			select {
+			case ch <- t:
+				e.sent++
+			default:
+				e.dropped++
+			}
+		}
+	}
+	return len(e.clients)
 }
 
 // Stats returns delivered and dropped counts.
@@ -74,15 +95,25 @@ func (e *PushEgress) Stats() (sent, dropped int64) {
 	return e.sent, e.dropped
 }
 
+// pullEntry is one logged result. owned marks tuples the egress holds the
+// only live reference to: when they age out of the retention window they
+// return to the tuple pool instead of the garbage collector. Fetching an
+// entry hands its pointer to a client and clears the mark.
+type pullEntry struct {
+	t     *tuple.Tuple
+	owned bool
+}
+
 // PullEgress logs results in arrival order; disconnected clients fetch
 // everything since their cursor when they return.
 type PullEgress struct {
 	mu      sync.Mutex
-	log     []*tuple.Tuple
+	log     []pullEntry
 	cap     int
 	base    int64 // absolute index of log[0]
 	cursors map[int]int64
 	nextID  int
+	pool    *tuple.Pool // recycles owned entries aging out; nil disables
 }
 
 // NewPullEgress keeps at most capTuples results (older ones age out).
@@ -93,15 +124,54 @@ func NewPullEgress(capTuples int) *PullEgress {
 	return &PullEgress{cap: capTuples, cursors: make(map[int]int64)}
 }
 
+// SetRecycler installs the pool that owned results return to when they age
+// out of the retention window.
+func (e *PullEgress) SetRecycler(p *tuple.Pool) {
+	e.mu.Lock()
+	e.pool = p
+	e.mu.Unlock()
+}
+
 // Publish appends a result to the log.
-func (e *PullEgress) Publish(t *tuple.Tuple) {
+func (e *PullEgress) Publish(t *tuple.Tuple) { e.PublishOwned(t, false) }
+
+// PublishOwned appends a result, marking whether the egress now owns the
+// tuple's memory (the producer guarantees no other live reference).
+func (e *PullEgress) PublishOwned(t *tuple.Tuple, owned bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.log = append(e.log, t)
-	if over := len(e.log) - e.cap; over > 0 {
-		e.log = append(e.log[:0], e.log[over:]...)
-		e.base += int64(over)
+	e.log = append(e.log, pullEntry{t: t, owned: owned && e.pool != nil})
+	e.evictOverLocked()
+}
+
+// PublishBatch appends a batch of results under one lock acquisition.
+func (e *PullEgress) PublishBatch(ts []*tuple.Tuple, owned bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	owned = owned && e.pool != nil
+	for _, t := range ts {
+		e.log = append(e.log, pullEntry{t: t, owned: owned})
 	}
+	e.evictOverLocked()
+}
+
+func (e *PullEgress) evictOverLocked() {
+	over := len(e.log) - e.cap
+	if over <= 0 {
+		return
+	}
+	for i := 0; i < over; i++ {
+		if e.log[i].owned {
+			e.pool.Put(e.log[i].t)
+		}
+		e.log[i] = pullEntry{}
+	}
+	n := copy(e.log, e.log[over:])
+	for i := n; i < len(e.log); i++ {
+		e.log[i] = pullEntry{}
+	}
+	e.log = e.log[:n]
+	e.base += int64(over)
 }
 
 // Register creates a client cursor positioned at the current log end
@@ -145,7 +215,13 @@ func (e *PullEgress) Fetch(id int) (results []*tuple.Tuple, missed int64, err er
 		cur = e.base
 	}
 	start := int(cur - e.base)
-	results = append([]*tuple.Tuple(nil), e.log[start:]...)
+	results = make([]*tuple.Tuple, 0, len(e.log)-start)
+	for i := start; i < len(e.log); i++ {
+		// The client holds the pointer from here on: the egress no longer
+		// owns the tuple's memory.
+		e.log[i].owned = false
+		results = append(results, e.log[i].t)
+	}
 	e.cursors[id] = e.base + int64(len(e.log))
 	return results, missed, nil
 }

@@ -298,6 +298,9 @@ func (g *GroupedFilter) Len() int {
 type Module struct {
 	*GroupedFilter
 	name string
+
+	// scratch holds dead tuples during the in-place batch partition.
+	scratch []*tuple.Tuple
 }
 
 // NewModule wraps g as an eddy module.
@@ -316,4 +319,26 @@ func (m *Module) AppliesTo(src tuple.SourceSet) bool {
 // cleared; the tuple dies once no query wants it.
 func (m *Module) Process(t *tuple.Tuple) ([]*tuple.Tuple, bool) {
 	return nil, m.Apply(t)
+}
+
+// ProcessBatch implements eddy.BatchModule: the whole batch runs against
+// the shared sub-indexes in one pass (any pending rebuild is paid once),
+// survivors stably partitioned to the front.
+func (m *Module) ProcessBatch(b *tuple.Batch) ([]*tuple.Tuple, int) {
+	if m.dirty {
+		m.rebuild()
+	}
+	ts := b.Tuples
+	m.scratch = m.scratch[:0]
+	passed := 0
+	for _, t := range ts {
+		if m.Apply(t) {
+			ts[passed] = t
+			passed++
+		} else {
+			m.scratch = append(m.scratch, t)
+		}
+	}
+	copy(ts[passed:], m.scratch)
+	return nil, passed
 }

@@ -19,6 +19,9 @@ type Filter struct {
 	name string
 	pred expr.Predicate
 	owns tuple.SourceSet
+
+	// scratch holds dropped tuples during the in-place batch partition.
+	scratch []*tuple.Tuple
 }
 
 // NewFilter builds a filter over the layout for the given wide-row
@@ -40,6 +43,24 @@ func (f *Filter) AppliesTo(src tuple.SourceSet) bool { return src.Contains(f.own
 // Process implements eddy.Module.
 func (f *Filter) Process(t *tuple.Tuple) ([]*tuple.Tuple, bool) {
 	return nil, f.pred.Eval(t)
+}
+
+// ProcessBatch implements eddy.BatchModule: the whole batch is evaluated
+// under one dispatch, survivors stably partitioned to the front.
+func (f *Filter) ProcessBatch(b *tuple.Batch) ([]*tuple.Tuple, int) {
+	ts := b.Tuples
+	f.scratch = f.scratch[:0]
+	passed := 0
+	for _, t := range ts {
+		if f.pred.Eval(t) {
+			ts[passed] = t
+			passed++
+		} else {
+			f.scratch = append(f.scratch, t)
+		}
+	}
+	copy(ts[passed:], f.scratch)
+	return nil, passed
 }
 
 // String describes the filter.
@@ -67,6 +88,19 @@ func (f *CostedFilter) Process(t *tuple.Tuple) ([]*tuple.Tuple, bool) {
 	}
 	costSink = sink
 	return f.Filter.Process(t)
+}
+
+// ProcessBatch shadows the embedded Filter's batch path so the artificial
+// per-tuple cost is still paid for every tuple in the batch.
+func (f *CostedFilter) ProcessBatch(b *tuple.Batch) ([]*tuple.Tuple, int) {
+	sink := 0
+	for range b.Tuples {
+		for i := 0; i < f.Spin; i++ {
+			sink += i
+		}
+	}
+	costSink = sink
+	return f.Filter.ProcessBatch(b)
 }
 
 // costSink defeats dead-code elimination of the busy loop.

@@ -24,6 +24,10 @@ type SteMModule struct {
 	leftOwners []tuple.SourceSet
 	// eqPred indexes the equality predicate used for hash probing, or -1.
 	eqPred int
+
+	// probePreds is the per-batch predicate selection, reused across
+	// ProcessBatch calls so probing allocates nothing per tuple.
+	probePreds []expr.JoinPredicate
 }
 
 // NewSteMModule wraps st. preds must have RightCol owned by st's stream set
@@ -91,6 +95,35 @@ func (m *SteMModule) Process(t *tuple.Tuple) ([]*tuple.Tuple, bool) {
 	// The probe tuple itself passes: it has now been handled by this
 	// module; its matches carry the joint lineage onward.
 	return matches, true
+}
+
+// ProcessBatch implements eddy.BatchModule. A lineage-homogeneous batch is
+// either all builds or all probes; builds insert in one BuildBatch call and
+// probes share one predicate selection and one ProbeBatch call, amortizing
+// the per-tuple dispatch and predicate-slice allocation of Process.
+func (m *SteMModule) ProcessBatch(b *tuple.Batch) ([]*tuple.Tuple, int) {
+	ts := b.Tuples
+	if len(ts) == 0 {
+		return nil, 0
+	}
+	if ts[0].Source == m.stem.Spans() {
+		if err := m.stem.BuildBatch(ts); err != nil {
+			panic(fmt.Sprintf("ops: %v", err)) // routing invariant violated
+		}
+		return nil, len(ts)
+	}
+	m.probePreds = m.probePreds[:0]
+	probeKey := -1
+	for i, p := range m.preds {
+		if ts[0].Source.Contains(m.leftOwners[i]) {
+			m.probePreds = append(m.probePreds, p)
+			if i == m.eqPred {
+				probeKey = p.LeftCol
+			}
+		}
+	}
+	matches := m.stem.ProbeBatch(ts, probeKey, m.probePreds, nil)
+	return matches, len(ts)
 }
 
 // Evict drops stored tuples older than the window watermark.

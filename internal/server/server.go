@@ -129,6 +129,17 @@ func (fe *frontEnd) send(line string) {
 	fe.w.Flush()
 }
 
+// sendAll writes a batch of lines under one lock acquisition and flush.
+func (fe *frontEnd) sendAll(lines []string) {
+	fe.wmu.Lock()
+	defer fe.wmu.Unlock()
+	for _, line := range lines {
+		fe.w.WriteString(line)
+		fe.w.WriteByte('\n')
+	}
+	fe.w.Flush()
+}
+
 func (fe *frontEnd) serve() {
 	defer fe.conn.Close()
 	defer fe.stopPushers()
@@ -354,8 +365,25 @@ func (fe *frontEnd) handleSubscribe(rest string) error {
 	fe.mu.Unlock()
 	go func() {
 		defer close(stopped)
+		// Greedily drain whatever the egress has already pushed and write
+		// it under one lock/flush, so a fast query does not pay a syscall
+		// per row.
+		lines := make([]string, 0, 64)
 		for t := range ch {
-			fe.send(fmt.Sprintf("ROW q%d %s", id, ingress.FormatCSV(t)))
+			lines = append(lines[:0], fmt.Sprintf("ROW q%d %s", id, ingress.FormatCSV(t)))
+		fill:
+			for len(lines) < cap(lines) {
+				select {
+				case t2, ok := <-ch:
+					if !ok {
+						break fill
+					}
+					lines = append(lines, fmt.Sprintf("ROW q%d %s", id, ingress.FormatCSV(t2)))
+				default:
+					break fill
+				}
+			}
+			fe.sendAll(lines)
 		}
 	}()
 	fe.send(fmt.Sprintf("OK subscribed %d", id))

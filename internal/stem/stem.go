@@ -116,6 +116,67 @@ func (s *SteM) Build(t *tuple.Tuple) error {
 	return nil
 }
 
+// BuildBatch inserts every tuple of ts, validating spans up front and
+// amortizing counter updates and buffer bookkeeping over the batch.
+func (s *SteM) BuildBatch(ts []*tuple.Tuple) error {
+	for _, t := range ts {
+		if !s.Accepts(t) {
+			return fmt.Errorf("stem %s: build tuple spans %b, want %b", s.name, t.Source, s.spans)
+		}
+	}
+	s.builds += int64(len(ts))
+	if s.keyCol >= 0 {
+		for _, t := range ts {
+			h := t.Vals[s.keyCol].Hash()
+			s.index[h] = append(s.index[h], t)
+		}
+	}
+	if s.windowed {
+		s.all.AddBatch(ts)
+	} else {
+		s.inseq = append(s.inseq, ts...)
+	}
+	return nil
+}
+
+// ProbeBatch probes with every tuple of ps under one call, appending the
+// merged matches for all probes (in probe order) to out and returning it.
+// probeKey and preds are shared by the whole batch — the caller selects
+// them once per batch instead of once per tuple.
+func (s *SteM) ProbeBatch(ps []*tuple.Tuple, probeKey int, preds []expr.JoinPredicate, out []*tuple.Tuple) []*tuple.Tuple {
+	s.probes += int64(len(ps))
+	before := len(out)
+	indexed := s.keyCol >= 0 && probeKey >= 0
+	for _, p := range ps {
+		if indexed {
+			for _, cand := range s.index[p.Vals[probeKey].Hash()] {
+				ok := true
+				for _, jp := range preds {
+					if !jp.Eval(p, cand) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					out = append(out, s.layout.Merge(p, cand))
+				}
+			}
+			continue
+		}
+		pp := p
+		s.scan(func(cand *tuple.Tuple) {
+			for _, jp := range preds {
+				if !jp.Eval(pp, cand) {
+					return
+				}
+			}
+			out = append(out, s.layout.Merge(pp, cand))
+		})
+	}
+	s.matches += int64(len(out) - before)
+	return out
+}
+
 // Probe looks up matches for probe tuple p. probeKey is the wide-row slot
 // of p holding the value hashed against the index (ignored when the SteM is
 // unindexed). preds are the join predicates to verify on each candidate,

@@ -47,7 +47,12 @@ func (p *Pool) Get(width int) *Tuple {
 			t.Vals[i] = Value{}
 		}
 	} else {
-		t.Vals = make([]Value, width)
+		// Round the capacity up to a small slab so a recycled narrow
+		// clone can serve a later, slightly wider request: ingress
+		// alternates narrow subscriber clones with wide rows, and exact
+		// sizing would make every other Get a miss.
+		c := (width + 3) &^ 3
+		t.Vals = make([]Value, width, c)
 	}
 	t.TS, t.Seq, t.Source, t.Ready, t.Done, t.Queries = 0, 0, 0, 0, 0, nil
 	return t

@@ -47,6 +47,25 @@ func (b *Buffer) Add(t *tuple.Tuple) {
 	b.tuples[i] = t
 }
 
+// AddBatch inserts a batch of tuples. The common case — the batch arrives
+// in time order at or past the buffer tail — grows the slice once and
+// skips the per-tuple insertion-point search; stragglers fall back to Add.
+func (b *Buffer) AddBatch(ts []*tuple.Tuple) {
+	i := 0
+	last := int64(-1 << 62)
+	if n := len(b.tuples); n > 0 {
+		last = b.key(b.tuples[n-1])
+	}
+	for i < len(ts) && b.key(ts[i]) >= last {
+		last = b.key(ts[i])
+		i++
+	}
+	b.tuples = append(b.tuples, ts[:i]...)
+	for _, t := range ts[i:] {
+		b.Add(t)
+	}
+}
+
 // Range returns the tuples whose time falls in the inclusive interval
 // [left, right]. The returned slice aliases the buffer; callers must not
 // retain it across Add/Evict.

@@ -75,18 +75,18 @@ func TestParseLoopMultiStream(t *testing.T) {
 
 func TestParseLoopErrors(t *testing.T) {
 	bad := map[string]string{
-		"(t = 1;;) {}":                          "expected 'for'",
-		"for t = 1;;) {}":                       `expected "("`,
-		"for (x = 1;;) {}":                      "loop variable must be 't'",
-		"for (t 1;;) {}":                        "expected '='",
-		"for (t = 1; t ! 2;) {}":                "illegal character",
-		"for (t = 1;; t**) {}":                  "illegal character",
-		"for (t = 1;;) { WindowIs(S, t, t) ":    `expected WindowIs, found end of input`,
-		"for (t = 1;;) { Window(S, t, t); }":    "expected WindowIs",
-		"for (t = 1;;) { WindowIs(, t, t); }":   "expected stream name",
-		"for (t = 1;;) { WindowIs(S, t); }":     `expected ","`,
-		"for (t = 1;;) {} trailing":             "unexpected",
-		"for (t = 99999999999999999999;;) {}":   "bad integer",
+		"(t = 1;;) {}":                                    "expected 'for'",
+		"for t = 1;;) {}":                                 `expected "("`,
+		"for (x = 1;;) {}":                                "loop variable must be 't'",
+		"for (t 1;;) {}":                                  "expected '='",
+		"for (t = 1; t ! 2;) {}":                          "illegal character",
+		"for (t = 1;; t**) {}":                            "illegal character",
+		"for (t = 1;;) { WindowIs(S, t, t) ":              `expected WindowIs, found end of input`,
+		"for (t = 1;;) { Window(S, t, t); }":              "expected WindowIs",
+		"for (t = 1;;) { WindowIs(, t, t); }":             "expected stream name",
+		"for (t = 1;;) { WindowIs(S, t); }":               `expected ","`,
+		"for (t = 1;;) {} trailing":                       "unexpected",
+		"for (t = 99999999999999999999;;) {}":             "bad integer",
 		"for (t = 1; t < 2; t = -9223372036854775807) {}": "overflows",
 	}
 	for in, want := range bad {

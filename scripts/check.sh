@@ -28,6 +28,14 @@ for dir in cmd/*/; do
 done
 [ "$missing" -eq 0 ] || exit 1
 
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 echo "==> go vet ./..."
 go vet ./...
 

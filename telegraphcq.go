@@ -52,6 +52,17 @@ type Config struct {
 	// and its module-visit path recorded with per-hop latency. Retrieve
 	// traces with Query.Traces or the TRACE wire command.
 	TraceSampleRate float64
+	// BatchSize is the tuple-batch granularity of the dataflow: ingress
+	// fan-out, query input drains, eddy routing, and parallel shard
+	// handoffs move up to BatchSize tuples per operation (default 64).
+	// BatchSize 1 degenerates to per-tuple processing with identical
+	// output sequences — larger values trade a little latency for
+	// amortized locking and routing on saturated streams.
+	BatchSize int
+	// Workers > 1 enables intra-process parallel execution for eligible
+	// query classes (hash-partitioned eddy shards behind a merge stage);
+	// the default 1 keeps every query on the sequential path.
+	Workers int
 }
 
 // DB is an embedded TelegraphCQ engine.
@@ -67,6 +78,8 @@ func Open(cfg Config) *DB {
 		SegmentSize:     cfg.SegmentSize,
 		PoolSegments:    cfg.PoolSegments,
 		TraceSampleRate: cfg.TraceSampleRate,
+		BatchSize:       cfg.BatchSize,
+		Workers:         cfg.Workers,
 	})}
 }
 
