@@ -18,7 +18,12 @@ import (
 	"time"
 
 	"telegraphcq/internal/bench"
+	"telegraphcq/internal/chaos"
 )
+
+// clk is the wall clock, reached through chaos.Clock per the repo-wide
+// clockcheck discipline.
+var clk = chaos.Real()
 
 func main() {
 	expFlag := flag.String("exp", "", "comma-separated experiment ids (default: all)")
@@ -48,7 +53,7 @@ func main() {
 			continue
 		}
 		fmt.Fprintf(os.Stderr, "running %s (%s)...\n", e.ID, e.Name)
-		start := time.Now()
+		start := clk.Now()
 		tb, err := e.Run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
@@ -57,7 +62,7 @@ func main() {
 		}
 		tb.Render(os.Stdout)
 		tables = append(tables, tb)
-		fmt.Fprintf(os.Stderr, "%s done in %s\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "%s done in %s\n", e.ID, clk.Since(start).Round(time.Millisecond))
 	}
 	if *jsonPath != "" {
 		out := os.Stdout

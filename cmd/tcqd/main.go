@@ -16,11 +16,16 @@ import (
 	"syscall"
 	"time"
 
+	"telegraphcq/internal/chaos"
 	"telegraphcq/internal/core"
 	"telegraphcq/internal/metrics"
 	"telegraphcq/internal/server"
 	"telegraphcq/internal/workload"
 )
+
+// clk is the wall clock, reached through chaos.Clock per the repo-wide
+// clockcheck discipline.
+var clk = chaos.Real()
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:5433", "listen address")
@@ -71,13 +76,13 @@ func main() {
 		}
 		fmt.Println("tcqd: demo stream ClosingStockPrices(timestamp TIME, stockSymbol STRING, closingPrice FLOAT)")
 		go func() {
-			gen := workload.NewStockGenerator(time.Now().UnixNano(), nil)
+			gen := workload.NewStockGenerator(clk.Now().UnixNano(), nil)
 			interval := time.Second / time.Duration(*rate)
 			for {
 				if err := engine.Feed("ClosingStockPrices", gen.Next()); err != nil {
 					return
 				}
-				time.Sleep(interval)
+				clk.Sleep(interval)
 			}
 		}()
 	}

@@ -1,0 +1,86 @@
+// Command tcqlint is the repo's invariant linter: a multichecker of five
+// repo-specific analyzers (clockcheck, poolcheck, lineagecheck,
+// metriccheck, lockcheck) enforcing the engine's concurrency and lifecycle
+// invariants that go vet cannot see. It type-checks the named packages
+// (tests included) from source — dependencies come from build-cache export
+// data, so it runs hermetically — applies every analyzer, and exits
+// non-zero when findings remain.
+//
+// Usage:
+//
+//	go run ./cmd/tcqlint ./...
+//	go run ./cmd/tcqlint -c clockcheck,lockcheck ./internal/core/
+//
+// Suppress an individual finding with a `//lint:ignore <analyzer> reason`
+// comment on, or on the line above, the flagged line (see TESTING.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"telegraphcq/internal/lint"
+	"telegraphcq/internal/lint/checks"
+)
+
+func main() {
+	var (
+		only = flag.String("c", "", "comma-separated subset of analyzers to run (default all)")
+		list = flag.Bool("list", false, "list the analyzers and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: tcqlint [-c checks] [-list] [packages]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	suite := checks.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		want := make(map[string]bool)
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var sel []*lint.Analyzer
+		for _, a := range suite {
+			if want[a.Name] {
+				sel = append(sel, a)
+				delete(want, a.Name)
+			}
+		}
+		for name := range want {
+			fmt.Fprintf(os.Stderr, "tcqlint: unknown analyzer %q (try -list)\n", name)
+			os.Exit(2)
+		}
+		suite = sel
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tcqlint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(dir, patterns, suite)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tcqlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "tcqlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

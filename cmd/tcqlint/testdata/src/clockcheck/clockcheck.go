@@ -1,0 +1,36 @@
+// Package clockcheck is the tcqlint fixture for the raw-time ban: every
+// clock-reading or timer entry point of package time is flagged outside
+// internal/chaos, while pure time arithmetic and chaos.Clock usage pass.
+package clockcheck
+
+import (
+	"time"
+
+	"telegraphcq/internal/chaos"
+)
+
+// bad reaches the wall clock directly; every call is a finding.
+func bad() time.Time {
+	time.Sleep(time.Millisecond)      // want `time\.Sleep bypasses the injectable clock`
+	<-time.After(time.Millisecond)    // want `time\.After bypasses the injectable clock`
+	tk := time.NewTicker(time.Second) // want `time\.NewTicker bypasses the injectable clock`
+	tk.Stop()
+	_ = time.Since(time.Time{}) // want `time\.Since bypasses the injectable clock`
+	return time.Now()           // want `time\.Now bypasses the injectable clock`
+}
+
+// good threads a chaos.Clock; durations, formatting and time.Time
+// arithmetic stay legal anywhere.
+func good(clk chaos.Clock) time.Duration {
+	start := clk.Now()
+	clk.Sleep(time.Millisecond)
+	<-clk.After(10 * time.Microsecond)
+	return clk.Since(start).Round(time.Millisecond)
+}
+
+// suppressed documents a sanctioned exception through the ignore
+// directive; no diagnostic may survive.
+func suppressed() time.Time {
+	//lint:ignore clockcheck fixture exercises the suppression path
+	return time.Now()
+}

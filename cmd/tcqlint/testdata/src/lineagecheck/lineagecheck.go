@@ -1,0 +1,23 @@
+// Package lineagecheck is the tcqlint fixture for tuple lineage hygiene:
+// outside internal/tuple the Ready/Done bitmaps are written only through
+// the accessors, which preserve done ⊆ ready.
+package lineagecheck
+
+import "telegraphcq/internal/tuple"
+
+// bad writes the bitmaps directly in all three flagged shapes.
+func bad(t *tuple.Tuple) {
+	t.Done |= 2  // want `direct store to tuple lineage bitmap \.Done`
+	t.Ready = 7  // want `direct store to tuple lineage bitmap \.Ready`
+	t.Done++     // want `direct update of tuple lineage bitmap \.Done`
+	_ = &t.Ready // want `taking the address of tuple lineage bitmap \.Ready`
+}
+
+// good goes through the accessors; reads are always fine.
+func good(t, u *tuple.Tuple) uint64 {
+	t.MarkDone(2)
+	t.SetLineage(0xff, 0x0f)
+	u.CopyLineage(t)
+	u.ClearLineage()
+	return t.Ready &^ t.Done
+}

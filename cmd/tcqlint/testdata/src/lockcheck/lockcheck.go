@@ -1,0 +1,61 @@
+// Package lockcheck is the tcqlint fixture for the declared mutex
+// acquisition order. The test runs the analyzer with a fixture-local
+// table ordering Outer.mu before Inner.mu.
+package lockcheck
+
+import "sync"
+
+// Outer is the outermost lock class in the fixture table.
+type Outer struct{ mu sync.Mutex }
+
+// Inner must only be acquired after (or independently of) Outer.
+type Inner struct{ mu sync.RWMutex }
+
+// good nests in the declared direction.
+func good(o *Outer, i *Inner) {
+	o.mu.Lock()
+	i.mu.RLock()
+	i.mu.RUnlock()
+	o.mu.Unlock()
+}
+
+// sequential releases before acquiring the outer class; no nesting.
+func sequential(o *Outer, i *Inner) {
+	i.mu.Lock()
+	i.mu.Unlock()
+	o.mu.Lock()
+	o.mu.Unlock()
+}
+
+// inverted acquires the outer class while holding the inner one.
+func inverted(o *Outer, i *Inner) {
+	i.mu.Lock()
+	o.mu.Lock() // want `acquires fixture/lockcheck\.Outer\.mu while fixture/lockcheck\.Inner\.mu is held`
+	o.mu.Unlock()
+	i.mu.Unlock()
+}
+
+// viaHelper hides the inversion behind a same-package call; the call-site
+// summary catches it.
+func viaHelper(o *Outer, i *Inner) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	lockOuter(o) // want `call to lockOuter acquires fixture/lockcheck\.Outer\.mu while fixture/lockcheck\.Inner\.mu is held`
+}
+
+func lockOuter(o *Outer) {
+	o.mu.Lock()
+	o.mu.Unlock()
+}
+
+// spawned hands the outer acquisition to a goroutine, which holds nothing
+// of the spawner's; function literals are separate analysis units.
+func spawned(o *Outer, i *Inner, done chan struct{}) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	go func() {
+		o.mu.Lock()
+		o.mu.Unlock()
+		close(done)
+	}()
+}

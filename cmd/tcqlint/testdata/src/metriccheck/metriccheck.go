@@ -1,0 +1,43 @@
+// Package metriccheck is the tcqlint fixture for the Prometheus naming
+// and registration rules: tcq_-prefixed snake_case families, statically
+// resolvable names, and single-site RegisterFunc registration.
+package metriccheck
+
+import (
+	"fmt"
+
+	"telegraphcq/internal/metrics"
+)
+
+const okFamily = "tcq_fixture_events_total"
+
+// good covers the resolvable shapes: literals, constants, labeled series,
+// constant-prefix concatenation, Sprintf formats, and range over a map
+// literal with constant keys.
+func good(r *metrics.Registry, stream string) {
+	r.Counter(okFamily).Inc()
+	r.Counter(`tcq_fixture_drops_total{stream="a"}`).Add(1)
+	r.Counter("tcq_fixture_in_total{stream=\"" + stream + "\"}").Inc()
+	r.Gauge(fmt.Sprintf("tcq_fixture_depth{shard=%q}", "s0")).Set(1)
+	r.Histogram("tcq_fixture_latency_seconds", 64)
+	for name, v := range map[string]float64{"tcq_fixture_a": 1, "tcq_fixture_b": 2} {
+		r.Gauge(name).Set(v)
+	}
+}
+
+// bad covers the naming failures and an unresolvable name.
+func bad(r *metrics.Registry, name string) {
+	r.Counter("fixture_events_total").Inc() // want `metric family "fixture_events_total" passed to Registry\.Counter is not tcq_-prefixed`
+	r.Gauge("tcq_BadName").Set(1)           // want `metric family "tcq_BadName" passed to Registry\.Gauge is not tcq_-prefixed` `metric name "tcq_BadName" is not tcq_-prefixed`
+	r.Counter(name).Inc()                   // want `metric name passed to Registry\.Counter is not statically resolvable`
+}
+
+// registerOnce and registerTwice register the same constant family from
+// two call sites; both sites are flagged.
+func registerOnce(r *metrics.Registry) {
+	r.RegisterFunc("tcq_fixture_static_value", metrics.KindGauge, func() float64 { return 1 }) // want `registered by RegisterFunc at 2 call sites`
+}
+
+func registerTwice(r *metrics.Registry) {
+	r.RegisterFunc("tcq_fixture_static_value", metrics.KindGauge, func() float64 { return 2 }) // want `registered by RegisterFunc at 2 call sites`
+}

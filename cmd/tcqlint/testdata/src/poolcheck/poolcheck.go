@@ -1,0 +1,49 @@
+// Package poolcheck is the tcqlint fixture for tuple-pool lifetime
+// discipline: a variable handed to Pool.Put is dead until reassigned.
+package poolcheck
+
+import "telegraphcq/internal/tuple"
+
+// useAfterPut reads the recycled tuple; the read is a finding.
+func useAfterPut(p *tuple.Pool) int {
+	t := p.Get(2)
+	p.Put(t)
+	return len(t.Vals) // want `t is used after Pool\.Put recycled it`
+}
+
+// doublePut hands the same tuple back twice; the second Put is a use.
+func doublePut(p *tuple.Pool) {
+	t := p.Get(1)
+	p.Put(t)
+	p.Put(t) // want `t is used after Pool\.Put recycled it`
+}
+
+// guarded is the engine's guard-and-bail idiom: the Put sits in a block
+// that transfers control, so later iterations (and the code after the if)
+// see a fresh binding and stay clean.
+func guarded(p *tuple.Pool, ts []*tuple.Tuple) int {
+	n := 0
+	for _, t := range ts {
+		if t.TS < 0 {
+			p.Put(t)
+			continue
+		}
+		n += len(t.Vals)
+	}
+	return n
+}
+
+// reassigned overwrites the variable before reading it again.
+func reassigned(p *tuple.Pool) int {
+	t := p.Get(1)
+	p.Put(t)
+	t = p.Get(3)
+	return len(t.Vals)
+}
+
+// deferredPut recycles at return, after every read.
+func deferredPut(p *tuple.Pool) int {
+	t := p.Get(1)
+	defer p.Put(t)
+	return len(t.Vals)
+}

@@ -13,9 +13,14 @@ import (
 
 	"telegraphcq/internal/baseline"
 	"telegraphcq/internal/cacq"
+	"telegraphcq/internal/chaos"
 	"telegraphcq/internal/expr"
 	"telegraphcq/internal/tuple"
 )
+
+// clk is the wall clock, reached through chaos.Clock per the repo-wide
+// clockcheck discipline.
+var clk = chaos.Real()
 
 func main() {
 	const queries = 500
@@ -55,18 +60,18 @@ func main() {
 			tuple.Int(int64(rng.Intn(1000))))
 	}
 
-	start := time.Now()
+	start := clk.Now()
 	for _, t := range input {
 		shared.Ingest(0, t)
 	}
-	sharedTime := time.Since(start)
+	sharedTime := clk.Since(start)
 
-	start = time.Now()
+	start = clk.Now()
 	var refMatches int64
 	for _, t := range input {
 		refMatches += int64(perQuery.Process(t).Count())
 	}
-	perQueryTime := time.Since(start)
+	perQueryTime := clk.Since(start)
 
 	var total int64
 	for _, d := range delivered {

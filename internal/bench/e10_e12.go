@@ -68,7 +68,7 @@ func E10Server() (*Table, error) {
 							return
 						}
 						n++
-					case <-time.After(2 * time.Second):
+					case <-clk.After(2 * time.Second):
 						mu.Lock()
 						delivered += n
 						mu.Unlock()
@@ -78,13 +78,13 @@ func E10Server() (*Table, error) {
 			}(cl)
 		}
 
-		start := time.Now()
+		start := clk.Now()
 		for i := 0; i < rows; i++ {
 			if err := feeder.Feed("s", fmt.Sprintf("%d,%d", i%100, i)); err != nil {
 				return nil, err
 			}
 		}
-		fedIn := time.Since(start)
+		fedIn := clk.Since(start)
 		wg.Wait()
 		feeder.Close()
 		pm.Close()
@@ -157,7 +157,7 @@ func E12Storage() (*Table, error) {
 			return nil, err
 		}
 		gen := workload.NewStockGenerator(1, nil)
-		start := time.Now()
+		start := clk.Now()
 		for i := 0; i < tuples; i++ {
 			if err := st.Append(gen.Next()); err != nil {
 				return nil, err
@@ -166,7 +166,7 @@ func E12Storage() (*Table, error) {
 		if err := st.Flush(); err != nil {
 			return nil, err
 		}
-		spoolRate := float64(tuples) / time.Since(start).Seconds() / 1e6
+		spoolRate := float64(tuples) / clk.Since(start).Seconds() / 1e6
 
 		// Sliding re-reads over the most recent region (broadcast-disk
 		// style read behaviour): 50 windows over the last ~16 segments.

@@ -45,7 +45,7 @@ func E13ParallelScaling() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		start := time.Now()
+		start := clk.Now()
 		for i := int64(0); i < rRows; i++ {
 			if err := eng.Feed("R", tuple.New(tuple.Int(i%keys), tuple.Int(i))); err != nil {
 				return nil, err
@@ -56,11 +56,11 @@ func E13ParallelScaling() (*Table, error) {
 				return nil, err
 			}
 		}
-		deadline := time.Now().Add(60 * time.Second)
-		for q.Results() < sRows && time.Now().Before(deadline) {
-			time.Sleep(time.Millisecond)
+		deadline := clk.Now().Add(60 * time.Second)
+		for q.Results() < sRows && clk.Now().Before(deadline) {
+			clk.Sleep(time.Millisecond)
 		}
-		elapsed := time.Since(start)
+		elapsed := clk.Since(start)
 		if q.Results() != sRows {
 			eng.Stop()
 			return nil, fmt.Errorf("workers=%d: results = %d, want %d", workers, q.Results(), sRows)

@@ -47,7 +47,7 @@ func E14BatchSweep() (*Table, error) {
 		var before, after runtime.MemStats
 		runtime.GC()
 		runtime.ReadMemStats(&before)
-		start := time.Now()
+		start := clk.Now()
 		for i := int64(0); i < rRows; i++ {
 			if err := eng.Feed("R", tuple.New(tuple.Int(i%keys), tuple.Int(i))); err != nil {
 				return nil, err
@@ -58,11 +58,11 @@ func E14BatchSweep() (*Table, error) {
 				return nil, err
 			}
 		}
-		deadline := time.Now().Add(60 * time.Second)
-		for q.Results() < sRows && time.Now().Before(deadline) {
-			time.Sleep(time.Millisecond)
+		deadline := clk.Now().Add(60 * time.Second)
+		for q.Results() < sRows && clk.Now().Before(deadline) {
+			clk.Sleep(time.Millisecond)
 		}
-		elapsed := time.Since(start)
+		elapsed := clk.Since(start)
 		runtime.ReadMemStats(&after)
 		if q.Results() != sRows {
 			eng.Stop()

@@ -47,7 +47,7 @@ func E1FjordPipeline() (*Table, error) {
 		in := mk()
 		src := fjord.NewConn(m, capacity)
 		out := fjord.Pipeline(src, m, capacity, stageA, stageB, stageC)
-		start := time.Now()
+		start := clk.Now()
 		var wg sync.WaitGroup
 		wg.Add(1)
 		var received int64
@@ -75,7 +75,7 @@ func E1FjordPipeline() (*Table, error) {
 		}
 		src.Close()
 		wg.Wait()
-		el := time.Since(start).Seconds()
+		el := clk.Since(start).Seconds()
 		return float64(tuples) / el / 1e6, received
 	}
 
@@ -108,11 +108,11 @@ func runDriftEddy(policy eddy.Policy, n int, period int64) (visits int64, elapse
 	fB := ops.NewFilter("B", l, expr.Predicate{Col: 1, Op: expr.Lt, Val: tuple.Int(10)})
 	e := eddy.New(tuple.SingleSource(0), policy, nil, fA, fB)
 	gen := workload.NewDriftGenerator(42, period)
-	start := time.Now()
+	start := clk.Now()
 	for i := 0; i < n; i++ {
 		e.Ingest(l.Widen(0, gen.Next()))
 	}
-	return e.Stats().Visits, time.Since(start)
+	return e.Stats().Visits, clk.Since(start)
 }
 
 // E2EddyVsStatic compares adaptive lottery routing against both static
@@ -183,14 +183,14 @@ func E3HybridJoin() (*Table, error) {
 			tRows = append(tRows, w)
 		}
 		matches := int64(0)
-		start := time.Now()
+		start := clk.Now()
 		switch mode {
 		case "index-only":
 			// Asynchronous index join: every S probe pays the latency.
 			for i := 0; i < nS; i++ {
 				s := l.Widen(0, tuple.New(tuple.Int(int64(i%keys)), tuple.Int(int64(i))))
 				if idx.latency > 0 {
-					time.Sleep(idx.latency)
+					clk.Sleep(idx.latency)
 				}
 				idx.lookups++
 				for _, cand := range idx.m[s.Vals[0].AsInt()] {
@@ -221,7 +221,7 @@ func E3HybridJoin() (*Table, error) {
 				k := s.Vals[0].AsInt()
 				if !cached[k] {
 					if idx.latency > 0 {
-						time.Sleep(idx.latency)
+						clk.Sleep(idx.latency)
 					}
 					idx.lookups++
 					for _, cand := range idx.m[k] {
@@ -232,7 +232,7 @@ func E3HybridJoin() (*Table, error) {
 				matches += int64(len(stT.Probe(s, 0, preds)))
 			}
 		}
-		return matches, time.Since(start)
+		return matches, clk.Since(start)
 	}
 
 	tb := &Table{

@@ -42,39 +42,39 @@ func E4PSoup() (*Table, error) {
 			}
 			qids = append(qids, sq.ID)
 		}
-		start := time.Now()
+		start := clk.Now()
 		for ts := int64(1); ts <= history; ts++ {
 			t := tuple.New(tuple.Time(ts), tuple.String_("X"), tuple.Float(rng.Float64()*100))
 			t.TS = ts
 			t.Seq = ts
 			p.Insert(t)
 		}
-		insertPer := time.Since(start).Seconds() * 1e6 / history
+		insertPer := clk.Since(start).Seconds() * 1e6 / history
 
 		// Invocation cost, averaged over the standing queries.
-		start = time.Now()
+		start = clk.Now()
 		for _, id := range qids {
 			if _, err := p.Fetch(id, history); err != nil {
 				return nil, err
 			}
 		}
-		fetch := time.Since(start).Seconds() * 1e6 / float64(nq)
-		start = time.Now()
+		fetch := clk.Since(start).Seconds() * 1e6 / float64(nq)
+		start = clk.Now()
 		for _, id := range qids {
 			if _, err := p.FetchAndCompute(id, history); err != nil {
 				return nil, err
 			}
 		}
-		recompute := time.Since(start).Seconds() * 1e6 / float64(nq)
+		recompute := clk.Since(start).Seconds() * 1e6 / float64(nq)
 
 		// New query over old data.
-		start = time.Now()
+		start = clk.Now()
 		if _, err := p.Register(expr.Conjunction{
 			{Col: 2, Op: expr.Gt, Val: tuple.Float(50)},
 		}, 500); err != nil {
 			return nil, err
 		}
-		reg := time.Since(start).Seconds() * 1e6
+		reg := clk.Since(start).Seconds() * 1e6
 
 		tb.Rows = append(tb.Rows, []string{
 			itoa(nq), f2(insertPer), f1(fetch), f1(recompute),
@@ -125,17 +125,17 @@ func E5SharedVsPerQuery() (*Table, error) {
 			input[i] = tuple.New(tuple.Int(int64(rng.Intn(4))), tuple.Int(int64(rng.Intn(100))))
 		}
 
-		start := time.Now()
+		start := clk.Now()
 		for _, t := range input {
 			eng.Ingest(0, t)
 		}
-		shared := time.Since(start)
+		shared := clk.Since(start)
 
-		start = time.Now()
+		start = clk.Now()
 		for _, t := range input {
 			ref.Process(t)
 		}
-		perQuery := time.Since(start)
+		perQuery := clk.Since(start)
 
 		tb.Rows = append(tb.Rows, []string{
 			itoa(nq),

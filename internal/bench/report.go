@@ -11,8 +11,14 @@ import (
 	"io"
 	"strings"
 
+	"telegraphcq/internal/chaos"
 	"telegraphcq/internal/metrics"
 )
+
+// clk is the harness stopwatch. Experiments measure real elapsed time, so
+// this is the wall clock; going through chaos.Clock keeps the package
+// inside the engine-wide clockcheck discipline.
+var clk = chaos.Real()
 
 // Table is one experiment's result.
 type Table struct {

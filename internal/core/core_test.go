@@ -7,6 +7,8 @@ import (
 	"testing"
 	"time"
 
+	"telegraphcq/internal/chaos"
+
 	"telegraphcq/internal/ingress"
 	"telegraphcq/internal/tuple"
 	"telegraphcq/internal/workload"
@@ -41,12 +43,12 @@ func newStockEngine(t *testing.T) *Engine {
 // waitFor polls until cond holds or the deadline passes.
 func waitFor(t *testing.T, what string, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
-	for time.Now().Before(deadline) {
+	deadline := chaos.Real().Now().Add(10 * time.Second)
+	for chaos.Real().Now().Before(deadline) {
 		if cond() {
 			return
 		}
-		time.Sleep(time.Millisecond)
+		chaos.Real().Sleep(time.Millisecond)
 	}
 	t.Fatalf("timed out waiting for %s", what)
 }
@@ -183,7 +185,7 @@ func TestUnwindowedSelectionCQ(t *testing.T) {
 				t.Errorf("filtered row leaked: %v", r)
 			}
 			got++
-		case <-time.After(5 * time.Second):
+		case <-chaos.Real().After(5 * time.Second):
 			t.Fatal("push delivery timed out")
 		}
 	}
@@ -309,7 +311,7 @@ func TestDeregisterStopsDelivery(t *testing.T) {
 		t.Fatal(err)
 	}
 	feedStocks(t, e, 4, 6)
-	time.Sleep(20 * time.Millisecond)
+	chaos.Real().Sleep(20 * time.Millisecond)
 	if q.Results() != 6 {
 		t.Errorf("results after deregister = %d", q.Results())
 	}
@@ -423,7 +425,7 @@ func TestPushAndPullAgree(t *testing.T) {
 		select {
 		case r := <-ch:
 			pushed = append(pushed, r)
-		case <-time.After(5 * time.Second):
+		case <-chaos.Real().After(5 * time.Second):
 			t.Fatal("push starved")
 		}
 	}
@@ -519,7 +521,7 @@ func TestQoSLoadShedding(t *testing.T) {
 	}()
 	select {
 	case <-done:
-	case <-time.After(5 * time.Second):
+	case <-chaos.Real().After(5 * time.Second):
 		t.Fatal("producer blocked despite load shedding")
 	}
 	if drops := q.InputDrops(); drops != 96 { // capacity 4 held, 96 shed
@@ -660,7 +662,7 @@ func TestDistinctUnwindowed(t *testing.T) {
 	}
 	feedStocks(t, e, 1, 50) // 100 tuples, 2 symbols
 	waitFor(t, "2 distinct symbols", func() bool { return q.Results() == 2 })
-	time.Sleep(10 * time.Millisecond)
+	chaos.Real().Sleep(10 * time.Millisecond)
 	if q.Results() != 2 {
 		t.Errorf("distinct emitted %d", q.Results())
 	}
@@ -709,7 +711,7 @@ func TestThreeWayJoinCQ(t *testing.T) {
 	}
 	// Per key x in {0,1}: |A|=3, |B|=2, |C|=2 → 12 per key, 24 total.
 	waitFor(t, "24 three-way results", func() bool { return q.Results() == 24 })
-	time.Sleep(10 * time.Millisecond)
+	chaos.Real().Sleep(10 * time.Millisecond)
 	if q.Results() != 24 {
 		t.Errorf("three-way join = %d (duplicates?)", q.Results())
 	}

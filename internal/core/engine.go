@@ -16,6 +16,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -378,22 +379,29 @@ func (e *Engine) AttachSource(stream string, src ingress.Source) (wait func() er
 	tc := make(chan *tuple.Tuple, e.opts.BatchSize)
 	done := make(chan struct{})
 	go func() {
-		defer src.Close()
 		defer close(tc)
+		// finish releases the source exactly once per return path; a
+		// close failure surfaces through the wait function rather than
+		// being dropped.
+		finish := func(err error) {
+			if cerr := src.Close(); cerr != nil {
+				err = errors.Join(err, cerr)
+			}
+			readErr <- err
+		}
 		for {
 			t, err := src.Next()
 			if err != nil {
 				if err == io.EOF {
-					readErr <- nil
-				} else {
-					readErr <- err
+					err = nil
 				}
+				finish(err)
 				return
 			}
 			select {
 			case tc <- t:
 			case <-done:
-				readErr <- nil
+				finish(nil)
 				return
 			}
 		}

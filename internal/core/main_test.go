@@ -1,0 +1,11 @@
+package core
+
+import (
+	"testing"
+
+	"telegraphcq/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaves engine goroutines —
+// executor EOs, source pumps, drain loops — running after it finishes.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

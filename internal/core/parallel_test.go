@@ -5,6 +5,8 @@ import (
 	"testing"
 	"time"
 
+	"telegraphcq/internal/chaos"
+
 	"telegraphcq/internal/tuple"
 	"telegraphcq/internal/workload"
 )
@@ -138,7 +140,7 @@ func TestParallelUnwindowedJoin(t *testing.T) {
 	}
 	// Per key: |S|=6, |R|=4 → 24 matches per key, 5 keys → 120.
 	waitFor(t, "120 join results", func() bool { return q.Results() == 120 })
-	time.Sleep(20 * time.Millisecond)
+	chaos.Real().Sleep(20 * time.Millisecond)
 	if q.Results() != 120 {
 		t.Errorf("join results = %d (duplicates?)", q.Results())
 	}
@@ -168,7 +170,7 @@ func TestParallelDistinctUnwindowed(t *testing.T) {
 	}
 	feedStocks(t, e, 1, 50)
 	waitFor(t, "2 distinct symbols", func() bool { return q.Results() == 2 })
-	time.Sleep(10 * time.Millisecond)
+	chaos.Real().Sleep(10 * time.Millisecond)
 	if q.Results() != 2 {
 		t.Errorf("distinct emitted %d", q.Results())
 	}
@@ -235,7 +237,7 @@ func TestParallelDeregisterReleasesRuntime(t *testing.T) {
 	// A second close is a no-op, and feeding after deregister changes nothing.
 	rt.close()
 	feedStocks(t, e, 6, 8)
-	time.Sleep(10 * time.Millisecond)
+	chaos.Real().Sleep(10 * time.Millisecond)
 	if q.Results() != 10 {
 		t.Errorf("results after deregister = %d", q.Results())
 	}

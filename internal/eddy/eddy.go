@@ -398,7 +398,7 @@ func (e *Eddy) step(b *tuple.Batch) {
 			outputs[i], outputs[j] = outputs[j], outputs[i]
 		}
 		for _, o := range outputs {
-			o.Done |= doneBefore | bit
+			o.MarkDone(doneBefore | bit)
 		}
 		e.enqueueRuns(outputs)
 	}
@@ -407,7 +407,7 @@ func (e *Eddy) step(b *tuple.Batch) {
 		return
 	}
 	for _, t := range b.Tuples {
-		t.Done |= bit
+		t.MarkDone(bit)
 	}
 	if required&^(doneBefore|bit) == 0 {
 		e.finishBatch(b, required)

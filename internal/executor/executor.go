@@ -16,6 +16,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"telegraphcq/internal/chaos"
 )
 
 // DispatchUnit is a cooperative unit of work: Step performs a bounded
@@ -45,7 +47,8 @@ func (f *FuncDU) Step() (bool, bool) { return f.Fn() }
 
 // ExecutionObject is one scheduler thread multiplexing DUs.
 type ExecutionObject struct {
-	ID int
+	ID    int
+	clock chaos.Clock
 
 	mu   sync.Mutex
 	dus  []DispatchUnit
@@ -58,8 +61,8 @@ type ExecutionObject struct {
 	panics atomic.Int64
 }
 
-func newEO(id int) *ExecutionObject {
-	eo := &ExecutionObject{ID: id, quit: make(chan struct{}), done: make(chan struct{})}
+func newEO(id int, clk chaos.Clock) *ExecutionObject {
+	eo := &ExecutionObject{ID: id, clock: clk, quit: make(chan struct{}), done: make(chan struct{})}
 	eo.cond = sync.NewCond(&eo.mu)
 	go eo.run()
 	return eo
@@ -129,7 +132,7 @@ func (eo *ExecutionObject) run() {
 			eo.idle.Add(1)
 			// All DUs idle: brief sleep rather than a busy spin. DUs
 			// poll their non-blocking Fjord inputs on the next pass.
-			time.Sleep(100 * time.Microsecond)
+			eo.clock.Sleep(100 * time.Microsecond)
 		}
 	}
 }
@@ -158,7 +161,7 @@ func (eo *ExecutionObject) waitForWork() {
 		default:
 		}
 		// Timed wait so quit is honored promptly.
-		t := time.AfterFunc(time.Millisecond, eo.cond.Signal)
+		t := eo.clock.AfterFunc(time.Millisecond, eo.cond.Signal)
 		eo.cond.Wait()
 		t.Stop()
 	}
@@ -181,8 +184,14 @@ type Executor struct {
 	stopped bool
 }
 
-// New creates an executor with n Execution Objects (n ≥ 1).
-func New(n int) *Executor {
+// New creates an executor with n Execution Objects (n ≥ 1) on the wall
+// clock.
+func New(n int) *Executor { return NewWithClock(n, chaos.Real()) }
+
+// NewWithClock creates an executor whose EOs pace their idle backoff and
+// wakeup timers through clk, so schedulers under a VirtualClock are
+// deterministic.
+func NewWithClock(n int, clk chaos.Clock) *Executor {
 	if n < 1 {
 		n = 1
 	}
@@ -191,7 +200,7 @@ func New(n int) *Executor {
 		classEO: make(map[string]int),
 	}
 	for i := 0; i < n; i++ {
-		x.eos = append(x.eos, newEO(i))
+		x.eos = append(x.eos, newEO(i, clk))
 	}
 	return x
 }

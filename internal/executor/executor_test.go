@@ -4,6 +4,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"telegraphcq/internal/chaos"
 )
 
 func TestDURunsAndFinishes(t *testing.T) {
@@ -14,17 +16,17 @@ func TestDURunsAndFinishes(t *testing.T) {
 		v := n.Add(1)
 		return true, v >= 10
 	}})
-	deadline := time.After(5 * time.Second)
+	deadline := chaos.Real().After(5 * time.Second)
 	for n.Load() < 10 {
 		select {
 		case <-deadline:
 			t.Fatalf("DU ran %d steps", n.Load())
 		default:
-			time.Sleep(time.Millisecond)
+			chaos.Real().Sleep(time.Millisecond)
 		}
 	}
 	// After done=true the DU is removed.
-	time.Sleep(10 * time.Millisecond)
+	chaos.Real().Sleep(10 * time.Millisecond)
 	if got := n.Load(); got != 10 {
 		t.Errorf("DU stepped %d times after done", got)
 	}
@@ -45,7 +47,7 @@ func TestMultipleDUsInterleave(t *testing.T) {
 		b.Add(1)
 		return true, false
 	}})
-	time.Sleep(20 * time.Millisecond)
+	chaos.Real().Sleep(20 * time.Millisecond)
 	av, bv := a.Load(), b.Load()
 	if av == 0 || bv == 0 {
 		t.Fatalf("DUs did not interleave: a=%d b=%d", av, bv)
@@ -64,7 +66,7 @@ func TestIdleDUsDoNotSpinHot(t *testing.T) {
 		steps.Add(1)
 		return false, false // never progresses
 	}})
-	time.Sleep(20 * time.Millisecond)
+	chaos.Real().Sleep(20 * time.Millisecond)
 	// With a 100µs idle sleep, 20ms permits ~200 steps; a hot spin would
 	// show orders of magnitude more.
 	if s := steps.Load(); s > 2000 {
@@ -140,7 +142,7 @@ func TestStopTerminates(t *testing.T) {
 	}()
 	select {
 	case <-done:
-	case <-time.After(5 * time.Second):
+	case <-chaos.Real().After(5 * time.Second):
 		t.Fatal("Stop did not terminate")
 	}
 }
@@ -164,9 +166,9 @@ func TestPanickingDUIsContained(t *testing.T) {
 		healthy.Add(1)
 		return true, false
 	}})
-	deadline := time.Now().Add(5 * time.Second)
-	for healthy.Load() < 10 && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
+	deadline := chaos.Real().Now().Add(5 * time.Second)
+	for healthy.Load() < 10 && chaos.Real().Now().Before(deadline) {
+		chaos.Real().Sleep(time.Millisecond)
 	}
 	if healthy.Load() < 10 {
 		t.Fatal("healthy DU starved after sibling panic")

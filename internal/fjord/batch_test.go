@@ -105,7 +105,7 @@ func TestSendBatchPullBlocksUntilConsumed(t *testing.T) {
 	go func() { done <- c.SendBatch(mkTuples(10)) }()
 	var got int
 	dst := make([]*tuple.Tuple, 3)
-	deadline := time.After(5 * time.Second)
+	deadline := chaos.Real().After(5 * time.Second)
 	for got < 10 {
 		select {
 		case <-deadline:

@@ -6,6 +6,8 @@ import (
 	"testing"
 	"time"
 
+	"telegraphcq/internal/chaos"
+
 	"telegraphcq/internal/tuple"
 )
 
@@ -234,7 +236,7 @@ func TestPipelinePushModality(t *testing.T) {
 	}
 	src.Close()
 	count := 0
-	deadline := time.After(2 * time.Second)
+	deadline := chaos.Real().After(2 * time.Second)
 	for count < 100 {
 		select {
 		case <-deadline:

@@ -231,6 +231,7 @@ func TestFailoverWithoutReplicationLosesState(t *testing.T) {
 
 func TestJoinHalfConsumer(t *testing.T) {
 	f := New(Config{Nodes: 2, Buckets: 8, KeyCol: 0}, NewJoinHalf(0))
+	defer f.Close()
 	var mu sync.Mutex
 	var outs []*tuple.Tuple
 	f.cfg.Output = nil // outputs checked via Matches

@@ -1,0 +1,11 @@
+package flux
+
+import (
+	"testing"
+
+	"telegraphcq/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaves Flux goroutines — merge
+// and partition movers, ledger flushers — running after it finishes.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

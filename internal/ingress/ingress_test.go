@@ -183,7 +183,7 @@ func TestPushServer(t *testing.T) {
 	}()
 	select {
 	case <-done:
-	case <-time.After(5 * time.Second):
+	case <-chaos.Real().After(5 * time.Second):
 		t.Fatal("timed out waiting for pushed tuples")
 	}
 	if ps.Connections() != 1 {
@@ -213,7 +213,7 @@ func TestPushServerBadLineReportsError(t *testing.T) {
 	defer conn.Close()
 	fmt.Fprintf(conn, "not,valid\n")
 	buf := make([]byte, 64)
-	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	conn.SetReadDeadline(chaos.Real().Now().Add(5 * time.Second))
 	n, err := conn.Read(buf)
 	if err != nil || !strings.HasPrefix(string(buf[:n]), "ERR") {
 		t.Errorf("expected ERR reply, got %q (%v)", buf[:n], err)

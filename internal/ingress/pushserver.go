@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -63,7 +64,11 @@ func (ps *PushServer) accept() {
 
 func (ps *PushServer) serve(conn net.Conn) {
 	defer ps.wg.Done()
-	defer conn.Close()
+	defer func() {
+		if err := conn.Close(); err != nil {
+			log.Printf("ingress: producer %s close: %v", conn.RemoteAddr(), err)
+		}
+	}()
 	sc := bufio.NewScanner(conn)
 	for sc.Scan() {
 		line := sc.Text()

@@ -45,6 +45,14 @@ func (s *Streamer) Start() {
 	go func() {
 		defer close(s.done)
 		defer s.out.Close()
+		// Release the source when the pump ends; a close failure is the
+		// run's error when nothing upstream failed first (single-writer
+		// goroutine, so the load/store pair is race-free).
+		defer func() {
+			if err := s.source.Close(); err != nil && s.errv.Load() == nil {
+				s.errv.Store(err)
+			}
+		}()
 		for {
 			t, err := s.source.Next()
 			if err != nil {

@@ -1,0 +1,107 @@
+// Package leakcheck fails a test binary that finishes with goroutines
+// still running: an abandoned drain, merge, or pump goroutine keeps its
+// queues and sockets alive and eventually poisons later tests. Test
+// packages opt in from TestMain:
+//
+//	func TestMain(m *testing.M) { leakcheck.Main(m) }
+//
+// The check polls briefly before declaring a leak, since legitimate
+// teardown (Close paths joining worker pools) finishes asynchronously.
+// It is a stdlib-only stand-in for go.uber.org/goleak.
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"telegraphcq/internal/chaos"
+)
+
+// testingM matches the piece of *testing.M that Main needs; the indirection
+// keeps the package importable from non-test code without dragging the
+// testing package's flags into the binary.
+type testingM interface {
+	Run() int
+}
+
+// Main runs the package's tests and then verifies that every goroutine the
+// tests started has exited, failing the binary if any remain.
+func Main(m testingM) {
+	code := m.Run()
+	if code == 0 {
+		if err := Check(2 * time.Second); err != nil {
+			fmt.Fprintf(os.Stderr, "leakcheck: %v\n", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// Check polls until no unexpected goroutines remain or timeout expires,
+// then reports the survivors' stacks. Teardown that joins goroutines
+// (Close, Stop, Wait) gets the grace period; a genuine leak is stable
+// across it.
+func Check(timeout time.Duration) error {
+	clk := chaos.Real()
+	deadline := clk.Now().Add(timeout)
+	var leaked []string
+	for {
+		leaked = leakedGoroutines()
+		if len(leaked) == 0 {
+			return nil
+		}
+		if clk.Now().After(deadline) {
+			return fmt.Errorf("%d goroutine(s) leaked:\n\n%s",
+				len(leaked), strings.Join(leaked, "\n\n"))
+		}
+		clk.Sleep(10 * time.Millisecond)
+	}
+}
+
+// benign identifies goroutines that belong to the runtime or the testing
+// harness rather than to code under test.
+var benign = []string{
+	"testing.Main(",
+	"testing.tRunner(",
+	"testing.(*M).",
+	"testing.runTests(",
+	"runtime.goexit",
+	"created by runtime",
+	"runtime.gc",
+	"runtime.MHeap",
+	"os/signal.signal_recv",
+	"os/signal.loop",
+	"runtime/trace",
+	"telegraphcq/internal/leakcheck.",
+}
+
+// leakedGoroutines snapshots all goroutine stacks and returns the ones not
+// attributable to the runtime or test harness.
+func leakedGoroutines() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var leaked []string
+stacks:
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if g == "" {
+			continue
+		}
+		for _, b := range benign {
+			if strings.Contains(g, b) {
+				continue stacks
+			}
+		}
+		leaked = append(leaked, strings.TrimSpace(g))
+	}
+	return leaked
+}

@@ -1,0 +1,35 @@
+// External test package: goroutines spawned here are attributed to
+// leakcheck_test, so the checker's own-package filter does not hide them.
+package leakcheck_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"telegraphcq/internal/leakcheck"
+)
+
+func TestCheckCleanPasses(t *testing.T) {
+	if err := leakcheck.Check(time.Second); err != nil {
+		t.Fatalf("clean state reported as leak: %v", err)
+	}
+}
+
+func TestCheckDetectsLeak(t *testing.T) {
+	stop := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-stop
+	}()
+	<-started
+	err := leakcheck.Check(50 * time.Millisecond)
+	close(stop)
+	if err == nil {
+		t.Fatal("blocked goroutine not reported")
+	}
+	if got := err.Error(); !strings.Contains(got, "goroutine") || !strings.Contains(got, "leakcheck_test") {
+		t.Errorf("error lacks the leaked stack:\n%s", got)
+	}
+}

@@ -1,0 +1,65 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+
+	"telegraphcq/internal/lint"
+)
+
+// forbiddenTime lists the time-package entry points that read or schedule
+// against the wall clock. Everything else in package time (durations,
+// formatting, time.Time arithmetic) is pure and allowed anywhere.
+var forbiddenTime = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// ClockCheck returns the analyzer enforcing the engine's clock discipline:
+// outside internal/chaos (the Clock's definition site, whose realClock is
+// the one sanctioned wall-clock reader), no code may call the time
+// package's clock-reading or timer functions. Production paths thread an
+// injected chaos.Clock; edges and tests use chaos.Real() or chaos.Poll, so
+// a chaos campaign can substitute a virtual clock and make every timing
+// decision deterministic.
+func ClockCheck() *lint.Analyzer {
+	a := &lint.Analyzer{
+		Name: "clockcheck",
+		Doc: "flags direct time.Now/Sleep/After/... calls outside internal/chaos; " +
+			"all clock access must flow through an injectable chaos.Clock",
+	}
+	a.Run = func(pass *lint.Pass) error {
+		if inOwnPackage(pass.Pkg.Path(), modulePath+"/internal/chaos") {
+			return nil
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || !forbiddenTime[sel.Sel.Name] {
+					return true
+				}
+				id, ok := ast.Unparen(sel.X).(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pkg, ok := pass.Info.Uses[id].(*types.PkgName)
+				if !ok || pkg.Imported().Path() != "time" {
+					return true
+				}
+				pass.Reportf(sel.Pos(),
+					"time.%s bypasses the injectable clock; thread a chaos.Clock (chaos.Real() at the edges, chaos.Poll for test waits)",
+					sel.Sel.Name)
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}

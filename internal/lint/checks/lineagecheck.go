@@ -1,0 +1,72 @@
+package checks
+
+import (
+	"go/ast"
+
+	"telegraphcq/internal/lint"
+)
+
+// lineageFields are the Tuple bitmap fields whose writes must preserve the
+// done ⊆ ready containment.
+var lineageFields = map[string]bool{"Ready": true, "Done": true}
+
+// LineageCheck returns the analyzer guarding tuple lineage hygiene: the
+// Ready/Done bitmaps on tuple.Tuple may only be written through the tuple
+// package's accessors (MarkDone, SetLineage, CopyLineage, ClearLineage),
+// which structurally preserve done ⊆ ready. A direct store — assignment,
+// compound assignment, or taking the field's address — in any other
+// package bypasses that containment and is flagged.
+func LineageCheck() *lint.Analyzer {
+	a := &lint.Analyzer{
+		Name: "lineagecheck",
+		Doc: "flags direct writes to tuple.Tuple Ready/Done bitmaps outside internal/tuple; " +
+			"use the lineage accessors, which preserve done ⊆ ready",
+	}
+	isLineageSel := func(pass *lint.Pass, e ast.Expr) (*ast.SelectorExpr, bool) {
+		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+		if !ok || !lineageFields[sel.Sel.Name] {
+			return nil, false
+		}
+		tv, ok := pass.Info.Types[sel.X]
+		if !ok || !isNamedType(tv.Type, modulePath+"/internal/tuple", "Tuple") {
+			return nil, false
+		}
+		return sel, true
+	}
+	a.Run = func(pass *lint.Pass) error {
+		if inOwnPackage(pass.Pkg.Path(), modulePath+"/internal/tuple") {
+			return nil
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						if sel, ok := isLineageSel(pass, lhs); ok {
+							pass.Reportf(sel.Pos(),
+								"direct store to tuple lineage bitmap .%s bypasses the accessors; use MarkDone/SetLineage (they preserve done ⊆ ready)",
+								sel.Sel.Name)
+						}
+					}
+				case *ast.IncDecStmt:
+					if sel, ok := isLineageSel(pass, n.X); ok {
+						pass.Reportf(sel.Pos(),
+							"direct update of tuple lineage bitmap .%s bypasses the accessors; use MarkDone/SetLineage",
+							sel.Sel.Name)
+					}
+				case *ast.UnaryExpr:
+					if n.Op.String() == "&" {
+						if sel, ok := isLineageSel(pass, n.X); ok {
+							pass.Reportf(sel.Pos(),
+								"taking the address of tuple lineage bitmap .%s allows writes that bypass the accessors",
+								sel.Sel.Name)
+						}
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}

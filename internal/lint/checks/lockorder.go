@@ -1,0 +1,52 @@
+package checks
+
+// RepoLockOrder is the engine's declared mutex acquisition order,
+// outermost first. A goroutine may acquire a class further down the table
+// while holding one further up, never the reverse. The table encodes the
+// layering of the dataflow: server session state wraps engine registry
+// state, which wraps per-stream and per-class state, which wraps the
+// runtime/shard structures, with egress sinks and scrape-time metric state
+// innermost. lockcheck verifies every function (and every helper reachable
+// through same-package calls) against it.
+var RepoLockOrder = []LockClass{
+	// Server layer: per-connection session state. The proxy's upstream
+	// gate wraps its ownership map (redial holds upMu while snapshotting
+	// owners under mu).
+	{modulePath + "/internal/server", "Proxy", "upMu"},
+	{modulePath + "/internal/server", "Proxy", "mu"},
+	{modulePath + "/internal/server", "frontEnd", "mu"},
+	{modulePath + "/internal/server", "frontEnd", "wmu"},
+	{modulePath + "/internal/server", "proxyClient", "wmu"},
+
+	// Engine registry: the engine map lock, then per-stream state, then
+	// shared-class state.
+	{modulePath + "/internal/core", "Engine", "mu"},
+	{modulePath + "/internal/core", "streamState", "mu"},
+	{modulePath + "/internal/core", "sharedClass", "mu"},
+
+	// Per-query runtimes: stepping locks, then the result sink.
+	{modulePath + "/internal/core", "eddyRuntime", "mu"},
+	{modulePath + "/internal/core", "parEddyRuntime", "mu"},
+	{modulePath + "/internal/core", "RunningQuery", "sinkMu"},
+
+	// Parallel eddy: the ingest gate strictly precedes the per-shard
+	// queue locks (Close holds ingestMu while sealing every shard).
+	{modulePath + "/internal/eddy", "ParallelEddy", "ingestMu"},
+	{modulePath + "/internal/eddy", "ParallelEddy", "shardMu"},
+
+	// Flux routing state and its consumers.
+	{modulePath + "/internal/flux", "Flux", "mu"},
+	{modulePath + "/internal/flux", "JoinHalf", "mu"},
+	{modulePath + "/internal/flux", "Ledger", "mu"},
+
+	// Egress sinks.
+	{modulePath + "/internal/egress", "PushEgress", "mu"},
+	{modulePath + "/internal/egress", "PullEgress", "mu"},
+	{modulePath + "/internal/egress", "PriorityEgress", "mu"},
+
+	// Innermost leaves: metric registry/tracer and the fjord queues. Code
+	// holding any of these must not call back up into the engine.
+	{modulePath + "/internal/metrics", "Registry", "mu"},
+	{modulePath + "/internal/metrics", "Tracer", "mu"},
+	{modulePath + "/internal/fjord", "Queue", "mu"},
+}

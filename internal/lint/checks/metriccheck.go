@@ -1,0 +1,228 @@
+package checks
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"telegraphcq/internal/lint"
+)
+
+// registryNameMethods maps metrics.Registry methods to the index of their
+// name argument.
+var registryNameMethods = map[string]int{
+	"Counter":      0,
+	"Gauge":        0,
+	"Histogram":    0,
+	"RegisterFunc": 0,
+}
+
+var (
+	// metricFamilyRe is the canonical shape of a full family name:
+	// tcq_-prefixed lower-snake-case.
+	metricFamilyRe = regexp.MustCompile(`^tcq(_[a-z0-9]+)+$`)
+	// metricPrefixRe accepts a statically-known *prefix* of a family (the
+	// suffix is appended dynamically): it must still be lower-snake.
+	metricPrefixRe = regexp.MustCompile(`^tcq(_[a-z0-9]+)*_?$`)
+	// metricLiteralRe spots string literals that look like metric names so
+	// the naming rule also covers map keys and constants feeding dynamic
+	// registration.
+	metricLiteralRe = regexp.MustCompile(`^tcq_\w*$`)
+)
+
+// MetricCheck returns the analyzer for the Prometheus surface: every
+// metric family is tcq_-prefixed snake_case (checked at Registry
+// call sites through constant folding, Sprintf formats, and range-over-
+// map-literal keys, and on any tcq_-shaped string literal), the name
+// passed to a Registry method must be statically resolvable at least to a
+// prefix, and a scrape-time RegisterFunc with a fully-constant name must
+// appear at exactly one call site (a second site silently replaces the
+// first).
+func MetricCheck() *lint.Analyzer {
+	a := &lint.Analyzer{
+		Name: "metriccheck",
+		Doc: "enforces tcq_-prefixed snake_case metric families and " +
+			"single-site RegisterFunc registration",
+	}
+	type regSite struct {
+		pos  token.Position
+		name string
+	}
+	var constRegs []regSite // fully-constant RegisterFunc names, cross-package
+
+	a.Run = func(pass *lint.Pass) error {
+		if inOwnPackage(pass.Pkg.Path(), modulePath+"/internal/metrics") {
+			// The registry's own implementation and tests exercise
+			// arbitrary names.
+			return nil
+		}
+		eachFunc(pass.Files, func(decl *ast.FuncDecl) {
+			ast.Inspect(decl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				f := callee(pass.Info, call)
+				if f == nil {
+					return true
+				}
+				argIdx, ok := registryNameMethods[f.Name()]
+				if !ok || len(call.Args) <= argIdx {
+					return true
+				}
+				if recv := recvNamed(f); recv == nil || !isNamedType(recv, modulePath+"/internal/metrics", "Registry") {
+					return true
+				}
+				arg := call.Args[argIdx]
+				prefixes, complete := metricNamePrefixes(pass, decl, arg)
+				if len(prefixes) == 0 {
+					pass.Reportf(arg.Pos(),
+						"metric name passed to Registry.%s is not statically resolvable; use a tcq_-prefixed literal (or constant prefix)",
+						f.Name())
+					return true
+				}
+				for _, p := range prefixes {
+					checkMetricName(pass, arg.Pos(), f.Name(), p, complete)
+				}
+				if f.Name() == "RegisterFunc" && complete && len(prefixes) == 1 && !strings.Contains(prefixes[0], "{") {
+					constRegs = append(constRegs, regSite{pos: pass.Fset.Position(arg.Pos()), name: prefixes[0]})
+				}
+				return true
+			})
+		})
+		// Naming rule for metric-shaped literals anywhere (map keys,
+		// constants): catches families assembled far from the call site.
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				bl, ok := n.(*ast.BasicLit)
+				if !ok || bl.Kind != token.STRING {
+					return true
+				}
+				s, err := strconv.Unquote(bl.Value)
+				if err != nil {
+					return true
+				}
+				if metricLiteralRe.MatchString(s) && !metricFamilyRe.MatchString(s) && !metricPrefixRe.MatchString(s) {
+					pass.Reportf(bl.Pos(), "metric name %q is not tcq_-prefixed snake_case", s)
+				}
+				return true
+			})
+		}
+		return nil
+	}
+
+	a.End = func(report func(pos token.Position, format string, args ...any)) {
+		// A file compiled into both a base package and its test variant
+		// visits Run twice; collapse identical sites before counting.
+		byName := make(map[string][]regSite)
+		seen := make(map[regSite]bool)
+		for _, r := range constRegs {
+			if !seen[r] {
+				seen[r] = true
+				byName[r.name] = append(byName[r.name], r)
+			}
+		}
+		for name, sites := range byName {
+			if len(sites) < 2 {
+				continue
+			}
+			for _, s := range sites {
+				report(s.pos, "metric %q is registered by RegisterFunc at %d call sites; scrape-time metrics must register exactly once (later sites silently replace earlier ones)", name, len(sites))
+			}
+		}
+	}
+	return a
+}
+
+// checkMetricName validates one resolved name (or prefix) of a Registry
+// call argument.
+func checkMetricName(pass *lint.Pass, pos token.Pos, method, name string, complete bool) {
+	fam := familyOf(name)
+	if complete || fam != name {
+		// Either the whole name is known, or the prefix already contains
+		// the '{' label brace — the family is fully determined.
+		if !metricFamilyRe.MatchString(fam) {
+			pass.Reportf(pos, "metric family %q passed to Registry.%s is not tcq_-prefixed snake_case", fam, method)
+		}
+		return
+	}
+	if !metricPrefixRe.MatchString(fam) {
+		pass.Reportf(pos, "metric name prefix %q passed to Registry.%s is not tcq_-prefixed snake_case", fam, method)
+	}
+}
+
+// metricNamePrefixes statically resolves the name argument of a Registry
+// call to one or more string prefixes. complete reports whether the
+// prefixes are entire names rather than leading fragments. Handles, in
+// order: constant folding (literals, consts, concatenation of constants),
+// `prefix + suffix` expressions (resolving the left side), fmt.Sprintf
+// with a constant format (cut at the first verb), and identifiers bound by
+// `range` over a map literal with constant string keys.
+func metricNamePrefixes(pass *lint.Pass, decl *ast.FuncDecl, e ast.Expr) (prefixes []string, complete bool) {
+	e = ast.Unparen(e)
+	if tv, ok := pass.Info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return []string{constant.StringVal(tv.Value)}, true
+	}
+	switch e := e.(type) {
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD {
+			ps, _ := metricNamePrefixes(pass, decl, e.X)
+			return ps, false
+		}
+	case *ast.CallExpr:
+		if f := callee(pass.Info, e); f != nil && f.FullName() == "fmt.Sprintf" && len(e.Args) > 0 {
+			if tv, ok := pass.Info.Types[e.Args[0]]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+				format := constant.StringVal(tv.Value)
+				if i := strings.IndexByte(format, '%'); i >= 0 {
+					return []string{format[:i]}, false
+				}
+				return []string{format}, true
+			}
+		}
+	case *ast.Ident:
+		obj, ok := pass.Info.Uses[e].(*types.Var)
+		if !ok {
+			return nil, false
+		}
+		return rangeMapKeys(pass, decl, obj)
+	}
+	return nil, false
+}
+
+// rangeMapKeys resolves obj as the key variable of a `for k := range
+// map[string]T{...}` statement inside decl, returning the literal's
+// constant keys.
+func rangeMapKeys(pass *lint.Pass, decl *ast.FuncDecl, obj *types.Var) ([]string, bool) {
+	var keys []string
+	found := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || found {
+			return !found
+		}
+		key, ok := rs.Key.(*ast.Ident)
+		if !ok || pass.Info.Defs[key] != obj {
+			return true
+		}
+		lit, ok := ast.Unparen(rs.X).(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		for _, elt := range lit.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			if tv, ok := pass.Info.Types[kv.Key]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+				keys = append(keys, constant.StringVal(tv.Value))
+			}
+		}
+		found = true
+		return false
+	})
+	return keys, found && len(keys) > 0
+}

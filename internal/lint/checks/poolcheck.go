@@ -1,0 +1,195 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"telegraphcq/internal/lint"
+)
+
+// PoolCheck returns the analyzer for tuple-pool lifetime discipline:
+// Pool.Put hands a tuple's memory back to the recycler, so the caller must
+// hold the only live reference and must not touch the variable afterwards.
+// The check is flow-approximate but source-order sound for the patterns
+// the engine uses: after `pool.Put(t)`, any later read of t inside the
+// same function is flagged until t is reassigned. A Put whose enclosing
+// block ends by transferring control (return/continue/break) confines its
+// effect to that block, so guard-and-bail recycling stays clean.
+func PoolCheck() *lint.Analyzer {
+	a := &lint.Analyzer{
+		Name: "poolcheck",
+		Doc: "flags reads of a *tuple.Tuple after it was handed to Pool.Put " +
+			"(use-after-recycle), including double-Puts",
+	}
+	a.Run = func(pass *lint.Pass) error {
+		eachFunc(pass.Files, func(decl *ast.FuncDecl) {
+			checkFuncPool(pass, decl)
+		})
+		return nil
+	}
+	return a
+}
+
+// putEvent is one recycle point: obj is dead from pos until end (or until
+// reassigned).
+type putEvent struct {
+	obj      *types.Var
+	pos, end token.Pos
+}
+
+func checkFuncPool(pass *lint.Pass, decl *ast.FuncDecl) {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+
+	var puts []putEvent
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := callee(pass.Info, call)
+		if f == nil || f.Name() != "Put" {
+			return true
+		}
+		if recv := recvNamed(f); recv == nil || !isNamedType(recv, modulePath+"/internal/tuple", "Pool") {
+			return true
+		}
+		if len(call.Args) != 1 {
+			return true
+		}
+		id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		// A deferred or go'd Put runs after (or concurrently with) the rest
+		// of the function; source order says nothing, so skip it.
+		for p := parents[call]; p != nil; p = parents[p] {
+			switch p.(type) {
+			case *ast.DeferStmt, *ast.GoStmt:
+				return true
+			}
+		}
+		puts = append(puts, putEvent{obj: obj, pos: call.End(), end: putEffectEnd(parents, call, decl.Body)})
+		return true
+	})
+	if len(puts) == 0 {
+		return
+	}
+
+	// Reassignments clear the dead mark.
+	clears := make(map[*types.Var][]token.Pos)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				if obj, ok := pass.Info.Uses[id].(*types.Var); ok {
+					clears[obj] = append(clears[obj], id.Pos())
+				} else if obj, ok := pass.Info.Defs[id].(*types.Var); ok {
+					clears[obj] = append(clears[obj], id.Pos())
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		for _, ev := range puts {
+			if obj != ev.obj || id.Pos() <= ev.pos || id.Pos() >= ev.end {
+				continue
+			}
+			if isClearedBetween(clears[obj], ev.pos, id.Pos()) || isAssignTarget(parents, id) {
+				continue
+			}
+			pass.Reportf(id.Pos(),
+				"%s is used after Pool.Put recycled it (use-after-recycle); reassign it or drop the reference",
+				id.Name)
+			break
+		}
+		return true
+	})
+}
+
+// putEffectEnd bounds how far a Put's dead-mark extends: climbing the
+// enclosing blocks, a block whose final statement transfers control
+// (return/branch/panic) confines the effect to that block; otherwise the
+// effect reaches the end of the function body.
+func putEffectEnd(parents map[ast.Node]ast.Node, call *ast.CallExpr, body *ast.BlockStmt) token.Pos {
+	for n := ast.Node(call); n != nil; n = parents[n] {
+		blk, ok := n.(*ast.BlockStmt)
+		if !ok {
+			continue
+		}
+		if blk == body {
+			return body.End()
+		}
+		if len(blk.List) > 0 && isTerminator(blk.List[len(blk.List)-1]) {
+			return blk.End()
+		}
+	}
+	return body.End()
+}
+
+func isTerminator(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				return id.Name == "panic"
+			}
+		}
+	}
+	return false
+}
+
+func isClearedBetween(clears []token.Pos, from, to token.Pos) bool {
+	for _, c := range clears {
+		if c > from && c < to {
+			return true
+		}
+	}
+	return false
+}
+
+// isAssignTarget reports whether id is the left-hand side of an
+// assignment (being overwritten, not read).
+func isAssignTarget(parents map[ast.Node]ast.Node, id *ast.Ident) bool {
+	as, ok := parents[id].(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for _, lhs := range as.Lhs {
+		if lhs == ast.Expr(id) {
+			return true
+		}
+	}
+	return false
+}

@@ -13,6 +13,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"telegraphcq/internal/chaos"
 )
 
 // Counter is an atomic event counter.
@@ -181,21 +183,35 @@ func (h *Histogram) String() string {
 		h.Count(), h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Max())
 }
 
-// Throughput measures events per second over a wall-clock interval.
+// Throughput measures events per second over a clock interval. The zero
+// value measures against the wall clock; SetClock substitutes a virtual
+// one for deterministic rate tests.
 type Throughput struct {
+	clock  chaos.Clock
 	start  time.Time
 	events Counter
 }
 
+// SetClock injects the clock the window is measured on. Call before
+// Start.
+func (t *Throughput) SetClock(clk chaos.Clock) { t.clock = clk }
+
+func (t *Throughput) clk() chaos.Clock {
+	if t.clock == nil {
+		return chaos.Real()
+	}
+	return t.clock
+}
+
 // Start begins (or restarts) the measurement window.
-func (t *Throughput) Start() { t.start = time.Now(); t.events.Reset() }
+func (t *Throughput) Start() { t.start = t.clk().Now(); t.events.Reset() }
 
 // Add records n events.
 func (t *Throughput) Add(n int64) { t.events.Add(n) }
 
 // Rate returns events/second since Start.
 func (t *Throughput) Rate() float64 {
-	el := time.Since(t.start).Seconds()
+	el := t.clk().Since(t.start).Seconds()
 	if el <= 0 {
 		return 0
 	}

@@ -4,6 +4,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"telegraphcq/internal/chaos"
 )
 
 func TestCounter(t *testing.T) {
@@ -86,11 +88,12 @@ func TestHistogramEmpty(t *testing.T) {
 
 func TestThroughput(t *testing.T) {
 	var tp Throughput
+	vc := chaos.NewVirtual(time.Unix(0, 0))
+	tp.SetClock(vc)
 	tp.Start()
 	tp.Add(1000)
-	time.Sleep(10 * time.Millisecond)
-	r := tp.Rate()
-	if r <= 0 || r > 1e6 {
-		t.Errorf("rate = %f", r)
+	vc.Advance(10 * time.Millisecond)
+	if r := tp.Rate(); r != 100000 {
+		t.Errorf("rate = %f, want 100000", r)
 	}
 }

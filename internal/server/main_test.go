@@ -1,0 +1,12 @@
+package server
+
+import (
+	"testing"
+
+	"telegraphcq/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaves server goroutines —
+// front-end serve loops, proxy pumps, push deliverers — running after it
+// finishes.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -2,7 +2,9 @@ package server
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
+	"log"
 	"net"
 	"strconv"
 	"strings"
@@ -79,7 +81,9 @@ func NewProxyOpts(serverAddr, listenAddr string, opts ProxyOptions) (*Proxy, err
 	}
 	ln, err := net.Listen("tcp", listenAddr)
 	if err != nil {
-		up.Close()
+		if cerr := up.Close(); cerr != nil {
+			log.Printf("proxy: closing upstream after listen failure: %v", cerr)
+		}
 		return nil, fmt.Errorf("proxy: %w", err)
 	}
 	p := &Proxy{
@@ -128,13 +132,17 @@ func (p *Proxy) Close() error {
 	err := p.ln.Close()
 	p.mu.Lock()
 	for pc := range p.active {
-		pc.conn.Close()
+		if cerr := pc.conn.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
 	}
 	p.mu.Unlock()
 	p.wg.Wait()
 	p.upMu.Lock()
 	if p.upstream != nil {
-		p.upstream.Close()
+		if cerr := p.upstream.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
 	}
 	p.upMu.Unlock()
 	return err
@@ -165,8 +173,9 @@ func (p *Proxy) withRetry(fn func(up *Client) error) error {
 		} else {
 			if p.opts.Chaos != nil && p.opts.Chaos.Next() == chaos.Reset {
 				// Injected reset: sever the socket so this attempt fails
-				// exactly like a mid-command network fault.
-				up.conn.Close()
+				// exactly like a mid-command network fault. The close
+				// outcome is irrelevant — the point is the broken socket.
+				_ = up.conn.Close()
 			}
 			err = fn(up)
 			if err == nil || isServerErr(err) {
@@ -193,7 +202,9 @@ func (p *Proxy) redial(stale *Client) {
 		return // a concurrent command already reconnected
 	}
 	if stale != nil {
-		stale.Close()
+		if cerr := stale.Close(); cerr != nil {
+			log.Printf("proxy: closing stale upstream: %v", cerr)
+		}
 	}
 	up, err := Dial(p.serverAddr)
 	if err != nil {
@@ -253,6 +264,7 @@ type proxyClient struct {
 	conn  net.Conn
 	wmu   sync.Mutex
 	w     *bufio.Writer
+	werr  error // first write error, guarded by wmu; logged once
 	subs  []int
 }
 
@@ -261,11 +273,18 @@ func (pc *proxyClient) send(line string) {
 	defer pc.wmu.Unlock()
 	pc.w.WriteString(line)
 	pc.w.WriteByte('\n')
-	pc.w.Flush()
+	if err := pc.w.Flush(); err != nil && pc.werr == nil {
+		pc.werr = err
+		log.Printf("proxy: client %s write: %v", pc.conn.RemoteAddr(), err)
+	}
 }
 
 func (pc *proxyClient) serve() {
-	defer pc.conn.Close()
+	defer func() {
+		if err := pc.conn.Close(); err != nil {
+			log.Printf("proxy: client %s close: %v", pc.conn.RemoteAddr(), err)
+		}
+	}()
 	defer pc.release()
 	sc := bufio.NewScanner(pc.conn)
 	sc.Buffer(make([]byte, 64*1024), 1024*1024)

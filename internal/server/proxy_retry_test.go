@@ -57,7 +57,7 @@ func TestProxyRetriesInjectedResets(t *testing.T) {
 	// the last reconnect all arrive — require at least one.
 	select {
 	case <-ch:
-	case <-time.After(10 * time.Second):
+	case <-chaos.Real().After(10 * time.Second):
 		t.Fatalf("no push rows after %d feeds across reconnects\ntrace:\n%s",
 			feeds, inj.TraceString())
 	}

@@ -29,6 +29,7 @@ package server
 import (
 	"bufio"
 	"fmt"
+	"log"
 	"net"
 	"strconv"
 	"strings"
@@ -103,6 +104,7 @@ type frontEnd struct {
 	conn   net.Conn
 	wmu    sync.Mutex // serializes writes: pushers and replies interleave
 	w      *bufio.Writer
+	werr   error // first write error, guarded by wmu; logged once
 
 	mu      sync.Mutex
 	queries map[int]*core.RunningQuery
@@ -126,7 +128,7 @@ func (fe *frontEnd) send(line string) {
 	defer fe.wmu.Unlock()
 	fe.w.WriteString(line)
 	fe.w.WriteByte('\n')
-	fe.w.Flush()
+	fe.flushLocked()
 }
 
 // sendAll writes a batch of lines under one lock acquisition and flush.
@@ -137,11 +139,25 @@ func (fe *frontEnd) sendAll(lines []string) {
 		fe.w.WriteString(line)
 		fe.w.WriteByte('\n')
 	}
-	fe.w.Flush()
+	fe.flushLocked()
+}
+
+// flushLocked flushes the reply writer, logging the first failure once: a
+// client that vanished mid-push would otherwise fail every subsequent
+// line, and serve's read loop is about to exit anyway.
+func (fe *frontEnd) flushLocked() {
+	if err := fe.w.Flush(); err != nil && fe.werr == nil {
+		fe.werr = err
+		log.Printf("server: client %s write: %v", fe.conn.RemoteAddr(), err)
+	}
 }
 
 func (fe *frontEnd) serve() {
-	defer fe.conn.Close()
+	defer func() {
+		if err := fe.conn.Close(); err != nil {
+			log.Printf("server: client %s close: %v", fe.conn.RemoteAddr(), err)
+		}
+	}()
 	defer fe.stopPushers()
 	sc := bufio.NewScanner(fe.conn)
 	sc.Buffer(make([]byte, 64*1024), 1024*1024)

@@ -97,7 +97,7 @@ func TestE10EndToEnd(t *testing.T) {
 
 	// Push path: five MSFT rows.
 	var pushed []string
-	timeout := time.After(10 * time.Second)
+	timeout := chaos.Real().After(10 * time.Second)
 	for len(pushed) < 5 {
 		select {
 		case row := <-ch:
@@ -215,7 +215,7 @@ func TestProxyMultiplexesCursors(t *testing.T) {
 	}
 	count := func(ch <-chan string, want int) int {
 		got := 0
-		timeout := time.After(10 * time.Second)
+		timeout := chaos.Real().After(10 * time.Second)
 		for got < want {
 			select {
 			case <-ch:

@@ -43,10 +43,16 @@ type Tuple struct {
 	Source SourceSet
 
 	// Ready and Done are per-eddy operator bitmaps: Ready has a bit per
-	// eligible module not yet visited, Done has a bit per module that has
-	// handled the tuple. A tuple whose Done covers all required modules is
-	// emitted. Capped at 64 modules per eddy, which matches the paper's
-	// observation that each eddy provides a bounded scope of adaptivity.
+	// module the tuple is eligible to visit, Done has a bit per module that
+	// has handled the tuple, so Done is always a subset of Ready. A tuple
+	// whose Done covers all required modules is emitted. Capped at 64
+	// modules per eddy, which matches the paper's observation that each
+	// eddy provides a bounded scope of adaptivity.
+	//
+	// Outside this package the bitmaps are written only through the
+	// lineage accessors (MarkDone, SetLineage, CopyLineage, ClearLineage),
+	// which maintain the subset invariant; tcqlint's lineagecheck enforces
+	// this.
 	Ready uint64
 	Done  uint64
 
@@ -57,6 +63,33 @@ type Tuple struct {
 
 // New allocates a tuple with the given values.
 func New(vals ...Value) *Tuple { return &Tuple{Vals: vals} }
+
+// MarkDone records that the modules in bits have handled the tuple. The
+// bits are added to Ready as well, so done ⊆ ready holds even for modules
+// the routing policy discovered late (join outputs inherit work their
+// constituents did under a different eligibility mask).
+func (t *Tuple) MarkDone(bits uint64) {
+	t.Ready |= bits
+	t.Done |= bits
+}
+
+// SetLineage replaces both bitmaps. Done bits outside ready are dropped:
+// a module cannot have handled a tuple it was never eligible for.
+func (t *Tuple) SetLineage(ready, done uint64) {
+	t.Ready = ready
+	t.Done = done & ready
+}
+
+// CopyLineage adopts src's bitmaps, normalizing them through SetLineage.
+func (t *Tuple) CopyLineage(src *Tuple) {
+	t.SetLineage(src.Ready, src.Done)
+}
+
+// ClearLineage resets both bitmaps, returning the tuple to the
+// never-routed state (used when recycled memory re-enters an eddy).
+func (t *Tuple) ClearLineage() {
+	t.Ready, t.Done = 0, 0
+}
 
 // Clone deep-copies the tuple, including lineage.
 func (t *Tuple) Clone() *Tuple {

@@ -1,65 +1,103 @@
 #!/bin/sh
-# check.sh — the repo's one-command verification gate: vet, build, the
-# full test suite under the race detector, a reduced-trial chaos campaign
-# under race, the E13 parallel workload under race, a godoc-coverage
-# check, and a short fuzz smoke pass over the parsers.
+# check.sh — the repo's verification gate, split into named stages so CI
+# failures are attributable at a glance:
+#
+#   check.sh lint    docs/gofmt/vet, tcqlint (blocking), staticcheck (if installed)
+#   check.sh test    build + full test suite
+#   check.sh race    race-instrumented suite, chaos campaign, E13 workload, fuzz smoke
+#   check.sh [all]   every stage in order
 set -eu
 cd "$(dirname "$0")/.."
 
-echo "==> godoc coverage (every package documents itself)"
-missing=0
-for dir in internal/*/; do
-    pkg=$(basename "$dir")
-    if ! grep -qE "^// Package $pkg " "$dir"*.go 2>/dev/null; then
-        echo "no '// Package $pkg ...' comment in $dir" >&2
+stage_lint() {
+    echo "==> godoc coverage (every package documents itself)"
+    missing=0
+    for dir in internal/*/; do
+        pkg=$(basename "$dir")
+        if ! grep -qE "^// Package $pkg " "$dir"*.go 2>/dev/null; then
+            echo "no '// Package $pkg ...' comment in $dir" >&2
+            missing=1
+        fi
+    done
+    grep -qE "^// Package telegraphcq " ./*.go || {
+        echo "no '// Package telegraphcq ...' comment in the root package" >&2
         missing=1
+    }
+    for dir in cmd/*/; do
+        c=$(basename "$dir")
+        if ! grep -qE "^// Command $c " "$dir"*.go 2>/dev/null; then
+            echo "no '// Command $c ...' comment in $dir" >&2
+            missing=1
+        fi
+    done
+    [ "$missing" -eq 0 ] || exit 1
+
+    echo "==> gofmt"
+    unformatted=$(gofmt -l .)
+    if [ -n "$unformatted" ]; then
+        echo "gofmt needed on:" >&2
+        echo "$unformatted" >&2
+        exit 1
     fi
-done
-grep -qE "^// Package telegraphcq " ./*.go || {
-    echo "no '// Package telegraphcq ...' comment in the root package" >&2
-    missing=1
+
+    echo "==> go vet ./..."
+    go vet ./...
+
+    echo "==> tcqlint (engine invariants: clock, pool, lineage, metrics, lock order)"
+    go run ./cmd/tcqlint ./...
+
+    if command -v staticcheck >/dev/null 2>&1; then
+        echo "==> staticcheck ./..."
+        staticcheck ./...
+    else
+        echo "==> staticcheck not installed; skipping (CI installs it)"
+    fi
 }
-for dir in cmd/*/; do
-    c=$(basename "$dir")
-    if ! grep -qE "^// Command $c " "$dir"*.go 2>/dev/null; then
-        echo "no '// Command $c ...' comment in $dir" >&2
-        missing=1
-    fi
-done
-[ "$missing" -eq 0 ] || exit 1
 
-echo "==> gofmt"
-unformatted=$(gofmt -l .)
-if [ -n "$unformatted" ]; then
-    echo "gofmt needed on:" >&2
-    echo "$unformatted" >&2
-    exit 1
-fi
+stage_test() {
+    echo "==> go build ./..."
+    go build ./...
 
-echo "==> go vet ./..."
-go vet ./...
+    echo "==> go test ./..."
+    go test ./...
+}
 
-echo "==> go build ./..."
-go build ./...
+stage_race() {
+    echo "==> go test -race ./..."
+    go test -race ./...
 
-echo "==> go test -race ./..."
-go test -race ./...
+    # The in-suite campaigns already ran above at their default trial
+    # counts; this stage re-runs them race-instrumented with fewer trials
+    # and a fresh cache so failover interleavings are exercised under the
+    # race detector on every invocation.
+    echo "==> chaos campaign under race (CHAOS_TRIALS=25)"
+    CHAOS_TRIALS=25 go test -race -count=1 -run 'TestChaosCampaign' ./internal/chaos/
 
-# The in-suite campaigns already ran above at their default trial counts;
-# this stage re-runs them race-instrumented with fewer trials and a fresh
-# cache so failover interleavings are exercised under the race detector on
-# every invocation.
-echo "==> chaos campaign under race (CHAOS_TRIALS=25)"
-CHAOS_TRIALS=25 go test -race -count=1 -run 'TestChaosCampaign' ./internal/chaos/
+    # The parallel partitioned-eddy layer is all goroutine handoff (driver ->
+    # shard queues -> workers -> merge), so run its bench workload — worker
+    # counts up to 8 — race-instrumented end to end.
+    echo "==> parallel partitioned-eddy workload under race (E13)"
+    go run -race ./cmd/tcqbench -exp E13 > /dev/null
 
-# The parallel partitioned-eddy layer is all goroutine handoff (driver ->
-# shard queues -> workers -> merge), so run its bench workload — worker
-# counts up to 8 — race-instrumented end to end.
-echo "==> parallel partitioned-eddy workload under race (E13)"
-go run -race ./cmd/tcqbench -exp E13 > /dev/null
+    echo "==> fuzz smoke (5s per target)"
+    go test -fuzz=FuzzParse -fuzztime=5s -run '^$' ./internal/sql/
+    go test -fuzz=FuzzParseLoop -fuzztime=5s -run '^$' ./internal/window/
+}
 
-echo "==> fuzz smoke (5s per target)"
-go test -fuzz=FuzzParse -fuzztime=5s -run '^$' ./internal/sql/
-go test -fuzz=FuzzParseLoop -fuzztime=5s -run '^$' ./internal/window/
+stage="${1:-all}"
+case "$stage" in
+lint) stage_lint ;;
+test) stage_test ;;
+race) stage_race ;;
+all)
+    stage_lint
+    stage_test
+    stage_race
+    ;;
+*)
+    echo "usage: check.sh [lint|test|race|all]" >&2
+    exit 2
+    ;;
+esac
 
-echo "check: OK"
+echo "check ($stage): OK"

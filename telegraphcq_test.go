@@ -3,6 +3,8 @@ package telegraphcq
 import (
 	"testing"
 	"time"
+
+	"telegraphcq/internal/chaos"
 )
 
 func openDB(t *testing.T) *DB {
@@ -31,7 +33,7 @@ func TestQuickstartFlow(t *testing.T) {
 		if r.Float(0) != 57.25 {
 			t.Errorf("price = %v", r.Float(0))
 		}
-	case <-time.After(5 * time.Second):
+	case <-chaos.Real().After(5 * time.Second):
 		t.Fatal("no result")
 	}
 }
@@ -49,15 +51,15 @@ func TestCursorFetch(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	deadline := time.Now().Add(5 * time.Second)
+	deadline := chaos.Real().Now().Add(5 * time.Second)
 	var got []Row
-	for len(got) < 3 && time.Now().Before(deadline) {
+	for len(got) < 3 && chaos.Real().Now().Before(deadline) {
 		rows, err := cur.Fetch()
 		if err != nil {
 			t.Fatal(err)
 		}
 		got = append(got, rows...)
-		time.Sleep(time.Millisecond)
+		chaos.Real().Sleep(time.Millisecond)
 	}
 	if len(got) != 3 {
 		t.Fatalf("rows = %d", len(got))
@@ -153,8 +155,8 @@ func TestServeAndDial(t *testing.T) {
 	if err := c.Feed("s", "7"); err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
+	deadline := chaos.Real().Now().Add(5 * time.Second)
+	for chaos.Real().Now().Before(deadline) {
 		rows, err := c.Fetch(qid)
 		if err != nil {
 			t.Fatal(err)
@@ -162,7 +164,7 @@ func TestServeAndDial(t *testing.T) {
 		if len(rows) == 1 && rows[0] == "7" {
 			return
 		}
-		time.Sleep(time.Millisecond)
+		chaos.Real().Sleep(time.Millisecond)
 	}
 	t.Fatal("row never arrived over the wire")
 }
@@ -173,8 +175,8 @@ func TestRowString(t *testing.T) {
 	q, _ := db.Register(`SELECT x, name FROM s`)
 	cur := q.Cursor()
 	db.Feed("s", 7, "alice")
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
+	deadline := chaos.Real().Now().Add(5 * time.Second)
+	for chaos.Real().Now().Before(deadline) {
 		rows, _ := cur.Fetch()
 		if len(rows) == 1 {
 			if rows[0].String() != "7,alice" {
@@ -185,7 +187,7 @@ func TestRowString(t *testing.T) {
 			}
 			return
 		}
-		time.Sleep(time.Millisecond)
+		chaos.Real().Sleep(time.Millisecond)
 	}
 	t.Fatal("timed out")
 }
@@ -201,9 +203,9 @@ func TestSubscribePriority(t *testing.T) {
 	for i, u := range []float64{0.1, 0.9, 0.5, 0.7, 0.3} {
 		db.Feed("s", i, u)
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for q.Results() < 5 && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
+	deadline := chaos.Real().Now().Add(5 * time.Second)
+	for q.Results() < 5 && chaos.Real().Now().Before(deadline) {
+		chaos.Real().Sleep(time.Millisecond)
 	}
 	rows := pq.Drain(0)
 	if len(rows) != 5 {
