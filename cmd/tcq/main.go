@@ -1,7 +1,9 @@
 // Command tcq is an interactive client for a TelegraphCQ server: a thin
 // REPL over the line protocol. Push rows from SUBSCRIBEd queries are
 // printed as they arrive, interleaved with command replies — the
-// "results stream out while the user interacts" mode of §1.1.
+// "results stream out while the user interacts" mode of §1.1. Tabular
+// replies (the live EXPLAIN <qid> and TOP telemetry tables) are buffered
+// until their END and printed column-aligned.
 //
 // Usage:
 //
@@ -10,6 +12,8 @@
 //	> QUERY SELECT x FROM s WHERE y > 1.5
 //	> SUBSCRIBE 0
 //	> FEED s 7,2.5
+//	> EXPLAIN 0
+//	> TOP 10
 package main
 
 import (
@@ -18,7 +22,40 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"strings"
+	"text/tabwriter"
 )
+
+// printer renders server lines, collecting tab-separated ROW lines into a
+// table flushed (aligned) when the reply's END arrives.
+type printer struct {
+	table []string
+}
+
+const rowPrefix = "ROW . "
+
+func (p *printer) line(s string) {
+	if strings.HasPrefix(s, rowPrefix) && strings.ContainsRune(s, '\t') {
+		p.table = append(p.table, s[len(rowPrefix):])
+		return
+	}
+	if s == "END" {
+		p.flush()
+	}
+	fmt.Println(s)
+}
+
+func (p *printer) flush() {
+	if len(p.table) == 0 {
+		return
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	for _, row := range p.table {
+		fmt.Fprintln(tw, "ROW . "+row)
+	}
+	tw.Flush()
+	p.table = p.table[:0]
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:5433", "server address")
@@ -32,13 +69,15 @@ func main() {
 	defer conn.Close()
 	fmt.Printf("connected to %s; type commands (QUIT to exit)\n", *addr)
 
-	// Reader: print everything the server sends.
+	// Reader: print everything the server sends, aligning telemetry tables.
 	go func() {
+		var pr printer
 		sc := bufio.NewScanner(conn)
 		sc.Buffer(make([]byte, 64*1024), 1024*1024)
 		for sc.Scan() {
-			fmt.Println(sc.Text())
+			pr.line(sc.Text())
 		}
+		pr.flush()
 		fmt.Println("(connection closed)")
 		os.Exit(0)
 	}()

@@ -37,14 +37,18 @@ func main() {
 	rate := flag.Int("rate", 100, "demo feed rate (tuples/second)")
 	workers := flag.Int("workers", 1, "parallel worker shards per eligible query (1 = sequential)")
 	batch := flag.Int("batch", 64, "tuples per shard handoff batch in parallel execution")
+	introspect := flag.Bool("introspect", false, "register the tcq.* introspection streams (query engine telemetry with ordinary CQs; enables live EXPLAIN <qid> and TOP)")
+	introInterval := flag.Duration("introspect-interval", 250*time.Millisecond, "telemetry sampling period for the tcq.* streams")
 	flag.Parse()
 
 	engine := core.NewEngine(core.Options{
-		EOs:             *eos,
-		SpoolDir:        *spool,
-		TraceSampleRate: *traceRate,
-		Workers:         *workers,
-		BatchSize:       *batch,
+		EOs:                *eos,
+		SpoolDir:           *spool,
+		TraceSampleRate:    *traceRate,
+		Workers:            *workers,
+		BatchSize:          *batch,
+		Introspect:         *introspect,
+		IntrospectInterval: *introInterval,
 	})
 	defer engine.Stop()
 
@@ -53,8 +57,12 @@ func main() {
 		log.Fatalf("tcqd: %v", err)
 	}
 	defer pm.Close()
-	fmt.Printf("tcqd: listening on %s (EOs=%d workers=%d batch=%d spool=%q trace=%g)\n",
-		pm.Addr(), *eos, *workers, *batch, *spool, *traceRate)
+	fmt.Printf("tcqd: listening on %s (EOs=%d workers=%d batch=%d spool=%q trace=%g introspect=%v)\n",
+		pm.Addr(), *eos, *workers, *batch, *spool, *traceRate, *introspect)
+	if *introspect {
+		fmt.Printf("tcqd: introspection streams tcq.stats tcq.routes tcq.pool tcq.chaos (every %s)\n",
+			*introInterval)
+	}
 
 	if *httpAddr != "" {
 		ln, err := net.Listen("tcp", *httpAddr)

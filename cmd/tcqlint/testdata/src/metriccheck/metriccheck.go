@@ -25,6 +25,16 @@ func good(r *metrics.Registry, stream string) {
 	}
 }
 
+// goodIntrospection mirrors the observability subsystem's families: the
+// per-module hop-latency histograms keyed by Sprintf label, and the
+// introspection publisher counters.
+func goodIntrospection(r *metrics.Registry, module string) {
+	r.Histogram(fmt.Sprintf("tcq_hop_latency_seconds{module=%q}", module), 1024)
+	r.Counter("tcq_introspect_published_total").Inc()
+	r.Counter("tcq_introspect_dropped_total").Add(1)
+	r.RegisterFunc("tcq_introspect_ticks_total", metrics.KindCounter, func() float64 { return 0 })
+}
+
 // bad covers the naming failures and an unresolvable name.
 func bad(r *metrics.Registry, name string) {
 	r.Counter("fixture_events_total").Inc() // want `metric family "fixture_events_total" passed to Registry\.Counter is not tcq_-prefixed`

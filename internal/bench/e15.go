@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"telegraphcq/internal/core"
+	"telegraphcq/internal/tuple"
+)
+
+// e15Config is one arm of the introspection-overhead comparison.
+type e15Config struct {
+	name       string
+	introspect bool
+	statsCQ    bool // also register a CQ over tcq.stats
+}
+
+// E15Result carries the measured throughputs so tests can assert on the
+// overhead without re-parsing the rendered table.
+type E15Result struct {
+	Table *Table
+	// TuplesPerSec maps config name -> best-of-trials throughput.
+	TuplesPerSec map[string]float64
+	// IntroRows is the number of tcq.stats rows the subscribed arm's CQ
+	// received (sanity: telemetry flows through the ordinary eddy path).
+	IntroRows int64
+}
+
+// OverheadPct returns the throughput cost of cfg relative to baseline, in
+// percent (negative = faster than baseline, i.e. noise).
+func (r *E15Result) OverheadPct(cfg string) float64 {
+	base := r.TuplesPerSec["baseline"]
+	if base == 0 {
+		return 0
+	}
+	return (base - r.TuplesPerSec[cfg]) / base * 100
+}
+
+// E15Introspection measures what engine self-observation costs: the E13/E14
+// equijoin workload runs (a) with introspection off, (b) with the tcq.*
+// streams registered but nobody subscribed — the always-on configuration a
+// production engine would ship — and (c) with a continuous query standing
+// over tcq.stats. Configs interleave across trials (best-of) so machine
+// drift lands on every arm equally.
+func E15Introspection() (*Table, error) {
+	res, err := e15Run(20000, 64, 3)
+	if err != nil {
+		return nil, err
+	}
+	return res.Table, nil
+}
+
+func e15Run(sRows, rRows int64, trials int) (*E15Result, error) {
+	const keys = 64
+	configs := []e15Config{
+		{name: "baseline"},
+		{name: "introspect-idle", introspect: true},
+		{name: "introspect+stats-CQ", introspect: true, statsCQ: true},
+	}
+	res := &E15Result{TuplesPerSec: make(map[string]float64)}
+
+	runOne := func(cfg e15Config) (float64, error) {
+		eng := core.NewEngine(core.Options{
+			EOs: 2, Workers: 1, BatchSize: 32,
+			Introspect: cfg.introspect,
+		})
+		defer eng.Stop()
+		mk := func(name, vcol string) error {
+			return eng.CreateStream(name, tuple.NewSchema(name,
+				tuple.Column{Name: "k", Kind: tuple.KindInt},
+				tuple.Column{Name: vcol, Kind: tuple.KindInt}), -1)
+		}
+		if err := mk("S", "v"); err != nil {
+			return 0, err
+		}
+		if err := mk("R", "w"); err != nil {
+			return 0, err
+		}
+		q, err := eng.Register(`SELECT S.v, R.w FROM S, R WHERE S.k = R.k`)
+		if err != nil {
+			return 0, err
+		}
+		var statsQ *core.RunningQuery
+		if cfg.statsCQ {
+			statsQ, err = eng.Register(`SELECT * FROM tcq.stats`)
+			if err != nil {
+				return 0, err
+			}
+		}
+		start := clk.Now()
+		for i := int64(0); i < rRows; i++ {
+			if err := eng.Feed("R", tuple.New(tuple.Int(i%keys), tuple.Int(i))); err != nil {
+				return 0, err
+			}
+		}
+		for i := int64(0); i < sRows; i++ {
+			if err := eng.Feed("S", tuple.New(tuple.Int(i%keys), tuple.Int(i))); err != nil {
+				return 0, err
+			}
+		}
+		deadline := clk.Now().Add(60 * time.Second)
+		for q.Results() < sRows && clk.Now().Before(deadline) {
+			clk.Sleep(time.Millisecond)
+		}
+		elapsed := clk.Since(start)
+		if q.Results() != sRows {
+			return 0, fmt.Errorf("%s: results = %d, want %d", cfg.name, q.Results(), sRows)
+		}
+		if statsQ != nil {
+			// Force a telemetry tick and prove rows flow to the CQ.
+			eng.TickIntrospection()
+			intro := statsQ.Results()
+			for j := 0; intro == 0 && j < 1000; j++ {
+				clk.Sleep(time.Millisecond)
+				intro = statsQ.Results()
+			}
+			if intro == 0 {
+				return 0, fmt.Errorf("%s: tcq.stats CQ received no rows", cfg.name)
+			}
+			res.IntroRows = intro
+		}
+		return float64(sRows+rRows) / elapsed.Seconds(), nil
+	}
+
+	for trial := 0; trial < trials; trial++ {
+		for _, cfg := range configs {
+			tps, err := runOne(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if tps > res.TuplesPerSec[cfg.name] {
+				res.TuplesPerSec[cfg.name] = tps
+			}
+		}
+	}
+
+	tb := &Table{
+		ID: "E15",
+		Title: fmt.Sprintf("introspection overhead, equijoin %d+%d rows, %d interleaved trials, GOMAXPROCS=%d",
+			sRows, rRows, trials, runtime.GOMAXPROCS(0)),
+		Claim:  "an engine 'capable of looking at itself' (§1) can expose its telemetry as ordinary queryable streams without slowing the data it observes; unsubscribed introspection stays within noise of the baseline",
+		Header: []string{"config", "tuples/s", "overhead vs baseline"},
+	}
+	for _, cfg := range configs {
+		over := "-"
+		if cfg.name != "baseline" {
+			over = fmt.Sprintf("%.1f%%", res.OverheadPct(cfg.name))
+		}
+		tb.Rows = append(tb.Rows, []string{cfg.name, f0(res.TuplesPerSec[cfg.name]), over})
+	}
+	tb.Notes = fmt.Sprintf("stats-CQ arm received %d tcq.stats rows through the ordinary eddy path; overhead is best-of-%d per arm, so negative values are machine noise", res.IntroRows, trials)
+	res.Table = tb
+	return res, nil
+}

@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"os"
+	"testing"
+)
+
+// TestE15IntrospectionOverhead runs the introspection-overhead experiment
+// at reduced size (full size under -short is still seconds, not minutes)
+// and checks the harness invariants: all three arms complete, telemetry
+// rows flow to the subscribed arm, and — when TCQ_BENCH_STRICT=1, as the
+// check.sh bench-smoke stage sets — the idle-introspection arm stays
+// within 5% of baseline throughput.
+func TestE15IntrospectionOverhead(t *testing.T) {
+	sRows, rRows, trials := int64(20000), int64(64), 3
+	if testing.Short() {
+		sRows, trials = 8000, 2
+	}
+	res, err := e15Run(sRows, rRows, trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []string{"baseline", "introspect-idle", "introspect+stats-CQ"} {
+		if res.TuplesPerSec[cfg] <= 0 {
+			t.Errorf("%s throughput = %v", cfg, res.TuplesPerSec[cfg])
+		}
+	}
+	if res.IntroRows == 0 {
+		t.Error("stats-CQ arm saw no tcq.stats rows")
+	}
+	if len(res.Table.Rows) != 3 {
+		t.Errorf("table rows = %d", len(res.Table.Rows))
+	}
+
+	over := res.OverheadPct("introspect-idle")
+	t.Logf("introspect-idle overhead vs baseline: %.1f%%", over)
+	if os.Getenv("TCQ_BENCH_STRICT") == "1" && over > 5 {
+		t.Errorf("idle introspection overhead %.1f%% exceeds the 5%% regression gate", over)
+	}
+}

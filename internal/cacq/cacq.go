@@ -16,6 +16,7 @@ package cacq
 import (
 	"fmt"
 
+	"telegraphcq/internal/chaos"
 	"telegraphcq/internal/eddy"
 	"telegraphcq/internal/expr"
 	"telegraphcq/internal/gfilter"
@@ -289,6 +290,47 @@ func (e *Engine) EvictWindows(watermark int64) int {
 
 // Stats exposes the underlying eddy counters.
 func (e *Engine) Stats() eddy.Stats { return e.ed.Stats() }
+
+// ModuleNames returns the eddy's module names in Stats order (the shared
+// module set is fixed at construction).
+func (e *Engine) ModuleNames() []string {
+	mods := e.ed.Modules()
+	names := make([]string, len(mods))
+	for i, m := range mods {
+		names[i] = m.Name()
+	}
+	return names
+}
+
+// probeTimed is any module offering sampled probe latency measurement
+// (grouped filters and SteM modules).
+type probeTimed interface {
+	SetProbeTimer(clk chaos.Clock, every int)
+	ProbeNanos() int64
+}
+
+// SetProbeTimer enables sampled probe/filter latency measurement on every
+// module that supports it (see stem.SteM.SetProbeTimer).
+func (e *Engine) SetProbeTimer(clk chaos.Clock, every int) {
+	for _, m := range e.ed.Modules() {
+		if pt, ok := m.(probeTimed); ok {
+			pt.SetProbeTimer(clk, every)
+		}
+	}
+}
+
+// ModuleProbeNanos returns each module's sampled probe latency EWMA in
+// Stats order (0 for modules without probe timing).
+func (e *Engine) ModuleProbeNanos() []int64 {
+	mods := e.ed.Modules()
+	out := make([]int64, len(mods))
+	for i, m := range mods {
+		if pt, ok := m.(probeTimed); ok {
+			out[i] = pt.ProbeNanos()
+		}
+	}
+	return out
+}
 
 // QueryCount returns the number of standing queries.
 func (e *Engine) QueryCount() int { return len(e.queries) }

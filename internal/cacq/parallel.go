@@ -5,6 +5,7 @@ import (
 	"math/bits"
 	"sync"
 
+	"telegraphcq/internal/chaos"
 	"telegraphcq/internal/eddy"
 	"telegraphcq/internal/expr"
 	"telegraphcq/internal/tuple"
@@ -248,6 +249,8 @@ func (p *Parallel) Stats() eddy.Stats {
 		agg.Dropped += st.Dropped
 		agg.Decisions += st.Decisions
 		agg.Visits += st.Visits
+		agg.Runs += st.Runs
+		agg.Splits += st.Splits
 		if agg.Modules == nil {
 			agg.Modules = make([]eddy.ModuleStats, len(st.Modules))
 		}
@@ -256,8 +259,58 @@ func (p *Parallel) Stats() eddy.Stats {
 			agg.Modules[i].Passed += st.Modules[i].Passed
 			agg.Modules[i].Produced += st.Modules[i].Produced
 		}
+		if st.Tickets != nil {
+			if agg.Tickets == nil {
+				agg.Tickets = make([]int64, len(st.Tickets))
+			}
+			for i := range st.Tickets {
+				agg.Tickets[i] += st.Tickets[i]
+			}
+		}
 	})
 	return agg
+}
+
+// ModuleNames returns the shared module set's names in Stats order (every
+// shard builds the same module list as the front engine).
+func (p *Parallel) ModuleNames() []string { return p.front.ModuleNames() }
+
+// SetProbeTimer enables sampled probe latency measurement on every shard's
+// modules (barrier: applied atomically w.r.t. in-flight tuples).
+func (p *Parallel) SetProbeTimer(clk chaos.Clock, every int) {
+	p.ctlMu.Lock()
+	defer p.ctlMu.Unlock()
+	p.pe.Barrier(func(_ int, s eddy.Shard) {
+		s.(parShard).Engine.SetProbeTimer(clk, every)
+	})
+}
+
+// ModuleProbeNanos returns the per-module probe latency EWMA, averaged
+// across the shards that have a sample.
+func (p *Parallel) ModuleProbeNanos() []int64 {
+	p.ctlMu.Lock()
+	defer p.ctlMu.Unlock()
+	var sums []int64
+	var counts []int64
+	p.pe.Barrier(func(_ int, s eddy.Shard) {
+		ns := s.(parShard).Engine.ModuleProbeNanos()
+		if sums == nil {
+			sums = make([]int64, len(ns))
+			counts = make([]int64, len(ns))
+		}
+		for i, n := range ns {
+			if n > 0 {
+				sums[i] += n
+				counts[i]++
+			}
+		}
+	})
+	for i := range sums {
+		if counts[i] > 0 {
+			sums[i] /= counts[i]
+		}
+	}
+	return sums
 }
 
 // ParStats exposes the underlying parallel layer's counters (batches,

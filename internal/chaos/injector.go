@@ -93,9 +93,22 @@ type Injector struct {
 	cfg Config
 	clk Clock
 
-	mu     sync.Mutex
-	sites  map[string]*Site
-	events []Event
+	mu       sync.Mutex
+	sites    map[string]*Site
+	events   []Event
+	observer func(Event)
+}
+
+// SetObserver installs fn to see every recorded fault event as it happens
+// (the introspection subsystem feeds tcq.chaos from it). fn runs on the
+// faulting goroutine outside the injector lock and must not block.
+func (in *Injector) SetObserver(fn func(Event)) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.observer = fn
+	in.mu.Unlock()
 }
 
 // New builds an injector over cfg, using clk for injected delays. A nil
@@ -147,7 +160,11 @@ func (in *Injector) record(ev Event) {
 	if len(in.events) < 1<<16 { // bound the trace; campaigns stay well under
 		in.events = append(in.events, ev)
 	}
+	obs := in.observer
 	in.mu.Unlock()
+	if obs != nil {
+		obs(ev)
+	}
 }
 
 // Trace returns a copy of the recorded events, sorted deterministically by

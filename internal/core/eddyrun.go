@@ -105,6 +105,11 @@ func newEddyRuntime(q *RunningQuery) (runtime, error) {
 	rt.ed = eddy.New(plan.Footprint, eddy.NewLotteryPolicy(int64(q.ID)+1), rt.output, modules...)
 	rt.ed.SetClock(q.engine.opts.Clock)
 	rt.ed.SetRecycler(rt.pool)
+	if q.engine.opts.Introspect {
+		for _, sm := range stems {
+			sm.SetProbeTimer(q.engine.opts.Clock, 0)
+		}
+	}
 	if q.engine.tracer != nil {
 		rt.ed.SetTracer(q.engine.tracer, fmt.Sprintf("q%d", q.ID))
 	}

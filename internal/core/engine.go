@@ -19,13 +19,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strings"
 	"sync"
+	"time"
 
 	"telegraphcq/internal/catalog"
 	"telegraphcq/internal/chaos"
 	"telegraphcq/internal/executor"
 	"telegraphcq/internal/fjord"
 	"telegraphcq/internal/ingress"
+	"telegraphcq/internal/introspect"
 	"telegraphcq/internal/metrics"
 	"telegraphcq/internal/sql"
 	"telegraphcq/internal/storage"
@@ -73,6 +76,15 @@ type Options struct {
 	// operation (default 64). BatchSize 1 degenerates to per-tuple
 	// processing with identical output sequences.
 	BatchSize int
+	// Introspect registers the engine's telemetry streams (tcq.stats,
+	// tcq.routes, tcq.pool, tcq.chaos) as ordinary catalog sources fed by a
+	// background collector, so continuous queries can run over the engine's
+	// own runtime state. It also enables sampled probe timing on SteMs and
+	// grouped filters. Idle introspection (streams registered, nobody
+	// subscribed) costs only the collector's scrape-style tick.
+	Introspect bool
+	// IntrospectInterval is the collector's tick period (default 250ms).
+	IntrospectInterval time.Duration
 }
 
 func (o *Options) defaults() {
@@ -96,6 +108,9 @@ func (o *Options) defaults() {
 	}
 	if o.BatchSize < 1 {
 		o.BatchSize = 64
+	}
+	if o.IntrospectInterval <= 0 {
+		o.IntrospectInterval = 250 * time.Millisecond
 	}
 }
 
@@ -131,6 +146,9 @@ type Engine struct {
 	// out of retention.
 	recycler *tuple.Pool
 
+	// intro is the introspection collector (nil without Options.Introspect).
+	intro *introspector
+
 	mu      sync.Mutex
 	streams map[string]*streamState
 	queries map[int]*RunningQuery
@@ -157,6 +175,9 @@ func NewEngine(opts Options) *Engine {
 	}
 	if opts.TraceSampleRate > 0 {
 		e.tracer = metrics.NewTracer(opts.TraceSampleRate, 1, opts.TraceKeep)
+		// Mirror every recorded span into the tcq_hop_latency_seconds
+		// histogram family; only sampled tuples pay the record.
+		e.tracer.ExportHistograms(e.reg)
 	}
 	e.recycler = tuple.NewPool()
 	e.reg.RegisterFunc("tcq_tuple_pool_gets_total", metrics.KindCounter, func() float64 {
@@ -187,6 +208,10 @@ func NewEngine(opts Options) *Engine {
 		defer e.mu.Unlock()
 		return float64(len(e.queries))
 	})
+	if opts.Introspect {
+		e.intro = newIntrospector(e)
+		e.intro.start()
+	}
 	return e
 }
 
@@ -215,31 +240,52 @@ func (e *Engine) Traces(qid int) ([]*metrics.Trace, error) {
 }
 
 // CreateStream registers a stream. timeCol is the schema column carrying
-// the application timestamp (-1 for arrival order).
+// the application timestamp (-1 for arrival order). Names under the
+// reserved "tcq." prefix belong to the introspection subsystem.
 func (e *Engine) CreateStream(name string, schema *tuple.Schema, timeCol int) error {
+	if strings.HasPrefix(name, introspect.Prefix) {
+		return fmt.Errorf("core: stream prefix %q is reserved for introspection streams", introspect.Prefix)
+	}
 	entry, err := e.cat.CreateStream(name, schema, timeCol)
 	if err != nil {
 		return err
 	}
-	return e.addStreamState(entry)
+	return e.addStreamState(entry, false)
+}
+
+// createIntrospectStream registers one system stream, bypassing the
+// reserved-prefix guard. Introspection streams never spool (telemetry on
+// disk outlives its usefulness) and retain a small in-memory history.
+func (e *Engine) createIntrospectStream(name string, schema *tuple.Schema) error {
+	entry, err := e.cat.CreateStream(name, schema, 0)
+	if err != nil {
+		return err
+	}
+	return e.addStreamState(entry, true)
 }
 
 // CreateTable registers a static table; its contents arrive via Feed.
 func (e *Engine) CreateTable(name string, schema *tuple.Schema) error {
+	if strings.HasPrefix(name, introspect.Prefix) {
+		return fmt.Errorf("core: stream prefix %q is reserved for introspection streams", introspect.Prefix)
+	}
 	entry, err := e.cat.CreateTable(name, schema)
 	if err != nil {
 		return err
 	}
-	return e.addStreamState(entry)
+	return e.addStreamState(entry, false)
 }
 
-func (e *Engine) addStreamState(entry *catalog.Entry) error {
+func (e *Engine) addStreamState(entry *catalog.Entry, system bool) error {
 	st := &streamState{
 		entry:   entry,
 		subs:    make(map[int]*fjord.Conn),
 		histCap: 1 << 20,
 	}
-	if e.opts.SpoolDir != "" {
+	if system {
+		st.histCap = 1 << 13
+	}
+	if e.opts.SpoolDir != "" && !system {
 		store, err := storage.NewSegmentStore(e.opts.SpoolDir, entry.Name, e.opts.SegmentSize, e.pool)
 		if err != nil {
 			return err
@@ -297,6 +343,13 @@ func (e *Engine) Feed(stream string, t *tuple.Tuple) error {
 // history lock acquisition and fanned out to each subscriber queue in one
 // batched push, preserving order.
 func (e *Engine) FeedMany(stream string, ts []*tuple.Tuple) error {
+	return e.feedMany(stream, ts, e.opts.Shed)
+}
+
+// feedMany is FeedMany with an explicit shed decision: the introspection
+// collector always feeds non-blocking (shed=true) so a slow telemetry
+// subscriber can never back-pressure the engine's own collector.
+func (e *Engine) feedMany(stream string, ts []*tuple.Tuple, shed bool) error {
 	if len(ts) == 0 {
 		return nil
 	}
@@ -331,7 +384,7 @@ func (e *Engine) FeedMany(stream string, ts []*tuple.Tuple) error {
 	st.fed.Add(int64(len(ts)))
 
 	for _, c := range subs {
-		if e.opts.Shed {
+		if shed {
 			// QoS mode: never stall the producer; the queue counts
 			// the shed tuples (§4.3 "deciding what work to drop when
 			// the system is in danger of falling behind").
@@ -457,6 +510,14 @@ func (e *Engine) Stop() {
 		return
 	}
 	e.stopped = true
+	intro := e.intro
+	e.mu.Unlock()
+	// Quiesce the collector before tearing queries down so no tick races
+	// query deregistration.
+	if intro != nil {
+		intro.stopSampler()
+	}
+	e.mu.Lock()
 	qs := make([]*RunningQuery, 0, len(e.queries))
 	for _, q := range e.queries {
 		qs = append(qs, q)

@@ -1,0 +1,374 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"telegraphcq/internal/chaos"
+	"telegraphcq/internal/eddy"
+	"telegraphcq/internal/introspect"
+	"telegraphcq/internal/metrics"
+	"telegraphcq/internal/tuple"
+)
+
+// ModuleTelemetry is one module's live routing state: the observed work,
+// selectivity, the policy's current lottery allocation, and the sampled
+// probe latency. It is both the EXPLAIN/TOP row and the tcq.stats payload.
+type ModuleTelemetry struct {
+	Owner       string // owning eddy ("q3" or "shared:quotes")
+	Module      string
+	Visits      int64
+	Produced    int64
+	Selectivity float64
+	Tickets     int64
+	TicketShare float64
+	ProbeNanos  int64
+}
+
+// QueryTelemetry is one standing query's live execution state, aggregated
+// across parallel shards when the query runs partitioned.
+type QueryTelemetry struct {
+	ID      int
+	Label   string // trace tag: "q<id>", or "shared:<stream>" inside a class
+	HasEddy bool   // false for windowed runtimes (no adaptive routing state)
+	Stats   eddy.Stats
+	// QueueDepth is the pending-input backlog across the query's (or its
+	// class's) input queues.
+	QueueDepth int
+	Results    int64
+	Modules    []ModuleTelemetry
+}
+
+// moduleTelemetry zips module names, eddy counters, and probe latencies
+// into per-module rows.
+func moduleTelemetry(owner string, names []string, st eddy.Stats, probe []int64) []ModuleTelemetry {
+	var total int64
+	for _, tk := range st.Tickets {
+		total += tk
+	}
+	out := make([]ModuleTelemetry, 0, len(names))
+	for i, name := range names {
+		mt := ModuleTelemetry{Owner: owner, Module: name}
+		if i < len(st.Modules) {
+			mt.Visits = st.Modules[i].Visits
+			mt.Produced = st.Modules[i].Produced
+			mt.Selectivity = st.Modules[i].Selectivity()
+		}
+		if i < len(st.Tickets) {
+			mt.Tickets = st.Tickets[i]
+			if total > 0 {
+				mt.TicketShare = float64(st.Tickets[i]) / float64(total)
+			}
+		}
+		if i < len(probe) {
+			mt.ProbeNanos = probe[i]
+		}
+		out = append(out, mt)
+	}
+	return out
+}
+
+// telemetry snapshots the runtime state of a private sequential eddy under
+// the runtime lock.
+func (rt *eddyRuntime) telemetry(owner string) ([]ModuleTelemetry, eddy.Stats) {
+	rt.mu.Lock()
+	st := rt.ed.Stats()
+	mods := rt.ed.Modules()
+	names := make([]string, len(mods))
+	probe := make([]int64, len(mods))
+	for i, m := range mods {
+		names[i] = m.Name()
+		if pt, ok := m.(interface{ ProbeNanos() int64 }); ok {
+			probe[i] = pt.ProbeNanos()
+		}
+	}
+	rt.mu.Unlock()
+	return moduleTelemetry(owner, names, st, probe), st
+}
+
+// telemetry snapshots a shared class's engine state under the class lock.
+func (sc *sharedClass) telemetry() ([]ModuleTelemetry, eddy.Stats) {
+	owner := "shared:" + sc.stream
+	sc.mu.Lock()
+	st := sc.eng.Stats()
+	names := sc.eng.ModuleNames()
+	probe := sc.eng.ModuleProbeNanos()
+	sc.mu.Unlock()
+	return moduleTelemetry(owner, names, st, probe), st
+}
+
+// Telemetry returns the query's live execution state: for a shared-class
+// member, the class's super-query state (every member shares it).
+func (q *RunningQuery) Telemetry() QueryTelemetry {
+	qt := QueryTelemetry{ID: q.ID, Label: q.traceTag(), Results: q.Results()}
+	if q.shared != nil {
+		qt.HasEddy = true
+		qt.Modules, qt.Stats = q.shared.telemetry()
+		qt.QueueDepth = q.shared.conn.Q.Len()
+		return qt
+	}
+	for _, c := range q.inputs {
+		qt.QueueDepth += c.Q.Len()
+	}
+	switch rt := q.rt.(type) {
+	case *eddyRuntime:
+		qt.HasEddy = true
+		qt.Modules, qt.Stats = rt.telemetry(qt.Label)
+	case *parEddyRuntime:
+		qt.HasEddy = true
+		qt.Stats = rt.Stats()
+		qt.Modules = moduleTelemetry(qt.Label, rt.moduleNames(), qt.Stats, rt.moduleProbeNanos())
+	}
+	return qt
+}
+
+// ExplainQuery returns live per-operator telemetry for one standing query
+// (the engine half of the EXPLAIN <id> server command).
+func (e *Engine) ExplainQuery(qid int) (QueryTelemetry, error) {
+	q, ok := e.Query(qid)
+	if !ok {
+		return QueryTelemetry{}, fmt.Errorf("core: query %d not found", qid)
+	}
+	return q.Telemetry(), nil
+}
+
+// TopModules returns the engine-wide hot-module table: every module of
+// every running eddy (shared classes counted once, not per member), sorted
+// by visits descending, capped at n (n < 1 returns all).
+func (e *Engine) TopModules(n int) []ModuleTelemetry {
+	e.mu.Lock()
+	qs := make([]*RunningQuery, 0, len(e.queries))
+	for _, q := range e.queries {
+		qs = append(qs, q)
+	}
+	scs := make([]*sharedClass, 0, len(e.shared))
+	for _, sc := range e.shared {
+		scs = append(scs, sc)
+	}
+	e.mu.Unlock()
+
+	var all []ModuleTelemetry
+	for _, q := range qs {
+		if q.shared != nil {
+			continue // the class is reported once below
+		}
+		all = append(all, q.Telemetry().Modules...)
+	}
+	for _, sc := range scs {
+		mods, _ := sc.telemetry()
+		all = append(all, mods...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Visits > all[j].Visits })
+	if n > 0 && len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+// introspector publishes the engine's telemetry into the tcq.* streams: a
+// periodic scrape-style tick snapshots counters the runtimes already keep
+// (per-module stats, pool traffic), while push producers (tracer sink,
+// chaos observer) stage rows in a bounded ring the tick drains. Everything
+// enters the engine through the ordinary ingress path, non-blocking, so
+// introspection subscribers can never back-pressure the data path.
+type introspector struct {
+	e        *Engine
+	ring     *introspect.Ring
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+	ticks    atomic.Int64
+	// fed/dropped count rows offered to ingress by tick (the ring counts
+	// its own producers separately).
+	fed atomic.Int64
+}
+
+func newIntrospector(e *Engine) *introspector {
+	in := &introspector{
+		e:    e,
+		ring: introspect.NewRing(4096),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	for name, schema := range introspect.Schemas() {
+		if err := e.createIntrospectStream(name, schema); err != nil {
+			// Streams are registered before any user code runs; a duplicate
+			// here is an engine bug.
+			panic(fmt.Sprintf("core: introspection stream %s: %v", name, err))
+		}
+	}
+	if e.tracer != nil {
+		e.tracer.SetSink(in.publishRoute)
+	}
+	e.reg.RegisterFunc("tcq_introspect_published_total", metrics.KindCounter, func() float64 {
+		pub, _ := in.ring.Stats()
+		return float64(pub + in.fed.Load())
+	})
+	e.reg.RegisterFunc("tcq_introspect_dropped_total", metrics.KindCounter, func() float64 {
+		_, dropped := in.ring.Stats()
+		return float64(dropped)
+	})
+	e.reg.RegisterFunc("tcq_introspect_ticks_total", metrics.KindCounter, func() float64 {
+		return float64(in.ticks.Load())
+	})
+	return in
+}
+
+// start launches the sampler goroutine on the engine clock.
+func (in *introspector) start() {
+	go func() {
+		defer close(in.done)
+		for {
+			select {
+			case <-in.stop:
+				return
+			case <-in.e.opts.Clock.After(in.e.opts.IntrospectInterval):
+				in.tick()
+			}
+		}
+	}()
+}
+
+// stopSampler quiesces the sampler goroutine (idempotent).
+func (in *introspector) stopSampler() {
+	in.stopOnce.Do(func() { close(in.stop) })
+	<-in.done
+}
+
+// publishRoute is the tracer sink: one finished sampled trace becomes one
+// tcq.routes row. Runs on the finishing eddy's goroutine; the ring bounds
+// it at a non-blocking publish.
+func (in *introspector) publishRoute(t *metrics.Trace) {
+	ts := in.e.opts.Clock.Now().UnixNano()
+	if n := len(t.Spans); n > 0 {
+		ts = t.Spans[n-1].End.UnixNano()
+	}
+	in.ring.Publish(introspect.Row{
+		Stream: introspect.RoutesStream,
+		Vals: []tuple.Value{
+			tuple.Time(ts),
+			tuple.String_(t.Tag),
+			tuple.Int(t.Seq),
+			tuple.Bool(t.Emitted),
+			tuple.Int(int64(len(t.Spans))),
+			tuple.Int(t.Latency().Nanoseconds()),
+			tuple.String_(t.Path()),
+		},
+	})
+}
+
+// ChaosObserver returns a fault-event callback publishing tcq.chaos rows;
+// wire it with chaos.Injector.SetObserver. Nil when introspection is off,
+// which SetObserver accepts as "no observer".
+func (e *Engine) ChaosObserver() func(chaos.Event) {
+	if e.intro == nil {
+		return nil
+	}
+	in := e.intro
+	return func(ev chaos.Event) {
+		in.ring.Publish(introspect.Row{
+			Stream: introspect.ChaosStream,
+			Vals: []tuple.Value{
+				tuple.Time(in.e.opts.Clock.Now().UnixNano()),
+				tuple.String_(ev.Site),
+				tuple.Int(ev.N),
+				tuple.String_(ev.Fault.String()),
+			},
+		})
+	}
+}
+
+// TickIntrospection runs one synchronous collector tick (snapshot counters,
+// drain the producer ring, feed the tcq.* streams). The background sampler
+// does this every IntrospectInterval; tests and the server call it directly
+// for deterministic output. No-op without Options.Introspect.
+func (e *Engine) TickIntrospection() {
+	if e.intro != nil {
+		e.intro.tick()
+	}
+}
+
+// tick publishes one snapshot of the engine's telemetry.
+func (in *introspector) tick() {
+	e := in.e
+	in.ticks.Add(1)
+	now := e.opts.Clock.Now().UnixNano()
+
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return
+	}
+	qs := make([]*RunningQuery, 0, len(e.queries))
+	for _, q := range e.queries {
+		qs = append(qs, q)
+	}
+	scs := make([]*sharedClass, 0, len(e.shared))
+	for _, sc := range e.shared {
+		scs = append(scs, sc)
+	}
+	e.mu.Unlock()
+
+	byStream := make(map[string][]*tuple.Tuple)
+	statsRow := func(owner string, queueDepth int, m ModuleTelemetry) {
+		byStream[introspect.StatsStream] = append(byStream[introspect.StatsStream], &tuple.Tuple{
+			Vals: []tuple.Value{
+				tuple.Time(now),
+				tuple.String_(owner),
+				tuple.String_(m.Module),
+				tuple.Int(m.Visits),
+				tuple.Int(m.Produced),
+				tuple.Float(m.Selectivity),
+				tuple.Int(m.Tickets),
+				tuple.Float(m.TicketShare),
+				tuple.Int(int64(queueDepth)),
+				tuple.Int(m.ProbeNanos),
+			},
+		})
+	}
+	for _, q := range qs {
+		if q.shared != nil {
+			continue // classes are reported once below, not per member
+		}
+		qt := q.Telemetry()
+		for _, m := range qt.Modules {
+			statsRow(qt.Label, qt.QueueDepth, m)
+		}
+	}
+	for _, sc := range scs {
+		mods, _ := sc.telemetry()
+		depth := sc.conn.Q.Len()
+		for _, m := range mods {
+			statsRow("shared:"+sc.stream, depth, m)
+		}
+	}
+
+	poolRow := func(name string, gets, hits, puts, drops int64) {
+		byStream[introspect.PoolStream] = append(byStream[introspect.PoolStream], &tuple.Tuple{
+			Vals: []tuple.Value{
+				tuple.Time(now), tuple.String_(name),
+				tuple.Int(gets), tuple.Int(hits), tuple.Int(puts), tuple.Int(drops),
+			},
+		})
+	}
+	ps := e.recycler.Stats()
+	poolRow("tuple", ps.Gets, ps.Hits, ps.Puts, ps.Drops)
+	if e.pool != nil {
+		hits, misses := e.pool.Counters()
+		// Buffer-pool traffic mapped onto the pool schema: gets are total
+		// lookups, puts are segment decodes (the misses' cost).
+		poolRow("buffer", hits+misses, hits, e.pool.Decodes(), 0)
+	}
+
+	for _, row := range in.ring.Drain() {
+		byStream[row.Stream] = append(byStream[row.Stream], &tuple.Tuple{Vals: row.Vals})
+	}
+
+	for stream, ts := range byStream {
+		in.fed.Add(int64(len(ts)))
+		// Always shed: telemetry must never back-pressure the collector.
+		_ = e.feedMany(stream, ts, true)
+	}
+}

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"telegraphcq/internal/chaos"
+	"telegraphcq/internal/introspect"
+	"telegraphcq/internal/tuple"
+	"telegraphcq/internal/workload"
+)
+
+// newIntrospectEngine builds an engine with introspection on and a simple
+// two-stream equijoin workload standing (private eddy with SteMs), fed
+// enough data that every module has visits.
+func newIntrospectEngine(t *testing.T, opts Options) (*Engine, *RunningQuery) {
+	t.Helper()
+	opts.Introspect = true
+	e := NewEngine(opts)
+	sSchema := tuple.NewSchema("S",
+		tuple.Column{Name: "k", Kind: tuple.KindInt},
+		tuple.Column{Name: "v", Kind: tuple.KindInt})
+	rSchema := tuple.NewSchema("R",
+		tuple.Column{Name: "k", Kind: tuple.KindInt},
+		tuple.Column{Name: "w", Kind: tuple.KindInt})
+	if err := e.CreateStream("S", sSchema, -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CreateStream("R", rSchema, -1); err != nil {
+		t.Fatal(err)
+	}
+	q, err := e.Register(`SELECT S.v, R.w FROM S, R WHERE S.k = R.k`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		if err := e.Feed("S", tuple.New(tuple.Int(int64(i%8)), tuple.Int(int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Feed("R", tuple.New(tuple.Int(int64(i%8)), tuple.Int(int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "join results", func() bool { return q.Results() > 0 })
+	return e, q
+}
+
+func TestIntrospectStatsCQEndToEnd(t *testing.T) {
+	e, _ := newIntrospectEngine(t, Options{})
+	defer e.Stop()
+
+	// An ordinary continuous query over the engine's own telemetry: it
+	// parses, binds against the catalog, joins the tcq.stats shared class,
+	// and receives rows through the normal eddy/CACQ path.
+	cq, err := e.Register(`SELECT * FROM tcq.stats WHERE module = 'SteM(S)'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := cq.Cursor()
+	e.TickIntrospection()
+
+	var rows []*tuple.Tuple
+	waitFor(t, "tcq.stats rows", func() bool {
+		got, _ := cq.Fetch(cur)
+		rows = append(rows, got...)
+		return len(rows) > 0
+	})
+	schema := introspect.StatsSchema()
+	modCol := schema.MustColumnIndex("module")
+	qCol := schema.MustColumnIndex("query")
+	visCol := schema.MustColumnIndex("visits")
+	for _, r := range rows {
+		if got := r.Vals[modCol].S; got != "SteM(S)" {
+			t.Fatalf("WHERE module='SteM(S)' delivered module %q", got)
+		}
+		if got := r.Vals[qCol].S; got != "q0" {
+			t.Fatalf("stats row owner = %q, want q0", got)
+		}
+		if r.Vals[visCol].AsInt() == 0 {
+			t.Error("stats row has zero visits for a module that processed tuples")
+		}
+	}
+}
+
+func TestIntrospectReservedPrefix(t *testing.T) {
+	e := NewEngine(Options{Introspect: true})
+	defer e.Stop()
+	schema := tuple.NewSchema("tcq.mine", tuple.Column{Name: "x", Kind: tuple.KindInt})
+	if err := e.CreateStream("tcq.mine", schema, -1); err == nil {
+		t.Fatal("CreateStream accepted a name under the reserved tcq. prefix")
+	}
+	if err := e.CreateTable("tcq.mine", schema); err == nil {
+		t.Fatal("CreateTable accepted a name under the reserved tcq. prefix")
+	}
+	// The introspection streams themselves are in the catalog.
+	for name := range introspect.Schemas() {
+		if _, err := e.Catalog().Lookup(name); err != nil {
+			t.Errorf("catalog missing introspection stream %s: %v", name, err)
+		}
+	}
+}
+
+func TestIntrospectRoutesStreamFromTracer(t *testing.T) {
+	e, _ := newIntrospectEngine(t, Options{TraceSampleRate: 1, TraceKeep: 16})
+	defer e.Stop()
+
+	cq, err := e.Register(`SELECT tag, emitted, path FROM tcq.routes`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := cq.Cursor()
+	// Traces from the workload feed finished before registration; push two
+	// more tuples through so fresh traces land in the ring, then tick.
+	if err := e.Feed("S", tuple.New(tuple.Int(1), tuple.Int(99))); err != nil {
+		t.Fatal(err)
+	}
+	var rows []*tuple.Tuple
+	waitFor(t, "tcq.routes rows", func() bool {
+		e.TickIntrospection()
+		got, _ := cq.Fetch(cur)
+		rows = append(rows, got...)
+		return len(rows) > 0
+	})
+	r := rows[0]
+	if r.Vals[0].S != "q0" {
+		t.Errorf("route tag = %q, want q0", r.Vals[0].S)
+	}
+	if path := r.Vals[2].S; path == "" || path == "(no visits)" {
+		t.Errorf("route path = %q, want a module-visit path", path)
+	}
+}
+
+func TestIntrospectChaosStream(t *testing.T) {
+	e, _ := newIntrospectEngine(t, Options{})
+	defer e.Stop()
+	obs := e.ChaosObserver()
+	if obs == nil {
+		t.Fatal("ChaosObserver nil with introspection on")
+	}
+	cq, err := e.Register(`SELECT site, n, fault FROM tcq.chaos`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := cq.Cursor()
+	obs(chaos.Event{Site: "flux/node1", N: 7, Fault: chaos.Delay})
+	e.TickIntrospection()
+	var rows []*tuple.Tuple
+	waitFor(t, "tcq.chaos rows", func() bool {
+		got, _ := cq.Fetch(cur)
+		rows = append(rows, got...)
+		return len(rows) > 0
+	})
+	if rows[0].Vals[0].S != "flux/node1" || rows[0].Vals[1].AsInt() != 7 {
+		t.Fatalf("chaos row = %v", rows[0].Vals)
+	}
+}
+
+func TestIntrospectPoolStream(t *testing.T) {
+	e, _ := newIntrospectEngine(t, Options{})
+	defer e.Stop()
+	cq, err := e.Register(`SELECT pool, gets FROM tcq.pool WHERE pool = 'tuple'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := cq.Cursor()
+	e.TickIntrospection()
+	var rows []*tuple.Tuple
+	waitFor(t, "tcq.pool rows", func() bool {
+		got, _ := cq.Fetch(cur)
+		rows = append(rows, got...)
+		return len(rows) > 0
+	})
+	if rows[0].Vals[0].S != "tuple" {
+		t.Fatalf("pool row = %v", rows[0].Vals)
+	}
+	if rows[0].Vals[1].AsInt() == 0 {
+		t.Error("tuple pool gets = 0 after a join workload")
+	}
+}
+
+func TestExplainQueryTelemetry(t *testing.T) {
+	e, q := newIntrospectEngine(t, Options{})
+	defer e.Stop()
+	qt, err := e.ExplainQuery(q.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !qt.HasEddy || qt.Label != "q0" {
+		t.Fatalf("telemetry = %+v", qt)
+	}
+	if qt.Stats.Ingested == 0 || qt.Stats.Visits == 0 {
+		t.Errorf("eddy counters empty: %+v", qt.Stats)
+	}
+	if qt.Stats.Runs == 0 {
+		t.Error("batch run counter empty after batched ingest")
+	}
+	names := make([]string, 0, len(qt.Modules))
+	var shareSum float64
+	for _, m := range qt.Modules {
+		names = append(names, m.Module)
+		shareSum += m.TicketShare
+	}
+	joined := strings.Join(names, ",")
+	if !strings.Contains(joined, "SteM(S)") || !strings.Contains(joined, "SteM(R)") {
+		t.Errorf("module names = %v", names)
+	}
+	if shareSum < 0.99 || shareSum > 1.01 {
+		t.Errorf("ticket shares sum to %v, want ~1", shareSum)
+	}
+	if _, err := e.ExplainQuery(999); err == nil {
+		t.Error("ExplainQuery(999) succeeded for a missing query")
+	}
+}
+
+func TestTopModulesOrdering(t *testing.T) {
+	e, _ := newIntrospectEngine(t, Options{})
+	defer e.Stop()
+	top := e.TopModules(0)
+	if len(top) == 0 {
+		t.Fatal("TopModules empty with a standing join query")
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Visits > top[i-1].Visits {
+			t.Fatalf("TopModules not sorted by visits: %v", top)
+		}
+	}
+	if capped := e.TopModules(1); len(capped) != 1 {
+		t.Fatalf("TopModules(1) returned %d rows", len(capped))
+	}
+}
+
+func TestIntrospectProbeTimerWired(t *testing.T) {
+	e, q := newIntrospectEngine(t, Options{})
+	defer e.Stop()
+	// Feed enough probes that the every-64th sampler lands at least once.
+	for i := 0; i < 300; i++ {
+		if err := e.Feed("S", tuple.New(tuple.Int(int64(i%8)), tuple.Int(int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "probe latency sample", func() bool {
+		for _, m := range q.Telemetry().Modules {
+			if m.ProbeNanos > 0 {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// TestIntrospectSharedClassStats exercises telemetry for queries running in
+// a shared CACQ class (the stats owner is the class, not the member).
+func TestIntrospectSharedClassStats(t *testing.T) {
+	e := NewEngine(Options{Introspect: true})
+	defer e.Stop()
+	if err := e.CreateStream("ClosingStockPrices", workload.StockSchema(), 0); err != nil {
+		t.Fatal(err)
+	}
+	q, err := e.Register(`SELECT stockSymbol FROM ClosingStockPrices WHERE closingPrice > 50`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := int64(1); d <= 100; d++ {
+		if err := e.Feed("ClosingStockPrices", tuple.New(
+			tuple.Time(d), tuple.String_("MSFT"), tuple.Float(float64(d)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "shared results", func() bool { return q.Results() > 0 })
+	qt := q.Telemetry()
+	if qt.Label != "shared:ClosingStockPrices" || !qt.HasEddy {
+		t.Fatalf("telemetry = %+v", qt)
+	}
+	if len(qt.Modules) == 0 || qt.Stats.Ingested == 0 {
+		t.Errorf("shared class telemetry empty: %+v", qt)
+	}
+	for _, m := range qt.Modules {
+		if !strings.HasPrefix(m.Module, "GF(") {
+			t.Errorf("shared module %q, want grouped filters", m.Module)
+		}
+	}
+}

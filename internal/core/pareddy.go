@@ -31,6 +31,10 @@ type parEddyRuntime struct {
 	drainer *batchDrain
 	stopped bool
 
+	// modNames is the shard module set's names in Stats order (fixed at
+	// construction; every shard builds the same list from the plan).
+	modNames []string
+
 	pool *tuple.Pool
 
 	// mu serializes the stepping DU against Deregister-time close.
@@ -102,6 +106,10 @@ func newParEddyRuntime(q *RunningQuery, keyCols []int) (runtime, error) {
 	if err := eddy.CheckModuleCount(len(modules)); err != nil {
 		return nil, err
 	}
+	rt.modNames = make([]string, len(modules))
+	for i, m := range modules {
+		rt.modNames[i] = m.Name()
+	}
 
 	// Ordered merge requires a globally monotone key across all inputs;
 	// Seq counters are per-stream, so only single-entry plans qualify.
@@ -120,11 +128,16 @@ func newParEddyRuntime(q *RunningQuery, keyCols []int) (runtime, error) {
 			return int(t.Vals[keyCols[s]].Hash())
 		},
 		NewShard: func(shard int, emit func(*tuple.Tuple)) eddy.Shard {
-			modules, _ := buildQueryModules(plan)
+			modules, stems := buildQueryModules(plan)
 			ed := eddy.New(plan.Footprint, eddy.NewLotteryPolicy(int64(q.ID)*64+int64(shard)+1), emit, modules...)
 			ed.SetClock(e.opts.Clock)
 			if rt.pool != nil {
 				ed.SetRecycler(rt.pool)
+			}
+			if e.opts.Introspect {
+				for _, sm := range stems {
+					sm.SetProbeTimer(e.opts.Clock, 0)
+				}
 			}
 			return ed
 		},
@@ -216,7 +229,9 @@ func (rt *parEddyRuntime) close() {
 	rt.shutdown()
 }
 
-// Stats sums the shard eddies' counters (barrier snapshot).
+// Stats sums the shard eddies' counters (barrier snapshot), including the
+// batch-split counters and the per-module lottery ticket totals, so the
+// parallel path reports the same shape of telemetry as the sequential one.
 func (rt *parEddyRuntime) Stats() eddy.Stats {
 	var agg eddy.Stats
 	rt.pe.Barrier(func(_ int, s eddy.Shard) {
@@ -226,6 +241,8 @@ func (rt *parEddyRuntime) Stats() eddy.Stats {
 		agg.Dropped += st.Dropped
 		agg.Decisions += st.Decisions
 		agg.Visits += st.Visits
+		agg.Runs += st.Runs
+		agg.Splits += st.Splits
 		if agg.Modules == nil {
 			agg.Modules = make([]eddy.ModuleStats, len(st.Modules))
 		}
@@ -234,8 +251,43 @@ func (rt *parEddyRuntime) Stats() eddy.Stats {
 			agg.Modules[i].Passed += st.Modules[i].Passed
 			agg.Modules[i].Produced += st.Modules[i].Produced
 		}
+		if st.Tickets != nil {
+			if agg.Tickets == nil {
+				agg.Tickets = make([]int64, len(st.Tickets))
+			}
+			for i := range st.Tickets {
+				agg.Tickets[i] += st.Tickets[i]
+			}
+		}
 	})
 	return agg
+}
+
+// moduleNames returns the shard module names in Stats order (every shard
+// builds the same module list from the plan).
+func (rt *parEddyRuntime) moduleNames() []string { return rt.modNames }
+
+// moduleProbeNanos returns the per-module probe latency EWMA, averaged
+// across the shards that have a sample (barrier snapshot).
+func (rt *parEddyRuntime) moduleProbeNanos() []int64 {
+	sums := make([]int64, len(rt.modNames))
+	counts := make([]int64, len(rt.modNames))
+	rt.pe.Barrier(func(_ int, s eddy.Shard) {
+		for i, m := range s.(*eddy.Eddy).Modules() {
+			if pt, ok := m.(interface{ ProbeNanos() int64 }); ok {
+				if n := pt.ProbeNanos(); n > 0 {
+					sums[i] += n
+					counts[i]++
+				}
+			}
+		}
+	})
+	for i := range sums {
+		if counts[i] > 0 {
+			sums[i] /= counts[i]
+		}
+	}
+	return sums
 }
 
 // registerParMetrics exports the shard-layer series (queue depths, batch

@@ -6,6 +6,7 @@ import (
 
 	"telegraphcq/internal/cacq"
 	"telegraphcq/internal/catalog"
+	"telegraphcq/internal/chaos"
 	"telegraphcq/internal/eddy"
 	"telegraphcq/internal/executor"
 	"telegraphcq/internal/expr"
@@ -52,6 +53,9 @@ type sharedEngine interface {
 	RemoveQuery(id int) error
 	Stats() eddy.Stats
 	Delivered() int64
+	ModuleNames() []string
+	SetProbeTimer(clk chaos.Clock, every int)
+	ModuleProbeNanos() []int64
 }
 
 // qualifiesShared reports whether a plan can join a shared class.
@@ -129,6 +133,9 @@ func (e *Engine) sharedClassFor(plan *sql.Plan) (*sharedClass, error) {
 		if seq, ok := sc.eng.(*cacq.Engine); ok {
 			seq.SetTracer(e.tracer, "shared:"+name)
 		}
+	}
+	if e.opts.Introspect {
+		sc.eng.SetProbeTimer(e.opts.Clock, 0)
 	}
 	lbl := fmt.Sprintf(`{stream=%q}`, name)
 	classStat := func(get func() float64) func() float64 {

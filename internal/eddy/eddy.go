@@ -76,7 +76,12 @@ type Stats struct {
 	Dropped   int64 // tuples eliminated by selections or lineage
 	Decisions int64 // routing decisions made (the adaptivity overhead)
 	Visits    int64 // total module invocations (the work metric)
-	Modules   []ModuleStats
+	// Runs counts lineage-homogeneous work batches created by enqueueRuns;
+	// Splits counts the extra batches beyond one per enqueue — how often a
+	// batch had to split because its tuples' routing diverged.
+	Runs    int64
+	Splits  int64
+	Modules []ModuleStats
 	// Tickets is the routing policy's per-module lottery ticket counts
 	// (nil for policies without tickets), exposing the adaptation state
 	// itself — not just its outcome — over STATS.
@@ -301,6 +306,10 @@ func (e *Eddy) enqueueRuns(ts []*tuple.Tuple) {
 		runs = append(runs, nb)
 		i = j
 	}
+	e.stats.Runs += int64(len(runs))
+	if len(runs) > 1 {
+		e.stats.Splits += int64(len(runs) - 1)
+	}
 	for i := len(runs) - 1; i >= 0; i-- {
 		e.push(runs[i])
 	}
@@ -431,7 +440,7 @@ func (e *Eddy) processSeq(mod Module, b *tuple.Batch) (outputs []*tuple.Tuple, p
 		}
 		outs, pass := mod.Process(t)
 		if traced {
-			e.tracer.Hop(t, mod.Name(), e.clk.Since(hopStart), pass, len(outs))
+			e.tracer.Span(t, mod.Name(), hopStart, e.clk.Now(), pass, len(outs))
 			for _, o := range outs {
 				e.tracer.Fork(t, o)
 			}

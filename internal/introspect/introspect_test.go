@@ -1,0 +1,89 @@
+package introspect
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"telegraphcq/internal/tuple"
+)
+
+func TestSchemasCoverEveryStream(t *testing.T) {
+	schemas := Schemas()
+	for _, name := range []string{StatsStream, RoutesStream, PoolStream, ChaosStream} {
+		s, ok := schemas[name]
+		if !ok {
+			t.Fatalf("Schemas() missing %s", name)
+		}
+		if s.Relation != name {
+			t.Fatalf("schema for %s has Relation %q", name, s.Relation)
+		}
+		if len(s.Columns) == 0 {
+			t.Fatalf("schema for %s has no columns", name)
+		}
+		if s.Columns[0].Name != "ts" || s.Columns[0].Kind != tuple.KindTime {
+			t.Fatalf("schema for %s must lead with ts TIME, got %s %s",
+				name, s.Columns[0].Name, s.Columns[0].Kind)
+		}
+	}
+}
+
+func TestStatsSchemaQualifiedLookup(t *testing.T) {
+	s := StatsSchema()
+	if i := s.ColumnIndex("module"); i != 2 {
+		t.Fatalf("bare module lookup = %d, want 2", i)
+	}
+	if i := s.ColumnIndex("tcq.stats.module"); i != 2 {
+		t.Fatalf("qualified module lookup = %d, want 2", i)
+	}
+}
+
+func TestRingPublishDrainDrop(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 6; i++ {
+		r.Publish(Row{Stream: StatsStream, TS: int64(i)})
+	}
+	pub, drop := r.Stats()
+	if pub != 4 || drop != 2 {
+		t.Fatalf("after overflow: published=%d dropped=%d, want 4/2", pub, drop)
+	}
+	rows := r.Drain()
+	if len(rows) != 4 {
+		t.Fatalf("Drain returned %d rows, want 4", len(rows))
+	}
+	for i, row := range rows {
+		if row.TS != int64(i) {
+			t.Fatalf("row %d has TS %d, want publish order preserved", i, row.TS)
+		}
+	}
+	if got := r.Drain(); got != nil {
+		t.Fatalf("second Drain returned %d rows, want nil", len(got))
+	}
+	if !r.Publish(Row{Stream: StatsStream}) {
+		t.Fatal("Publish after Drain should succeed")
+	}
+}
+
+func TestRingConcurrentPublish(t *testing.T) {
+	r := NewRing(1 << 16)
+	var wg sync.WaitGroup
+	const workers, each = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.Publish(Row{Stream: RoutesStream, TS: int64(w*each + i),
+					Vals: []tuple.Value{tuple.String_(fmt.Sprintf("w%d", w))}})
+			}
+		}(w)
+	}
+	wg.Wait()
+	pub, drop := r.Stats()
+	if pub != workers*each || drop != 0 {
+		t.Fatalf("published=%d dropped=%d, want %d/0", pub, drop, workers*each)
+	}
+	if rows := r.Drain(); len(rows) != workers*each {
+		t.Fatalf("Drain returned %d rows, want %d", len(rows), workers*each)
+	}
+}

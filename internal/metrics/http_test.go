@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHandlerMetricsEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(`tcq_engine_ingested_total{stream="S"}`).Add(3)
+	reg.Histogram(`tcq_hop_latency_seconds{module="SteM(\"S\")"}`, 16).Record(time.Millisecond)
+	h := Handler(reg)
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != 200 {
+		t.Fatalf("/metrics status = %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("/metrics Content-Type = %q", ct)
+	}
+	body, _ := io.ReadAll(rr.Body)
+	text := string(body)
+	if !strings.Contains(text, `tcq_engine_ingested_total{stream="S"} 3`) {
+		t.Errorf("counter missing from exposition:\n%s", text)
+	}
+	// Module names containing quotes must survive exposition: the label
+	// value was built with %q so inner quotes arrive backslash-escaped.
+	if !strings.Contains(text, `module="SteM(\"S\")"`) {
+		t.Errorf("escaped label missing from exposition:\n%s", text)
+	}
+	if !strings.Contains(text, "# TYPE tcq_hop_latency_seconds summary") {
+		t.Errorf("histogram TYPE line missing:\n%s", text)
+	}
+	if !strings.Contains(text, `quantile="0.99"`) {
+		t.Errorf("summary quantiles missing:\n%s", text)
+	}
+}
+
+func TestHandlerHealthz(t *testing.T) {
+	h := Handler(NewRegistry())
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/healthz", nil))
+	if rr.Code != 200 || rr.Body.String() != "ok\n" {
+		t.Fatalf("/healthz = %d %q", rr.Code, rr.Body.String())
+	}
+}
+
+func TestHandlerPprofRoutes(t *testing.T) {
+	h := Handler(NewRegistry())
+	// Index and symbol respond synchronously; profile/trace would block
+	// for their sampling window, so only assert they are routed (anything
+	// but 404 proves registration).
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+		if rr.Code != 200 {
+			t.Errorf("%s status = %d", path, rr.Code)
+		}
+	}
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/pprof/heap", nil))
+	if rr.Code != 200 {
+		t.Errorf("/debug/pprof/heap (via Index catch-all) status = %d", rr.Code)
+	}
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/nope", nil))
+	if rr.Code != 404 {
+		t.Errorf("unknown path status = %d, want 404", rr.Code)
+	}
+}

@@ -196,23 +196,34 @@ func TestTracer(t *testing.T) {
 	if !tr.Live(k1) || tr.Live(k2) {
 		t.Error("liveness wrong")
 	}
-	tr.Hop(k1, "sel0", time.Microsecond, true, 0)
-	tr.Hop(k1, "SteM(s)", 2*time.Microsecond, true, 1)
+	t0 := time.Unix(0, 0)
+	tr.Span(k1, "sel0", t0, t0.Add(time.Microsecond), true, 0)
+	tr.Span(k1, "SteM(s)", t0.Add(time.Microsecond), t0.Add(3*time.Microsecond), true, 1)
 	tr.Fork(k1, k2)
 	tr.Finish(k1, true)
-	tr.Hop(k2, "sel1", time.Microsecond, false, 0)
+	tr.Span(k2, "sel1", t0.Add(3*time.Microsecond), t0.Add(4*time.Microsecond), false, 0)
 	tr.Finish(k2, false)
 
 	got := tr.Recent("q1")
 	if len(got) != 2 {
 		t.Fatalf("recent = %d traces", len(got))
 	}
-	if len(got[0].Hops) != 2 || !got[0].Emitted {
+	if len(got[0].Spans) != 2 || !got[0].Emitted {
 		t.Errorf("first trace: %+v", got[0])
 	}
-	// Fork inherited the parent's two hops, then added its own.
-	if len(got[1].Hops) != 3 || got[1].Emitted {
+	if got[0].Spans[1].Latency() != 2*time.Microsecond {
+		t.Errorf("span latency = %v, want 2µs", got[0].Spans[1].Latency())
+	}
+	if got[0].Latency() != 3*time.Microsecond {
+		t.Errorf("trace latency = %v, want 3µs (first enter to last exit)", got[0].Latency())
+	}
+	// Fork inherited the parent's two spans, then added its own; the fork
+	// edge records the parent seq and inherited span count.
+	if len(got[1].Spans) != 3 || got[1].Emitted {
 		t.Errorf("forked trace: %+v", got[1])
+	}
+	if !got[1].Forked || got[1].ForkOf != 10 || got[1].ForkSpans != 2 {
+		t.Errorf("fork edge: %+v", got[1])
 	}
 	if !strings.Contains(got[0].String(), "SteM(s)") {
 		t.Errorf("trace string = %q", got[0].String())
@@ -229,6 +240,70 @@ func TestTracer(t *testing.T) {
 	}
 	if tr.Recent("q9") != nil {
 		t.Error("unknown tag returned traces")
+	}
+}
+
+func TestTracerTagLRUChurn(t *testing.T) {
+	tr := NewTracer(1.0, 1, 4)
+	tr.SetMaxTags(8)
+	// Churn through many more tags than the cap, touching q0 on every
+	// round so recency keeps it resident.
+	for i := 0; i < 100; i++ {
+		k := new(int)
+		tag := fmt.Sprintf("q%d", i)
+		tr.Sample(k, tag, int64(i))
+		tr.Finish(k, true)
+		k0 := new(int)
+		tr.Sample(k0, "q0", int64(i))
+		tr.Finish(k0, false)
+	}
+	if got := tr.Tags(); got != 8 {
+		t.Fatalf("tag count after churn = %d, want cap 8", got)
+	}
+	if tr.Recent("q0") == nil {
+		t.Error("hot tag q0 evicted despite constant touches")
+	}
+	if tr.Recent("q1") != nil {
+		t.Error("cold tag q1 survived 99 rounds of churn")
+	}
+	// Memory check: the retained traces are bounded by cap*keep.
+	total := 0
+	for i := 0; i < 100; i++ {
+		total += len(tr.Recent(fmt.Sprintf("q%d", i)))
+	}
+	if total > 8*4 {
+		t.Errorf("retained %d traces, want <= maxTags*keep = 32", total)
+	}
+}
+
+func TestTracerSinkAndHistograms(t *testing.T) {
+	tr := NewTracer(1.0, 1, 4)
+	reg := NewRegistry()
+	tr.ExportHistograms(reg)
+	var sunk []*Trace
+	tr.SetSink(func(trace *Trace) { sunk = append(sunk, trace) })
+
+	k := new(int)
+	tr.Sample(k, "q1", 1)
+	t0 := time.Unix(0, 0)
+	tr.Span(k, "SteM(s)", t0, t0.Add(time.Millisecond), true, 2)
+	tr.Finish(k, true)
+
+	if len(sunk) != 1 || sunk[0].Seq != 1 || !sunk[0].Emitted {
+		t.Fatalf("sink saw %+v", sunk)
+	}
+	want := `tcq_hop_latency_seconds_count{module="SteM(s)"}`
+	found := false
+	for _, s := range reg.Snapshot() {
+		if s.Name == want {
+			found = true
+			if s.Value != 1 {
+				t.Fatalf("%s = %v, want 1", want, s.Value)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("snapshot missing %s", want)
 	}
 }
 
@@ -267,7 +342,8 @@ func TestTracerConcurrent(t *testing.T) {
 			for i := 0; i < 200; i++ {
 				k := new(int)
 				tr.Sample(k, tag, int64(i))
-				tr.Hop(k, "m", time.Nanosecond, true, 0)
+				t0 := time.Unix(0, int64(i))
+				tr.Span(k, "m", t0, t0.Add(time.Nanosecond), true, 0)
 				tr.Finish(k, i%2 == 0)
 				tr.Recent(tag)
 			}

@@ -8,53 +8,105 @@ import (
 	"time"
 )
 
-// Hop is one module visit on a traced tuple's path through an eddy.
-type Hop struct {
+// Span is one timed module visit on a traced tuple's path through an eddy:
+// enter/exit timestamps (read from the eddy's injected clock, so traced
+// runs on a virtual clock stay deterministic), the routing outcome, and
+// the fan-out the visit produced.
+type Span struct {
 	Module   string
-	Latency  time.Duration
+	Start    time.Time
+	End      time.Time
 	Pass     bool
 	Produced int
 }
 
+// Latency returns the module residence time (End - Start).
+func (s Span) Latency() time.Duration { return s.End.Sub(s.Start) }
+
 // Trace is the recorded lineage of one sampled tuple: the module-visit
-// path the eddy's routing policy chose for it, with per-hop latency.
-// Join outputs forked from a traced tuple inherit its hops so far.
+// path the eddy's routing policy chose for it, as timestamped spans.
+// Join outputs forked from a traced tuple inherit its spans so far; the
+// fork edge itself is preserved in ForkOf/ForkSpans.
 type Trace struct {
 	Tag     string // owning eddy ("q<id>" or "shared:<stream>")
 	Seq     int64  // arrival sequence number of the sampled tuple
-	Hops    []Hop
+	Spans   []Span
 	Emitted bool // reached the query's output (vs dropped/absorbed)
+
+	// Forked marks traces started by Fork (join outputs). ForkOf is the
+	// parent's Seq and ForkSpans how many leading spans were inherited
+	// from it, so the join-fork edge of the derivation tree survives.
+	Forked    bool
+	ForkOf    int64
+	ForkSpans int
 }
 
-// String renders the trace as a single diagnostic line.
-func (t *Trace) String() string {
-	parts := make([]string, len(t.Hops))
-	for i, h := range t.Hops {
+// Latency returns the span-covered processing time: the elapsed clock time
+// from the first span's entry to the last span's exit (0 with no spans).
+func (t *Trace) Latency() time.Duration {
+	if len(t.Spans) == 0 {
+		return 0
+	}
+	return t.Spans[len(t.Spans)-1].End.Sub(t.Spans[0].Start)
+}
+
+// Path renders the module-visit path as "mod:lat:pass+produced -> ...".
+func (t *Trace) Path() string {
+	parts := make([]string, len(t.Spans))
+	for i, s := range t.Spans {
 		outcome := "drop"
-		if h.Pass {
+		if s.Pass {
 			outcome = "pass"
 		}
-		parts[i] = fmt.Sprintf("%s:%v:%s+%d", h.Module, h.Latency, outcome, h.Produced)
+		parts[i] = fmt.Sprintf("%s:%v:%s+%d", s.Module, s.Latency(), outcome, s.Produced)
 	}
 	path := strings.Join(parts, " -> ")
 	if path == "" {
 		path = "(no visits)"
 	}
-	return fmt.Sprintf("seq=%d emitted=%v hops=%d path=%s", t.Seq, t.Emitted, len(t.Hops), path)
+	return path
+}
+
+// String renders the trace as a single diagnostic line.
+func (t *Trace) String() string {
+	fork := ""
+	if t.Forked {
+		fork = fmt.Sprintf(" fork-of=%d@%d", t.ForkOf, t.ForkSpans)
+	}
+	return fmt.Sprintf("seq=%d emitted=%v hops=%d%s path=%s", t.Seq, t.Emitted, len(t.Spans), fork, t.Path())
 }
 
 // Tracer samples tuples entering an eddy and records their routing path.
 // Keys are opaque tuple identities (pointers); live entries move to a
-// bounded per-tag ring when the tuple finishes, so memory stays constant
-// regardless of stream volume. All methods are concurrent-safe.
+// bounded per-tag ring when the tuple finishes, and the tag set itself is
+// LRU-capped, so memory stays constant regardless of stream volume and of
+// how many distinct eddies (queries) come and go. All methods are
+// concurrent-safe.
 type Tracer struct {
-	mu     sync.Mutex
-	rng    *rand.Rand
-	rate   float64
-	keep   int
-	live   map[any]*Trace
-	recent map[string][]*Trace
+	mu      sync.Mutex
+	rng     *rand.Rand
+	rate    float64
+	keep    int
+	maxTags int
+	live    map[any]*Trace
+	recent  map[string][]*Trace
+	// tagUse orders tags by last Finish for LRU eviction.
+	tagUse map[string]int64
+	useSeq int64
+
+	// sink, when set, observes every finished trace (the introspection
+	// subsystem feeds tcq.routes from it). Called outside the lock.
+	sink func(*Trace)
+	// reg, when set, receives per-module span latencies as the
+	// tcq_hop_latency_seconds{module=...} histogram family; hists caches
+	// the per-module histograms so the hot span path never formats names.
+	reg   *Registry
+	hists map[string]*Histogram
 }
+
+// defaultMaxTags bounds the distinct trace tags retained; tags beyond the
+// cap evict the least-recently-finished one.
+const defaultMaxTags = 64
 
 // NewTracer samples at the given probability (clamped to [0,1]) with a
 // deterministic seed, keeping the last keep finished traces per tag.
@@ -66,16 +118,46 @@ func NewTracer(rate float64, seed int64, keep int) *Tracer {
 		keep = 32
 	}
 	return &Tracer{
-		rng:    rand.New(rand.NewSource(seed)),
-		rate:   rate,
-		keep:   keep,
-		live:   make(map[any]*Trace),
-		recent: make(map[string][]*Trace),
+		rng:     rand.New(rand.NewSource(seed)),
+		rate:    rate,
+		keep:    keep,
+		maxTags: defaultMaxTags,
+		live:    make(map[any]*Trace),
+		recent:  make(map[string][]*Trace),
+		tagUse:  make(map[string]int64),
 	}
 }
 
 // Rate returns the configured sample probability.
 func (tr *Tracer) Rate() float64 { return tr.rate }
+
+// SetMaxTags bounds the number of distinct tags with retained traces
+// (values < 1 keep the default). Call before tracing begins.
+func (tr *Tracer) SetMaxTags(n int) {
+	if n < 1 {
+		return
+	}
+	tr.mu.Lock()
+	tr.maxTags = n
+	tr.mu.Unlock()
+}
+
+// SetSink installs fn to observe every finished trace. The callback runs
+// on the eddy's goroutine outside the tracer lock and must not block.
+func (tr *Tracer) SetSink(fn func(*Trace)) {
+	tr.mu.Lock()
+	tr.sink = fn
+	tr.mu.Unlock()
+}
+
+// ExportHistograms mirrors every recorded span into reg as the
+// tcq_hop_latency_seconds{module="..."} histogram family.
+func (tr *Tracer) ExportHistograms(reg *Registry) {
+	tr.mu.Lock()
+	tr.reg = reg
+	tr.hists = make(map[string]*Histogram)
+	tr.mu.Unlock()
+}
 
 // Sample decides whether to trace the tuple identified by key, tagged with
 // the owning eddy and the tuple's sequence number. It reports whether the
@@ -104,36 +186,59 @@ func (tr *Tracer) Live(key any) bool {
 	return ok
 }
 
-// Hop records one module visit for a live-traced tuple (no-op otherwise).
-func (tr *Tracer) Hop(key any, module string, d time.Duration, pass bool, produced int) {
+// Span records one timed module visit for a live-traced tuple (no-op
+// otherwise). The histogram export happens even for keys that finished
+// between Live and Span, so hop latencies never silently disappear.
+func (tr *Tracer) Span(key any, module string, start, end time.Time, pass bool, produced int) {
 	tr.mu.Lock()
 	if t, ok := tr.live[key]; ok {
-		t.Hops = append(t.Hops, Hop{Module: module, Latency: d, Pass: pass, Produced: produced})
+		t.Spans = append(t.Spans, Span{Module: module, Start: start, End: end, Pass: pass, Produced: produced})
 	}
+	h, cached := tr.hists[module]
+	reg := tr.reg
 	tr.mu.Unlock()
+	if reg == nil {
+		return
+	}
+	if !cached {
+		// Resolve outside tr.mu: Registry.mu is ordered before Tracer.mu,
+		// and Histogram is idempotent per name, so a racing first span for
+		// the same module caches the same histogram.
+		h = reg.Histogram(fmt.Sprintf("tcq_hop_latency_seconds{module=%q}", module), 1024)
+		tr.mu.Lock()
+		tr.hists[module] = h
+		tr.mu.Unlock()
+	}
+	h.Record(end.Sub(start))
 }
 
 // Fork starts tracing child (a join output) with a copy of parent's path
-// so far, so the output's trace shows its full derivation.
+// so far, so the output's trace shows its full derivation; the fork edge
+// (parent Seq, inherited span count) is preserved on the child.
 func (tr *Tracer) Fork(parent, child any) {
 	tr.mu.Lock()
 	if p, ok := tr.live[parent]; ok {
 		tr.live[child] = &Trace{
-			Tag:  p.Tag,
-			Seq:  p.Seq,
-			Hops: append([]Hop(nil), p.Hops...),
+			Tag:       p.Tag,
+			Seq:       p.Seq,
+			Spans:     append([]Span(nil), p.Spans...),
+			Forked:    true,
+			ForkOf:    p.Seq,
+			ForkSpans: len(p.Spans),
 		}
 	}
 	tr.mu.Unlock()
 }
 
-// Finish retires a live trace into the recent ring. emitted records
-// whether the tuple reached the query's output.
+// Finish retires a live trace into the recent ring, touching the tag's
+// LRU slot and evicting the least-recently-finished tag when the tag cap
+// is exceeded. emitted records whether the tuple reached the query's
+// output.
 func (tr *Tracer) Finish(key any, emitted bool) {
 	tr.mu.Lock()
-	defer tr.mu.Unlock()
 	t, ok := tr.live[key]
 	if !ok {
+		tr.mu.Unlock()
 		return
 	}
 	delete(tr.live, key)
@@ -143,6 +248,37 @@ func (tr *Tracer) Finish(key any, emitted bool) {
 		ring = append(ring[:0], ring[over:]...)
 	}
 	tr.recent[t.Tag] = ring
+	tr.useSeq++
+	tr.tagUse[t.Tag] = tr.useSeq
+	for len(tr.recent) > tr.maxTags {
+		tr.evictLRULocked()
+	}
+	sink := tr.sink
+	tr.mu.Unlock()
+	if sink != nil {
+		sink(t)
+	}
+}
+
+// evictLRULocked drops the tag with the oldest last-Finish stamp.
+func (tr *Tracer) evictLRULocked() {
+	var victim string
+	var oldest int64 = 1<<63 - 1
+	for tag := range tr.recent {
+		if use := tr.tagUse[tag]; use < oldest {
+			oldest = use
+			victim = tag
+		}
+	}
+	delete(tr.recent, victim)
+	delete(tr.tagUse, victim)
+}
+
+// Tags returns the number of tags currently holding retained traces.
+func (tr *Tracer) Tags() int {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return len(tr.recent)
 }
 
 // Recent returns the finished traces for a tag, oldest first.

@@ -3,6 +3,7 @@ package ops
 import (
 	"fmt"
 
+	"telegraphcq/internal/chaos"
 	"telegraphcq/internal/expr"
 	"telegraphcq/internal/stem"
 	"telegraphcq/internal/tuple"
@@ -47,6 +48,13 @@ func NewSteMModule(st *stem.SteM, layout *tuple.Layout, preds []expr.JoinPredica
 
 // SteM returns the wrapped state module.
 func (m *SteMModule) SteM() *stem.SteM { return m.stem }
+
+// SetProbeTimer enables sampled probe latency measurement on the wrapped
+// SteM (see stem.SteM.SetProbeTimer).
+func (m *SteMModule) SetProbeTimer(clk chaos.Clock, every int) { m.stem.SetProbeTimer(clk, every) }
+
+// ProbeNanos returns the wrapped SteM's sampled probe latency EWMA.
+func (m *SteMModule) ProbeNanos() int64 { return m.stem.Stats().ProbeNanos }
 
 // Name implements eddy.Module.
 func (m *SteMModule) Name() string { return "SteM(" + m.stem.Name() + ")" }

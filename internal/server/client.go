@@ -238,6 +238,21 @@ func (c *Client) Explain(sqlText string) ([]string, error) {
 	return c.cmdRows("EXPLAIN " + oneLine)
 }
 
+// ExplainQuery returns the live telemetry rows of a running query: eddy
+// counters plus a tab-separated per-module table.
+func (c *Client) ExplainQuery(qid int) ([]string, error) {
+	return c.cmdRows(fmt.Sprintf("EXPLAIN %d", qid))
+}
+
+// Top returns the engine-wide hot-module table, capped at n rows (n < 1
+// returns all modules).
+func (c *Client) Top(n int) ([]string, error) {
+	if n < 1 {
+		return c.cmdRows("TOP")
+	}
+	return c.cmdRows(fmt.Sprintf("TOP %d", n))
+}
+
 // Stats returns a query's runtime counters as display rows.
 func (c *Client) Stats(qid int) ([]string, error) {
 	return c.cmdRows(fmt.Sprintf("STATS %d", qid))

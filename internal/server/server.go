@@ -13,10 +13,12 @@
 //	FEED <stream> <csv>
 //	QUERY <sql on one line>
 //	EXPLAIN <sql on one line>  -- bound plan description, no registration
+//	EXPLAIN <qid>              -- live per-operator telemetry for a running query
+//	TOP [n]                    -- engine-wide hot-module table (default all)
 //	SUBSCRIBE <qid>            -- push delivery: ROW q<qid> <csv> lines
 //	FETCH <qid>                -- pull delivery: ROW lines then END
 //	DEREGISTER <qid>
-//	STATS <qid>                -- results + adaptive-routing counters
+//	STATS <qid>                -- results + adaptive-routing + shard counters
 //	METRICS                    -- engine metric registry snapshot
 //	TRACE <qid>                -- sampled tuple-lineage traces
 //	LIST
@@ -203,6 +205,8 @@ func (fe *frontEnd) dispatch(line string) {
 		err = fe.handleQuery(text)
 	case "EXPLAIN":
 		err = fe.handleExplain(rest)
+	case "TOP":
+		err = fe.handleTop(rest)
 	case "SUBSCRIBE":
 		err = fe.handleSubscribe(rest)
 	case "FETCH":
@@ -314,9 +318,16 @@ func (fe *frontEnd) handleFeed(rest string) error {
 	return nil
 }
 
-// handleExplain binds the query without registering it and returns the
-// plan description.
+// handleExplain serves two forms. Given SQL text it binds the query
+// without registering it and returns the static plan description. Given a
+// query id it returns the live telemetry of the running query instead:
+// eddy counters, per-module visit/selectivity/ticket-share rates, probe
+// latencies and queue depth — the "live EXPLAIN" over the same snapshot
+// that feeds tcq.stats.
 func (fe *frontEnd) handleExplain(text string) error {
+	if id, err := strconv.Atoi(strings.TrimSpace(text)); err == nil {
+		return fe.explainLive(id)
+	}
 	plan, err := sql.ParseAndBind(text, fe.engine.Catalog())
 	if err != nil {
 		return err
@@ -325,6 +336,51 @@ func (fe *frontEnd) handleExplain(text string) error {
 		fe.send("ROW . " + line)
 	}
 	fe.send("END")
+	return nil
+}
+
+func (fe *frontEnd) explainLive(id int) error {
+	qt, err := fe.engine.ExplainQuery(id)
+	if err != nil {
+		return err
+	}
+	lines := []string{fmt.Sprintf(
+		"ROW . query %s id=%d results=%d queue=%d ingested=%d emitted=%d dropped=%d decisions=%d visits=%d runs=%d splits=%d",
+		qt.Label, qt.ID, qt.Results, qt.QueueDepth,
+		qt.Stats.Ingested, qt.Stats.Emitted, qt.Stats.Dropped,
+		qt.Stats.Decisions, qt.Stats.Visits, qt.Stats.Runs, qt.Stats.Splits)}
+	if len(qt.Modules) > 0 {
+		lines = append(lines, "ROW . module\tvisits\tproduced\tselectivity\ttickets\tshare\tprobe_ns")
+		for _, m := range qt.Modules {
+			lines = append(lines, fmt.Sprintf("ROW . %s\t%d\t%d\t%.3f\t%d\t%.3f\t%d",
+				m.Module, m.Visits, m.Produced, m.Selectivity, m.Tickets, m.TicketShare, m.ProbeNanos))
+		}
+	}
+	lines = append(lines, "END")
+	fe.sendAll(lines)
+	return nil
+}
+
+// handleTop reports the engine-wide hot-module table: every module of
+// every standing query (shared classes counted once), sorted by visits.
+func (fe *frontEnd) handleTop(rest string) error {
+	n := 0
+	if rest = strings.TrimSpace(rest); rest != "" {
+		v, err := strconv.Atoi(rest)
+		if err != nil {
+			return fmt.Errorf("bad TOP count %q", rest)
+		}
+		n = v
+	}
+	top := fe.engine.TopModules(n)
+	lines := make([]string, 0, len(top)+2)
+	lines = append(lines, "ROW . query\tmodule\tvisits\tproduced\tselectivity\tshare\tprobe_ns")
+	for _, m := range top {
+		lines = append(lines, fmt.Sprintf("ROW . %s\t%s\t%d\t%d\t%.3f\t%.3f\t%d",
+			m.Owner, m.Module, m.Visits, m.Produced, m.Selectivity, m.TicketShare, m.ProbeNanos))
+	}
+	lines = append(lines, "END")
+	fe.sendAll(lines)
 	return nil
 }
 
@@ -436,8 +492,8 @@ func (fe *frontEnd) handleStats(rest string) error {
 	fe.send(fmt.Sprintf("ROW . results=%d inputDrops=%d done=%v",
 		q.Results(), q.InputDrops(), q.Done()))
 	if st, ok := q.EddyStats(); ok {
-		fe.send(fmt.Sprintf("ROW . eddy: ingested=%d emitted=%d dropped=%d decisions=%d visits=%d",
-			st.Ingested, st.Emitted, st.Dropped, st.Decisions, st.Visits))
+		fe.send(fmt.Sprintf("ROW . eddy: ingested=%d emitted=%d dropped=%d decisions=%d visits=%d runs=%d splits=%d",
+			st.Ingested, st.Emitted, st.Dropped, st.Decisions, st.Visits, st.Runs, st.Splits))
 		for i, m := range st.Modules {
 			line := fmt.Sprintf("ROW . module %d: visits=%d selectivity=%.3f produced=%d",
 				i, m.Visits, m.Selectivity(), m.Produced)
@@ -448,6 +504,21 @@ func (fe *frontEnd) handleStats(rest string) error {
 			}
 			fe.send(line)
 		}
+	}
+	// Queries on the parallel runtime also carry shard-layer counters
+	// (the tcq_parallel_* metric family), merged into the same report.
+	if ps, ok := q.ParallelStats(); ok {
+		avg := 0.0
+		if ps.Batches > 0 {
+			avg = float64(ps.BatchTuples) / float64(ps.Batches)
+		}
+		depths := make([]string, len(ps.QueueDepths))
+		for i, d := range ps.QueueDepths {
+			depths[i] = strconv.Itoa(d)
+		}
+		fe.send(fmt.Sprintf("ROW . parallel: workers=%d ingested=%d merged=%d batches=%d avgBatch=%.1f maxHeld=%d queues=%s",
+			ps.Workers, ps.Ingested, ps.Merged, ps.Batches, avg, ps.MaxHeld,
+			strings.Join(depths, ",")))
 	}
 	fe.send("END")
 	return nil

@@ -531,3 +531,107 @@ func TestInfoCommand(t *testing.T) {
 		t.Fatalf("running-max rows = %v", rows)
 	}
 }
+
+// TestExplainLiveAndTop checks the live EXPLAIN form (EXPLAIN <qid>) and
+// the engine-wide TOP table over the wire.
+func TestExplainLiveAndTop(t *testing.T) {
+	e := core.NewEngine(core.Options{EOs: 2, Introspect: true})
+	pm, err := Listen(e, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		pm.Close()
+		e.Stop()
+	})
+	c := dial(t, pm.Addr())
+	if err := c.CreateStream("a", "k INT, v INT", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateStream("b", "k INT, w INT", ""); err != nil {
+		t.Fatal(err)
+	}
+	qid, err := c.Query(`SELECT a.v, b.w FROM a, b WHERE a.k = b.k`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		c.Feed("a", fmt.Sprintf("%d,%d", i, i*10))
+		c.Feed("b", fmt.Sprintf("%d,%d", i, i*100))
+	}
+	if !chaos.Poll(nil, 5*time.Second, time.Millisecond, func() bool {
+		rows, err := c.ExplainQuery(qid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		joined := strings.Join(rows, "\n")
+		return strings.Contains(joined, "query q0") &&
+			strings.Contains(joined, "SteM(a)") &&
+			strings.Contains(joined, "SteM(b)") &&
+			strings.Contains(joined, "probe_ns")
+	}) {
+		t.Fatal("live EXPLAIN never showed per-module telemetry")
+	}
+	// Live EXPLAIN of a missing query fails; the SQL form still works.
+	if _, err := c.ExplainQuery(99); err == nil {
+		t.Error("EXPLAIN 99 succeeded for a missing query")
+	}
+	if _, err := c.Explain(`SELECT v FROM a WHERE v > 1`); err != nil {
+		t.Errorf("static EXPLAIN broken: %v", err)
+	}
+
+	top, err := c.Top(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) < 2 || !strings.Contains(top[0], "module") {
+		t.Fatalf("TOP = %v", top)
+	}
+	if !strings.Contains(strings.Join(top, "\n"), "SteM(") {
+		t.Errorf("TOP missing join modules: %v", top)
+	}
+	if capped, err := c.Top(1); err != nil || len(capped) != 2 {
+		t.Fatalf("TOP 1 = %v, %v (want header + 1 row)", capped, err)
+	}
+	if _, err := c.cmdRows("TOP garbage"); err == nil {
+		t.Error("TOP garbage succeeded")
+	}
+}
+
+// TestStatsParallelShards checks STATS merges the shard-layer counters
+// for a query on the parallel runtime (satellite: parallel metrics in
+// STATS output).
+func TestStatsParallelShards(t *testing.T) {
+	e := core.NewEngine(core.Options{EOs: 2, Workers: 2, BatchSize: 8})
+	pm, err := Listen(e, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		pm.Close()
+		e.Stop()
+	})
+	c := dial(t, pm.Addr())
+	if err := c.CreateStream("s", "x INT", ""); err != nil {
+		t.Fatal(err)
+	}
+	qid, err := c.Query(`SELECT MAX(x) FROM s`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		c.Feed("s", fmt.Sprintf("%d", i))
+	}
+	if !chaos.Poll(nil, 5*time.Second, time.Millisecond, func() bool {
+		rows, err := c.Stats(qid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		joined := strings.Join(rows, "\n")
+		return strings.Contains(joined, "parallel: workers=2") &&
+			strings.Contains(joined, "merged=") &&
+			strings.Contains(joined, "eddy:")
+	}) {
+		t.Fatal("STATS never merged parallel shard counters")
+	}
+}

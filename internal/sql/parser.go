@@ -128,6 +128,15 @@ func (p *parser) parseQuery() (*Query, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Dotted source names ("tcq.stats") name introspection streams;
+		// the dot is part of the name, not a qualifier.
+		if p.accept(".") {
+			part, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			name = name + "." + part
+		}
 		ref := TableRef{Name: name}
 		p.keyword("as")
 		if t := p.peek(); t.kind == tokIdent && !reserved[strings.ToLower(t.text)] {
@@ -244,6 +253,15 @@ func (p *parser) parseColRef() (expr.ColRef, error) {
 		col, err := p.ident()
 		if err != nil {
 			return expr.ColRef{}, err
+		}
+		// Three-part refs qualify columns of dotted stream names:
+		// tcq.stats.module means Relation "tcq.stats", Column "module".
+		if p.accept(".") {
+			third, err := p.ident()
+			if err != nil {
+				return expr.ColRef{}, err
+			}
+			return expr.ColRef{Relation: first + "." + col, Column: third}, nil
 		}
 		return expr.ColRef{Relation: first, Column: col}, nil
 	}

@@ -10,7 +10,9 @@ package stem
 
 import (
 	"fmt"
+	"time"
 
+	"telegraphcq/internal/chaos"
 	"telegraphcq/internal/expr"
 	"telegraphcq/internal/tuple"
 	"telegraphcq/internal/window"
@@ -36,6 +38,14 @@ type SteM struct {
 	windowed bool
 
 	builds, probes, matches, evicted int64
+
+	// Sampled probe timing (SetProbeTimer): every probeEvery-th probe call
+	// is clocked and folded into an EWMA, so introspection sees probe
+	// latency without a clock read on every probe.
+	probeClk   chaos.Clock
+	probeEvery int64
+	probeCalls int64
+	probeNanos int64
 }
 
 // Option configures a SteM.
@@ -97,6 +107,47 @@ func (s *SteM) Accepts(t *tuple.Tuple) bool { return t.Source == s.spans }
 // CanProbe reports whether t may probe this SteM (spans a disjoint set).
 func (s *SteM) CanProbe(t *tuple.Tuple) bool { return !t.Source.Overlaps(s.spans) }
 
+// SetProbeTimer enables sampled probe latency measurement: roughly one in
+// every `every` probed tuples triggers a clocked probe whose latency folds
+// into the EWMA that Stats reports as ProbeNanos (per probe tuple). clk
+// nil disables; every < 1 defaults to 64.
+func (s *SteM) SetProbeTimer(clk chaos.Clock, every int) {
+	if every < 1 {
+		every = 64
+	}
+	s.probeClk = clk
+	s.probeEvery = int64(every)
+}
+
+// probeStart reports whether this probe call — covering n tuples — is
+// sampled, returning its clocked start when so. The counter advances by
+// tuple count so batched probes sample at the same rate as single ones.
+func (s *SteM) probeStart(n int) (time.Time, bool) {
+	if s.probeClk == nil || n < 1 {
+		return time.Time{}, false
+	}
+	before := s.probeCalls
+	s.probeCalls += int64(n)
+	if before/s.probeEvery == s.probeCalls/s.probeEvery {
+		return time.Time{}, false
+	}
+	return s.probeClk.Now(), true
+}
+
+// probeEnd folds one sampled probe latency (normalized per probe tuple)
+// into the EWMA.
+func (s *SteM) probeEnd(start time.Time, tuples int) {
+	if tuples < 1 {
+		tuples = 1
+	}
+	lat := s.probeClk.Since(start).Nanoseconds() / int64(tuples)
+	if s.probeNanos == 0 {
+		s.probeNanos = lat
+	} else {
+		s.probeNanos = (7*s.probeNanos + lat) / 8
+	}
+}
+
 // Build inserts a tuple. It returns an error if the tuple does not span the
 // SteM's stream set — that indicates an eddy routing bug.
 func (s *SteM) Build(t *tuple.Tuple) error {
@@ -145,6 +196,9 @@ func (s *SteM) BuildBatch(ts []*tuple.Tuple) error {
 // them once per batch instead of once per tuple.
 func (s *SteM) ProbeBatch(ps []*tuple.Tuple, probeKey int, preds []expr.JoinPredicate, out []*tuple.Tuple) []*tuple.Tuple {
 	s.probes += int64(len(ps))
+	if start, sampled := s.probeStart(len(ps)); sampled {
+		defer s.probeEnd(start, len(ps))
+	}
 	before := len(out)
 	indexed := s.keyCol >= 0 && probeKey >= 0
 	for _, p := range ps {
@@ -184,6 +238,9 @@ func (s *SteM) ProbeBatch(ps []*tuple.Tuple, probeKey int, preds []expr.JoinPred
 // wide rows ({p} ⋈ SteM).
 func (s *SteM) Probe(p *tuple.Tuple, probeKey int, preds []expr.JoinPredicate) []*tuple.Tuple {
 	s.probes++
+	if start, sampled := s.probeStart(1); sampled {
+		defer s.probeEnd(start, 1)
+	}
 	var out []*tuple.Tuple
 	emit := func(cand *tuple.Tuple) {
 		for _, jp := range preds {
@@ -264,12 +321,15 @@ func (s *SteM) Evict(watermark int64) int {
 type Stats struct {
 	Builds, Probes, Matches, Evicted int64
 	Size                             int
+	// ProbeNanos is the sampled probe latency EWMA per probe tuple
+	// (0 until SetProbeTimer is enabled and a sample lands).
+	ProbeNanos int64
 }
 
 // Stats returns activity counters.
 func (s *SteM) Stats() Stats {
 	return Stats{Builds: s.builds, Probes: s.probes, Matches: s.matches,
-		Evicted: s.evicted, Size: s.Size()}
+		Evicted: s.evicted, Size: s.Size(), ProbeNanos: s.probeNanos}
 }
 
 // Drain returns all stored tuples in time/insertion order (used by Flux

@@ -5,6 +5,7 @@
 #   check.sh lint    docs/gofmt/vet, tcqlint (blocking), staticcheck (if installed)
 #   check.sh test    build + full test suite
 #   check.sh race    race-instrumented suite, chaos campaign, E13 workload, fuzz smoke
+#   check.sh bench   bench smoke: E15 introspection-overhead regression gate
 #   check.sh [all]   every stage in order
 set -eu
 cd "$(dirname "$0")/.."
@@ -84,18 +85,28 @@ stage_race() {
     go test -fuzz=FuzzParseLoop -fuzztime=5s -run '^$' ./internal/window/
 }
 
+stage_bench() {
+    # Smoke-sized E15 with the strict gate on: fails the build when idle
+    # introspection (tcq.* streams registered, nobody subscribed) costs the
+    # hot path more than 5% throughput.
+    echo "==> bench smoke: E15 introspection-overhead gate (strict, -short)"
+    TCQ_BENCH_STRICT=1 go test -count=1 -short -run TestE15IntrospectionOverhead ./internal/bench/
+}
+
 stage="${1:-all}"
 case "$stage" in
 lint) stage_lint ;;
 test) stage_test ;;
 race) stage_race ;;
+bench) stage_bench ;;
 all)
     stage_lint
     stage_test
     stage_race
+    stage_bench
     ;;
 *)
-    echo "usage: check.sh [lint|test|race|all]" >&2
+    echo "usage: check.sh [lint|test|race|bench|all]" >&2
     exit 2
     ;;
 esac
