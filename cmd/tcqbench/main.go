@@ -1,5 +1,5 @@
 // Command tcqbench runs the experiment harness: one experiment per
-// table/figure/claim indexed in DESIGN.md §4 (E1–E13), printing the
+// table/figure/claim indexed in DESIGN.md §4 (E1–E16), printing the
 // paper's qualitative claim next to measured numbers.
 //
 // Usage:

@@ -39,6 +39,7 @@ func main() {
 	batch := flag.Int("batch", 64, "tuples per shard handoff batch in parallel execution")
 	introspect := flag.Bool("introspect", false, "register the tcq.* introspection streams (query engine telemetry with ordinary CQs; enables live EXPLAIN <qid> and TOP)")
 	introInterval := flag.Duration("introspect-interval", 250*time.Millisecond, "telemetry sampling period for the tcq.* streams")
+	shared := flag.Bool("shared", false, "share arrangements: qualifying equijoins on the same stream pair reuse one SteM build across all registered CQs")
 	flag.Parse()
 
 	engine := core.NewEngine(core.Options{
@@ -49,6 +50,7 @@ func main() {
 		BatchSize:          *batch,
 		Introspect:         *introspect,
 		IntrospectInterval: *introInterval,
+		SharedArrangements: *shared,
 	})
 	defer engine.Stop()
 
@@ -57,8 +59,8 @@ func main() {
 		log.Fatalf("tcqd: %v", err)
 	}
 	defer pm.Close()
-	fmt.Printf("tcqd: listening on %s (EOs=%d workers=%d batch=%d spool=%q trace=%g introspect=%v)\n",
-		pm.Addr(), *eos, *workers, *batch, *spool, *traceRate, *introspect)
+	fmt.Printf("tcqd: listening on %s (EOs=%d workers=%d batch=%d spool=%q trace=%g introspect=%v shared=%v)\n",
+		pm.Addr(), *eos, *workers, *batch, *spool, *traceRate, *introspect, *shared)
 	if *introspect {
 		fmt.Printf("tcqd: introspection streams tcq.stats tcq.routes tcq.pool tcq.chaos (every %s)\n",
 			*introInterval)

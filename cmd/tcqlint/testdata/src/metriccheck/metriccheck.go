@@ -51,3 +51,27 @@ func registerOnce(r *metrics.Registry) {
 func registerTwice(r *metrics.Registry) {
 	r.RegisterFunc("tcq_fixture_static_value", metrics.KindGauge, func() float64 { return 2 }) // want `registered by RegisterFunc at 2 call sites`
 }
+
+// recorder is a registrar forwarder: it records each series name while
+// forwarding to the registry. The pass-through call inside RegisterFunc
+// is exempt (its name is the method's own parameter); call sites of the
+// forwarder are held to the same resolvability and naming rules as the
+// registry itself.
+type recorder struct {
+	r     *metrics.Registry
+	names []string
+}
+
+func (m *recorder) RegisterFunc(name string, kind metrics.Kind, fn func() float64) {
+	m.names = append(m.names, name)
+	m.r.RegisterFunc(name, kind, fn)
+}
+
+func goodForwarder(m *recorder, q int) {
+	m.RegisterFunc("tcq_fixture_forwarded_total", metrics.KindCounter, func() float64 { return 0 })
+	m.RegisterFunc(fmt.Sprintf("tcq_fixture_forwarded_depth{query=%q}", "7"), metrics.KindGauge, func() float64 { return 1 })
+}
+
+func badForwarder(m *recorder, name string) {
+	m.RegisterFunc(name, metrics.KindCounter, func() float64 { return 0 }) // want `metric name passed to Registry\.RegisterFunc is not statically resolvable`
+}

@@ -1,0 +1,278 @@
+package arrange
+
+import (
+	"sync"
+	"testing"
+
+	"telegraphcq/internal/tuple"
+	"telegraphcq/internal/window"
+)
+
+func mk(ts int64, key int64) *tuple.Tuple {
+	t := tuple.New(tuple.Int(key), tuple.Int(ts))
+	t.TS = ts
+	t.Seq = ts
+	return t
+}
+
+func windowedOpts() Options {
+	return Options{Name: "s", KeyCol: 0, Windowed: true, TimeKind: window.Physical}
+}
+
+func TestInsertLookupScan(t *testing.T) {
+	a := New(windowedOpts())
+	a.Insert([]*tuple.Tuple{mk(1, 10), mk(2, 20), mk(3, 10)})
+	if a.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", a.Len())
+	}
+	var hits []int64
+	a.Lookup(tuple.Int(10).Hash(), func(tt *tuple.Tuple) {
+		hits = append(hits, tt.TS)
+	})
+	if len(hits) != 2 || hits[0] != 1 || hits[1] != 3 {
+		t.Fatalf("Lookup(10) = %v, want [1 3]", hits)
+	}
+	var seen []int64
+	a.Scan(func(tt *tuple.Tuple) { seen = append(seen, tt.TS) })
+	if len(seen) != 3 || seen[0] != 1 || seen[2] != 3 {
+		t.Fatalf("Scan = %v, want time order [1 2 3]", seen)
+	}
+}
+
+func TestUnindexedLookupScansAll(t *testing.T) {
+	a := New(Options{Name: "s", KeyCol: -1})
+	a.Insert([]*tuple.Tuple{mk(1, 10), mk(2, 20)})
+	n := 0
+	a.Lookup(12345, func(*tuple.Tuple) { n++ })
+	if n != 2 {
+		t.Fatalf("unindexed Lookup visited %d, want 2 (scan)", n)
+	}
+}
+
+// TestEvictDefersUntilCursorsPass is the heart of the epoch protocol: evicted
+// tuples stay parked while any cursor sits at an older epoch and are freed
+// exactly when the last laggard syncs past the eviction epoch.
+func TestEvictDefersUntilCursorsPass(t *testing.T) {
+	pool := tuple.NewPool()
+	opts := windowedOpts()
+	opts.Recycler = pool
+	a := New(opts)
+	c1 := a.NewCursor()
+	c2 := a.NewCursor()
+
+	a.Insert([]*tuple.Tuple{mk(1, 10), mk(2, 20), mk(3, 30)})
+	if n := a.Evict(3); n != 2 {
+		t.Fatalf("Evict(3) = %d, want 2", n)
+	}
+	st := a.Stats()
+	if st.Size != 1 || st.Retired != 2 || st.ReclaimedTuples != 0 {
+		t.Fatalf("after evict: size=%d retired=%d reclaimed=%d, want 1/2/0",
+			st.Size, st.Retired, st.ReclaimedTuples)
+	}
+	// Lookups no longer see evicted tuples even though they are unreclaimed.
+	n := 0
+	a.Lookup(tuple.Int(10).Hash(), func(*tuple.Tuple) { n++ })
+	if n != 0 {
+		t.Fatalf("evicted tuple still visible to Lookup")
+	}
+
+	a.Advance() // seal the eviction epoch
+	c1.Sync()
+	if st := a.Stats(); st.Retired != 2 {
+		t.Fatalf("retired freed with c2 still at epoch 0 (retired=%d)", st.Retired)
+	}
+	c2.Sync()
+	st = a.Stats()
+	if st.Retired != 0 || st.ReclaimedTuples != 2 || st.ReclaimedBytes <= 0 {
+		t.Fatalf("after all cursors synced: retired=%d reclaimed=%d bytes=%d",
+			st.Retired, st.ReclaimedTuples, st.ReclaimedBytes)
+	}
+	if got := pool.Stats().Puts; got != 2 {
+		t.Fatalf("pool puts = %d, want 2 (reclaimed tuples recycled)", got)
+	}
+	if st.Lag != 0 {
+		t.Fatalf("lag = %d after full sync, want 0", st.Lag)
+	}
+}
+
+func TestCursorCloseReleasesRetired(t *testing.T) {
+	a := New(windowedOpts())
+	c := a.NewCursor()
+	a.Insert([]*tuple.Tuple{mk(1, 10)})
+	a.Evict(5)
+	a.Advance()
+	if st := a.Stats(); st.Retired != 1 {
+		t.Fatalf("retired=%d, want 1 while cursor open", st.Retired)
+	}
+	c.Close()
+	if st := a.Stats(); st.Retired != 0 {
+		t.Fatalf("retired=%d after Close, want 0", st.Retired)
+	}
+}
+
+func TestNoCursorsReclaimImmediatelyOnAdvance(t *testing.T) {
+	a := New(windowedOpts())
+	a.Insert([]*tuple.Tuple{mk(1, 10), mk(2, 20)})
+	a.Evict(10)
+	a.Advance()
+	if st := a.Stats(); st.Retired != 0 || st.ReclaimedTuples != 2 {
+		t.Fatalf("no-cursor reclaim: retired=%d reclaimed=%d, want 0/2",
+			st.Retired, st.ReclaimedTuples)
+	}
+}
+
+func TestHandleAttachCloseCountsReaders(t *testing.T) {
+	a := New(windowedOpts())
+	c := a.NewCursor()
+	h1 := c.Attach()
+	h2 := c.Attach()
+	if st := a.Stats(); st.Readers != 2 || st.MaxReaders != 2 {
+		t.Fatalf("readers=%d max=%d, want 2/2", st.Readers, st.MaxReaders)
+	}
+	h1.Close()
+	h1.Close() // idempotent
+	h2.Close()
+	if st := a.Stats(); st.Readers != 0 || st.MaxReaders != 2 {
+		t.Fatalf("readers=%d max=%d after close, want 0/2", st.Readers, st.MaxReaders)
+	}
+	a.Insert([]*tuple.Tuple{mk(1, 7)})
+	n := 0
+	h3 := c.Attach()
+	h3.Probe(tuple.Int(7).Hash(), func(*tuple.Tuple) { n++ })
+	h3.Scan(func(*tuple.Tuple) { n++ })
+	if n != 2 {
+		t.Fatalf("handle probe+scan visited %d, want 2", n)
+	}
+}
+
+func TestScrubLineage(t *testing.T) {
+	a := New(windowedOpts())
+	t1 := mk(1, 10)
+	t1.Queries.Set(3)
+	t1.Queries.Set(70)
+	a.Insert([]*tuple.Tuple{t1})
+	var mask tuple.Bitset
+	mask.Set(70)
+	a.ScrubLineage(mask)
+	if !t1.Queries.Test(3) || t1.Queries.Test(70) {
+		t.Fatalf("scrub: bit3=%v bit70=%v, want true/false",
+			t1.Queries.Test(3), t1.Queries.Test(70))
+	}
+	// A mask wider than a stored tuple's bitmap must not panic.
+	short := mk(2, 11)
+	a.Insert([]*tuple.Tuple{short})
+	var wide tuple.Bitset
+	wide.Set(200)
+	a.ScrubLineage(wide)
+}
+
+// TestConcurrentReadersOneWriter exercises the single-writer/many-reader
+// contract under the race detector: one goroutine inserts, evicts, and
+// advances while readers probe through handles and sync their cursor.
+func TestConcurrentReadersOneWriter(t *testing.T) {
+	a := New(windowedOpts())
+	const readers = 4
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		c := a.NewCursor()
+		h := c.Attach()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer h.Close()
+			defer c.Close()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Probe(tuple.Int(1).Hash(), func(tt *tuple.Tuple) {
+					_ = tt.TS
+				})
+				c.Sync()
+				_ = a.Stats()
+			}
+		}()
+	}
+	for i := int64(0); i < 500; i++ {
+		a.Insert([]*tuple.Tuple{mk(i, i%8)})
+		if i%16 == 0 {
+			a.Evict(i - 64)
+		}
+		a.Advance()
+	}
+	close(stop)
+	wg.Wait()
+	a.Advance()
+	if st := a.Stats(); st.Retired != 0 {
+		t.Fatalf("retired=%d after all cursors closed, want 0", st.Retired)
+	}
+}
+
+func TestSlotsLifecycle(t *testing.T) {
+	var s Slots
+	a := s.Fresh()
+	b := s.Fresh()
+	c := s.Fresh()
+	if a != 0 || b != 1 || c != 2 {
+		t.Fatalf("fresh ids = %d,%d,%d, want 0,1,2", a, b, c)
+	}
+	if _, ok := s.Alloc(); ok {
+		t.Fatalf("Alloc succeeded with empty free list")
+	}
+	s.Free(2)
+	s.Free(0)
+	if s.Cooling() != 2 {
+		t.Fatalf("cooling=%d, want 2", s.Cooling())
+	}
+	if _, ok := s.Alloc(); ok {
+		t.Fatalf("cooling slots must not be allocatable before Promote")
+	}
+	m := s.CoolingMask()
+	if !m.Test(0) || m.Test(1) || !m.Test(2) {
+		t.Fatalf("cooling mask wrong: %v", m)
+	}
+	s.Promote()
+	// LIFO pop must yield the smallest cooled ID first, independent of the
+	// order the queries were removed in.
+	id, ok := s.Alloc()
+	if !ok || id != 0 {
+		t.Fatalf("first reuse = %d,%v, want 0,true", id, ok)
+	}
+	id, ok = s.Alloc()
+	if !ok || id != 2 {
+		t.Fatalf("second reuse = %d,%v, want 2,true", id, ok)
+	}
+	if s.High() != 3 {
+		t.Fatalf("high water = %d, want 3", s.High())
+	}
+}
+
+func TestRegistryKeysAndDrop(t *testing.T) {
+	r := NewRegistry()
+	k1 := Key{Class: "c1", Stream: "s", Shard: -1}
+	a1 := r.GetOrCreate(k1, windowedOpts())
+	if r.GetOrCreate(k1, windowedOpts()) != a1 {
+		t.Fatalf("same key must return same arrangement")
+	}
+	k2 := Key{Class: "c1", Stream: "s", Shard: 0}
+	k3 := Key{Class: "c2", Stream: "s", Shard: -1}
+	r.GetOrCreate(k2, windowedOpts())
+	a3 := r.GetOrCreate(k3, windowedOpts())
+	if n, _, _, _ := r.Totals(); n != 3 {
+		t.Fatalf("count=%d, want 3", n)
+	}
+	r.Drop("c1")
+	n := 0
+	r.Each(func(k Key, a *Arrangement) {
+		n++
+		if a != a3 {
+			t.Fatalf("unexpected survivor %v", k)
+		}
+	})
+	if n != 1 {
+		t.Fatalf("after Drop: %d arrangements, want 1", n)
+	}
+}

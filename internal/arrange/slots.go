@@ -1,0 +1,72 @@
+package arrange
+
+import (
+	"sort"
+
+	"telegraphcq/internal/tuple"
+)
+
+// Slots allocates lineage-slot IDs for queries sharing an arrangement's
+// bitmap space. Freed slots are not immediately reusable: stored tuples may
+// still carry the dead query's lineage bit, so a freed slot first parks on
+// a cooling list. Once the owner scrubs the cooling mask from all stored
+// state (ScrubLineage), Promote moves the cooled slots to the free list and
+// allocation reuses them — keeping the bitmap dense instead of growing
+// monotonically with churn.
+//
+// Slots is not goroutine-safe; the owning engine serializes access under
+// its control lock.
+type Slots struct {
+	next    int
+	free    []int // scrubbed, ready to hand out (LIFO)
+	cooling []int // freed but possibly still set in stored lineage
+}
+
+// Alloc pops a scrubbed slot, if any.
+func (s *Slots) Alloc() (int, bool) {
+	if n := len(s.free); n > 0 {
+		id := s.free[n-1]
+		s.free = s.free[:n-1]
+		return id, true
+	}
+	return 0, false
+}
+
+// Fresh mints a never-used slot ID.
+func (s *Slots) Fresh() int {
+	id := s.next
+	s.next++
+	return id
+}
+
+// Free parks a slot on the cooling list; it becomes allocatable only after
+// the next scrub+Promote.
+func (s *Slots) Free(id int) { s.cooling = append(s.cooling, id) }
+
+// Cooling reports how many freed slots await scrubbing.
+func (s *Slots) Cooling() int { return len(s.cooling) }
+
+// High returns the high-water slot count (IDs ever minted).
+func (s *Slots) High() int { return s.next }
+
+// CoolingMask builds the bitmap of all cooling slots — the mask the owner
+// must clear from stored lineage before calling Promote.
+func (s *Slots) CoolingMask() tuple.Bitset {
+	var m tuple.Bitset
+	for _, id := range s.cooling {
+		m.Set(id)
+	}
+	return m
+}
+
+// Promote moves all cooling slots to the free list, sorted so that Alloc
+// (LIFO) hands out the smallest ID first — deterministic regardless of the
+// order queries were removed in.
+func (s *Slots) Promote() {
+	if len(s.cooling) == 0 {
+		return
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(s.cooling)))
+	s.free = append(s.free, s.cooling...)
+	s.cooling = s.cooling[:0]
+}

@@ -8,8 +8,8 @@ import (
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	all := All()
-	if len(all) != 15 {
-		t.Fatalf("experiments = %d, want 15", len(all))
+	if len(all) != 16 {
+		t.Fatalf("experiments = %d, want 16", len(all))
 	}
 	seen := map[string]bool{}
 	for i, e := range all {

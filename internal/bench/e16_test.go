@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"os"
+	"testing"
+)
+
+// TestE16SharedArrangementsScaling runs the shared-arrangements scaling
+// experiment on the 1k and 10k tiers (the acceptance window; the 100k
+// tier is bench-only) and checks the harness invariants: every tier
+// completes with the live CQ seeing its full result set, registration
+// stays cheap, and — when TCQ_BENCH_STRICT=1, as the check.sh bench-smoke
+// stage sets — 10x the registered CQs costs less than 5x the per-tuple
+// time and less than 8x the resident memory (both well under the 10x a
+// per-query state copy would take).
+func TestE16SharedArrangementsScaling(t *testing.T) {
+	sRows, rRows, trials := int64(4000), int64(64), 4
+	if testing.Short() {
+		sRows, trials = 3000, 3
+	}
+	res, err := e16Run([]int{1000, 10000}, sRows, rRows, trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range res.Tiers {
+		if res.NsPerTuple[n] <= 0 {
+			t.Errorf("tier %d: ns/tuple = %v", n, res.NsPerTuple[n])
+		}
+		if res.ResidentBytes[n] == 0 {
+			t.Errorf("tier %d: resident bytes = 0", n)
+		}
+		if res.RegisterUsPerCQ[n] <= 0 || res.RegisterUsPerCQ[n] > 1000 {
+			t.Errorf("tier %d: registration = %v µs/CQ", n, res.RegisterUsPerCQ[n])
+		}
+	}
+	if len(res.Table.Rows) != 2 {
+		t.Errorf("table rows = %d", len(res.Table.Rows))
+	}
+
+	nsRatio := res.Ratio("ns", 1000, 10000)
+	memRatio := res.Ratio("mem", 1000, 10000)
+	t.Logf("10x CQs: per-tuple cost %.2fx, resident memory %.2fx", nsRatio, memRatio)
+	if os.Getenv("TCQ_BENCH_STRICT") == "1" {
+		if nsRatio >= 5 {
+			t.Errorf("per-tuple cost grew %.2fx for 10x CQs, want < 5x (sub-linear)", nsRatio)
+		}
+		if memRatio >= 8 {
+			t.Errorf("resident memory grew %.2fx for 10x CQs, want < 8x (sub-linear)", memRatio)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package cacq
+
+import (
+	"telegraphcq/internal/arrange"
+	"telegraphcq/internal/eddy"
+	"telegraphcq/internal/tuple"
+	"telegraphcq/internal/window"
+)
+
+// ArrangedConfig switches an engine's SteM storage to shared arrangements.
+type ArrangedConfig struct {
+	// Provider returns the arrangement storing build tuples of the named
+	// stream keyed on keyCol. The provider decides sharing scope (the
+	// core engine keys on shared-class + stream + shard); asking twice
+	// for the same backing state must return the same *Arrangement.
+	Provider func(stream string, keyCol int, kind window.TimeKind) *arrange.Arrangement
+	// ReuseSlots reallocates the lineage-slot IDs of removed queries
+	// (after scrubbing their bits from stored state) so bitmaps stay
+	// dense under churn. Only sound on a sequential engine: its step is
+	// fully synchronous, so no in-flight tuple can carry a freed slot's
+	// bit. Parallel engines force it off — merged outputs keep flowing
+	// through a barrier, and monotone IDs keep front/shard lockstep.
+	ReuseSlots bool
+}
+
+// NewArranged creates a shared engine whose join SteMs delegate storage to
+// arrangements from cfg.Provider. Everything else matches New: the SteM
+// fronts keep validation, predicate verification, and counters private.
+func NewArranged(layout *tuple.Layout, joins []JoinSpec, policy eddy.Policy, cfg ArrangedConfig) (*Engine, error) {
+	return newEngine(layout, joins, policy, &cfg)
+}
+
+// Arranged reports whether this engine runs on shared arrangements.
+func (e *Engine) Arranged() bool { return e.arranged != nil }
+
+// trackArrangement records a (deduplicated) arrangement this engine reads,
+// opening the engine's cursor on it.
+func (e *Engine) trackArrangement(a *arrange.Arrangement) {
+	for _, have := range e.arrs {
+		if have == a {
+			return
+		}
+	}
+	e.arrs = append(e.arrs, a)
+	e.cursors = append(e.cursors, a.NewCursor())
+}
+
+// allocSlot hands out a lineage-slot ID: a scrubbed free slot when one
+// exists; else, if removed queries are cooling, scrub their bits from every
+// arrangement in one batched pass, promote, and retry; else a fresh ID.
+// Purely driven by allocator state, so the same mutation sequence yields
+// the same IDs regardless of timing.
+func (e *Engine) allocSlot() int {
+	if id, ok := e.slots.Alloc(); ok {
+		return id
+	}
+	if e.slots.Cooling() > 0 {
+		mask := e.slots.CoolingMask()
+		for _, a := range e.arrs {
+			a.ScrubLineage(mask)
+		}
+		e.slots.Promote()
+		if id, ok := e.slots.Alloc(); ok {
+			return id
+		}
+	}
+	return e.slots.Fresh()
+}
+
+// AdvanceEpoch seals the current epoch on every arrangement this engine
+// writes and syncs the engine's cursors past it, releasing retired state
+// for reclamation. Call once per engine step; safe concurrently with
+// probes (arrangements are internally locked).
+func (e *Engine) AdvanceEpoch() {
+	for _, a := range e.arrs {
+		a.Advance()
+	}
+	for _, c := range e.cursors {
+		c.Sync()
+	}
+}
+
+// Arrangements returns the arrangements this engine reads (nil when not
+// arranged), for stats and introspection.
+func (e *Engine) Arrangements() []*arrange.Arrangement { return e.arrs }
+
+// SlotHighWater returns the number of lineage-slot IDs ever minted — with
+// ReuseSlots this stays near the live query count under churn instead of
+// growing monotonically.
+func (e *Engine) SlotHighWater() int {
+	if e.arranged != nil && e.arranged.ReuseSlots {
+		return e.slots.High()
+	}
+	return e.nextID
+}

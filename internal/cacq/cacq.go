@@ -16,6 +16,7 @@ package cacq
 import (
 	"fmt"
 
+	"telegraphcq/internal/arrange"
 	"telegraphcq/internal/chaos"
 	"telegraphcq/internal/eddy"
 	"telegraphcq/internal/expr"
@@ -63,6 +64,15 @@ type Engine struct {
 	watermarks []int64
 	// wide is the reusable ingest batch (single ingest goroutine).
 	wide tuple.Batch
+
+	// arranged is non-nil when SteM storage is delegated to shared
+	// arrangements (NewArranged); handles holds each query's reader
+	// handles and slots reallocates lineage-slot IDs of removed queries.
+	arranged *ArrangedConfig
+	arrs     []*arrange.Arrangement
+	cursors  []*arrange.Cursor
+	handles  map[int][]*arrange.Handle
+	slots    arrange.Slots
 }
 
 // ModuleCount returns how many eddy modules a shared engine over layout
@@ -76,6 +86,10 @@ func ModuleCount(layout *tuple.Layout, joins []JoinSpec) int {
 // policy nil selects a lottery policy. It fails when the super-query needs
 // more modules than one eddy's 64-bit lineage bitmaps can route.
 func New(layout *tuple.Layout, joins []JoinSpec, policy eddy.Policy) (*Engine, error) {
+	return newEngine(layout, joins, policy, nil)
+}
+
+func newEngine(layout *tuple.Layout, joins []JoinSpec, policy eddy.Policy, arr *ArrangedConfig) (*Engine, error) {
 	if err := eddy.CheckModuleCount(ModuleCount(layout, joins)); err != nil {
 		return nil, err
 	}
@@ -87,6 +101,10 @@ func New(layout *tuple.Layout, joins []JoinSpec, policy eddy.Policy) (*Engine, e
 		queries:     make(map[int]*Query),
 		byFootprint: make(map[tuple.SourceSet][]*Query),
 		interested:  make([]tuple.Bitset, layout.Streams()),
+		arranged:    arr,
+	}
+	if arr != nil {
+		e.handles = make(map[int][]*arrange.Handle)
 	}
 
 	var modules []eddy.Module
@@ -101,10 +119,8 @@ func New(layout *tuple.Layout, joins []JoinSpec, policy eddy.Policy) (*Engine, e
 			fmt.Sprintf("GF(%s)", layout.Wide.Columns[col].Name), g))
 	}
 	for _, js := range joins {
-		stA := stem.New(layout.Schemas[js.StreamA].Relation, tuple.SingleSource(js.StreamA),
-			layout, stem.WithIndex(js.ColA), stem.WithWindowEviction(js.TimeKind))
-		stB := stem.New(layout.Schemas[js.StreamB].Relation, tuple.SingleSource(js.StreamB),
-			layout, stem.WithIndex(js.ColB), stem.WithWindowEviction(js.TimeKind))
+		stA := e.newSteM(js.StreamA, js.ColA, js.TimeKind)
+		stB := e.newSteM(js.StreamB, js.ColB, js.TimeKind)
 		modA := ops.NewSteMModule(stA, layout,
 			[]expr.JoinPredicate{{LeftCol: js.ColB, Op: expr.Eq, RightCol: js.ColA}})
 		modB := ops.NewSteMModule(stB, layout,
@@ -120,6 +136,20 @@ func New(layout *tuple.Layout, joins []JoinSpec, policy eddy.Policy) (*Engine, e
 	return e, nil
 }
 
+// newSteM builds one join SteM for stream s keyed on keyCol — private
+// storage normally, a shared arrangement from the provider in arranged
+// mode.
+func (e *Engine) newSteM(s, keyCol int, kind window.TimeKind) *stem.SteM {
+	name := e.layout.Schemas[s].Relation
+	opts := []stem.Option{stem.WithIndex(keyCol), stem.WithWindowEviction(kind)}
+	if e.arranged != nil {
+		a := e.arranged.Provider(name, keyCol, kind)
+		e.trackArrangement(a)
+		opts = append(opts, stem.WithStore(a))
+	}
+	return stem.New(name, tuple.SingleSource(s), e.layout, opts...)
+}
+
 // AddQuery registers a standing query and returns it. Footprint must be a
 // non-empty subset of the layout's streams; selections are wide-row bound.
 func (e *Engine) AddQuery(footprint tuple.SourceSet, selections []expr.Predicate,
@@ -128,13 +158,17 @@ func (e *Engine) AddQuery(footprint tuple.SourceSet, selections []expr.Predicate
 		return nil, fmt.Errorf("cacq: empty query footprint")
 	}
 	q := &Query{
-		ID:         e.nextID,
 		Footprint:  footprint,
 		Selections: selections,
 		Project:    project,
 		Output:     out,
 	}
-	e.nextID++
+	if e.arranged != nil && e.arranged.ReuseSlots {
+		q.ID = e.allocSlot()
+	} else {
+		q.ID = e.nextID
+		e.nextID++
+	}
 	if q.ID > e.maxID {
 		e.maxID = q.ID
 	}
@@ -146,6 +180,13 @@ func (e *Engine) AddQuery(footprint tuple.SourceSet, selections []expr.Predicate
 	}
 	e.queries[q.ID] = q
 	e.byFootprint[footprint] = append(e.byFootprint[footprint], q)
+	if e.arranged != nil && len(e.cursors) > 0 {
+		hs := make([]*arrange.Handle, len(e.cursors))
+		for i, c := range e.cursors {
+			hs[i] = c.Attach()
+		}
+		e.handles[q.ID] = hs
+	}
 	e.invalidate()
 	return q, nil
 }
@@ -165,6 +206,15 @@ func (e *Engine) RemoveQuery(id int) error {
 		if qq.ID == id {
 			e.byFootprint[q.Footprint] = append(fps[:i], fps[i+1:]...)
 			break
+		}
+	}
+	if e.arranged != nil {
+		for _, h := range e.handles[id] {
+			h.Close()
+		}
+		delete(e.handles, id)
+		if e.arranged.ReuseSlots {
+			e.slots.Free(id)
 		}
 	}
 	e.invalidate()
@@ -255,27 +305,30 @@ func (e *Engine) SetDeliverySink(fn func(*tuple.Tuple)) {
 }
 
 // deliver routes a completed tuple to every query whose footprint exactly
-// matches the tuple's span and whose lineage bit survived.
+// matches the tuple's span and whose lineage bit survived. It walks the
+// surviving bits rather than the footprint's member list, so a completed
+// tuple costs O(bitmap words + survivors), not O(registered queries) —
+// with thousands of mostly-filtered overlapping CQs the member list is
+// long but the survivor set is tiny. Bits whose slot was freed (query
+// removed mid-flight) or whose owner has a different footprint are
+// skipped, matching the old member-list semantics exactly.
 func (e *Engine) deliver(t *tuple.Tuple) {
-	for _, q := range e.byFootprint[t.Source] {
-		if !t.Queries.Test(q.ID) || q.Output == nil {
-			q.delivered += boolToInt64(t.Queries.Test(q.ID))
-			continue
+	src := t.Source
+	t.Queries.ForEach(func(id int) {
+		q := e.queries[id]
+		if q == nil || q.Footprint != src {
+			return
 		}
 		q.delivered++
+		if q.Output == nil {
+			return
+		}
 		out := t
 		if q.Project != nil {
 			out = ops.NewProject(q.Project...).Apply(t)
 		}
 		q.Output(out)
-	}
-}
-
-func boolToInt64(b bool) int64 {
-	if b {
-		return 1
-	}
-	return 0
+	})
 }
 
 // EvictWindows drops SteM state older than watermark across all shared

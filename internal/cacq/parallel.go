@@ -28,6 +28,13 @@ type ParallelOptions struct {
 	// engine's order. Leave false for workloads without a global arrival
 	// order (independently sequenced streams).
 	Ordered bool
+	// Arranged, when non-nil, makes each engine delegate SteM storage to
+	// shared arrangements: called once with shard -1 for the front engine
+	// and once per worker shard (shard-local arrangements — partitioned
+	// state never crosses shards). Returning nil keeps that engine on
+	// private storage. ReuseSlots is forced off in parallel mode (see
+	// ArrangedConfig).
+	Arranged func(shard int) *ArrangedConfig
 }
 
 // Parallel executes one shared CACQ super-query across hash-partitioned
@@ -44,6 +51,10 @@ type Parallel struct {
 	pe      *eddy.ParallelEddy
 	layout  *tuple.Layout
 	keyCols []int
+	// shardEngs lists the shard engines (construction-time only) so
+	// AdvanceEpoch can reach their internally-locked arrangements without
+	// a barrier.
+	shardEngs []*Engine
 
 	// deliverMu guards the front engine's delivery state (byFootprint,
 	// per-query delivered counters) between the merge goroutine and
@@ -81,7 +92,23 @@ func NewParallelEngine(layout *tuple.Layout, joins []JoinSpec, opt ParallelOptio
 	if pol == nil {
 		pol = func() eddy.Policy { return eddy.NewLotteryPolicy(1) }
 	}
-	front, err := New(layout, joins, pol())
+	newEng := func(shard int) (*Engine, error) {
+		if opt.Arranged == nil {
+			return New(layout, joins, pol())
+		}
+		cfg := opt.Arranged(shard)
+		if cfg == nil {
+			return New(layout, joins, pol())
+		}
+		c := *cfg
+		// Slot reuse is unsound here: outputs already handed to the merge
+		// stage keep flowing through a Barrier, so a tuple carrying a
+		// freed slot's bit can still be in flight when the slot is
+		// reallocated. Monotone IDs also keep front/shard lockstep.
+		c.ReuseSlots = false
+		return NewArranged(layout, joins, pol(), c)
+	}
+	front, err := newEng(-1)
 	if err != nil {
 		return nil, err
 	}
@@ -103,12 +130,13 @@ func NewParallelEngine(layout *tuple.Layout, joins []JoinSpec, opt ParallelOptio
 			return int(t.Vals[keyCols[s]].Hash())
 		},
 		NewShard: func(shard int, emit func(*tuple.Tuple)) eddy.Shard {
-			sh, err := New(layout, joins, pol())
+			sh, err := newEng(shard)
 			if err != nil {
 				// Unreachable: the module count was validated above.
 				panic(err)
 			}
 			sh.SetDeliverySink(emit)
+			p.shardEngs = append(p.shardEngs, sh)
 			return parShard{sh}
 		},
 		Merge: func(t *tuple.Tuple) {
@@ -224,6 +252,17 @@ func (p *Parallel) RemoveQuery(id int) error {
 	}
 	p.deliverMu.Unlock()
 	return err
+}
+
+// AdvanceEpoch seals the current epoch on every shard's arrangements (and
+// the front's, which stay empty). No barrier: arrangements are internally
+// locked, and which epoch a concurrent insert lands in is immaterial — the
+// epoch protocol only defers frees.
+func (p *Parallel) AdvanceEpoch() {
+	p.front.AdvanceEpoch()
+	for _, sh := range p.shardEngs {
+		sh.AdvanceEpoch()
+	}
 }
 
 // EvictWindows drops SteM state older than watermark on every shard.

@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"telegraphcq/internal/arrange"
 	"telegraphcq/internal/catalog"
 	"telegraphcq/internal/chaos"
 	"telegraphcq/internal/executor"
@@ -76,6 +77,14 @@ type Options struct {
 	// operation (default 64). BatchSize 1 degenerates to per-tuple
 	// processing with identical output sequences.
 	BatchSize int
+	// SharedArrangements enables shared-arrangement execution: qualifying
+	// two-stream equijoin queries join a shared class whose SteM builds
+	// are stored once in multi-reader arrangements (one writer, epoch-
+	// based reclamation), so the N-th overlapping continuous query costs a
+	// registry handle instead of a state copy. Selection classes reuse the
+	// same machinery for lineage-slot recycling under query churn. Off
+	// (the default) keeps every plan on its previous path, bit-identical.
+	SharedArrangements bool
 	// Introspect registers the engine's telemetry streams (tcq.stats,
 	// tcq.routes, tcq.pool, tcq.chaos) as ordinary catalog sources fed by a
 	// background collector, so continuous queries can run over the engine's
@@ -146,6 +155,12 @@ type Engine struct {
 	// out of retention.
 	recycler *tuple.Pool
 
+	// arrReg holds every shared arrangement, keyed on
+	// (class, stream, shard); always non-nil so metrics and introspection
+	// can enumerate arrangements without mode checks (empty when
+	// SharedArrangements is off).
+	arrReg *arrange.Registry
+
 	// intro is the introspection collector (nil without Options.Introspect).
 	intro *introspector
 
@@ -169,6 +184,7 @@ func NewEngine(opts Options) *Engine {
 		streams: make(map[string]*streamState),
 		queries: make(map[int]*RunningQuery),
 		shared:  make(map[string]*sharedClass),
+		arrReg:  arrange.NewRegistry(),
 	}
 	if opts.SpoolDir != "" {
 		e.pool = storage.NewBufferPool(opts.PoolSegments)
@@ -191,6 +207,22 @@ func NewEngine(opts Options) *Engine {
 	})
 	e.reg.RegisterFunc("tcq_tuple_pool_drops_total", metrics.KindCounter, func() float64 {
 		return float64(e.recycler.Stats().Drops)
+	})
+	e.reg.RegisterFunc("tcq_arrangement_count", metrics.KindGauge, func() float64 {
+		n, _, _, _ := e.arrReg.Totals()
+		return float64(n)
+	})
+	e.reg.RegisterFunc("tcq_arrangement_readers", metrics.KindGauge, func() float64 {
+		_, readers, _, _ := e.arrReg.Totals()
+		return float64(readers)
+	})
+	e.reg.RegisterFunc("tcq_arrangement_epoch_lag_max", metrics.KindGauge, func() float64 {
+		_, _, lag, _ := e.arrReg.Totals()
+		return float64(lag)
+	})
+	e.reg.RegisterFunc("tcq_arrangement_reclaimed_bytes_total", metrics.KindCounter, func() float64 {
+		_, _, _, bytes := e.arrReg.Totals()
+		return float64(bytes)
 	})
 	e.reg.RegisterFunc("tcq_engine_workers", metrics.KindGauge, func() float64 {
 		return float64(opts.Workers)
@@ -528,10 +560,16 @@ func (e *Engine) Stop() {
 	}
 	e.mu.Unlock()
 	for _, q := range qs {
-		e.Deregister(q.ID)
+		// Shutdown fast path: skip per-query removal from shared classes.
+		// Each RemoveQuery pays O(class members) to splice delivery lists
+		// and grouped-filter bounds — quadratic across a teardown of many
+		// overlapping CQs — and the classes are dropped wholesale below
+		// anyway.
+		e.deregister(q, false)
 	}
 	for _, sc := range scs {
 		sc.close()
+		e.arrReg.Drop(sc.key)
 	}
 	e.exec.Stop()
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"telegraphcq/internal/arrange"
 	"telegraphcq/internal/chaos"
 	"telegraphcq/internal/eddy"
 	"telegraphcq/internal/introspect"
@@ -90,7 +91,7 @@ func (rt *eddyRuntime) telemetry(owner string) ([]ModuleTelemetry, eddy.Stats) {
 
 // telemetry snapshots a shared class's engine state under the class lock.
 func (sc *sharedClass) telemetry() ([]ModuleTelemetry, eddy.Stats) {
-	owner := "shared:" + sc.stream
+	owner := "shared:" + sc.key
 	sc.mu.Lock()
 	st := sc.eng.Stats()
 	names := sc.eng.ModuleNames()
@@ -106,7 +107,7 @@ func (q *RunningQuery) Telemetry() QueryTelemetry {
 	if q.shared != nil {
 		qt.HasEddy = true
 		qt.Modules, qt.Stats = q.shared.telemetry()
-		qt.QueueDepth = q.shared.conn.Q.Len()
+		qt.QueueDepth = q.shared.queueDepth()
 		return qt
 	}
 	for _, c := range q.inputs {
@@ -339,11 +340,32 @@ func (in *introspector) tick() {
 	}
 	for _, sc := range scs {
 		mods, _ := sc.telemetry()
-		depth := sc.conn.Q.Len()
+		depth := sc.queueDepth()
 		for _, m := range mods {
-			statsRow("shared:"+sc.stream, depth, m)
+			statsRow("shared:"+sc.key, depth, m)
 		}
 	}
+
+	// One tcq.arrange row per shared arrangement per tick (none when
+	// SharedArrangements is off — the registry is empty).
+	e.arrReg.Each(func(k arrange.Key, a *arrange.Arrangement) {
+		st := a.Stats()
+		byStream[introspect.ArrangeStream] = append(byStream[introspect.ArrangeStream], &tuple.Tuple{
+			Vals: []tuple.Value{
+				tuple.Time(now),
+				tuple.String_(k.Class),
+				tuple.String_(k.Stream),
+				tuple.Int(int64(k.Shard)),
+				tuple.Int(int64(st.Readers)),
+				tuple.Int(int64(st.Epoch)),
+				tuple.Int(int64(st.Lag)),
+				tuple.Int(int64(st.Size)),
+				tuple.Int(int64(st.Retired)),
+				tuple.Int(st.ReclaimedTuples),
+				tuple.Int(st.ReclaimedBytes),
+			},
+		})
+	})
 
 	poolRow := func(name string, gets, hits, puts, drops int64) {
 		byStream[introspect.PoolStream] = append(byStream[introspect.PoolStream], &tuple.Tuple{

@@ -292,7 +292,7 @@ func (rt *parEddyRuntime) moduleProbeNanos() []int64 {
 
 // registerParMetrics exports the shard-layer series (queue depths, batch
 // sizes, merge buffer) plus the aggregate eddy counters for this query.
-func (rt *parEddyRuntime) registerParMetrics(reg *metrics.Registry) {
+func (rt *parEddyRuntime) registerParMetrics(reg queryMetrics) {
 	lbl := fmt.Sprintf(`{query="%d"}`, rt.q.ID)
 	for name, get := range map[string]func(eddy.Stats) int64{
 		"tcq_eddy_ingested_total":  func(s eddy.Stats) int64 { return s.Ingested },
@@ -306,5 +306,5 @@ func (rt *parEddyRuntime) registerParMetrics(reg *metrics.Registry) {
 			return float64(get(rt.Stats()))
 		})
 	}
-	rt.unregPar = rt.pe.RegisterMetrics(reg, fmt.Sprintf("q%d", rt.q.ID))
+	rt.unregPar = rt.pe.RegisterMetrics(rt.q.engine.reg, fmt.Sprintf("q%d", rt.q.ID))
 }

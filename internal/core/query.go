@@ -51,6 +51,12 @@ type RunningQuery struct {
 	sinkMu sync.Mutex
 	sinks  []func(*tuple.Tuple)
 
+	// metricNames lists every registry series this query registered, so
+	// teardown can unregister by exact name instead of scanning the whole
+	// registry — O(own series), not O(all series), which matters when
+	// thousands of queries deregister at once.
+	metricNames []string
+
 	results   atomic.Int64
 	doneFlag  atomic.Bool
 	doneCh    chan struct{}
@@ -91,8 +97,12 @@ func (q *RunningQuery) Results() int64 { return q.results.Load() }
 // there affect every member.
 func (q *RunningQuery) InputDrops() int64 {
 	if q.shared != nil {
-		_, dropped := q.shared.conn.Q.Stats()
-		return dropped
+		var n int64
+		for _, c := range q.shared.conns {
+			_, dropped := c.Q.Stats()
+			n += dropped
+		}
+		return n
 	}
 	var n int64
 	for _, c := range q.inputs {
@@ -160,7 +170,7 @@ func (q *RunningQuery) finish() {
 // its private eddy, or the stream's shared class when it runs inside one.
 func (q *RunningQuery) traceTag() string {
 	if q.shared != nil {
-		return "shared:" + q.shared.stream
+		return "shared:" + q.shared.key
 	}
 	return fmt.Sprintf("q%d", q.ID)
 }
@@ -168,9 +178,10 @@ func (q *RunningQuery) traceTag() string {
 // registerMetrics exports the query's observability series into the
 // engine registry. Everything is computed at scrape time from counters the
 // runtime already keeps, so registration adds no hot-path cost. All series
-// carry a query="<id>" label; unregisterMetrics removes them by that label.
+// carry a query="<id>" label and are recorded in q.metricNames so
+// unregisterMetrics can remove them by exact name.
 func (q *RunningQuery) registerMetrics() {
-	reg := q.engine.reg
+	reg := queryMetrics{q}
 	lbl := fmt.Sprintf(`{query="%d"}`, q.ID)
 	reg.RegisterFunc("tcq_query_results_total"+lbl, metrics.KindCounter, func() float64 {
 		return float64(q.Results())
@@ -257,9 +268,24 @@ func (q *RunningQuery) registerMetrics() {
 	}
 }
 
-// unregisterMetrics drops every series carrying this query's label.
+// queryMetrics records each registered series name on the query while
+// forwarding to the engine registry, so teardown knows exactly what to
+// unregister.
+type queryMetrics struct{ q *RunningQuery }
+
+// RegisterFunc forwards to the engine registry and records the name.
+func (m queryMetrics) RegisterFunc(name string, kind metrics.Kind, fn func() float64) {
+	m.q.metricNames = append(m.q.metricNames, name)
+	m.q.engine.reg.RegisterFunc(name, kind, fn)
+}
+
+// unregisterMetrics drops every series this query registered, by exact
+// name.
 func (q *RunningQuery) unregisterMetrics() {
-	q.engine.reg.UnregisterMatching(fmt.Sprintf(`query="%d"`, q.ID))
+	for _, name := range q.metricNames {
+		q.engine.reg.Unregister(name)
+	}
+	q.metricNames = nil
 }
 
 // RegisterPlan schedules a bound plan as a standing query.
@@ -282,9 +308,12 @@ func (e *Engine) RegisterPlan(plan *sql.Plan) (*RunningQuery, error) {
 	}
 	q.pull.SetRecycler(e.recycler)
 
-	// Qualifying queries share their stream's CACQ class: one grouped
-	// filter pass per tuple serves every member (§3.1).
-	if qualifiesShared(plan) {
+	// Qualifying queries share a CACQ class: one grouped-filter pass per
+	// tuple serves every selection member (§3.1), and — when shared
+	// arrangements are on — one SteM build serves every overlapping
+	// equijoin member.
+	if qualifiesShared(plan) ||
+		(e.opts.SharedArrangements && qualifiesSharedJoin(plan)) {
 		sc, err := e.sharedClassFor(plan)
 		if err != nil {
 			return nil, err
@@ -397,7 +426,16 @@ func (e *Engine) Deregister(id int) error {
 	if !ok {
 		return fmt.Errorf("core: query %d not found", id)
 	}
-	if q.shared != nil {
+	e.deregister(q, true)
+	return nil
+}
+
+// deregister tears one query down. dropShared removes it from its shared
+// class's membership and filters; Engine.Stop passes false because it
+// closes whole classes right after, making per-query removal O(members)
+// of wasted work.
+func (e *Engine) deregister(q *RunningQuery, dropShared bool) {
+	if dropShared && q.shared != nil {
 		q.shared.remove(q.ID)
 	}
 	e.detach(q)
@@ -409,7 +447,6 @@ func (e *Engine) Deregister(id int) error {
 	}
 	q.unregisterMetrics()
 	q.finish()
-	return nil
 }
 
 // tableContents returns the full contents of a static table (for FROM

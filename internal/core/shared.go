@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"telegraphcq/internal/arrange"
 	"telegraphcq/internal/cacq"
 	"telegraphcq/internal/catalog"
 	"telegraphcq/internal/chaos"
@@ -14,19 +15,26 @@ import (
 	"telegraphcq/internal/metrics"
 	"telegraphcq/internal/sql"
 	"telegraphcq/internal/tuple"
+	"telegraphcq/internal/window"
 )
 
 // sharedClass implements the paper's shared processing (§1.1, §3.1) inside
-// the SQL engine: every qualifying query over one stream — single-stream,
-// unwindowed, selection/projection only — joins the stream's CACQ engine
-// instead of getting a private eddy. One grouped-filter pass per tuple
-// then serves all of them, and queries enter and leave the running class
+// the SQL engine: qualifying queries join a CACQ engine instead of getting
+// a private eddy. Selection classes (one per stream) share one grouped-
+// filter pass per tuple among all members; with SharedArrangements on,
+// equijoin classes (one per stream-pair + join-column key) additionally
+// share one SteM build — stored in multi-reader arrangements — among every
+// overlapping join query. Queries enter and leave the running class
 // dynamically.
 type sharedClass struct {
-	stream string
-	layout *tuple.Layout
-	conn   *fjord.Conn
-	subID  int
+	// key identifies the class: the stream name for selection classes
+	// (unchanged from before join sharing existed), or
+	// "A+B|colA=colB" for shared-join classes.
+	key     string
+	streams []string // one per FROM position
+	layout  *tuple.Layout
+	conns   []*fjord.Conn // one input queue per FROM position
+	subIDs  []int
 
 	// mu guards the cacq engine and membership: the class DU steps the
 	// engine on its EO thread while Register/Deregister mutate it from
@@ -44,9 +52,11 @@ type sharedClass struct {
 // sharedEngine abstracts the execution strategy behind a shared class:
 // the sequential cacq.Engine, or — when the engine runs with Workers > 1 —
 // a cacq.Parallel partitioning the same super-query across worker shards.
-// The class is single-stream, so Seq is monotone and the parallel variant
-// runs its ordered merge: members observe the exact sequential delivery
-// order either way.
+// A selection class is single-stream, so Seq is monotone and the parallel
+// variant runs its ordered merge: members observe the exact sequential
+// delivery order either way. Join classes span streams with independent
+// sequences, so their parallel variant merges unordered (join results are
+// a multiset).
 type sharedEngine interface {
 	IngestBatch(s int, base []*tuple.Tuple)
 	AddQuery(fp tuple.SourceSet, sels []expr.Predicate, project []int, out func(*tuple.Tuple)) (*cacq.Query, error)
@@ -58,7 +68,7 @@ type sharedEngine interface {
 	ModuleProbeNanos() []int64
 }
 
-// qualifiesShared reports whether a plan can join a shared class.
+// qualifiesShared reports whether a plan can join a shared selection class.
 func qualifiesShared(plan *sql.Plan) bool {
 	return len(plan.Entries) == 1 &&
 		plan.Entries[0].Kind == catalog.Stream &&
@@ -70,41 +80,126 @@ func qualifiesShared(plan *sql.Plan) bool {
 		plan.Limit < 0
 }
 
-// sharedClassFor returns (creating if needed) the stream's shared class.
+// qualifiesSharedJoin reports whether a plan can join a shared-arrangement
+// join class: an unwindowed two-stream single-equijoin select (no
+// aggregates/ordering/limit/distinct, no self-join — one stream feeding two
+// FROM positions would need per-position lineage the class key can't
+// express). Only consulted when Options.SharedArrangements is on.
+func qualifiesSharedJoin(plan *sql.Plan) bool {
+	if len(plan.Entries) != 2 ||
+		plan.Entries[0].Kind != catalog.Stream ||
+		plan.Entries[1].Kind != catalog.Stream ||
+		plan.Entries[0].Name == plan.Entries[1].Name ||
+		plan.Loop != nil || plan.HasAgg() || len(plan.GroupBy) > 0 ||
+		plan.Distinct || plan.OrderCol >= 0 || plan.Limit >= 0 ||
+		len(plan.Joins) != 1 {
+		return false
+	}
+	return plan.Joins[0].Op == expr.Eq
+}
+
+// sharedClassSpec derives a plan's class identity: the key, the stream per
+// FROM position, and the shared join edges. Plans with the same key are
+// layout-compatible (same FROM order, schemas, and join columns), which is
+// what makes delivering one engine's wide rows to every member sound.
+func sharedClassSpec(plan *sql.Plan) (key string, streams []string, joins []cacq.JoinSpec) {
+	for _, entry := range plan.Entries {
+		streams = append(streams, entry.Name)
+	}
+	if len(plan.Joins) == 0 {
+		return streams[0], streams, nil
+	}
+	j := plan.Joins[0]
+	key = fmt.Sprintf("%s+%s|%d=%d", streams[0], streams[1], j.ColA, j.ColB)
+	joins = []cacq.JoinSpec{{
+		StreamA: j.StreamA, StreamB: j.StreamB,
+		ColA: j.ColA, ColB: j.ColB,
+		TimeKind: plan.TimeKind,
+	}}
+	return key, streams, joins
+}
+
+// arrangedProvider returns the shard-scoped arrangement factory for a
+// class: arrangements live in the engine registry keyed on
+// (class, stream, shard), so metrics and introspection can enumerate them
+// and re-asking for the same key returns the same backing state.
+func (e *Engine) arrangedProvider(key string, shard int) func(stream string, keyCol int, kind window.TimeKind) *arrange.Arrangement {
+	return func(stream string, keyCol int, kind window.TimeKind) *arrange.Arrangement {
+		return e.arrReg.GetOrCreate(
+			arrange.Key{Class: key, Stream: stream, Shard: shard},
+			arrange.Options{
+				Name:     stream,
+				KeyCol:   keyCol,
+				Windowed: true,
+				TimeKind: kind,
+				Recycler: e.recycler,
+			})
+	}
+}
+
+// sharedClassFor returns (creating if needed) the plan's shared class.
 func (e *Engine) sharedClassFor(plan *sql.Plan) (*sharedClass, error) {
-	name := plan.Entries[0].Name
+	key, streams, joins := sharedClassSpec(plan)
 	e.mu.Lock()
-	if sc, ok := e.shared[name]; ok {
+	if sc, ok := e.shared[key]; ok {
 		e.mu.Unlock()
 		return sc, nil
 	}
 	e.mu.Unlock()
 
-	st, err := e.stream(name)
-	if err != nil {
-		return nil, err
+	sts := make([]*streamState, len(streams))
+	for i, name := range streams {
+		st, err := e.stream(name)
+		if err != nil {
+			return nil, err
+		}
+		sts[i] = st
 	}
 	sc := &sharedClass{
-		stream:   name,
+		key:      key,
+		streams:  streams,
 		layout:   plan.Layout,
-		conn:     fjord.NewConn(fjord.Push, e.opts.QueueCap),
 		members:  make(map[int]int),
 		batch:    256,
 		buf:      make([]*tuple.Tuple, e.opts.BatchSize),
 		recycler: e.recycler,
 	}
+	for range streams {
+		sc.conns = append(sc.conns, fjord.NewConn(fjord.Push, e.opts.QueueCap))
+	}
 	if e.opts.Workers > 1 {
-		par, err := cacq.NewParallelEngine(plan.Layout, nil, cacq.ParallelOptions{
+		popt := cacq.ParallelOptions{
 			Workers:   e.opts.Workers,
 			BatchSize: e.opts.BatchSize,
-			Ordered:   true, // single stream: Seq is monotone
-		})
+			// Single stream: Seq is monotone, merge ordered. Join classes
+			// span independently-sequenced streams; their results are a
+			// multiset, merged unordered.
+			Ordered: len(joins) == 0,
+		}
+		if e.opts.SharedArrangements {
+			popt.Arranged = func(shard int) *cacq.ArrangedConfig {
+				return &cacq.ArrangedConfig{Provider: e.arrangedProvider(key, shard)}
+			}
+		}
+		par, err := cacq.NewParallelEngine(plan.Layout, joins, popt)
 		if err != nil {
 			return nil, err
 		}
 		sc.eng = par
+	} else if e.opts.SharedArrangements {
+		seq, err := cacq.NewArranged(plan.Layout, joins, eddy.NewLotteryPolicy(1), cacq.ArrangedConfig{
+			Provider: e.arrangedProvider(key, -1),
+			// The sequential step is fully synchronous, so freed lineage
+			// slots can be scrubbed and reused — bitmaps stay dense under
+			// query churn.
+			ReuseSlots: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sc.eng = seq
 	} else {
-		seq, err := cacq.New(plan.Layout, nil, eddy.NewLotteryPolicy(1))
+		seq, err := cacq.New(plan.Layout, joins, eddy.NewLotteryPolicy(1))
 		if err != nil {
 			return nil, err
 		}
@@ -112,32 +207,40 @@ func (e *Engine) sharedClassFor(plan *sql.Plan) (*sharedClass, error) {
 	}
 
 	e.mu.Lock()
-	if existing, raced := e.shared[name]; raced {
+	if existing, raced := e.shared[key]; raced {
 		e.mu.Unlock()
-		sc.conn.Close()
+		for _, c := range sc.conns {
+			c.Close()
+		}
+		if cl, ok := sc.eng.(interface{ Close() }); ok {
+			cl.Close()
+		}
 		return existing, nil
 	}
-	e.shared[name] = sc
-	sub := e.nextSub
-	e.nextSub++
+	e.shared[key] = sc
+	subBase := e.nextSub
+	e.nextSub += len(streams)
 	e.mu.Unlock()
 
-	sc.subID = sub
-	st.mu.Lock()
-	st.subs[sub] = sc.conn
-	st.mu.Unlock()
+	for i, st := range sts {
+		sub := subBase + i
+		sc.subIDs = append(sc.subIDs, sub)
+		st.mu.Lock()
+		st.subs[sub] = sc.conns[i]
+		st.mu.Unlock()
+	}
 
 	if e.tracer != nil {
 		// Tracing follows individual tuples through one eddy's hops; only
 		// the sequential engine offers it (shards would interleave hops).
 		if seq, ok := sc.eng.(*cacq.Engine); ok {
-			seq.SetTracer(e.tracer, "shared:"+name)
+			seq.SetTracer(e.tracer, "shared:"+key)
 		}
 	}
 	if e.opts.Introspect {
 		sc.eng.SetProbeTimer(e.opts.Clock, 0)
 	}
-	lbl := fmt.Sprintf(`{stream=%q}`, name)
+	lbl := fmt.Sprintf(`{stream=%q}`, key)
 	classStat := func(get func() float64) func() float64 {
 		return func() float64 {
 			sc.mu.Lock()
@@ -154,8 +257,8 @@ func (e *Engine) sharedClassFor(plan *sql.Plan) (*sharedClass, error) {
 	e.reg.RegisterFunc("tcq_cacq_lineage_dropped_total"+lbl, metrics.KindCounter,
 		classStat(func() float64 { return float64(sc.eng.Stats().Dropped) }))
 
-	e.exec.Submit([]string{name}, &executor.FuncDU{
-		DUName: "shared:" + name,
+	e.exec.Submit(streams, &executor.FuncDU{
+		DUName: "shared:" + key,
 		Fn:     sc.step,
 	})
 	return sc, nil
@@ -165,31 +268,38 @@ func (e *Engine) sharedClassFor(plan *sql.Plan) (*sharedClass, error) {
 // one lineage-template lookup and one eddy entry per batch instead of per
 // tuple. In the parallel configuration it flushes partial shard batches at
 // the end of the step (so trickle traffic is not held back by batch
-// boundaries). Each subscriber clone is recycled once the engine has
-// widened it — history retains the original, not the clone.
+// boundaries); an arranged engine additionally seals one arrangement epoch
+// per progressed step, releasing retired state for reclamation. Each
+// subscriber clone is recycled once the engine has widened it — history
+// retains the original, not the clone.
 func (sc *sharedClass) step() (progressed, done bool) {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
-	for taken := 0; taken < sc.batch; {
-		n := sc.conn.RecvBatch(sc.buf)
-		if n == 0 {
-			break
-		}
-		taken += n
-		progressed = true
-		sc.eng.IngestBatch(0, sc.buf[:n])
-		if sc.recycler != nil {
-			for i := 0; i < n; i++ {
-				sc.recycler.Put(sc.buf[i])
+	for s, conn := range sc.conns {
+		for taken := 0; taken < sc.batch; {
+			n := conn.RecvBatch(sc.buf)
+			if n == 0 {
+				break
 			}
-		}
-		for i := 0; i < n; i++ {
-			sc.buf[i] = nil
+			taken += n
+			progressed = true
+			sc.eng.IngestBatch(s, sc.buf[:n])
+			if sc.recycler != nil {
+				for i := 0; i < n; i++ {
+					sc.recycler.Put(sc.buf[i])
+				}
+			}
+			for i := 0; i < n; i++ {
+				sc.buf[i] = nil
+			}
 		}
 	}
 	if progressed {
 		if fl, ok := sc.eng.(interface{ Flush() }); ok {
 			fl.Flush()
+		}
+		if ae, ok := sc.eng.(interface{ AdvanceEpoch() }); ok {
+			ae.AdvanceEpoch()
 		}
 	}
 	return progressed, false
@@ -209,7 +319,7 @@ func (sc *sharedClass) close() {
 func (sc *sharedClass) add(q *RunningQuery, plan *sql.Plan) error {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
-	cq, err := sc.eng.AddQuery(tuple.SingleSource(0), plan.Selections, plan.Project,
+	cq, err := sc.eng.AddQuery(plan.Footprint, plan.Selections, plan.Project,
 		func(t *tuple.Tuple) { q.emit(t) })
 	if err != nil {
 		return err
@@ -228,12 +338,21 @@ func (sc *sharedClass) remove(queryID int) {
 	}
 }
 
-// SharedStats exposes the shared engine's eddy counters for a stream
-// (zero Stats when no shared class exists — e.g. only non-qualifying
-// queries are registered).
-func (e *Engine) SharedStats(stream string) eddy.Stats {
+// queueDepth sums the class's pending input across its queues.
+func (sc *sharedClass) queueDepth() int {
+	depth := 0
+	for _, c := range sc.conns {
+		depth += c.Q.Len()
+	}
+	return depth
+}
+
+// SharedStats exposes the shared engine's eddy counters for a class key —
+// the stream name for selection classes, "A+B|colA=colB" for join classes
+// (zero Stats when no such class exists).
+func (e *Engine) SharedStats(key string) eddy.Stats {
 	e.mu.Lock()
-	sc, ok := e.shared[stream]
+	sc, ok := e.shared[key]
 	e.mu.Unlock()
 	if !ok {
 		return eddy.Stats{}
@@ -243,11 +362,10 @@ func (e *Engine) SharedStats(stream string) eddy.Stats {
 	return sc.eng.Stats()
 }
 
-// SharedQueryCount reports how many standing queries share a stream's
-// class.
-func (e *Engine) SharedQueryCount(stream string) int {
+// SharedQueryCount reports how many standing queries share a class.
+func (e *Engine) SharedQueryCount(key string) int {
 	e.mu.Lock()
-	sc, ok := e.shared[stream]
+	sc, ok := e.shared[key]
 	e.mu.Unlock()
 	if !ok {
 		return 0

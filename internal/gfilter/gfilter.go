@@ -51,8 +51,16 @@ type GroupedFilter struct {
 	ne      map[uint64][]bound
 	eqCount map[int]int // query -> number of equality factors
 
-	gtSuffix []tuple.Bitset // gtSuffix[i] = union of queries in gt[i:]
-	ltPrefix []tuple.Bitset // ltPrefix[i] = union of queries in lt[:i]
+	// Suffix/prefix unions are kept only at chunk boundaries: a full
+	// per-index union table costs O(factors · queries/64) memory, which at
+	// 100k factors is gigabytes. With boundary unions every chunkSize
+	// factors (chunk grows with the index so there are at most ~65
+	// boundaries), Failing pays O(chunk) individual Set calls to cover the
+	// partial chunk — O(F/64) time for O(Q) memory.
+	gtChunk  int
+	gtSuffix []tuple.Bitset // gtSuffix[k] = union of queries in gt[k*gtChunk:]
+	ltChunk  int
+	ltPrefix []tuple.Bitset // ltPrefix[k] = union of queries in lt[:k*ltChunk]
 	eqAll    tuple.Bitset   // all queries with equality factors
 
 	registered tuple.Bitset // every query with >= 1 factor here
@@ -143,7 +151,18 @@ func removeQuery(bs []bound, q int) []bound {
 	return out
 }
 
-// rebuild sorts the ordered sub-indexes and recomputes the running-union
+// chunkSize picks the union-boundary spacing for an ordered sub-index of n
+// factors: at least 64, growing with n so the boundary count stays ~64 and
+// union memory stays O(queries) rather than O(factors · queries).
+func chunkSize(n int) int {
+	c := (n + 63) / 64
+	if c < 64 {
+		c = 64
+	}
+	return c
+}
+
+// rebuild sorts the ordered sub-indexes and recomputes the boundary-union
 // bitsets. Amortized over many tuples per registration change.
 func (g *GroupedFilter) rebuild() {
 	words := g.maxQuery/64 + 1
@@ -158,12 +177,20 @@ func (g *GroupedFilter) rebuild() {
 		}
 		return !g.gt[i].strict && g.gt[j].strict
 	})
-	g.gtSuffix = make([]tuple.Bitset, len(g.gt)+1)
-	g.gtSuffix[len(g.gt)] = make(tuple.Bitset, words)
-	for i := len(g.gt) - 1; i >= 0; i-- {
-		bs := g.gtSuffix[i+1].Clone()
-		bs.Set(g.gt[i].query)
-		g.gtSuffix[i] = bs
+	g.gtChunk = chunkSize(len(g.gt))
+	nk := (len(g.gt) + g.gtChunk - 1) / g.gtChunk
+	g.gtSuffix = make([]tuple.Bitset, nk+1)
+	g.gtSuffix[nk] = make(tuple.Bitset, words)
+	for k := nk - 1; k >= 0; k-- {
+		bs := g.gtSuffix[k+1].Clone()
+		hi := (k + 1) * g.gtChunk
+		if hi > len(g.gt) {
+			hi = len(g.gt)
+		}
+		for i := k * g.gtChunk; i < hi; i++ {
+			bs.Set(g.gt[i].query)
+		}
+		g.gtSuffix[k] = bs
 	}
 
 	// lt: ascending by value; at equal values, strict (<) first so the
@@ -175,12 +202,20 @@ func (g *GroupedFilter) rebuild() {
 		}
 		return g.lt[i].strict && !g.lt[j].strict
 	})
-	g.ltPrefix = make([]tuple.Bitset, len(g.lt)+1)
+	g.ltChunk = chunkSize(len(g.lt))
+	nk = (len(g.lt) + g.ltChunk - 1) / g.ltChunk
+	g.ltPrefix = make([]tuple.Bitset, nk+1)
 	g.ltPrefix[0] = make(tuple.Bitset, words)
-	for i := 0; i < len(g.lt); i++ {
-		bs := g.ltPrefix[i].Clone()
-		bs.Set(g.lt[i].query)
-		g.ltPrefix[i+1] = bs
+	for k := 1; k <= nk; k++ {
+		bs := g.ltPrefix[k-1].Clone()
+		hi := k * g.ltChunk
+		if hi > len(g.lt) {
+			hi = len(g.lt)
+		}
+		for i := (k - 1) * g.ltChunk; i < hi; i++ {
+			bs.Set(g.lt[i].query)
+		}
+		g.ltPrefix[k] = bs
 	}
 
 	g.eqAll = make(tuple.Bitset, words)
@@ -208,20 +243,34 @@ func (g *GroupedFilter) Failing(v tuple.Value) tuple.Bitset {
 	}
 
 	// Greater-than: fails iff v < c || (v == c && strict). First index
-	// where that holds begins the failing suffix.
+	// where that holds begins the failing suffix: union from the next
+	// chunk boundary, then the stragglers up to it individually.
 	i := sort.Search(len(g.gt), func(i int) bool {
 		c := tuple.Compare(v, g.gt[i].val)
 		return c < 0 || (c == 0 && g.gt[i].strict)
 	})
-	f.Or(g.gtSuffix[i])
+	k := (i + g.gtChunk - 1) / g.gtChunk
+	f.Or(g.gtSuffix[k])
+	hi := k * g.gtChunk
+	if hi > len(g.gt) {
+		hi = len(g.gt)
+	}
+	for idx := i; idx < hi; idx++ {
+		f.Set(g.gt[idx].query)
+	}
 
 	// Less-than: fails iff v > c || (v == c && strict). The failing
-	// prefix ends at the first index where the factor HOLDS.
+	// prefix ends at the first index where the factor HOLDS: union up to
+	// the last chunk boundary before it, stragglers individually.
 	j := sort.Search(len(g.lt), func(i int) bool {
 		c := tuple.Compare(v, g.lt[i].val)
 		return !(c > 0 || (c == 0 && g.lt[i].strict))
 	})
-	f.Or(g.ltPrefix[j])
+	k = j / g.ltChunk
+	f.Or(g.ltPrefix[k])
+	for idx := k * g.ltChunk; idx < j; idx++ {
+		f.Set(g.lt[idx].query)
+	}
 
 	// Equality: every eq query fails except those whose constant is v.
 	// Failures are computed in a separate scratch set so that clearing a

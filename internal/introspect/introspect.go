@@ -30,6 +30,10 @@ const (
 	PoolStream = "tcq.pool"
 	// ChaosStream carries one row per injected fault event.
 	ChaosStream = "tcq.chaos"
+	// ArrangeStream carries one row per shared arrangement per tick:
+	// reader count, epoch/cursor lag, stored and retired tuple counts,
+	// and reclamation volume.
+	ArrangeStream = "tcq.arrange"
 )
 
 // Prefix is the reserved name prefix for introspection streams.
@@ -86,13 +90,31 @@ func ChaosSchema() *tuple.Schema {
 	)
 }
 
+// ArrangeSchema returns the tcq.arrange schema.
+func ArrangeSchema() *tuple.Schema {
+	return tuple.NewSchema(ArrangeStream,
+		tuple.Column{Name: "ts", Kind: tuple.KindTime},
+		tuple.Column{Name: "class", Kind: tuple.KindString},
+		tuple.Column{Name: "arrangement", Kind: tuple.KindString},
+		tuple.Column{Name: "shard", Kind: tuple.KindInt},
+		tuple.Column{Name: "readers", Kind: tuple.KindInt},
+		tuple.Column{Name: "epoch", Kind: tuple.KindInt},
+		tuple.Column{Name: "epoch_lag", Kind: tuple.KindInt},
+		tuple.Column{Name: "size", Kind: tuple.KindInt},
+		tuple.Column{Name: "retired", Kind: tuple.KindInt},
+		tuple.Column{Name: "reclaimed_tuples", Kind: tuple.KindInt},
+		tuple.Column{Name: "reclaimed_bytes", Kind: tuple.KindInt},
+	)
+}
+
 // Schemas returns every introspection stream's schema, keyed by name.
 func Schemas() map[string]*tuple.Schema {
 	return map[string]*tuple.Schema{
-		StatsStream:  StatsSchema(),
-		RoutesStream: RoutesSchema(),
-		PoolStream:   PoolSchema(),
-		ChaosStream:  ChaosSchema(),
+		StatsStream:   StatsSchema(),
+		RoutesStream:  RoutesSchema(),
+		PoolStream:    PoolSchema(),
+		ChaosStream:   ChaosSchema(),
+		ArrangeStream: ArrangeSchema(),
 	}
 }
 

@@ -74,10 +74,24 @@ func MetricCheck() *lint.Analyzer {
 				if !ok || len(call.Args) <= argIdx {
 					return true
 				}
-				if recv := recvNamed(f); recv == nil || !isNamedType(recv, modulePath+"/internal/metrics", "Registry") {
+				recv := recvNamed(f)
+				if recv == nil {
+					return true
+				}
+				// Besides the registry itself, hold registrar forwarders —
+				// any type exposing a same-shaped RegisterFunc that records
+				// and forwards (e.g. core's per-query series recorder) — to
+				// the same rules at their call sites.
+				if !isNamedType(recv, modulePath+"/internal/metrics", "Registry") && f.Name() != "RegisterFunc" {
 					return true
 				}
 				arg := call.Args[argIdx]
+				// The single pass-through call inside such a forwarder is
+				// exempt: its name is the forwarder's own parameter, already
+				// checked wherever the forwarder was called.
+				if decl.Name != nil && decl.Name.Name == "RegisterFunc" && isParamIdent(decl, arg) {
+					return true
+				}
 				prefixes, complete := metricNamePrefixes(pass, decl, arg)
 				if len(prefixes) == 0 {
 					pass.Reportf(arg.Pos(),
@@ -140,6 +154,23 @@ func MetricCheck() *lint.Analyzer {
 
 // checkMetricName validates one resolved name (or prefix) of a Registry
 // call argument.
+// isParamIdent reports whether arg is a bare identifier naming one of
+// decl's parameters (the registrar-forwarder pass-through shape).
+func isParamIdent(decl *ast.FuncDecl, arg ast.Expr) bool {
+	id, ok := arg.(*ast.Ident)
+	if !ok || decl.Type.Params == nil {
+		return false
+	}
+	for _, field := range decl.Type.Params.List {
+		for _, n := range field.Names {
+			if n.Name == id.Name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 func checkMetricName(pass *lint.Pass, pos token.Pos, method, name string, complete bool) {
 	fam := familyOf(name)
 	if complete || fam != name {

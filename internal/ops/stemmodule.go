@@ -56,8 +56,15 @@ func (m *SteMModule) SetProbeTimer(clk chaos.Clock, every int) { m.stem.SetProbe
 // ProbeNanos returns the wrapped SteM's sampled probe latency EWMA.
 func (m *SteMModule) ProbeNanos() int64 { return m.stem.Stats().ProbeNanos }
 
-// Name implements eddy.Module.
-func (m *SteMModule) Name() string { return "SteM(" + m.stem.Name() + ")" }
+// Name implements eddy.Module. A SteM front over a shared arrangement
+// reports as Arr(...) so introspection (tcq.stats, EXPLAIN, TOP) shows
+// which state is shared.
+func (m *SteMModule) Name() string {
+	if m.stem.Shared() {
+		return "Arr(" + m.stem.Name() + ")"
+	}
+	return "SteM(" + m.stem.Name() + ")"
+}
 
 // BuildsFor implements eddy.Builder.
 func (m *SteMModule) BuildsFor(src tuple.SourceSet) bool { return src == m.stem.Spans() }

@@ -18,6 +18,24 @@ import (
 	"telegraphcq/internal/window"
 )
 
+// Store abstracts the SteM's tuple storage so it can be swapped for a
+// shared arrangement (internal/arrange): a multi-reader index built once
+// and probed by many queries' SteM fronts. The default SteM owns its
+// private index/buffer; WithStore delegates storage to an external Store
+// while the SteM keeps its per-instance counters and probe timing.
+type Store interface {
+	// Insert adds build tuples.
+	Insert(ts []*tuple.Tuple)
+	// Lookup emits stored tuples whose key column hashes to hash.
+	Lookup(hash uint64, emit func(*tuple.Tuple))
+	// Scan emits all stored tuples in time/insertion order.
+	Scan(emit func(*tuple.Tuple))
+	// Evict drops tuples with window time strictly below watermark.
+	Evict(watermark int64) int
+	// Len is the stored tuple count.
+	Len() int
+}
+
 // SteM is a state module. It is not safe for concurrent use: within an
 // eddy, SteMs are invoked synchronously from the routing loop (the paper's
 // non-preemptive Dispatch Unit model); Flux partitions SteMs across
@@ -26,6 +44,10 @@ type SteM struct {
 	name   string
 	spans  tuple.SourceSet // stream set of stored tuples
 	layout *tuple.Layout
+
+	// store, when set, replaces the private index/buffer below with a
+	// shared arrangement; probes and builds delegate to it.
+	store Store
 
 	// keyCol is the wide-row slot the hash index is built on (the join
 	// attribute); -1 disables indexing and probes scan.
@@ -65,6 +87,14 @@ func WithWindowEviction(kind window.TimeKind) Option {
 	}
 }
 
+// WithStore delegates tuple storage to st — typically a shared arrangement
+// serving many queries' SteMs — instead of a private index/buffer. The SteM
+// remains the validation/probe front: spans checks, predicate verification,
+// merge construction, and counters stay per-SteM; only storage is shared.
+func WithStore(st Store) Option {
+	return func(s *SteM) { s.store = st }
+}
+
 // New creates a SteM named name holding tuples that span the stream set
 // spans under the given layout.
 func New(name string, spans tuple.SourceSet, layout *tuple.Layout, opts ...Option) *SteM {
@@ -77,11 +107,13 @@ func New(name string, spans tuple.SourceSet, layout *tuple.Layout, opts ...Optio
 	for _, o := range opts {
 		o(s)
 	}
-	if s.keyCol >= 0 {
-		s.index = make(map[uint64][]*tuple.Tuple)
-	}
-	if s.windowed {
-		s.all = window.NewBuffer(s.timeKind)
+	if s.store == nil {
+		if s.keyCol >= 0 {
+			s.index = make(map[uint64][]*tuple.Tuple)
+		}
+		if s.windowed {
+			s.all = window.NewBuffer(s.timeKind)
+		}
 	}
 	return s
 }
@@ -92,8 +124,14 @@ func (s *SteM) Name() string { return s.name }
 // Spans returns the stream set of stored tuples.
 func (s *SteM) Spans() tuple.SourceSet { return s.spans }
 
+// Shared reports whether storage is delegated to an external Store.
+func (s *SteM) Shared() bool { return s.store != nil }
+
 // Size returns the number of stored tuples.
 func (s *SteM) Size() int {
+	if s.store != nil {
+		return s.store.Len()
+	}
 	if s.windowed {
 		return s.all.Len()
 	}
@@ -155,6 +193,10 @@ func (s *SteM) Build(t *tuple.Tuple) error {
 		return fmt.Errorf("stem %s: build tuple spans %b, want %b", s.name, t.Source, s.spans)
 	}
 	s.builds++
+	if s.store != nil {
+		s.store.Insert([]*tuple.Tuple{t})
+		return nil
+	}
 	if s.keyCol >= 0 {
 		h := t.Vals[s.keyCol].Hash()
 		s.index[h] = append(s.index[h], t)
@@ -176,6 +218,10 @@ func (s *SteM) BuildBatch(ts []*tuple.Tuple) error {
 		}
 	}
 	s.builds += int64(len(ts))
+	if s.store != nil {
+		s.store.Insert(ts)
+		return nil
+	}
 	if s.keyCol >= 0 {
 		for _, t := range ts {
 			h := t.Vals[s.keyCol].Hash()
@@ -202,30 +248,20 @@ func (s *SteM) ProbeBatch(ps []*tuple.Tuple, probeKey int, preds []expr.JoinPred
 	before := len(out)
 	indexed := s.keyCol >= 0 && probeKey >= 0
 	for _, p := range ps {
-		if indexed {
-			for _, cand := range s.index[p.Vals[probeKey].Hash()] {
-				ok := true
-				for _, jp := range preds {
-					if !jp.Eval(p, cand) {
-						ok = false
-						break
-					}
-				}
-				if ok {
-					out = append(out, s.layout.Merge(p, cand))
-				}
-			}
-			continue
-		}
 		pp := p
-		s.scan(func(cand *tuple.Tuple) {
+		emit := func(cand *tuple.Tuple) {
 			for _, jp := range preds {
 				if !jp.Eval(pp, cand) {
 					return
 				}
 			}
 			out = append(out, s.layout.Merge(pp, cand))
-		})
+		}
+		if indexed {
+			s.lookup(pp.Vals[probeKey].Hash(), emit)
+		} else {
+			s.scan(emit)
+		}
 	}
 	s.matches += int64(len(out) - before)
 	return out
@@ -251,9 +287,7 @@ func (s *SteM) Probe(p *tuple.Tuple, probeKey int, preds []expr.JoinPredicate) [
 		out = append(out, s.layout.Merge(p, cand))
 	}
 	if s.keyCol >= 0 && probeKey >= 0 {
-		for _, cand := range s.index[p.Vals[probeKey].Hash()] {
-			emit(cand)
-		}
+		s.lookup(p.Vals[probeKey].Hash(), emit)
 	} else {
 		s.scan(emit)
 	}
@@ -264,6 +298,9 @@ func (s *SteM) Probe(p *tuple.Tuple, probeKey int, preds []expr.JoinPredicate) [
 // ProbeRange returns merged matches whose time falls within [left, right];
 // only valid for window-evicting SteMs. Join predicates still verify.
 func (s *SteM) ProbeRange(p *tuple.Tuple, left, right int64, preds []expr.JoinPredicate) []*tuple.Tuple {
+	if s.store != nil {
+		panic("stem: ProbeRange on shared-store SteM")
+	}
 	if !s.windowed {
 		panic("stem: ProbeRange on non-windowed SteM")
 	}
@@ -285,7 +322,23 @@ func (s *SteM) ProbeRange(p *tuple.Tuple, left, right int64, preds []expr.JoinPr
 	return out
 }
 
+// lookup emits every stored candidate under hash, from the shared store or
+// the private index.
+func (s *SteM) lookup(hash uint64, emit func(*tuple.Tuple)) {
+	if s.store != nil {
+		s.store.Lookup(hash, emit)
+		return
+	}
+	for _, cand := range s.index[hash] {
+		emit(cand)
+	}
+}
+
 func (s *SteM) scan(emit func(*tuple.Tuple)) {
+	if s.store != nil {
+		s.store.Scan(emit)
+		return
+	}
 	if s.windowed {
 		for _, t := range s.all.Range(-1<<62, 1<<62) {
 			emit(t)
@@ -300,6 +353,11 @@ func (s *SteM) scan(emit func(*tuple.Tuple)) {
 // Evict removes stored tuples older than watermark (window time). It
 // rebuilds the hash index; amortize by evicting in batches.
 func (s *SteM) Evict(watermark int64) int {
+	if s.store != nil {
+		n := s.store.Evict(watermark)
+		s.evicted += int64(n)
+		return n
+	}
 	if !s.windowed {
 		return 0
 	}
@@ -340,8 +398,12 @@ func (s *SteM) Drain() []*tuple.Tuple {
 	return out
 }
 
-// Reset clears all state.
+// Reset clears all state. Disallowed on shared-store SteMs: the store
+// serves other readers that a reset would silently wipe.
 func (s *SteM) Reset() {
+	if s.store != nil {
+		panic("stem: Reset on shared-store SteM")
+	}
 	if s.keyCol >= 0 {
 		s.index = make(map[uint64][]*tuple.Tuple)
 	}

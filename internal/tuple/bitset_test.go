@@ -1,0 +1,136 @@
+package tuple
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBitsetSetClearTest(t *testing.T) {
+	var b Bitset
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 1000} {
+		if b.Test(i) {
+			t.Fatalf("bit %d set in empty bitset", i)
+		}
+		b.Set(i)
+		if !b.Test(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+		b.Clear(i)
+		if b.Test(i) {
+			t.Fatalf("bit %d set after Clear", i)
+		}
+	}
+	// Clear past the end must not grow or panic.
+	var short Bitset
+	short.Set(3)
+	short.Clear(500)
+	if len(short) != 1 {
+		t.Fatalf("Clear grew the bitset to %d words", len(short))
+	}
+}
+
+func TestBitsetSetAllBoundaries(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 128, 130} {
+		var b Bitset
+		b.Set(200) // pre-existing garbage beyond n must be wiped
+		b.SetAll(n)
+		if got := b.Count(); got != n {
+			t.Fatalf("SetAll(%d).Count() = %d", n, got)
+		}
+		if b.Test(n) {
+			t.Fatalf("SetAll(%d) set bit %d", n, n)
+		}
+	}
+}
+
+// TestBitsetProperties cross-checks Set/Clear/And/Or/Count/ForEach against a
+// map[int]bool model over random operation sequences, including indexes that
+// straddle word boundaries.
+func TestBitsetProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		var b Bitset
+		model := map[int]bool{}
+		for op := 0; op < 100; op++ {
+			i := rng.Intn(300)
+			if rng.Intn(2) == 0 {
+				b.Set(i)
+				model[i] = true
+			} else {
+				b.Clear(i)
+				delete(model, i)
+			}
+		}
+		if b.Count() != len(model) {
+			t.Fatalf("trial %d: Count=%d model=%d", trial, b.Count(), len(model))
+		}
+		if b.Any() != (len(model) > 0) {
+			t.Fatalf("trial %d: Any=%v model=%d", trial, b.Any(), len(model))
+		}
+		for i := 0; i < 300; i++ {
+			if b.Test(i) != model[i] {
+				t.Fatalf("trial %d: bit %d = %v, model %v", trial, i, b.Test(i), model[i])
+			}
+		}
+		var visited []int
+		b.ForEach(func(i int) { visited = append(visited, i) })
+		if len(visited) != len(model) {
+			t.Fatalf("trial %d: ForEach visited %d, model %d", trial, len(visited), len(model))
+		}
+		for k, i := range visited {
+			if !model[i] {
+				t.Fatalf("trial %d: ForEach visited unset bit %d", trial, i)
+			}
+			if k > 0 && visited[k-1] >= i {
+				t.Fatalf("trial %d: ForEach out of order: %v", trial, visited)
+			}
+		}
+	}
+}
+
+// TestBitsetAlgebra checks union/intersection against the model: Or is set
+// union (growing the receiver), And is intersection (bits beyond the other
+// operand clear).
+func TestBitsetAlgebra(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randSet := func() (Bitset, map[int]bool) {
+		var b Bitset
+		m := map[int]bool{}
+		for k := 0; k < rng.Intn(40); k++ {
+			i := rng.Intn(256)
+			b.Set(i)
+			m[i] = true
+		}
+		return b, m
+	}
+	for trial := 0; trial < 200; trial++ {
+		x, mx := randSet()
+		y, my := randSet()
+
+		u := x.Clone()
+		u.Or(y)
+		for i := 0; i < 256; i++ {
+			if u.Test(i) != (mx[i] || my[i]) {
+				t.Fatalf("trial %d: Or bit %d = %v, want %v", trial, i, u.Test(i), mx[i] || my[i])
+			}
+		}
+
+		n := x.Clone()
+		n.And(y)
+		for i := 0; i < 256; i++ {
+			if n.Test(i) != (mx[i] && my[i]) {
+				t.Fatalf("trial %d: And bit %d = %v, want %v", trial, i, n.Test(i), mx[i] && my[i])
+			}
+		}
+
+		// Clone independence: mutating the clone leaves the original alone.
+		c := x.Clone()
+		c.Set(255)
+		c.Clear(0)
+		for i := 0; i < 256; i++ {
+			if x.Test(i) != mx[i] {
+				t.Fatalf("trial %d: Clone mutation leaked into original at bit %d", trial, i)
+			}
+		}
+	}
+}

@@ -3,9 +3,9 @@
 # failures are attributable at a glance:
 #
 #   check.sh lint    docs/gofmt/vet, tcqlint (blocking), staticcheck (if installed)
-#   check.sh test    build + full test suite
+#   check.sh test    build + full test suite, arrangement coverage floor
 #   check.sh race    race-instrumented suite, chaos campaign, E13 workload, fuzz smoke
-#   check.sh bench   bench smoke: E15 introspection-overhead regression gate
+#   check.sh bench   bench smoke: E15 introspection + E16 shared-arrangement gates
 #   check.sh [all]   every stage in order
 set -eu
 cd "$(dirname "$0")/.."
@@ -61,6 +61,21 @@ stage_test() {
 
     echo "==> go test ./..."
     go test ./...
+
+    # The arrangement layer is the engine's shared-state backbone: one
+    # writer, many cursors, epoch-deferred frees. Hold its line coverage to
+    # a floor so the cursor/epoch protocol never drifts out from under its
+    # tests.
+    echo "==> coverage floor: internal/arrange >= 85%"
+    profile=$(mktemp)
+    go test -coverprofile="$profile" ./internal/arrange/ > /dev/null
+    cov=$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+    rm -f "$profile"
+    echo "    internal/arrange coverage: ${cov}%"
+    if awk -v c="$cov" 'BEGIN { exit !(c < 85) }'; then
+        echo "internal/arrange coverage ${cov}% is below the 85% floor" >&2
+        exit 1
+    fi
 }
 
 stage_race() {
@@ -91,6 +106,12 @@ stage_bench() {
     # hot path more than 5% throughput.
     echo "==> bench smoke: E15 introspection-overhead gate (strict, -short)"
     TCQ_BENCH_STRICT=1 go test -count=1 -short -run TestE15IntrospectionOverhead ./internal/bench/
+
+    # Smoke-sized E16 with the strict gate on: fails the build when 10x the
+    # registered overlapping CQs costs 5x+ per-tuple time or 8x+ resident
+    # memory — i.e. when the shared arrangement stops amortizing.
+    echo "==> bench smoke: E16 shared-arrangements scaling gate (strict, -short)"
+    TCQ_BENCH_STRICT=1 go test -count=1 -short -run TestE16SharedArrangementsScaling ./internal/bench/
 }
 
 stage="${1:-all}"
