@@ -40,6 +40,7 @@ func main() {
 	introspect := flag.Bool("introspect", false, "register the tcq.* introspection streams (query engine telemetry with ordinary CQs; enables live EXPLAIN <qid> and TOP)")
 	introInterval := flag.Duration("introspect-interval", 250*time.Millisecond, "telemetry sampling period for the tcq.* streams")
 	shared := flag.Bool("shared", false, "share arrangements: qualifying equijoins on the same stream pair reuse one SteM build across all registered CQs")
+	columnar := flag.Bool("columnar", false, "columnar execution: eligible two-stream equijoin CQs run on struct-of-arrays blocks with arena allocation (zero-alloc hot path; requires workers=1 for the eligible queries)")
 	flag.Parse()
 
 	engine := core.NewEngine(core.Options{
@@ -51,6 +52,7 @@ func main() {
 		Introspect:         *introspect,
 		IntrospectInterval: *introInterval,
 		SharedArrangements: *shared,
+		Columnar:           *columnar,
 	})
 	defer engine.Stop()
 
@@ -59,8 +61,8 @@ func main() {
 		log.Fatalf("tcqd: %v", err)
 	}
 	defer pm.Close()
-	fmt.Printf("tcqd: listening on %s (EOs=%d workers=%d batch=%d spool=%q trace=%g introspect=%v shared=%v)\n",
-		pm.Addr(), *eos, *workers, *batch, *spool, *traceRate, *introspect, *shared)
+	fmt.Printf("tcqd: listening on %s (EOs=%d workers=%d batch=%d spool=%q trace=%g introspect=%v shared=%v columnar=%v)\n",
+		pm.Addr(), *eos, *workers, *batch, *spool, *traceRate, *introspect, *shared, *columnar)
 	if *introspect {
 		fmt.Printf("tcqd: introspection streams tcq.stats tcq.routes tcq.pool tcq.chaos (every %s)\n",
 			*introInterval)

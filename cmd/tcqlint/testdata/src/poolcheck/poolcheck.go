@@ -47,3 +47,50 @@ func deferredPut(p *tuple.Pool) int {
 	defer p.Put(t)
 	return len(t.Vals)
 }
+
+// useAfterBlockRelease reads a column of the freed block; the read is a
+// finding (at runtime it would panic on the poisoned block).
+func useAfterBlockRelease(a *tuple.Arena) int {
+	b := a.Get(2, 64)
+	b.Release()
+	return len(b.Col(0)) // want `b is used after Block\.Release freed it`
+}
+
+// useAfterArenaRelease frees through the arena; same discipline.
+func useAfterArenaRelease(a *tuple.Arena) int {
+	b := a.Get(2, 64)
+	a.Release(b)
+	return b.Len() // want `b is used after Arena\.Release freed it`
+}
+
+// doubleRelease frees the same block twice; the second call is a use.
+func doubleRelease(a *tuple.Arena) {
+	b := a.Get(1, 8)
+	b.Release()
+	b.Release() // want `b is used after Block\.Release freed it`
+}
+
+// releaseThenReget is the engine's grow-the-ingress-block idiom: the
+// variable is reassigned from the arena before the next read.
+func releaseThenReget(a *tuple.Arena, need int) int {
+	b := a.Get(2, 64)
+	if b.Cap() < need {
+		b.Release()
+		b = a.Get(2, need)
+	}
+	return b.Cap()
+}
+
+// guardedRelease confines the kill to a control-transferring block, the
+// same shape guarded uses for Pool.Put.
+func guardedRelease(a *tuple.Arena, blocks []*tuple.Block) int {
+	n := 0
+	for _, b := range blocks {
+		if b.Len() == 0 {
+			b.Release()
+			continue
+		}
+		n += b.Len()
+	}
+	return n
+}

@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"os"
+	"testing"
+)
+
+// TestE17ColumnarZeroAlloc runs the columnar hot-path experiment at smoke
+// size and checks the harness invariants: both modes complete with the
+// full (verified-identical) result multiset, and — when TCQ_BENCH_STRICT=1,
+// as the check.sh bench-smoke stage sets — the columnar runtime's
+// steady-state allocation rate stays at or below 1.0 allocs per fed tuple
+// (the zero-alloc hot path regression gate) and beats the row runtime.
+func TestE17ColumnarZeroAlloc(t *testing.T) {
+	sRows, trials := int64(20000), 3
+	if testing.Short() {
+		sRows, trials = 8000, 2
+	}
+	res, err := e17Run(sRows, 64, trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Identical {
+		t.Fatal("row and columnar result multisets differ")
+	}
+	for _, mode := range []string{"rows", "columnar"} {
+		if res.TuplesPerSec[mode] <= 0 {
+			t.Errorf("%s: tuples/s = %v", mode, res.TuplesPerSec[mode])
+		}
+	}
+	t.Logf("allocs/tuple: rows=%.2f columnar=%.2f; columnar throughput %.0f tuples/s",
+		res.AllocsPerTuple["rows"], res.AllocsPerTuple["columnar"],
+		res.TuplesPerSec["columnar"])
+	if os.Getenv("TCQ_BENCH_STRICT") == "1" {
+		if got := res.AllocsPerTuple["columnar"]; got > 1.0 {
+			t.Errorf("columnar allocs/tuple = %.2f, want <= 1.0", got)
+		}
+		if res.AllocsPerTuple["columnar"] >= res.AllocsPerTuple["rows"] {
+			t.Errorf("columnar allocs/tuple (%.2f) not below row runtime (%.2f)",
+				res.AllocsPerTuple["columnar"], res.AllocsPerTuple["rows"])
+		}
+	}
+}

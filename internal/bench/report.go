@@ -1,5 +1,5 @@
 // Package bench implements the experiment harness: one runnable experiment
-// per table/figure/claim in DESIGN.md §4 (E1–E16). Each experiment returns
+// per table/figure/claim in DESIGN.md §4 (E1–E17). Each experiment returns
 // a Table pairing the paper's qualitative claim with measured numbers so
 // EXPERIMENTS.md can record paper-vs-measured. The cmd/tcqbench binary
 // runs them; root-level testing.B benchmarks reuse the same workloads.
@@ -134,6 +134,7 @@ func All() []Experiment {
 		{"E14", "Batch-size sweep", E14BatchSweep},
 		{"E15", "Introspection overhead", E15Introspection},
 		{"E16", "Shared arrangements scaling", E16SharedArrangements},
+		{"E17", "Columnar zero-alloc hot path", E17ColumnarHotPath},
 	}
 }
 

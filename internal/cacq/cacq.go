@@ -43,6 +43,10 @@ type Query struct {
 	Project    []int // wide-row columns to deliver (nil = all)
 	Output     func(*tuple.Tuple)
 	delivered  int64
+	// proj is the prebuilt projection operator for Project, constructed
+	// once at registration so delivery — which runs once per matching
+	// completion per query — never allocates an operator on the hot path.
+	proj *ops.Project
 }
 
 // Delivered returns the number of results delivered to the query.
@@ -177,6 +181,9 @@ func (e *Engine) AddQuery(footprint tuple.SourceSet, selections []expr.Predicate
 			return nil, fmt.Errorf("cacq: selection column %d out of range", p.Col)
 		}
 		e.filters[p.Col].Add(q.ID, p)
+	}
+	if q.Project != nil {
+		q.proj = ops.NewProject(q.Project...)
 	}
 	e.queries[q.ID] = q
 	e.byFootprint[footprint] = append(e.byFootprint[footprint], q)
@@ -324,8 +331,8 @@ func (e *Engine) deliver(t *tuple.Tuple) {
 			return
 		}
 		out := t
-		if q.Project != nil {
-			out = ops.NewProject(q.Project...).Apply(t)
+		if q.proj != nil {
+			out = q.proj.Apply(t)
 		}
 		q.Output(out)
 	})

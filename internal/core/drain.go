@@ -95,6 +95,17 @@ type outPipe struct {
 	agg   *ops.LandmarkAgg
 	proj  *ops.Project
 	dedup *ops.DupElim
+
+	// pool, when set, receives input tuples the pipeline consumes: after
+	// an aggregate folds t or a projection copies it, the wide tuple is
+	// dead (aggregation and DupElim copy values, never alias t.Vals).
+	// Only the unwindowed runtimes set it — their eddy emissions are
+	// fresh sole-reference tuples — and only with tracing off (a live
+	// tracer keys spans by tuple identity). This was the second per-tuple
+	// Get site the recycler missed: without it every widened join result
+	// died to the GC and the pool hit rate was structurally capped at
+	// 0.50 (one Put per two Gets; see E14's corrected numbers).
+	pool *tuple.Pool
 }
 
 func newOutPipe(plan *sql.Plan) outPipe {
@@ -123,15 +134,27 @@ func (p *outPipe) route(t *tuple.Tuple) *tuple.Tuple {
 		out := p.agg.Result()
 		out.TS = t.TS
 		out.Seq = t.Seq
+		if p.pool != nil {
+			p.pool.Put(t)
+		}
 		return out
 	case p.proj != nil:
 		out := p.proj.Apply(t)
+		if p.pool != nil {
+			p.pool.Put(t)
+		}
 		if p.dedup != nil && !p.dedup.Accept(out) {
+			if p.pool != nil {
+				p.pool.Put(out)
+			}
 			return nil
 		}
 		return out
 	default:
 		if p.dedup != nil && !p.dedup.Accept(t) {
+			if p.pool != nil {
+				p.pool.Put(t)
+			}
 			return nil
 		}
 		return t

@@ -95,6 +95,13 @@ func newEddyRuntime(q *RunningQuery) (runtime, error) {
 	// (table replay below) or stat registration can observe it.
 	q.recyclable = true
 	rt := &eddyRuntime{q: q, out: newOutPipe(plan), pool: q.engine.recycler}
+	// The pipeline may recycle the wide tuples it consumes (aggregate
+	// inputs, projection inputs, DISTINCT rejects): emissions are sole
+	// references here. A live tracer keys spans by tuple identity, so
+	// recycling stays off when tracing is on.
+	if q.engine.tracer == nil {
+		rt.out.pool = rt.pool
+	}
 
 	modules, stems := buildQueryModules(plan)
 	if err := eddy.CheckModuleCount(len(modules)); err != nil {

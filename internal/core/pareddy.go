@@ -102,6 +102,12 @@ func newParEddyRuntime(q *RunningQuery, keyCols []int) (runtime, error) {
 		out:  newOutPipe(plan),
 		pool: e.recycler,
 	}
+	// Same recycling argument as the sequential runtime: pipeline inputs
+	// are sole references on the merge goroutine, unless a tracer holds
+	// tuple identities.
+	if e.tracer == nil {
+		rt.out.pool = rt.pool
+	}
 	modules, _ := buildQueryModules(plan)
 	if err := eddy.CheckModuleCount(len(modules)); err != nil {
 		return nil, err

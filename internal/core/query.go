@@ -12,6 +12,7 @@ import (
 	"telegraphcq/internal/fjord"
 	"telegraphcq/internal/metrics"
 	"telegraphcq/internal/sql"
+	"telegraphcq/internal/stem"
 	"telegraphcq/internal/tuple"
 )
 
@@ -159,6 +160,40 @@ func (q *RunningQuery) emitBatch(ts []*tuple.Tuple) {
 	}
 }
 
+// emitBlock delivers a columnar result block, taking ownership of it.
+// With no push clients and no sinks attached the block goes to the pull
+// egress whole — rows stay struct-of-arrays until a client fetches them,
+// and the egress releases the block to its arena when the rows age out
+// of retention. Otherwise rows materialize once here and flow through
+// the classic row-at-a-time delivery.
+func (q *RunningQuery) emitBlock(b *tuple.Block) {
+	n := b.Len()
+	if n == 0 {
+		b.Release()
+		return
+	}
+	q.results.Add(int64(n))
+	q.sinkMu.Lock()
+	sinks := q.sinks
+	q.sinkMu.Unlock()
+	if q.push.Clients() == 0 && len(sinks) == 0 {
+		q.pull.PublishBlock(b, q.recyclable)
+		return
+	}
+	ts := make([]*tuple.Tuple, n)
+	for i := 0; i < n; i++ {
+		ts[i] = b.Row(i)
+	}
+	b.Release()
+	q.push.PublishBatch(ts)
+	q.pull.PublishBatch(ts, false)
+	for _, fn := range sinks {
+		for _, t := range ts {
+			fn(t)
+		}
+	}
+}
+
 func (q *RunningQuery) finish() {
 	q.closeOnce.Do(func() {
 		q.doneFlag.Store(true)
@@ -210,6 +245,36 @@ func (q *RunningQuery) registerMetrics() {
 	}
 	if prt, ok := q.rt.(*parEddyRuntime); ok {
 		prt.registerParMetrics(reg)
+		return
+	}
+	if crt, ok := q.rt.(*colRuntime); ok {
+		for i := range crt.stems {
+			i := i
+			slbl := fmt.Sprintf(`{query="%d",stem=%q}`, q.ID, crt.stems[i].Name())
+			for name, get := range map[string]func(stem.ColStats) int64{
+				"tcq_stem_builds_total":  func(st stem.ColStats) int64 { return st.Builds },
+				"tcq_stem_probes_total":  func(st stem.ColStats) int64 { return st.Probes },
+				"tcq_stem_matches_total": func(st stem.ColStats) int64 { return st.Matches },
+			} {
+				get := get
+				reg.RegisterFunc(name+slbl, metrics.KindCounter, func() float64 {
+					return float64(get(crt.stemStats(i)))
+				})
+			}
+			reg.RegisterFunc("tcq_stem_size"+slbl, metrics.KindGauge, func() float64 {
+				return float64(crt.stemStats(i).Size)
+			})
+		}
+		for name, get := range map[string]func(gets, reuses, releases int64) int64{
+			"tcq_arena_gets_total":     func(g, _, _ int64) int64 { return g },
+			"tcq_arena_reuses_total":   func(_, r, _ int64) int64 { return r },
+			"tcq_arena_releases_total": func(_, _, r int64) int64 { return r },
+		} {
+			get := get
+			reg.RegisterFunc(name+lbl, metrics.KindCounter, func() float64 {
+				return float64(get(crt.ArenaStats()))
+			})
+		}
 		return
 	}
 	rt, ok := q.rt.(*eddyRuntime)
@@ -354,10 +419,14 @@ func (e *Engine) RegisterPlan(plan *sql.Plan) (*RunningQuery, error) {
 
 	var err error
 	if plan.Loop == nil {
-		// With Workers > 1, partitionable plans (join edges forming one
-		// equijoin key class, or no joins at all) run as parallel shards;
-		// anything else keeps the sequential private eddy.
-		if cols, ok := parallelKeyColumns(plan); ok && e.opts.Workers > 1 {
+		// With Columnar on, eligible single-worker equijoin plans run on
+		// struct-of-arrays blocks. With Workers > 1, partitionable plans
+		// (join edges forming one equijoin key class, or no joins at all)
+		// run as parallel shards; anything else keeps the sequential
+		// private eddy.
+		if e.opts.Columnar && e.opts.Workers == 1 && columnarEligible(plan) {
+			q.rt, err = newColRuntime(q)
+		} else if cols, ok := parallelKeyColumns(plan); ok && e.opts.Workers > 1 {
 			q.rt, err = newParEddyRuntime(q, cols)
 		} else {
 			q.rt, err = newEddyRuntime(q)

@@ -102,7 +102,7 @@ type Eddy struct {
 	stats    Stats
 	work     []*tuple.Batch // LIFO work list: intermediate results drain first
 	free     []*tuple.Batch // recycled batch headers
-	dropped  []*tuple.Tuple // scratch for the per-tuple partition adapter
+	selMask  tuple.Mask     // reused selection mask for the per-tuple partition adapter
 	appliesC map[tuple.SourceSet]uint64
 	buildsC  map[tuple.SourceSet]uint64
 
@@ -425,12 +425,13 @@ func (e *Eddy) step(b *tuple.Batch) {
 	e.push(b)
 }
 
-// processSeq routes a batch through mod one tuple at a time, partitioning
-// survivors to the front of b.Tuples in stable order.
+// processSeq routes a batch through mod one tuple at a time, recording
+// survivors in a selection mask and partitioning them to the front of
+// b.Tuples in stable order via the shared mask partition.
 func (e *Eddy) processSeq(mod Module, b *tuple.Batch) (outputs []*tuple.Tuple, passed int) {
 	ts := b.Tuples
-	e.dropped = e.dropped[:0]
-	for _, t := range ts {
+	e.selMask.Reset(len(ts))
+	for i, t := range ts {
 		// Per-hop timing only for sampled tuples: the clock reads stay off
 		// the untraced fast path.
 		traced := e.tracer != nil && e.tracer.Live(t)
@@ -447,14 +448,10 @@ func (e *Eddy) processSeq(mod Module, b *tuple.Batch) (outputs []*tuple.Tuple, p
 		}
 		outputs = append(outputs, outs...)
 		if pass {
-			ts[passed] = t
-			passed++
-		} else {
-			e.dropped = append(e.dropped, t)
+			e.selMask.Set(i)
 		}
 	}
-	copy(ts[passed:], e.dropped)
-	return outputs, passed
+	return outputs, b.PartitionByMask(&e.selMask)
 }
 
 // finishBatch retires a batch whose tuples have visited every applicable

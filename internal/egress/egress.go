@@ -95,12 +95,29 @@ func (e *PushEgress) Stats() (sent, dropped int64) {
 	return e.sent, e.dropped
 }
 
+// Clients returns the number of subscribed push clients. The columnar
+// emit path checks it before deciding whether result blocks can stay
+// columnar (pull-only delivery) or must materialize rows for push fan-out.
+func (e *PushEgress) Clients() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.clients)
+}
+
 // pullEntry is one logged result. owned marks tuples the egress holds the
 // only live reference to: when they age out of the retention window they
 // return to the tuple pool instead of the garbage collector. Fetching an
 // entry hands its pointer to a client and clears the mark.
+//
+// A columnar result occupies one entry per row with blk set and t nil:
+// the row stays struct-of-arrays in the retained block and is only
+// materialized as a *Tuple when a client fetches it. Owned block rows are
+// refcounted per block (blockRows): when the last retained row of an
+// owned block ages out, the whole block returns to its arena.
 type pullEntry struct {
 	t     *tuple.Tuple
+	blk   *tuple.Block
+	row   int32
 	owned bool
 }
 
@@ -114,6 +131,13 @@ type PullEgress struct {
 	cursors map[int]int64
 	nextID  int
 	pool    *tuple.Pool // recycles owned entries aging out; nil disables
+
+	// blockRows counts retained rows per owned block; the publisher's
+	// goroutine releases a block to its arena when the count hits zero.
+	// Arenas are single-goroutine, but eviction only runs inside Publish*
+	// calls — which the single producing runtime makes — so releases stay
+	// on the arena's owning goroutine.
+	blockRows map[*tuple.Block]int32
 }
 
 // NewPullEgress keeps at most capTuples results (older ones age out).
@@ -155,14 +179,52 @@ func (e *PullEgress) PublishBatch(ts []*tuple.Tuple, owned bool) {
 	e.evictOverLocked()
 }
 
+// PublishBlock appends every row of a columnar result block under one
+// lock acquisition, without materializing tuples: rows stay in the block
+// until fetched. owned marks blocks the egress must release back to
+// their arena once all rows age out of retention (the producer
+// guarantees no other live reference to the block).
+func (e *PullEgress) PublishBlock(b *tuple.Block, owned bool) {
+	n := b.Len()
+	if n == 0 {
+		if owned {
+			b.Release()
+		}
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if owned {
+		if e.blockRows == nil {
+			e.blockRows = make(map[*tuple.Block]int32)
+		}
+		e.blockRows[b] = int32(n)
+	}
+	for i := 0; i < n; i++ {
+		e.log = append(e.log, pullEntry{blk: b, row: int32(i), owned: owned})
+	}
+	e.evictOverLocked()
+}
+
 func (e *PullEgress) evictOverLocked() {
 	over := len(e.log) - e.cap
 	if over <= 0 {
 		return
 	}
 	for i := 0; i < over; i++ {
-		if e.log[i].owned {
-			e.pool.Put(e.log[i].t)
+		ent := e.log[i]
+		switch {
+		case ent.blk != nil:
+			if ent.owned {
+				if left := e.blockRows[ent.blk] - 1; left > 0 {
+					e.blockRows[ent.blk] = left
+				} else {
+					delete(e.blockRows, ent.blk)
+					ent.blk.Release()
+				}
+			}
+		case ent.owned:
+			e.pool.Put(ent.t)
 		}
 		e.log[i] = pullEntry{}
 	}
@@ -217,6 +279,13 @@ func (e *PullEgress) Fetch(id int) (results []*tuple.Tuple, missed int64, err er
 	start := int(cur - e.base)
 	results = make([]*tuple.Tuple, 0, len(e.log)-start)
 	for i := start; i < len(e.log); i++ {
+		if b := e.log[i].blk; b != nil {
+			// Columnar rows materialize on fetch as independent copies;
+			// the block itself stays owned by the egress (it may back
+			// other unfetched rows) and is released on age-out as usual.
+			results = append(results, b.Row(int(e.log[i].row)))
+			continue
+		}
 		// The client holds the pointer from here on: the egress no longer
 		// owns the tuple's memory.
 		e.log[i].owned = false

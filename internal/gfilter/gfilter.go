@@ -350,8 +350,8 @@ type Module struct {
 	*GroupedFilter
 	name string
 
-	// scratch holds dead tuples during the in-place batch partition.
-	scratch []*tuple.Tuple
+	// mask is the reused selection bitmap for the batch partition.
+	mask tuple.Mask
 
 	// Sampled probe timing (SetProbeTimer): every probeEvery-th batch or
 	// tuple pass through the shared index is clocked into an EWMA, so
@@ -436,16 +436,11 @@ func (m *Module) ProcessBatch(b *tuple.Batch) ([]*tuple.Tuple, int) {
 	if start, sampled := m.probeStart(len(ts)); sampled {
 		defer m.probeEnd(start, len(ts))
 	}
-	m.scratch = m.scratch[:0]
-	passed := 0
-	for _, t := range ts {
+	m.mask.Reset(len(ts))
+	for i, t := range ts {
 		if m.Apply(t) {
-			ts[passed] = t
-			passed++
-		} else {
-			m.scratch = append(m.scratch, t)
+			m.mask.Set(i)
 		}
 	}
-	copy(ts[passed:], m.scratch)
-	return nil, passed
+	return nil, b.PartitionByMask(&m.mask)
 }

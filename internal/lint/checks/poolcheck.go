@@ -8,19 +8,25 @@ import (
 	"telegraphcq/internal/lint"
 )
 
-// PoolCheck returns the analyzer for tuple-pool lifetime discipline:
-// Pool.Put hands a tuple's memory back to the recycler, so the caller must
-// hold the only live reference and must not touch the variable afterwards.
-// The check is flow-approximate but source-order sound for the patterns
-// the engine uses: after `pool.Put(t)`, any later read of t inside the
-// same function is flagged until t is reassigned. A Put whose enclosing
-// block ends by transferring control (return/continue/break) confines its
-// effect to that block, so guard-and-bail recycling stays clean.
+// PoolCheck returns the analyzer for recycler lifetime discipline, which
+// covers both of the engine's memory recyclers: Pool.Put hands a tuple's
+// memory back to the tuple recycler, and Block.Release / Arena.Release
+// hand a columnar block's slabs back to its arena. In each case the
+// caller must hold the only live reference and must not touch the
+// variable afterwards. The check is flow-approximate but source-order
+// sound for the patterns the engine uses: after `pool.Put(t)` (or
+// `b.Release()`, `arena.Release(b)`), any later read of the variable
+// inside the same function is flagged until it is reassigned. A kill
+// point whose enclosing block ends by transferring control
+// (return/continue/break) confines its effect to that block, so
+// guard-and-bail recycling stays clean. (Block.Release also poisons the
+// block at runtime — this check catches the same bug before it runs.)
 func PoolCheck() *lint.Analyzer {
 	a := &lint.Analyzer{
 		Name: "poolcheck",
-		Doc: "flags reads of a *tuple.Tuple after it was handed to Pool.Put " +
-			"(use-after-recycle), including double-Puts",
+		Doc: "flags reads of a *tuple.Tuple after Pool.Put, and of a " +
+			"*tuple.Block after Block.Release/Arena.Release " +
+			"(use-after-recycle), including double-Puts and double-Releases",
 	}
 	a.Run = func(pass *lint.Pass) error {
 		eachFunc(pass.Files, func(decl *ast.FuncDecl) {
@@ -32,9 +38,10 @@ func PoolCheck() *lint.Analyzer {
 }
 
 // putEvent is one recycle point: obj is dead from pos until end (or until
-// reassigned).
+// reassigned). verb names the killing call for the diagnostic.
 type putEvent struct {
 	obj      *types.Var
+	verb     string
 	pos, end token.Pos
 }
 
@@ -60,16 +67,34 @@ func checkFuncPool(pass *lint.Pass, decl *ast.FuncDecl) {
 			return true
 		}
 		f := callee(pass.Info, call)
-		if f == nil || f.Name() != "Put" {
+		if f == nil {
 			return true
 		}
-		if recv := recvNamed(f); recv == nil || !isNamedType(recv, modulePath+"/internal/tuple", "Pool") {
+		recv := recvNamed(f)
+		if recv == nil {
 			return true
 		}
-		if len(call.Args) != 1 {
+		// The kill points: Pool.Put(t), Arena.Release(b), and b.Release().
+		var target ast.Expr
+		var verb string
+		switch {
+		case f.Name() == "Put" && isNamedType(recv, modulePath+"/internal/tuple", "Pool") &&
+			len(call.Args) == 1:
+			target, verb = call.Args[0], "Pool.Put recycled"
+		case f.Name() == "Release" && isNamedType(recv, modulePath+"/internal/tuple", "Arena") &&
+			len(call.Args) == 1:
+			target, verb = call.Args[0], "Arena.Release freed"
+		case f.Name() == "Release" && isNamedType(recv, modulePath+"/internal/tuple", "Block") &&
+			len(call.Args) == 0:
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			target, verb = sel.X, "Block.Release freed"
+		default:
 			return true
 		}
-		id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+		id, ok := ast.Unparen(target).(*ast.Ident)
 		if !ok {
 			return true
 		}
@@ -85,7 +110,7 @@ func checkFuncPool(pass *lint.Pass, decl *ast.FuncDecl) {
 				return true
 			}
 		}
-		puts = append(puts, putEvent{obj: obj, pos: call.End(), end: putEffectEnd(parents, call, decl.Body)})
+		puts = append(puts, putEvent{obj: obj, verb: verb, pos: call.End(), end: putEffectEnd(parents, call, decl.Body)})
 		return true
 	})
 	if len(puts) == 0 {
@@ -128,8 +153,8 @@ func checkFuncPool(pass *lint.Pass, decl *ast.FuncDecl) {
 				continue
 			}
 			pass.Reportf(id.Pos(),
-				"%s is used after Pool.Put recycled it (use-after-recycle); reassign it or drop the reference",
-				id.Name)
+				"%s is used after %s it (use-after-recycle); reassign it or drop the reference",
+				id.Name, ev.verb)
 			break
 		}
 		return true
@@ -142,15 +167,26 @@ func checkFuncPool(pass *lint.Pass, decl *ast.FuncDecl) {
 // effect reaches the end of the function body.
 func putEffectEnd(parents map[ast.Node]ast.Node, call *ast.CallExpr, body *ast.BlockStmt) token.Pos {
 	for n := ast.Node(call); n != nil; n = parents[n] {
-		blk, ok := n.(*ast.BlockStmt)
-		if !ok {
+		var list []ast.Stmt
+		var end token.Pos
+		switch blk := n.(type) {
+		case *ast.BlockStmt:
+			if blk == body {
+				return body.End()
+			}
+			list, end = blk.List, blk.End()
+		case *ast.CaseClause:
+			// A switch case that ends by returning confines the effect
+			// the same way a terminated block does: the other cases run
+			// only on executions that never reached this kill point.
+			list, end = blk.Body, blk.End()
+		case *ast.CommClause:
+			list, end = blk.Body, blk.End()
+		default:
 			continue
 		}
-		if blk == body {
-			return body.End()
-		}
-		if len(blk.List) > 0 && isTerminator(blk.List[len(blk.List)-1]) {
-			return blk.End()
+		if len(list) > 0 && isTerminator(list[len(list)-1]) {
+			return end
 		}
 	}
 	return body.End()

@@ -20,8 +20,10 @@ type Filter struct {
 	pred expr.Predicate
 	owns tuple.SourceSet
 
-	// scratch holds dropped tuples during the in-place batch partition.
-	scratch []*tuple.Tuple
+	// mask is the reused selection bitmap for the batch and columnar
+	// paths: predicates evaluate into it, then survivors are selected in
+	// one pass (Batch.PartitionByMask / Block.Compact).
+	mask tuple.Mask
 }
 
 // NewFilter builds a filter over the layout for the given wide-row
@@ -46,21 +48,30 @@ func (f *Filter) Process(t *tuple.Tuple) ([]*tuple.Tuple, bool) {
 }
 
 // ProcessBatch implements eddy.BatchModule: the whole batch is evaluated
-// under one dispatch, survivors stably partitioned to the front.
+// under one dispatch into a selection mask, survivors stably partitioned
+// to the front by the shared mask partition.
 func (f *Filter) ProcessBatch(b *tuple.Batch) ([]*tuple.Tuple, int) {
 	ts := b.Tuples
-	f.scratch = f.scratch[:0]
-	passed := 0
-	for _, t := range ts {
+	f.mask.Reset(len(ts))
+	for i, t := range ts {
 		if f.pred.Eval(t) {
-			ts[passed] = t
-			passed++
-		} else {
-			f.scratch = append(f.scratch, t)
+			f.mask.Set(i)
 		}
 	}
-	copy(ts[passed:], f.scratch)
-	return nil, passed
+	return nil, b.PartitionByMask(&f.mask)
+}
+
+// EvalCols evaluates the predicate over a columnar block as a tight loop
+// down the single tested column, clearing sel bits for failing rows. Only
+// rows whose sel bit is already set are tested, so a conjunction of
+// filters shares one mask.
+func (f *Filter) EvalCols(b *tuple.Block, sel *tuple.Mask) {
+	col := b.Col(f.pred.Col)
+	for i := range col {
+		if sel.Test(i) && !f.pred.Op.Apply(tuple.Compare(col[i], f.pred.Val)) {
+			sel.Clear(i)
+		}
+	}
 }
 
 // String describes the filter.

@@ -1,0 +1,125 @@
+package stem
+
+import (
+	"telegraphcq/internal/arrange"
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/tuple"
+)
+
+// ColSteM is the columnar half-join: the SteM's build/probe protocol
+// (§2.2) rewritten as tight loops over Block columns. Builds copy masked
+// survivor rows into an arrange.ColumnStore segment chain; probes hash
+// the probe block's key column, verify join predicates directly against
+// stored segment columns, and report matches as (segment, build row,
+// probe row) triples for the caller to merge column-wise. No tuple is
+// materialized anywhere on this path.
+type ColSteM struct {
+	name  string
+	spans tuple.SourceSet
+	store *arrange.ColumnStore
+
+	// preds are the join predicates verified per candidate: LeftCol is
+	// the probe-side wide column, RightCol the stored-side wide column.
+	// The hashing equality predicate is preds[keyPred].
+	preds   []expr.JoinPredicate
+	keyPred int
+
+	builds  int64
+	probes  int64
+	matches int64
+}
+
+// NewColSteM creates a columnar SteM spanning the given source, storing
+// wide rows of the layout's width in segments carved from arena. preds
+// must contain at least one equality predicate; the first becomes the
+// hash key (probe LeftCol hashed against stored RightCol, which is also
+// the store's index column).
+func NewColSteM(name string, spans tuple.SourceSet, layout *tuple.Layout, preds []expr.JoinPredicate, arena *tuple.Arena) *ColSteM {
+	keyPred := -1
+	for i, p := range preds {
+		if p.Op == expr.Eq {
+			keyPred = i
+			break
+		}
+	}
+	if keyPred < 0 {
+		panic("stem: ColSteM requires an equality predicate")
+	}
+	width := len(layout.Wide.Columns)
+	return &ColSteM{
+		name:    name,
+		spans:   spans,
+		store:   arrange.NewColumnStore(name, width, preds[keyPred].RightCol, arena),
+		preds:   preds,
+		keyPred: keyPred,
+	}
+}
+
+// Name returns the SteM's label.
+func (s *ColSteM) Name() string { return s.name }
+
+// Spans returns the source set whose tuples build into this SteM.
+func (s *ColSteM) Spans() tuple.SourceSet { return s.spans }
+
+// Store exposes the backing columnar arrangement state.
+func (s *ColSteM) Store() *arrange.ColumnStore { return s.store }
+
+// BuildCols inserts the selected rows of b into the store.
+func (s *ColSteM) BuildCols(b *tuple.Block, sel *tuple.Mask) {
+	n := sel.Count()
+	if n == 0 {
+		return
+	}
+	s.store.AppendFrom(b, sel)
+	s.builds += int64(n)
+}
+
+// ProbeCols probes the store with the selected rows of b. For every
+// stored row matching all join predicates it calls emit(seg, buildRow,
+// probeRow); the caller merges the pair column-wise (Block.AppendMerged).
+// The emit callback is the only per-match cost — candidate verification
+// reads segment columns in place.
+func (s *ColSteM) ProbeCols(b *tuple.Block, sel *tuple.Mask, emit func(seg *tuple.Block, brow, prow int)) {
+	key := b.Col(s.preds[s.keyPred].LeftCol)
+	var segs []*tuple.Block
+	s.store.Segments(func(seg *tuple.Block) { segs = append(segs, seg) })
+	for i := 0; i < b.Len(); i++ {
+		if !sel.Test(i) {
+			continue
+		}
+		s.probes++
+		for _, ref := range s.store.Candidates(key[i].Hash()) {
+			seg := segs[ref.Seg]
+			brow := int(ref.Row)
+			ok := true
+			for _, p := range s.preds {
+				if !p.Op.Apply(tuple.Compare(b.Col(p.LeftCol)[i], seg.Col(p.RightCol)[brow])) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				s.matches++
+				emit(seg, brow, i)
+			}
+		}
+	}
+}
+
+// ColStats mirrors the counters Stats exposes on the row-at-a-time SteM.
+type ColStats struct {
+	Builds, Probes, Matches, Size int64
+}
+
+// Stats returns build/probe counters.
+func (s *ColSteM) Stats() ColStats {
+	return ColStats{
+		Builds:  s.builds,
+		Probes:  s.probes,
+		Matches: s.matches,
+		Size:    int64(s.store.Len()),
+	}
+}
+
+// Release returns the store's segments to the arena.
+func (s *ColSteM) Release() { s.store.Release() }

@@ -19,6 +19,10 @@ type Batch struct {
 	// Schema optionally records the shared schema of the rows ("" /nil for
 	// intermediates); it is advisory and never consulted on the hot path.
 	Schema *Schema
+
+	// scratch backs PartitionByMask's stable partition; reused across
+	// calls so survivor selection allocates nothing in steady state.
+	scratch []*Tuple
 }
 
 // NewBatch returns an empty batch with capacity for n tuples.
@@ -31,6 +35,32 @@ func (b *Batch) Append(t *Tuple) { b.Tuples = append(b.Tuples, t) }
 
 // Len returns the number of tuples in the batch.
 func (b *Batch) Len() int { return len(b.Tuples) }
+
+// PartitionByMask stably partitions the batch in place by the selection
+// mask: rows whose bit is set move to the front (order preserved), rows
+// whose bit is clear follow (order preserved), and the survivor count is
+// returned. This is the one shared implementation of mask-based survivor
+// selection — filters, grouped filters, and the eddy's per-tuple adapter
+// all evaluate into a Mask and call it, instead of each keeping a private
+// dropped-tuple splice.
+func (b *Batch) PartitionByMask(m *Mask) int {
+	ts := b.Tuples
+	b.scratch = b.scratch[:0]
+	w := 0
+	for i, t := range ts {
+		if m.Test(i) {
+			ts[w] = t
+			w++
+		} else {
+			b.scratch = append(b.scratch, t)
+		}
+	}
+	copy(ts[w:], b.scratch)
+	for i := range b.scratch {
+		b.scratch[i] = nil
+	}
+	return w
+}
 
 // Reset empties the batch, clearing tuple references so pooled rows are
 // not pinned, and keeps the backing array for reuse.

@@ -1,0 +1,88 @@
+package tuple
+
+import "math/bits"
+
+// Mask is a fixed-length selection bitmap over the rows of a Block or
+// Batch: bit i set means row i survives the current operator. Operators
+// evaluate predicates into a Mask and then partition or copy survivors in
+// one tight pass, instead of splicing pointer slices per row. Unlike
+// Bitset (which grows on Set and serves unbounded query-ID spaces), a Mask
+// is sized once per batch via Reset and reused across batches, so the
+// survivor-selection path allocates nothing in steady state.
+type Mask struct {
+	words []uint64
+	n     int
+}
+
+// Reset sizes the mask for n rows with every bit clear, reusing the
+// backing words when capacity allows.
+func (m *Mask) Reset(n int) {
+	w := (n + 63) >> 6
+	if cap(m.words) < w {
+		m.words = make([]uint64, w)
+	} else {
+		m.words = m.words[:w]
+		for i := range m.words {
+			m.words[i] = 0
+		}
+	}
+	m.n = n
+}
+
+// ResetSet sizes the mask for n rows with every bit set (the common
+// filter idiom: start from all-survive, clear failures).
+func (m *Mask) ResetSet(n int) {
+	m.Reset(n)
+	for i := range m.words {
+		m.words[i] = ^uint64(0)
+	}
+	if tail := uint(n & 63); tail != 0 && len(m.words) > 0 {
+		m.words[len(m.words)-1] = (1 << tail) - 1
+	}
+}
+
+// Len returns the number of rows the mask covers.
+func (m *Mask) Len() int { return m.n }
+
+// Set marks row i as surviving.
+func (m *Mask) Set(i int) { m.words[i>>6] |= 1 << uint(i&63) }
+
+// Clear marks row i as dropped.
+func (m *Mask) Clear(i int) { m.words[i>>6] &^= 1 << uint(i&63) }
+
+// Test reports whether row i survives.
+func (m *Mask) Test(i int) bool { return m.words[i>>6]&(1<<uint(i&63)) != 0 }
+
+// Count returns the number of surviving rows.
+func (m *Mask) Count() int {
+	c := 0
+	for _, w := range m.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// None reports whether no row survives — operators use it to skip the
+// partition pass entirely.
+func (m *Mask) None() bool {
+	for _, w := range m.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// All reports whether every row survives.
+func (m *Mask) All() bool { return m.Count() == m.n }
+
+// ForEach calls fn with each surviving row index in ascending order.
+func (m *Mask) ForEach(fn func(i int)) {
+	for wi, w := range m.words {
+		base := wi << 6
+		for w != 0 {
+			fn(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}

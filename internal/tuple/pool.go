@@ -19,7 +19,16 @@ import (
 // plain structs (string headers share immutable data), so reusing a Vals
 // slice never mutates values previously copied out of it.
 type Pool struct {
-	p     sync.Pool
+	p sync.Pool
+	// core is a bounded freelist in front of the sync.Pool. sync.Pool is
+	// emptied by every garbage collection, and on a zero-alloc steady
+	// state the collector still runs (block slabs, index growth), so a
+	// purely sync.Pool-backed recycler pays a burst of misses after each
+	// cycle. The core list holds strong references the collector never
+	// reclaims; its fixed depth bounds the retained memory, and overflow
+	// spills to the sync.Pool, which still absorbs transient bursts.
+	mu    sync.Mutex
+	core  []*Tuple
 	gets  atomic.Int64
 	hits  atomic.Int64
 	puts  atomic.Int64
@@ -30,6 +39,13 @@ type Pool struct {
 // wide row cannot pin memory for the lifetime of the pool.
 const maxPooledWidth = 256
 
+// coreDepth is the GC-stable freelist size: deep enough to cover the
+// in-flight window between ingress clones and executor recycling — a
+// batched FeedMany clones its whole batch before pushing, on top of the
+// 256 tuples each query input pipe can hold — small enough that a fully
+// retained core of hot-path-sized rows stays near a megabyte.
+const coreDepth = 4096
+
 // NewPool creates an empty recycler.
 func NewPool() *Pool {
 	return &Pool{p: sync.Pool{New: func() any { return new(Tuple) }}}
@@ -38,7 +54,17 @@ func NewPool() *Pool {
 // Get returns a zeroed tuple with Vals of length width. The tuple may
 // reuse memory from a previous Put; every field is reset before return.
 func (p *Pool) Get(width int) *Tuple {
-	t := p.p.Get().(*Tuple)
+	var t *Tuple
+	p.mu.Lock()
+	if n := len(p.core); n > 0 {
+		t = p.core[n-1]
+		p.core[n-1] = nil
+		p.core = p.core[:n-1]
+	}
+	p.mu.Unlock()
+	if t == nil {
+		t = p.p.Get().(*Tuple)
+	}
 	p.gets.Add(1)
 	if cap(t.Vals) >= width {
 		p.hits.Add(1)
@@ -69,6 +95,13 @@ func (p *Pool) Put(t *Tuple) {
 	}
 	t.Queries = nil
 	p.puts.Add(1)
+	p.mu.Lock()
+	if len(p.core) < coreDepth {
+		p.core = append(p.core, t)
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
 	p.p.Put(t)
 }
 

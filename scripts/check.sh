@@ -5,7 +5,8 @@
 #   check.sh lint    docs/gofmt/vet, tcqlint (blocking), staticcheck (if installed)
 #   check.sh test    build + full test suite, arrangement coverage floor
 #   check.sh race    race-instrumented suite, chaos campaign, E13 workload, fuzz smoke
-#   check.sh bench   bench smoke: E15 introspection + E16 shared-arrangement gates
+#   check.sh bench   bench smoke: E15 introspection + E16 shared-arrangement +
+#                    E17 columnar zero-alloc gates
 #   check.sh [all]   every stage in order
 set -eu
 cd "$(dirname "$0")/.."
@@ -112,6 +113,13 @@ stage_bench() {
     # memory — i.e. when the shared arrangement stops amortizing.
     echo "==> bench smoke: E16 shared-arrangements scaling gate (strict, -short)"
     TCQ_BENCH_STRICT=1 go test -count=1 -short -run TestE16SharedArrangementsScaling ./internal/bench/
+
+    # Smoke-sized E17 with the strict gate on: fails the build when the
+    # columnar runtime's steady-state allocation rate rises above 1.0
+    # allocs per fed tuple on the equijoin workload, or stops beating the
+    # row-at-a-time runtime — i.e. when the zero-alloc hot path regresses.
+    echo "==> bench smoke: E17 columnar zero-alloc gate (strict, -short)"
+    TCQ_BENCH_STRICT=1 go test -count=1 -short -run TestE17ColumnarZeroAlloc ./internal/bench/
 }
 
 stage="${1:-all}"
