@@ -18,6 +18,7 @@ import (
 
 	"telegraphcq/internal/chaos"
 	"telegraphcq/internal/core"
+	"telegraphcq/internal/eddy"
 	"telegraphcq/internal/metrics"
 	"telegraphcq/internal/server"
 	"telegraphcq/internal/workload"
@@ -41,7 +42,17 @@ func main() {
 	introInterval := flag.Duration("introspect-interval", 250*time.Millisecond, "telemetry sampling period for the tcq.* streams")
 	shared := flag.Bool("shared", false, "share arrangements: qualifying equijoins on the same stream pair reuse one SteM build across all registered CQs")
 	columnar := flag.Bool("columnar", false, "columnar execution: eligible two-stream equijoin CQs run on struct-of-arrays blocks with arena allocation (zero-alloc hot path; requires workers=1 for the eligible queries)")
+	policy := flag.String("policy", "", "engine-wide eddy routing policy: \"<kind> [seed=N] [every=N] [refresh=N] [order=a,b,c] [nway=on|off]\" with kinds lottery, naive, fixed, batching, fixing, selectivity; empty keeps the legacy per-query lottery. Also enables batch-granular N-way probe-order planning on 3+-stream joins unless nway=off. Individual queries can be re-routed live with SET POLICY <qid> <spec>")
 	flag.Parse()
+
+	var routing eddy.RoutingConfig
+	if *policy != "" {
+		cfg, err := eddy.ParseRouting(*policy)
+		if err != nil {
+			log.Fatalf("tcqd: -policy: %v", err)
+		}
+		routing = cfg
+	}
 
 	engine := core.NewEngine(core.Options{
 		EOs:                *eos,
@@ -53,6 +64,7 @@ func main() {
 		IntrospectInterval: *introInterval,
 		SharedArrangements: *shared,
 		Columnar:           *columnar,
+		Routing:            routing,
 	})
 	defer engine.Stop()
 
@@ -66,6 +78,9 @@ func main() {
 	if *introspect {
 		fmt.Printf("tcqd: introspection streams tcq.stats tcq.routes tcq.pool tcq.chaos (every %s)\n",
 			*introInterval)
+	}
+	if !routing.IsZero() {
+		fmt.Printf("tcqd: routing policy %s\n", routing.String())
 	}
 
 	if *httpAddr != "" {

@@ -35,6 +35,20 @@ func goodIntrospection(r *metrics.Registry, module string) {
 	r.RegisterFunc("tcq_introspect_ticks_total", metrics.KindCounter, func() float64 { return 0 })
 }
 
+// goodRouting mirrors the adaptive-routing families: the probe-order
+// planning counters registered per query (label appended to a constant
+// family prefix, the query.go/pareddy.go pattern).
+func goodRouting(r *metrics.Registry, lbl string) {
+	for name := range map[string]struct{}{
+		"tcq_policy_orders_total":       {},
+		"tcq_policy_order_reuses_total": {},
+		"tcq_nway_pruned_total":         {},
+	} {
+		r.RegisterFunc(name+`{query="1"}`, metrics.KindCounter, func() float64 { return 0 })
+	}
+	r.Counter(`tcq_policy_orders_total{query="2"}`).Inc()
+}
+
 // bad covers the naming failures and an unresolvable name.
 func bad(r *metrics.Registry, name string) {
 	r.Counter("fixture_events_total").Inc() // want `metric family "fixture_events_total" passed to Registry\.Counter is not tcq_-prefixed`

@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"os"
+	"testing"
+)
+
+// TestE18NWayAdaptiveGate runs the drifting-selectivity star join at smoke
+// size and checks the harness invariants: every arm finishes the identical
+// result count (the runner errors otherwise) and the adaptive arms draw
+// N-way plans. When TCQ_BENCH_STRICT=1 — as the check.sh bench-smoke stage
+// sets — it enforces the paper's adaptivity claim: the adaptive
+// selectivity arm completes the drift workload with strictly fewer module
+// visits than every one of the six static probe orders.
+func TestE18NWayAdaptiveGate(t *testing.T) {
+	nD4, nD6 := int64(600), int64(100)
+	if testing.Short() {
+		nD4, nD6 = 300, 60
+	}
+	res, err := e18Run(nD4, nD6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Adaptive) == 0 || len(res.Static) != 6 {
+		t.Fatalf("arm partition: adaptive=%v static=%v", res.Adaptive, res.Static)
+	}
+	for arm, v := range res.Visits {
+		if v <= 0 {
+			t.Errorf("%s: visits = %d", arm, v)
+		}
+	}
+	t.Logf("visits: %v", res.Visits)
+	if os.Getenv("TCQ_BENCH_STRICT") == "1" {
+		adaptive := res.Visits["adaptive selectivity"]
+		for _, s := range res.Static {
+			if adaptive >= res.Visits[s] {
+				t.Errorf("adaptive selectivity visits (%d) not below %s (%d) after the drift",
+					adaptive, s, res.Visits[s])
+			}
+		}
+	}
+}

@@ -1,5 +1,5 @@
 // Package bench implements the experiment harness: one runnable experiment
-// per table/figure/claim in DESIGN.md §4 (E1–E17). Each experiment returns
+// per table/figure/claim in DESIGN.md §4 (E1–E18). Each experiment returns
 // a Table pairing the paper's qualitative claim with measured numbers so
 // EXPERIMENTS.md can record paper-vs-measured. The cmd/tcqbench binary
 // runs them; root-level testing.B benchmarks reuse the same workloads.
@@ -135,6 +135,7 @@ func All() []Experiment {
 		{"E15", "Introspection overhead", E15Introspection},
 		{"E16", "Shared arrangements scaling", E16SharedArrangements},
 		{"E17", "Columnar zero-alloc hot path", E17ColumnarHotPath},
+		{"E18", "Adaptive N-way probe ordering under drift", E18NWayAdaptive},
 	}
 }
 

@@ -15,6 +15,7 @@ package cacq
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"telegraphcq/internal/arrange"
 	"telegraphcq/internal/chaos"
@@ -93,12 +94,17 @@ func New(layout *tuple.Layout, joins []JoinSpec, policy eddy.Policy) (*Engine, e
 	return newEngine(layout, joins, policy, nil)
 }
 
+// engineSeq numbers engine constructions so defaulted policies get distinct
+// seeds: repeated trials (fresh engines) adapt independently instead of
+// replaying one RNG stream.
+var engineSeq atomic.Int64
+
 func newEngine(layout *tuple.Layout, joins []JoinSpec, policy eddy.Policy, arr *ArrangedConfig) (*Engine, error) {
 	if err := eddy.CheckModuleCount(ModuleCount(layout, joins)); err != nil {
 		return nil, err
 	}
 	if policy == nil {
-		policy = eddy.NewLotteryPolicy(1)
+		policy = eddy.NewLotteryPolicy(engineSeq.Add(1))
 	}
 	e := &Engine{
 		layout:      layout,
@@ -350,6 +356,18 @@ func (e *Engine) EvictWindows(watermark int64) int {
 
 // Stats exposes the underlying eddy counters.
 func (e *Engine) Stats() eddy.Stats { return e.ed.Stats() }
+
+// SetRoutingPolicy swaps the shared eddy's routing policy at runtime (the
+// SET POLICY path). The factory receives shard -1: a sequential engine has
+// one eddy; the parallel engine shares this entry point with real shard
+// numbers.
+func (e *Engine) SetRoutingPolicy(newPol func(shard int) eddy.Policy) {
+	e.ed.SetPolicy(newPol(-1))
+}
+
+// PolicyInfo reports the active policy kind and its current module ranking
+// (EXPLAIN's probe order).
+func (e *Engine) PolicyInfo() (string, []int) { return e.ed.PolicyInfo() }
 
 // ModuleNames returns the eddy's module names in Stats order (the shared
 // module set is fixed at construction).

@@ -20,9 +20,9 @@ type ParallelOptions struct {
 	// QueueCap bounds each shard's input queue (default 8*BatchSize).
 	QueueCap int
 	// Policy builds each shard's routing policy (shards adapt
-	// independently; default lottery). Called once per shard plus once for
-	// the front engine.
-	Policy func() eddy.Policy
+	// independently; default lottery with per-shard derived seeds). Called
+	// once per worker shard plus once with shard -1 for the front engine.
+	Policy func(shard int) eddy.Policy
 	// Ordered enables the order-preserving merge: inputs must arrive with
 	// non-decreasing Seq, and delivery happens in exactly the sequential
 	// engine's order. Leave false for workloads without a global arrival
@@ -90,15 +90,20 @@ func NewParallelEngine(layout *tuple.Layout, joins []JoinSpec, opt ParallelOptio
 	}
 	pol := opt.Policy
 	if pol == nil {
-		pol = func() eddy.Policy { return eddy.NewLotteryPolicy(1) }
+		// Per-shard derived seeds off a per-construction base, so shards
+		// explore independently and repeated trials are independent too.
+		base := engineSeq.Add(1)
+		pol = func(shard int) eddy.Policy {
+			return eddy.NewLotteryPolicy(base*64 + int64(shard) + 2)
+		}
 	}
 	newEng := func(shard int) (*Engine, error) {
 		if opt.Arranged == nil {
-			return New(layout, joins, pol())
+			return New(layout, joins, pol(shard))
 		}
 		cfg := opt.Arranged(shard)
 		if cfg == nil {
-			return New(layout, joins, pol())
+			return New(layout, joins, pol(shard))
 		}
 		c := *cfg
 		// Slot reuse is unsound here: outputs already handed to the merge
@@ -106,7 +111,7 @@ func NewParallelEngine(layout *tuple.Layout, joins []JoinSpec, opt ParallelOptio
 		// freed slot's bit can still be in flight when the slot is
 		// reallocated. Monotone IDs also keep front/shard lockstep.
 		c.ReuseSlots = false
-		return NewArranged(layout, joins, pol(), c)
+		return NewArranged(layout, joins, pol(shard), c)
 	}
 	front, err := newEng(-1)
 	if err != nil {
@@ -290,6 +295,9 @@ func (p *Parallel) Stats() eddy.Stats {
 		agg.Visits += st.Visits
 		agg.Runs += st.Runs
 		agg.Splits += st.Splits
+		agg.Orders += st.Orders
+		agg.OrderReuses += st.OrderReuses
+		agg.NWayPruned += st.NWayPruned
 		if agg.Modules == nil {
 			agg.Modules = make([]eddy.ModuleStats, len(st.Modules))
 		}
@@ -313,6 +321,33 @@ func (p *Parallel) Stats() eddy.Stats {
 // ModuleNames returns the shared module set's names in Stats order (every
 // shard builds the same module list as the front engine).
 func (p *Parallel) ModuleNames() []string { return p.front.ModuleNames() }
+
+// SetRoutingPolicy swaps every shard's routing policy under a barrier
+// (atomic w.r.t. in-flight tuples); the front engine gets shard -1.
+func (p *Parallel) SetRoutingPolicy(newPol func(shard int) eddy.Policy) {
+	p.ctlMu.Lock()
+	defer p.ctlMu.Unlock()
+	p.front.SetRoutingPolicy(newPol)
+	p.pe.Barrier(func(shard int, s eddy.Shard) {
+		s.(parShard).Engine.SetRoutingPolicy(func(int) eddy.Policy { return newPol(shard) })
+	})
+}
+
+// PolicyInfo reports shard 0's policy kind and current module ranking —
+// shards adapt independently, so one representative order stands in for
+// the set (the front engine sees no tuples and never learns).
+func (p *Parallel) PolicyInfo() (string, []int) {
+	p.ctlMu.Lock()
+	defer p.ctlMu.Unlock()
+	var name string
+	var order []int
+	p.pe.Barrier(func(shard int, s eddy.Shard) {
+		if shard == 0 {
+			name, order = s.(parShard).Engine.PolicyInfo()
+		}
+	})
+	return name, order
+}
 
 // SetProbeTimer enables sampled probe latency measurement on every shard's
 // modules (barrier: applied atomically w.r.t. in-flight tuples).

@@ -87,6 +87,10 @@ type cqNode struct {
 	appliedShadow int // defs applied to shadow
 }
 
+// nodeSeq hands out distinct policy seeds across cluster nodes (and across
+// repeated clusters in one process), so node eddies adapt independently.
+var nodeSeq atomic.Int64
+
 // New starts the cluster.
 func New(cfg Config) (*ParallelCQ, error) {
 	if cfg.Layout == nil {
@@ -128,13 +132,17 @@ func New(cfg Config) (*ParallelCQ, error) {
 		KeyCol:    0, // routed tuples are rewrapped with the key first
 		Replicate: cfg.Replicate,
 	}, func() flux.Consumer {
-		eng, err := cacq.New(cfg.Layout, cfg.Joins, eddy.NewLotteryPolicy(1))
+		// Per-node seeds: each node's eddy (and its shadow replica) adapts
+		// independently instead of every node sharing one hard-coded seed.
+		// Odd/even split keeps primary and shadow lotteries distinct.
+		seed := nodeSeq.Add(1) * 2
+		eng, err := cacq.New(cfg.Layout, cfg.Joins, eddy.NewLotteryPolicy(seed))
 		if err != nil {
 			panic(err) // unreachable: validated before flux.New below
 		}
 		n := &cqNode{p: p, eng: eng}
 		if cfg.Replicate {
-			shadow, err := cacq.New(cfg.Layout, cfg.Joins, eddy.NewLotteryPolicy(2))
+			shadow, err := cacq.New(cfg.Layout, cfg.Joins, eddy.NewLotteryPolicy(seed+1))
 			if err != nil {
 				panic(err)
 			}

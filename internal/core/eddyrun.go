@@ -109,9 +109,15 @@ func newEddyRuntime(q *RunningQuery) (runtime, error) {
 	}
 	rt.stems = stems
 
-	rt.ed = eddy.New(plan.Footprint, eddy.NewLotteryPolicy(int64(q.ID)+1), rt.output, modules...)
+	rt.ed = eddy.New(plan.Footprint, q.engine.routingPolicy(int64(q.ID)+1), rt.output, modules...)
 	rt.ed.SetClock(q.engine.opts.Clock)
 	rt.ed.SetRecycler(rt.pool)
+	if every := q.engine.nwayEvery(plan); every > 0 {
+		rt.ed.SetNWay(every)
+		if sink := q.engine.orderSink(fmt.Sprintf("q%d", q.ID), moduleNames(modules)); sink != nil {
+			rt.ed.SetOrderSink(sink)
+		}
+	}
 	if q.engine.opts.Introspect {
 		for _, sm := range stems {
 			sm.SetProbeTimer(q.engine.opts.Clock, 0)

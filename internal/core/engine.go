@@ -26,6 +26,7 @@ import (
 	"telegraphcq/internal/arrange"
 	"telegraphcq/internal/catalog"
 	"telegraphcq/internal/chaos"
+	"telegraphcq/internal/eddy"
 	"telegraphcq/internal/executor"
 	"telegraphcq/internal/fjord"
 	"telegraphcq/internal/ingress"
@@ -106,6 +107,14 @@ type Options struct {
 	Introspect bool
 	// IntrospectInterval is the collector's tick period (default 250ms).
 	IntrospectInterval time.Duration
+	// Routing selects the eddy routing policy engine-wide (§4.3): policy
+	// kind (lottery, naive, fixed, batching, fixing, selectivity), a seed
+	// offset, the batching/fixing knobs, and batch-granular N-way
+	// probe-order planning for 3+-stream joins. The zero value keeps the
+	// legacy per-runtime lottery seeding, bit-identical to previous
+	// behavior. Individual queries can be re-routed live with
+	// Engine.SetQueryPolicy (the SET POLICY wire command).
+	Routing eddy.RoutingConfig
 }
 
 func (o *Options) defaults() {

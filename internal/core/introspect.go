@@ -40,6 +40,11 @@ type QueryTelemetry struct {
 	QueueDepth int
 	Results    int64
 	Modules    []ModuleTelemetry
+	// Policy names the routing policy steering this query's eddy (empty
+	// without an eddy); Order is the policy's current deterministic probe
+	// ranking as module names, best first.
+	Policy string
+	Order  []string
 }
 
 // moduleTelemetry zips module names, eddy counters, and probe latencies
@@ -108,6 +113,7 @@ func (q *RunningQuery) Telemetry() QueryTelemetry {
 		qt.HasEddy = true
 		qt.Modules, qt.Stats = q.shared.telemetry()
 		qt.QueueDepth = q.shared.queueDepth()
+		qt.Policy, qt.Order = q.shared.policyInfo()
 		return qt
 	}
 	for _, c := range q.inputs {
@@ -117,10 +123,19 @@ func (q *RunningQuery) Telemetry() QueryTelemetry {
 	case *eddyRuntime:
 		qt.HasEddy = true
 		qt.Modules, qt.Stats = rt.telemetry(qt.Label)
+		var order []int
+		rt.mu.Lock()
+		qt.Policy, order = rt.ed.PolicyInfo()
+		names := moduleNames(rt.ed.Modules())
+		rt.mu.Unlock()
+		qt.Order = orderNames(names, order)
 	case *parEddyRuntime:
 		qt.HasEddy = true
 		qt.Stats = rt.Stats()
 		qt.Modules = moduleTelemetry(qt.Label, rt.moduleNames(), qt.Stats, rt.moduleProbeNanos())
+		var order []int
+		qt.Policy, order = rt.policyInfo()
+		qt.Order = orderNames(rt.moduleNames(), order)
 	}
 	return qt
 }

@@ -135,10 +135,16 @@ func newParEddyRuntime(q *RunningQuery, keyCols []int) (runtime, error) {
 		},
 		NewShard: func(shard int, emit func(*tuple.Tuple)) eddy.Shard {
 			modules, stems := buildQueryModules(plan)
-			ed := eddy.New(plan.Footprint, eddy.NewLotteryPolicy(int64(q.ID)*64+int64(shard)+1), emit, modules...)
+			ed := eddy.New(plan.Footprint, e.routingPolicy(int64(q.ID)*64+int64(shard)+1), emit, modules...)
 			ed.SetClock(e.opts.Clock)
 			if rt.pool != nil {
 				ed.SetRecycler(rt.pool)
+			}
+			if every := e.nwayEvery(plan); every > 0 {
+				ed.SetNWay(every)
+				if sink := e.orderSink(fmt.Sprintf("q%d/s%d", q.ID, shard), rt.modNames); sink != nil {
+					ed.SetOrderSink(sink)
+				}
 			}
 			if e.opts.Introspect {
 				for _, sm := range stems {
@@ -249,6 +255,9 @@ func (rt *parEddyRuntime) Stats() eddy.Stats {
 		agg.Visits += st.Visits
 		agg.Runs += st.Runs
 		agg.Splits += st.Splits
+		agg.Orders += st.Orders
+		agg.OrderReuses += st.OrderReuses
+		agg.NWayPruned += st.NWayPruned
 		if agg.Modules == nil {
 			agg.Modules = make([]eddy.ModuleStats, len(st.Modules))
 		}
@@ -296,16 +305,31 @@ func (rt *parEddyRuntime) moduleProbeNanos() []int64 {
 	return sums
 }
 
+// policyInfo reports shard 0's routing policy and deterministic probe-order
+// ranking (every shard runs the same policy kind; learned state may differ
+// per key range).
+func (rt *parEddyRuntime) policyInfo() (name string, order []int) {
+	rt.pe.Barrier(func(shard int, s eddy.Shard) {
+		if shard == 0 {
+			name, order = s.(*eddy.Eddy).PolicyInfo()
+		}
+	})
+	return name, order
+}
+
 // registerParMetrics exports the shard-layer series (queue depths, batch
 // sizes, merge buffer) plus the aggregate eddy counters for this query.
 func (rt *parEddyRuntime) registerParMetrics(reg queryMetrics) {
 	lbl := fmt.Sprintf(`{query="%d"}`, rt.q.ID)
 	for name, get := range map[string]func(eddy.Stats) int64{
-		"tcq_eddy_ingested_total":  func(s eddy.Stats) int64 { return s.Ingested },
-		"tcq_eddy_emitted_total":   func(s eddy.Stats) int64 { return s.Emitted },
-		"tcq_eddy_dropped_total":   func(s eddy.Stats) int64 { return s.Dropped },
-		"tcq_eddy_decisions_total": func(s eddy.Stats) int64 { return s.Decisions },
-		"tcq_eddy_visits_total":    func(s eddy.Stats) int64 { return s.Visits },
+		"tcq_eddy_ingested_total":       func(s eddy.Stats) int64 { return s.Ingested },
+		"tcq_eddy_emitted_total":        func(s eddy.Stats) int64 { return s.Emitted },
+		"tcq_eddy_dropped_total":        func(s eddy.Stats) int64 { return s.Dropped },
+		"tcq_eddy_decisions_total":      func(s eddy.Stats) int64 { return s.Decisions },
+		"tcq_eddy_visits_total":         func(s eddy.Stats) int64 { return s.Visits },
+		"tcq_policy_orders_total":       func(s eddy.Stats) int64 { return s.Orders },
+		"tcq_policy_order_reuses_total": func(s eddy.Stats) int64 { return s.OrderReuses },
+		"tcq_nway_pruned_total":         func(s eddy.Stats) int64 { return s.NWayPruned },
 	} {
 		get := get
 		reg.RegisterFunc(name+lbl, metrics.KindCounter, func() float64 {

@@ -282,11 +282,14 @@ func (q *RunningQuery) registerMetrics() {
 		return
 	}
 	for name, get := range map[string]func(eddy.Stats) int64{
-		"tcq_eddy_ingested_total":  func(s eddy.Stats) int64 { return s.Ingested },
-		"tcq_eddy_emitted_total":   func(s eddy.Stats) int64 { return s.Emitted },
-		"tcq_eddy_dropped_total":   func(s eddy.Stats) int64 { return s.Dropped },
-		"tcq_eddy_decisions_total": func(s eddy.Stats) int64 { return s.Decisions },
-		"tcq_eddy_visits_total":    func(s eddy.Stats) int64 { return s.Visits },
+		"tcq_eddy_ingested_total":       func(s eddy.Stats) int64 { return s.Ingested },
+		"tcq_eddy_emitted_total":        func(s eddy.Stats) int64 { return s.Emitted },
+		"tcq_eddy_dropped_total":        func(s eddy.Stats) int64 { return s.Dropped },
+		"tcq_eddy_decisions_total":      func(s eddy.Stats) int64 { return s.Decisions },
+		"tcq_eddy_visits_total":         func(s eddy.Stats) int64 { return s.Visits },
+		"tcq_policy_orders_total":       func(s eddy.Stats) int64 { return s.Orders },
+		"tcq_policy_order_reuses_total": func(s eddy.Stats) int64 { return s.OrderReuses },
+		"tcq_nway_pruned_total":         func(s eddy.Stats) int64 { return s.NWayPruned },
 	} {
 		get := get
 		reg.RegisterFunc(name+lbl, metrics.KindCounter, func() float64 {

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"telegraphcq/internal/eddy"
+	"telegraphcq/internal/introspect"
+	"telegraphcq/internal/sql"
+	"telegraphcq/internal/tuple"
+)
+
+// This file is the one place routing policies are constructed: every
+// runtime (private eddy, parallel shards, shared CACQ classes, sequential
+// or parallel) resolves Options.Routing through the engine factory below
+// with its historically-derived seed, instead of hard-coding policy
+// literals per construction site.
+
+// routingPolicy resolves Options.Routing into a policy instance for one
+// eddy. seed is the runtime-derived base (per query, per shard, per class).
+// With the zero config this returns exactly the legacy
+// eddy.NewLotteryPolicy(seed); an invalid Kind (only reachable by setting
+// Options.Routing programmatically — the flag/wire parsers validate) falls
+// back to the same legacy lottery.
+func (e *Engine) routingPolicy(seed int64) eddy.Policy {
+	p, err := e.opts.Routing.NewPolicy(seed)
+	if err != nil {
+		return eddy.NewLotteryPolicy(seed)
+	}
+	return p
+}
+
+// classSeed derives a shared class's policy seed from its class key, so
+// every engine resolving the same class (e.g. both sides of an
+// arrangement-equivalence pin) seeds identically while distinct classes
+// adapt independently — replacing the historical hard-coded seed 1.
+func classSeed(key string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return int64(h.Sum64()&(1<<62-1)) + 1
+}
+
+// nwayEligible reports whether a plan's join graph spans three or more
+// streams — the shape where a per-batch probe-order plan (one ChooseOrder
+// across all SteMs) differs from per-hop binary routing.
+func nwayEligible(plan *sql.Plan) bool {
+	if len(plan.Joins) == 0 {
+		return false
+	}
+	participates := map[int]bool{}
+	for _, j := range plan.Joins {
+		participates[j.StreamA] = true
+		participates[j.StreamB] = true
+	}
+	return len(participates) >= 3
+}
+
+// nwayEvery returns the probe-order reuse interval for a plan, or 0 when
+// the k-ary chain stays off: Routing unset (the legacy pin), nway=off, or
+// a join graph too small to benefit.
+func (e *Engine) nwayEvery(plan *sql.Plan) int {
+	r := e.opts.Routing
+	if r.IsZero() || r.NoNWay || !nwayEligible(plan) {
+		return 0
+	}
+	return r.EveryOrDefault()
+}
+
+// orderSink returns a publisher recording fresh probe-order plans as
+// tcq.routes rows under owner (path column: "order:SteM(A)>SteM(B)>…"),
+// or nil when introspection is off. Safe to call from worker goroutines —
+// the introspection ring is a bounded multi-producer buffer.
+func (e *Engine) orderSink(owner string, names []string) func(sig uint64, order []int) {
+	if e.intro == nil {
+		return nil
+	}
+	in := e.intro
+	return func(sig uint64, order []int) {
+		parts := make([]string, 0, len(order))
+		for _, i := range order {
+			if i >= 0 && i < len(names) {
+				parts = append(parts, names[i])
+			}
+		}
+		in.ring.Publish(introspect.Row{
+			Stream: introspect.RoutesStream,
+			Vals: []tuple.Value{
+				tuple.Time(e.opts.Clock.Now().UnixNano()),
+				tuple.String_(owner),
+				tuple.Int(int64(sig)),
+				tuple.Bool(false),
+				tuple.Int(int64(len(order))),
+				tuple.Int(0),
+				tuple.String_("order:" + strings.Join(parts, ">")),
+			},
+		})
+	}
+}
+
+// SetQueryPolicy swaps a standing query's routing policy at runtime (the
+// SET POLICY wire command): the spec is ParseRouting grammar, e.g.
+// "selectivity every=16" or "fixed order=2,1,3". The swap applies to the
+// query's private eddy, each of its parallel shards (under a barrier), or
+// its whole shared class — every member of a shared class is re-routed
+// together, since they share one super-query eddy. Learned routing state
+// starts fresh. Windowed and columnar runtimes have no adaptive routing
+// layer and report an error.
+func (e *Engine) SetQueryPolicy(qid int, spec string) error {
+	cfg, err := eddy.ParseRouting(spec)
+	if err != nil {
+		return err
+	}
+	q, ok := e.Query(qid)
+	if !ok {
+		return fmt.Errorf("core: query %d not found", qid)
+	}
+	newPol := func(seed int64) eddy.Policy {
+		p, perr := cfg.NewPolicy(seed)
+		if perr != nil {
+			p = eddy.NewLotteryPolicy(seed)
+		}
+		return p
+	}
+	nwayEvery := 0
+	if !cfg.NoNWay && nwayEligible(q.Plan) {
+		nwayEvery = cfg.EveryOrDefault()
+	}
+	if q.shared != nil {
+		sc := q.shared
+		seed := classSeed(sc.key)
+		sc.mu.Lock()
+		defer sc.mu.Unlock()
+		sc.eng.SetRoutingPolicy(func(shard int) eddy.Policy {
+			return newPol(seed + int64(shard) + 2)
+		})
+		return nil
+	}
+	switch rt := q.rt.(type) {
+	case *eddyRuntime:
+		rt.mu.Lock()
+		defer rt.mu.Unlock()
+		rt.ed.SetPolicy(newPol(int64(q.ID) + 1))
+		rt.ed.SetNWay(nwayEvery)
+		return nil
+	case *parEddyRuntime:
+		rt.pe.Barrier(func(shard int, s eddy.Shard) {
+			ed := s.(*eddy.Eddy)
+			ed.SetPolicy(newPol(int64(q.ID)*64 + int64(shard) + 1))
+			ed.SetNWay(nwayEvery)
+		})
+		return nil
+	default:
+		return fmt.Errorf("core: query %d runs on a runtime without an adaptive routing layer", qid)
+	}
+}
+
+// moduleNames snapshots the display names of an eddy module set.
+func moduleNames(modules []eddy.Module) []string {
+	names := make([]string, len(modules))
+	for i, m := range modules {
+		names[i] = m.Name()
+	}
+	return names
+}
+
+// orderNames maps a module-index ranking to module names.
+func orderNames(names []string, order []int) []string {
+	out := make([]string, 0, len(order))
+	for _, i := range order {
+		if i >= 0 && i < len(names) {
+			out = append(out, names[i])
+		}
+	}
+	return out
+}

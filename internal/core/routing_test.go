@@ -1,0 +1,191 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"telegraphcq/internal/eddy"
+	"telegraphcq/internal/tuple"
+)
+
+// newThreeWayEngine builds the TestThreeWayJoinCQ topology — a join chain
+// A.k=B.k AND B.j=C.j through three SteMs — under the given options and
+// feeds the fixed dataset producing exactly 24 results.
+func newThreeWayEngine(t *testing.T, opts Options) (*Engine, *RunningQuery) {
+	t.Helper()
+	e := NewEngine(opts)
+	t.Cleanup(e.Stop)
+	mkStream := func(name string, cols ...string) {
+		cs := make([]tuple.Column, len(cols))
+		for i, c := range cols {
+			cs[i] = tuple.Column{Name: c, Kind: tuple.KindInt}
+		}
+		if err := e.CreateStream(name, tuple.NewSchema(name, cs...), -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mkStream("A", "k", "va")
+	mkStream("B", "k", "j")
+	mkStream("C", "j", "vc")
+	q, err := e.Register(`SELECT A.va, C.vc FROM A, B, C
+		WHERE A.k = B.k AND B.j = C.j`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 6; i++ {
+		e.Feed("A", tuple.New(tuple.Int(i%2), tuple.Int(i)))
+	}
+	for i := int64(0); i < 4; i++ {
+		e.Feed("B", tuple.New(tuple.Int(i%2), tuple.Int(i%2)))
+	}
+	for i := int64(0); i < 4; i++ {
+		e.Feed("C", tuple.New(tuple.Int(i%2), tuple.Int(i)))
+	}
+	return e, q
+}
+
+// TestNWayRoutingEquivalence runs the three-way join under every policy
+// kind with N-way probe-order planning on, and checks each configuration
+// produces exactly the sequential-lottery result count: the k-ary probe
+// chain and doomed-intermediate pruning change the work, never the output
+// multiset.
+func TestNWayRoutingEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		routing eddy.RoutingConfig
+	}{
+		{"legacy", eddy.RoutingConfig{}},
+		{"lottery-nway", eddy.RoutingConfig{Kind: "lottery"}},
+		{"selectivity-nway", eddy.RoutingConfig{Kind: "selectivity", Every: 4}},
+		{"fixing-nway", eddy.RoutingConfig{Kind: "fixing", Refresh: 32}},
+		{"fixed-order", eddy.RoutingConfig{Kind: "fixed", Order: []int{2, 1, 0}}},
+		{"naive-no-nway", eddy.RoutingConfig{Kind: "naive", NoNWay: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, q := newThreeWayEngine(t, Options{EOs: 1, Routing: tc.routing})
+			waitFor(t, "24 three-way results", func() bool { return q.Results() == 24 })
+			st, ok := q.EddyStats()
+			if !ok {
+				t.Fatal("no eddy stats")
+			}
+			nwayOn := !tc.routing.IsZero() && !tc.routing.NoNWay
+			if nwayOn && st.Orders == 0 {
+				t.Errorf("%s: N-way enabled but no ChooseOrder plans drawn", tc.name)
+			}
+			if !nwayOn && (st.Orders != 0 || st.NWayPruned != 0) {
+				t.Errorf("%s: N-way off but orders=%d pruned=%d", tc.name, st.Orders, st.NWayPruned)
+			}
+			if nwayOn && st.NWayPruned == 0 {
+				// B tuples can probe SteM(A) and SteM(C): after the chosen
+				// hop the sibling must have been pruned at least once.
+				t.Errorf("%s: expected doomed-intermediate pruning on a 3-way join", tc.name)
+			}
+		})
+	}
+}
+
+// TestSetQueryPolicyLive swaps the routing policy of a running three-way
+// join mid-stream and checks the engine keeps producing correct results and
+// reports the new policy in its telemetry.
+func TestSetQueryPolicyLive(t *testing.T) {
+	e, q := newThreeWayEngine(t, Options{EOs: 1})
+	waitFor(t, "24 three-way results", func() bool { return q.Results() == 24 })
+
+	if err := e.SetQueryPolicy(q.ID, "selectivity every=8"); err != nil {
+		t.Fatal(err)
+	}
+	qt := q.Telemetry()
+	if qt.Policy != "selectivity" {
+		t.Fatalf("telemetry policy = %q after SET POLICY, want selectivity", qt.Policy)
+	}
+	if len(qt.Order) != 3 || !strings.Contains(strings.Join(qt.Order, ">"), "SteM") {
+		t.Fatalf("telemetry order = %v, want three SteMs", qt.Order)
+	}
+
+	// More data after the swap. A B row probes both SteM(A) and SteM(C), so
+	// it forces an N-way probe-order plan: k=0 matches 3 A rows, j=0
+	// matches 2 C rows → +6 results.
+	e.Feed("B", tuple.New(tuple.Int(0), tuple.Int(0)))
+	waitFor(t, "30 results after policy swap", func() bool { return q.Results() == 30 })
+	st, _ := q.EddyStats()
+	if st.Orders == 0 {
+		t.Error("swapped-in policy never planned an N-way order")
+	}
+
+	if err := e.SetQueryPolicy(q.ID, "warlock"); err == nil {
+		t.Error("bad policy kind accepted")
+	}
+	if err := e.SetQueryPolicy(9999, "lottery"); err == nil {
+		t.Error("unknown query id accepted")
+	}
+}
+
+// TestRoutingThreadsAllRuntimes checks Options.Routing reaches the
+// parallel shards and shared classes, not just private eddies.
+func TestRoutingThreadsAllRuntimes(t *testing.T) {
+	t.Run("parallel", func(t *testing.T) {
+		// A single-key-class equijoin is parallel-eligible; the three-way
+		// chain above is not (two key classes), so use two streams here.
+		e := NewEngine(Options{EOs: 1, Workers: 2,
+			Routing: eddy.RoutingConfig{Kind: "selectivity"}})
+		defer e.Stop()
+		mkInt := func(name string, cols ...string) {
+			cs := make([]tuple.Column, len(cols))
+			for i, c := range cols {
+				cs[i] = tuple.Column{Name: c, Kind: tuple.KindInt}
+			}
+			if err := e.CreateStream(name, tuple.NewSchema(name, cs...), -1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mkInt("S", "k", "v")
+		mkInt("R", "k", "w")
+		q, err := e.Register(`SELECT S.v, R.w FROM S, R WHERE S.k = R.k`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := q.rt.(*parEddyRuntime); !ok {
+			t.Fatalf("query runs on %T, want the parallel runtime", q.rt)
+		}
+		for i := int64(0); i < 4; i++ {
+			e.Feed("S", tuple.New(tuple.Int(i%2), tuple.Int(i)))
+			e.Feed("R", tuple.New(tuple.Int(i%2), tuple.Int(i)))
+		}
+		// Per key: 2 S x 2 R = 4; two keys → 8.
+		waitFor(t, "8 parallel join results", func() bool { return q.Results() == 8 })
+		if qt := q.Telemetry(); qt.Policy != "selectivity" {
+			t.Fatalf("parallel telemetry policy = %q, want selectivity", qt.Policy)
+		}
+		if err := e.SetQueryPolicy(q.ID, "lottery"); err != nil {
+			t.Fatal(err)
+		}
+		if qt := q.Telemetry(); qt.Policy != "lottery" {
+			t.Fatalf("parallel telemetry policy = %q after swap, want lottery", qt.Policy)
+		}
+	})
+	t.Run("shared", func(t *testing.T) {
+		e := NewEngine(Options{EOs: 1, Routing: eddy.RoutingConfig{Kind: "selectivity"}})
+		defer e.Stop()
+		if err := e.CreateStream("s", tuple.NewSchema("s",
+			tuple.Column{Name: "x", Kind: tuple.KindInt}), -1); err != nil {
+			t.Fatal(err)
+		}
+		q, err := e.Register(`SELECT x FROM s WHERE x > 2`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := int64(0); i < 6; i++ {
+			e.Feed("s", tuple.New(tuple.Int(i)))
+		}
+		waitFor(t, "3 shared results", func() bool { return q.Results() == 3 })
+		if qt := q.Telemetry(); qt.Policy != "selectivity" {
+			t.Fatalf("shared telemetry policy = %q, want selectivity", qt.Policy)
+		}
+		if err := e.SetQueryPolicy(q.ID, "lottery"); err != nil {
+			t.Fatal(err)
+		}
+		if qt := q.Telemetry(); qt.Policy != "lottery" {
+			t.Fatalf("shared telemetry policy = %q after swap, want lottery", qt.Policy)
+		}
+	})
+}

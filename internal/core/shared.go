@@ -66,6 +66,8 @@ type sharedEngine interface {
 	ModuleNames() []string
 	SetProbeTimer(clk chaos.Clock, every int)
 	ModuleProbeNanos() []int64
+	SetRoutingPolicy(newPol func(shard int) eddy.Policy)
+	PolicyInfo() (name string, order []int)
 }
 
 // qualifiesShared reports whether a plan can join a shared selection class.
@@ -167,6 +169,10 @@ func (e *Engine) sharedClassFor(plan *sql.Plan) (*sharedClass, error) {
 	for range streams {
 		sc.conns = append(sc.conns, fjord.NewConn(fjord.Push, e.opts.QueueCap))
 	}
+	// Class-key-derived seed: every engine resolving the same class seeds
+	// identically (the arrangement-equivalence pins compare two engines
+	// running the same class), while distinct classes adapt independently.
+	seed := classSeed(key)
 	if e.opts.Workers > 1 {
 		popt := cacq.ParallelOptions{
 			Workers:   e.opts.Workers,
@@ -175,6 +181,9 @@ func (e *Engine) sharedClassFor(plan *sql.Plan) (*sharedClass, error) {
 			// span independently-sequenced streams; their results are a
 			// multiset, merged unordered.
 			Ordered: len(joins) == 0,
+			Policy: func(shard int) eddy.Policy {
+				return e.routingPolicy(seed + int64(shard) + 2)
+			},
 		}
 		if e.opts.SharedArrangements {
 			popt.Arranged = func(shard int) *cacq.ArrangedConfig {
@@ -187,7 +196,7 @@ func (e *Engine) sharedClassFor(plan *sql.Plan) (*sharedClass, error) {
 		}
 		sc.eng = par
 	} else if e.opts.SharedArrangements {
-		seq, err := cacq.NewArranged(plan.Layout, joins, eddy.NewLotteryPolicy(1), cacq.ArrangedConfig{
+		seq, err := cacq.NewArranged(plan.Layout, joins, e.routingPolicy(seed), cacq.ArrangedConfig{
 			Provider: e.arrangedProvider(key, -1),
 			// The sequential step is fully synchronous, so freed lineage
 			// slots can be scrubbed and reused — bitmaps stay dense under
@@ -199,7 +208,7 @@ func (e *Engine) sharedClassFor(plan *sql.Plan) (*sharedClass, error) {
 		}
 		sc.eng = seq
 	} else {
-		seq, err := cacq.New(plan.Layout, joins, eddy.NewLotteryPolicy(1))
+		seq, err := cacq.New(plan.Layout, joins, e.routingPolicy(seed))
 		if err != nil {
 			return nil, err
 		}
@@ -336,6 +345,15 @@ func (sc *sharedClass) remove(queryID int) {
 		sc.eng.RemoveQuery(cqID)
 		delete(sc.members, queryID)
 	}
+}
+
+// policyInfo reports the class engine's routing policy and its current
+// deterministic probe ranking as module names.
+func (sc *sharedClass) policyInfo() (string, []string) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	name, order := sc.eng.PolicyInfo()
+	return name, orderNames(sc.eng.ModuleNames(), order)
 }
 
 // queueDepth sums the class's pending input across its queues.

@@ -79,9 +79,18 @@ type Stats struct {
 	// Runs counts lineage-homogeneous work batches created by enqueueRuns;
 	// Splits counts the extra batches beyond one per enqueue — how often a
 	// batch had to split because its tuples' routing diverged.
-	Runs    int64
-	Splits  int64
-	Modules []ModuleStats
+	Runs   int64
+	Splits int64
+	// Orders counts fresh ChooseOrder plans drawn on the N-way path;
+	// OrderReuses counts batches that rode a cached plan instead (the §4.3
+	// batching knob at probe-order granularity). NWayPruned counts module
+	// visits the k-ary probe chain skipped because the intermediate they
+	// would produce was provably doomed (its Done set already excluded it
+	// from ever spanning the full query).
+	Orders      int64
+	OrderReuses int64
+	NWayPruned  int64
+	Modules     []ModuleStats
 	// Tickets is the routing policy's per-module lottery ticket counts
 	// (nil for policies without tickets), exposing the adaptation state
 	// itself — not just its outcome — over STATS.
@@ -105,6 +114,18 @@ type Eddy struct {
 	selMask  tuple.Mask     // reused selection mask for the per-tuple partition adapter
 	appliesC map[tuple.SourceSet]uint64
 	buildsC  map[tuple.SourceSet]uint64
+	probesC  map[tuple.SourceSet]uint64
+
+	// N-way probe chaining (§4.3 batched decisions + k-ary chains): when
+	// enabled, each lineage-homogeneous batch gets one full probe-order
+	// plan from policy.ChooseOrder, cached per (source, ready) signature
+	// for orderEvery reuses, and after a probe hop the remaining sibling
+	// probe-SteMs are marked done without being visited — the alternative
+	// intermediates are provably doomed in a private (non-shared) eddy.
+	nway       bool
+	orderEvery int
+	orderCache map[uint64]*orderEntry
+	orderSink  func(sig uint64, order []int)
 
 	// complete, when set, observes every tuple that has visited all of
 	// its applicable modules — including partial (sub-join) tuples. CACQ
@@ -159,7 +180,81 @@ func New(allSources tuple.SourceSet, policy Policy, out func(*tuple.Tuple), modu
 	}
 	e.stats.Modules = make([]ModuleStats, len(modules))
 	policy.Reset(len(modules))
+	e.wirePolicy(policy)
 	return e
+}
+
+// costSettable is implemented by policies (SelectivityPolicy) that rank by
+// observed per-module cost; the eddy feeds them its modules' probe timers.
+type costSettable interface {
+	SetCostSource(func(idx int) int64)
+}
+
+// wirePolicy connects policy extras — currently the cost source — to this
+// eddy's module set.
+func (e *Eddy) wirePolicy(p Policy) {
+	if cs, ok := p.(costSettable); ok {
+		mods := e.modules
+		cs.SetCostSource(func(idx int) int64 {
+			if idx >= 0 && idx < len(mods) {
+				if pn, ok := mods[idx].(interface{ ProbeNanos() int64 }); ok {
+					return pn.ProbeNanos()
+				}
+			}
+			return 0
+		})
+	}
+}
+
+// orderEntry is one cached probe-order plan.
+type orderEntry struct {
+	order []int
+	left  int
+}
+
+// orderCacheCap bounds the per-signature plan cache; signatures are few in
+// steady state, so overflow means lineage churn — flush and replan.
+const orderCacheCap = 256
+
+// SetNWay enables batch-granular N-way probe-order planning: one
+// policy.ChooseOrder call plans the whole chain, reused for every batches
+// per (source, ready) signature before the policy is re-consulted.
+// every < 1 disables N-way planning and returns to per-hop routing.
+func (e *Eddy) SetNWay(every int) {
+	if every < 1 {
+		e.nway = false
+		e.orderEvery = 0
+		e.orderCache = nil
+		return
+	}
+	e.nway = true
+	e.orderEvery = every
+	e.orderCache = make(map[uint64]*orderEntry)
+}
+
+// SetOrderSink installs fn to observe every fresh probe-order plan (for
+// introspection: orders flow into tcq.routes). Reused plans are not
+// re-reported.
+func (e *Eddy) SetOrderSink(fn func(sig uint64, order []int)) { e.orderSink = fn }
+
+// SetPolicy swaps the routing policy at runtime (the SET POLICY wire
+// command). Learned state starts fresh; cached probe orders are dropped.
+func (e *Eddy) SetPolicy(p Policy) {
+	if p == nil {
+		p = NewNaivePolicy()
+	}
+	e.policy = p
+	p.Reset(len(e.modules))
+	e.wirePolicy(p)
+	if e.orderCache != nil {
+		e.orderCache = make(map[uint64]*orderEntry)
+	}
+}
+
+// PolicyInfo reports the active policy's kind and its current module
+// ranking (EXPLAIN's probe order) without perturbing policy state.
+func (e *Eddy) PolicyInfo() (name string, order []int) {
+	return PolicyName(e.policy), CurrentOrder(e.policy, len(e.modules))
 }
 
 // Modules returns the attached modules (read-only use).
@@ -198,6 +293,10 @@ func (e *Eddy) SetClock(clk chaos.Clock) {
 func (e *Eddy) InvalidateMasks() {
 	e.appliesC = make(map[tuple.SourceSet]uint64)
 	e.buildsC = make(map[tuple.SourceSet]uint64)
+	e.probesC = nil
+	if e.orderCache != nil {
+		e.orderCache = make(map[uint64]*orderEntry)
+	}
 }
 
 // Stats returns a snapshot of activity counters.
@@ -239,6 +338,25 @@ func (e *Eddy) buildMask(src tuple.SourceSet) uint64 {
 		}
 	}
 	e.buildsC[src] = m
+	return m
+}
+
+// probeMask returns the bitmap of Builder modules (SteMs) that tuples
+// spanning src probe — applicable but not build targets.
+func (e *Eddy) probeMask(src tuple.SourceSet) uint64 {
+	if m, ok := e.probesC[src]; ok {
+		return m
+	}
+	var m uint64
+	for i, mod := range e.modules {
+		if b, ok := mod.(Builder); ok && mod.AppliesTo(src) && !b.BuildsFor(src) {
+			m |= 1 << uint(i)
+		}
+	}
+	if e.probesC == nil {
+		e.probesC = make(map[tuple.SourceSet]uint64)
+	}
+	e.probesC[src] = m
 	return m
 }
 
@@ -348,6 +466,8 @@ func (e *Eddy) step(b *tuple.Batch) {
 	var idx int
 	if builds := e.buildMask(t0.Source) & ready; builds != 0 {
 		idx = trailingZeros(builds)
+	} else if e.nway && bits.OnesCount64(ready) > 1 {
+		idx = e.chooseNWay(t0, ready)
 	} else {
 		idx = e.policy.Choose(t0, ready)
 		e.stats.Decisions++
@@ -386,6 +506,19 @@ func (e *Eddy) step(b *tuple.Batch) {
 	}
 
 	bit := uint64(1) << uint(idx)
+	// K-ary probe chain pruning: in a private eddy (no completion hook,
+	// full-span output only), once a batch takes one probe hop, probing any
+	// sibling SteM later could only yield intermediates whose Done set
+	// already contains this SteM — they can never complete the full span
+	// and are provably dead. Mark those siblings done on the survivors
+	// without visiting them. Outputs below keep only the producing
+	// module's bit: they span more streams and get a fresh plan.
+	var skip uint64
+	if e.nway && e.complete == nil && e.all != 0 {
+		if pm := e.probeMask(t0.Source); pm&bit != 0 {
+			skip = pm & ready &^ bit
+		}
+	}
 	for _, t := range b.Tuples[passed:] {
 		e.stats.Dropped++
 		if e.tracer != nil && e.tracer.Live(t) {
@@ -415,14 +548,57 @@ func (e *Eddy) step(b *tuple.Batch) {
 		e.putBatch(b)
 		return
 	}
-	for _, t := range b.Tuples {
-		t.MarkDone(bit)
+	if skip != 0 {
+		e.stats.NWayPruned += int64(bits.OnesCount64(skip)) * int64(passed)
 	}
-	if required&^(doneBefore|bit) == 0 {
+	for _, t := range b.Tuples {
+		t.MarkDone(bit | skip)
+	}
+	if required&^(doneBefore|bit|skip) == 0 {
 		e.finishBatch(b, required)
 		return
 	}
 	e.push(b)
+}
+
+// chooseNWay picks the batch's next module from a cached full probe-order
+// plan, drawing a fresh plan from the policy only when the cached one has
+// been reused orderEvery times (or no plan exists for this signature).
+func (e *Eddy) chooseNWay(t0 *tuple.Tuple, ready uint64) int {
+	sig := uint64(t0.Source)<<32 ^ ready
+	ent := e.orderCache[sig]
+	if ent == nil || ent.left <= 0 {
+		order := e.policy.ChooseOrder(sig, ready)
+		e.stats.Orders++
+		e.stats.Decisions++
+		if ent == nil {
+			if len(e.orderCache) >= orderCacheCap {
+				e.orderCache = make(map[uint64]*orderEntry)
+			}
+			ent = &orderEntry{}
+			e.orderCache[sig] = ent
+		}
+		ent.order = append(ent.order[:0], order...)
+		ent.left = e.orderEvery
+		if e.orderSink != nil {
+			e.orderSink(sig, ent.order)
+		}
+	} else {
+		e.stats.OrderReuses++
+	}
+	ent.left--
+	for _, i := range ent.order {
+		if ready&(uint64(1)<<uint(i)) != 0 {
+			return i
+		}
+	}
+	// The plan missed every ready module (a policy bug or stale plan):
+	// fall back to a direct draw with the legacy validity check.
+	idx := e.policy.Choose(t0, ready)
+	if ready&(uint64(1)<<uint(idx)) == 0 {
+		panic(fmt.Sprintf("eddy: policy chose module %d not in ready set %b", idx, ready))
+	}
+	return idx
 }
 
 // processSeq routes a batch through mod one tuple at a time, recording

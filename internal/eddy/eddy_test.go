@@ -264,6 +264,10 @@ func (c *countingPolicy) Choose(_ *tuple.Tuple, ready uint64) int {
 	c.chooses++
 	return lowestBit(ready)
 }
+func (c *countingPolicy) ChooseOrder(_ uint64, ready uint64) []int {
+	c.chooses++
+	return setBits(ready)
+}
 func (c *countingPolicy) Observe(int, bool, int) {}
 
 func TestTooManyModulesPanics(t *testing.T) {

@@ -1,6 +1,7 @@
 package eddy
 
 import (
+	"fmt"
 	"math/bits"
 	"math/rand"
 	"sort"
@@ -16,12 +17,69 @@ type Policy interface {
 	Reset(n int)
 	// Choose returns the index of a module whose bit is set in ready.
 	Choose(t *tuple.Tuple, ready uint64) int
+	// ChooseOrder plans a full visit order for one lineage-homogeneous
+	// batch: a permutation of the set ready bits, best module first. sig
+	// identifies the batch's (source, ready) signature so stateful
+	// policies can keep per-signature plans. The eddy's N-way path makes
+	// one ChooseOrder call per batch (cached per signature) instead of a
+	// per-hop Choose draw.
+	ChooseOrder(sig uint64, ready uint64) []int
 	// Observe reports the outcome of routing a tuple to module idx.
 	Observe(idx int, pass bool, produced int)
 }
 
+// orderer is implemented by policies that can report their current full
+// ranking without mutating any state (no RNG draws) — the EXPLAIN view of
+// the probe order.
+type orderer interface {
+	CurrentOrder(n int) []int
+}
+
+// CurrentOrder returns p's present module ranking over n modules without
+// perturbing the policy (lottery RNG state untouched). Policies without a
+// deterministic ranking report ascending index order.
+func CurrentOrder(p Policy, n int) []int {
+	if o, ok := p.(orderer); ok {
+		return o.CurrentOrder(n)
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// PolicyName reports a routing policy's kind for EXPLAIN/telemetry.
+func PolicyName(p Policy) string {
+	switch q := p.(type) {
+	case *NaivePolicy:
+		return "naive"
+	case *FixedPolicy:
+		return "fixed"
+	case *LotteryPolicy:
+		return "lottery"
+	case *SelectivityPolicy:
+		return "selectivity"
+	case *BatchingPolicy:
+		return fmt.Sprintf("batching(%s,%d)", PolicyName(q.Inner), q.Batch)
+	case *FixingPolicy:
+		return fmt.Sprintf("fixing(%d)", q.refresh)
+	default:
+		return "custom"
+	}
+}
+
 // lowestBit returns the index of the lowest set bit.
 func lowestBit(ready uint64) int { return bits.TrailingZeros64(ready) }
+
+// setBits appends the indexes of ready's set bits in ascending order.
+func setBits(ready uint64) []int {
+	out := make([]int, 0, bits.OnesCount64(ready))
+	for r := ready; r != 0; r &= r - 1 {
+		out = append(out, bits.TrailingZeros64(r))
+	}
+	return out
+}
 
 // NaivePolicy always routes to the lowest-numbered ready module: the
 // "static order" degenerate case, useful as a control in experiments.
@@ -35,6 +93,12 @@ func (*NaivePolicy) Reset(int) {}
 
 // Choose implements Policy.
 func (*NaivePolicy) Choose(_ *tuple.Tuple, ready uint64) int { return lowestBit(ready) }
+
+// ChooseOrder implements Policy: ascending module index.
+func (*NaivePolicy) ChooseOrder(_ uint64, ready uint64) []int { return setBits(ready) }
+
+// CurrentOrder implements orderer.
+func (*NaivePolicy) CurrentOrder(n int) []int { return setBits((uint64(1) << uint(n)) - 1) }
 
 // Observe implements Policy.
 func (*NaivePolicy) Observe(int, bool, int) {}
@@ -82,6 +146,21 @@ func (p *FixedPolicy) Choose(_ *tuple.Tuple, ready uint64) int {
 		}
 	}
 	return best
+}
+
+// ChooseOrder implements Policy: the fixed ranks decide the whole chain.
+func (p *FixedPolicy) ChooseOrder(_ uint64, ready uint64) []int {
+	out := setBits(ready)
+	sort.SliceStable(out, func(a, b int) bool { return p.order[out[a]] < p.order[out[b]] })
+	return out
+}
+
+// CurrentOrder implements orderer.
+func (p *FixedPolicy) CurrentOrder(n int) []int {
+	if n > 64 {
+		n = 64
+	}
+	return p.ChooseOrder(0, (uint64(1)<<uint(n))-1)
 }
 
 // Observe implements Policy.
@@ -175,6 +254,35 @@ func (p *LotteryPolicy) Observe(idx int, pass bool, produced int) {
 	}
 }
 
+// ChooseOrder implements Policy: repeated ticket-weighted draws without
+// replacement, so high-ticket (selective) modules tend to lead the chain
+// while the RNG still explores alternative orders occasionally.
+func (p *LotteryPolicy) ChooseOrder(_ uint64, ready uint64) []int {
+	out := make([]int, 0, bits.OnesCount64(ready))
+	rest := ready
+	for rest != 0 {
+		out = append(out, p.Choose(nil, rest))
+		rest &^= uint64(1) << uint(out[len(out)-1])
+	}
+	return out
+}
+
+// CurrentOrder implements orderer: modules ranked by tickets, highest first,
+// without touching the RNG.
+func (p *LotteryPolicy) CurrentOrder(n int) []int {
+	if n > len(p.tickets) {
+		n = len(p.tickets)
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		return p.tickets[out[a]] > p.tickets[out[b]]
+	})
+	return out
+}
+
 // Tickets exposes the current ticket counts (for experiments/diagnostics).
 func (p *LotteryPolicy) Tickets() []int64 {
 	return append([]int64(nil), p.tickets...)
@@ -191,6 +299,11 @@ type BatchingPolicy struct {
 
 	cache map[uint64]batched
 }
+
+// batchingCacheCap bounds the (source, ready) route cache. Signatures are
+// few in steady state (one per lineage shape), so hitting the cap means
+// module-set churn left stale routes behind: flush and rebuild.
+const batchingCacheCap = 512
 
 type batched struct {
 	choice int
@@ -220,9 +333,21 @@ func (p *BatchingPolicy) Choose(t *tuple.Tuple, ready uint64) int {
 		return c.choice
 	}
 	choice := p.Inner.Choose(t, ready)
+	if len(p.cache) >= batchingCacheCap {
+		p.cache = make(map[uint64]batched)
+	}
 	p.cache[key] = batched{choice: choice, left: p.Batch - 1}
 	return choice
 }
+
+// ChooseOrder implements Policy by delegating to the inner policy; the
+// eddy's own per-signature order cache already provides the batching.
+func (p *BatchingPolicy) ChooseOrder(sig uint64, ready uint64) []int {
+	return p.Inner.ChooseOrder(sig, ready)
+}
+
+// CurrentOrder implements orderer via the inner policy.
+func (p *BatchingPolicy) CurrentOrder(n int) []int { return CurrentOrder(p.Inner, n) }
 
 // Observe implements Policy.
 func (p *BatchingPolicy) Observe(idx int, pass bool, produced int) {
@@ -289,6 +414,14 @@ func (p *FixingPolicy) refreshOrder() {
 func (p *FixingPolicy) Choose(t *tuple.Tuple, ready uint64) int {
 	return p.fixed.Choose(t, ready)
 }
+
+// ChooseOrder implements Policy: the frozen ranking, as a full chain.
+func (p *FixingPolicy) ChooseOrder(sig uint64, ready uint64) []int {
+	return p.fixed.ChooseOrder(sig, ready)
+}
+
+// CurrentOrder implements orderer.
+func (p *FixingPolicy) CurrentOrder(n int) []int { return p.fixed.CurrentOrder(n) }
 
 // Observe implements Policy: the lottery keeps learning in the background;
 // every refresh observations its ranking is re-frozen.

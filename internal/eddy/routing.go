@@ -1,0 +1,177 @@
+package eddy
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// RoutingConfig is the engine-wide routing policy configuration: one block
+// resolved by a single factory instead of per-runtime policy literals. The
+// zero value means "legacy": a lottery policy with the runtime's historical
+// per-query/per-shard seed and no N-way probe chaining, byte-identical to
+// the pre-config behavior.
+type RoutingConfig struct {
+	// Kind selects the policy: "lottery", "naive", "fixed", "batching",
+	// "fixing" or "selectivity". Empty means legacy lottery.
+	Kind string
+	// Seed offsets the runtime-derived per-query/per-shard seed so
+	// repeated trials can be made independent without losing determinism.
+	Seed int64
+	// Every is the §4.3 "batching tuples" knob: how many batches reuse a
+	// cached probe-order decision before the policy is re-consulted
+	// (also the inner batch for Kind "batching"). 0 means default (32).
+	Every int
+	// Refresh is the §4.3 "fixing operators" knob for Kind "fixing":
+	// observations between order re-freezes. 0 means default (256).
+	Refresh int
+	// Order is the module visit order for Kind "fixed".
+	Order []int
+	// NoNWay disables the k-ary probe chain even on 3+-stream joins,
+	// keeping per-hop routing while still using the configured policy.
+	NoNWay bool
+}
+
+// IsZero reports whether the config requests legacy routing.
+func (c RoutingConfig) IsZero() bool {
+	return c.Kind == "" && c.Seed == 0 && c.Every == 0 && c.Refresh == 0 &&
+		len(c.Order) == 0 && !c.NoNWay
+}
+
+// EveryOrDefault returns the order-reuse batch size.
+func (c RoutingConfig) EveryOrDefault() int {
+	if c.Every > 0 {
+		return c.Every
+	}
+	return 32
+}
+
+// RefreshOrDefault returns the fixing-refresh interval.
+func (c RoutingConfig) RefreshOrDefault() int {
+	if c.Refresh > 0 {
+		return c.Refresh
+	}
+	return 256
+}
+
+// NewPolicy resolves the config into a policy instance. seed is the
+// runtime-derived base (per query, per shard); c.Seed shifts it. The zero
+// config returns exactly NewLotteryPolicy(seed) — the legacy pin.
+func (c RoutingConfig) NewPolicy(seed int64) (Policy, error) {
+	s := seed + c.Seed
+	switch c.Kind {
+	case "", "lottery":
+		return NewLotteryPolicy(s), nil
+	case "naive":
+		return NewNaivePolicy(), nil
+	case "fixed":
+		return NewFixedPolicy(c.Order...), nil
+	case "batching":
+		return NewBatchingPolicy(NewLotteryPolicy(s), c.EveryOrDefault()), nil
+	case "fixing":
+		return NewFixingPolicy(s, c.RefreshOrDefault()), nil
+	case "selectivity":
+		return NewSelectivityPolicy(s), nil
+	default:
+		return nil, fmt.Errorf("unknown routing policy %q", c.Kind)
+	}
+}
+
+// ParseRouting parses a policy spec string as used by the tcqd -policy flag
+// and the SET POLICY wire command. Grammar:
+//
+//	<kind> [seed=N] [every=N] [refresh=N] [order=1,2,3] [nway=on|off]
+//
+// e.g. "selectivity every=16", "fixed order=2,1,3", "lottery seed=7 nway=off".
+func ParseRouting(spec string) (RoutingConfig, error) {
+	var c RoutingConfig
+	fields := strings.Fields(spec)
+	if len(fields) == 0 {
+		return c, fmt.Errorf("empty policy spec")
+	}
+	c.Kind = strings.ToLower(fields[0])
+	switch c.Kind {
+	case "lottery", "naive", "fixed", "batching", "fixing", "selectivity":
+	default:
+		return c, fmt.Errorf("unknown routing policy %q", c.Kind)
+	}
+	for _, f := range fields[1:] {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return c, fmt.Errorf("bad policy option %q (want key=value)", f)
+		}
+		switch strings.ToLower(k) {
+		case "seed":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return c, fmt.Errorf("bad seed %q", v)
+			}
+			c.Seed = n
+		case "every":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return c, fmt.Errorf("bad every %q", v)
+			}
+			c.Every = n
+		case "refresh":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return c, fmt.Errorf("bad refresh %q", v)
+			}
+			c.Refresh = n
+		case "order":
+			for _, part := range strings.Split(v, ",") {
+				n, err := strconv.Atoi(strings.TrimSpace(part))
+				if err != nil || n < 0 {
+					return c, fmt.Errorf("bad order element %q", part)
+				}
+				c.Order = append(c.Order, n)
+			}
+		case "nway":
+			switch strings.ToLower(v) {
+			case "on":
+				c.NoNWay = false
+			case "off":
+				c.NoNWay = true
+			default:
+				return c, fmt.Errorf("bad nway %q (want on|off)", v)
+			}
+		default:
+			return c, fmt.Errorf("unknown policy option %q", k)
+		}
+	}
+	return c, nil
+}
+
+// String renders the config back into ParseRouting's grammar.
+func (c RoutingConfig) String() string {
+	if c.IsZero() {
+		return "lottery (legacy)"
+	}
+	kind := c.Kind
+	if kind == "" {
+		kind = "lottery"
+	}
+	var b strings.Builder
+	b.WriteString(kind)
+	if c.Seed != 0 {
+		fmt.Fprintf(&b, " seed=%d", c.Seed)
+	}
+	if c.Every != 0 {
+		fmt.Fprintf(&b, " every=%d", c.Every)
+	}
+	if c.Refresh != 0 {
+		fmt.Fprintf(&b, " refresh=%d", c.Refresh)
+	}
+	if len(c.Order) > 0 {
+		parts := make([]string, len(c.Order))
+		for i, n := range c.Order {
+			parts[i] = strconv.Itoa(n)
+		}
+		fmt.Fprintf(&b, " order=%s", strings.Join(parts, ","))
+	}
+	if c.NoNWay {
+		b.WriteString(" nway=off")
+	}
+	return b.String()
+}

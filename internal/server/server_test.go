@@ -635,3 +635,43 @@ func TestStatsParallelShards(t *testing.T) {
 		t.Fatal("STATS never merged parallel shard counters")
 	}
 }
+
+// TestSetPolicyCommand swaps a running query's routing policy over the
+// wire and checks the live EXPLAIN reports the new policy and probe order.
+func TestSetPolicyCommand(t *testing.T) {
+	_, pm := startServer(t)
+	c := dial(t, pm.Addr())
+	if err := c.CreateStream("s", "x INT", ""); err != nil {
+		t.Fatal(err)
+	}
+	qid, err := c.Query(`SELECT x FROM s WHERE x > 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		c.Feed("s", fmt.Sprintf("%d", i))
+	}
+	if err := c.SetPolicy(qid, "selectivity every=8"); err != nil {
+		t.Fatal(err)
+	}
+	if !chaos.Poll(nil, 5*time.Second, time.Millisecond, func() bool {
+		rows, err := c.ExplainQuery(qid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		joined := strings.Join(rows, "\n")
+		return strings.Contains(joined, "policy selectivity") &&
+			strings.Contains(joined, "order=[")
+	}) {
+		t.Fatal("EXPLAIN never showed the swapped-in policy")
+	}
+	if err := c.SetPolicy(qid, "warlock"); err == nil {
+		t.Error("bad policy kind accepted over the wire")
+	}
+	if err := c.SetPolicy(9999, "lottery"); err == nil {
+		t.Error("unknown query id accepted over the wire")
+	}
+	if _, err := c.cmd("SET POLICY"); err == nil {
+		t.Error("SET POLICY without arguments accepted")
+	}
+}

@@ -6,7 +6,7 @@
 #   check.sh test    build + full test suite, arrangement coverage floor
 #   check.sh race    race-instrumented suite, chaos campaign, E13 workload, fuzz smoke
 #   check.sh bench   bench smoke: E15 introspection + E16 shared-arrangement +
-#                    E17 columnar zero-alloc gates
+#                    E17 columnar zero-alloc + E18 adaptive N-way ordering gates
 #   check.sh [all]   every stage in order
 set -eu
 cd "$(dirname "$0")/.."
@@ -120,6 +120,13 @@ stage_bench() {
     # row-at-a-time runtime — i.e. when the zero-alloc hot path regresses.
     echo "==> bench smoke: E17 columnar zero-alloc gate (strict, -short)"
     TCQ_BENCH_STRICT=1 go test -count=1 -short -run TestE17ColumnarZeroAlloc ./internal/bench/
+
+    # Smoke-sized E18 with the strict gate on: fails the build when the
+    # adaptive probe-order planner stops beating every static join order
+    # on the drifting-selectivity star join — i.e. when batch-granular
+    # re-planning no longer pays for itself after a mid-run shift.
+    echo "==> bench smoke: E18 adaptive N-way ordering gate (strict, -short)"
+    TCQ_BENCH_STRICT=1 go test -count=1 -short -run TestE18NWayAdaptiveGate ./internal/bench/
 }
 
 stage="${1:-all}"
