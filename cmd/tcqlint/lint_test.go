@@ -21,6 +21,18 @@ func TestPoolCheckFixture(t *testing.T) {
 	lint.RunFixture(t, "testdata/src/poolcheck", checks.PoolCheck())
 }
 
+func TestOwnerCheckFixture(t *testing.T) {
+	lint.RunFixture(t, "testdata/src/ownercheck", checks.OwnerCheck(checks.NewRepoSummaries()))
+}
+
+func TestAllocCheckFixture(t *testing.T) {
+	lint.RunFixture(t, "testdata/src/alloccheck", checks.AllocCheck(checks.NewRepoSummaries()))
+}
+
+func TestChanCheckFixture(t *testing.T) {
+	lint.RunFixture(t, "testdata/src/chancheck", checks.ChanCheck(checks.NewRepoSummaries()))
+}
+
 func TestLineageCheckFixture(t *testing.T) {
 	lint.RunFixture(t, "testdata/src/lineagecheck", checks.LineageCheck())
 }

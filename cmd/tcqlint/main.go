@@ -1,7 +1,8 @@
-// Command tcqlint is the repo's invariant linter: a multichecker of five
-// repo-specific analyzers (clockcheck, poolcheck, lineagecheck,
-// metriccheck, lockcheck) enforcing the engine's concurrency and lifecycle
-// invariants that go vet cannot see. It type-checks the named packages
+// Command tcqlint is the repo's invariant linter: a multichecker of eight
+// repo-specific analyzers (clockcheck, poolcheck, ownercheck, alloccheck,
+// chancheck, lineagecheck, metriccheck, lockcheck) enforcing the engine's
+// concurrency, lifecycle, and hot-path allocation invariants that go vet
+// cannot see. It type-checks the named packages
 // (tests included) from source — dependencies come from build-cache export
 // data, so it runs hermetically — applies every analyzer, and exits
 // non-zero when findings remain.
@@ -13,12 +14,16 @@
 //
 // Suppress an individual finding with a `//lint:ignore <analyzer> reason`
 // comment on, or on the line above, the flagged line (see TESTING.md).
+// Audit the suppressions with -ignores: every directive is listed with its
+// location, and directives that no longer suppress anything are marked
+// STALE and fail the run, so fixed code sheds its excuses.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"telegraphcq/internal/lint"
@@ -27,11 +32,12 @@ import (
 
 func main() {
 	var (
-		only = flag.String("c", "", "comma-separated subset of analyzers to run (default all)")
-		list = flag.Bool("list", false, "list the analyzers and exit")
+		only    = flag.String("c", "", "comma-separated subset of analyzers to run (default all)")
+		list    = flag.Bool("list", false, "list the analyzers and exit")
+		ignores = flag.Bool("ignores", false, "audit //lint:ignore directives: list each with its location and flag stale ones (directives that no longer suppress anything)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: tcqlint [-c checks] [-list] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: tcqlint [-c checks] [-list] [-ignores] [packages]\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -71,10 +77,45 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tcqlint: %v\n", err)
 		os.Exit(2)
 	}
-	diags, err := lint.Run(dir, patterns, suite)
+	diags, audits, err := lint.RunWithAudit(dir, patterns, suite)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tcqlint: %v\n", err)
 		os.Exit(2)
+	}
+	if *ignores {
+		// Audit mode: the run's findings still print (a suppression audit
+		// must not hide live findings), followed by the directive ledger.
+		// A directive is stale when the full suite ran and it suppressed
+		// nothing — the code it excused has been fixed or deleted, so the
+		// excuse should be deleted too. With -c only a subset runs, so
+		// unused directives for unselected analyzers are reported as
+		// unexercised rather than stale.
+		stale := 0
+		for _, a := range audits {
+			state := "used"
+			if !a.Used {
+				if *only == "" {
+					state = "STALE"
+					stale++
+				} else {
+					state = "unexercised"
+				}
+			}
+			name := a.Pos.Filename
+			// Repo-relative paths keep the committed ledger machine-independent.
+			if rel, err := filepath.Rel(dir, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+			fmt.Printf("%s:%d: [%s] %s\n", name, a.Pos.Line, state, a.Text)
+		}
+		fmt.Fprintf(os.Stderr, "tcqlint: %d ignore directive(s), %d stale\n", len(audits), stale)
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		if stale > 0 || len(diags) > 0 {
+			os.Exit(1)
+		}
+		return
 	}
 	for _, d := range diags {
 		fmt.Println(d)

@@ -1,0 +1,129 @@
+// Package alloccheck is the tcqlint fixture for the hot-path allocation
+// analyzer: a //tcq:hotpath function and every repository function it
+// transitively calls must not heap-allocate.
+package alloccheck
+
+// state carries the reusable buffers negative cases lean on.
+type state struct {
+	buf   []int
+	cache map[int]int
+	sum   int
+}
+
+// hotMake allocates directly in the annotated root.
+//
+//tcq:hotpath
+func hotMake(n int) []int {
+	return make([]int, n) // want `allocation on the hot path: make in alloccheck\.hotMake, which is marked //tcq:hotpath`
+}
+
+// hotRoot is clean itself but reaches an allocating helper: the
+// diagnostic names both the site's function and the root.
+//
+//tcq:hotpath
+func hotRoot(s *state, n int) {
+	helper(s, n)
+}
+
+func helper(s *state, n int) {
+	s.buf = grow(n)
+}
+
+func grow(n int) []int {
+	return make([]int, n) // want `allocation on the hot path: make in alloccheck\.grow, reached from //tcq:hotpath root alloccheck\.hotRoot`
+}
+
+// hotMapWrite may grow a bucket on every insert.
+//
+//tcq:hotpath
+func hotMapWrite(s *state, k, v int) {
+	s.cache[k] = v // want `allocation on the hot path: map write in alloccheck\.hotMapWrite`
+}
+
+// hotLocalAppend grows a throwaway slice from empty on every call.
+//
+//tcq:hotpath
+func hotLocalAppend(vs []int) int {
+	var out []int
+	for _, v := range vs {
+		out = append(out, v*2) // want `append to function-local slice`
+	}
+	return len(out)
+}
+
+// hotConcat builds a fresh string per call.
+//
+//tcq:hotpath
+func hotConcat(a, b string) string {
+	return a + b // want `allocation on the hot path: string concatenation in alloccheck\.hotConcat`
+}
+
+// hotSpawn starts a goroutine per call: a g-stack allocation at minimum.
+//
+//tcq:hotpath
+func hotSpawn(s *state) {
+	go drainInto(s) // want `allocation on the hot path: goroutine spawn in alloccheck\.hotSpawn`
+}
+
+func drainInto(s *state) { s.sum++ }
+
+// conflicted claims to be both a zero-alloc root and an audited
+// allocation point; the directives contradict each other.
+//
+//tcq:hotpath
+//tcq:coldpath
+func conflicted() {} // want `conflicted is marked both //tcq:hotpath and //tcq:coldpath`
+
+// --- negative cases ---
+
+// hotViaColdpath reaches an allocating helper through an audited
+// amortization point: propagation stops at the //tcq:coldpath boundary.
+//
+//tcq:hotpath
+func hotViaColdpath(s *state, n int) {
+	if cap(s.buf) < n {
+		s.refill(n)
+	}
+	s.buf = s.buf[:n]
+}
+
+// refill carves a fresh slab once per high-water mark.
+//
+//tcq:coldpath
+func (s *state) refill(n int) {
+	s.buf = make([]int, n)
+}
+
+// hotFieldAppend reuses a field buffer: append to a field is the
+// sanctioned steady-state idiom, not a per-call allocation.
+//
+//tcq:hotpath
+func hotFieldAppend(s *state, vs []int) {
+	s.buf = s.buf[:0]
+	for _, v := range vs {
+		s.buf = append(s.buf, v)
+	}
+}
+
+// hotSuppressed carries a reviewed per-site suppression.
+//
+//tcq:hotpath
+func hotSuppressed(s *state, k int) {
+	//lint:ignore alloccheck fixture: audited amortized insert
+	s.cache[k] = k
+}
+
+// hotPanicPath allocates only while dying: panic arguments are off the
+// hot path by construction.
+//
+//tcq:hotpath
+func hotPanicPath(n int, label string) {
+	if n < 0 {
+		panic("negative row count in batch " + label)
+	}
+}
+
+// coldOnly allocates freely: no hot root reaches it.
+func coldOnly(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,126 @@
+// Package chancheck is the tcqlint fixture for goroutine and channel
+// lifecycle: spawned loops with no shutdown path, operations on closed
+// channels (directly or through a callee), and stuck senders.
+package chancheck
+
+// pump loops on its channel forever with no exit: spawning it as a
+// goroutine leaks it (ForeverLoop travels through the summary).
+func pump(ch chan int, sink *int) {
+	for {
+		*sink += <-ch
+	}
+}
+
+// shutdown closes its argument; callers' later sends are flagged
+// through the summary's Closes bit.
+func shutdown(ch chan int) {
+	close(ch)
+}
+
+// spawnLoopNoExit starts an inline goroutine whose receive loop has no
+// shutdown case.
+func spawnLoopNoExit(ch chan int, sink *int) {
+	go func() { // want `goroutine runs a channel-coupled infinite loop with no shutdown path`
+		for {
+			*sink += <-ch
+		}
+	}()
+}
+
+// spawnNamedForever hides the same loop one call down.
+func spawnNamedForever(ch chan int, sink *int) {
+	go pump(ch, sink) // want `goroutine runs chancheck\.pump, whose body is a channel-coupled infinite loop with no shutdown path`
+}
+
+// sendAfterClose panics at the send.
+func sendAfterClose() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch <- 1 // want `send on ch after close closed it`
+}
+
+// sendAfterCalleeClose panics the same way: the close hides in shutdown.
+func sendAfterCalleeClose() {
+	ch := make(chan int, 1)
+	shutdown(ch)
+	ch <- 1 // want `send on ch after chancheck\.shutdown closed it`
+}
+
+// doubleClose panics at the second close.
+func doubleClose() {
+	ch := make(chan int)
+	close(ch)
+	close(ch) // want `close of ch after close already closed it`
+}
+
+// stuckSender spawns a producer on an unbuffered channel nobody drains.
+func stuckSender(v int) {
+	ch := make(chan int)
+	go func() {
+		ch <- v // want `goroutine sends on unbuffered ch, but the channel is never received from, closed, or passed on`
+	}()
+}
+
+// --- negative cases ---
+
+// loopWithQuit has a shutdown case: the return exits the loop.
+func loopWithQuit(ch chan int, quit chan struct{}, sink *int) {
+	go func() {
+		for {
+			select {
+			case v := <-ch:
+				*sink += v
+			case <-quit:
+				return
+			}
+		}
+	}()
+}
+
+// rangeLoop terminates when the producer closes the channel.
+func rangeLoop(ch chan int, sink *int) {
+	go func() {
+		for v := range ch {
+			*sink += v
+		}
+	}()
+}
+
+// reassigned revives the channel variable before the send.
+func reassigned() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch = make(chan int, 1)
+	ch <- 1
+}
+
+// drainedSender is the classic worker handoff: the declaring body
+// receives what the goroutine sends.
+func drainedSender(v int) int {
+	ch := make(chan int)
+	go func() {
+		ch <- v
+	}()
+	return <-ch
+}
+
+// escapingChan hands the channel to a callee that may drain it.
+func escapingChan(v int) {
+	ch := make(chan int)
+	go func() {
+		ch <- v
+	}()
+	drain(ch)
+}
+
+func drain(ch chan int) {
+	<-ch
+}
+
+// bufferedSender completes without a receiver: capacity one absorbs it.
+func bufferedSender(v int) {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- v
+	}()
+}

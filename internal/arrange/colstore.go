@@ -74,6 +74,8 @@ func (s *ColumnStore) Inserts() int64 {
 }
 
 // tailLocked returns the open segment, growing the chain as needed.
+//
+//tcq:hotpath
 func (s *ColumnStore) tailLocked() *tuple.Block {
 	if n := len(s.segs); n > 0 && !s.segs[n-1].Full() {
 		return s.segs[n-1]
@@ -86,6 +88,8 @@ func (s *ColumnStore) tailLocked() *tuple.Block {
 // AppendFrom copies the selected rows of b into the store in one pass —
 // survivor selection by mask, column-contiguous writes, one index entry
 // per row. Writer-only.
+//
+//tcq:hotpath
 func (s *ColumnStore) AppendFrom(b *tuple.Block, sel *tuple.Mask) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -98,6 +102,7 @@ func (s *ColumnStore) AppendFrom(b *tuple.Block, sel *tuple.Mask) {
 		si := int32(len(s.segs) - 1)
 		row := int32(seg.AppendRowFrom(b, i))
 		h := key[i].Hash()
+		//lint:ignore alloccheck hash-index insert: amortized O(1) bucket growth per stored row, pinned below the E17 allocs/tuple gate
 		s.index[h] = append(s.index[h], RowRef{Seg: si, Row: row})
 		s.rows++
 		s.inserts++
@@ -108,6 +113,8 @@ func (s *ColumnStore) AppendFrom(b *tuple.Block, sel *tuple.Mask) {
 // returned slice is an immutable snapshot: the writer only ever appends
 // to a fresh slice header, and referenced rows are never rewritten, so
 // readers may verify against it after the lock is dropped.
+//
+//tcq:hotpath
 func (s *ColumnStore) Candidates(hash uint64) []RowRef {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -122,6 +129,8 @@ func (s *ColumnStore) Seg(i int32) *tuple.Block {
 }
 
 // Segments calls fn over every segment in insertion order (scan path).
+//
+//tcq:hotpath
 func (s *ColumnStore) Segments(fn func(*tuple.Block)) {
 	s.mu.RLock()
 	segs := s.segs

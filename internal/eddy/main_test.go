@@ -1,0 +1,11 @@
+package eddy
+
+import (
+	"testing"
+
+	"telegraphcq/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaves routing goroutines —
+// parallel-eddy workers, policy probes — running after it finishes.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -70,6 +70,9 @@ type GroupedFilter struct {
 	// scratch bitsets reused per tuple to avoid allocation in the hot path.
 	failing tuple.Bitset
 	eqFail  tuple.Bitset
+	// eqMatched is the multi-factor equality scratch map, lazily built on
+	// the first probe that needs it and cleared per use.
+	eqMatched map[int]int
 }
 
 // New creates a grouped filter over wide-row column col; owns is the
@@ -163,7 +166,11 @@ func chunkSize(n int) int {
 }
 
 // rebuild sorts the ordered sub-indexes and recomputes the boundary-union
-// bitsets. Amortized over many tuples per registration change.
+// bitsets. Amortized over many tuples per registration change: it runs
+// once per Add/Remove, never per probe, so its allocations are off the
+// per-tuple budget.
+//
+//tcq:coldpath
 func (g *GroupedFilter) rebuild() {
 	words := g.maxQuery/64 + 1
 
@@ -235,6 +242,7 @@ func (g *GroupedFilter) Failing(v tuple.Value) tuple.Bitset {
 	}
 	words := g.maxQuery/64 + 1
 	if len(g.failing) < words {
+		//lint:ignore alloccheck result-bitset grow: once per registered-query high-water mark, not per probe
 		g.failing = make(tuple.Bitset, words)
 	}
 	f := g.failing[:words]
@@ -278,14 +286,17 @@ func (g *GroupedFilter) Failing(v tuple.Value) tuple.Bitset {
 	// sub-index for the same query (e.g. "x = 1 AND x > 1" at v = 1).
 	if g.eqAll.Any() {
 		if len(g.eqFail) < words {
+			//lint:ignore alloccheck equality-scratch grow: once per registered-query high-water mark, not per probe
 			g.eqFail = make(tuple.Bitset, words)
 		}
 		ef := g.eqFail[:words]
 		copy(ef, g.eqAll[:words])
 		// A query's equality factors are all satisfied only when every
 		// one of them matched v (a query with "x = 4 AND x = 10" never
-		// passes). The common single-factor case avoids the map.
-		var matched map[int]int
+		// passes). The common single-factor case avoids the map; the
+		// multi-factor case reuses one scratch map across probes.
+		matched := g.eqMatched
+		clear(matched)
 		bucket := g.eq[v.Hash()]
 		for _, b := range bucket {
 			if !tuple.Equal(b.val, v) {
@@ -296,8 +307,11 @@ func (g *GroupedFilter) Failing(v tuple.Value) tuple.Bitset {
 				continue
 			}
 			if matched == nil {
+				//lint:ignore alloccheck lazy multi-factor scratch map: first multi-factor probe only, reused for the filter's lifetime
 				matched = make(map[int]int, len(bucket))
+				g.eqMatched = matched
 			}
+			//lint:ignore alloccheck scratch-map insert: bucket growth bounded by the multi-factor query high-water mark
 			matched[b.query]++
 		}
 		for q, n := range matched {
@@ -428,6 +442,8 @@ func (m *Module) Process(t *tuple.Tuple) ([]*tuple.Tuple, bool) {
 // ProcessBatch implements eddy.BatchModule: the whole batch runs against
 // the shared sub-indexes in one pass (any pending rebuild is paid once),
 // survivors stably partitioned to the front.
+//
+//tcq:hotpath
 func (m *Module) ProcessBatch(b *tuple.Batch) ([]*tuple.Tuple, int) {
 	if m.dirty {
 		m.rebuild()

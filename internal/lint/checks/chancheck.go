@@ -1,0 +1,349 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"telegraphcq/internal/lint"
+)
+
+// ChanCheck returns the goroutine/channel lifecycle analyzer, the static
+// counterpart of the internal/leakcheck runtime checker (leakcheck
+// catches the goroutines these shapes leak; chancheck names the spawn
+// site before the test ever runs). It flags:
+//
+//   - `go func() { for { ... } }()` where the loop performs channel
+//     operations yet has no exit at all — no return, no labeled break, no
+//     break addressing the loop. With no shutdown case the goroutine
+//     outlives every Close and trips leakcheck.
+//   - `go f(...)` where f's summary says the same about f's body
+//     (interprocedural: the loop hides one call down).
+//   - send on a channel after close(ch) in the same body — direct, or
+//     through a callee whose summary closes that parameter.
+//   - closing an already-closed channel (second close panics).
+//   - an unbuffered channel created locally, sent to from a spawned
+//     goroutine, and never received from, closed, or passed anywhere: the
+//     sender blocks forever.
+func ChanCheck(sums *lint.Summaries) *lint.Analyzer {
+	a := &lint.Analyzer{
+		Name: "chancheck",
+		Doc: "goroutine and channel lifecycle: spawned loops with no shutdown " +
+			"path, send/close on an already-closed channel (directly or through " +
+			"a callee), and goroutine sends on a local unbuffered channel nobody " +
+			"ever receives",
+	}
+	a.Run = func(pass *lint.Pass) error {
+		sums.AddPackage(pass)
+		eachFunc(pass.Files, func(decl *ast.FuncDecl) {
+			checkFuncChan(pass, sums, decl)
+		})
+		return nil
+	}
+	return a
+}
+
+func checkFuncChan(pass *lint.Pass, sums *lint.Summaries, decl *ast.FuncDecl) {
+	info := pass.Info
+	parents := lint.BuildParents(decl.Body)
+
+	localChan := func(e ast.Expr) *types.Var {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok {
+			return nil
+		}
+		if _, isChan := types.Unalias(obj.Type()).Underlying().(*types.Chan); !isChan {
+			return nil
+		}
+		return obj
+	}
+
+	// closeEvent marks ch possibly-closed from pos to end.
+	type closeEvent struct {
+		obj      *types.Var
+		via      string
+		pos, end token.Pos
+	}
+	var closes []closeEvent
+
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			switch fun := ast.Unparen(n.Call.Fun).(type) {
+			case *ast.FuncLit:
+				litParents := lint.BuildParents(fun.Body)
+				ast.Inspect(fun.Body, func(m ast.Node) bool {
+					if _, ok := m.(*ast.FuncLit); ok && m != ast.Node(fun) {
+						return false
+					}
+					if loop, ok := m.(*ast.ForStmt); ok && lint.ForeverChannelLoop(loop, litParents) {
+						pass.Reportf(n.Pos(),
+							"goroutine runs a channel-coupled infinite loop with no shutdown path (no return, no break out of the loop); add a done/quit case or it outlives Close")
+						return false
+					}
+					return true
+				})
+			default:
+				if f := callee(info, n.Call); f != nil {
+					if sum := sums.Of(f); sum != nil && sum.ForeverLoop {
+						ref, _ := lint.RefOf(f)
+						pass.Reportf(n.Pos(),
+							"goroutine runs %s, whose body is a channel-coupled infinite loop with no shutdown path; add a done/quit case or it outlives Close",
+							ref.Short())
+					}
+				}
+			}
+
+		case *ast.CallExpr:
+			// In-order effects only: deferred/go'd closes run elsewhere.
+			for p := parents[n]; p != nil; p = parents[p] {
+				switch p.(type) {
+				case *ast.DeferStmt, *ast.GoStmt:
+					return true
+				}
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "close" && len(n.Args) == 1 {
+					if obj := localChan(n.Args[0]); obj != nil {
+						closes = append(closes, closeEvent{obj: obj, via: "close", pos: n.End(), end: putEffectEnd(parents, n, decl.Body)})
+					}
+					return true
+				}
+			}
+			f := callee(info, n)
+			if f == nil {
+				return true
+			}
+			sum := sums.Of(f)
+			if sum == nil || sum.Closes == 0 {
+				return true
+			}
+			ref, _ := lint.RefOf(f)
+			slots := lint.CallSlotExprs(info, n, f)
+			for i, e := range slots {
+				if i > 63 {
+					break
+				}
+				if sum.Closes&(1<<uint(i)) == 0 {
+					continue
+				}
+				if obj := localChan(e); obj != nil {
+					closes = append(closes, closeEvent{obj: obj, via: ref.Short(), pos: n.End(), end: putEffectEnd(parents, n, decl.Body)})
+				}
+			}
+		}
+		return true
+	})
+
+	// Reassignments (ch = make(chan T)) revive a closed channel variable.
+	clears := make(map[*types.Var][]token.Pos)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				if obj, ok := info.Uses[id].(*types.Var); ok {
+					clears[obj] = append(clears[obj], id.Pos())
+				} else if obj, ok := info.Defs[id].(*types.Var); ok {
+					clears[obj] = append(clears[obj], id.Pos())
+				}
+			}
+		}
+		return true
+	})
+
+	if len(closes) > 0 {
+		after := func(obj *types.Var, pos token.Pos) (string, bool) {
+			for _, ev := range closes {
+				if obj != ev.obj || pos <= ev.pos || pos >= ev.end {
+					continue
+				}
+				if isClearedBetween(clears[obj], ev.pos, pos) {
+					continue
+				}
+				return ev.via, true
+			}
+			return "", false
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeferStmt, *ast.GoStmt:
+				return false // out of source order
+			case *ast.SendStmt:
+				if obj := localChan(n.Chan); obj != nil {
+					if via, hit := after(obj, n.Chan.Pos()); hit {
+						pass.Reportf(n.Chan.Pos(),
+							"send on %s after %s closed it (send on closed channel panics)",
+							objName(obj), via)
+					}
+				}
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+					if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "close" && len(n.Args) == 1 {
+						if obj := localChan(n.Args[0]); obj != nil {
+							if via, hit := after(obj, n.Args[0].Pos()); hit {
+								pass.Reportf(n.Args[0].Pos(),
+									"close of %s after %s already closed it (double close panics)",
+									objName(obj), via)
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	checkStuckSenders(pass, decl)
+}
+
+// checkStuckSenders flags the deadlocked-producer shape: a locally made
+// unbuffered channel, sent to only from spawned goroutines, never
+// received from, closed, or handed to anything that could drain it.
+func checkStuckSenders(pass *lint.Pass, decl *ast.FuncDecl) {
+	info := pass.Info
+
+	type chanUse struct {
+		def       *ast.Ident
+		goSend    ast.Node // first send inside a GoStmt
+		received  bool     // <-ch, range ch, select receive — anywhere
+		closed    bool
+		escapes   bool // passed, stored, returned: someone else may drain it
+		outerSend bool // sent from the declaring body itself
+	}
+	uses := make(map[*types.Var]*chanUse)
+
+	// Find `ch := make(chan T)` definitions (no capacity, or constant 0).
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				continue
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
+				continue
+			}
+			if _, isChan := typeOf(info, call).(*types.Chan); !isChan {
+				continue
+			}
+			if len(call.Args) > 1 && !isConstZero(info, call.Args[1]) {
+				continue // buffered: sends can complete without a receiver
+			}
+			lhs, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if obj, ok := info.Defs[lhs].(*types.Var); ok {
+				uses[obj] = &chanUse{def: lhs}
+			}
+		}
+		return true
+	})
+	if len(uses) == 0 {
+		return
+	}
+
+	parents := lint.BuildParents(decl.Body)
+	inGo := func(n ast.Node) bool {
+		for p := parents[n]; p != nil; p = parents[p] {
+			if _, ok := p.(*ast.GoStmt); ok {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		u := uses[obj]
+		if u == nil {
+			return true
+		}
+		switch p := parents[id].(type) {
+		case *ast.SendStmt:
+			if p.Chan == ast.Expr(id) {
+				if inGo(id) {
+					if u.goSend == nil {
+						u.goSend = p
+					}
+				} else {
+					u.outerSend = true
+				}
+				return true
+			}
+			u.escapes = true // sent as a value over another channel
+		case *ast.UnaryExpr:
+			if p.Op == token.ARROW {
+				u.received = true
+				return true
+			}
+			u.escapes = true
+		case *ast.RangeStmt:
+			if p.X == ast.Expr(id) {
+				u.received = true
+				return true
+			}
+			u.escapes = true
+		case *ast.CallExpr:
+			if fid, ok := ast.Unparen(p.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[fid].(*types.Builtin); ok {
+					switch b.Name() {
+					case "close":
+						u.closed = true
+						return true
+					case "len", "cap":
+						return true
+					}
+				}
+			}
+			u.escapes = true // argument to a real call: callee may drain it
+		default:
+			u.escapes = true // stored, returned, compared, ...
+		}
+		return true
+	})
+
+	for _, u := range uses {
+		if u.goSend == nil || u.received || u.closed || u.escapes || u.outerSend {
+			continue
+		}
+		pass.Reportf(u.goSend.Pos(),
+			"goroutine sends on unbuffered %s, but the channel is never received from, closed, or passed on: the sender blocks forever",
+			u.def.Name)
+	}
+}
+
+// typeOf returns the expression's (unaliased, underlying) type, or nil.
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	return types.Unalias(tv.Type).Underlying()
+}
+
+// isConstZero reports whether e is the constant 0.
+func isConstZero(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil && tv.Value.String() == "0"
+}

@@ -11,9 +11,21 @@
 //     scrape-time registrations are unique.
 //   - lockcheck: engine mutexes are acquired in the declared order.
 //
+// On top of those per-function walks sit three interprocedural analyzers
+// driven by the compositional summary layer in internal/lint/interproc.go:
+//
+//   - ownercheck: recycler ownership across call boundaries —
+//     use-after-release through a callee, double release, release after a
+//     callee took ownership, leaked producer results.
+//   - alloccheck: //tcq:hotpath functions and everything they transitively
+//     call must not heap-allocate; //tcq:coldpath marks audited
+//     amortization points.
+//   - chancheck: goroutine/channel lifecycle — spawned loops with no
+//     shutdown path, send/close after close, stuck unbuffered senders.
+//
 // Analyzers are constructed fresh per run (some carry cross-package
 // state); All returns the full suite wired with the repo's lock-order
-// table.
+// table and one shared summary table.
 package checks
 
 import (
@@ -24,11 +36,18 @@ import (
 	"telegraphcq/internal/lint"
 )
 
-// All returns the complete tcqlint suite in reporting order.
+// All returns the complete tcqlint suite in reporting order. The three
+// interprocedural analyzers share one summary table, so the per-function
+// dataflow pass runs once per package no matter how many of them are
+// enabled together.
 func All() []*lint.Analyzer {
+	sums := NewRepoSummaries()
 	return []*lint.Analyzer{
 		ClockCheck(),
 		PoolCheck(),
+		OwnerCheck(sums),
+		AllocCheck(sums),
+		ChanCheck(sums),
 		LineageCheck(),
 		MetricCheck(),
 		LockCheck(RepoLockOrder),

@@ -1,0 +1,308 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"telegraphcq/internal/lint"
+)
+
+// OwnerCheck returns the interprocedural ownership analyzer. poolcheck
+// sees a direct Pool.Put/Block.Release/Arena.Release and flags later uses
+// in the same body; ownercheck extends the same discipline across call
+// boundaries using the per-function summaries:
+//
+//   - use-after-release through a callee: `recycle(pool, t)` kills t just
+//     as surely as `pool.Put(t)` does, however many calls deep the Put
+//     sits, and any later read of t is flagged — including handing it to
+//     a second releasing call (a double release).
+//   - release-after-transfer: a call whose summary stores an argument
+//     (into a field, global, container, channel, or its return value) may
+//     take ownership; directly releasing the value afterwards races the
+//     new owner and is flagged.
+//   - ownership leaks: a freshly produced Block/Tuple (Arena.Get,
+//     Pool.Get, NewBlock, or any function summarized as returning an
+//     owned value) whose result is discarded, or bound to a variable that
+//     is never used again, leaks arena slabs for the engine's lifetime.
+//
+// Direct-kill-then-use in one body stays poolcheck's report so each bug
+// has exactly one analyzer naming it.
+func OwnerCheck(sums *lint.Summaries) *lint.Analyzer {
+	a := &lint.Analyzer{
+		Name: "ownercheck",
+		Doc: "interprocedural recycler-ownership discipline: use-after-release " +
+			"and double-release through call boundaries, release of a value " +
+			"whose ownership a callee took, and leaked producer results " +
+			"(Arena.Get/Pool.Get/NewBlock results that are discarded or never used)",
+	}
+	a.Run = func(pass *lint.Pass) error {
+		sums.AddPackage(pass)
+		eachFunc(pass.Files, func(decl *ast.FuncDecl) {
+			checkFuncOwner(pass, sums, decl)
+		})
+		return nil
+	}
+	return a
+}
+
+// ownerEvent is one summary-driven kill or transfer observed at a call
+// site: obj changes state at pos, with effect bounded by end.
+type ownerEvent struct {
+	obj      *types.Var
+	callee   lint.FuncRef
+	transfer bool // Stores (ownership taken) rather than Releases (killed)
+	pos, end token.Pos
+}
+
+func checkFuncOwner(pass *lint.Pass, sums *lint.Summaries, decl *ast.FuncDecl) {
+	parents := lint.BuildParents(decl.Body)
+	info := pass.Info
+
+	localVar := func(e ast.Expr) *types.Var {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return nil
+		}
+		return obj
+	}
+
+	// Pass 1: collect summary-driven kill/transfer events and producer
+	// bindings.
+	var events []ownerEvent
+	type binding struct {
+		obj  *types.Var
+		what string
+		pos  token.Pos
+	}
+	var produced []binding
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			// A producer call whose result vanishes is an immediate leak.
+			if call, ok := n.X.(*ast.CallExpr); ok && sums.Model.Produces(info, call) {
+				pass.Reportf(call.Pos(),
+					"result of %s is discarded: the owned value leaks (release it, store it, or return it)",
+					calleeName(info, call))
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || len(n.Lhs) != len(n.Rhs) {
+					continue
+				}
+				owned := sums.Model.Produces(info, call)
+				if !owned {
+					if f := callee(info, call); f != nil {
+						if s := sums.Of(f); s != nil && s.ReturnsOwned {
+							owned = true
+						}
+					}
+				}
+				if !owned {
+					continue
+				}
+				lhs := ast.Unparen(n.Lhs[i])
+				if id, ok := lhs.(*ast.Ident); ok {
+					if id.Name == "_" {
+						pass.Reportf(rhs.Pos(),
+							"owned result of %s is assigned to _: the value leaks (release it, store it, or return it)",
+							calleeName(info, call))
+						continue
+					}
+					if obj, ok := info.Defs[id].(*types.Var); ok {
+						produced = append(produced, binding{obj: obj, what: calleeName(info, call), pos: id.Pos()})
+					}
+				}
+			}
+		case *ast.CallExpr:
+			// Direct kills are poolcheck's beat.
+			if _, _, direct := killSlot(info, n); direct {
+				return true
+			}
+			f := callee(info, n)
+			if f == nil {
+				return true
+			}
+			sum := sums.Of(f)
+			if sum == nil {
+				return true
+			}
+			// Deferred/go'd calls run out of source order; skip, matching
+			// poolcheck (but a deferred kill still counts as a release for
+			// leak purposes — handled below).
+			for p := parents[n]; p != nil; p = parents[p] {
+				switch p.(type) {
+				case *ast.DeferStmt, *ast.GoStmt:
+					return true
+				}
+			}
+			ref, _ := lint.RefOf(f)
+			slots := lint.CallSlotExprs(info, n, f)
+			for i, e := range slots {
+				if i > 63 {
+					break
+				}
+				obj := localVar(e)
+				if obj == nil {
+					continue
+				}
+				if sum.Releases&(1<<uint(i)) != 0 {
+					events = append(events, ownerEvent{obj: obj, callee: ref, pos: n.End(), end: putEffectEnd(parents, n, decl.Body)})
+				} else if sum.Stores&(1<<uint(i)) != 0 {
+					// Only an unconditional transfer (bare call statement)
+					// hands ownership for sure. When the caller consumes the
+					// result — `if !q.Push(t) { pool.Put(t) }` — it is
+					// branching on whether the transfer happened, and the
+					// release on the failure path is the correct cleanup.
+					if _, bare := parents[n].(*ast.ExprStmt); bare {
+						events = append(events, ownerEvent{obj: obj, callee: ref, transfer: true, pos: n.End(), end: putEffectEnd(parents, n, decl.Body)})
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Reassignments clear both kill and transfer marks.
+	clears := make(map[*types.Var][]token.Pos)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				if obj, ok := info.Uses[id].(*types.Var); ok {
+					clears[obj] = append(clears[obj], id.Pos())
+				} else if obj, ok := info.Defs[id].(*types.Var); ok {
+					clears[obj] = append(clears[obj], id.Pos())
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 2: flag uses after a summary kill, and direct releases after a
+	// transfer.
+	if len(events) > 0 {
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if slot, verb, ok := killSlot(info, call); ok {
+					slots := lint.CallSlotExprs(info, call, callee(info, call))
+					if slot < len(slots) {
+						if obj := localVar(slots[slot]); obj != nil {
+							for _, ev := range events {
+								if !ev.transfer || obj != ev.obj {
+									continue
+								}
+								p := slots[slot].Pos()
+								if p <= ev.pos || p >= ev.end || isClearedBetween(clears[obj], ev.pos, p) {
+									continue
+								}
+								pass.Reportf(p,
+									"%s releases %s after %s may have taken ownership of it (release-after-transfer); the new owner releases it",
+									verb, objName(obj), ev.callee.Short())
+								return true
+							}
+						}
+					}
+				}
+			}
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj, ok := info.Uses[id].(*types.Var)
+			if !ok {
+				return true
+			}
+			for _, ev := range events {
+				if ev.transfer || obj != ev.obj || id.Pos() <= ev.pos || id.Pos() >= ev.end {
+					continue
+				}
+				if isClearedBetween(clears[obj], ev.pos, id.Pos()) || isAssignTarget(parents, id) {
+					continue
+				}
+				pass.Reportf(id.Pos(),
+					"%s is used after %s released it (use-after-release across a call boundary); reassign it or drop the reference",
+					id.Name, ev.callee.Short())
+				break
+			}
+			return true
+		})
+	}
+
+	// Pass 3: leak detection for producer bindings. A bound owned value
+	// must be read somehow — released, passed on, stored, or returned —
+	// before the variable is overwritten. Go's unused-variable error
+	// already rules out "never mentioned again", so the provable leak is
+	// reassignment before first real use; anything subtler is left to the
+	// runtime arena counters.
+	for _, b := range produced {
+		use := firstRealUse(info, parents, decl.Body, b.obj, b.pos)
+		re := firstClearAfter(clears[b.obj], b.pos)
+		switch {
+		case use != token.NoPos && (re == token.NoPos || use <= re):
+			// Read before any overwrite: ownership accounted for.
+		case re != token.NoPos:
+			pass.Reportf(b.pos,
+				"%s is reassigned before the owned result of %s is used: the first value leaks (release it before overwriting)",
+				b.obj.Name(), b.what)
+		default:
+			pass.Reportf(b.pos,
+				"%s binds the owned result of %s but never uses it again: the value leaks (release it, store it, or return it)",
+				b.obj.Name(), b.what)
+		}
+	}
+}
+
+// firstRealUse returns the position of obj's first read after pos —
+// assignment targets excluded, defers and goroutines included (a
+// deferred Release is a legitimate use) — or NoPos.
+func firstRealUse(info *types.Info, parents map[ast.Node]ast.Node, body *ast.BlockStmt, obj *types.Var, pos token.Pos) token.Pos {
+	first := token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if id.Pos() <= pos || info.Uses[id] != obj || isAssignTarget(parents, id) {
+			return true
+		}
+		if first == token.NoPos || id.Pos() < first {
+			first = id.Pos()
+		}
+		return true
+	})
+	return first
+}
+
+// firstClearAfter returns the earliest reassignment position strictly
+// after pos, or NoPos.
+func firstClearAfter(clears []token.Pos, pos token.Pos) token.Pos {
+	first := token.NoPos
+	for _, p := range clears {
+		if p > pos && (first == token.NoPos || p < first) {
+			first = p
+		}
+	}
+	return first
+}
+
+func objName(obj *types.Var) string { return obj.Name() }
+
+// calleeName renders a call target for diagnostics (best effort).
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	if f := callee(info, call); f != nil {
+		if recv := recvNamed(f); recv != nil {
+			return recv.Obj().Name() + "." + f.Name()
+		}
+		return f.Name()
+	}
+	return "the call"
+}

@@ -155,7 +155,7 @@ func analyzeDir(dir string, analyzers []*Analyzer) ([]Diagnostic, *token.FileSet
 	}
 
 	var collected []Diagnostic
-	var ignores []ignoreDirective
+	var ignores []*ignoreDirective
 	for _, f := range files {
 		ignores = append(ignores, parseIgnores(fset, f)...)
 	}

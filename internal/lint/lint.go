@@ -60,6 +60,18 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportAtf records a diagnostic at an already-resolved position. The
+// interprocedural analyzers need it: an allocation site inside a callee
+// lives in a different file (possibly a different package) than the pass
+// being analyzed, so its position was resolved when the summary was built.
+func (p *Pass) ReportAtf(pos token.Position, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
 // Diagnostic is one finding.
 type Diagnostic struct {
 	Analyzer string
@@ -72,25 +84,29 @@ func (d Diagnostic) String() string {
 }
 
 // ignoreDirective marks one `//lint:ignore <analyzer...> reason` comment: it
-// suppresses the named analyzers' findings on the directive's own line and
-// on the next line (the statement it annotates).
+// suppresses the named analyzers' findings in the directive's file, on its
+// own line and on the next line (the statement it annotates).
 type ignoreDirective struct {
+	file      string
 	line      int
+	text      string          // the raw comment, for the -ignores audit
 	analyzers map[string]bool // nil means all analyzers
+	used      bool            // set when the directive suppressed a finding
 }
 
 var ignoreRe = regexp.MustCompile(`^//\s*lint:ignore\s+(\S+)(?:\s+(.*))?$`)
 
 // parseIgnores extracts the ignore directives from a file, keyed by line.
-func parseIgnores(fset *token.FileSet, f *ast.File) []ignoreDirective {
-	var out []ignoreDirective
+func parseIgnores(fset *token.FileSet, f *ast.File) []*ignoreDirective {
+	var out []*ignoreDirective
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			m := ignoreRe.FindStringSubmatch(c.Text)
 			if m == nil {
 				continue
 			}
-			d := ignoreDirective{line: fset.Position(c.Pos()).Line}
+			pos := fset.Position(c.Pos())
+			d := &ignoreDirective{file: pos.Filename, line: pos.Line, text: c.Text}
 			if m[1] != "*" {
 				d.analyzers = make(map[string]bool)
 				for _, name := range strings.Split(m[1], ",") {
@@ -103,17 +119,34 @@ func parseIgnores(fset *token.FileSet, f *ast.File) []ignoreDirective {
 	return out
 }
 
-// suppressed reports whether diagnostic d is covered by any directive.
-func suppressed(d Diagnostic, dirs []ignoreDirective) bool {
+// suppressed reports whether diagnostic d is covered by any directive, and
+// marks the directive used so the -ignores audit can spot stale ones. A
+// directive only reaches into its own file: before this check compared
+// filenames, an ignore on line N of one file silenced findings on lines
+// N/N+1 of every other file in the package.
+func suppressed(d Diagnostic, dirs []*ignoreDirective) bool {
+	hit := false
 	for _, dir := range dirs {
+		if d.Pos.Filename != dir.file {
+			continue
+		}
 		if d.Pos.Line != dir.line && d.Pos.Line != dir.line+1 {
 			continue
 		}
 		if dir.analyzers == nil || dir.analyzers[d.Analyzer] {
-			return true
+			dir.used = true
+			hit = true
 		}
 	}
-	return false
+	return hit
+}
+
+// IgnoreAudit describes one //lint:ignore directive found during a run and
+// whether it actually suppressed anything.
+type IgnoreAudit struct {
+	Pos  token.Position
+	Text string
+	Used bool
 }
 
 // sortDiagnostics orders findings by file, line, column, analyzer.

@@ -13,6 +13,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 )
 
@@ -186,9 +187,23 @@ func load(fset *token.FileSet, idx *exportIndex, lp *listPackage) (*Package, err
 // Packages outside the main module (dependencies, the standard library) are
 // imported from export data and never analyzed.
 func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunWithAudit(dir, patterns, analyzers)
+	return diags, err
+}
+
+// RunWithAudit is Run plus an audit trail of every //lint:ignore directive
+// encountered, with Used reporting whether the directive suppressed at
+// least one finding. Directives with Used == false are stale: no analyzer
+// would emit anything where they point, so they should be deleted.
+//
+// Packages arrive from `go list -deps` in dependency order (dependencies
+// strictly before dependents), which the interprocedural analyzers rely on:
+// when a package is analyzed, the summaries of everything it imports are
+// already final.
+func RunWithAudit(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, []IgnoreAudit, error) {
 	listed, err := goList(dir, append([]string{"-deps", "-test"}, patterns...)...)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	fset := token.NewFileSet()
 	idx := newExportIndex(fset, listed)
@@ -196,7 +211,7 @@ func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, er
 	var collected []Diagnostic
 	collect := func(d Diagnostic) { collected = append(collected, d) }
 
-	var ignores []ignoreDirective
+	var ignores []*ignoreDirective
 	ignoredFiles := make(map[string]bool) // filename -> ignore directives parsed
 	for _, lp := range listed {
 		if !analyzable(lp) {
@@ -204,7 +219,7 @@ func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, er
 		}
 		pkg, err := load(fset, idx, lp)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		for _, f := range pkg.Files {
 			name := fset.Position(f.Pos()).Filename
@@ -223,7 +238,7 @@ func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, er
 				report:   collect,
 			}
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.ImportPath, err)
+				return nil, nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.ImportPath, err)
 			}
 		}
 	}
@@ -242,14 +257,32 @@ func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, er
 	seen := make(map[Diagnostic]bool, len(collected))
 	var out []Diagnostic
 	for _, d := range collected {
-		if seen[d] || suppressed(d, ignores) {
+		if seen[d] {
 			continue
 		}
 		seen[d] = true
+		if suppressed(d, ignores) {
+			continue
+		}
 		out = append(out, d)
 	}
 	sortDiagnostics(out)
-	return out, nil
+
+	audits := make([]IgnoreAudit, 0, len(ignores))
+	for _, dir := range ignores {
+		audits = append(audits, IgnoreAudit{
+			Pos:  token.Position{Filename: dir.file, Line: dir.line},
+			Text: dir.text,
+			Used: dir.used,
+		})
+	}
+	sort.Slice(audits, func(i, j int) bool {
+		if audits[i].Pos.Filename != audits[j].Pos.Filename {
+			return audits[i].Pos.Filename < audits[j].Pos.Filename
+		}
+		return audits[i].Pos.Line < audits[j].Pos.Line
+	})
+	return out, audits, nil
 }
 
 // analyzable reports whether a listed package should be source-analyzed:

@@ -1,0 +1,54 @@
+// Package edge exercises the summary builder's awkward corners: type
+// aliases, generic functions and generic receivers (summaries key on the
+// origin declaration), and kill-bit propagation through all of them.
+package edge
+
+// Res is the fixture resource; the loader test's model treats Res.Free
+// as a direct release of the receiver.
+type Res struct{ n int }
+
+// Free releases the resource.
+func (r *Res) Free() {}
+
+// Handle aliases the resource pointer: kills must survive the alias.
+type Handle = *Res
+
+// freeAlias releases through the alias type.
+func freeAlias(h Handle) {
+	h.Free()
+}
+
+// freeVia is a generic wrapper around a concrete release; instantiation
+// must resolve to the origin declaration's summary.
+func freeVia[T any](r *Res, tag T) {
+	_ = tag
+	r.Free()
+}
+
+// Box is a generic container owning a resource.
+type Box[T any] struct {
+	v   *Res
+	tag T
+}
+
+// Drop releases the boxed resource (method on a generic type).
+func (b *Box[T]) Drop() {
+	b.v.Free()
+}
+
+// useGeneric instantiates freeVia; the call edge must point at the
+// generic origin, not the instantiation.
+func useGeneric(r *Res) {
+	freeVia(r, 7)
+}
+
+// useBox drives the generic method the same way.
+func useBox(b *Box[string]) {
+	b.Drop()
+}
+
+// chain releases two calls down through the alias path, proving the
+// fixed point composes across all of the shapes above.
+func chain(h Handle) {
+	freeAlias(h)
+}

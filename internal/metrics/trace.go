@@ -161,7 +161,10 @@ func (tr *Tracer) ExportHistograms(reg *Registry) {
 
 // Sample decides whether to trace the tuple identified by key, tagged with
 // the owning eddy and the tuple's sequence number. It reports whether the
-// tuple is now live-traced.
+// tuple is now live-traced. Allocation happens only for the sampled
+// fraction of tuples, capped by the configured rate.
+//
+//tcq:coldpath
 func (tr *Tracer) Sample(key any, tag string, seq int64) bool {
 	if tr == nil || tr.rate <= 0 {
 		return false
@@ -189,6 +192,9 @@ func (tr *Tracer) Live(key any) bool {
 // Span records one timed module visit for a live-traced tuple (no-op
 // otherwise). The histogram export happens even for keys that finished
 // between Live and Span, so hop latencies never silently disappear.
+// Callers gate on Live, so allocation is confined to sampled tuples.
+//
+//tcq:coldpath
 func (tr *Tracer) Span(key any, module string, start, end time.Time, pass bool, produced int) {
 	tr.mu.Lock()
 	if t, ok := tr.live[key]; ok {
@@ -215,6 +221,9 @@ func (tr *Tracer) Span(key any, module string, start, end time.Time, pass bool, 
 // Fork starts tracing child (a join output) with a copy of parent's path
 // so far, so the output's trace shows its full derivation; the fork edge
 // (parent Seq, inherited span count) is preserved on the child.
+// Allocation is confined to sampled (live-traced) parents.
+//
+//tcq:coldpath
 func (tr *Tracer) Fork(parent, child any) {
 	tr.mu.Lock()
 	if p, ok := tr.live[parent]; ok {
@@ -233,7 +242,9 @@ func (tr *Tracer) Fork(parent, child any) {
 // Finish retires a live trace into the recent ring, touching the tag's
 // LRU slot and evicting the least-recently-finished tag when the tag cap
 // is exceeded. emitted records whether the tuple reached the query's
-// output.
+// output. Allocation is confined to sampled (live-traced) keys.
+//
+//tcq:coldpath
 func (tr *Tracer) Finish(key any, emitted bool) {
 	tr.mu.Lock()
 	t, ok := tr.live[key]

@@ -50,6 +50,8 @@ func (f *Filter) Process(t *tuple.Tuple) ([]*tuple.Tuple, bool) {
 // ProcessBatch implements eddy.BatchModule: the whole batch is evaluated
 // under one dispatch into a selection mask, survivors stably partitioned
 // to the front by the shared mask partition.
+//
+//tcq:hotpath
 func (f *Filter) ProcessBatch(b *tuple.Batch) ([]*tuple.Tuple, int) {
 	ts := b.Tuples
 	f.mask.Reset(len(ts))
@@ -65,6 +67,8 @@ func (f *Filter) ProcessBatch(b *tuple.Batch) ([]*tuple.Tuple, int) {
 // down the single tested column, clearing sel bits for failing rows. Only
 // rows whose sel bit is already set are tested, so a conjunction of
 // filters shares one mask.
+//
+//tcq:hotpath
 func (f *Filter) EvalCols(b *tuple.Block, sel *tuple.Mask) {
 	col := b.Col(f.pred.Col)
 	for i := range col {

@@ -27,6 +27,10 @@ type ColSteM struct {
 	builds  int64
 	probes  int64
 	matches int64
+
+	// segScratch is the per-probe segment snapshot, reused across
+	// ProbeCols calls so steady-state probing allocates nothing.
+	segScratch []*tuple.Block
 }
 
 // NewColSteM creates a columnar SteM spanning the given source, storing
@@ -65,6 +69,8 @@ func (s *ColSteM) Spans() tuple.SourceSet { return s.spans }
 func (s *ColSteM) Store() *arrange.ColumnStore { return s.store }
 
 // BuildCols inserts the selected rows of b into the store.
+//
+//tcq:hotpath
 func (s *ColSteM) BuildCols(b *tuple.Block, sel *tuple.Mask) {
 	n := sel.Count()
 	if n == 0 {
@@ -79,10 +85,13 @@ func (s *ColSteM) BuildCols(b *tuple.Block, sel *tuple.Mask) {
 // probeRow); the caller merges the pair column-wise (Block.AppendMerged).
 // The emit callback is the only per-match cost — candidate verification
 // reads segment columns in place.
+//
+//tcq:hotpath
 func (s *ColSteM) ProbeCols(b *tuple.Block, sel *tuple.Mask, emit func(seg *tuple.Block, brow, prow int)) {
 	key := b.Col(s.preds[s.keyPred].LeftCol)
-	var segs []*tuple.Block
-	s.store.Segments(func(seg *tuple.Block) { segs = append(segs, seg) })
+	s.segScratch = s.segScratch[:0]
+	s.store.Segments(func(seg *tuple.Block) { s.segScratch = append(s.segScratch, seg) })
+	segs := s.segScratch
 	for i := 0; i < b.Len(); i++ {
 		if !sel.Test(i) {
 			continue

@@ -46,7 +46,11 @@ func arenaRound(rows int) int {
 }
 
 // Get returns an empty block of the given width with capacity for at
-// least rows rows.
+// least rows rows. Audited amortization point: free-list bookkeeping and
+// the miss-path slab carve are per-block costs, amortized across every
+// row the block will hold (the E17 gate pins the realized rate).
+//
+//tcq:coldpath
 func (a *Arena) Get(width, rows int) *Block {
 	a.gets++
 	key := arenaKey{width: width, rcap: arenaRound(rows)}
@@ -63,6 +67,9 @@ func (a *Arena) Get(width, rows int) *Block {
 }
 
 // put returns a released block to the free list (called by Block.Release).
+// Audited amortization point: one map/slice insert per released block.
+//
+//tcq:coldpath
 func (a *Arena) put(b *Block) {
 	a.releases++
 	key := arenaKey{width: b.width, rcap: b.rcap}
@@ -82,6 +89,8 @@ func (a *Arena) Stats() (gets, reuses, releases int64) {
 // for all columns, one int64 slab for ts+seq, one uint64 slab for
 // src+ready+done. Block count and row capacity, not row count, determine
 // allocation count.
+//
+//tcq:coldpath
 func newBlock(a *Arena, width, rcap int) *Block {
 	b := &Block{width: width, rcap: rcap, arena: a}
 	b.vals = make([]Value, width*rcap)

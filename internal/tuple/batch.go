@@ -25,7 +25,11 @@ type Batch struct {
 	scratch []*Tuple
 }
 
-// NewBatch returns an empty batch with capacity for n tuples.
+// NewBatch returns an empty batch with capacity for n tuples. Batch
+// headers are recycled by their owners (Eddy keeps a freelist), so this
+// constructor runs on freelist misses only.
+//
+//tcq:coldpath
 func NewBatch(n int) *Batch {
 	return &Batch{Tuples: make([]*Tuple, 0, n)}
 }

@@ -68,6 +68,8 @@ func (b *Block) Done(i int) uint64 { return b.done[i] }
 
 // SetLineage stamps row i's lineage words (done must be a subset of
 // ready, mirroring Tuple.SetLineage).
+//
+//tcq:hotpath
 func (b *Block) SetLineage(i int, ready, done uint64) {
 	if done&^ready != 0 {
 		panic("tuple: block lineage done bits outside ready bits")
@@ -77,6 +79,8 @@ func (b *Block) SetLineage(i int, ready, done uint64) {
 }
 
 // Reset empties the block for reuse, keeping its slabs.
+//
+//tcq:hotpath
 func (b *Block) Reset() {
 	b.checkLive()
 	b.n = 0
@@ -90,6 +94,8 @@ func (b *Block) checkLive() {
 
 // AppendRow appends one row given its wide values and metadata; it
 // panics when the block is full or released. Returns the new row index.
+//
+//tcq:hotpath
 func (b *Block) AppendRow(vals []Value, ts, seq int64, src SourceSet) int {
 	b.checkLive()
 	if b.n == b.rcap {
@@ -109,6 +115,8 @@ func (b *Block) AppendRow(vals []Value, ts, seq int64, src SourceSet) int {
 }
 
 // AppendTuple appends a wide row tuple (len(t.Vals) must equal Width).
+//
+//tcq:hotpath
 func (b *Block) AppendTuple(t *Tuple) int {
 	i := b.AppendRow(t.Vals, t.TS, t.Seq, t.Source)
 	b.rdy[i] = t.Ready
@@ -119,6 +127,8 @@ func (b *Block) AppendTuple(t *Tuple) int {
 // AppendWidened appends a narrow tuple from FROM position pos, placing
 // its values at the layout's column offset and zeroing the rest of the
 // row — the columnar equivalent of Layout.Widen, with no allocation.
+//
+//tcq:hotpath
 func (b *Block) AppendWidened(l *Layout, pos int, t *Tuple) int {
 	b.checkLive()
 	if b.n == b.rcap {
@@ -146,6 +156,8 @@ func (b *Block) AppendWidened(l *Layout, pos int, t *Tuple) int {
 // [lo,hi) come from q's row, every other column from p's row. Timestamps
 // take the max (the merged row exists once both inputs have arrived) and
 // the source sets union — the columnar mirror of Layout.Merge.
+//
+//tcq:hotpath
 func (b *Block) AppendMerged(p *Block, pi int, q *Block, qi, lo, hi int) int {
 	b.checkLive()
 	if b.n == b.rcap {
@@ -179,6 +191,8 @@ func (b *Block) AppendMerged(p *Block, pi int, q *Block, qi, lo, hi int) int {
 // copy: only the listed source columns land in b, in order (cols may
 // index the full merged width; b's width is len(cols)). cols == nil
 // means all columns (b's width equals the merged width).
+//
+//tcq:hotpath
 func (b *Block) AppendMergedProjected(p *Block, pi int, q *Block, qi, lo, hi int, cols []int) int {
 	if cols == nil {
 		return b.AppendMerged(p, pi, q, qi, lo, hi)
@@ -212,6 +226,8 @@ func (b *Block) AppendMergedProjected(p *Block, pi int, q *Block, qi, lo, hi int
 }
 
 // AppendRowFrom copies row i of src (same width) into b.
+//
+//tcq:hotpath
 func (b *Block) AppendRowFrom(src *Block, i int) int {
 	b.checkLive()
 	if b.n == b.rcap {
@@ -233,6 +249,8 @@ func (b *Block) AppendRowFrom(src *Block, i int) int {
 // AppendProjected appends row i of src keeping only the listed columns,
 // in order — projection fused into the copy, so emitted blocks hold
 // exactly the client-visible values.
+//
+//tcq:hotpath
 func (b *Block) AppendProjected(src *Block, i int, cols []int) int {
 	b.checkLive()
 	if b.n == b.rcap {
@@ -255,6 +273,8 @@ func (b *Block) AppendProjected(src *Block, i int, cols []int) int {
 // of survivors, and returns the new length. The columnar analogue of
 // Batch.PartitionByMask, except dropped rows are overwritten rather than
 // retained (block rows have no independent identity to recycle).
+//
+//tcq:hotpath
 func (b *Block) Compact(m *Mask) int {
 	b.checkLive()
 	w := 0
@@ -298,6 +318,8 @@ func (b *Block) Row(i int) *Tuple {
 
 // RowUsing materializes row i through the pool, for callers that will
 // recycle the tuple.
+//
+//tcq:hotpath
 func (b *Block) RowUsing(p *Pool, i int) *Tuple {
 	b.checkLive()
 	t := p.Get(b.width)
@@ -313,6 +335,8 @@ func (b *Block) RowUsing(p *Pool, i int) *Tuple {
 
 // Release returns the block's slabs to its arena (a no-op for blocks
 // built without one) and poisons the block against further use.
+//
+//tcq:hotpath
 func (b *Block) Release() {
 	b.checkLive()
 	b.released = true

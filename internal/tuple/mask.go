@@ -16,10 +16,12 @@ type Mask struct {
 
 // Reset sizes the mask for n rows with every bit clear, reusing the
 // backing words when capacity allows.
+//
+//tcq:hotpath
 func (m *Mask) Reset(n int) {
 	w := (n + 63) >> 6
 	if cap(m.words) < w {
-		m.words = make([]uint64, w)
+		m.grow(w)
 	} else {
 		m.words = m.words[:w]
 		for i := range m.words {
@@ -29,8 +31,19 @@ func (m *Mask) Reset(n int) {
 	m.n = n
 }
 
+// grow replaces the backing words with a larger slab. It runs once per
+// high-water mark — batch sizes are fixed per query, so after the first
+// batch every Reset reuses the same words.
+//
+//tcq:coldpath
+func (m *Mask) grow(w int) {
+	m.words = make([]uint64, w)
+}
+
 // ResetSet sizes the mask for n rows with every bit set (the common
 // filter idiom: start from all-survive, clear failures).
+//
+//tcq:hotpath
 func (m *Mask) ResetSet(n int) {
 	m.Reset(n)
 	for i := range m.words {
@@ -45,15 +58,23 @@ func (m *Mask) ResetSet(n int) {
 func (m *Mask) Len() int { return m.n }
 
 // Set marks row i as surviving.
+//
+//tcq:hotpath
 func (m *Mask) Set(i int) { m.words[i>>6] |= 1 << uint(i&63) }
 
 // Clear marks row i as dropped.
+//
+//tcq:hotpath
 func (m *Mask) Clear(i int) { m.words[i>>6] &^= 1 << uint(i&63) }
 
 // Test reports whether row i survives.
+//
+//tcq:hotpath
 func (m *Mask) Test(i int) bool { return m.words[i>>6]&(1<<uint(i&63)) != 0 }
 
 // Count returns the number of surviving rows.
+//
+//tcq:hotpath
 func (m *Mask) Count() int {
 	c := 0
 	for _, w := range m.words {
@@ -64,6 +85,8 @@ func (m *Mask) Count() int {
 
 // None reports whether no row survives — operators use it to skip the
 // partition pass entirely.
+//
+//tcq:hotpath
 func (m *Mask) None() bool {
 	for _, w := range m.words {
 		if w != 0 {
@@ -77,6 +100,8 @@ func (m *Mask) None() bool {
 func (m *Mask) All() bool { return m.Count() == m.n }
 
 // ForEach calls fn with each surviving row index in ascending order.
+//
+//tcq:hotpath
 func (m *Mask) ForEach(fn func(i int)) {
 	for wi, w := range m.words {
 		base := wi << 6

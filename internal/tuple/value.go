@@ -85,6 +85,8 @@ var Null = Value{}
 func (v Value) IsNull() bool { return v.K == KindNull }
 
 // AsInt returns the value as an int64, coercing floats and times.
+//
+//tcq:hotpath
 func (v Value) AsInt() int64 {
 	switch v.K {
 	case KindInt, KindBool, KindTime:
@@ -97,6 +99,8 @@ func (v Value) AsInt() int64 {
 }
 
 // AsFloat returns the value as a float64, coercing ints and times.
+//
+//tcq:hotpath
 func (v Value) AsFloat() float64 {
 	switch v.K {
 	case KindInt, KindBool, KindTime:
@@ -115,6 +119,8 @@ func (v Value) AsBool() bool { return v.I != 0 && v.K == KindBool }
 func (v Value) AsString() string { return v.S }
 
 // Numeric reports whether the value participates in numeric comparison.
+//
+//tcq:hotpath
 func (v Value) Numeric() bool {
 	return v.K == KindInt || v.K == KindFloat || v.K == KindTime || v.K == KindBool
 }
@@ -122,6 +128,8 @@ func (v Value) Numeric() bool {
 // Compare orders two values. NULLs sort first; numeric kinds compare by
 // value regardless of exact kind; strings compare lexicographically.
 // Comparing a string against a numeric value orders the numeric first.
+//
+//tcq:hotpath
 func Compare(a, b Value) int {
 	an, bn := a.Numeric(), b.Numeric()
 	switch {
@@ -158,31 +166,36 @@ func Compare(a, b Value) int {
 }
 
 // Equal reports whether two values compare equal.
+//
+//tcq:hotpath
 func Equal(a, b Value) bool { return Compare(a, b) == 0 }
 
 // Hash returns a 64-bit hash of the value, suitable for SteM hash indexes
 // and Flux partitioning. Values that compare Equal hash identically.
+// The FNV-1a mix is written inline (no mix closure) so the whole function
+// stays closure-free on the probe hot path.
+//
+//tcq:hotpath
 func (v Value) Hash() uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
 	)
 	h := uint64(offset64)
-	mix := func(b byte) { h = (h ^ uint64(b)) * prime64 }
 	switch {
 	case v.K == KindNull:
-		mix(0)
+		h = (h ^ 0) * prime64
 	case v.Numeric():
 		// Hash the float64 bit pattern so Int(3) and Float(3.0) collide,
 		// matching Compare/Equal semantics.
 		f := v.AsFloat()
 		u := floatBits(f)
 		for i := 0; i < 8; i++ {
-			mix(byte(u >> (8 * i)))
+			h = (h ^ uint64(byte(u>>(8*i)))) * prime64
 		}
 	default:
 		for i := 0; i < len(v.S); i++ {
-			mix(v.S[i])
+			h = (h ^ uint64(v.S[i])) * prime64
 		}
 	}
 	return h

@@ -2,7 +2,8 @@
 # check.sh — the repo's verification gate, split into named stages so CI
 # failures are attributable at a glance:
 #
-#   check.sh lint    docs/gofmt/vet, tcqlint (blocking), staticcheck (if installed)
+#   check.sh lint    docs/gofmt/vet, tcqlint incl. -ignores audit (blocking),
+#                    staticcheck (blocking when TCQ_REQUIRE_STATICCHECK=1)
 #   check.sh test    build + full test suite, arrangement coverage floor
 #   check.sh race    race-instrumented suite, chaos campaign, E13 workload, fuzz smoke
 #   check.sh bench   bench smoke: E15 introspection + E16 shared-arrangement +
@@ -45,14 +46,28 @@ stage_lint() {
     echo "==> go vet ./..."
     go vet ./...
 
-    echo "==> tcqlint (engine invariants: clock, pool, lineage, metrics, lock order)"
-    go run ./cmd/tcqlint ./...
+    # The -ignores audit runs the full eight-analyzer suite (clock, pool,
+    # owner, alloc, chan, lineage, metrics, lock order), prints any live
+    # findings, and additionally fails on stale //lint:ignore directives —
+    # suppressions whose excused code has since been fixed or deleted.
+    # The ledger lands in reports/ so CI can attach it on failure.
+    echo "==> tcqlint -ignores ./... (engine invariants + suppression audit)"
+    mkdir -p reports
+    if go run ./cmd/tcqlint -ignores ./... > reports/tcqlint.txt 2>&1; then
+        grep -c '^' reports/tcqlint.txt | xargs -I{} echo "    {} ledger line(s) in reports/tcqlint.txt"
+    else
+        cat reports/tcqlint.txt >&2
+        exit 1
+    fi
 
     if command -v staticcheck >/dev/null 2>&1; then
         echo "==> staticcheck ./..."
         staticcheck ./...
+    elif [ "${TCQ_REQUIRE_STATICCHECK:-0}" = "1" ]; then
+        echo "staticcheck required (TCQ_REQUIRE_STATICCHECK=1) but not installed" >&2
+        exit 1
     else
-        echo "==> staticcheck not installed; skipping (CI installs it)"
+        echo "==> staticcheck not installed; skipping (CI installs a pinned version and sets TCQ_REQUIRE_STATICCHECK=1)"
     fi
 }
 
